@@ -1,0 +1,111 @@
+// Command adore-check model-checks the Adore model: it explores the
+// reachable state space under a chosen reconfiguration scheme and rule set,
+// checking every safety invariant from the paper on every state.
+//
+// Examples:
+//
+//	adore-check -scheme raft-single -nodes 3 -depth 4
+//	adore-check -rules noR3 -nodes 4 -depth 6 -hunt     # rediscovers Fig. 4
+//	adore-check -walks 500 -steps 40 -seed 7            # random walks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adore/internal/config"
+	"adore/internal/core"
+	"adore/internal/explore"
+	"adore/internal/types"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "raft-single", "reconfiguration scheme: "+schemeNames())
+		nodes      = flag.Int("nodes", 3, "initial cluster size")
+		depth      = flag.Int("depth", 4, "BFS depth bound")
+		maxStates  = flag.Int("max-states", 500000, "BFS state cap (0 = unlimited)")
+		walks      = flag.Int("walks", 0, "random walks to run instead of BFS")
+		steps      = flag.Int("steps", 30, "steps per random walk")
+		seed       = flag.Int64("seed", 1, "random seed")
+		rules      = flag.String("rules", "full", "rule set: full | noR1 | noR2 | noR3 | static | stop-the-world")
+		hunt       = flag.Bool("hunt", false, "violation hunt: restrict to two acting leaders, minimal timestamps, safety checkers only")
+		failures   = flag.Bool("failures", false, "include non-quorum pulls/pushes in the transition relation")
+	)
+	flag.Parse()
+
+	scheme := config.SchemeByName(*schemeName)
+	if scheme == nil {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q (have: %s)\n", *schemeName, schemeNames())
+		os.Exit(2)
+	}
+	r, err := parseRules(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	st := core.NewState(scheme, types.Range(1, types.NodeID(*nodes)), r)
+	opts := explore.Options{
+		MaxDepth:     *depth,
+		MaxStates:    *maxStates,
+		WithFailures: *failures,
+	}
+	if *hunt {
+		opts.MinimalTimes = true
+		opts.Actors = types.NewNodeSet(1, 2)
+		opts.Invariants = explore.BugHuntCheckers()
+	}
+
+	start := time.Now()
+	var res explore.Result
+	if *walks > 0 {
+		res = explore.RandomWalk(st, *seed, *walks, *steps, opts)
+		fmt.Printf("random walks: %d × %d steps under scheme %s, rules %s\n", *walks, *steps, scheme.Name(), *rules)
+	} else {
+		res = explore.BFS(st, opts)
+		fmt.Printf("BFS: depth ≤ %d under scheme %s, rules %s\n", *depth, scheme.Name(), *rules)
+	}
+	fmt.Printf("states: %d  transitions: %d  depth reached: %d  truncated: %v  elapsed: %s\n",
+		res.States, res.Transitions, res.DepthReached, res.Truncated, time.Since(start).Round(time.Millisecond))
+
+	if res.Violation != nil {
+		fmt.Printf("\nVIOLATION: %s\n", res.Violation.Error())
+		fmt.Printf("trace:\n  %s\n", strings.Join(res.Trace, "\n  "))
+		fmt.Printf("state:\n%s", res.ViolationState)
+		os.Exit(1)
+	}
+	fmt.Println("no violations found")
+}
+
+func schemeNames() string {
+	var names []string
+	for _, s := range config.AllSchemes() {
+		names = append(names, s.Name())
+	}
+	return strings.Join(names, ", ")
+}
+
+func parseRules(s string) (core.Rules, error) {
+	switch s {
+	case "full":
+		return core.DefaultRules(), nil
+	case "noR1":
+		return core.WithoutR1(), nil
+	case "noR2":
+		return core.WithoutR2(), nil
+	case "noR3":
+		return core.WithoutR3(), nil
+	case "static":
+		return core.StaticRules(), nil
+	case "stop-the-world":
+		r := core.DefaultRules()
+		r.StopTheWorld = true
+		return r, nil
+	default:
+		return core.Rules{}, fmt.Errorf("unknown rule set %q", s)
+	}
+}

@@ -1,0 +1,55 @@
+// Command adore-sim replays the paper's behavioural figures as scripted
+// executions of the Adore model, printing the cache tree after every step.
+//
+//	adore-sim -list
+//	adore-sim fig5
+//	adore-sim fig4-bug fig4-fixed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adore/internal/explore"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available scenarios")
+	flag.Parse()
+
+	if *list {
+		for _, sc := range explore.Scenarios() {
+			fmt.Printf("%-12s %s\n", sc.Name, sc.About)
+		}
+		return
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		for _, sc := range explore.Scenarios() {
+			names = append(names, sc.Name)
+		}
+	}
+	exit := 0
+	for _, name := range names {
+		sc, ok := explore.ScenarioByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q (try -list)\n", name)
+			exit = 2
+			continue
+		}
+		tr, err := sc.Run()
+		if tr != nil {
+			fmt.Print(tr.Output)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario %s FAILED: %v\n", name, err)
+			exit = 1
+		} else if sc.ExpectViolation != "" {
+			fmt.Printf("scenario %s: violated %s as the paper predicts ✔\n\n", name, sc.ExpectViolation)
+		} else {
+			fmt.Printf("scenario %s: all invariants hold ✔\n\n", name)
+		}
+	}
+	os.Exit(exit)
+}

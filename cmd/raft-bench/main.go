@@ -1,0 +1,57 @@
+// Command raft-bench regenerates Fig. 16: client-request latency of the
+// executable Raft runtime under hot reconfiguration, following the paper's
+// schedule (5 nodes → 3 → 5, reconfiguring every 1000 requests).
+//
+//	raft-bench                      # the paper's parameters
+//	raft-bench -requests 2000 -reconfig-every 400 -window 50
+//	raft-bench -runs 8              # the paper aggregates 8 runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adore/internal/bench"
+)
+
+func main() {
+	opts := bench.Fig16Defaults()
+	flag.IntVar(&opts.Requests, "requests", opts.Requests, "total client requests")
+	flag.IntVar(&opts.ReconfigEvery, "reconfig-every", opts.ReconfigEvery, "requests between membership changes")
+	flag.IntVar(&opts.StartNodes, "nodes", opts.StartNodes, "initial cluster size")
+	flag.DurationVar(&opts.NetLatency, "latency", opts.NetLatency, "simulated one-way network latency")
+	flag.DurationVar(&opts.NetJitter, "jitter", opts.NetJitter, "simulated latency jitter")
+	flag.Int64Var(&opts.Seed, "seed", opts.Seed, "random seed")
+	window := flag.Int("window", 100, "requests per report window")
+	runs := flag.Int("runs", 1, "independent runs (the paper reports 8)")
+	availability := flag.Bool("availability", false, "run the liveness/availability probe instead of Fig. 16")
+	flag.Parse()
+
+	if *availability {
+		res, err := bench.RunAvailability(bench.AvailabilityDefaults())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res.Print(os.Stdout)
+		return
+	}
+
+	for run := 0; run < *runs; run++ {
+		o := opts
+		o.Seed = opts.Seed + int64(run)
+		if *runs > 1 {
+			fmt.Printf("===== run %d/%d (seed %d) =====\n", run+1, *runs, o.Seed)
+		}
+		res, err := bench.RunFig16(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "run %d: %v\n", run+1, err)
+			os.Exit(1)
+		}
+		res.Print(os.Stdout, *window)
+		fmt.Println()
+		time.Sleep(50 * time.Millisecond) // let goroutines drain between runs
+	}
+}

@@ -1,0 +1,248 @@
+// Command raft-kv runs one replica of the replicated key-value store over
+// real TCP — the deployment path corresponding to the paper's extracted
+// OCaml protocol plus network wrapper.
+//
+// Start a 3-node cluster in three shells:
+//
+//	raft-kv -id 1 -listen 127.0.0.1:7001 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003
+//	raft-kv -id 2 -listen 127.0.0.1:7002 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003
+//	raft-kv -id 3 -listen 127.0.0.1:7003 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003
+//
+// Each replica also serves a line-oriented client protocol on -client-listen
+// (default: raft port + 1000):
+//
+//	printf 'put name adore\nget name\n' | nc 127.0.0.1 8001
+//
+// Commands: get K | put K V | delete K | cas K OLD NEW | members | status |
+// addserver ID | removeserver ID. Writes must be sent to the leader
+// (responses include a redirect hint otherwise).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"adore/internal/kvstore"
+	"adore/internal/raft"
+	"adore/internal/raft/transport"
+	"adore/internal/types"
+)
+
+func main() {
+	var (
+		idFlag       = flag.Uint("id", 1, "this node's ID")
+		listen       = flag.String("listen", "127.0.0.1:7001", "raft listen address")
+		clientListen = flag.String("client-listen", "", "client listen address (default: raft port + 1000)")
+		peersFlag    = flag.String("peers", "", "comma-separated id=addr pairs for every cluster member")
+		timeoutMin   = flag.Duration("election-timeout", 150*time.Millisecond, "minimum election timeout")
+	)
+	flag.Parse()
+
+	id := types.NodeID(*idFlag)
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if _, ok := peers[id]; !ok {
+		fmt.Fprintf(os.Stderr, "node %d missing from -peers\n", id)
+		os.Exit(2)
+	}
+	members := make([]types.NodeID, 0, len(peers))
+	for pid := range peers {
+		members = append(members, pid)
+	}
+
+	inbox := make(chan raft.Message, 4096)
+	tr, err := transport.NewTCPTransport(id, *listen, peers, inbox)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	node := raft.StartNode(raft.Options{
+		ID:                 id,
+		Members:            members,
+		Transport:          tr,
+		ElectionTimeoutMin: *timeoutMin,
+		Seed:               int64(id),
+	})
+	go func() {
+		for m := range inbox {
+			select {
+			case node.Inbox() <- m:
+			default:
+			}
+		}
+	}()
+
+	store := kvstore.NewStore()
+	go func() {
+		for msg := range node.ApplyCh() {
+			store.Apply(msg)
+		}
+	}()
+
+	caddr := *clientListen
+	if caddr == "" {
+		caddr = bumpPort(*listen, 1000)
+	}
+	ln, err := net.Listen("tcp", caddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("raft-kv node %s: raft on %s, clients on %s, members %v\n", id, *listen, caddr, members)
+	go serveClients(ln, node, store)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	ln.Close()
+	node.Stop()
+}
+
+func parsePeers(s string) (map[types.NodeID]string, error) {
+	out := make(map[types.NodeID]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer %q (want id=addr)", part)
+		}
+		id, err := strconv.ParseUint(kv[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %v", kv[0], err)
+		}
+		out[types.NodeID(id)] = kv[1]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no peers given (-peers id=addr,...)")
+	}
+	return out, nil
+}
+
+func bumpPort(addr string, by int) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil {
+		return addr
+	}
+	return net.JoinHostPort(host, strconv.Itoa(p+by))
+}
+
+func serveClients(ln net.Listener, node *raft.Node, store *kvstore.Store) {
+	var seq uint64
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			sc := bufio.NewScanner(conn)
+			w := bufio.NewWriter(conn)
+			defer w.Flush()
+			for sc.Scan() {
+				seq++
+				reply := handleCommand(node, store, strings.Fields(sc.Text()), seq)
+				fmt.Fprintln(w, reply)
+				w.Flush()
+			}
+		}(conn)
+	}
+}
+
+func handleCommand(node *raft.Node, store *kvstore.Store, fields []string, seq uint64) string {
+	if len(fields) == 0 {
+		return "ERR empty command"
+	}
+	propose := func(cmd kvstore.Command) string {
+		cmd.Client = uint64(node.ID())
+		cmd.Seq = seq
+		_, _, err := node.Propose(cmd.Encode())
+		if err != nil {
+			_, _, leader := node.Status()
+			return fmt.Sprintf("ERR not leader (try %s)", leader)
+		}
+		// Poll the local store for the applied result.
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if v, ok := store.LocalGet(cmd.Key); ok && cmd.Op == kvstore.OpPut && v == cmd.Value {
+				return "OK"
+			}
+			if cmd.Op != kvstore.OpPut {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if cmd.Op == kvstore.OpPut {
+			return "ERR timeout"
+		}
+		return "OK (proposed)"
+	}
+	switch strings.ToLower(fields[0]) {
+	case "get":
+		if len(fields) != 2 {
+			return "ERR usage: get K"
+		}
+		if v, ok := store.LocalGet(fields[1]); ok {
+			return "VALUE " + v
+		}
+		return "NOTFOUND"
+	case "put":
+		if len(fields) != 3 {
+			return "ERR usage: put K V"
+		}
+		return propose(kvstore.Command{Op: kvstore.OpPut, Key: fields[1], Value: fields[2]})
+	case "delete":
+		if len(fields) != 2 {
+			return "ERR usage: delete K"
+		}
+		return propose(kvstore.Command{Op: kvstore.OpDelete, Key: fields[1]})
+	case "cas":
+		if len(fields) != 4 {
+			return "ERR usage: cas K OLD NEW"
+		}
+		return propose(kvstore.Command{Op: kvstore.OpCAS, Key: fields[1], Old: fields[2], Value: fields[3]})
+	case "members":
+		return "MEMBERS " + node.Members().String()
+	case "status":
+		term, role, leader := node.Status()
+		return fmt.Sprintf("STATUS term=%d role=%s leader=%s commit=%d", term, role, leader, node.CommitIndex())
+	case "addserver":
+		id, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return "ERR bad id"
+		}
+		if _, _, err := node.AddServer(types.NodeID(id)); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "removeserver":
+		id, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return "ERR bad id"
+		}
+		if _, _, err := node.RemoveServer(types.NodeID(id)); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	default:
+		return "ERR unknown command"
+	}
+}

@@ -1,0 +1,3 @@
+module adore
+
+go 1.22

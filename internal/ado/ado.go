@@ -1,0 +1,431 @@
+// Package ado implements the original atomic distributed object (ADO)
+// model of Honoré et al. (OOPSLA '21), as formalized in Appendix D.1 of the
+// Adore paper. Adore builds on this model; the package exists both as the
+// historical baseline and to test the conceptual correspondence between the
+// two (package cado bridges the gap from the other side).
+//
+// Unlike Adore, the ADO model keeps an explicit persistent log of committed
+// methods separate from the cache tree of uncommitted ones, tracks each
+// client's active cache in a CIDMap, and enforces leader uniqueness with an
+// OwnerMap rather than supporter sets. Its semantics are event-based: each
+// operation appends an event (Fig. 21) which an interpreter folds into the
+// state (Fig. 22).
+package ado
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"adore/internal/types"
+)
+
+// CID identifies a cache (Fig. 19): a linked triple ⟨nid, time, parent⟩
+// with nil representing Root. CIDs are immutable; share freely.
+type CID struct {
+	NID    types.NodeID
+	Time   types.Time
+	Parent *CID // nil = Root
+}
+
+// Root is the distinguished root CID (represented as nil; the functions
+// below treat a nil *CID as Root).
+var Root *CID
+
+// NextCID returns nextCID(cid) = ⟨nid, time, cid⟩: a fresh child slot for
+// the same owner and timestamp (Fig. 23).
+func NextCID(cid *CID) *CID {
+	return &CID{NID: nidOf(cid), Time: timeOf(cid), Parent: cid}
+}
+
+func nidOf(cid *CID) types.NodeID {
+	if cid == nil {
+		return types.NoNode
+	}
+	return cid.NID
+}
+
+func timeOf(cid *CID) types.Time {
+	if cid == nil {
+		return 0
+	}
+	return cid.Time
+}
+
+// Key returns a canonical string for map keys.
+func (c *CID) Key() string {
+	if c == nil {
+		return "⊥"
+	}
+	return fmt.Sprintf("%s/%d:%d", c.Parent.Key(), c.NID, c.Time)
+}
+
+// Depth returns the number of links to Root.
+func (c *CID) Depth() int {
+	d := 0
+	for cur := c; cur != nil; cur = cur.Parent {
+		d++
+	}
+	return d
+}
+
+// Less reports cid1 < cid2: cid1 is a strict ancestor of cid2 (Fig. 23).
+func Less(a, b *CID) bool {
+	if b == nil {
+		return false
+	}
+	for cur := b.Parent; ; cur = cur.Parent {
+		if sameCID(a, cur) {
+			return true
+		}
+		if cur == nil {
+			return false
+		}
+	}
+}
+
+// LessEq reports cid1 ≤ cid2.
+func LessEq(a, b *CID) bool { return sameCID(a, b) || Less(a, b) }
+
+func sameCID(a, b *CID) bool {
+	for {
+		if a == nil || b == nil {
+			return a == nil && b == nil
+		}
+		if a.NID != b.NID || a.Time != b.Time {
+			return false
+		}
+		a, b = a.Parent, b.Parent
+	}
+}
+
+// Cache is an uncommitted (or, once in the persistent log, committed)
+// method tagged with its CID.
+type Cache struct {
+	CID    *CID
+	Method types.MethodID
+}
+
+// Owner is an OwnerMap entry: a node ID or NoOwn.
+type Owner struct {
+	NID   types.NodeID
+	NoOwn bool
+}
+
+// Sigma is Σ_ADO (Fig. 19): persistent log, cache tree, per-client active
+// CIDs, and the owner of each timestamp.
+type Sigma struct {
+	Log    []Cache
+	Caches map[string]Cache
+	CIDs   map[types.NodeID]*CID
+	Owners map[types.Time]Owner
+}
+
+func initState() Sigma {
+	return Sigma{
+		Caches: make(map[string]Cache),
+		CIDs:   make(map[types.NodeID]*CID),
+		Owners: make(map[types.Time]Owner),
+	}
+}
+
+// clone deep-copies the interpreted state.
+func (s Sigma) clone() Sigma {
+	out := Sigma{Log: append([]Cache(nil), s.Log...)}
+	out.Caches = make(map[string]Cache, len(s.Caches))
+	for k, v := range s.Caches {
+		out.Caches[k] = v
+	}
+	out.CIDs = make(map[types.NodeID]*CID, len(s.CIDs))
+	for k, v := range s.CIDs {
+		out.CIDs[k] = v
+	}
+	out.Owners = make(map[types.Time]Owner, len(s.Owners))
+	for k, v := range s.Owners {
+		out.Owners[k] = v
+	}
+	return out
+}
+
+// EvKind enumerates Ev_ADO (Fig. 19).
+type EvKind uint8
+
+const (
+	// PullOK is Pull⁺: a successful election.
+	PullOK EvKind = iota
+	// PullPreempt is Pull*: a failed election that still blocked earlier
+	// timestamps.
+	PullPreempt
+	// PullFail is Pull⁻.
+	PullFail
+	// InvokeOK is Invoke⁺; InvokeFail is Invoke⁻.
+	InvokeOK
+	InvokeFail
+	// PushOK is Push⁺; PushFail is Push⁻.
+	PushOK
+	PushFail
+)
+
+// Ev is one event of the log-generation semantics.
+type Ev struct {
+	Kind   EvKind
+	NID    types.NodeID
+	Time   types.Time
+	CID    *CID
+	Method types.MethodID
+}
+
+// Interp applies interp_ADO (Fig. 22) for one event.
+func Interp(ev Ev, s Sigma) Sigma {
+	switch ev.Kind {
+	case PullOK:
+		// ev.CID is the fresh slot ⟨nid, time, chosen⟩ built by PullOk;
+		// it becomes the caller's active cache.
+		out := s.clone()
+		out.CIDs[ev.NID] = ev.CID
+		out.Owners[ev.Time] = Owner{NID: ev.NID}
+		voteNoOwn(out.Owners, ev.Time-1)
+		return out
+	case PullPreempt:
+		out := s.clone()
+		voteNoOwn(out.Owners, ev.Time)
+		return out
+	case InvokeOK:
+		out := s.clone()
+		cid := s.CIDs[ev.NID]
+		out.Caches[cid.Key()] = Cache{CID: cid, Method: ev.Method}
+		out.CIDs[ev.NID] = NextCID(cid)
+		return out
+	case PushOK:
+		out := s.clone()
+		committed, rest := partition(s.Caches, ev.CID)
+		out.Log = append(out.Log, committed...)
+		out.Caches = rest
+		return out
+	default: // PullFail, InvokeFail, PushFail are no-ops.
+		return s
+	}
+}
+
+// voteNoOwn marks every unowned timestamp ≤ limit as NoOwn (Fig. 23),
+// blocking smaller elections.
+func voteNoOwn(owners map[types.Time]Owner, limit types.Time) {
+	// The domain of interest is 1..limit; mark only unclaimed entries.
+	for t := types.Time(1); t <= limit; t++ {
+		if _, ok := owners[t]; !ok {
+			owners[t] = Owner{NoOwn: true}
+		}
+	}
+}
+
+// partition splits the cache tree at ccid (Fig. 23): ancestors-or-equal are
+// committed (in root-to-leaf order); strict descendants stay; siblings are
+// discarded as stale.
+func partition(caches map[string]Cache, ccid *CID) ([]Cache, map[string]Cache) {
+	var committed []Cache
+	rest := make(map[string]Cache)
+	for _, c := range caches {
+		switch {
+		case LessEq(c.CID, ccid):
+			committed = append(committed, c)
+		case Less(ccid, c.CID):
+			rest[c.CID.Key()] = c
+		}
+	}
+	sort.Slice(committed, func(i, j int) bool { return committed[i].CID.Depth() < committed[j].CID.Depth() })
+	return committed, rest
+}
+
+// InterpAll folds the events from the initial state (Fig. 19's
+// interpAll_ADO).
+func InterpAll(evs []Ev) Sigma {
+	s := initState()
+	for _, ev := range evs {
+		s = Interp(ev, s)
+	}
+	return s
+}
+
+// Errors returned when an oracle outcome violates Fig. 20's validity rules.
+var (
+	ErrStaleTime   = errors.New("ado: chosen time not greater than the active cache's")
+	ErrOwnedTime   = errors.New("ado: timestamp already owned")
+	ErrUnknownCID  = errors.New("ado: chosen cache not in the tree")
+	ErrNoActive    = errors.New("ado: caller's active cache is gone; pull first")
+	ErrNotMaxOwner = errors.New("ado: caller is not the most recent leader")
+	ErrBadCommit   = errors.New("ado: commit target is not the caller's current-timestamp cache")
+)
+
+// Object is an atomic distributed object: an event log plus its cached
+// interpretation. The zero value is not usable; call New.
+type Object struct {
+	evs []Ev
+	st  Sigma
+}
+
+// New creates an empty object.
+func New() *Object {
+	return &Object{st: initState()}
+}
+
+// Events returns the event history. Callers must not mutate it.
+func (o *Object) Events() []Ev { return o.evs }
+
+// State returns the current interpreted state. Callers must not mutate it.
+func (o *Object) State() Sigma { return o.st }
+
+// Root returns root(evs): the CID of the last committed cache, or Root.
+func (o *Object) Root() *CID {
+	if n := len(o.st.Log); n > 0 {
+		return o.st.Log[n-1].CID
+	}
+	return Root
+}
+
+func (o *Object) append(ev Ev) {
+	o.evs = append(o.evs, ev)
+	o.st = Interp(ev, o.st)
+}
+
+// noOwnerAt implements noOwnerAt(evs, time).
+func (o *Object) noOwnerAt(t types.Time) bool {
+	own, ok := o.st.Owners[t]
+	return !ok || own.NoOwn
+}
+
+// maxOwner implements maxOwner(evs): the entry at the largest timestamp in
+// the owner map's domain. If that entry is NoOwn — a preempting failed pull
+// — there is no current leader and every push is blocked until a newer
+// successful pull claims a larger timestamp. This is exactly how the ADO
+// model encodes "a failed pull may still block leaders with smaller
+// timestamps from committing new methods" (§2.2.3).
+func (o *Object) maxOwner() (types.NodeID, types.Time, bool) {
+	var best types.Time
+	found := false
+	for t := range o.st.Owners {
+		if !found || t > best {
+			best = t
+			found = true
+		}
+	}
+	if !found {
+		return types.NoNode, 0, false
+	}
+	own := o.st.Owners[best]
+	if own.NoOwn {
+		return types.NoNode, best, false
+	}
+	return own.NID, best, true
+}
+
+// PullOk performs a successful pull (VALIDPULLORACLE + PULLSUCCESS): the
+// oracle chose timestamp t and parent cache cid (which must be in the tree
+// or be the current root). On success the caller's next active cache is a
+// fresh child of cid.
+func (o *Object) PullOk(nid types.NodeID, t types.Time, cid *CID) error {
+	if timeOf(cid) >= t {
+		return fmt.Errorf("%w: timeOf(%s)=%d ≥ %d", ErrStaleTime, cid.Key(), timeOf(cid), t)
+	}
+	if !o.noOwnerAt(t) {
+		return fmt.Errorf("%w: %d", ErrOwnedTime, t)
+	}
+	if _, ok := o.st.Caches[cid.Key()]; !ok && !sameCID(cid, o.Root()) {
+		return fmt.Errorf("%w: %s", ErrUnknownCID, cid.Key())
+	}
+	// The fresh child must carry the new timestamp, so rebuild it with t.
+	o.append(Ev{Kind: PullOK, NID: nid, Time: t, CID: &CID{NID: nid, Time: t, Parent: cid}})
+	return nil
+}
+
+// PullPreempt records a partially failed pull that still blocks timestamps
+// up to t.
+func (o *Object) PullPreempt(nid types.NodeID, t types.Time) {
+	o.append(Ev{Kind: PullPreempt, NID: nid, Time: t})
+}
+
+// PullFail records a failed pull (no effect).
+func (o *Object) PullFail(nid types.NodeID) {
+	o.append(Ev{Kind: PullFail, NID: nid})
+}
+
+// Invoke performs method invocation: the caller's active cache must still
+// be reachable (present in the tree or the empty slot created by its pull).
+func (o *Object) Invoke(nid types.NodeID, m types.MethodID) error {
+	cid, ok := o.st.CIDs[nid]
+	if !ok {
+		return ErrNoActive
+	}
+	// The active cache is valid if its parent chain is rooted in the
+	// current tree/root; a push that discarded the caller's branch
+	// severs it.
+	if !o.reachable(cid) {
+		o.append(Ev{Kind: InvokeFail, NID: nid})
+		return ErrNoActive
+	}
+	o.append(Ev{Kind: InvokeOK, NID: nid, Method: m})
+	return nil
+}
+
+// reachable reports whether cid's parent chain is intact: every ancestor
+// is either still in the cache tree or is the current root (the last
+// committed cache). A chain that passes through a discarded or superseded
+// cache is stale — its owner must pull again before invoking.
+func (o *Object) reachable(cid *CID) bool {
+	for cur := cid.Parent; cur != nil; cur = cur.Parent {
+		if sameCID(cur, o.Root()) {
+			return true
+		}
+		if _, ok := o.st.Caches[cur.Key()]; !ok {
+			return false
+		}
+	}
+	// The chain bottoms out at Root: valid only while nothing has been
+	// committed (otherwise the branch predates the committed prefix).
+	return len(o.st.Log) == 0
+}
+
+// PushOk commits the caller's branch up to ccid (VALIDPUSHORACLE +
+// PUSHSUCCESS): the caller must be the most recent leader and ccid must be
+// one of its caches at its current timestamp.
+func (o *Object) PushOk(nid types.NodeID, ccid *CID) error {
+	owner, _, ok := o.maxOwner()
+	if !ok || owner != nid {
+		return ErrNotMaxOwner
+	}
+	c, ok := o.st.Caches[ccid.Key()]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownCID, ccid.Key())
+	}
+	active, ok := o.st.CIDs[nid]
+	if !ok || nidOf(c.CID) != nid || timeOf(c.CID) != timeOf(active) {
+		return ErrBadCommit
+	}
+	o.append(Ev{Kind: PushOK, NID: nid, CID: ccid})
+	return nil
+}
+
+// PushFail records a failed push (no effect).
+func (o *Object) PushFail(nid types.NodeID) {
+	o.append(Ev{Kind: PushFail, NID: nid})
+}
+
+// CommittedMethods returns the methods of the persistent log in order.
+func (o *Object) CommittedMethods() []types.MethodID {
+	out := make([]types.MethodID, len(o.st.Log))
+	for i, c := range o.st.Log {
+		out[i] = c.Method
+	}
+	return out
+}
+
+// String renders the state for diagnostics.
+func (o *Object) String() string {
+	var b strings.Builder
+	b.WriteString("log:")
+	for _, c := range o.st.Log {
+		fmt.Fprintf(&b, " %s", c.Method)
+	}
+	fmt.Fprintf(&b, "\ncaches: %d, owners: %d\n", len(o.st.Caches), len(o.st.Owners))
+	return b.String()
+}

@@ -1,0 +1,286 @@
+package ado
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"adore/internal/types"
+)
+
+func TestCIDOrder(t *testing.T) {
+	a := &CID{NID: 1, Time: 1}
+	b := NextCID(a)
+	c := NextCID(b)
+	if !Less(a, b) || !Less(a, c) || !Less(b, c) {
+		t.Error("ancestors must be Less than descendants")
+	}
+	if Less(b, a) || Less(a, a) {
+		t.Error("Less must be irreflexive and asymmetric")
+	}
+	if !Less(Root, a) {
+		t.Error("Root must be Less than everything")
+	}
+	if !LessEq(a, a) {
+		t.Error("LessEq must be reflexive")
+	}
+	sibling := &CID{NID: 2, Time: 2, Parent: a}
+	if Less(b, sibling) || Less(sibling, b) {
+		t.Error("siblings must be incomparable")
+	}
+}
+
+func TestCIDKeyDistinct(t *testing.T) {
+	a := &CID{NID: 1, Time: 1}
+	b := &CID{NID: 1, Time: 2}
+	if a.Key() == b.Key() {
+		t.Error("distinct CIDs share a key")
+	}
+	if Root.Key() != "⊥" {
+		t.Errorf("Root key = %q", Root.Key())
+	}
+}
+
+func TestPullInvokePushRoundTrip(t *testing.T) {
+	o := New()
+	if err := o.PullOk(1, 1, Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Invoke(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Invoke(1, 11); err != nil {
+		t.Fatal(err)
+	}
+	// Commit the first method only (partial push).
+	first := o.State().CIDs[1].Parent.Parent // active → slot of M11 → slot of M10
+	if err := o.PushOk(1, first); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.CommittedMethods(); !reflect.DeepEqual(got, []types.MethodID{10}) {
+		t.Fatalf("committed = %v, want [M10]", got)
+	}
+	// The uncommitted suffix survives and can be committed later.
+	second := o.State().CIDs[1].Parent
+	if err := o.PushOk(1, second); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.CommittedMethods(); !reflect.DeepEqual(got, []types.MethodID{10, 11}) {
+		t.Fatalf("committed = %v, want [M10 M11]", got)
+	}
+}
+
+func TestInvokeWithoutPull(t *testing.T) {
+	o := New()
+	if err := o.Invoke(1, 1); !errors.Is(err, ErrNoActive) {
+		t.Errorf("want ErrNoActive, got %v", err)
+	}
+}
+
+func TestPullRejectsOwnedTime(t *testing.T) {
+	o := New()
+	if err := o.PullOk(1, 1, Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.PullOk(2, 1, Root); !errors.Is(err, ErrOwnedTime) {
+		t.Errorf("want ErrOwnedTime, got %v", err)
+	}
+}
+
+func TestPullPreemptBlocksPushes(t *testing.T) {
+	o := New()
+	if err := o.PullOk(1, 1, Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Invoke(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A candidate fails its election at time 5 but took supporters with
+	// it: the NoOwn entry at 5 dethrones S1, blocking its push.
+	o.PullPreempt(2, 5)
+	if err := o.PushOk(1, o.State().CIDs[1].Parent); !errors.Is(err, ErrNotMaxOwner) {
+		t.Errorf("preempted leader's push accepted: %v", err)
+	}
+	// Pulling at a NoOwn timestamp is permitted (the slot was never won)
+	// and restores a pushable leader.
+	if err := o.PullOk(1, 5, o.State().CIDs[1].Parent); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Invoke(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.PushOk(1, o.State().CIDs[1].Parent); err != nil {
+		t.Errorf("re-elected leader's push rejected: %v", err)
+	}
+}
+
+func TestPullRejectsStaleParentTime(t *testing.T) {
+	o := New()
+	if err := o.PullOk(1, 5, Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Invoke(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	parent := o.State().CIDs[1].Parent // the M1 cache, at time 5
+	if err := o.PullOk(2, 3, parent); !errors.Is(err, ErrStaleTime) {
+		t.Errorf("want ErrStaleTime, got %v", err)
+	}
+}
+
+func TestPushRequiresMaxOwner(t *testing.T) {
+	o := New()
+	if err := o.PullOk(1, 1, Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Invoke(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	target := o.State().CIDs[1].Parent
+	// S2 takes over leadership.
+	if err := o.PullOk(2, 2, Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.PushOk(1, target); !errors.Is(err, ErrNotMaxOwner) {
+		t.Errorf("want ErrNotMaxOwner, got %v", err)
+	}
+}
+
+func TestStaleBranchDiscardedAfterPush(t *testing.T) {
+	o := New()
+	// Two leaders build divergent branches from Root.
+	if err := o.PullOk(1, 1, Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Invoke(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.PullOk(2, 2, Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Invoke(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	// S2 (the max owner) commits; S1's branch becomes stale.
+	if err := o.PushOk(2, o.State().CIDs[2].Parent); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.CommittedMethods(); !reflect.DeepEqual(got, []types.MethodID{2}) {
+		t.Fatalf("committed = %v, want [M2]", got)
+	}
+	if err := o.Invoke(1, 3); !errors.Is(err, ErrNoActive) {
+		t.Errorf("stale leader's invoke must fail, got %v", err)
+	}
+	// S1 recovers by pulling from the new root.
+	if err := o.PullOk(1, 3, o.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Invoke(1, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushTargetMustBeCallersCurrent(t *testing.T) {
+	o := New()
+	if err := o.PullOk(1, 1, Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Invoke(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	old := o.State().CIDs[1].Parent
+	// S1 is re-elected at a later time; its old cache is no longer
+	// committable by the letter of the oracle rule (stale timestamp).
+	if err := o.PullOk(1, 4, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.PushOk(1, old); !errors.Is(err, ErrBadCommit) {
+		t.Errorf("want ErrBadCommit, got %v", err)
+	}
+}
+
+func TestFailureEventsAreNoOps(t *testing.T) {
+	o := New()
+	if err := o.PullOk(1, 1, Root); err != nil {
+		t.Fatal(err)
+	}
+	before := len(o.State().Caches)
+	o.PullFail(2)
+	o.PushFail(1)
+	if len(o.State().Caches) != before || len(o.CommittedMethods()) != 0 {
+		t.Error("failure events changed the state")
+	}
+	if got := len(o.Events()); got != 3 {
+		t.Errorf("event log has %d entries, want 3", got)
+	}
+}
+
+func TestInterpAllMatchesIncremental(t *testing.T) {
+	o := New()
+	if err := o.PullOk(1, 1, Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Invoke(1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.PushOk(1, o.State().CIDs[1].Parent); err != nil {
+		t.Fatal(err)
+	}
+	replayed := InterpAll(o.Events())
+	if !reflect.DeepEqual(replayed.Log, o.State().Log) {
+		t.Error("replayed log differs from incremental state")
+	}
+	if len(replayed.Caches) != len(o.State().Caches) {
+		t.Error("replayed cache tree differs from incremental state")
+	}
+}
+
+// TestQuickCommittedLogIsStable is the ADO model's core safety property:
+// the persistent log only ever grows by appending — a committed prefix is
+// never rewritten — under arbitrary valid operation sequences.
+func TestQuickCommittedLogIsStable(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		o := New()
+		var prev []types.MethodID
+		nextTime := types.Time(1)
+		for i := 0; i < 60; i++ {
+			nid := types.NodeID(r.Intn(3) + 1)
+			switch r.Intn(4) {
+			case 0:
+				// Pull from a random known cache or the root.
+				parent := o.Root()
+				for _, c := range o.State().Caches {
+					if r.Intn(3) == 0 {
+						parent = c.CID
+						break
+					}
+				}
+				if timeOf(parent) >= nextTime {
+					continue
+				}
+				_ = o.PullOk(nid, nextTime, parent)
+				nextTime++
+			case 1:
+				_ = o.Invoke(nid, types.MethodID(i))
+			case 2:
+				if active, ok := o.State().CIDs[nid]; ok && active.Parent != nil {
+					_ = o.PushOk(nid, active.Parent)
+				}
+			case 3:
+				o.PullFail(nid)
+			}
+			cur := o.CommittedMethods()
+			if len(cur) < len(prev) {
+				t.Fatalf("seed %d step %d: committed log shrank: %v → %v", seed, i, prev, cur)
+			}
+			for j := range prev {
+				if cur[j] != prev[j] {
+					t.Fatalf("seed %d step %d: committed log rewritten: %v → %v", seed, i, prev, cur)
+				}
+			}
+			prev = cur
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package bench contains the workload generators, latency recorders, and
+// report printers that regenerate the paper's evaluation (§7): the Fig. 16
+// latency-under-reconfiguration experiment and the effort-comparison
+// tables. The cmd/raft-bench and cmd/adore-verify binaries and the root
+// bench_test.go drive these.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// LatencyRecorder collects per-request latencies with event annotations.
+type LatencyRecorder struct {
+	samples []time.Duration
+	events  map[int]string // request index → annotation ("reconfig → 4 nodes")
+}
+
+// NewLatencyRecorder creates an empty recorder.
+func NewLatencyRecorder(capacity int) *LatencyRecorder {
+	return &LatencyRecorder{
+		samples: make([]time.Duration, 0, capacity),
+		events:  make(map[int]string),
+	}
+}
+
+// Record appends one request latency.
+func (r *LatencyRecorder) Record(d time.Duration) { r.samples = append(r.samples, d) }
+
+// Annotate marks the next request index with an event label.
+func (r *LatencyRecorder) Annotate(label string) { r.events[len(r.samples)] = label }
+
+// Len returns the number of samples.
+func (r *LatencyRecorder) Len() int { return len(r.samples) }
+
+// Samples returns the raw latencies.
+func (r *LatencyRecorder) Samples() []time.Duration { return r.samples }
+
+// Window summarizes a bucket of consecutive requests.
+type Window struct {
+	Start, End     int // request index range [Start, End)
+	Min, Mean, Max time.Duration
+	Events         []string
+}
+
+// Windows buckets the samples (the per-window max/mean/min series of
+// Fig. 16).
+func (r *LatencyRecorder) Windows(size int) []Window {
+	if size <= 0 {
+		size = 100
+	}
+	var out []Window
+	for lo := 0; lo < len(r.samples); lo += size {
+		hi := lo + size
+		if hi > len(r.samples) {
+			hi = len(r.samples)
+		}
+		w := Window{Start: lo, End: hi}
+		var sum time.Duration
+		w.Min = r.samples[lo]
+		for i := lo; i < hi; i++ {
+			d := r.samples[i]
+			sum += d
+			if d < w.Min {
+				w.Min = d
+			}
+			if d > w.Max {
+				w.Max = d
+			}
+			if ev, ok := r.events[i]; ok {
+				w.Events = append(w.Events, ev)
+			}
+		}
+		w.Mean = sum / time.Duration(hi-lo)
+		out = append(out, w)
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile latency (p in [0,100]).
+func (r *LatencyRecorder) Percentile(p float64) time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Summary aggregates the full run.
+type Summary struct {
+	Count          int
+	Min, Mean, Max time.Duration
+	P50, P95, P99  time.Duration
+}
+
+// Summarize computes the run summary.
+func (r *LatencyRecorder) Summarize() Summary {
+	s := Summary{Count: len(r.samples)}
+	if s.Count == 0 {
+		return s
+	}
+	var sum time.Duration
+	s.Min = r.samples[0]
+	for _, d := range r.samples {
+		sum += d
+		if d < s.Min {
+			s.Min = d
+		}
+		if d > s.Max {
+			s.Max = d
+		}
+	}
+	s.Mean = sum / time.Duration(s.Count)
+	s.P50 = r.Percentile(50)
+	s.P95 = r.Percentile(95)
+	s.P99 = r.Percentile(99)
+	return s
+}
+
+// PrintSeries writes the Fig. 16 series: one row per window with min, mean,
+// max latency and any reconfiguration events, plus an ASCII sparkline of
+// the mean.
+func (r *LatencyRecorder) PrintSeries(w io.Writer, windowSize int) {
+	windows := r.Windows(windowSize)
+	var peak time.Duration
+	for _, win := range windows {
+		if win.Max > peak {
+			peak = win.Max
+		}
+	}
+	fmt.Fprintf(w, "%-12s %10s %10s %10s  %-24s %s\n", "requests", "min", "mean", "max", "events", "mean (bar)")
+	for _, win := range windows {
+		bar := ""
+		if peak > 0 {
+			n := int(win.Mean * 40 / peak)
+			bar = strings.Repeat("▇", n+1)
+		}
+		fmt.Fprintf(w, "%5d-%-6d %10s %10s %10s  %-24s %s\n",
+			win.Start, win.End, fmtDur(win.Min), fmtDur(win.Mean), fmtDur(win.Max),
+			strings.Join(win.Events, "; "), bar)
+	}
+	s := r.Summarize()
+	fmt.Fprintf(w, "\noverall: n=%d min=%s mean=%s p50=%s p95=%s p99=%s max=%s\n",
+		s.Count, fmtDur(s.Min), fmtDur(s.Mean), fmtDur(s.P50), fmtDur(s.P95), fmtDur(s.P99), fmtDur(s.Max))
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// Table is a simple aligned text table for the effort reports (E2–E4).
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Print writes the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(w, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}

@@ -1,0 +1,69 @@
+// Package cado implements the CADO model: Adore with every
+// reconfiguration-related part removed (the paper's "configuration-aware
+// ADO", §3 — delete the boxed blue definitions). It is useful for
+// reasoning about protocols with static configurations, and serves as the
+// baseline in the proof-effort comparison (experiment E2): the paper
+// reports 1.3k lines of Coq for CADO's safety versus 4.5k for Adore's.
+//
+// The implementation wraps core.State with reconfiguration disabled, so the
+// CADO transition relation is by construction the restriction of Adore's —
+// the relationship the paper establishes by erasing the boxed rules.
+package cado
+
+import (
+	"adore/internal/config"
+	"adore/internal/core"
+	"adore/internal/types"
+)
+
+// State is Σ_CADO: an Adore state whose rules forbid reconfig. The
+// configuration fixed at construction never changes.
+type State struct {
+	inner *core.State
+}
+
+// NewState builds a CADO instance over a static majority-quorum
+// configuration with the given members.
+func NewState(members types.NodeSet) *State {
+	return &State{inner: core.NewState(config.RaftSingleNode, members, core.StaticRules())}
+}
+
+// NewStateWithConfig builds a CADO instance over any static configuration
+// family (the quorum definition still matters; the R1⁺ relation does not,
+// since reconfig is disabled).
+func NewStateWithConfig(scheme config.Scheme, members types.NodeSet) *State {
+	return &State{inner: core.NewState(scheme, members, core.StaticRules())}
+}
+
+// Inner exposes the underlying Adore state for the invariant checkers and
+// the model explorer, which operate uniformly on core.State.
+func (s *State) Inner() *core.State { return s.inner }
+
+// Pull performs the election phase (see core.State.Pull).
+func (s *State) Pull(nid types.NodeID, ch core.PullChoice) (core.PullResult, error) {
+	return s.inner.Pull(nid, ch)
+}
+
+// Invoke performs method invocation (see core.State.Invoke).
+func (s *State) Invoke(nid types.NodeID, m types.MethodID) (*core.Cache, error) {
+	return s.inner.Invoke(nid, m)
+}
+
+// Push performs the commit phase (see core.State.Push).
+func (s *State) Push(nid types.NodeID, ch core.PushChoice) (core.PushResult, error) {
+	return s.inner.Push(nid, ch)
+}
+
+// CommittedMethods returns the committed log (the SMR view).
+func (s *State) CommittedMethods() []types.MethodID {
+	return s.inner.CommittedMethods()
+}
+
+// Config returns the (static) configuration.
+func (s *State) Config() config.Config { return s.inner.Tree.Root().Conf }
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State { return &State{inner: s.inner.Clone()} }
+
+// Key returns the canonical state signature.
+func (s *State) Key() string { return s.inner.Key() }

@@ -1,0 +1,163 @@
+package cado
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"adore/internal/config"
+	"adore/internal/core"
+	"adore/internal/explore"
+	"adore/internal/invariant"
+	"adore/internal/types"
+)
+
+func TestBasicRoundTrip(t *testing.T) {
+	s := NewState(types.Range(1, 3))
+	if _, err := s.Pull(1, core.PullChoice{Q: types.NewNodeSet(1, 2), T: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Invoke(1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Push(1, core.PushChoice{Q: types.NewNodeSet(1, 2), CM: m.ID})
+	if err != nil || !res.Quorum {
+		t.Fatalf("push: %v %+v", err, res)
+	}
+	if got := s.CommittedMethods(); !reflect.DeepEqual(got, []types.MethodID{42}) {
+		t.Errorf("committed = %v", got)
+	}
+}
+
+func TestReconfigIsUnreachable(t *testing.T) {
+	s := NewState(types.Range(1, 3))
+	if _, err := s.Pull(1, core.PullChoice{Q: types.NewNodeSet(1, 2), T: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Inner().Reconfig(1, config.NewMajorityConfig(types.Range(1, 4)))
+	if !errors.Is(err, core.ErrReconfigDisabled) {
+		t.Errorf("want ErrReconfigDisabled, got %v", err)
+	}
+	if got := core.EnumerateReconfigs(s.Inner(), 1); len(got) != 0 {
+		t.Errorf("explorer enumerates reconfigs in CADO: %v", got)
+	}
+}
+
+func TestConfigIsStatic(t *testing.T) {
+	s := NewState(types.Range(1, 3))
+	want := s.Config()
+	if _, err := s.Pull(1, core.PullChoice{Q: types.NewNodeSet(1, 2), T: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Invoke(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range s.Inner().Tree.All() {
+		if !c.Conf.Equal(want) {
+			t.Errorf("cache %v has a different configuration", c)
+		}
+	}
+}
+
+func TestCloneAndKey(t *testing.T) {
+	s := NewState(types.Range(1, 3))
+	c := s.Clone()
+	if s.Key() != c.Key() {
+		t.Error("clone key differs")
+	}
+	if _, err := c.Pull(1, core.PullChoice{Q: types.NewNodeSet(1, 2), T: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Key() == c.Key() {
+		t.Error("mutating the clone changed the original")
+	}
+}
+
+// TestCADOExhaustivelySafe is the CADO side of experiment E2: exhaustive
+// exploration of the static-configuration model finds no violations, and
+// its state space is markedly smaller than Adore's at the same bound.
+func TestCADOExhaustivelySafe(t *testing.T) {
+	s := NewState(types.Range(1, 3)).Inner()
+	res := explore.BFS(s, explore.Options{MaxDepth: 5, MaxStates: 60000})
+	if res.Violation != nil {
+		t.Fatalf("violation in CADO: %v\ntrace: %v", res.Violation, res.Trace)
+	}
+	full := core.NewState(config.RaftSingleNode, types.Range(1, 3), core.DefaultRules())
+	resFull := explore.BFS(full, explore.Options{MaxDepth: 4, MaxStates: 60000})
+	if resFull.Violation != nil {
+		t.Fatalf("violation in Adore: %v", resFull.Violation)
+	}
+	t.Logf("CADO depth 5: %d states; Adore depth 4: %d states", res.States, resFull.States)
+}
+
+// TestCADOMatchesAdoreWithoutReconfig replays identical operation schedules
+// on a CADO state and an Adore state that never reconfigures: the resulting
+// canonical state keys must be identical at every step (CADO is the
+// restriction of Adore).
+func TestCADOMatchesAdoreWithoutReconfig(t *testing.T) {
+	cadoSt := NewState(types.Range(1, 3))
+	adoreSt := core.NewState(config.RaftSingleNode, types.Range(1, 3), core.DefaultRules())
+	o := core.NewOracle(99)
+	for i := 0; i < 40; i++ {
+		nid := types.NodeID(o.Intn(3) + 1)
+		switch o.Intn(3) {
+		case 0:
+			if ch, ok := o.PullChoice(adoreSt, nid, 0); ok {
+				if _, err := adoreSt.Pull(nid, ch); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := cadoSt.Pull(nid, ch); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 1:
+			_, errA := adoreSt.Invoke(nid, types.MethodID(i))
+			_, errC := cadoSt.Invoke(nid, types.MethodID(i))
+			if (errA == nil) != (errC == nil) {
+				t.Fatalf("invoke diverged: adore=%v cado=%v", errA, errC)
+			}
+		case 2:
+			if ch, ok := o.PushChoice(adoreSt, nid, 0); ok {
+				if _, err := adoreSt.Push(nid, ch); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := cadoSt.Push(nid, ch); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Keys differ only in the Rules-independent parts; the trees and
+		// times must match exactly.
+		if cadoSt.Inner().Tree.Key() != adoreSt.Tree.Key() {
+			t.Fatalf("step %d: trees diverged", i)
+		}
+	}
+	if vs := invariant.CheckAll(cadoSt.Inner()); len(vs) != 0 {
+		t.Errorf("violations: %v", vs)
+	}
+}
+
+func TestNewStateWithConfigSchemes(t *testing.T) {
+	// A CADO instance works over any static quorum family: the scheme's
+	// R1⁺ is irrelevant (reconfig is off), only isQuorum matters.
+	s := NewStateWithConfig(config.PrimaryBackup, types.Range(1, 3))
+	// Primary-backup: the primary (S1) alone is a quorum.
+	res, err := s.Pull(1, core.PullChoice{Q: types.NewNodeSet(1), T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Quorum {
+		t.Fatal("primary alone must form a quorum under primary-backup")
+	}
+	m, err := s.Invoke(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push(1, core.PushChoice{Q: types.NewNodeSet(1), CM: m.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CommittedMethods(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("committed = %v", got)
+	}
+}

@@ -1,0 +1,156 @@
+// Package config implements Adore's parameterized configuration layer
+// (paper Fig. 7 / §6).
+//
+// The safety proof of the Adore model is independent of what a configuration
+// is, provided the R1⁺ relation and the quorum predicate satisfy two
+// assumptions:
+//
+//	REFLEXIVE:  R1⁺(cf, cf)
+//	OVERLAP:    R1⁺(cf, cf') ∧ isQuorum(Q, cf) ∧ isQuorum(Q', cf') ⟹ Q ∩ Q' ≠ ∅
+//
+// This package defines the Config and Scheme interfaces corresponding to the
+// paper's opaque parameters, six concrete instantiations (the four from §6
+// plus two more, matching the artifact's "six examples"), and an executable
+// checker for the two assumptions (CheckAssumptions) that replaces the
+// paper's per-scheme Coq obligations.
+package config
+
+import (
+	"fmt"
+
+	"adore/internal/types"
+)
+
+// Config is the opaque configuration parameter (paper Fig. 7). A Config
+// knows its member set (mbrs) and which supporter sets count as quorums
+// (isQuorum). Implementations must be immutable value types.
+type Config interface {
+	// Members returns mbrs(cf): the replicas participating in the
+	// configuration. Supporter sets are always subsets of Members.
+	Members() types.NodeSet
+
+	// IsQuorum reports isQuorum(q, cf). Callers are expected to pass
+	// q ⊆ Members(); implementations may ignore non-members.
+	IsQuorum(q types.NodeSet) bool
+
+	// Equal reports whether two configurations are identical. Configs of
+	// different schemes are never equal.
+	Equal(other Config) bool
+
+	// Key returns a canonical string representation used for state
+	// hashing by the model explorer. Equal configs have equal keys.
+	Key() string
+
+	// String renders the configuration for humans.
+	String() string
+}
+
+// Scheme bundles a family of configurations with its R1⁺ relation and, for
+// the model explorer, an enumerator of candidate reconfiguration targets.
+// It corresponds to one instantiation of the paper's parameters.
+type Scheme interface {
+	// Name identifies the scheme ("raft-single", "joint", ...).
+	Name() string
+
+	// Initial builds the starting configuration conf₀ over the members.
+	Initial(members types.NodeSet) Config
+
+	// R1Plus reports R1⁺(old, new): whether the scheme permits proposing
+	// new as the immediate successor of old.
+	R1Plus(old, new Config) bool
+
+	// Successors enumerates configurations cf' with R1Plus(cf, cf') that
+	// draw their members from universe. The result is used by the model
+	// explorer to enumerate reconfig operations; it need not be complete
+	// for infinite families but must cover the interesting cases and must
+	// not contain cf itself or configs with empty member sets.
+	Successors(cf Config, universe types.NodeSet) []Config
+}
+
+// Majority reports whether q contains a strict majority of members:
+// |members| < 2·|q ∩ members|. It is the quorum rule shared by several
+// schemes (and by the paper's running examples).
+func Majority(q, members types.NodeSet) bool {
+	return members.Len() < 2*q.IntersectLen(members)
+}
+
+// CheckAssumptions verifies REFLEXIVE and OVERLAP for a scheme over all
+// configurations reachable from Initial(members) within depth reconfiguration
+// steps, drawing members from universe. It enumerates every quorum pair of
+// every R1⁺-related config pair, so it is exponential in |universe|; keep
+// universes at or below ~6 nodes.
+//
+// It returns the number of (cf, cf', Q, Q') cases checked, or an error
+// describing the first violated assumption. This is the executable
+// counterpart of the paper's per-scheme proof obligations (§6).
+func CheckAssumptions(s Scheme, members, universe types.NodeSet, depth int) (int, error) {
+	configs := ReachableConfigs(s, members, universe, depth)
+	cases := 0
+	for _, cf := range configs {
+		if !s.R1Plus(cf, cf) {
+			return cases, fmt.Errorf("scheme %s: REFLEXIVE violated for %s", s.Name(), cf)
+		}
+	}
+	for _, cf := range configs {
+		quorums := Quorums(cf)
+		for _, cf2 := range configs {
+			if !s.R1Plus(cf, cf2) {
+				continue
+			}
+			quorums2 := Quorums(cf2)
+			for _, q := range quorums {
+				for _, q2 := range quorums2 {
+					cases++
+					if !q.Intersects(q2) {
+						return cases, fmt.Errorf(
+							"scheme %s: OVERLAP violated: R1⁺(%s, %s) but quorums %s and %s are disjoint",
+							s.Name(), cf, cf2, q, q2)
+					}
+				}
+			}
+		}
+	}
+	return cases, nil
+}
+
+// ReachableConfigs returns the configurations reachable from Initial(members)
+// in at most depth applications of Successors, deduplicated by Key.
+func ReachableConfigs(s Scheme, members, universe types.NodeSet, depth int) []Config {
+	init := s.Initial(members)
+	seen := map[string]Config{init.Key(): init}
+	frontier := []Config{init}
+	for d := 0; d < depth; d++ {
+		var next []Config
+		for _, cf := range frontier {
+			for _, succ := range s.Successors(cf, universe) {
+				if _, ok := seen[succ.Key()]; !ok {
+					seen[succ.Key()] = succ
+					next = append(next, succ)
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		frontier = next
+	}
+	out := make([]Config, 0, len(seen))
+	for _, cf := range seen {
+		out = append(out, cf)
+	}
+	return out
+}
+
+// Quorums enumerates every quorum of cf (every subset Q ⊆ mbrs(cf) with
+// IsQuorum(Q)). Exponential in |mbrs(cf)|; intended for property checks on
+// small configurations.
+func Quorums(cf Config) []types.NodeSet {
+	var out []types.NodeSet
+	cf.Members().Subsets(func(q types.NodeSet) bool {
+		if cf.IsQuorum(q) {
+			out = append(out, q)
+		}
+		return true
+	})
+	return out
+}

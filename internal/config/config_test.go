@@ -1,0 +1,138 @@
+package config
+
+import (
+	"testing"
+
+	"adore/internal/types"
+)
+
+func TestMajorityHelper(t *testing.T) {
+	members := types.Range(1, 3)
+	cases := []struct {
+		q    types.NodeSet
+		want bool
+	}{
+		{types.NewNodeSet(1, 2), true},
+		{types.NewNodeSet(1), false},
+		{types.NewNodeSet(1, 2, 3), true},
+		{types.NewNodeSet(), false},
+		{types.NewNodeSet(4, 5), false},         // non-members don't count
+		{types.NewNodeSet(1, 4, 5), false},      // one member is not a majority
+		{types.NewNodeSet(1, 2, 4, 5, 6), true}, // extra non-members are harmless
+	}
+	for _, c := range cases {
+		if got := Majority(c.q, members); got != c.want {
+			t.Errorf("Majority(%v, %v) = %v, want %v", c.q, members, got, c.want)
+		}
+	}
+}
+
+func TestQuorumsMajorityOfThree(t *testing.T) {
+	cf := NewMajorityConfig(types.Range(1, 3))
+	qs := Quorums(cf)
+	// Majorities of {1,2,3}: the three 2-subsets and the full set.
+	if len(qs) != 4 {
+		t.Fatalf("got %d quorums, want 4: %v", len(qs), qs)
+	}
+	for _, q := range qs {
+		if q.Len() < 2 {
+			t.Errorf("quorum %v too small", q)
+		}
+	}
+}
+
+func TestReachableConfigsSingleNode(t *testing.T) {
+	universe := types.Range(1, 4)
+	cfgs := ReachableConfigs(RaftSingleNode, types.Range(1, 3), universe, 1)
+	// From {1,2,3}: itself, add 4, remove each of 1..3 → 5 configs.
+	if len(cfgs) != 5 {
+		t.Errorf("got %d reachable configs at depth 1, want 5: %v", len(cfgs), cfgs)
+	}
+}
+
+// TestAllSchemesAssumptions is the executable counterpart of the paper's §6
+// proof obligations: every shipped scheme must satisfy REFLEXIVE and
+// OVERLAP on all configurations reachable within a few reconfigurations.
+func TestAllSchemesAssumptions(t *testing.T) {
+	universe := types.Range(1, 5)
+	start := types.Range(1, 3)
+	for _, s := range AllSchemes() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			depth := 3
+			if s.Name() == "dynamic-quorum" || s.Name() == "unanimous" || s.Name() == "primary-backup" {
+				depth = 2 // branchier successor sets; depth 2 already covers the family
+			}
+			cases, err := CheckAssumptions(s, start, universe, depth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cases == 0 {
+				t.Fatal("no quorum pairs checked; enumeration is broken")
+			}
+			t.Logf("scheme %s: %d quorum-pair cases checked", s.Name(), cases)
+		})
+	}
+}
+
+// TestBrokenSchemeCaught shows CheckAssumptions has teeth: a scheme that
+// allows two-node changes under majority quorums must be rejected.
+func TestBrokenSchemeCaught(t *testing.T) {
+	if _, err := CheckAssumptions(doubleHopScheme{}, types.Range(1, 4), types.Range(1, 6), 1); err == nil {
+		t.Fatal("CheckAssumptions accepted a scheme that permits disjoint quorums")
+	}
+}
+
+// doubleHopScheme deliberately violates OVERLAP: it permits configurations
+// that differ by two nodes, so {S1,S2,S3,S4} → {S1,S2} and → {S3,S4} lead to
+// disjoint majorities.
+type doubleHopScheme struct{}
+
+func (doubleHopScheme) Name() string { return "broken-double-hop" }
+func (doubleHopScheme) Initial(members types.NodeSet) Config {
+	return NewMajorityConfig(members)
+}
+func (doubleHopScheme) R1Plus(old, new Config) bool {
+	o := old.(MajorityConfig)
+	n := new.(MajorityConfig)
+	return o.members.Diff(n.members).Len()+n.members.Diff(o.members).Len() <= 2
+}
+func (doubleHopScheme) Successors(cf Config, universe types.NodeSet) []Config {
+	c := cf.(MajorityConfig)
+	var out []Config
+	universe.Subsets(func(target types.NodeSet) bool {
+		if !target.IsEmpty() && !target.Equal(c.members) &&
+			(doubleHopScheme{}).R1Plus(cf, NewMajorityConfig(target)) {
+			out = append(out, NewMajorityConfig(target))
+		}
+		return true
+	})
+	return out
+}
+
+func TestSchemeByName(t *testing.T) {
+	for _, s := range AllSchemes() {
+		if got := SchemeByName(s.Name()); got == nil || got.Name() != s.Name() {
+			t.Errorf("SchemeByName(%q) = %v", s.Name(), got)
+		}
+	}
+	if SchemeByName("no-such-scheme") != nil {
+		t.Error("SchemeByName of unknown name should be nil")
+	}
+}
+
+func TestConfigKeysCanonical(t *testing.T) {
+	// Equal configs must have equal keys; distinct configs distinct keys.
+	a := NewMajorityConfig(types.NewNodeSet(1, 2))
+	b := NewMajorityConfig(types.NewNodeSet(2, 1))
+	if a.Key() != b.Key() {
+		t.Errorf("equal configs with different keys: %q vs %q", a.Key(), b.Key())
+	}
+	c := NewUnanimousConfig(types.NewNodeSet(1, 2))
+	if a.Key() == c.Key() {
+		t.Errorf("configs of different schemes share key %q", a.Key())
+	}
+	if a.Equal(c) {
+		t.Errorf("cross-scheme configs reported equal")
+	}
+}

@@ -1,0 +1,119 @@
+package config
+
+import (
+	"fmt"
+
+	"adore/internal/types"
+)
+
+// DynamicConfig is the configuration of the dynamic quorum size scheme (§6,
+// "Dynamic Quorum Sizes", in the style of Vertical Paxos): an explicit
+// quorum size q alongside the member set.
+//
+//	Config            ≜ ℕ * Set(ℕ_nid)
+//	isQuorum(S,(q,C)) ≜ q ≤ |S ∩ C|
+type DynamicConfig struct {
+	q       int
+	members types.NodeSet
+}
+
+// NewDynamicConfig builds a configuration with quorum size q over members.
+func NewDynamicConfig(q int, members types.NodeSet) DynamicConfig {
+	return DynamicConfig{q: q, members: members}
+}
+
+// QuorumSize returns the configured quorum size.
+func (c DynamicConfig) QuorumSize() int { return c.q }
+
+// Members implements Config.
+func (c DynamicConfig) Members() types.NodeSet { return c.members }
+
+// IsQuorum implements Config.
+func (c DynamicConfig) IsQuorum(qs types.NodeSet) bool {
+	return c.q <= qs.IntersectLen(c.members)
+}
+
+// Equal implements Config.
+func (c DynamicConfig) Equal(other Config) bool {
+	o, ok := other.(DynamicConfig)
+	return ok && c.q == o.q && c.members.Equal(o.members)
+}
+
+// Key implements Config.
+func (c DynamicConfig) Key() string {
+	return fmt.Sprintf("dyn:%d:%s", c.q, c.members.Key())
+}
+
+// String implements Config.
+func (c DynamicConfig) String() string {
+	return fmt.Sprintf("⟨q=%d,%s⟩", c.q, c.members)
+}
+
+// DynamicQuorumScheme trades reconfiguration speed against fault tolerance
+// by letting quorum sizes change:
+//
+//	R1⁺((q,C),(q',C')) ≜ (C ⊆ C' ∧ |C'| < q + q') ∨ (C' ⊆ C ∧ |C| < q + q')
+//
+// By the pigeonhole principle any q-quorum of the smaller set and q'-quorum
+// of the larger set must share a member when the sizes sum past the larger
+// set's cardinality.
+type DynamicQuorumScheme struct{}
+
+// DynamicQuorum is the canonical instance of the dynamic quorum size scheme.
+var DynamicQuorum Scheme = DynamicQuorumScheme{}
+
+// Name implements Scheme.
+func (DynamicQuorumScheme) Name() string { return "dynamic-quorum" }
+
+// Initial implements Scheme: majority-sized quorums to start.
+func (DynamicQuorumScheme) Initial(members types.NodeSet) Config {
+	return NewDynamicConfig(members.Len()/2+1, members)
+}
+
+// R1Plus implements Scheme.
+func (DynamicQuorumScheme) R1Plus(old, new Config) bool {
+	o, ok := old.(DynamicConfig)
+	if !ok {
+		return false
+	}
+	n, ok := new.(DynamicConfig)
+	if !ok {
+		return false
+	}
+	if o.q < 1 || n.q < 1 {
+		return false
+	}
+	if o.members.SubsetOf(n.members) && n.members.Len() < o.q+n.q {
+		return true
+	}
+	if n.members.SubsetOf(o.members) && o.members.Len() < o.q+n.q {
+		return true
+	}
+	return false
+}
+
+// Successors implements Scheme: every superset/subset of the members drawn
+// from universe, with every quorum size that keeps R1⁺ satisfied and the
+// configuration usable (1 ≤ q' ≤ |C'|).
+func (s DynamicQuorumScheme) Successors(cf Config, universe types.NodeSet) []Config {
+	c, ok := cf.(DynamicConfig)
+	if !ok {
+		return nil
+	}
+	var out []Config
+	universe.Subsets(func(target types.NodeSet) bool {
+		if target.IsEmpty() {
+			return true
+		}
+		// Valid configurations need |C| < 2q (REFLEXIVE: two quorums of
+		// the *same* config must overlap), so start at the majority size.
+		for q := target.Len()/2 + 1; q <= target.Len(); q++ {
+			next := NewDynamicConfig(q, target)
+			if !next.Equal(c) && s.R1Plus(c, next) {
+				out = append(out, next)
+			}
+		}
+		return true
+	})
+	return out
+}

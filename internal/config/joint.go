@@ -1,0 +1,140 @@
+package config
+
+import (
+	"adore/internal/types"
+)
+
+// JointConfig is the configuration of Raft's joint consensus scheme (§6,
+// "Raft Joint Consensus"): an old member set plus an optional incoming set.
+// While the incoming set is present (the "joint" state), quorums require
+// strict majorities of both sets.
+//
+//	Config              ≜ Set(ℕ_nid) * Option(Set(ℕ_nid))
+//	isQuorum(S,(o,n))   ≜ |o| < 2·|S ∩ o| ∧ (n = ⊥ ∨ |n| < 2·|S ∩ n|)
+type JointConfig struct {
+	old   types.NodeSet
+	new   types.NodeSet
+	joint bool // whether the incoming set is present (n ≠ ⊥)
+}
+
+// NewJointConfig builds a stable (non-joint) configuration over members.
+func NewJointConfig(members types.NodeSet) JointConfig {
+	return JointConfig{old: members}
+}
+
+// NewJointTransition builds a joint configuration transitioning from old to
+// incoming.
+func NewJointTransition(old, incoming types.NodeSet) JointConfig {
+	return JointConfig{old: old, new: incoming, joint: true}
+}
+
+// Joint reports whether the configuration is in the joint (transition) state.
+func (c JointConfig) Joint() bool { return c.joint }
+
+// Old returns the outgoing member set.
+func (c JointConfig) Old() types.NodeSet { return c.old }
+
+// Incoming returns the incoming member set; meaningful only when Joint().
+func (c JointConfig) Incoming() types.NodeSet { return c.new }
+
+// Members implements Config: the union of both sets.
+func (c JointConfig) Members() types.NodeSet {
+	if !c.joint {
+		return c.old
+	}
+	return c.old.Union(c.new)
+}
+
+// IsQuorum implements Config: majorities of both sets, not of their union.
+func (c JointConfig) IsQuorum(q types.NodeSet) bool {
+	if !Majority(q, c.old) {
+		return false
+	}
+	return !c.joint || Majority(q, c.new)
+}
+
+// Equal implements Config.
+func (c JointConfig) Equal(other Config) bool {
+	o, ok := other.(JointConfig)
+	return ok && c.joint == o.joint && c.old.Equal(o.old) && (!c.joint || c.new.Equal(o.new))
+}
+
+// Key implements Config.
+func (c JointConfig) Key() string {
+	if !c.joint {
+		return "joint:" + c.old.Key() + ":⊥"
+	}
+	return "joint:" + c.old.Key() + ":" + c.new.Key()
+}
+
+// String implements Config.
+func (c JointConfig) String() string {
+	if !c.joint {
+		return c.old.String()
+	}
+	return c.old.String() + "⋈" + c.new.String()
+}
+
+// JointScheme is Raft's joint consensus reconfiguration:
+//
+//	R1⁺(C,C') ≜ ∃old. (C = (old,⊥) ∧ C' = (old,_)) ∨ ∃new. (C = (_,new) ∧ C' = (new,⊥))
+//
+// That is: a stable configuration may enter a joint state keeping its old
+// set, and a joint configuration may settle into its incoming set.
+type JointScheme struct{}
+
+// RaftJoint is the canonical instance of the joint consensus scheme.
+var RaftJoint Scheme = JointScheme{}
+
+// Name implements Scheme.
+func (JointScheme) Name() string { return "raft-joint" }
+
+// Initial implements Scheme.
+func (JointScheme) Initial(members types.NodeSet) Config { return NewJointConfig(members) }
+
+// R1Plus implements Scheme.
+func (JointScheme) R1Plus(old, new Config) bool {
+	o, ok := old.(JointConfig)
+	if !ok {
+		return false
+	}
+	n, ok := new.(JointConfig)
+	if !ok {
+		return false
+	}
+	if o.Equal(n) {
+		return true // REFLEXIVE
+	}
+	if !o.joint && n.joint && o.old.Equal(n.old) {
+		return true // (old, ⊥) → (old, new)
+	}
+	if o.joint && !n.joint && o.new.Equal(n.old) {
+		return true // (old, new) → (new, ⊥)
+	}
+	return false
+}
+
+// Successors implements Scheme. From a stable configuration it proposes
+// joint transitions to every non-empty subset of universe; from a joint
+// configuration the only move is settling into the incoming set.
+func (JointScheme) Successors(cf Config, universe types.NodeSet) []Config {
+	c, ok := cf.(JointConfig)
+	if !ok {
+		return nil
+	}
+	var out []Config
+	if c.joint {
+		settled := NewJointConfig(c.new)
+		if !settled.Equal(c) {
+			out = append(out, settled)
+		}
+		return out
+	}
+	universe.Subsets(func(target types.NodeSet) bool {
+		if !target.IsEmpty() && !target.Equal(c.old) {
+			out = append(out, NewJointTransition(c.old, target))
+		}
+		return true
+	})
+	return out
+}

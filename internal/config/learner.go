@@ -1,0 +1,124 @@
+package config
+
+import (
+	"adore/internal/types"
+)
+
+// LearnerConfig is the second extra scheme: Raft single-node voting changes
+// plus freely reconfigurable non-voting learners (as in etcd). Learners
+// receive replicated data but never count toward quorums, so adding or
+// removing them cannot affect safety; voters change one at a time exactly as
+// in the single-node scheme.
+//
+//	Config               ≜ Set(ℕ_nid) * Set(ℕ_nid)        (voters, learners)
+//	isQuorum(S,(V,_))    ≜ |V| < 2·|S ∩ V|
+type LearnerConfig struct {
+	voters   types.NodeSet
+	learners types.NodeSet
+}
+
+// NewLearnerConfig builds a configuration with the given voters and
+// learners. Overlapping IDs are treated as voters.
+func NewLearnerConfig(voters, learners types.NodeSet) LearnerConfig {
+	return LearnerConfig{voters: voters, learners: learners.Diff(voters)}
+}
+
+// Voters returns the voting member set.
+func (c LearnerConfig) Voters() types.NodeSet { return c.voters }
+
+// Learners returns the non-voting member set.
+func (c LearnerConfig) Learners() types.NodeSet { return c.learners }
+
+// Members implements Config: voters and learners both receive traffic.
+func (c LearnerConfig) Members() types.NodeSet { return c.voters.Union(c.learners) }
+
+// IsQuorum implements Config: strict majority of voters only.
+func (c LearnerConfig) IsQuorum(q types.NodeSet) bool { return Majority(q, c.voters) }
+
+// Equal implements Config.
+func (c LearnerConfig) Equal(other Config) bool {
+	o, ok := other.(LearnerConfig)
+	return ok && c.voters.Equal(o.voters) && c.learners.Equal(o.learners)
+}
+
+// Key implements Config.
+func (c LearnerConfig) Key() string {
+	return "lrn:" + c.voters.Key() + ":" + c.learners.Key()
+}
+
+// String implements Config.
+func (c LearnerConfig) String() string {
+	return c.voters.String() + "+L" + c.learners.String()
+}
+
+// LearnerScheme changes voters one node at a time (single-node rule) and
+// learners arbitrarily:
+//
+//	R1⁺((V,L),(V',L')) ≜ V = V' ∨ ∃s. V = V' ∪ {s} ∨ V' = V ∪ {s}
+//
+// OVERLAP reduces to the single-node argument because quorums ignore
+// learners entirely.
+type LearnerScheme struct{}
+
+// Learners is the canonical instance of the learner scheme.
+var Learners Scheme = LearnerScheme{}
+
+// Name implements Scheme.
+func (LearnerScheme) Name() string { return "learners" }
+
+// Initial implements Scheme: all members start as voters.
+func (LearnerScheme) Initial(members types.NodeSet) Config {
+	return NewLearnerConfig(members, types.NodeSet{})
+}
+
+// R1Plus implements Scheme.
+func (LearnerScheme) R1Plus(old, new Config) bool {
+	o, ok := old.(LearnerConfig)
+	if !ok {
+		return false
+	}
+	n, ok := new.(LearnerConfig)
+	if !ok {
+		return false
+	}
+	return SingleNodeScheme{}.R1Plus(NewMajorityConfig(o.voters), NewMajorityConfig(n.voters))
+}
+
+// Successors implements Scheme: single-node voter changes crossed with
+// learner promotion/demotion/addition/removal of one node at a time (the
+// enumeration is deliberately bounded; R1⁺ itself permits arbitrary learner
+// changes).
+func (LearnerScheme) Successors(cf Config, universe types.NodeSet) []Config {
+	c, ok := cf.(LearnerConfig)
+	if !ok {
+		return nil
+	}
+	var out []Config
+	add := func(next LearnerConfig) {
+		if !next.Equal(c) {
+			out = append(out, next)
+		}
+	}
+	outside := universe.Diff(c.Members())
+	// Voter changes (single-node rule).
+	for _, id := range outside.Slice() {
+		add(NewLearnerConfig(c.voters.Add(id), c.learners))
+	}
+	for _, id := range c.learners.Slice() {
+		add(NewLearnerConfig(c.voters.Add(id), c.learners.Remove(id))) // promote
+	}
+	if c.voters.Len() > 1 {
+		for _, id := range c.voters.Slice() {
+			add(NewLearnerConfig(c.voters.Remove(id), c.learners))         // remove voter
+			add(NewLearnerConfig(c.voters.Remove(id), c.learners.Add(id))) // demote
+		}
+	}
+	// Learner-only changes (voters constant).
+	for _, id := range outside.Slice() {
+		add(NewLearnerConfig(c.voters, c.learners.Add(id)))
+	}
+	for _, id := range c.learners.Slice() {
+		add(NewLearnerConfig(c.voters, c.learners.Remove(id)))
+	}
+	return out
+}

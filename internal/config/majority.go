@@ -1,0 +1,96 @@
+package config
+
+import (
+	"adore/internal/types"
+)
+
+// MajorityConfig is the configuration of the Raft single-node scheme (§6,
+// "Raft Single-Node"): a plain set of replicas with strict-majority quorums.
+//
+//	Config        ≜ Set(ℕ_nid)
+//	isQuorum(S,C) ≜ |C| < 2·|S ∩ C|
+type MajorityConfig struct {
+	members types.NodeSet
+}
+
+// NewMajorityConfig builds a majority-quorum configuration over the members.
+func NewMajorityConfig(members types.NodeSet) MajorityConfig {
+	return MajorityConfig{members: members}
+}
+
+// Members implements Config.
+func (c MajorityConfig) Members() types.NodeSet { return c.members }
+
+// IsQuorum implements Config with the strict-majority rule.
+func (c MajorityConfig) IsQuorum(q types.NodeSet) bool { return Majority(q, c.members) }
+
+// Equal implements Config.
+func (c MajorityConfig) Equal(other Config) bool {
+	o, ok := other.(MajorityConfig)
+	return ok && c.members.Equal(o.members)
+}
+
+// Key implements Config.
+func (c MajorityConfig) Key() string { return "maj:" + c.members.Key() }
+
+// String implements Config.
+func (c MajorityConfig) String() string { return c.members.String() }
+
+// SingleNodeScheme is Raft's single-node membership change algorithm: a new
+// configuration may add or remove at most one replica.
+//
+//	R1⁺(C,C') ≜ C = C' ∨ ∃s. C = C' ∪ {s} ∨ C' = C ∪ {s}
+type SingleNodeScheme struct{}
+
+// RaftSingleNode is the canonical instance of the single-node scheme.
+var RaftSingleNode Scheme = SingleNodeScheme{}
+
+// Name implements Scheme.
+func (SingleNodeScheme) Name() string { return "raft-single" }
+
+// Initial implements Scheme.
+func (SingleNodeScheme) Initial(members types.NodeSet) Config {
+	return NewMajorityConfig(members)
+}
+
+// R1Plus implements Scheme: configurations may differ by at most one node.
+func (SingleNodeScheme) R1Plus(old, new Config) bool {
+	o, ok := old.(MajorityConfig)
+	if !ok {
+		return false
+	}
+	n, ok := new.(MajorityConfig)
+	if !ok {
+		return false
+	}
+	a, b := o.members, n.members
+	if a.Equal(b) {
+		return true
+	}
+	if a.Len() == b.Len()+1 && b.SubsetOf(a) {
+		return true // removal of one node
+	}
+	if b.Len() == a.Len()+1 && a.SubsetOf(b) {
+		return true // addition of one node
+	}
+	return false
+}
+
+// Successors implements Scheme: every single-node addition from universe and
+// every single-node removal that leaves the configuration non-empty.
+func (SingleNodeScheme) Successors(cf Config, universe types.NodeSet) []Config {
+	c, ok := cf.(MajorityConfig)
+	if !ok {
+		return nil
+	}
+	var out []Config
+	for _, id := range universe.Diff(c.members).Slice() {
+		out = append(out, NewMajorityConfig(c.members.Add(id)))
+	}
+	if c.members.Len() > 1 {
+		for _, id := range c.members.Slice() {
+			out = append(out, NewMajorityConfig(c.members.Remove(id)))
+		}
+	}
+	return out
+}

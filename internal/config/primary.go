@@ -1,0 +1,106 @@
+package config
+
+import (
+	"adore/internal/types"
+)
+
+// PrimaryConfig is the configuration of the primary-backup scheme (§6,
+// "Primary Backup", in the style of Chain Replication): one distinguished
+// primary plus a set of passive backups. A quorum is any supporter set
+// containing the primary, so backups can change arbitrarily.
+//
+//	Config             ≜ ℕ_nid * Set(ℕ_nid)
+//	isQuorum(S,(P,_))  ≜ P ∈ S
+type PrimaryConfig struct {
+	primary types.NodeID
+	backups types.NodeSet
+}
+
+// NewPrimaryConfig builds a primary-backup configuration.
+func NewPrimaryConfig(primary types.NodeID, backups types.NodeSet) PrimaryConfig {
+	return PrimaryConfig{primary: primary, backups: backups.Remove(primary)}
+}
+
+// Primary returns the distinguished primary replica.
+func (c PrimaryConfig) Primary() types.NodeID { return c.primary }
+
+// Backups returns the passive backup set.
+func (c PrimaryConfig) Backups() types.NodeSet { return c.backups }
+
+// Members implements Config.
+func (c PrimaryConfig) Members() types.NodeSet { return c.backups.Add(c.primary) }
+
+// IsQuorum implements Config: any set containing the primary.
+func (c PrimaryConfig) IsQuorum(q types.NodeSet) bool { return q.Contains(c.primary) }
+
+// Equal implements Config.
+func (c PrimaryConfig) Equal(other Config) bool {
+	o, ok := other.(PrimaryConfig)
+	return ok && c.primary == o.primary && c.backups.Equal(o.backups)
+}
+
+// Key implements Config.
+func (c PrimaryConfig) Key() string {
+	return "prim:" + c.primary.String() + ":" + c.backups.Key()
+}
+
+// String implements Config.
+func (c PrimaryConfig) String() string {
+	return c.primary.String() + "*+" + c.backups.String()
+}
+
+// PrimaryBackupScheme allows arbitrary backup changes but never changes the
+// primary:
+//
+//	R1⁺((P,_),(P',_)) ≜ P = P'
+//
+// All quorums contain the (constant) primary, so OVERLAP is immediate. The
+// paper notes the liveness limitation (a crashed primary blocks progress)
+// and suggests layering a primary-set manager on top; that composition is
+// demonstrated in the examples.
+type PrimaryBackupScheme struct{}
+
+// PrimaryBackup is the canonical instance of the primary-backup scheme.
+var PrimaryBackup Scheme = PrimaryBackupScheme{}
+
+// Name implements Scheme.
+func (PrimaryBackupScheme) Name() string { return "primary-backup" }
+
+// Initial implements Scheme: the smallest member becomes the primary.
+func (PrimaryBackupScheme) Initial(members types.NodeSet) Config {
+	ids := members.Slice()
+	if len(ids) == 0 {
+		return NewPrimaryConfig(types.NoNode, types.NodeSet{})
+	}
+	return NewPrimaryConfig(ids[0], members)
+}
+
+// R1Plus implements Scheme: the primary must not change.
+func (PrimaryBackupScheme) R1Plus(old, new Config) bool {
+	o, ok := old.(PrimaryConfig)
+	if !ok {
+		return false
+	}
+	n, ok := new.(PrimaryConfig)
+	if !ok {
+		return false
+	}
+	return o.primary == n.primary
+}
+
+// Successors implements Scheme: every backup set drawn from universe.
+func (PrimaryBackupScheme) Successors(cf Config, universe types.NodeSet) []Config {
+	c, ok := cf.(PrimaryConfig)
+	if !ok {
+		return nil
+	}
+	var out []Config
+	universe.Remove(c.primary).Subsets(func(backups types.NodeSet) bool {
+		next := NewPrimaryConfig(c.primary, backups)
+		if !next.Equal(c) {
+			out = append(out, next)
+		}
+		return true
+	})
+	return out
+}

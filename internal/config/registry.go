@@ -1,0 +1,26 @@
+package config
+
+// AllSchemes lists every reconfiguration scheme shipped with the repository,
+// mirroring the six examples in the paper's artifact (§7: the four from §6
+// plus two others). The model checker, benchmarks, and the scheme property
+// report iterate over this list.
+func AllSchemes() []Scheme {
+	return []Scheme{
+		RaftSingleNode,
+		RaftJoint,
+		PrimaryBackup,
+		DynamicQuorum,
+		Unanimous,
+		Learners,
+	}
+}
+
+// SchemeByName returns the shipped scheme with the given Name, or nil.
+func SchemeByName(name string) Scheme {
+	for _, s := range AllSchemes() {
+		if s.Name() == name {
+			return s
+		}
+	}
+	return nil
+}

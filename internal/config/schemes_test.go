@@ -1,0 +1,249 @@
+package config
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adore/internal/types"
+)
+
+func TestSingleNodeR1Plus(t *testing.T) {
+	c123 := NewMajorityConfig(types.Range(1, 3))
+	c1234 := NewMajorityConfig(types.Range(1, 4))
+	c12 := NewMajorityConfig(types.Range(1, 2))
+	c124 := NewMajorityConfig(types.NewNodeSet(1, 2, 4))
+	s := RaftSingleNode
+	if !s.R1Plus(c123, c123) {
+		t.Error("R1+ not reflexive")
+	}
+	if !s.R1Plus(c123, c1234) || !s.R1Plus(c1234, c123) {
+		t.Error("single addition/removal rejected")
+	}
+	if !s.R1Plus(c123, c12) {
+		t.Error("single removal rejected")
+	}
+	if s.R1Plus(c1234, c12) {
+		t.Error("two-node removal accepted")
+	}
+	if !s.R1Plus(c12, c124) {
+		t.Error("{1,2} → {1,2,4} is a single addition and must be accepted")
+	}
+	if s.R1Plus(c123, c124) {
+		// {1,2,3} → {1,2,4} swaps a node: a two-node difference.
+		t.Error("node swap accepted; Fig. 4's bug relies on rejecting this")
+	}
+}
+
+func TestJointQuorum(t *testing.T) {
+	old := types.Range(1, 3)
+	incoming := types.Range(3, 5)
+	joint := NewJointTransition(old, incoming)
+	// {1,2,3,4} holds majorities of both {1,2,3} and {3,4,5}.
+	if !joint.IsQuorum(types.NewNodeSet(1, 2, 3, 4)) {
+		t.Error("valid joint quorum rejected")
+	}
+	// {1,2} is a majority of old only.
+	if joint.IsQuorum(types.NewNodeSet(1, 2)) {
+		t.Error("old-only majority accepted in joint state")
+	}
+	// {3,4,5} is a majority of both ({3} is not a majority of {1,2,3}...).
+	if joint.IsQuorum(types.NewNodeSet(4, 5)) {
+		t.Error("incoming-only majority accepted in joint state")
+	}
+	if !joint.IsQuorum(types.NewNodeSet(2, 3, 4)) {
+		t.Error("{2,3,4} is a majority of both sets and must be a quorum")
+	}
+	stable := NewJointConfig(old)
+	if !stable.IsQuorum(types.NewNodeSet(1, 2)) {
+		t.Error("stable config must use plain majority")
+	}
+}
+
+func TestJointR1PlusTransitions(t *testing.T) {
+	s := RaftJoint
+	old := types.Range(1, 3)
+	incoming := types.Range(3, 5)
+	stable := NewJointConfig(old)
+	joint := NewJointTransition(old, incoming)
+	settled := NewJointConfig(incoming)
+	if !s.R1Plus(stable, joint) {
+		t.Error("stable → joint rejected")
+	}
+	if !s.R1Plus(joint, settled) {
+		t.Error("joint → settled rejected")
+	}
+	if s.R1Plus(stable, settled) {
+		t.Error("stable → settled skips the joint state and must be rejected")
+	}
+	if s.R1Plus(joint, NewJointConfig(old)) {
+		t.Error("joint may only settle into the incoming set")
+	}
+	if !s.R1Plus(joint, joint) || !s.R1Plus(stable, stable) {
+		t.Error("R1+ not reflexive")
+	}
+}
+
+func TestPrimaryBackup(t *testing.T) {
+	cf := NewPrimaryConfig(1, types.Range(2, 4))
+	if !cf.IsQuorum(types.NewNodeSet(1)) {
+		t.Error("primary alone must be a quorum")
+	}
+	if cf.IsQuorum(types.Range(2, 4)) {
+		t.Error("backups without the primary must not be a quorum")
+	}
+	s := PrimaryBackup
+	other := NewPrimaryConfig(1, types.NewNodeSet(7, 8))
+	if !s.R1Plus(cf, other) {
+		t.Error("backup-only change rejected")
+	}
+	if s.R1Plus(cf, NewPrimaryConfig(2, types.Range(3, 4))) {
+		t.Error("primary change accepted")
+	}
+	if got := NewPrimaryConfig(1, types.Range(1, 3)); got.Backups().Contains(1) {
+		t.Error("primary leaked into backups")
+	}
+}
+
+func TestDynamicQuorum(t *testing.T) {
+	cf := NewDynamicConfig(3, types.Range(1, 4))
+	if !cf.IsQuorum(types.NewNodeSet(1, 2, 3)) {
+		t.Error("3-subset rejected with q=3")
+	}
+	if cf.IsQuorum(types.NewNodeSet(1, 2)) {
+		t.Error("2-subset accepted with q=3")
+	}
+	s := DynamicQuorum
+	// Growing {1,2,3,4} (q=3) to {1..6} needs q' with 6 < 3+q', so q' ≥ 4.
+	grown := NewDynamicConfig(4, types.Range(1, 6))
+	if !s.R1Plus(cf, grown) {
+		t.Error("valid growth rejected")
+	}
+	tooSmall := NewDynamicConfig(3, types.Range(1, 6))
+	if s.R1Plus(cf, tooSmall) {
+		t.Error("growth with insufficient quorum size accepted")
+	}
+	// Incomparable member sets are never R1⁺-related.
+	if s.R1Plus(cf, NewDynamicConfig(4, types.NewNodeSet(1, 2, 5))) {
+		t.Error("incomparable member sets accepted")
+	}
+	if s.R1Plus(cf, NewDynamicConfig(0, types.Range(1, 4))) {
+		t.Error("q=0 accepted; empty quorums break OVERLAP")
+	}
+}
+
+func TestUnanimous(t *testing.T) {
+	cf := NewUnanimousConfig(types.Range(1, 3))
+	if !cf.IsQuorum(types.Range(1, 3)) {
+		t.Error("full set rejected")
+	}
+	if cf.IsQuorum(types.Range(1, 2)) {
+		t.Error("partial set accepted under unanimity")
+	}
+	if NewUnanimousConfig(types.NodeSet{}).IsQuorum(types.NodeSet{}) {
+		t.Error("empty config must have no quorums")
+	}
+	s := Unanimous
+	if !s.R1Plus(cf, NewUnanimousConfig(types.NewNodeSet(3, 7, 8, 9))) {
+		t.Error("overlapping replacement rejected")
+	}
+	if s.R1Plus(cf, NewUnanimousConfig(types.NewNodeSet(7, 8))) {
+		t.Error("disjoint replacement accepted")
+	}
+}
+
+func TestLearners(t *testing.T) {
+	cf := NewLearnerConfig(types.Range(1, 3), types.NewNodeSet(4, 5))
+	if !cf.IsQuorum(types.NewNodeSet(1, 2)) {
+		t.Error("voter majority rejected")
+	}
+	if cf.IsQuorum(types.NewNodeSet(1, 4, 5)) {
+		t.Error("learners counted toward quorum")
+	}
+	if !cf.Members().Equal(types.Range(1, 5)) {
+		t.Error("members must include learners")
+	}
+	s := Learners
+	// Learner changes are free.
+	if !s.R1Plus(cf, NewLearnerConfig(types.Range(1, 3), types.NewNodeSet(6, 7, 8))) {
+		t.Error("arbitrary learner change rejected")
+	}
+	// Voter changes follow the single-node rule.
+	if s.R1Plus(cf, NewLearnerConfig(types.NewNodeSet(1, 4, 5), types.NodeSet{})) {
+		t.Error("multi-voter change accepted")
+	}
+	if !s.R1Plus(cf, NewLearnerConfig(types.Range(1, 4), types.NewNodeSet(5))) {
+		t.Error("learner promotion (single voter addition) rejected")
+	}
+	overlap := NewLearnerConfig(types.Range(1, 3), types.Range(1, 5))
+	if overlap.Learners().Intersects(overlap.Voters()) {
+		t.Error("voters leaked into learners")
+	}
+}
+
+func TestSuccessorsAreR1Related(t *testing.T) {
+	universe := types.Range(1, 5)
+	for _, s := range AllSchemes() {
+		cf := s.Initial(types.Range(1, 3))
+		succs := s.Successors(cf, universe)
+		if len(succs) == 0 {
+			t.Errorf("scheme %s: no successors from initial config", s.Name())
+		}
+		for _, succ := range succs {
+			if !s.R1Plus(cf, succ) {
+				t.Errorf("scheme %s: successor %s not R1⁺-related to %s", s.Name(), succ, cf)
+			}
+			if succ.Equal(cf) {
+				t.Errorf("scheme %s: successor equals the current config", s.Name())
+			}
+			if succ.Members().IsEmpty() {
+				t.Errorf("scheme %s: empty successor config", s.Name())
+			}
+		}
+	}
+}
+
+// TestQuickQuorumsAreQuorums cross-checks the Quorums enumerator against
+// IsQuorum on random configurations.
+func TestQuickQuorumsAreQuorums(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(4) + 1
+		ids := make([]types.NodeID, n)
+		for i := range ids {
+			ids[i] = types.NodeID(r.Intn(6) + 1)
+		}
+		cf := NewMajorityConfig(types.NewNodeSet(ids...))
+		for _, q := range Quorums(cf) {
+			if !cf.IsQuorum(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMajorityOverlap is the classic pigeonhole fact used throughout
+// the paper: two majorities of the same set always intersect.
+func TestQuickMajorityOverlap(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		members := types.Range(1, types.NodeID(r.Intn(5)+1))
+		cf := NewMajorityConfig(members)
+		qs := Quorums(cf)
+		for _, a := range qs {
+			for _, b := range qs {
+				if !a.Intersects(b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package config
+
+import (
+	"adore/internal/types"
+)
+
+// UnanimousConfig is one of the two extra schemes beyond §6 (the artifact
+// ships six in total): quorums are unanimous, so any two configurations that
+// share even a single member have overlapping quorums. This is the extreme
+// point of the dynamic-quorum trade-off: maximal reconfiguration freedom,
+// minimal fault tolerance.
+//
+//	Config        ≜ Set(ℕ_nid)
+//	isQuorum(S,C) ≜ C ⊆ S
+type UnanimousConfig struct {
+	members types.NodeSet
+}
+
+// NewUnanimousConfig builds a unanimous-quorum configuration.
+func NewUnanimousConfig(members types.NodeSet) UnanimousConfig {
+	return UnanimousConfig{members: members}
+}
+
+// Members implements Config.
+func (c UnanimousConfig) Members() types.NodeSet { return c.members }
+
+// IsQuorum implements Config: all members must support.
+func (c UnanimousConfig) IsQuorum(q types.NodeSet) bool {
+	return !c.members.IsEmpty() && c.members.SubsetOf(q)
+}
+
+// Equal implements Config.
+func (c UnanimousConfig) Equal(other Config) bool {
+	o, ok := other.(UnanimousConfig)
+	return ok && c.members.Equal(o.members)
+}
+
+// Key implements Config.
+func (c UnanimousConfig) Key() string { return "unan:" + c.members.Key() }
+
+// String implements Config.
+func (c UnanimousConfig) String() string { return "∀" + c.members.String() }
+
+// UnanimousScheme permits any reconfiguration that keeps at least one shared
+// member:
+//
+//	R1⁺(C,C') ≜ C ∩ C' ≠ ∅
+//
+// Since every quorum is the entire member set, overlapping member sets imply
+// overlapping quorums.
+type UnanimousScheme struct{}
+
+// Unanimous is the canonical instance of the unanimous-quorum scheme.
+var Unanimous Scheme = UnanimousScheme{}
+
+// Name implements Scheme.
+func (UnanimousScheme) Name() string { return "unanimous" }
+
+// Initial implements Scheme.
+func (UnanimousScheme) Initial(members types.NodeSet) Config {
+	return NewUnanimousConfig(members)
+}
+
+// R1Plus implements Scheme.
+func (UnanimousScheme) R1Plus(old, new Config) bool {
+	o, ok := old.(UnanimousConfig)
+	if !ok {
+		return false
+	}
+	n, ok := new.(UnanimousConfig)
+	if !ok {
+		return false
+	}
+	return o.members.Intersects(n.members)
+}
+
+// Successors implements Scheme: every non-empty subset of universe that
+// intersects the current members.
+func (UnanimousScheme) Successors(cf Config, universe types.NodeSet) []Config {
+	c, ok := cf.(UnanimousConfig)
+	if !ok {
+		return nil
+	}
+	var out []Config
+	universe.Subsets(func(target types.NodeSet) bool {
+		if !target.IsEmpty() && target.Intersects(c.members) && !target.Equal(c.members) {
+			out = append(out, NewUnanimousConfig(target))
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,146 @@
+// Package core implements the Adore model (paper §3): a protocol-level
+// abstraction of reconfigurable consensus whose state is a single cache tree
+// plus a map of per-replica logical times, and whose interface is four
+// atomic operations — pull, invoke, reconfig, and push.
+//
+// The nondeterministic oracles 𝕆_pull and 𝕆_push of the paper become
+// explicit choice arguments (PullChoice, PushChoice) that each operation
+// validates against the paper's valid-oracle rules (Fig. 27). A rejected
+// choice corresponds to an oracle that could never return it; a choice whose
+// quorum test fails corresponds to the oracle's non-quorum outcome (state
+// changes only in the time map). Random simulation draws choices from
+// Oracle; the model explorer enumerates every valid choice.
+//
+// Removing reconfiguration (Rules.AllowReconfig = false) yields the CADO
+// model; see package cado.
+package core
+
+import (
+	"fmt"
+
+	"adore/internal/config"
+	"adore/internal/types"
+)
+
+// Kind distinguishes the four cache variants of Fig. 6.
+type Kind uint8
+
+const (
+	// KindE marks an ECache: a successful election (pull).
+	KindE Kind = iota
+	// KindM marks an MCache: an invoked, possibly uncommitted method.
+	KindM
+	// KindR marks an RCache: a proposed configuration change. Its Conf
+	// field holds the NEW configuration, which descendants inherit.
+	KindR
+	// KindC marks a CCache: a successful commit (push). Everything above
+	// a CCache on its branch is committed.
+	KindC
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindE:
+		return "E"
+	case KindM:
+		return "M"
+	case KindR:
+		return "R"
+	case KindC:
+		return "C"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Cache is one node of the cache tree (Fig. 6). Caches are immutable once
+// inserted; the tree only ever grows (push re-parents children but never
+// rewrites cache contents).
+type Cache struct {
+	// ID is the cache's unique identifier; Parent is its parent's ID
+	// (types.NoCID for the root).
+	ID     types.CID
+	Parent types.CID
+
+	// Kind selects the variant.
+	Kind Kind
+
+	// Caller is the replica whose operation created the cache (caller).
+	// The root has Caller == types.NoNode.
+	Caller types.NodeID
+
+	// Time and Vrsn are the logical timestamp (ballot/term) and the
+	// per-term version number.
+	Time types.Time
+	Vrsn types.Vrsn
+
+	// Supp is the supporter set for ECaches and CCaches (the replicas
+	// that voted/acked). For MCaches and RCaches use Supporters(), which
+	// returns the singleton caller set.
+	Supp types.NodeSet
+
+	// Method is the invoked method for MCaches.
+	Method types.MethodID
+
+	// Conf is the configuration under which the cache was created; for
+	// RCaches it is the NEW configuration (which descendants inherit).
+	Conf config.Config
+}
+
+// Stamp returns the cache's (time, version) pair.
+func (c *Cache) Stamp() types.Stamp { return types.Stamp{Time: c.Time, Vrsn: c.Vrsn} }
+
+// Supporters returns supporters(C): the voter set for ECaches/CCaches and
+// the singleton caller for MCaches/RCaches (Fig. 9's convention).
+func (c *Cache) Supporters() types.NodeSet {
+	switch c.Kind {
+	case KindE, KindC:
+		return c.Supp
+	default:
+		return types.NewNodeSet(c.Caller)
+	}
+}
+
+// Greater implements the strict order > on caches (Fig. 9): lexicographic
+// on (time, vrsn), except that a CCache with the same stamp as a non-CCache
+// is considered greater (this makes > total on the caches of any reachable
+// state).
+func (c *Cache) Greater(d *Cache) bool {
+	switch c.Stamp().Compare(d.Stamp()) {
+	case 1:
+		return true
+	case -1:
+		return false
+	default:
+		return c.Kind == KindC && d.Kind != KindC
+	}
+}
+
+// GreaterEq reports c > d ∨ c ≈ d (same stamp and same CCache-ness).
+func (c *Cache) GreaterEq(d *Cache) bool { return !d.Greater(c) }
+
+// IsCommand reports whether the cache is an MCache or RCache — the variants
+// that correspond to log entries and that push may target.
+func (c *Cache) IsCommand() bool { return c.Kind == KindM || c.Kind == KindR }
+
+// String renders the cache for diagnostics, e.g. "M3⟨S1@2.1 cfg={S1,S2,S3}⟩".
+func (c *Cache) String() string {
+	var payload string
+	switch c.Kind {
+	case KindM:
+		payload = c.Method.String()
+	case KindE, KindC:
+		payload = c.Supp.String()
+	case KindR:
+		payload = "→" + c.Conf.String()
+	}
+	return fmt.Sprintf("%s%d⟨%s %s@%s cfg=%s⟩", c.Kind, c.ID, payload, c.Caller, c.Stamp(), c.Conf)
+}
+
+// contentSig is the cache's content signature, excluding identity (ID,
+// Parent). It feeds the canonical tree key used for state deduplication.
+func (c *Cache) contentSig() string {
+	return fmt.Sprintf("%s|%d|%d.%d|%s|%d|%s",
+		c.Kind, c.Caller, c.Time, c.Vrsn, c.Supp.Key(), c.Method, c.Conf.Key())
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+
+	"adore/internal/config"
+	"adore/internal/types"
+)
+
+// This file implements the §8 "Alternative Reconfiguration Algorithms"
+// extension the paper sketches: Lamport et al.'s reconfiguration-by-
+// committed-command, where — unlike the hot algorithms Adore targets —
+//
+//  1. a new configuration takes effect only once its RCache is COMMITTED
+//     (descendants keep using the previous committed configuration until
+//     then), and
+//  2. a leader may not extend an active branch that already carries α
+//     uncommitted caches (the pipeline bound that lets instance i+α
+//     proceed while i commits).
+//
+// The paper: "The first required change is to wait until a configuration
+// is committed to begin using it... The other is to block new methods from
+// being invoked on an active branch that has α uncommitted caches."
+//
+// Enable with Rules.DeferredConfig / Rules.Alpha (see DeferredRules).
+
+// ErrAlphaBlocked rejects invoke/reconfig on a branch whose uncommitted
+// suffix has reached the α bound.
+var ErrAlphaBlocked = errors.New("core: active branch has α uncommitted caches; commit first")
+
+// DeferredRules configures the Lamport-style algorithm: configurations
+// activate on commit and the uncommitted pipeline is bounded by alpha
+// (alpha ≤ 0 means unbounded). R3 is unnecessary in this mode — the
+// circularity it breaks cannot arise when uncommitted configurations are
+// inert — but R1⁺ and R2 are kept.
+func DeferredRules(alpha int) Rules {
+	return Rules{
+		AllowReconfig:  true,
+		R1:             true,
+		R2:             true,
+		DeferredConfig: true,
+		Alpha:          alpha,
+	}
+}
+
+// ConfAt returns the configuration in effect at cache c. In the default
+// (hot) mode this is simply c.Conf — an RCache's new configuration applies
+// the moment it enters the tree and is inherited by its descendants. In
+// deferred mode it is the configuration of the deepest COMMITTED RCache on
+// the branch from the root to c (an RCache is committed here when a CCache
+// lies below it on this same branch), falling back to conf₀.
+func (s *State) ConfAt(c *Cache) config.Config {
+	if !s.Rules.DeferredConfig {
+		return c.Conf
+	}
+	// PathToRoot is leaf-first: remember whether we have already passed a
+	// CCache on the way up; the first RCache encountered after that is
+	// the deepest committed one.
+	sawCommit := false
+	for _, anc := range s.Tree.PathToRoot(c.ID) {
+		switch anc.Kind {
+		case KindC:
+			sawCommit = true
+		case KindR:
+			if sawCommit {
+				return anc.Conf
+			}
+		}
+	}
+	return s.Tree.Root().Conf
+}
+
+// uncommittedSuffixLen counts the caches on the branch from the root to c
+// that come after the last CCache (the "uncommitted caches" of the α rule).
+// ECaches do not count: they are metadata, not pipeline slots.
+func (s *State) uncommittedSuffixLen(c *Cache) int {
+	n := 0
+	for _, anc := range s.Tree.PathToRoot(c.ID) {
+		if anc.Kind == KindC {
+			break
+		}
+		if anc.IsCommand() {
+			n++
+		}
+	}
+	return n
+}
+
+// alphaAllows reports whether the α bound permits extending the branch at
+// the active cache ca.
+func (s *State) alphaAllows(ca *Cache) bool {
+	if s.Rules.Alpha <= 0 {
+		return true
+	}
+	return s.uncommittedSuffixLen(ca) < s.Rules.Alpha
+}
+
+// CanInvoke reports whether an Invoke by nid would currently succeed
+// (leadership and, in deferred mode, the α bound). The model explorer uses
+// it to enumerate enabled transitions.
+func (s *State) CanInvoke(nid types.NodeID) error {
+	ca, err := s.requireActiveLeader(nid)
+	if err != nil {
+		return err
+	}
+	if !s.alphaAllows(ca) {
+		return ErrAlphaBlocked
+	}
+	return nil
+}

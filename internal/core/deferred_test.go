@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"adore/internal/config"
+	"adore/internal/types"
+)
+
+func newDeferredState(alpha int) *State {
+	return NewState(config.RaftSingleNode, types.Range(1, 3), DeferredRules(alpha))
+}
+
+func TestDeferredRulesPreset(t *testing.T) {
+	r := DeferredRules(4)
+	if !r.AllowReconfig || !r.R1 || !r.R2 || r.R3 || !r.DeferredConfig || r.Alpha != 4 {
+		t.Errorf("DeferredRules = %+v", r)
+	}
+}
+
+// TestDeferredConfigActivatesOnCommit is the heart of the variant: an
+// uncommitted RCache is inert — elections and commits keep using the old
+// configuration — and activates the moment it commits.
+func TestDeferredConfigActivatesOnCommit(t *testing.T) {
+	s := newDeferredState(0)
+	old := config.NewMajorityConfig(types.Range(1, 3))
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	// No R3 in deferred mode: reconfig is legal immediately.
+	bigger := config.NewMajorityConfig(types.Range(1, 4))
+	rc, err := s.Reconfig(1, bigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The effective config at the RCache is STILL the old one.
+	if got := s.ConfAt(rc); !got.Equal(old) {
+		t.Fatalf("effective config at uncommitted RCache = %s, want %s", got, old)
+	}
+	// Methods invoked after it also run under the old config.
+	m, err := s.Invoke(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Conf.Equal(old) {
+		t.Fatalf("MCache conf = %s, want old config", m.Conf)
+	}
+	// A push targeting the method needs a quorum of the OLD config and
+	// may not include S4.
+	if _, err := s.Push(1, PushChoice{Q: types.NewNodeSet(1, 4), CM: m.ID}); !errors.Is(err, ErrBadSupporters) {
+		t.Fatalf("S4 accepted as supporter before the config committed: %v", err)
+	}
+	res, err := s.Push(1, PushChoice{Q: types.NewNodeSet(1, 2), CM: m.ID})
+	if err != nil || !res.Quorum {
+		t.Fatalf("push under old config: %v %+v", err, res)
+	}
+	// The CCache (below the RCache) activates the new configuration for
+	// everything after it.
+	m2, err := s.Invoke(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Conf.Equal(bigger) {
+		t.Fatalf("post-commit MCache conf = %s, want %s", m2.Conf, bigger)
+	}
+	// And pushes now require (and accept) quorums of the new config.
+	res, err = s.Push(1, PushChoice{Q: types.NewNodeSet(1, 2, 4), CM: m2.ID})
+	if err != nil || !res.Quorum {
+		t.Fatalf("push under new config: %v %+v", err, res)
+	}
+}
+
+func TestDeferredElectionUsesCommittedConfig(t *testing.T) {
+	s := newDeferredState(0)
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	if _, err := s.Reconfig(1, config.NewMajorityConfig(types.NewNodeSet(1, 2))); err != nil {
+		t.Fatal(err)
+	}
+	// The uncommitted shrink is inert: a new election still needs a
+	// majority of {S1,S2,S3}; {S1,S2} after the reconfig proposal still
+	// counts 2-of-3 (fine), but {S1} alone must not become a quorum even
+	// though the proposed config has 2 members.
+	res, err := s.Pull(1, PullChoice{Q: types.NewNodeSet(1), T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quorum {
+		t.Fatal("single vote formed a quorum from an uncommitted shrink")
+	}
+}
+
+func TestAlphaBoundsPipeline(t *testing.T) {
+	s := newDeferredState(2)
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	if _, err := s.Invoke(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s.Invoke(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two uncommitted commands: the α=2 bound blocks a third.
+	if _, err := s.Invoke(1, 3); !errors.Is(err, ErrAlphaBlocked) {
+		t.Fatalf("want ErrAlphaBlocked, got %v", err)
+	}
+	if err := s.CanReconf(1, config.NewMajorityConfig(types.Range(1, 4))); !errors.Is(err, ErrAlphaBlocked) {
+		t.Fatalf("reconfig not α-blocked: %v", err)
+	}
+	// Committing the prefix reopens the pipeline.
+	if _, err := s.Push(1, PushChoice{Q: types.NewNodeSet(1, 2), CM: m2.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Invoke(1, 3); err != nil {
+		t.Fatalf("invoke after commit: %v", err)
+	}
+}
+
+func TestAlphaZeroIsUnbounded(t *testing.T) {
+	s := newDeferredState(0)
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Invoke(1, types.MethodID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConfAtHotModeIsStoredConf(t *testing.T) {
+	s := newTestState(DefaultRules())
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	m := mustInvoke(t, s, 1, 1)
+	mustPush(t, s, 1, types.NewNodeSet(1, 2), m.ID)
+	ncf := config.NewMajorityConfig(types.Range(1, 4))
+	rc, err := s.Reconfig(1, ncf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hot mode: the RCache's config is effective immediately.
+	if got := s.ConfAt(rc); !got.Equal(ncf) {
+		t.Errorf("hot ConfAt(RCache) = %s, want %s", got, ncf)
+	}
+}
+
+func TestUncommittedSuffixCountsCommandsOnly(t *testing.T) {
+	s := newDeferredState(3)
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	// The ECache does not count toward α.
+	if got := s.uncommittedSuffixLen(s.Tree.ActiveCache(1)); got != 0 {
+		t.Errorf("suffix after election = %d, want 0", got)
+	}
+	m := mustInvoke(t, s, 1, 1)
+	if got := s.uncommittedSuffixLen(m); got != 1 {
+		t.Errorf("suffix after one invoke = %d, want 1", got)
+	}
+}

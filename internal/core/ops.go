@@ -1,0 +1,374 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"adore/internal/config"
+	"adore/internal/types"
+)
+
+// The operations below implement Fig. 28 (PullOk, InvokeOk, ReconfigOk,
+// PushOk) with the valid-oracle side conditions of Fig. 27 checked
+// explicitly. Each returns an error when the supplied choice could not have
+// been produced by any valid oracle; the NoOp rules correspond to simply not
+// calling the operation.
+
+// Errors returned by the operations when a choice violates the valid-oracle
+// rules or an enabling condition fails.
+var (
+	// ErrNotLeader: the caller's observed time differs from its active
+	// cache's time — it has been preempted (invoke/reconfig), or the
+	// push target is not from the caller's current term.
+	ErrNotLeader = errors.New("core: caller is not the leader at the required timestamp")
+
+	// ErrNoActiveCache: the caller has never completed an operation, so
+	// activeCache is undefined (it must pull first).
+	ErrNoActiveCache = errors.New("core: caller has no active cache; pull first")
+
+	// ErrBadSupporters: validSupp failed — the caller is not in Q or Q
+	// contains non-members of the relevant configuration.
+	ErrBadSupporters = errors.New("core: invalid supporter set")
+
+	// ErrStaleTime: a supporter has already observed a timestamp that
+	// forbids this choice (≥ t for pull, > time(C_M) for push).
+	ErrStaleTime = errors.New("core: supporter has observed a newer timestamp")
+
+	// ErrNoSupportedCache: no cache in the tree is supported by any
+	// member of Q, so mostRecent is undefined.
+	ErrNoSupportedCache = errors.New("core: no cache supported by any chosen supporter")
+
+	// ErrReconfigDisabled: the Rules disable the reconfig operation
+	// (CADO).
+	ErrReconfigDisabled = errors.New("core: reconfiguration is disabled in this model instance")
+
+	// ErrR1 / ErrR2 / ErrR3: the corresponding reconfiguration guard
+	// rejected the proposal.
+	ErrR1 = errors.New("core: R1⁺ rejects the proposed configuration")
+	ErrR2 = errors.New("core: R2 rejects reconfig: uncommitted RCache on the active branch")
+	ErrR3 = errors.New("core: R3 rejects reconfig: no committed entry with the current timestamp")
+
+	// ErrBadPushTarget: the push target is not an MCache/RCache of the
+	// caller, or does not exceed the caller's last commit.
+	ErrBadPushTarget = errors.New("core: invalid push target")
+)
+
+// PullChoice is a pull oracle outcome 𝕆_pull = Ok(Q, _, _, T): the supporter
+// set that answered the election request and the proposed timestamp. The
+// quorum flag and C_max of the paper's oracle are derived, not chosen.
+type PullChoice struct {
+	Q types.NodeSet
+	T types.Time
+}
+
+// PullResult reports the outcome of a successful (non-error) pull.
+type PullResult struct {
+	// Quorum is Q_ok: whether the supporters formed a quorum of
+	// conf(C_max). When false, only the time map changed.
+	Quorum bool
+	// MostRecent is C_max, the parent chosen for the new ECache.
+	MostRecent *Cache
+	// ECache is the inserted election cache (nil when Quorum is false).
+	ECache *Cache
+}
+
+// Pull performs the election phase (PullOk / Fig. 28). The choice must
+// satisfy the valid pull oracle rule:
+//
+//	∀s ∈ Q. times[s] < T
+//	C_max = mostRecent(tree, Q)
+//	validSupp(nid, Q, C_max):  nid ∈ Q ∧ Q ⊆ mbrs(conf(C_max))
+//
+// On success the supporters' times are set to T and, if Q is a quorum of
+// conf(C_max), a new ECache(nid, T, 0, Q, conf(C_max)) is added as a leaf
+// under C_max.
+func (s *State) Pull(nid types.NodeID, ch PullChoice) (PullResult, error) {
+	for _, id := range ch.Q.Slice() {
+		if s.Times[id] >= ch.T {
+			return PullResult{}, fmt.Errorf("%w: %s has seen %d ≥ %d", ErrStaleTime, id, s.Times[id], ch.T)
+		}
+	}
+	cmax := s.Tree.MostRecent(ch.Q)
+	if cmax == nil {
+		return PullResult{}, ErrNoSupportedCache
+	}
+	conf := s.ConfAt(cmax)
+	if !validSupp(nid, ch.Q, conf) {
+		return PullResult{}, fmt.Errorf("%w: nid=%s Q=%s conf(C_max)=%s", ErrBadSupporters, nid, ch.Q, conf)
+	}
+	s.setTimes(ch.Q, ch.T)
+	res := PullResult{MostRecent: cmax, Quorum: conf.IsQuorum(ch.Q)}
+	if res.Quorum {
+		res.ECache = s.Tree.AddLeaf(cmax.ID, Cache{
+			Kind:   KindE,
+			Caller: nid,
+			Time:   ch.T,
+			Vrsn:   0,
+			Supp:   ch.Q,
+			Conf:   conf,
+		})
+	}
+	return res, nil
+}
+
+// Invoke performs method invocation (InvokeOk / Fig. 28): it appends a new
+// MCache after the caller's active cache, provided the caller is still the
+// leader at that cache's timestamp.
+func (s *State) Invoke(nid types.NodeID, m types.MethodID) (*Cache, error) {
+	ca, err := s.requireActiveLeader(nid)
+	if err != nil {
+		return nil, err
+	}
+	if !s.alphaAllows(ca) {
+		return nil, ErrAlphaBlocked
+	}
+	return s.Tree.AddLeaf(ca.ID, Cache{
+		Kind:   KindM,
+		Caller: nid,
+		Time:   ca.Time,
+		Vrsn:   ca.Vrsn + 1,
+		Method: m,
+		Conf:   s.ConfAt(ca),
+	}), nil
+}
+
+// Reconfig performs configuration change (ReconfigOk / Fig. 28): like
+// Invoke, but the new RCache carries ncf and the canReconf guard (Fig. 25)
+// must hold:
+//
+//	canReconf(tr, C_A, ncf) ≜ R1⁺(conf(C_A), ncf) ∧ R2(tr, C_A) ∧ R3(tr, C_A)
+//
+// Individual guards are enforced only when enabled in s.Rules so that the
+// published buggy algorithms remain expressible as baselines.
+func (s *State) Reconfig(nid types.NodeID, ncf config.Config) (*Cache, error) {
+	if !s.Rules.AllowReconfig {
+		return nil, ErrReconfigDisabled
+	}
+	ca, err := s.requireActiveLeader(nid)
+	if err != nil {
+		return nil, err
+	}
+	if !s.alphaAllows(ca) {
+		return nil, ErrAlphaBlocked
+	}
+	if s.Rules.R1 && !s.Scheme.R1Plus(s.ConfAt(ca), ncf) {
+		return nil, fmt.Errorf("%w: %s → %s", ErrR1, s.ConfAt(ca), ncf)
+	}
+	if s.Rules.R2 && !s.R2Holds(ca) {
+		return nil, ErrR2
+	}
+	if s.Rules.R3 && !s.R3Holds(ca) {
+		return nil, ErrR3
+	}
+	return s.Tree.AddLeaf(ca.ID, Cache{
+		Kind:   KindR,
+		Caller: nid,
+		Time:   ca.Time,
+		Vrsn:   ca.Vrsn + 1,
+		Conf:   ncf,
+	}), nil
+}
+
+// R2Holds checks R2(tr, C): every RCache on the branch from the root to C
+// (inclusive) has a committing CCache between it and C. In other words,
+// there are no uncommitted RCaches on the active branch.
+func (s *State) R2Holds(c *Cache) bool {
+	committed := false // whether a CCache lies between the current node and C
+	for _, anc := range s.Tree.PathToRoot(c.ID) {
+		switch anc.Kind {
+		case KindC:
+			committed = true
+		case KindR:
+			if !committed {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// R3Holds checks R3(tr, C): the branch from the root to C (inclusive)
+// contains a CCache with time(C') = time(C).
+func (s *State) R3Holds(c *Cache) bool {
+	for _, anc := range s.Tree.PathToRoot(c.ID) {
+		if anc.Kind == KindC && anc.Time == c.Time {
+			return true
+		}
+	}
+	return false
+}
+
+// CanReconf reports canReconf(tree, activeCache(nid), ncf) without mutating
+// the state, honoring the enabled rules. It returns nil when a Reconfig
+// with the same arguments would succeed.
+func (s *State) CanReconf(nid types.NodeID, ncf config.Config) error {
+	if !s.Rules.AllowReconfig {
+		return ErrReconfigDisabled
+	}
+	ca, err := s.requireActiveLeader(nid)
+	if err != nil {
+		return err
+	}
+	if !s.alphaAllows(ca) {
+		return ErrAlphaBlocked
+	}
+	if s.Rules.R1 && !s.Scheme.R1Plus(s.ConfAt(ca), ncf) {
+		return ErrR1
+	}
+	if s.Rules.R2 && !s.R2Holds(ca) {
+		return ErrR2
+	}
+	if s.Rules.R3 && !s.R3Holds(ca) {
+		return ErrR3
+	}
+	return nil
+}
+
+// requireActiveLeader returns the caller's active cache after checking
+// isLeader(st, nid, time(C_A)).
+func (s *State) requireActiveLeader(nid types.NodeID) (*Cache, error) {
+	ca := s.Tree.ActiveCache(nid)
+	if ca == nil {
+		return nil, ErrNoActiveCache
+	}
+	if !s.IsLeader(nid, ca.Time) {
+		return nil, fmt.Errorf("%w: %s at %d, observed %d", ErrNotLeader, nid, ca.Time, s.Times[nid])
+	}
+	return ca, nil
+}
+
+// PushChoice is a push oracle outcome 𝕆_push = Ok(Q, _, C_M): the supporter
+// set that acknowledged the commit and the target cache (the last command
+// of the prefix being committed).
+type PushChoice struct {
+	Q  types.NodeSet
+	CM types.CID
+}
+
+// PushResult reports the outcome of a successful (non-error) push.
+type PushResult struct {
+	// Quorum is Q_ok; when false only the time map changed.
+	Quorum bool
+	// Target is C_M.
+	Target *Cache
+	// CCache is the inserted commit cache (nil when Quorum is false).
+	CCache *Cache
+	// Pruned counts caches removed by the stop-the-world variant.
+	Pruned int
+}
+
+// Push performs the commit phase (PushOk / Fig. 28). The choice must
+// satisfy the valid push oracle rule:
+//
+//	validSupp(nid, Q, C_M)
+//	∀s ∈ Q. times[s] ≤ time(C_M)
+//	canCommit(C_M, nid, st):
+//	    C_M is an MCache or RCache ∧ caller(C_M) = nid
+//	    ∧ isLeader(st, nid, time(C_M)) ∧ C_M > lastCommit(tree, nid)
+//
+// On success the supporters' times are set to time(C_M) and, if Q is a
+// quorum of conf(C_M), a CCache is inserted between C_M and its children.
+func (s *State) Push(nid types.NodeID, ch PushChoice) (PushResult, error) {
+	cm := s.Tree.Get(ch.CM)
+	if cm == nil || !cm.IsCommand() || cm.Caller != nid {
+		return PushResult{}, fmt.Errorf("%w: C_M=%v", ErrBadPushTarget, cm)
+	}
+	if !s.IsLeader(nid, cm.Time) {
+		return PushResult{}, fmt.Errorf("%w: push by %s at %d, observed %d", ErrNotLeader, nid, cm.Time, s.Times[nid])
+	}
+	if last := s.Tree.LastCommit(nid); last != nil && !cm.Greater(last) {
+		return PushResult{}, fmt.Errorf("%w: target %s does not exceed last commit %s", ErrBadPushTarget, cm, last)
+	}
+	conf := s.ConfAt(cm)
+	if !validSupp(nid, ch.Q, conf) {
+		return PushResult{}, fmt.Errorf("%w: nid=%s Q=%s conf(C_M)=%s", ErrBadSupporters, nid, ch.Q, conf)
+	}
+	for _, id := range ch.Q.Slice() {
+		if s.Times[id] > cm.Time {
+			return PushResult{}, fmt.Errorf("%w: %s has seen %d > %d", ErrStaleTime, id, s.Times[id], cm.Time)
+		}
+	}
+	s.setTimes(ch.Q, cm.Time)
+	res := PushResult{Target: cm, Quorum: conf.IsQuorum(ch.Q)}
+	if res.Quorum {
+		res.CCache = s.Tree.InsertBtw(cm.ID, Cache{
+			Kind:   KindC,
+			Caller: nid,
+			Time:   cm.Time,
+			Vrsn:   cm.Vrsn,
+			Supp:   ch.Q,
+			Conf:   conf,
+		})
+		if s.Rules.StopTheWorld && committedRCacheOnPath(s.Tree, res.CCache) {
+			res.Pruned = s.Tree.PruneOffBranch(res.CCache.ID)
+		}
+	}
+	return res, nil
+}
+
+// committedRCacheOnPath reports whether the newly committed prefix ending at
+// cc contains an RCache that this CCache is the first to commit.
+func committedRCacheOnPath(t *Tree, cc *Cache) bool {
+	for _, anc := range t.PathToRoot(cc.ID) {
+		if anc.ID == cc.ID {
+			continue
+		}
+		switch anc.Kind {
+		case KindC:
+			return false // earlier commits already covered everything above
+		case KindR:
+			return true
+		}
+	}
+	return false
+}
+
+// validSupp implements validSupp(nid, Q, C) from Fig. 26: the caller votes
+// for itself and every supporter belongs to the effective configuration.
+func validSupp(nid types.NodeID, q types.NodeSet, conf config.Config) bool {
+	return q.Contains(nid) && q.SubsetOf(conf.Members())
+}
+
+// CommittedBranch returns the committed prefix of the tree: the caches on
+// the path from the root to the greatest CCache, in root-first order. Under
+// replicated state safety this is well defined; if two incomparable CCaches
+// exist (safety violated) it returns the branch of the greater one.
+func (s *State) CommittedBranch() []*Cache {
+	var top *Cache
+	for _, c := range s.Tree.CCaches() {
+		if top == nil || c.Greater(top) {
+			top = c
+		}
+	}
+	if top == nil {
+		return nil
+	}
+	path := s.Tree.PathToRoot(top.ID)
+	// PathToRoot is leaf-first; reverse to root-first.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// CommittedMethods returns the method IDs committed so far, in log order —
+// the client-visible replicated log of the SMR abstraction.
+func (s *State) CommittedMethods() []types.MethodID {
+	var out []types.MethodID
+	for _, c := range s.CommittedBranch() {
+		if c.Kind == KindM {
+			out = append(out, c.Method)
+		}
+	}
+	return out
+}
+
+// CurrentConfig returns the configuration in effect on the committed
+// branch: the configuration of the greatest CCache (conf₀ if none).
+func (s *State) CurrentConfig() config.Config {
+	branch := s.CommittedBranch()
+	if len(branch) == 0 {
+		return s.Tree.Root().Conf
+	}
+	return branch[len(branch)-1].Conf
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"adore/internal/config"
+	"adore/internal/types"
+)
+
+// newTestState builds a 3-node majority-quorum state with the given rules.
+func newTestState(rules Rules) *State {
+	return NewState(config.RaftSingleNode, types.Range(1, 3), rules)
+}
+
+// mustPull runs a quorum pull and fails the test on any error.
+func mustPull(t *testing.T, s *State, nid types.NodeID, q types.NodeSet, tm types.Time) *Cache {
+	t.Helper()
+	res, err := s.Pull(nid, PullChoice{Q: q, T: tm})
+	if err != nil {
+		t.Fatalf("Pull(%s, Q=%s, T=%d): %v", nid, q, tm, err)
+	}
+	if !res.Quorum {
+		t.Fatalf("Pull(%s, Q=%s) was not a quorum", nid, q)
+	}
+	return res.ECache
+}
+
+func mustInvoke(t *testing.T, s *State, nid types.NodeID, m types.MethodID) *Cache {
+	t.Helper()
+	c, err := s.Invoke(nid, m)
+	if err != nil {
+		t.Fatalf("Invoke(%s, %s): %v", nid, m, err)
+	}
+	return c
+}
+
+func mustPush(t *testing.T, s *State, nid types.NodeID, q types.NodeSet, cm types.CID) *Cache {
+	t.Helper()
+	res, err := s.Push(nid, PushChoice{Q: q, CM: cm})
+	if err != nil {
+		t.Fatalf("Push(%s, Q=%s, CM=%d): %v", nid, q, cm, err)
+	}
+	if !res.Quorum {
+		t.Fatalf("Push(%s, Q=%s) was not a quorum", nid, q)
+	}
+	return res.CCache
+}
+
+func TestPullCreatesECache(t *testing.T) {
+	s := newTestState(DefaultRules())
+	e := mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	if e.Kind != KindE || e.Time != 1 || e.Vrsn != 0 {
+		t.Errorf("ECache = %v", e)
+	}
+	if e.Parent != s.Tree.Root().ID {
+		t.Errorf("ECache parent = %d, want root", e.Parent)
+	}
+	if s.TimeOf(1) != 1 || s.TimeOf(2) != 1 {
+		t.Errorf("supporter times not updated: %v", s.Times)
+	}
+	if s.TimeOf(3) != 0 {
+		t.Errorf("non-supporter time changed: %v", s.Times)
+	}
+}
+
+func TestPullNonQuorumOnlyBlocks(t *testing.T) {
+	s := newTestState(DefaultRules())
+	res, err := s.Pull(1, PullChoice{Q: types.NewNodeSet(1), T: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quorum || res.ECache != nil {
+		t.Errorf("singleton supporter set must not form a quorum: %+v", res)
+	}
+	if s.TimeOf(1) != 5 {
+		t.Errorf("failed election must still advance supporter times")
+	}
+	// The blocked node now refuses a smaller-timestamp election.
+	if _, err := s.Pull(2, PullChoice{Q: types.Range(1, 3), T: 3}); !errors.Is(err, ErrStaleTime) {
+		t.Errorf("expected ErrStaleTime, got %v", err)
+	}
+	// But a larger timestamp succeeds.
+	mustPull(t, s, 2, types.Range(1, 3), 6)
+}
+
+func TestPullRejectsStaleTime(t *testing.T) {
+	s := newTestState(DefaultRules())
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 2)
+	if _, err := s.Pull(2, PullChoice{Q: types.NewNodeSet(1, 2), T: 2}); !errors.Is(err, ErrStaleTime) {
+		t.Errorf("equal timestamp must be rejected (strict <), got %v", err)
+	}
+}
+
+func TestPullRejectsCallerOutsideQ(t *testing.T) {
+	s := newTestState(DefaultRules())
+	if _, err := s.Pull(1, PullChoice{Q: types.NewNodeSet(2, 3), T: 1}); !errors.Is(err, ErrBadSupporters) {
+		t.Errorf("caller must vote for itself, got %v", err)
+	}
+}
+
+func TestPullRejectsNonMembers(t *testing.T) {
+	s := newTestState(DefaultRules())
+	if _, err := s.Pull(1, PullChoice{Q: types.NewNodeSet(1, 9), T: 1}); !errors.Is(err, ErrBadSupporters) {
+		t.Errorf("supporters outside conf must be rejected, got %v", err)
+	}
+}
+
+func TestPullNoSupportedCache(t *testing.T) {
+	s := newTestState(DefaultRules())
+	if _, err := s.Pull(9, PullChoice{Q: types.NewNodeSet(9), T: 1}); !errors.Is(err, ErrNoSupportedCache) {
+		t.Errorf("want ErrNoSupportedCache, got %v", err)
+	}
+}
+
+func TestPullParentIsMostRecent(t *testing.T) {
+	s := newTestState(DefaultRules())
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	m := mustInvoke(t, s, 1, 100)
+	// S2 and S3 have empty logs (votes transfer no knowledge), so their
+	// most recent observed cache is the root: S2's election forks there.
+	e2 := mustPull(t, s, 2, types.NewNodeSet(2, 3), 2)
+	if e2.Parent != s.Tree.Root().ID {
+		t.Errorf("S2's ECache parent = %d, want the root", e2.Parent)
+	}
+	// S1's re-election keeps its own log: S1 observed its MCache, which
+	// outranks anything S2 has observed, so the new ECache lands on it.
+	e1 := mustPull(t, s, 1, types.NewNodeSet(1, 2), 3)
+	if e1.Parent != m.ID {
+		t.Errorf("S1's ECache parent = %d, want the MCache %d", e1.Parent, m.ID)
+	}
+}
+
+func TestInvokeRequiresPull(t *testing.T) {
+	s := newTestState(DefaultRules())
+	if _, err := s.Invoke(1, 1); !errors.Is(err, ErrNoActiveCache) {
+		t.Errorf("want ErrNoActiveCache, got %v", err)
+	}
+}
+
+func TestInvokeExtendsActiveBranch(t *testing.T) {
+	s := newTestState(DefaultRules())
+	e := mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	m1 := mustInvoke(t, s, 1, 10)
+	m2 := mustInvoke(t, s, 1, 11)
+	if m1.Parent != e.ID || m2.Parent != m1.ID {
+		t.Error("MCaches must chain under the active cache")
+	}
+	if m1.Vrsn != 1 || m2.Vrsn != 2 {
+		t.Errorf("version numbers %d,%d, want 1,2", m1.Vrsn, m2.Vrsn)
+	}
+	if m1.Time != 1 || m2.Time != 1 {
+		t.Error("MCaches must inherit the leader's timestamp")
+	}
+}
+
+func TestInvokePreemptedLeaderFails(t *testing.T) {
+	s := newTestState(DefaultRules())
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	// S2's election includes S1, bumping S1's observed time.
+	mustPull(t, s, 2, types.NewNodeSet(1, 2), 2)
+	if _, err := s.Invoke(1, 1); !errors.Is(err, ErrNotLeader) {
+		t.Errorf("preempted leader must fail, got %v", err)
+	}
+	// S1 can still invoke after re-election.
+	mustPull(t, s, 1, types.Range(1, 3), 3)
+	mustInvoke(t, s, 1, 2)
+}
+
+func TestPushCommitsPrefix(t *testing.T) {
+	s := newTestState(DefaultRules())
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	m1 := mustInvoke(t, s, 1, 10)
+	m2 := mustInvoke(t, s, 1, 11)
+	// Commit only the prefix ending at m1; m2 stays uncommitted below the CCache.
+	cc := mustPush(t, s, 1, types.NewNodeSet(1, 3), m1.ID)
+	if cc.Parent != m1.ID {
+		t.Errorf("CCache parent = %d, want %d", cc.Parent, m1.ID)
+	}
+	if got := s.Tree.Get(m2.ID).Parent; got != cc.ID {
+		t.Errorf("uncommitted suffix parent = %d, want the CCache %d", got, cc.ID)
+	}
+	if cc.Time != m1.Time || cc.Vrsn != m1.Vrsn {
+		t.Error("CCache must copy the target's stamp")
+	}
+	methods := s.CommittedMethods()
+	if len(methods) != 1 || methods[0] != 10 {
+		t.Errorf("committed methods = %v, want [M10]", methods)
+	}
+}
+
+func TestPushRejectsForeignTarget(t *testing.T) {
+	s := newTestState(DefaultRules())
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	m := mustInvoke(t, s, 1, 10)
+	if _, err := s.Push(2, PushChoice{Q: types.NewNodeSet(1, 2), CM: m.ID}); !errors.Is(err, ErrBadPushTarget) {
+		t.Errorf("pushing another caller's cache must fail, got %v", err)
+	}
+}
+
+func TestPushRejectsPreemptedLeader(t *testing.T) {
+	s := newTestState(DefaultRules())
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	m := mustInvoke(t, s, 1, 10)
+	mustPull(t, s, 2, types.Range(1, 3), 2)
+	if _, err := s.Push(1, PushChoice{Q: types.NewNodeSet(1, 2), CM: m.ID}); !errors.Is(err, ErrNotLeader) {
+		t.Errorf("want ErrNotLeader, got %v", err)
+	}
+}
+
+func TestPushRejectsSupporterWithNewerTime(t *testing.T) {
+	s := newTestState(DefaultRules())
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	m := mustInvoke(t, s, 1, 10)
+	// S3 observes a failed higher election.
+	if _, err := s.Pull(3, PullChoice{Q: types.NewNodeSet(3), T: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push(1, PushChoice{Q: types.NewNodeSet(1, 3), CM: m.ID}); !errors.Is(err, ErrStaleTime) {
+		t.Errorf("supporter with newer time must be rejected, got %v", err)
+	}
+	// Without S3 the push is fine (supporter times may equal time(C_M)).
+	mustPush(t, s, 1, types.NewNodeSet(1, 2), m.ID)
+}
+
+func TestPushRejectsBelowLastCommit(t *testing.T) {
+	s := newTestState(DefaultRules())
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	m1 := mustInvoke(t, s, 1, 10)
+	m2 := mustInvoke(t, s, 1, 11)
+	mustPush(t, s, 1, types.NewNodeSet(1, 2), m2.ID)
+	// m1 is now behind S1's last commit.
+	if _, err := s.Push(1, PushChoice{Q: types.NewNodeSet(1, 2), CM: m1.ID}); !errors.Is(err, ErrBadPushTarget) {
+		t.Errorf("pushing below lastCommit must fail, got %v", err)
+	}
+}
+
+func TestPushNonQuorumOnlyUpdatesTimes(t *testing.T) {
+	s := newTestState(DefaultRules())
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	m := mustInvoke(t, s, 1, 10)
+	res, err := s.Push(1, PushChoice{Q: types.NewNodeSet(1), CM: m.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quorum || res.CCache != nil {
+		t.Errorf("singleton ack set must not commit: %+v", res)
+	}
+	if len(s.Tree.CCaches()) != 1 {
+		t.Error("non-quorum push must not add a CCache")
+	}
+}
+
+func TestReconfigGuards(t *testing.T) {
+	s := newTestState(DefaultRules())
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	ncf := config.NewMajorityConfig(types.Range(1, 4))
+
+	// R3: no commit in the current term yet.
+	if _, err := s.Reconfig(1, ncf); !errors.Is(err, ErrR3) {
+		t.Fatalf("want ErrR3 before any commit at the current time, got %v", err)
+	}
+
+	// Commit a no-op method at the current term; R3 is now satisfied.
+	m := mustInvoke(t, s, 1, 99)
+	mustPush(t, s, 1, types.NewNodeSet(1, 2), m.ID)
+	r1, err := s.Reconfig(1, ncf)
+	if err != nil {
+		t.Fatalf("Reconfig after commit: %v", err)
+	}
+	if r1.Kind != KindR || !r1.Conf.Equal(ncf) {
+		t.Errorf("RCache = %v", r1)
+	}
+
+	// R2: a second reconfig with the first still uncommitted must fail.
+	ncf2 := config.NewMajorityConfig(types.Range(1, 5))
+	if _, err := s.Reconfig(1, ncf2); !errors.Is(err, ErrR2) {
+		t.Errorf("want ErrR2 with an uncommitted RCache on the branch, got %v", err)
+	}
+
+	// Commit the RCache (its own new 4-node config governs the quorum);
+	// now R2 passes but R1⁺ still constrains the target.
+	mustPush(t, s, 1, types.NewNodeSet(1, 2, 3), r1.ID)
+	bad := config.NewMajorityConfig(types.NewNodeSet(1, 2, 5, 6))
+	if _, err := s.Reconfig(1, bad); !errors.Is(err, ErrR1) {
+		t.Errorf("want ErrR1 for a two-node change, got %v", err)
+	}
+	if _, err := s.Reconfig(1, ncf2); err != nil {
+		t.Errorf("single-node growth after commit should succeed: %v", err)
+	}
+}
+
+func TestReconfigInheritsNewConfig(t *testing.T) {
+	s := newTestState(DefaultRules())
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	m := mustInvoke(t, s, 1, 1)
+	mustPush(t, s, 1, types.NewNodeSet(1, 2), m.ID)
+	ncf := config.NewMajorityConfig(types.NewNodeSet(1, 2)) // remove S3
+	r, err := s.Reconfig(1, ncf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Children inherit the RCache's new configuration.
+	m2 := mustInvoke(t, s, 1, 2)
+	if !m2.Conf.Equal(ncf) {
+		t.Errorf("child conf = %s, want %s", m2.Conf, ncf)
+	}
+	// The RCache itself is committed under the NEW configuration
+	// (hot reconfiguration: it takes effect immediately).
+	res, err := s.Push(1, PushChoice{Q: types.NewNodeSet(1, 2), CM: r.ID})
+	if err != nil || !res.Quorum {
+		t.Fatalf("push under new config: %v %+v", err, res)
+	}
+}
+
+func TestReconfigDisabled(t *testing.T) {
+	s := newTestState(StaticRules())
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	if _, err := s.Reconfig(1, config.NewMajorityConfig(types.Range(1, 4))); !errors.Is(err, ErrReconfigDisabled) {
+		t.Errorf("want ErrReconfigDisabled, got %v", err)
+	}
+}
+
+func TestStopTheWorldPrunes(t *testing.T) {
+	rules := DefaultRules()
+	rules.StopTheWorld = true
+	s := newTestState(rules)
+	// S1 is elected and invokes a method nobody else sees.
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	stale := mustInvoke(t, s, 1, 1)
+	// S2 is elected (its supporters' most recent cache is S1's ECache),
+	// forking the tree: S1's MCache and S2's ECache are siblings.
+	mustPull(t, s, 2, types.NewNodeSet(2, 3), 2)
+	m := mustInvoke(t, s, 2, 2)
+	mustPush(t, s, 2, types.NewNodeSet(2, 3), m.ID)
+	// S2 removes S1 and commits the RCache: stop-the-world kicks in.
+	r, err := s.Reconfig(2, config.NewMajorityConfig(types.NewNodeSet(2, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Push(2, PushChoice{Q: types.NewNodeSet(2, 3), CM: r.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Quorum {
+		t.Fatal("expected quorum push")
+	}
+	if res.Pruned == 0 {
+		t.Error("stop-the-world push of an RCache should prune off-branch caches")
+	}
+	if s.Tree.Get(stale.ID) != nil {
+		t.Error("stale sibling branch survived stop-the-world commit")
+	}
+	if s.Tree.Get(m.ID) == nil {
+		t.Error("committed branch was pruned")
+	}
+}
+
+func TestCommittedBranchAndCurrentConfig(t *testing.T) {
+	s := newTestState(DefaultRules())
+	if got := s.CurrentConfig(); !got.Equal(config.NewMajorityConfig(types.Range(1, 3))) {
+		t.Errorf("initial CurrentConfig = %s", got)
+	}
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	m := mustInvoke(t, s, 1, 7)
+	mustPush(t, s, 1, types.NewNodeSet(1, 2), m.ID)
+	ncf := config.NewMajorityConfig(types.NewNodeSet(1, 2))
+	r, err := s.Reconfig(1, ncf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPush(t, s, 1, types.NewNodeSet(1, 2), r.ID)
+	if got := s.CurrentConfig(); !got.Equal(ncf) {
+		t.Errorf("CurrentConfig after committed reconfig = %s, want %s", got, ncf)
+	}
+	branch := s.CommittedBranch()
+	if len(branch) == 0 || branch[0].ID != s.Tree.Root().ID {
+		t.Error("committed branch must start at the root")
+	}
+}

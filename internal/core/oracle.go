@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand"
+
+	"adore/internal/config"
+	"adore/internal/types"
+)
+
+// Oracle draws random valid oracle outcomes for simulation. It plays the
+// role of the paper's nondeterministic 𝕆 = (𝕆_pull, 𝕆_push): given a state
+// it either produces a choice some valid oracle could return, or reports
+// failure (the Fail outcome / NoOp rules).
+//
+// The oracle is deterministic for a fixed seed; it never touches global
+// randomness.
+type Oracle struct {
+	rng *rand.Rand
+}
+
+// NewOracle builds an oracle seeded with seed.
+func NewOracle(seed int64) *Oracle {
+	return &Oracle{rng: rand.New(rand.NewSource(seed))}
+}
+
+// PullChoice draws a random valid pull choice for nid, or ok=false if none
+// exists (or the oracle "decides" to fail, with probability failP).
+func (o *Oracle) PullChoice(s *State, nid types.NodeID, failP float64) (PullChoice, bool) {
+	if o.rng.Float64() < failP {
+		return PullChoice{}, false
+	}
+	choices := EnumeratePulls(s, nid, false)
+	if len(choices) == 0 {
+		return PullChoice{}, false
+	}
+	return choices[o.rng.Intn(len(choices))], true
+}
+
+// PushChoice draws a random valid push choice for nid, or ok=false.
+func (o *Oracle) PushChoice(s *State, nid types.NodeID, failP float64) (PushChoice, bool) {
+	if o.rng.Float64() < failP {
+		return PushChoice{}, false
+	}
+	choices := EnumeratePushes(s, nid, false)
+	if len(choices) == 0 {
+		return PushChoice{}, false
+	}
+	return choices[o.rng.Intn(len(choices))], true
+}
+
+// ReconfigTarget draws a random configuration the scheme permits from nid's
+// active configuration, or ok=false.
+func (o *Oracle) ReconfigTarget(s *State, nid types.NodeID) (config.Config, bool) {
+	ca := s.Tree.ActiveCache(nid)
+	if ca == nil {
+		return nil, false
+	}
+	succs := s.Scheme.Successors(s.ConfAt(ca), s.Universe())
+	if len(succs) == 0 {
+		return nil, false
+	}
+	return succs[o.rng.Intn(len(succs))], true
+}
+
+// Intn exposes the oracle's random stream for callers scripting mixed
+// workloads.
+func (o *Oracle) Intn(n int) int { return o.rng.Intn(n) }
+
+// EnumeratePulls lists every valid pull choice for nid in state s. When
+// quorumOnly is true, choices whose supporter set is not a quorum (which
+// only advance the time map) are omitted.
+//
+// Timestamps are canonicalized: for each supporter set the enumeration
+// offers max(times over Q)+1 and, if different, MaxTime+1. Larger gaps
+// produce states that differ only in unused timestamp slack, so this
+// preserves the reachable tree shapes the safety analysis cares about.
+func EnumeratePulls(s *State, nid types.NodeID, quorumOnly bool) []PullChoice {
+	return EnumeratePullsOpt(s, nid, quorumOnly, false)
+}
+
+// EnumeratePullsOpt is EnumeratePulls with an additional reduction: when
+// minimalTimes is true only the smallest admissible timestamp is offered
+// per supporter set, shrinking the search frontier (a sound reduction for
+// violation hunting, where known counterexample schedules use minimal
+// timestamps).
+func EnumeratePullsOpt(s *State, nid types.NodeID, quorumOnly, minimalTimes bool) []PullChoice {
+	var out []PullChoice
+	universe := s.Universe()
+	globalNext := s.MaxTime() + 1
+	universe.SubsetsContaining(nid, func(q types.NodeSet) bool {
+		cmax := s.Tree.MostRecent(q)
+		if cmax == nil {
+			return true
+		}
+		conf := s.ConfAt(cmax)
+		if !validSupp(nid, q, conf) {
+			return true
+		}
+		var localMax types.Time
+		for _, id := range q.Slice() {
+			if s.Times[id] > localMax {
+				localMax = s.Times[id]
+			}
+		}
+		if quorumOnly && !conf.IsQuorum(q) {
+			return true
+		}
+		out = append(out, PullChoice{Q: q, T: localMax + 1})
+		if !minimalTimes && globalNext > localMax+1 {
+			out = append(out, PullChoice{Q: q, T: globalNext})
+		}
+		return true
+	})
+	return out
+}
+
+// EnumeratePushes lists every valid push choice for nid in state s. When
+// quorumOnly is true, non-quorum choices are omitted.
+func EnumeratePushes(s *State, nid types.NodeID, quorumOnly bool) []PushChoice {
+	var out []PushChoice
+	last := s.Tree.LastCommit(nid)
+	for _, cm := range s.Tree.All() {
+		if !cm.IsCommand() || cm.Caller != nid {
+			continue
+		}
+		if !s.IsLeader(nid, cm.Time) {
+			continue
+		}
+		if last != nil && !cm.Greater(last) {
+			continue
+		}
+		conf := s.ConfAt(cm)
+		conf.Members().Subsets(func(q types.NodeSet) bool {
+			if !q.Contains(nid) {
+				return true
+			}
+			for _, id := range q.Slice() {
+				if s.Times[id] > cm.Time {
+					return true
+				}
+			}
+			if quorumOnly && !conf.IsQuorum(q) {
+				return true
+			}
+			out = append(out, PushChoice{Q: q, CM: cm.ID})
+			return true
+		})
+	}
+	return out
+}
+
+// EnumerateReconfigs lists every configuration reconfig would accept for
+// nid under the enabled rules, drawing candidates from the scheme's
+// Successors over the state's universe.
+func EnumerateReconfigs(s *State, nid types.NodeID) []config.Config {
+	if !s.Rules.AllowReconfig {
+		return nil
+	}
+	ca := s.Tree.ActiveCache(nid)
+	if ca == nil {
+		return nil
+	}
+	var out []config.Config
+	for _, ncf := range s.Scheme.Successors(s.ConfAt(ca), s.Universe()) {
+		if s.CanReconf(nid, ncf) == nil {
+			out = append(out, ncf)
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adore/internal/config"
+	"adore/internal/types"
+)
+
+// randomReachableState drives a seeded random mix of valid operations and
+// returns the resulting state — every property below is quantified over
+// reachable states only, like the paper's theorems.
+func randomReachableState(seed int64, steps int, rules Rules) *State {
+	s := NewState(config.RaftSingleNode, types.Range(1, 3), rules)
+	o := NewOracle(seed)
+	for i := 0; i < steps; i++ {
+		nid := types.NodeID(o.Intn(3) + 1)
+		switch o.Intn(4) {
+		case 0:
+			if ch, ok := o.PullChoice(s, nid, 0.1); ok {
+				_, _ = s.Pull(nid, ch)
+			}
+		case 1:
+			_, _ = s.Invoke(nid, types.MethodID(i+1))
+		case 2:
+			if ncf, ok := o.ReconfigTarget(s, nid); ok {
+				_, _ = s.Reconfig(nid, ncf)
+			}
+		case 3:
+			if ch, ok := o.PushChoice(s, nid, 0.1); ok {
+				_, _ = s.Push(nid, ch)
+			}
+		}
+	}
+	return s
+}
+
+// TestQuickRDistProperties checks metric-like facts of Def. 4.2 on random
+// reachable trees: symmetry, zero on identical caches, endpoint exclusion
+// (rdist to a direct child never counts the endpoints), and the subtree
+// bound (tree rdist dominates all pairs).
+func TestQuickRDistProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomReachableState(seed%1000, 25, DefaultRules())
+		tr := s.Tree
+		all := tr.All()
+		r := rand.New(rand.NewSource(seed))
+		max := tr.TreeRDist()
+		for k := 0; k < 10; k++ {
+			a := all[r.Intn(len(all))]
+			b := all[r.Intn(len(all))]
+			d := tr.RDist(a.ID, b.ID)
+			if d != tr.RDist(b.ID, a.ID) {
+				return false // symmetry
+			}
+			if a.ID == b.ID && d != 0 {
+				return false // identity
+			}
+			if d > max {
+				return false // tree bound
+			}
+			// Endpoints never count: rdist from a cache to its parent is
+			// independent of whether either endpoint is an RCache.
+			if b.Parent != types.NoCID && tr.RDist(b.ID, b.Parent) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGreaterIsStrictOrder checks irreflexivity, asymmetry, and
+// transitivity of > on the caches of random reachable states.
+func TestQuickGreaterIsStrictOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomReachableState(seed%1000, 25, DefaultRules())
+		all := s.Tree.All()
+		for _, a := range all {
+			if a.Greater(a) {
+				return false
+			}
+			for _, b := range all {
+				if a.Greater(b) && b.Greater(a) {
+					return false
+				}
+				for _, c := range all {
+					if a.Greater(b) && b.Greater(c) && !a.Greater(c) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCommittedLogMonotone is the SMR contract on the model: across
+// random valid operations, the committed method log only grows by
+// appending.
+func TestQuickCommittedLogMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		s := NewState(config.RaftSingleNode, types.Range(1, 3), DefaultRules())
+		o := NewOracle(seed % 1000)
+		var prev []types.MethodID
+		for i := 0; i < 40; i++ {
+			nid := types.NodeID(o.Intn(3) + 1)
+			switch o.Intn(4) {
+			case 0:
+				if ch, ok := o.PullChoice(s, nid, 0); ok {
+					_, _ = s.Pull(nid, ch)
+				}
+			case 1:
+				_, _ = s.Invoke(nid, types.MethodID(i+1))
+			case 2:
+				if ncf, ok := o.ReconfigTarget(s, nid); ok {
+					_, _ = s.Reconfig(nid, ncf)
+				}
+			case 3:
+				if ch, ok := o.PushChoice(s, nid, 0); ok {
+					_, _ = s.Push(nid, ch)
+				}
+			}
+			cur := s.CommittedMethods()
+			if len(cur) < len(prev) {
+				return false
+			}
+			for j := range prev {
+				if cur[j] != prev[j] {
+					return false
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneKeyStable: cloning preserves the canonical key, and
+// applying the same op to state and clone keeps them identical.
+func TestQuickCloneKeyStable(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomReachableState(seed%1000, 15, DefaultRules())
+		c := s.Clone()
+		if s.Key() != c.Key() {
+			return false
+		}
+		o := NewOracle(seed)
+		nid := types.NodeID(o.Intn(3) + 1)
+		if ch, ok := o.PullChoice(s, nid, 0); ok {
+			if _, err := s.Pull(nid, ch); err != nil {
+				return false
+			}
+			if _, err := c.Pull(nid, ch); err != nil {
+				return false
+			}
+		}
+		return s.Key() == c.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

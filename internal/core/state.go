@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adore/internal/config"
+	"adore/internal/types"
+)
+
+// Rules selects which of the reconfiguration guards R1⁺/R2/R3 (§2.3, §3) an
+// instance of the model enforces. The paper's safe model uses all three;
+// disabling R3 reproduces the published Raft single-server bug (Fig. 4),
+// and disabling reconfiguration entirely yields the CADO model.
+type Rules struct {
+	// AllowReconfig enables the reconfig operation at all. False gives
+	// the CADO model (Adore with the blue boxes removed).
+	AllowReconfig bool
+
+	// R1 enforces R1⁺(conf(C_A), ncf): the scheme's compatibility
+	// relation between consecutive configurations.
+	R1 bool
+
+	// R2 enforces that the active branch contains no uncommitted
+	// RCaches.
+	R2 bool
+
+	// R3 enforces that the active branch contains a CCache with the
+	// leader's current timestamp (Ongaro's fix).
+	R3 bool
+
+	// StopTheWorld enables the §8 variant: committing an RCache prunes
+	// every branch not on the committed path, modeling a log copy to a
+	// fresh cluster.
+	StopTheWorld bool
+
+	// DeferredConfig enables the §8 Lamport-style variant: a new
+	// configuration takes effect only once committed (see ConfAt).
+	DeferredConfig bool
+
+	// Alpha bounds the uncommitted command pipeline per branch in
+	// deferred mode (≤ 0 = unbounded). See DeferredRules.
+	Alpha int
+}
+
+// DefaultRules is the paper's safe configuration: hot reconfiguration with
+// all three guards.
+func DefaultRules() Rules {
+	return Rules{AllowReconfig: true, R1: true, R2: true, R3: true}
+}
+
+// StaticRules disables reconfiguration (the CADO model).
+func StaticRules() Rules { return Rules{} }
+
+// WithoutR3 is DefaultRules minus R3 — the published buggy algorithm.
+func WithoutR3() Rules {
+	r := DefaultRules()
+	r.R3 = false
+	return r
+}
+
+// WithoutR2 is DefaultRules minus R2.
+func WithoutR2() Rules {
+	r := DefaultRules()
+	r.R2 = false
+	return r
+}
+
+// WithoutR1 is DefaultRules minus R1⁺ (any configuration may follow any
+// other).
+func WithoutR1() Rules {
+	r := DefaultRules()
+	r.R1 = false
+	return r
+}
+
+// State is Σ_Adore (Fig. 6): the cache tree plus the largest timestamp each
+// replica has observed. Scheme and Rules are the constant parameters of the
+// instance; they travel with the state for convenience but never change
+// across transitions.
+type State struct {
+	Tree   *Tree
+	Times  map[types.NodeID]types.Time
+	Scheme config.Scheme
+	Rules  Rules
+}
+
+// NewState builds the initial state: a root-only tree under the scheme's
+// initial configuration over members, with all observed times at zero.
+func NewState(scheme config.Scheme, members types.NodeSet, rules Rules) *State {
+	return &State{
+		Tree:   NewTree(scheme.Initial(members)),
+		Times:  make(map[types.NodeID]types.Time),
+		Scheme: scheme,
+		Rules:  rules,
+	}
+}
+
+// TimeOf returns times(st)[nid] (zero if the replica has observed nothing).
+func (s *State) TimeOf(nid types.NodeID) types.Time { return s.Times[nid] }
+
+// IsLeader reports isLeader(st, nid, t): nid's observed time equals t, i.e.
+// nid has not been preempted by a newer election.
+func (s *State) IsLeader(nid types.NodeID, t types.Time) bool { return s.Times[nid] == t }
+
+// setTimes applies setTimes(st, Q, t): records that every member of Q has
+// observed t.
+func (s *State) setTimes(q types.NodeSet, t types.Time) {
+	for _, id := range q.Slice() {
+		s.Times[id] = t
+	}
+}
+
+// Clone returns a deep copy sharing only immutable values.
+func (s *State) Clone() *State {
+	times := make(map[types.NodeID]types.Time, len(s.Times))
+	for k, v := range s.Times {
+		times[k] = v
+	}
+	return &State{Tree: s.Tree.Clone(), Times: times, Scheme: s.Scheme, Rules: s.Rules}
+}
+
+// Key returns a canonical signature of the state (tree key plus sorted
+// non-zero observed times) for explorer deduplication.
+func (s *State) Key() string {
+	ids := make([]types.NodeID, 0, len(s.Times))
+	for id, t := range s.Times {
+		if t != 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	b.WriteString(s.Tree.Key())
+	b.WriteByte('|')
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%d=%d;", id, s.Times[id])
+	}
+	return b.String()
+}
+
+// Universe returns every node ID mentioned by any configuration or
+// supporter set in the tree plus any node with a recorded time. It bounds
+// the explorer's quorum enumeration.
+func (s *State) Universe() types.NodeSet {
+	u := types.NodeSet{}
+	for _, c := range s.Tree.All() {
+		u = u.Union(c.Conf.Members()).Union(c.Supporters())
+	}
+	for id := range s.Times {
+		u = u.Add(id)
+	}
+	return u
+}
+
+// MaxTime returns the largest timestamp appearing anywhere in the state.
+func (s *State) MaxTime() types.Time {
+	var max types.Time
+	for _, t := range s.Times {
+		if t > max {
+			max = t
+		}
+	}
+	for _, c := range s.Tree.All() {
+		if c.Time > max {
+			max = c.Time
+		}
+	}
+	return max
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+
+	"adore/internal/config"
+	"adore/internal/types"
+)
+
+func TestStateCloneIndependence(t *testing.T) {
+	s := newTestState(DefaultRules())
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	c := s.Clone()
+	mustInvoke(t, s, 1, 1)
+	if c.Tree.Len() == s.Tree.Len() {
+		t.Error("clone tree shares storage with original")
+	}
+	c.Times[3] = 9
+	if s.Times[3] == 9 {
+		t.Error("clone times share storage with original")
+	}
+	if c.Key() == s.Key() {
+		t.Error("diverged states share a key")
+	}
+}
+
+func TestStateKeyIgnoresZeroTimes(t *testing.T) {
+	a := newTestState(DefaultRules())
+	b := newTestState(DefaultRules())
+	b.Times[2] = 0 // explicitly recorded zero must not perturb the key
+	if a.Key() != b.Key() {
+		t.Error("zero-valued time entry changed the state key")
+	}
+}
+
+func TestUniverseGrowsWithConfigs(t *testing.T) {
+	s := newTestState(DefaultRules())
+	if !s.Universe().Equal(types.Range(1, 3)) {
+		t.Errorf("initial universe = %v", s.Universe())
+	}
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	m := mustInvoke(t, s, 1, 1)
+	mustPush(t, s, 1, types.NewNodeSet(1, 2), m.ID)
+	if _, err := s.Reconfig(1, config.NewMajorityConfig(types.Range(1, 4))); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Universe().Contains(4) {
+		t.Error("universe must include nodes from proposed configurations")
+	}
+}
+
+func TestMaxTime(t *testing.T) {
+	s := newTestState(DefaultRules())
+	if s.MaxTime() != 0 {
+		t.Errorf("initial MaxTime = %d", s.MaxTime())
+	}
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 7)
+	if s.MaxTime() != 7 {
+		t.Errorf("MaxTime = %d, want 7", s.MaxTime())
+	}
+}
+
+func TestOracleDeterministicBySeed(t *testing.T) {
+	run := func(seed int64) string {
+		s := newTestState(DefaultRules())
+		o := NewOracle(seed)
+		for i := 0; i < 30; i++ {
+			nid := types.NodeID(o.Intn(3) + 1)
+			switch o.Intn(3) {
+			case 0:
+				if ch, ok := o.PullChoice(s, nid, 0); ok {
+					if _, err := s.Pull(nid, ch); err != nil {
+						t.Fatalf("oracle produced invalid pull: %v", err)
+					}
+				}
+			case 1:
+				if _, err := s.Invoke(nid, types.MethodID(i)); err != nil {
+					continue // not a leader; fine
+				}
+			case 2:
+				if ch, ok := o.PushChoice(s, nid, 0); ok {
+					if _, err := s.Push(nid, ch); err != nil {
+						t.Fatalf("oracle produced invalid push: %v", err)
+					}
+				}
+			}
+		}
+		return s.Key()
+	}
+	if run(42) != run(42) {
+		t.Error("same seed produced different states")
+	}
+	if run(42) == run(43) {
+		t.Error("different seeds produced identical states (suspicious)")
+	}
+}
+
+func TestEnumeratePullsAllValid(t *testing.T) {
+	s := newTestState(DefaultRules())
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	mustInvoke(t, s, 1, 1)
+	for _, nid := range []types.NodeID{1, 2, 3} {
+		for _, ch := range EnumeratePulls(s, nid, false) {
+			c := s.Clone()
+			if _, err := c.Pull(nid, ch); err != nil {
+				t.Errorf("EnumeratePulls produced invalid choice %+v for %s: %v", ch, nid, err)
+			}
+		}
+	}
+}
+
+func TestEnumeratePushesAllValid(t *testing.T) {
+	s := newTestState(DefaultRules())
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	mustInvoke(t, s, 1, 1)
+	mustInvoke(t, s, 1, 2)
+	choices := EnumeratePushes(s, 1, false)
+	if len(choices) == 0 {
+		t.Fatal("no push choices for a leader with pending methods")
+	}
+	for _, ch := range choices {
+		c := s.Clone()
+		if _, err := c.Push(1, ch); err != nil {
+			t.Errorf("EnumeratePushes produced invalid choice %+v: %v", ch, err)
+		}
+	}
+	if got := EnumeratePushes(s, 2, false); len(got) != 0 {
+		t.Errorf("non-leader should have no push choices, got %v", got)
+	}
+}
+
+func TestEnumerateQuorumOnly(t *testing.T) {
+	s := newTestState(DefaultRules())
+	for _, ch := range EnumeratePulls(s, 1, true) {
+		c := s.Clone()
+		res, err := c.Pull(1, ch)
+		if err != nil {
+			t.Fatalf("invalid choice: %v", err)
+		}
+		if !res.Quorum {
+			t.Errorf("quorumOnly enumeration returned non-quorum choice %+v", ch)
+		}
+	}
+}
+
+func TestEnumerateReconfigsHonorsRules(t *testing.T) {
+	s := newTestState(DefaultRules())
+	mustPull(t, s, 1, types.NewNodeSet(1, 2), 1)
+	// R3 unsatisfied: no reconfigs available.
+	if got := EnumerateReconfigs(s, 1); len(got) != 0 {
+		t.Errorf("reconfigs available before commit: %v", got)
+	}
+	m := mustInvoke(t, s, 1, 1)
+	mustPush(t, s, 1, types.NewNodeSet(1, 2), m.ID)
+	got := EnumerateReconfigs(s, 1)
+	if len(got) == 0 {
+		t.Fatal("no reconfigs after commit")
+	}
+	for _, ncf := range got {
+		c := s.Clone()
+		if _, err := c.Reconfig(1, ncf); err != nil {
+			t.Errorf("enumerated reconfig %s rejected: %v", ncf, err)
+		}
+	}
+}
+
+func TestRulesPresets(t *testing.T) {
+	if r := DefaultRules(); !(r.AllowReconfig && r.R1 && r.R2 && r.R3 && !r.StopTheWorld) {
+		t.Errorf("DefaultRules = %+v", r)
+	}
+	if r := WithoutR3(); r.R3 || !r.R1 || !r.R2 {
+		t.Errorf("WithoutR3 = %+v", r)
+	}
+	if r := WithoutR2(); r.R2 || !r.R1 || !r.R3 {
+		t.Errorf("WithoutR2 = %+v", r)
+	}
+	if r := WithoutR1(); r.R1 || !r.R2 || !r.R3 {
+		t.Errorf("WithoutR1 = %+v", r)
+	}
+	if r := StaticRules(); r.AllowReconfig {
+		t.Errorf("StaticRules = %+v", r)
+	}
+}

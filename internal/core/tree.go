@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adore/internal/config"
+	"adore/internal/types"
+)
+
+// Tree is the cache tree (Fig. 6): a map from cache ID to cache plus parent
+// pointer, with an explicit child index. The root is a CCache at time 0,
+// version 0, with supporters mbrs(conf₀) — the implicitly committed initial
+// state.
+//
+// The tree is append-only: AddLeaf and InsertBtw are the only mutators
+// (matching the paper's addLeaf/insertBtw), plus the optional stop-the-world
+// PruneOffBranch extension discussed in §8.
+type Tree struct {
+	nodes    map[types.CID]*Cache
+	children map[types.CID][]types.CID
+	root     types.CID
+	next     types.CID
+}
+
+// NewTree builds a tree containing only the root cache under conf0.
+func NewTree(conf0 config.Config) *Tree {
+	t := &Tree{
+		nodes:    make(map[types.CID]*Cache),
+		children: make(map[types.CID][]types.CID),
+		root:     1,
+		next:     2,
+	}
+	t.nodes[t.root] = &Cache{
+		ID:     t.root,
+		Parent: types.NoCID,
+		Kind:   KindC,
+		Caller: types.NoNode,
+		Time:   0,
+		Vrsn:   0,
+		Supp:   conf0.Members(),
+		Conf:   conf0,
+	}
+	return t
+}
+
+// Root returns the root cache.
+func (t *Tree) Root() *Cache { return t.nodes[t.root] }
+
+// Get returns the cache with the given ID, or nil.
+func (t *Tree) Get(cid types.CID) *Cache { return t.nodes[cid] }
+
+// Len returns the number of caches, including the root.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// All returns every cache ordered by ID (insertion order).
+func (t *Tree) All() []*Cache {
+	out := make([]*Cache, 0, len(t.nodes))
+	for _, c := range t.nodes {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Children returns the IDs of cid's children in insertion order. The caller
+// must not mutate the returned slice.
+func (t *Tree) Children(cid types.CID) []types.CID { return t.children[cid] }
+
+// AddLeaf inserts c as a new leaf child of parent and returns the stored
+// cache with its assigned ID (the paper's addLeaf).
+func (t *Tree) AddLeaf(parent types.CID, c Cache) *Cache {
+	if t.nodes[parent] == nil {
+		panic(fmt.Sprintf("core: AddLeaf under unknown parent %d", parent))
+	}
+	c.ID = t.next
+	c.Parent = parent
+	t.next++
+	t.nodes[c.ID] = &c
+	t.children[parent] = append(t.children[parent], c.ID)
+	return &c
+}
+
+// InsertBtw inserts c between parent and parent's current children: the
+// children are re-parented under c and c becomes parent's only new child
+// (the paper's insertBtw, used by push so that uncommitted suffixes survive
+// as descendants of the new CCache).
+func (t *Tree) InsertBtw(parent types.CID, c Cache) *Cache {
+	if t.nodes[parent] == nil {
+		panic(fmt.Sprintf("core: InsertBtw under unknown parent %d", parent))
+	}
+	c.ID = t.next
+	c.Parent = parent
+	t.next++
+	moved := t.children[parent]
+	t.nodes[c.ID] = &c
+	t.children[c.ID] = moved
+	for _, child := range moved {
+		t.nodes[child].Parent = c.ID
+	}
+	t.children[parent] = []types.CID{c.ID}
+	return &c
+}
+
+// IsAncestor reports a ↑ b: a is a strict ancestor of b.
+func (t *Tree) IsAncestor(a, b types.CID) bool {
+	for cur := t.nodes[b]; cur != nil && cur.Parent != types.NoCID; {
+		if cur.Parent == a {
+			return true
+		}
+		cur = t.nodes[cur.Parent]
+	}
+	return false
+}
+
+// OnSameBranch reports whether a and b are equal or one is an ancestor of
+// the other.
+func (t *Tree) OnSameBranch(a, b types.CID) bool {
+	return a == b || t.IsAncestor(a, b) || t.IsAncestor(b, a)
+}
+
+// PathToRoot returns the caches from cid (inclusive) up to the root
+// (inclusive).
+func (t *Tree) PathToRoot(cid types.CID) []*Cache {
+	var out []*Cache
+	for cur := t.nodes[cid]; cur != nil; cur = t.nodes[cur.Parent] {
+		out = append(out, cur)
+		if cur.Parent == types.NoCID {
+			break
+		}
+	}
+	return out
+}
+
+// Depth returns the number of edges between cid and the root.
+func (t *Tree) Depth(cid types.CID) int {
+	d := 0
+	for cur := t.nodes[cid]; cur != nil && cur.Parent != types.NoCID; cur = t.nodes[cur.Parent] {
+		d++
+	}
+	return d
+}
+
+// NCA returns the nearest common ancestor of a and b (possibly a or b
+// itself).
+func (t *Tree) NCA(a, b types.CID) types.CID {
+	seen := make(map[types.CID]bool)
+	for cur := t.nodes[a]; cur != nil; cur = t.nodes[cur.Parent] {
+		seen[cur.ID] = true
+		if cur.Parent == types.NoCID {
+			break
+		}
+	}
+	for cur := t.nodes[b]; cur != nil; cur = t.nodes[cur.Parent] {
+		if seen[cur.ID] {
+			return cur.ID
+		}
+		if cur.Parent == types.NoCID {
+			break
+		}
+	}
+	return t.root
+}
+
+// RDist computes rdist(a, b) (Def. 4.2): the number of RCaches strictly
+// between a and b on the path through their nearest common ancestor, not
+// counting the endpoints (the NCA itself is counted when it is a distinct
+// interior RCache).
+func (t *Tree) RDist(a, b types.CID) int {
+	if a == b {
+		return 0
+	}
+	nca := t.NCA(a, b)
+	count := 0
+	// countUp counts RCaches strictly between from and the NCA.
+	countUp := func(from types.CID) {
+		cur := t.nodes[from]
+		if cur == nil || cur.ID == nca {
+			return
+		}
+		for cur.Parent != types.NoCID {
+			cur = t.nodes[cur.Parent]
+			if cur.ID == nca {
+				return
+			}
+			if cur.Kind == KindR {
+				count++
+			}
+		}
+	}
+	countUp(a)
+	countUp(b)
+	// The NCA itself lies on the path when it is not an endpoint.
+	if nca != a && nca != b && t.nodes[nca].Kind == KindR {
+		count++
+	}
+	return count
+}
+
+// TreeRDist returns rdist(tr): the maximum rdist between any two caches.
+func (t *Tree) TreeRDist() int {
+	all := t.All()
+	max := 0
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if d := t.RDist(all[i].ID, all[j].ID); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Clone returns a deep copy of the tree. Cache values are copied; NodeSets
+// and Configs are immutable and shared.
+func (t *Tree) Clone() *Tree {
+	nt := &Tree{
+		nodes:    make(map[types.CID]*Cache, len(t.nodes)),
+		children: make(map[types.CID][]types.CID, len(t.children)),
+		root:     t.root,
+		next:     t.next,
+	}
+	for cid, c := range t.nodes {
+		cc := *c
+		nt.nodes[cid] = &cc
+	}
+	for cid, kids := range t.children {
+		nt.children[cid] = append([]types.CID(nil), kids...)
+	}
+	return nt
+}
+
+// PruneOffBranch removes every cache that is neither an ancestor nor a
+// descendant of cid (nor cid itself). It implements the stop-the-world
+// reconfiguration variant sketched in §8: when an RCache commits, sibling
+// branches are deleted, simulating a log copy to a fresh cluster.
+func (t *Tree) PruneOffBranch(cid types.CID) int {
+	keep := make(map[types.CID]bool)
+	for _, c := range t.PathToRoot(cid) {
+		keep[c.ID] = true
+	}
+	var markDesc func(types.CID)
+	markDesc = func(id types.CID) {
+		keep[id] = true
+		for _, child := range t.children[id] {
+			markDesc(child)
+		}
+	}
+	markDesc(cid)
+	removed := 0
+	for id := range t.nodes {
+		if !keep[id] {
+			delete(t.nodes, id)
+			delete(t.children, id)
+			removed++
+		}
+	}
+	if removed > 0 {
+		for id, kids := range t.children {
+			filtered := kids[:0]
+			for _, k := range kids {
+				if keep[k] {
+					filtered = append(filtered, k)
+				}
+			}
+			t.children[id] = filtered
+		}
+	}
+	return removed
+}
+
+// Key returns a canonical signature of the tree: a Merkle-style hash string
+// in which sibling subtrees are sorted by content, so isomorphic trees that
+// differ only in cache IDs or sibling order share a key. The model explorer
+// uses it to deduplicate states.
+func (t *Tree) Key() string {
+	var sig func(types.CID) string
+	sig = func(cid types.CID) string {
+		kids := t.children[cid]
+		parts := make([]string, len(kids))
+		for i, k := range kids {
+			parts[i] = sig(k)
+		}
+		sort.Strings(parts)
+		return t.nodes[cid].contentSig() + "(" + strings.Join(parts, ",") + ")"
+	}
+	return sig(t.root)
+}
+
+// MostRecent returns mostRecent(tr, Q): the greatest cache (by >) observed
+// by at least one member of Q, or nil if no cache qualifies.
+//
+// Observation is knowledge transfer: acking a commit (CCache supporters)
+// means the replica stored the log prefix, and calling an operation means
+// the caller knows its result. Granting an election vote, however, transfers
+// no log knowledge — a Raft voter only advances its term — so an ECache is
+// observed only by its caller, not by its voters. This distinction is what
+// lets the published Fig. 4 schedule proceed: S3 votes in S2's election yet
+// S1's later election (supported by S3) still lands on S1's own RCache,
+// "using its own configuration on a different branch from the CCache"
+// (§4.2). Treating votes as observations would block the bug the paper
+// proves R3 is needed for.
+func (t *Tree) MostRecent(q types.NodeSet) *Cache {
+	var best *Cache
+	for _, c := range t.All() {
+		if !observers(c).Intersects(q) {
+			continue
+		}
+		if best == nil || c.Greater(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// observers returns the replicas whose local log reflects c. ECaches have
+// none: an election is metadata, not a log entry — not even the winner's
+// log changes (the winner's knowledge is already captured by the M/R/C
+// caches on the branch its ECache was inserted under).
+func observers(c *Cache) types.NodeSet {
+	if c.Kind == KindE {
+		return types.NodeSet{}
+	}
+	return c.Supporters()
+}
+
+// ActiveCache returns activeCache(tr, nid): the greatest cache called by
+// nid, or nil if nid has never completed an operation.
+func (t *Tree) ActiveCache(nid types.NodeID) *Cache {
+	var best *Cache
+	for _, c := range t.All() {
+		if c.Caller != nid {
+			continue
+		}
+		if best == nil || c.Greater(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// LastCommit returns lastCommit(tr, nid): the greatest CCache whose
+// supporters include nid (the root qualifies for members of conf₀), or nil.
+func (t *Tree) LastCommit(nid types.NodeID) *Cache {
+	var best *Cache
+	for _, c := range t.All() {
+		if c.Kind != KindC || !c.Supporters().Contains(nid) {
+			continue
+		}
+		if best == nil || c.Greater(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// CCaches returns every CCache in the tree (including the root), ordered by
+// ID.
+func (t *Tree) CCaches() []*Cache {
+	var out []*Cache
+	for _, c := range t.All() {
+		if c.Kind == KindC {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RCaches returns every RCache in the tree, ordered by ID.
+func (t *Tree) RCaches() []*Cache {
+	var out []*Cache
+	for _, c := range t.All() {
+		if c.Kind == KindR {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Render draws the tree as indented ASCII, one cache per line, for the
+// scenario CLI and golden tests.
+func (t *Tree) Render() string {
+	var b strings.Builder
+	var walk func(cid types.CID, depth int)
+	walk = func(cid types.CID, depth int) {
+		c := t.nodes[cid]
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+		kids := append([]types.CID(nil), t.children[cid]...)
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	walk(t.root, 0)
+	return b.String()
+}

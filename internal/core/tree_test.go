@@ -1,0 +1,297 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"adore/internal/config"
+	"adore/internal/types"
+)
+
+func majority3() config.Config {
+	return config.NewMajorityConfig(types.Range(1, 3))
+}
+
+func TestNewTreeRoot(t *testing.T) {
+	tr := NewTree(majority3())
+	root := tr.Root()
+	if root == nil {
+		t.Fatal("no root")
+	}
+	if root.Kind != KindC {
+		t.Errorf("root kind = %v, want CCache", root.Kind)
+	}
+	if root.Time != 0 || root.Vrsn != 0 {
+		t.Errorf("root stamp = %v, want 0.0", root.Stamp())
+	}
+	if !root.Supp.Equal(types.Range(1, 3)) {
+		t.Errorf("root supporters = %v, want conf₀ members", root.Supp)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("tree size = %d, want 1", tr.Len())
+	}
+}
+
+func TestAddLeaf(t *testing.T) {
+	tr := NewTree(majority3())
+	c := tr.AddLeaf(tr.Root().ID, Cache{Kind: KindM, Caller: 1, Time: 1, Vrsn: 1, Method: 7, Conf: majority3()})
+	if c.Parent != tr.Root().ID {
+		t.Errorf("leaf parent = %d", c.Parent)
+	}
+	if got := tr.Children(tr.Root().ID); len(got) != 1 || got[0] != c.ID {
+		t.Errorf("root children = %v", got)
+	}
+	if !tr.IsAncestor(tr.Root().ID, c.ID) {
+		t.Error("root should be ancestor of leaf")
+	}
+	if tr.IsAncestor(c.ID, tr.Root().ID) {
+		t.Error("leaf must not be ancestor of root")
+	}
+}
+
+func TestInsertBtwReparentsChildren(t *testing.T) {
+	tr := NewTree(majority3())
+	root := tr.Root().ID
+	m1 := tr.AddLeaf(root, Cache{Kind: KindM, Caller: 1, Time: 1, Vrsn: 1, Method: 1, Conf: majority3()})
+	m2 := tr.AddLeaf(m1.ID, Cache{Kind: KindM, Caller: 1, Time: 1, Vrsn: 2, Method: 2, Conf: majority3()})
+	m3 := tr.AddLeaf(m1.ID, Cache{Kind: KindM, Caller: 1, Time: 1, Vrsn: 3, Method: 3, Conf: majority3()})
+	cc := tr.InsertBtw(m1.ID, Cache{Kind: KindC, Caller: 1, Time: 1, Vrsn: 1, Supp: types.Range(1, 2), Conf: majority3()})
+
+	if cc.Parent != m1.ID {
+		t.Errorf("CCache parent = %d, want %d", cc.Parent, m1.ID)
+	}
+	if kids := tr.Children(m1.ID); len(kids) != 1 || kids[0] != cc.ID {
+		t.Errorf("m1 children = %v, want only the CCache", kids)
+	}
+	kids := tr.Children(cc.ID)
+	if len(kids) != 2 {
+		t.Fatalf("CCache children = %v, want m2 and m3", kids)
+	}
+	if tr.Get(m2.ID).Parent != cc.ID || tr.Get(m3.ID).Parent != cc.ID {
+		t.Error("children not re-parented under the CCache")
+	}
+	if !tr.IsAncestor(cc.ID, m2.ID) || !tr.IsAncestor(m1.ID, cc.ID) {
+		t.Error("ancestry broken after InsertBtw")
+	}
+}
+
+func TestNCA(t *testing.T) {
+	tr := NewTree(majority3())
+	root := tr.Root().ID
+	a := tr.AddLeaf(root, Cache{Kind: KindM, Caller: 1, Time: 1, Vrsn: 1, Conf: majority3()})
+	b1 := tr.AddLeaf(a.ID, Cache{Kind: KindM, Caller: 1, Time: 1, Vrsn: 2, Conf: majority3()})
+	b2 := tr.AddLeaf(a.ID, Cache{Kind: KindM, Caller: 2, Time: 2, Vrsn: 1, Conf: majority3()})
+	if got := tr.NCA(b1.ID, b2.ID); got != a.ID {
+		t.Errorf("NCA(b1,b2) = %d, want %d", got, a.ID)
+	}
+	if got := tr.NCA(a.ID, b1.ID); got != a.ID {
+		t.Errorf("NCA(ancestor,descendant) = %d, want the ancestor", got)
+	}
+	if got := tr.NCA(root, b2.ID); got != root {
+		t.Errorf("NCA(root,x) = %d, want root", got)
+	}
+}
+
+func TestRDist(t *testing.T) {
+	cf := majority3()
+	tr := NewTree(cf)
+	root := tr.Root().ID
+	// Branch 1: root → R1 → M → C1; Branch 2: root → R2.
+	r1 := tr.AddLeaf(root, Cache{Kind: KindR, Caller: 1, Time: 1, Vrsn: 1, Conf: cf})
+	m := tr.AddLeaf(r1.ID, Cache{Kind: KindM, Caller: 1, Time: 1, Vrsn: 2, Conf: cf})
+	c1 := tr.AddLeaf(m.ID, Cache{Kind: KindC, Caller: 1, Time: 1, Vrsn: 2, Supp: types.Range(1, 2), Conf: cf})
+	r2 := tr.AddLeaf(root, Cache{Kind: KindR, Caller: 2, Time: 2, Vrsn: 1, Conf: cf})
+
+	cases := []struct {
+		a, b types.CID
+		want int
+	}{
+		{root, root, 0},
+		{root, r1.ID, 0}, // endpoint RCaches don't count
+		{root, m.ID, 1},  // R1 strictly between
+		{root, c1.ID, 1},
+		{r1.ID, c1.ID, 0}, // R1 is an endpoint
+		{r2.ID, c1.ID, 1}, // path r2→root→r1→m→c1 contains R1 only (r2 endpoint)
+		{m.ID, r2.ID, 1},  // R1 interior on one side, R2 endpoint
+		{c1.ID, r2.ID, 1},
+	}
+	for _, c := range cases {
+		if got := tr.RDist(c.a, c.b); got != c.want {
+			t.Errorf("RDist(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := tr.RDist(c.b, c.a); got != c.want {
+			t.Errorf("RDist(%d,%d) not symmetric", c.b, c.a)
+		}
+	}
+	if got := tr.TreeRDist(); got != 1 {
+		t.Errorf("TreeRDist = %d, want 1", got)
+	}
+}
+
+func TestRDistNCAIsInteriorRCache(t *testing.T) {
+	cf := majority3()
+	tr := NewTree(cf)
+	r := tr.AddLeaf(tr.Root().ID, Cache{Kind: KindR, Caller: 1, Time: 1, Vrsn: 1, Conf: cf})
+	a := tr.AddLeaf(r.ID, Cache{Kind: KindM, Caller: 1, Time: 1, Vrsn: 2, Conf: cf})
+	b := tr.AddLeaf(r.ID, Cache{Kind: KindM, Caller: 2, Time: 2, Vrsn: 1, Conf: cf})
+	// NCA(a,b) is the RCache itself: it lies on the path and must count.
+	if got := tr.RDist(a.ID, b.ID); got != 1 {
+		t.Errorf("RDist with RCache NCA = %d, want 1", got)
+	}
+}
+
+func TestGreaterTotalOrder(t *testing.T) {
+	cf := majority3()
+	m := &Cache{Kind: KindM, Time: 2, Vrsn: 1, Conf: cf}
+	c := &Cache{Kind: KindC, Time: 2, Vrsn: 1, Conf: cf}
+	e := &Cache{Kind: KindE, Time: 3, Vrsn: 0, Conf: cf}
+	if !c.Greater(m) {
+		t.Error("CCache must exceed same-stamp MCache")
+	}
+	if m.Greater(c) {
+		t.Error("MCache must not exceed same-stamp CCache")
+	}
+	if !e.Greater(c) {
+		t.Error("later time must dominate kind tie-break")
+	}
+	if m.Greater(m) {
+		t.Error("> must be irreflexive")
+	}
+}
+
+func TestMostRecentAndActiveCache(t *testing.T) {
+	cf := majority3()
+	tr := NewTree(cf)
+	e := tr.AddLeaf(tr.Root().ID, Cache{Kind: KindE, Caller: 1, Time: 1, Vrsn: 0, Supp: types.Range(1, 2), Conf: cf})
+	m := tr.AddLeaf(e.ID, Cache{Kind: KindM, Caller: 1, Time: 1, Vrsn: 1, Method: 5, Conf: cf})
+
+	// S2 only voted for the ECache; votes transfer no log knowledge, so
+	// S2's most recent observed cache is still the root.
+	if got := tr.MostRecent(types.NewNodeSet(2)); got == nil || got.ID != tr.Root().ID {
+		t.Errorf("MostRecent({S2}) = %v, want the root", got)
+	}
+	// The caller itself has observed its own ECache (superseded here by
+	// its MCache, checked below).
+	if got := tr.MostRecent(types.NewNodeSet(1)); got == nil || got.ID != m.ID {
+		t.Errorf("MostRecent({S1}) = %v, want the MCache", got)
+	}
+	// S1 called the MCache, so it has seen further.
+	if got := tr.MostRecent(types.NewNodeSet(1)); got == nil || got.ID != m.ID {
+		t.Errorf("MostRecent({S1}) = %v, want the MCache", got)
+	}
+	// S3 only supports the root.
+	if got := tr.MostRecent(types.NewNodeSet(3)); got == nil || got.ID != tr.Root().ID {
+		t.Errorf("MostRecent({S3}) = %v, want the root", got)
+	}
+	// Nobody in Q supports anything.
+	if got := tr.MostRecent(types.NewNodeSet(9)); got != nil {
+		t.Errorf("MostRecent({S9}) = %v, want nil", got)
+	}
+	if got := tr.ActiveCache(1); got == nil || got.ID != m.ID {
+		t.Errorf("ActiveCache(S1) = %v, want the MCache", got)
+	}
+	if got := tr.ActiveCache(2); got != nil {
+		t.Errorf("ActiveCache(S2) = %v, want nil (S2 never called)", got)
+	}
+}
+
+func TestLastCommit(t *testing.T) {
+	cf := majority3()
+	tr := NewTree(cf)
+	if got := tr.LastCommit(1); got == nil || got.ID != tr.Root().ID {
+		t.Errorf("LastCommit(S1) = %v, want root", got)
+	}
+	if got := tr.LastCommit(9); got != nil {
+		t.Errorf("LastCommit(S9) = %v, want nil", got)
+	}
+	m := tr.AddLeaf(tr.Root().ID, Cache{Kind: KindM, Caller: 1, Time: 1, Vrsn: 1, Conf: cf})
+	cc := tr.InsertBtw(m.ID, Cache{Kind: KindC, Caller: 1, Time: 1, Vrsn: 1, Supp: types.NewNodeSet(1, 2), Conf: cf})
+	if got := tr.LastCommit(2); got == nil || got.ID != cc.ID {
+		t.Errorf("LastCommit(S2) = %v, want new CCache", got)
+	}
+	if got := tr.LastCommit(3); got == nil || got.ID != tr.Root().ID {
+		t.Errorf("LastCommit(S3) = %v, want root (did not support the commit)", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	cf := majority3()
+	tr := NewTree(cf)
+	tr.AddLeaf(tr.Root().ID, Cache{Kind: KindM, Caller: 1, Time: 1, Vrsn: 1, Conf: cf})
+	clone := tr.Clone()
+	clone.AddLeaf(clone.Root().ID, Cache{Kind: KindM, Caller: 2, Time: 2, Vrsn: 1, Conf: cf})
+	if tr.Len() == clone.Len() {
+		t.Error("mutating the clone changed the original's size")
+	}
+	if tr.Key() == clone.Key() {
+		t.Error("diverged trees share a key")
+	}
+}
+
+func TestKeyCanonicalAcrossSiblingOrder(t *testing.T) {
+	cf := majority3()
+	build := func(order []types.MethodID) *Tree {
+		tr := NewTree(cf)
+		for i, m := range order {
+			tr.AddLeaf(tr.Root().ID, Cache{Kind: KindM, Caller: types.NodeID(i + 1), Time: types.Time(i + 1), Vrsn: 1, Method: m, Conf: cf})
+		}
+		return tr
+	}
+	a := build([]types.MethodID{1, 2})
+	b := NewTree(cf)
+	b.AddLeaf(b.Root().ID, Cache{Kind: KindM, Caller: 2, Time: 2, Vrsn: 1, Method: 2, Conf: cf})
+	b.AddLeaf(b.Root().ID, Cache{Kind: KindM, Caller: 1, Time: 1, Vrsn: 1, Method: 1, Conf: cf})
+	if a.Key() != b.Key() {
+		t.Error("isomorphic trees (different insertion order) must share a key")
+	}
+}
+
+func TestPruneOffBranch(t *testing.T) {
+	cf := majority3()
+	tr := NewTree(cf)
+	root := tr.Root().ID
+	keep := tr.AddLeaf(root, Cache{Kind: KindM, Caller: 1, Time: 1, Vrsn: 1, Conf: cf})
+	keepChild := tr.AddLeaf(keep.ID, Cache{Kind: KindM, Caller: 1, Time: 1, Vrsn: 2, Conf: cf})
+	lose := tr.AddLeaf(root, Cache{Kind: KindM, Caller: 2, Time: 2, Vrsn: 1, Conf: cf})
+	loseChild := tr.AddLeaf(lose.ID, Cache{Kind: KindM, Caller: 2, Time: 2, Vrsn: 2, Conf: cf})
+
+	removed := tr.PruneOffBranch(keep.ID)
+	if removed != 2 {
+		t.Errorf("pruned %d caches, want 2", removed)
+	}
+	if tr.Get(lose.ID) != nil || tr.Get(loseChild.ID) != nil {
+		t.Error("off-branch caches survived pruning")
+	}
+	if tr.Get(keep.ID) == nil || tr.Get(keepChild.ID) == nil || tr.Get(root) == nil {
+		t.Error("on-branch caches were pruned")
+	}
+	if kids := tr.Children(root); len(kids) != 1 || kids[0] != keep.ID {
+		t.Errorf("root children after prune = %v", kids)
+	}
+}
+
+func TestRenderContainsAllCaches(t *testing.T) {
+	cf := majority3()
+	tr := NewTree(cf)
+	tr.AddLeaf(tr.Root().ID, Cache{Kind: KindM, Caller: 1, Time: 1, Vrsn: 1, Method: 42, Conf: cf})
+	out := tr.Render()
+	if !strings.Contains(out, "M42") || !strings.Contains(out, "C1⟨") {
+		t.Errorf("render missing caches:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != tr.Len() {
+		t.Errorf("render has %d lines, want %d", got, tr.Len())
+	}
+}
+
+func TestDepth(t *testing.T) {
+	cf := majority3()
+	tr := NewTree(cf)
+	if tr.Depth(tr.Root().ID) != 0 {
+		t.Error("root depth must be 0")
+	}
+	a := tr.AddLeaf(tr.Root().ID, Cache{Kind: KindM, Caller: 1, Time: 1, Vrsn: 1, Conf: cf})
+	b := tr.AddLeaf(a.ID, Cache{Kind: KindM, Caller: 1, Time: 1, Vrsn: 2, Conf: cf})
+	if tr.Depth(b.ID) != 2 {
+		t.Errorf("depth = %d, want 2", tr.Depth(b.ID))
+	}
+}

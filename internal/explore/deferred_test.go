@@ -1,0 +1,52 @@
+package explore
+
+import (
+	"testing"
+
+	"adore/internal/config"
+	"adore/internal/core"
+)
+
+// TestBFSDeferredSafe explores the §8 Lamport-style deferred
+// reconfiguration variant: with R1⁺/R2 and inert uncommitted
+// configurations, replicated state safety holds without R3.
+func TestBFSDeferredSafe(t *testing.T) {
+	s := initial(config.RaftSingleNode, 3, core.DeferredRules(0))
+	res := BFS(s, Options{MaxDepth: 4, MaxStates: 30000})
+	if res.Violation != nil {
+		t.Fatalf("violation in deferred model: %v\ntrace: %v\n%s",
+			res.Violation, res.Trace, res.ViolationState)
+	}
+	t.Logf("deferred: %d states, %d transitions", res.States, res.Transitions)
+}
+
+// TestBFSDeferredAlphaSafe adds the α pipeline bound; it must only shrink
+// the space, never break safety.
+func TestBFSDeferredAlphaSafe(t *testing.T) {
+	unbounded := BFS(initial(config.RaftSingleNode, 3, core.DeferredRules(0)),
+		Options{MaxDepth: 4, MaxStates: 30000})
+	bounded := BFS(initial(config.RaftSingleNode, 3, core.DeferredRules(1)),
+		Options{MaxDepth: 4, MaxStates: 30000})
+	if bounded.Violation != nil {
+		t.Fatalf("violation with α=1: %v", bounded.Violation)
+	}
+	if bounded.States > unbounded.States {
+		t.Errorf("α bound enlarged the space: %d > %d", bounded.States, unbounded.States)
+	}
+}
+
+// TestRandomWalkDeferredAllSchemes sweeps the deferred variant across every
+// scheme.
+func TestRandomWalkDeferredAllSchemes(t *testing.T) {
+	for _, scheme := range config.AllSchemes() {
+		scheme := scheme
+		t.Run(scheme.Name(), func(t *testing.T) {
+			t.Parallel()
+			s := initial(scheme, 3, core.DeferredRules(3))
+			res := RandomWalk(s, 23, 25, 20, Options{})
+			if res.Violation != nil {
+				t.Fatalf("violation: %v\ntrace: %v\n%s", res.Violation, res.Trace, res.ViolationState)
+			}
+		})
+	}
+}

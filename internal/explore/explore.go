@@ -1,0 +1,286 @@
+// Package explore quantifies the invariant checkers of package invariant
+// over the reachable state space of the Adore model. It is this
+// repository's substitute for the paper's Coq proofs: where the paper
+// proves "for all reachable states, safety holds", this package checks the
+// same property exhaustively on bounded instances (BFS with canonical state
+// deduplication) and statistically on unbounded ones (seeded random walks).
+//
+// The explorer enumerates exactly the valid oracle outcomes of Fig. 27, so
+// the transition relation it explores is the paper's operational semantics.
+package explore
+
+import (
+	"fmt"
+
+	"adore/internal/core"
+	"adore/internal/invariant"
+	"adore/internal/types"
+)
+
+// Step is one labeled transition of the model.
+type Step struct {
+	// Desc is a human-readable description ("pull S1 Q={S1,S2} T=2").
+	Desc string
+	// Apply performs the transition on a state; it must only be given
+	// (clones of) the state the step was enumerated from.
+	Apply func(*core.State) error
+}
+
+// Successors enumerates every enabled transition from s, following the
+// valid-oracle rules. Non-quorum pulls/pushes are included only when
+// withFailures is true; they change only the time map but can block other
+// leaders, which matters for completeness of the search.
+func Successors(s *core.State, withFailures bool) []Step {
+	return successors(s, Options{WithFailures: withFailures})
+}
+
+func successors(s *core.State, opts Options) []Step {
+	withFailures, minimalTimes := opts.WithFailures, opts.MinimalTimes
+	var steps []Step
+	universe := s.Universe()
+	for _, nid := range universe.Slice() {
+		nid := nid
+		if !opts.Actors.IsEmpty() && !opts.Actors.Contains(nid) {
+			continue
+		}
+		for _, ch := range core.EnumeratePullsOpt(s, nid, !withFailures, minimalTimes) {
+			ch := ch
+			steps = append(steps, Step{
+				Desc: fmt.Sprintf("pull %s Q=%s T=%d", nid, ch.Q, ch.T),
+				Apply: func(st *core.State) error {
+					_, err := st.Pull(nid, ch)
+					return err
+				},
+			})
+		}
+		if s.CanInvoke(nid) == nil {
+			steps = append(steps, Step{
+				Desc: fmt.Sprintf("invoke %s", nid),
+				Apply: func(st *core.State) error {
+					_, err := st.Invoke(nid, 1)
+					return err
+				},
+			})
+		}
+		for _, ncf := range core.EnumerateReconfigs(s, nid) {
+			ncf := ncf
+			steps = append(steps, Step{
+				Desc: fmt.Sprintf("reconfig %s → %s", nid, ncf),
+				Apply: func(st *core.State) error {
+					_, err := st.Reconfig(nid, ncf)
+					return err
+				},
+			})
+		}
+		for _, ch := range core.EnumeratePushes(s, nid, !withFailures) {
+			ch := ch
+			steps = append(steps, Step{
+				Desc: fmt.Sprintf("push %s Q=%s CM=%d", nid, ch.Q, ch.CM),
+				Apply: func(st *core.State) error {
+					_, err := st.Push(nid, ch)
+					return err
+				},
+			})
+		}
+	}
+	return steps
+}
+
+// Options bounds a search.
+type Options struct {
+	// MaxDepth bounds the number of transitions from the initial state.
+	MaxDepth int
+	// MaxStates caps the number of distinct states visited (0 = no cap).
+	MaxStates int
+	// WithFailures includes non-quorum pulls and pushes in the
+	// transition relation.
+	WithFailures bool
+	// MinimalTimes restricts pull enumeration to the smallest admissible
+	// timestamp per supporter set — a frontier reduction for violation
+	// hunting.
+	MinimalTimes bool
+	// Actors, when non-empty, restricts which replicas may *initiate*
+	// operations (pull/invoke/reconfig/push); any replica may still vote
+	// or acknowledge. Bug hunts exploit this: the Fig. 4 class of
+	// violations needs only two competing leaders, so restricting the
+	// initiators cuts the frontier without losing the counterexamples.
+	Actors types.NodeSet
+	// Invariants are the checkers to run on every visited state; nil
+	// means invariant.All() filtered by the state's rules.
+	Invariants []invariant.Checker
+	// OnState, when set, is called once for every newly visited state
+	// (metrics, coverage accounting).
+	OnState func(*core.State)
+}
+
+// Result summarizes a search.
+type Result struct {
+	// States is the number of distinct states visited (after canonical
+	// deduplication); Transitions counts edges explored.
+	States      int
+	Transitions int
+	// DepthReached is the deepest level fully or partially expanded.
+	DepthReached int
+	// Truncated reports whether MaxStates stopped the search early.
+	Truncated bool
+	// Violation is the first invariant violation found, if any, and
+	// Trace the step descriptions leading to it from the initial state.
+	Violation *invariant.Violation
+	// ViolationState renders the offending state's cache tree.
+	ViolationState string
+	Trace          []string
+}
+
+// node is a BFS queue entry.
+type node struct {
+	state *core.State
+	trace []string
+	depth int
+}
+
+// BFS exhaustively explores the state space of s up to the given bounds,
+// running the invariants on every state including the initial one. It
+// returns as soon as a violation is found.
+func BFS(s *core.State, opts Options) Result {
+	checkers := opts.Invariants
+	if checkers == nil {
+		checkers = applicable(s.Rules)
+	}
+	res := Result{}
+	visited := map[string]bool{s.Key(): true}
+	queue := []node{{state: s.Clone(), depth: 0}}
+	res.States = 1
+
+	if v := runCheckers(checkers, s); v != nil {
+		res.Violation = v
+		res.ViolationState = s.Tree.Render()
+		return res
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.depth > res.DepthReached {
+			res.DepthReached = cur.depth
+		}
+		if cur.depth >= opts.MaxDepth {
+			continue
+		}
+		for _, step := range successors(cur.state, opts) {
+			next := cur.state.Clone()
+			if err := step.Apply(next); err != nil {
+				// Enumerations should only produce valid steps;
+				// surface violations of that contract loudly.
+				panic(fmt.Sprintf("explore: enumerated step %q rejected: %v", step.Desc, err))
+			}
+			res.Transitions++
+			key := next.Key()
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+			res.States++
+			if opts.OnState != nil {
+				opts.OnState(next)
+			}
+			trace := append(append([]string(nil), cur.trace...), step.Desc)
+			if v := runCheckers(checkers, next); v != nil {
+				res.Violation = v
+				res.Trace = trace
+				res.ViolationState = next.Tree.Render()
+				return res
+			}
+			if opts.MaxStates > 0 && res.States >= opts.MaxStates {
+				res.Truncated = true
+				return res
+			}
+			queue = append(queue, node{state: next, trace: trace, depth: cur.depth + 1})
+		}
+	}
+	return res
+}
+
+// RandomWalk performs walks random trajectories of length steps each from
+// s, drawing operations from a seeded oracle, and checks the invariants
+// after every transition. It complements BFS beyond exhaustive bounds.
+func RandomWalk(s *core.State, seed int64, walks, steps int, opts Options) Result {
+	checkers := opts.Invariants
+	if checkers == nil {
+		checkers = applicable(s.Rules)
+	}
+	res := Result{}
+	o := core.NewOracle(seed)
+	for w := 0; w < walks; w++ {
+		cur := s.Clone()
+		var trace []string
+		for i := 0; i < steps; i++ {
+			succ := successors(cur, opts)
+			if len(succ) == 0 {
+				break
+			}
+			step := succ[o.Intn(len(succ))]
+			if err := step.Apply(cur); err != nil {
+				panic(fmt.Sprintf("explore: enumerated step %q rejected: %v", step.Desc, err))
+			}
+			res.Transitions++
+			trace = append(trace, step.Desc)
+			res.States++
+			if v := runCheckers(checkers, cur); v != nil {
+				res.Violation = v
+				res.Trace = trace
+				res.ViolationState = cur.Tree.Render()
+				return res
+			}
+		}
+	}
+	return res
+}
+
+func runCheckers(checkers []invariant.Checker, s *core.State) *invariant.Violation {
+	for _, c := range checkers {
+		if v := c.Check(s); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+func applicable(rules core.Rules) []invariant.Checker {
+	var out []invariant.Checker
+	for _, c := range invariant.All() {
+		if c.AppliesTo(rules) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// BugHuntCheckers returns the checkers used to hunt the Fig. 4 class of
+// bugs: replicated state safety plus election-commit order. The latter is
+// the first observable breach (a leader elected with a quorum that has not
+// seen a committed reconfiguration), reachable two steps before the actual
+// divergent commit, which keeps the exhaustive search shallow.
+func BugHuntCheckers() []invariant.Checker {
+	return []invariant.Checker{
+		{
+			Name:      "Safety",
+			AppliesTo: func(core.Rules) bool { return true },
+			Check:     invariant.CheckSafety,
+		},
+		{
+			Name:      "ElectionCommitOrder",
+			AppliesTo: func(core.Rules) bool { return true },
+			Check:     invariant.CheckElectionCommitOrder,
+		},
+	}
+}
+
+// SafetyOnly returns just the replicated-state-safety checker, for searches
+// that hunt the Fig. 4 violation.
+func SafetyOnly() []invariant.Checker {
+	return []invariant.Checker{{
+		Name:      "Safety",
+		AppliesTo: func(core.Rules) bool { return true },
+		Check:     invariant.CheckSafety,
+	}}
+}

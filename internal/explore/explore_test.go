@@ -1,0 +1,238 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"adore/internal/config"
+	"adore/internal/core"
+	"adore/internal/invariant"
+	"adore/internal/types"
+)
+
+func initial(scheme config.Scheme, n types.NodeID, rules core.Rules) *core.State {
+	return core.NewState(scheme, types.Range(1, n), rules)
+}
+
+// TestBFSSafeModelNoViolations is the headline check (Theorem 4.5 on a
+// bounded instance): with all guards enabled, exhaustive exploration finds
+// no invariant violations.
+func TestBFSSafeModelNoViolations(t *testing.T) {
+	s := initial(config.RaftSingleNode, 3, core.DefaultRules())
+	res := BFS(s, Options{MaxDepth: 4, MaxStates: 4000})
+	if res.Violation != nil {
+		t.Fatalf("violation in safe model: %v\ntrace: %v\n%s", res.Violation, res.Trace, res.ViolationState)
+	}
+	if res.States < 100 {
+		t.Errorf("suspiciously small state space: %d states", res.States)
+	}
+	t.Logf("explored %d states, %d transitions, depth %d", res.States, res.Transitions, res.DepthReached)
+}
+
+// TestBFSFindsFig4ViolationWithoutR3 is E5: the checker must rediscover the
+// published Raft single-server bug when R3 is disabled.
+func TestBFSFindsFig4ViolationWithoutR3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bug search is slow in -short mode")
+	}
+	s := initial(config.RaftSingleNode, 4, core.WithoutR3())
+	res := BFS(s, Options{
+		MaxDepth:     6,
+		MaxStates:    300000,
+		MinimalTimes: true,
+		Actors:       types.NewNodeSet(1, 2), // two competing leaders suffice
+		Invariants:   BugHuntCheckers(),
+	})
+	if res.Violation == nil {
+		t.Fatalf("no violation found without R3 (states=%d, truncated=%v)", res.States, res.Truncated)
+	}
+	t.Logf("violation after %d states:\n  %s\n  trace: %s",
+		res.States, res.Violation, strings.Join(res.Trace, " ; "))
+}
+
+func TestRandomWalkSafeModel(t *testing.T) {
+	s := initial(config.RaftSingleNode, 3, core.DefaultRules())
+	res := RandomWalk(s, 7, 60, 25, Options{WithFailures: true})
+	if res.Violation != nil {
+		t.Fatalf("violation on random walk of safe model: %v\ntrace: %v", res.Violation, res.Trace)
+	}
+	if res.Transitions == 0 {
+		t.Error("random walk made no transitions")
+	}
+}
+
+// TestRandomWalkAllSchemesSafe sweeps every shipped reconfiguration scheme:
+// the parameterized safety claim (§6: "the safety proof holds for free").
+func TestRandomWalkAllSchemesSafe(t *testing.T) {
+	for _, scheme := range config.AllSchemes() {
+		scheme := scheme
+		t.Run(scheme.Name(), func(t *testing.T) {
+			t.Parallel()
+			s := initial(scheme, 3, core.DefaultRules())
+			res := RandomWalk(s, 11, 25, 20, Options{})
+			if res.Violation != nil {
+				t.Fatalf("violation under scheme %s: %v\ntrace: %v\n%s",
+					scheme.Name(), res.Violation, res.Trace, res.ViolationState)
+			}
+		})
+	}
+}
+
+// TestBFSCADOSafe explores the reconfiguration-free CADO model (E2's
+// baseline): a deeper bound is feasible because the space is smaller.
+func TestBFSCADOSafe(t *testing.T) {
+	s := initial(config.RaftSingleNode, 3, core.StaticRules())
+	res := BFS(s, Options{MaxDepth: 5, MaxStates: 4000})
+	if res.Violation != nil {
+		t.Fatalf("violation in CADO: %v\ntrace: %v", res.Violation, res.Trace)
+	}
+	t.Logf("CADO: %d states, %d transitions", res.States, res.Transitions)
+}
+
+func TestSuccessorsOnlyValidSteps(t *testing.T) {
+	s := initial(config.RaftSingleNode, 3, core.DefaultRules())
+	// Drive a couple of steps, then check every enumerated successor
+	// applies cleanly (Successors panics internally otherwise).
+	steps := Successors(s, true)
+	if len(steps) == 0 {
+		t.Fatal("no successors from the initial state")
+	}
+	for _, step := range steps {
+		next := s.Clone()
+		if err := step.Apply(next); err != nil {
+			t.Errorf("step %q rejected: %v", step.Desc, err)
+		}
+	}
+}
+
+func TestBFSTruncation(t *testing.T) {
+	s := initial(config.RaftSingleNode, 3, core.DefaultRules())
+	res := BFS(s, Options{MaxDepth: 10, MaxStates: 50})
+	if !res.Truncated {
+		t.Error("MaxStates=50 should truncate the search")
+	}
+	if res.States > 50 {
+		t.Errorf("visited %d states beyond the cap", res.States)
+	}
+}
+
+// TestTheoremLadder runs the rdist-stratified theorem variants (B.2–B.7) on
+// every state reachable within the bound, mirroring the paper's proof
+// structure: base cases at rdist 0 and 1.
+func TestTheoremLadder(t *testing.T) {
+	mk := func(name string, check func(*core.State) *invariant.Violation) invariant.Checker {
+		return invariant.Checker{
+			Name:      name,
+			AppliesTo: func(core.Rules) bool { return true },
+			Check:     check,
+		}
+	}
+	checkers := []invariant.Checker{
+		mk("B.2 LeaderTimeUnique rdist0", func(s *core.State) *invariant.Violation {
+			return invariant.LeaderTimeUniquenessAtRDist(s, 0)
+		}),
+		mk("B.5 LeaderTimeUnique rdist1", func(s *core.State) *invariant.Violation {
+			return invariant.LeaderTimeUniquenessAtRDist(s, 1)
+		}),
+		mk("B.3/B.6 ElectionCommitOrder rdist≤1", func(s *core.State) *invariant.Violation {
+			return invariant.ElectionCommitOrderAtRDist(s, 1)
+		}),
+		mk("Thm4.3 Safety rdist≤1", func(s *core.State) *invariant.Violation {
+			return invariant.SafetyAtRDist(s, 1)
+		}),
+	}
+	s := initial(config.RaftSingleNode, 3, core.DefaultRules())
+	res := BFS(s, Options{MaxDepth: 4, MaxStates: 4000, Invariants: checkers})
+	if res.Violation != nil {
+		t.Fatalf("theorem violated: %v\ntrace: %v\n%s", res.Violation, res.Trace, res.ViolationState)
+	}
+}
+
+func TestScenarioFig5(t *testing.T) {
+	tr, err := Fig5().Run()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tr.Output)
+	}
+	// The final tree must show the fork of Fig. 5e: the competing
+	// election under the CCache while the RCache branch is abandoned.
+	if len(tr.Final.Tree.RCaches()) != 1 {
+		t.Error("Fig. 5 run must contain exactly one RCache")
+	}
+	ccs := tr.Final.Tree.CCaches()
+	if len(ccs) != 2 { // root + one committed prefix
+		t.Errorf("Fig. 5 run has %d CCaches, want 2", len(ccs))
+	}
+}
+
+func TestScenarioFig4Bug(t *testing.T) {
+	tr, err := Fig4Bug().Run()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tr.Output)
+	}
+	found := false
+	for _, v := range tr.Violations {
+		if v.Invariant == "Safety" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Fig. 4 scenario did not violate Safety:\n%s", tr.Output)
+	}
+}
+
+func TestScenarioFig4Fixed(t *testing.T) {
+	tr, err := Fig4Fixed().Run()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tr.Output)
+	}
+	if len(tr.Violations) != 0 {
+		t.Fatalf("fixed scenario has violations: %v", tr.Violations)
+	}
+}
+
+// TestScenarioGuardBugs runs the per-guard counterexample scenarios: each
+// disabled guard yields a Safety violation, and re-enabling the guard makes
+// the dangerous step impossible.
+func TestScenarioGuardBugs(t *testing.T) {
+	for _, name := range []string{"no-r1-bug", "no-r2-bug"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, ok := ScenarioByName(name)
+			if !ok {
+				t.Fatal("scenario missing")
+			}
+			tr, err := sc.Run()
+			if err != nil {
+				t.Fatalf("%v\n%s", err, tr.Output)
+			}
+			found := false
+			for _, v := range tr.Violations {
+				if v.Invariant == "Safety" {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no Safety violation:\n%s", tr.Output)
+			}
+			// With full guards the dangerous reconfig step is rejected.
+			fixed := sc
+			fixed.Build = func() *core.State {
+				return core.NewState(config.RaftSingleNode, types.Range(1, 3), core.DefaultRules())
+			}
+			if _, err := fixed.Run(); err == nil {
+				t.Fatal("the schedule went through despite the guard")
+			}
+		})
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	for _, sc := range Scenarios() {
+		if got, ok := ScenarioByName(sc.Name); !ok || got.Name != sc.Name {
+			t.Errorf("ScenarioByName(%q) failed", sc.Name)
+		}
+	}
+	if _, ok := ScenarioByName("nope"); ok {
+		t.Error("unknown scenario resolved")
+	}
+}

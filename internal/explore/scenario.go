@@ -1,0 +1,299 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"adore/internal/config"
+	"adore/internal/core"
+	"adore/internal/invariant"
+	"adore/internal/types"
+)
+
+// Scenario is a named, scripted execution of the Adore model reproducing
+// one of the paper's behavioural figures. Run executes the script and
+// returns a transcript: after each step the resulting cache tree is
+// rendered, and the final state is checked against the expectation.
+type Scenario struct {
+	// Name identifies the scenario ("fig5", "fig4-bug", ...).
+	Name string
+	// About summarizes what the scenario demonstrates.
+	About string
+	// Build constructs the initial state.
+	Build func() *core.State
+	// Script is the sequence of operations; each returns a description.
+	Script []func(*core.State) (string, error)
+	// ExpectViolation names the invariant the final state must violate
+	// (empty = all applicable invariants must hold).
+	ExpectViolation string
+}
+
+// Transcript is the result of running a scenario.
+type Transcript struct {
+	Name  string
+	Steps []string
+	Final *core.State
+	// Violations are the invariant violations in the final state.
+	Violations []invariant.Violation
+	// Output is the full human-readable transcript.
+	Output string
+}
+
+// Run executes the scenario.
+func (sc Scenario) Run() (*Transcript, error) {
+	st := sc.Build()
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n%s\n\ninitial state:\n%s\n", sc.Name, sc.About, st.Tree.Render())
+	tr := &Transcript{Name: sc.Name}
+	for i, step := range sc.Script {
+		desc, err := step(st)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s step %d (%s): %w", sc.Name, i, desc, err)
+		}
+		tr.Steps = append(tr.Steps, desc)
+		fmt.Fprintf(&b, "step %d: %s\n%s\n", i+1, desc, st.Tree.Render())
+	}
+	tr.Final = st
+	tr.Violations = invariant.CheckAllForced(st)
+	for _, v := range tr.Violations {
+		fmt.Fprintf(&b, "VIOLATION: %s\n", v.Error())
+	}
+	tr.Output = b.String()
+
+	if sc.ExpectViolation == "" && len(tr.Violations) > 0 {
+		return tr, fmt.Errorf("scenario %s: unexpected violations: %v", sc.Name, tr.Violations)
+	}
+	if sc.ExpectViolation != "" {
+		found := false
+		for _, v := range tr.Violations {
+			if v.Invariant == sc.ExpectViolation {
+				found = true
+			}
+		}
+		if !found {
+			return tr, fmt.Errorf("scenario %s: expected a %s violation, got %v", sc.Name, sc.ExpectViolation, tr.Violations)
+		}
+	}
+	return tr, nil
+}
+
+// pull, invoke, reconfig, push are script-step combinators.
+
+func pull(nid types.NodeID, q types.NodeSet, t types.Time) func(*core.State) (string, error) {
+	return func(s *core.State) (string, error) {
+		desc := fmt.Sprintf("pull %s Q=%s T=%d", nid, q, t)
+		_, err := s.Pull(nid, core.PullChoice{Q: q, T: t})
+		return desc, err
+	}
+}
+
+func invoke(nid types.NodeID, m types.MethodID) func(*core.State) (string, error) {
+	return func(s *core.State) (string, error) {
+		desc := fmt.Sprintf("invoke %s %s", nid, m)
+		_, err := s.Invoke(nid, m)
+		return desc, err
+	}
+}
+
+func reconfig(nid types.NodeID, ncf config.Config) func(*core.State) (string, error) {
+	return func(s *core.State) (string, error) {
+		desc := fmt.Sprintf("reconfig %s → %s", nid, ncf)
+		_, err := s.Reconfig(nid, ncf)
+		return desc, err
+	}
+}
+
+// pushLatest pushes the caller's greatest command cache (the usual case of
+// committing everything invoked so far).
+func pushLatest(nid types.NodeID, q types.NodeSet) func(*core.State) (string, error) {
+	return func(s *core.State) (string, error) {
+		var target *core.Cache
+		for _, c := range s.Tree.All() {
+			if c.IsCommand() && c.Caller == nid && (target == nil || c.Greater(target)) {
+				target = c
+			}
+		}
+		if target == nil {
+			return fmt.Sprintf("push %s (no target)", nid), fmt.Errorf("no command cache for %s", nid)
+		}
+		desc := fmt.Sprintf("push %s Q=%s CM=%d", nid, q, target.ID)
+		res, err := s.Push(nid, core.PushChoice{Q: q, CM: target.ID})
+		if err == nil && !res.Quorum {
+			desc += " (no quorum)"
+		}
+		return desc, err
+	}
+}
+
+// Fig5 reproduces the paper's Fig. 5 walkthrough: election, methods,
+// partial commit, reconfiguration, and a competing election that lands on
+// the committed cache because the voters have not seen the newer branch.
+func Fig5() Scenario {
+	maj := func(ids ...types.NodeID) config.Config { return config.NewMajorityConfig(types.NewNodeSet(ids...)) }
+	return Scenario{
+		Name:  "fig5",
+		About: "Fig. 5: Adore behaviours — pull, invoke, push, reconfig, competing pull.",
+		Build: func() *core.State {
+			return core.NewState(config.RaftSingleNode, types.Range(1, 3), core.DefaultRules())
+		},
+		Script: []func(*core.State) (string, error){
+			// (a)/(b): S1 is elected with S2's vote.
+			pull(1, types.NewNodeSet(1, 2), 1),
+			// (b): S1 invokes M1, M2.
+			invoke(1, 1),
+			invoke(1, 2),
+			// (c): S1 commits through M2 with supporters {S1,S2}.
+			pushLatest(1, types.NewNodeSet(1, 2)),
+			// (d): S1 removes S3 (guards hold: committed CCache at time 1).
+			reconfig(1, maj(1, 2)),
+			// (e): S2 and S3 elect S2; their most recent cache is the
+			// CCache, so the ECache forks below it, abandoning the RCache.
+			pull(2, types.NewNodeSet(2, 3), 2),
+			invoke(2, 3),
+		},
+	}
+}
+
+// Fig4Bug reproduces Fig. 4 / Fig. 12: with R3 disabled (the published
+// pre-fix Raft single-server algorithm), two leaders with disjoint quorums
+// commit on divergent branches — a replicated-state-safety violation.
+func Fig4Bug() Scenario {
+	maj := func(ids ...types.NodeID) config.Config { return config.NewMajorityConfig(types.NewNodeSet(ids...)) }
+	return Scenario{
+		Name: "fig4-bug",
+		About: "Fig. 4 / Fig. 12: Raft single-server reconfiguration bug. " +
+			"Without R3, S1 and S2 interleave reconfigurations until their quorums are disjoint.",
+		ExpectViolation: "Safety",
+		Build: func() *core.State {
+			return core.NewState(config.RaftSingleNode, types.Range(1, 4), core.WithoutR3())
+		},
+		Script: []func(*core.State) (string, error){
+			// S1 is the leader of {S1..S4} and proposes removing S4,
+			// but fails to replicate the RCache (nobody else sees it).
+			pull(1, types.NewNodeSet(1, 2, 3), 1),
+			reconfig(1, maj(1, 2, 3)),
+			// S2 is elected with S3 and S4's votes (they never saw the
+			// RCache), and removes S3. Its new config {S1,S2,S4} takes
+			// effect immediately, so {S2,S4} commits it.
+			pull(2, types.NewNodeSet(2, 3, 4), 2),
+			reconfig(2, maj(1, 2, 4)),
+			pushLatest(2, types.NewNodeSet(2, 4)),
+			// S1 is re-elected using its own uncommitted config
+			// {S1,S2,S3}: S1 and S3 form a "quorum" that has not seen
+			// S2's committed reconfiguration.
+			pull(1, types.NewNodeSet(1, 3), 3),
+			invoke(1, 9),
+			pushLatest(1, types.NewNodeSet(1, 3)),
+		},
+	}
+}
+
+// Fig4Fixed runs the same schedule with R3 enabled and shows the fix: S2's
+// second reconfiguration is rejected until it commits a command in its own
+// term, so the divergence never arises.
+func Fig4Fixed() Scenario {
+	sc := Fig4Bug()
+	sc.Name = "fig4-fixed"
+	sc.About = "Fig. 4 with R3 enabled: the dangerous reconfig is rejected (ErrR3)."
+	sc.ExpectViolation = ""
+	sc.Build = func() *core.State {
+		return core.NewState(config.RaftSingleNode, types.Range(1, 4), core.DefaultRules())
+	}
+	// Replace S2's reconfig with a step asserting it is rejected.
+	maj := func(ids ...types.NodeID) config.Config { return config.NewMajorityConfig(types.NewNodeSet(ids...)) }
+	sc.Script = []func(*core.State) (string, error){
+		pull(1, types.NewNodeSet(1, 2, 3), 1),
+		func(s *core.State) (string, error) {
+			_, err := s.Reconfig(1, maj(1, 2, 3))
+			if err == nil {
+				return "reconfig S1 (unexpectedly accepted)", fmt.Errorf("R3 should reject reconfig before a same-term commit")
+			}
+			return "reconfig S1 → rejected by R3 (must first commit in term 1)", nil
+		},
+		// The legal route: commit a no-op first, then reconfigure.
+		invoke(1, 1),
+		pushLatest(1, types.NewNodeSet(1, 2, 3)),
+		reconfig(1, maj(1, 2, 3)),
+		pushLatest(1, types.NewNodeSet(1, 2, 3)),
+	}
+	return sc
+}
+
+// NoR2Bug demonstrates why R2 is necessary: with R2 disabled a leader can
+// chain two reconfigurations before either commits, and committing them
+// together moves the configuration two R1⁺ steps at once — far enough that
+// an old-configuration quorum no longer overlaps the new one. The paper:
+// "R2 ... prevents the configuration from changing twice in a single
+// commit, which might break the overlap guarantee (OVERLAP only holds for
+// consecutive configurations)."
+func NoR2Bug() Scenario {
+	maj := func(ids ...types.NodeID) config.Config { return config.NewMajorityConfig(types.NewNodeSet(ids...)) }
+	return Scenario{
+		Name: "no-r2-bug",
+		About: "Without R2, two stacked reconfigurations commit at once: " +
+			"{S1,S2,S3} grows to {S1..S5} in one commit, and {S2,S3} still " +
+			"believes it is a quorum of the old configuration.",
+		ExpectViolation: "Safety",
+		Build: func() *core.State {
+			return core.NewState(config.RaftSingleNode, types.Range(1, 3), core.WithoutR2())
+		},
+		Script: []func(*core.State) (string, error){
+			pull(1, types.NewNodeSet(1, 2), 1),
+			invoke(1, 1),
+			pushLatest(1, types.NewNodeSet(1, 2)), // R3 satisfied
+			// Two stacked reconfigurations (R2 would reject the second).
+			reconfig(1, maj(1, 2, 3, 4)),
+			reconfig(1, maj(1, 2, 3, 4, 5)),
+			// Commit both at once with the fresh nodes' help; S2 and S3
+			// never hear about it.
+			pushLatest(1, types.NewNodeSet(1, 4, 5)),
+			// S2 is elected by an old-configuration "quorum" {S2,S3} that
+			// is disjoint from {S1,S4,S5}: divergent commits follow.
+			pull(2, types.NewNodeSet(2, 3), 2),
+			invoke(2, 9),
+			pushLatest(2, types.NewNodeSet(2, 3)),
+		},
+	}
+}
+
+// NoR1Bug demonstrates why R1⁺ is necessary: with R1⁺ disabled a leader may
+// propose an arbitrary configuration whose quorums share nothing with the
+// old one.
+func NoR1Bug() Scenario {
+	maj := func(ids ...types.NodeID) config.Config { return config.NewMajorityConfig(types.NewNodeSet(ids...)) }
+	return Scenario{
+		Name: "no-r1-bug",
+		About: "Without R1⁺, one reconfiguration jumps from {S1,S2,S3} to " +
+			"{S1,S4,S5}: majorities {S1,S4} and {S2,S3} are disjoint.",
+		ExpectViolation: "Safety",
+		Build: func() *core.State {
+			return core.NewState(config.RaftSingleNode, types.Range(1, 3), core.WithoutR1())
+		},
+		Script: []func(*core.State) (string, error){
+			pull(1, types.NewNodeSet(1, 2), 1),
+			invoke(1, 1),
+			pushLatest(1, types.NewNodeSet(1, 2)), // R3 satisfied
+			reconfig(1, maj(1, 4, 5)),             // arbitrary jump
+			pushLatest(1, types.NewNodeSet(1, 4)), // quorum of the new config
+			// The old majority {S2,S3} elects S2 without ever seeing it.
+			pull(2, types.NewNodeSet(2, 3), 2),
+			invoke(2, 9),
+			pushLatest(2, types.NewNodeSet(2, 3)),
+		},
+	}
+}
+
+// Scenarios lists every named scenario.
+func Scenarios() []Scenario {
+	return []Scenario{Fig5(), Fig4Bug(), Fig4Fixed(), NoR2Bug(), NoR1Bug()}
+}
+
+// ScenarioByName returns the named scenario, or ok=false.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -1,0 +1,393 @@
+// Package invariant turns the Adore paper's safety theorems (§4, Appendix
+// B) into executable checkers over core.State. Where the paper proves each
+// property universally in Coq, this package checks it on concrete reachable
+// states; package explore quantifies the check over bounded state spaces.
+//
+// Each checker corresponds to a named lemma or theorem:
+//
+//	WellFormed            — tree well-formedness (the paper's 2.3k-line layer)
+//	DescendantOrder       — Lemma B.1
+//	LeaderTimeUniqueness  — Lemmas B.2 (rdist 0) and B.5 (rdist 1)
+//	ElectionCommitOrder   — Theorems B.3 (rdist 0) and B.6 (rdist 1)
+//	Safety                — Def. 4.1 / Theorems B.4, B.7, B.9 (Thm 4.5)
+//	CCacheInRCacheFork    — Lemma B.8 (Lemma 4.4)
+//	GuardsRespected       — R2/R3 hold structurally at every RCache
+//	CommittedConfigChain  — committed configurations form an R1⁺ chain
+package invariant
+
+import (
+	"fmt"
+
+	"adore/internal/core"
+	"adore/internal/types"
+)
+
+// Violation describes one failed invariant on one state.
+type Violation struct {
+	// Invariant names the failed checker.
+	Invariant string
+	// Detail explains the failure in terms of concrete caches.
+	Detail string
+}
+
+// Error renders the violation.
+func (v Violation) Error() string { return v.Invariant + ": " + v.Detail }
+
+// Checker is a named invariant over states.
+type Checker struct {
+	// Name identifies the invariant in reports.
+	Name string
+	// AppliesTo reports whether the invariant is expected to hold under
+	// the given rules (e.g. Safety is not expected without R3).
+	AppliesTo func(core.Rules) bool
+	// Check returns a violation, or nil.
+	Check func(*core.State) *Violation
+}
+
+func always(core.Rules) bool { return true }
+
+// fullGuards reports whether the rules are expected to be safe: either
+// reconfiguration is off (static-configuration arguments apply), or the
+// hot algorithm runs with all three guards, or the deferred (Lamport-style)
+// variant runs with R1⁺/R2 — inert uncommitted configurations make R3
+// unnecessary there (§8).
+func fullGuards(r core.Rules) bool {
+	if !r.AllowReconfig {
+		return true
+	}
+	if r.DeferredConfig {
+		return r.R1 && r.R2
+	}
+	return r.R1 && r.R2 && r.R3
+}
+
+// All returns every checker in a stable order.
+func All() []Checker {
+	return []Checker{
+		{Name: "WellFormed", AppliesTo: always, Check: CheckWellFormed},
+		{Name: "DescendantOrder", AppliesTo: always, Check: CheckDescendantOrder},
+		{Name: "LeaderTimeUniqueness", AppliesTo: fullGuards, Check: CheckLeaderTimeUniqueness},
+		{Name: "ElectionCommitOrder", AppliesTo: fullGuards, Check: CheckElectionCommitOrder},
+		{Name: "Safety", AppliesTo: fullGuards, Check: CheckSafety},
+		{Name: "CCacheInRCacheFork", AppliesTo: r3Guards, Check: CheckCCacheInRCacheFork},
+		{Name: "GuardsRespected", AppliesTo: guardsApply, Check: CheckGuardsRespected},
+		{Name: "CommittedConfigChain", AppliesTo: r1Guard, Check: CheckCommittedConfigChain},
+	}
+}
+
+// r1Guard gates the configuration-chain invariant on R1⁺ being enforced.
+func r1Guard(r core.Rules) bool { return !r.AllowReconfig || r.R1 }
+
+// r3Guards gates the invariants that are consequences of R3 specifically
+// (Lemma 4.4 fails — harmlessly — in the deferred variant, where
+// uncommitted RCaches are inert and may fork freely).
+func r3Guards(r core.Rules) bool {
+	return !r.AllowReconfig || (r.R1 && r.R2 && r.R3 && !r.DeferredConfig)
+}
+
+func guardsApply(r core.Rules) bool {
+	return r.AllowReconfig && r.R2 && r.R3 && !r.DeferredConfig
+}
+
+// CheckAll runs every applicable checker and returns the violations found.
+func CheckAll(s *core.State) []Violation {
+	var out []Violation
+	for _, c := range All() {
+		if !c.AppliesTo(s.Rules) {
+			continue
+		}
+		if v := c.Check(s); v != nil {
+			out = append(out, *v)
+		}
+	}
+	return out
+}
+
+// CheckAllForced runs every checker regardless of whether the state's rules
+// make it expected to hold, except GuardsRespected (which is structurally
+// meaningless when a guard is disabled). Violation-hunting scenarios and
+// searches use this: with R3 off, a Safety violation is the sought result,
+// not an error in the checker.
+func CheckAllForced(s *core.State) []Violation {
+	var out []Violation
+	for _, c := range All() {
+		if c.Name == "GuardsRespected" && !guardsApply(s.Rules) {
+			continue
+		}
+		if v := c.Check(s); v != nil {
+			out = append(out, *v)
+		}
+	}
+	return out
+}
+
+// CheckWellFormed validates structural sanity: a unique root CCache at time
+// zero, consistent parent/child indexes, acyclicity, and supporter sets
+// drawn from each cache's configuration.
+func CheckWellFormed(s *core.State) *Violation {
+	t := s.Tree
+	root := t.Root()
+	if root == nil || root.Kind != core.KindC || root.Time != 0 || root.Vrsn != 0 {
+		return &Violation{"WellFormed", fmt.Sprintf("bad root: %v", root)}
+	}
+	for _, c := range t.All() {
+		if c.ID == root.ID {
+			continue
+		}
+		parent := t.Get(c.Parent)
+		if parent == nil {
+			return &Violation{"WellFormed", fmt.Sprintf("%v has missing parent %d", c, c.Parent)}
+		}
+		found := false
+		for _, kid := range t.Children(c.Parent) {
+			if kid == c.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return &Violation{"WellFormed", fmt.Sprintf("%v missing from parent's child index", c)}
+		}
+		// Acyclicity: the walk to the root must terminate within Len steps.
+		steps := 0
+		for cur := c; cur != nil && cur.ID != root.ID; cur = t.Get(cur.Parent) {
+			steps++
+			if steps > t.Len() {
+				return &Violation{"WellFormed", fmt.Sprintf("cycle reached from %v", c)}
+			}
+		}
+		// validSupp is only enforced for quorum-bearing caches: an MCache
+		// or RCache may legitimately be called by a leader its own new
+		// configuration excludes (pending self-removal).
+		if c.Kind == core.KindE || c.Kind == core.KindC {
+			if !c.Supporters().SubsetOf(c.Conf.Members()) {
+				return &Violation{"WellFormed", fmt.Sprintf("%v has supporters outside its configuration", c)}
+			}
+		}
+	}
+	for id, kids := range childIndex(t) {
+		for _, kid := range kids {
+			if c := t.Get(kid); c == nil || c.Parent != id {
+				return &Violation{"WellFormed", fmt.Sprintf("child index stale for %d → %d", id, kid)}
+			}
+		}
+	}
+	return nil
+}
+
+func childIndex(t *core.Tree) map[types.CID][]types.CID {
+	out := make(map[types.CID][]types.CID)
+	for _, c := range t.All() {
+		out[c.ID] = t.Children(c.ID)
+	}
+	return out
+}
+
+// CheckDescendantOrder is Lemma B.1: every cache is strictly greater than
+// its parent under the > order.
+func CheckDescendantOrder(s *core.State) *Violation {
+	t := s.Tree
+	for _, c := range t.All() {
+		if c.Parent == types.NoCID {
+			continue
+		}
+		parent := t.Get(c.Parent)
+		if !c.Greater(parent) {
+			return &Violation{"DescendantOrder", fmt.Sprintf("child %v not greater than parent %v", c, parent)}
+		}
+	}
+	return nil
+}
+
+// CheckLeaderTimeUniqueness is Lemmas B.2/B.5 generalized: under the full
+// guards any two distinct ECaches have distinct timestamps. The rdist ≤ 1
+// variants are available separately for the theorem-level tests.
+func CheckLeaderTimeUniqueness(s *core.State) *Violation {
+	return leaderTimeUnique(s, -1)
+}
+
+// LeaderTimeUniquenessAtRDist checks the property only for ECache pairs
+// with rdist ≤ maxRDist (Lemma B.2 is maxRDist 0, Lemma B.5 is 1). A
+// negative bound checks all pairs.
+func LeaderTimeUniquenessAtRDist(s *core.State, maxRDist int) *Violation {
+	return leaderTimeUnique(s, maxRDist)
+}
+
+func leaderTimeUnique(s *core.State, maxRDist int) *Violation {
+	var ecaches []*core.Cache
+	for _, c := range s.Tree.All() {
+		if c.Kind == core.KindE {
+			ecaches = append(ecaches, c)
+		}
+	}
+	for i := 0; i < len(ecaches); i++ {
+		for j := i + 1; j < len(ecaches); j++ {
+			a, b := ecaches[i], ecaches[j]
+			if maxRDist >= 0 && s.Tree.RDist(a.ID, b.ID) > maxRDist {
+				continue
+			}
+			if a.Time == b.Time {
+				return &Violation{"LeaderTimeUniqueness",
+					fmt.Sprintf("ECaches %v and %v share timestamp %d", a, b, a.Time)}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckElectionCommitOrder is Theorems B.3/B.6 generalized: for any CCache
+// C_C and ECache C_E with C_E > C_C (at rdist ≤ 1 for the theorem-level
+// variant), C_E must be a descendant of C_C — i.e. later elections know
+// about earlier commits.
+func CheckElectionCommitOrder(s *core.State) *Violation {
+	return electionCommitOrder(s, -1)
+}
+
+// ElectionCommitOrderAtRDist restricts the check to pairs with rdist ≤
+// maxRDist (Theorem B.3 is 0, Theorem B.6 is 1).
+func ElectionCommitOrderAtRDist(s *core.State, maxRDist int) *Violation {
+	return electionCommitOrder(s, maxRDist)
+}
+
+func electionCommitOrder(s *core.State, maxRDist int) *Violation {
+	t := s.Tree
+	for _, cc := range t.CCaches() {
+		for _, c := range t.All() {
+			if c.Kind != core.KindE || !c.Greater(cc) {
+				continue
+			}
+			if maxRDist >= 0 && t.RDist(c.ID, cc.ID) > maxRDist {
+				continue
+			}
+			if !t.IsAncestor(cc.ID, c.ID) {
+				return &Violation{"ElectionCommitOrder",
+					fmt.Sprintf("ECache %v > CCache %v but is not its descendant", c, cc)}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSafety is replicated state safety (Def. 4.1, Theorem 4.5 / B.9): all
+// CCaches lie on a single branch, so clients observe one common committed
+// prefix.
+func CheckSafety(s *core.State) *Violation {
+	return safetyAtRDist(s, -1)
+}
+
+// SafetyAtRDist restricts the check to CCache pairs with rdist ≤ maxRDist
+// (Theorem B.4 is 0, Theorem B.7 is 1, Theorem 4.3 is ≤ 1).
+func SafetyAtRDist(s *core.State, maxRDist int) *Violation {
+	return safetyAtRDist(s, maxRDist)
+}
+
+func safetyAtRDist(s *core.State, maxRDist int) *Violation {
+	ccs := s.Tree.CCaches()
+	for i := 0; i < len(ccs); i++ {
+		for j := i + 1; j < len(ccs); j++ {
+			a, b := ccs[i], ccs[j]
+			if maxRDist >= 0 && s.Tree.RDist(a.ID, b.ID) > maxRDist {
+				continue
+			}
+			if !s.Tree.OnSameBranch(a.ID, b.ID) {
+				return &Violation{"Safety",
+					fmt.Sprintf("CCaches %v and %v are on divergent branches: committed state lost", a, b)}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckCCacheInRCacheFork is Lemma B.8 (Lemma 4.4): if two RCaches with
+// rdist 0 sit on divergent branches below a common ancestor, some CCache
+// lies strictly between the ancestor and one of them.
+func CheckCCacheInRCacheFork(s *core.State) *Violation {
+	t := s.Tree
+	rcs := t.RCaches()
+	for i := 0; i < len(rcs); i++ {
+		for j := i + 1; j < len(rcs); j++ {
+			r1, r2 := rcs[i], rcs[j]
+			if t.OnSameBranch(r1.ID, r2.ID) || t.RDist(r1.ID, r2.ID) != 0 {
+				continue
+			}
+			nca := t.NCA(r1.ID, r2.ID)
+			if !hasCCacheBetween(t, nca, r1.ID) && !hasCCacheBetween(t, nca, r2.ID) {
+				return &Violation{"CCacheInRCacheFork",
+					fmt.Sprintf("forked RCaches %v and %v have no intervening CCache below their common ancestor", r1, r2)}
+			}
+		}
+	}
+	return nil
+}
+
+// hasCCacheBetween reports whether a CCache lies strictly between ancestor
+// and descendant (excluding both endpoints).
+func hasCCacheBetween(t *core.Tree, ancestor, descendant types.CID) bool {
+	for _, c := range t.PathToRoot(descendant) {
+		if c.ID == descendant {
+			continue
+		}
+		if c.ID == ancestor {
+			return false
+		}
+		if c.Kind == core.KindC {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckGuardsRespected verifies that the R2/R3 preconditions held at every
+// RCache's insertion point, reconstructed structurally from the tree: above
+// each RCache there is no closer uncommitted RCache (R2) and there is a
+// CCache with the same timestamp (R3).
+func CheckGuardsRespected(s *core.State) *Violation {
+	t := s.Tree
+	for _, r := range t.RCaches() {
+		sawC := false
+		r3 := false
+		for _, anc := range t.PathToRoot(r.ID) {
+			if anc.ID == r.ID {
+				continue
+			}
+			switch anc.Kind {
+			case core.KindC:
+				sawC = true
+				if anc.Time == r.Time {
+					r3 = true
+				}
+			case core.KindR:
+				if !sawC {
+					return &Violation{"GuardsRespected",
+						fmt.Sprintf("RCache %v has uncommitted RCache ancestor %v (R2)", r, anc)}
+				}
+			}
+		}
+		if !r3 {
+			return &Violation{"GuardsRespected",
+				fmt.Sprintf("RCache %v has no committed ancestor at its timestamp (R3)", r)}
+		}
+	}
+	return nil
+}
+
+// CheckCommittedConfigChain verifies that the configurations along the
+// committed branch form an R1⁺ chain: conf₀, then each committed RCache's
+// configuration, pairwise related by the scheme's R1⁺. This is the
+// structural backbone of the quorum-overlap argument — committed
+// configurations never jump further than one R1⁺ step at a time.
+func CheckCommittedConfigChain(s *core.State) *Violation {
+	branch := s.CommittedBranch()
+	prev := s.Tree.Root().Conf
+	for _, c := range branch {
+		if c.Kind != core.KindR {
+			continue
+		}
+		if !s.Scheme.R1Plus(prev, c.Conf) {
+			return &Violation{"CommittedConfigChain",
+				fmt.Sprintf("committed configurations %s → %s are not R1⁺-related (at %v)", prev, c.Conf, c)}
+		}
+		prev = c.Conf
+	}
+	return nil
+}

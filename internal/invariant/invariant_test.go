@@ -1,0 +1,261 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"adore/internal/config"
+	"adore/internal/core"
+	"adore/internal/types"
+)
+
+func freshState(rules core.Rules) *core.State {
+	return core.NewState(config.RaftSingleNode, types.Range(1, 3), rules)
+}
+
+// drive executes a short healthy history: election, two methods, partial
+// commit, reconfiguration, commit.
+func drive(t *testing.T, s *core.State) {
+	t.Helper()
+	steps := []struct {
+		desc string
+		do   func() error
+	}{
+		{"pull", func() error {
+			_, err := s.Pull(1, core.PullChoice{Q: types.NewNodeSet(1, 2), T: 1})
+			return err
+		}},
+		{"invoke1", func() error { _, err := s.Invoke(1, 1); return err }},
+		{"invoke2", func() error { _, err := s.Invoke(1, 2); return err }},
+		{"push", func() error {
+			ca := s.Tree.ActiveCache(1)
+			_, err := s.Push(1, core.PushChoice{Q: types.NewNodeSet(1, 2), CM: ca.ID})
+			return err
+		}},
+		{"reconfig", func() error {
+			_, err := s.Reconfig(1, config.NewMajorityConfig(types.Range(1, 4)))
+			return err
+		}},
+		{"push2", func() error {
+			ca := s.Tree.ActiveCache(1)
+			// Active cache is the RCache; commit it under the new config.
+			_, err := s.Push(1, core.PushChoice{Q: types.NewNodeSet(1, 2, 3), CM: ca.ID})
+			return err
+		}},
+	}
+	for _, st := range steps {
+		if err := st.do(); err != nil {
+			t.Fatalf("%s: %v", st.desc, err)
+		}
+	}
+}
+
+func TestHealthyHistoryHasNoViolations(t *testing.T) {
+	s := freshState(core.DefaultRules())
+	drive(t, s)
+	if vs := CheckAll(s); len(vs) != 0 {
+		t.Errorf("violations on a healthy history: %v\n%s", vs, s.Tree.Render())
+	}
+}
+
+func TestCheckerNamesStable(t *testing.T) {
+	want := []string{"WellFormed", "DescendantOrder", "LeaderTimeUniqueness",
+		"ElectionCommitOrder", "Safety", "CCacheInRCacheFork", "GuardsRespected",
+		"CommittedConfigChain"}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("%d checkers, want %d", len(got), len(want))
+	}
+	for i, c := range got {
+		if c.Name != want[i] {
+			t.Errorf("checker %d = %s, want %s", i, c.Name, want[i])
+		}
+	}
+}
+
+// buildDivergentCommits constructs (by direct tree surgery, representing an
+// unreachable-but-checkable state) two CCaches on divergent branches.
+func buildDivergentCommits() *core.State {
+	s := freshState(core.DefaultRules())
+	cf := config.NewMajorityConfig(types.Range(1, 3))
+	root := s.Tree.Root().ID
+	m1 := s.Tree.AddLeaf(root, core.Cache{Kind: core.KindM, Caller: 1, Time: 1, Vrsn: 1, Method: 1, Conf: cf})
+	m2 := s.Tree.AddLeaf(root, core.Cache{Kind: core.KindM, Caller: 2, Time: 2, Vrsn: 1, Method: 2, Conf: cf})
+	s.Tree.AddLeaf(m1.ID, core.Cache{Kind: core.KindC, Caller: 1, Time: 1, Vrsn: 1, Supp: types.NewNodeSet(1, 2), Conf: cf})
+	s.Tree.AddLeaf(m2.ID, core.Cache{Kind: core.KindC, Caller: 2, Time: 2, Vrsn: 1, Supp: types.NewNodeSet(2, 3), Conf: cf})
+	return s
+}
+
+func TestCheckSafetyDetectsDivergence(t *testing.T) {
+	s := buildDivergentCommits()
+	v := CheckSafety(s)
+	if v == nil {
+		t.Fatal("divergent CCaches not detected")
+	}
+	if !strings.Contains(v.Detail, "divergent") {
+		t.Errorf("unhelpful detail: %s", v.Detail)
+	}
+	// The same pair is at rdist 0, so the theorem-level variant fires too.
+	if SafetyAtRDist(s, 0) == nil {
+		t.Error("rdist-0 safety variant missed the violation")
+	}
+}
+
+func TestCheckDescendantOrderDetectsInversion(t *testing.T) {
+	s := freshState(core.DefaultRules())
+	cf := config.NewMajorityConfig(types.Range(1, 3))
+	big := s.Tree.AddLeaf(s.Tree.Root().ID, core.Cache{Kind: core.KindM, Caller: 1, Time: 5, Vrsn: 1, Conf: cf})
+	s.Tree.AddLeaf(big.ID, core.Cache{Kind: core.KindM, Caller: 1, Time: 1, Vrsn: 1, Conf: cf})
+	if CheckDescendantOrder(s) == nil {
+		t.Error("stamp inversion not detected")
+	}
+}
+
+func TestCheckLeaderTimeUniquenessDetectsDuplicate(t *testing.T) {
+	s := freshState(core.DefaultRules())
+	cf := config.NewMajorityConfig(types.Range(1, 3))
+	root := s.Tree.Root().ID
+	s.Tree.AddLeaf(root, core.Cache{Kind: core.KindE, Caller: 1, Time: 3, Vrsn: 0, Supp: types.NewNodeSet(1, 2), Conf: cf})
+	s.Tree.AddLeaf(root, core.Cache{Kind: core.KindE, Caller: 2, Time: 3, Vrsn: 0, Supp: types.NewNodeSet(2, 3), Conf: cf})
+	if CheckLeaderTimeUniqueness(s) == nil {
+		t.Error("duplicate election timestamp not detected")
+	}
+	if LeaderTimeUniquenessAtRDist(s, 0) == nil {
+		t.Error("rdist-0 variant missed the duplicate")
+	}
+}
+
+func TestLeaderTimeUniquenessRDistFilter(t *testing.T) {
+	s := freshState(core.DefaultRules())
+	cf := config.NewMajorityConfig(types.Range(1, 3))
+	root := s.Tree.Root().ID
+	// Two duplicate-time ECaches separated by two RCaches (rdist 2).
+	r1 := s.Tree.AddLeaf(root, core.Cache{Kind: core.KindR, Caller: 1, Time: 1, Vrsn: 1, Conf: cf})
+	s.Tree.AddLeaf(r1.ID, core.Cache{Kind: core.KindE, Caller: 1, Time: 7, Vrsn: 0, Supp: types.NewNodeSet(1), Conf: cf})
+	r2 := s.Tree.AddLeaf(root, core.Cache{Kind: core.KindR, Caller: 2, Time: 2, Vrsn: 1, Conf: cf})
+	s.Tree.AddLeaf(r2.ID, core.Cache{Kind: core.KindE, Caller: 2, Time: 7, Vrsn: 0, Supp: types.NewNodeSet(2), Conf: cf})
+	// At rdist ≤ 1 the pair is filtered out; unrestricted it is caught.
+	if LeaderTimeUniquenessAtRDist(s, 1) != nil {
+		t.Error("rdist filter failed to exclude a distant pair")
+	}
+	if CheckLeaderTimeUniqueness(s) == nil {
+		t.Error("unrestricted check missed the duplicate")
+	}
+}
+
+func TestCheckElectionCommitOrderDetectsStaleElection(t *testing.T) {
+	s := freshState(core.DefaultRules())
+	cf := config.NewMajorityConfig(types.Range(1, 3))
+	root := s.Tree.Root().ID
+	m := s.Tree.AddLeaf(root, core.Cache{Kind: core.KindM, Caller: 1, Time: 1, Vrsn: 1, Conf: cf})
+	s.Tree.AddLeaf(m.ID, core.Cache{Kind: core.KindC, Caller: 1, Time: 1, Vrsn: 1, Supp: types.NewNodeSet(1, 2), Conf: cf})
+	// A later election that forked before the commit: must be flagged.
+	s.Tree.AddLeaf(root, core.Cache{Kind: core.KindE, Caller: 3, Time: 9, Vrsn: 0, Supp: types.NewNodeSet(3), Conf: cf})
+	if CheckElectionCommitOrder(s) == nil {
+		t.Error("stale election above a commit not detected")
+	}
+}
+
+func TestCheckCCacheInRCacheFork(t *testing.T) {
+	s := freshState(core.DefaultRules())
+	cf := config.NewMajorityConfig(types.Range(1, 3))
+	root := s.Tree.Root().ID
+	// Two RCaches forking directly off the root with no CCache between:
+	// Lemma 4.4 violated.
+	s.Tree.AddLeaf(root, core.Cache{Kind: core.KindR, Caller: 1, Time: 1, Vrsn: 1, Conf: cf})
+	s.Tree.AddLeaf(root, core.Cache{Kind: core.KindR, Caller: 2, Time: 2, Vrsn: 1, Conf: cf})
+	if CheckCCacheInRCacheFork(s) == nil {
+		t.Error("forked RCaches without intervening CCache not detected")
+	}
+}
+
+func TestCheckCCacheInRCacheForkSatisfied(t *testing.T) {
+	s := freshState(core.DefaultRules())
+	cf := config.NewMajorityConfig(types.Range(1, 3))
+	root := s.Tree.Root().ID
+	m := s.Tree.AddLeaf(root, core.Cache{Kind: core.KindM, Caller: 1, Time: 1, Vrsn: 1, Conf: cf})
+	cc := s.Tree.AddLeaf(m.ID, core.Cache{Kind: core.KindC, Caller: 1, Time: 1, Vrsn: 1, Supp: types.NewNodeSet(1, 2), Conf: cf})
+	s.Tree.AddLeaf(cc.ID, core.Cache{Kind: core.KindR, Caller: 1, Time: 1, Vrsn: 2, Conf: cf})
+	s.Tree.AddLeaf(root, core.Cache{Kind: core.KindR, Caller: 2, Time: 2, Vrsn: 1, Conf: cf})
+	// The CCache lies between the fork point (root) and the first RCache.
+	if v := CheckCCacheInRCacheFork(s); v != nil {
+		t.Errorf("false positive: %v", v)
+	}
+}
+
+func TestCheckGuardsRespected(t *testing.T) {
+	s := freshState(core.DefaultRules())
+	cf := config.NewMajorityConfig(types.Range(1, 3))
+	root := s.Tree.Root().ID
+	// An RCache with no same-time committed ancestor violates R3.
+	s.Tree.AddLeaf(root, core.Cache{Kind: core.KindR, Caller: 1, Time: 1, Vrsn: 1, Conf: cf})
+	v := CheckGuardsRespected(s)
+	if v == nil || !strings.Contains(v.Detail, "R3") {
+		t.Errorf("R3 breach not detected: %v", v)
+	}
+}
+
+func TestCheckGuardsRespectedR2(t *testing.T) {
+	s := freshState(core.DefaultRules())
+	cf := config.NewMajorityConfig(types.Range(1, 3))
+	root := s.Tree.Root().ID
+	r1 := s.Tree.AddLeaf(root, core.Cache{Kind: core.KindR, Caller: 1, Time: 0, Vrsn: 1, Conf: cf})
+	s.Tree.AddLeaf(r1.ID, core.Cache{Kind: core.KindR, Caller: 1, Time: 0, Vrsn: 2, Conf: cf})
+	v := CheckGuardsRespected(s)
+	if v == nil || !strings.Contains(v.Detail, "R2") {
+		t.Errorf("R2 breach not detected: %v", v)
+	}
+}
+
+func TestCheckWellFormedOnHealthyState(t *testing.T) {
+	s := freshState(core.DefaultRules())
+	drive(t, s)
+	if v := CheckWellFormed(s); v != nil {
+		t.Errorf("false positive: %v", v)
+	}
+}
+
+func TestCheckAllSkipsInapplicable(t *testing.T) {
+	s := buildDivergentCommits()
+	s.Rules = core.WithoutR3()
+	// CheckAll must skip Safety (not expected without R3)...
+	for _, v := range CheckAll(s) {
+		if v.Invariant == "Safety" {
+			t.Error("CheckAll ran Safety under WithoutR3 rules")
+		}
+	}
+	// ...but CheckAllForced must find it.
+	found := false
+	for _, v := range CheckAllForced(s) {
+		if v.Invariant == "Safety" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("CheckAllForced missed the Safety violation")
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := Violation{Invariant: "Safety", Detail: "boom"}
+	if v.Error() != "Safety: boom" {
+		t.Errorf("Error() = %q", v.Error())
+	}
+}
+
+func TestCommittedConfigChain(t *testing.T) {
+	s := freshState(core.DefaultRules())
+	drive(t, s)
+	if v := CheckCommittedConfigChain(s); v != nil {
+		t.Errorf("false positive on a guarded history: %v", v)
+	}
+	// Surgically commit a two-node jump: the chain check must flag it.
+	bad := config.NewMajorityConfig(types.NewNodeSet(1, 2, 5, 6))
+	branch := s.CommittedBranch()
+	top := branch[len(branch)-1]
+	r := s.Tree.AddLeaf(top.ID, core.Cache{Kind: core.KindR, Caller: 1, Time: top.Time, Vrsn: top.Vrsn + 1, Conf: bad})
+	s.Tree.InsertBtw(r.ID, core.Cache{Kind: core.KindC, Caller: 1, Time: r.Time, Vrsn: r.Vrsn, Supp: types.NewNodeSet(1, 2, 5), Conf: bad})
+	if CheckCommittedConfigChain(s) == nil {
+		t.Error("two-step committed jump not detected")
+	}
+}

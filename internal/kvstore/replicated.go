@@ -1,0 +1,157 @@
+package kvstore
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adore/internal/raft"
+	"adore/internal/raft/cluster"
+	"adore/internal/types"
+)
+
+// Replicated is a complete in-process replicated key-value service: a raft
+// cluster with one Store per node and a linearizable client interface. It
+// is the harness behind the kvstore example and the Fig. 16 benchmark.
+type Replicated struct {
+	Cluster *cluster.Cluster
+
+	mu     sync.Mutex
+	stores map[types.NodeID]*Store
+
+	clientSeq uint64
+	clientID  uint64
+}
+
+// NewReplicated starts an n-node replicated store over a simulated network.
+func NewReplicated(opts cluster.Options) *Replicated {
+	r := &Replicated{stores: make(map[types.NodeID]*Store)}
+	opts.OnApply = func(id types.NodeID, msg raft.ApplyMsg) {
+		r.storeFor(id).Apply(msg)
+	}
+	r.Cluster = cluster.New(opts)
+	r.clientID = 1
+	return r
+}
+
+func (r *Replicated) storeFor(id types.NodeID) *Store {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.stores[id]
+	if !ok {
+		st = NewStore()
+		r.stores[id] = st
+	}
+	return st
+}
+
+// Store returns the state machine of the given replica.
+func (r *Replicated) Store(id types.NodeID) *Store { return r.storeFor(id) }
+
+// Stop shuts the service down.
+func (r *Replicated) Stop() { r.Cluster.Stop() }
+
+// Do submits a command through the current leader and waits for it to
+// apply, retrying across leader changes until the deadline.
+func (r *Replicated) Do(op Op, key, value, old string, timeout time.Duration) (Result, error) {
+	seq := atomic.AddUint64(&r.clientSeq, 1)
+	cmd := Command{Op: op, Key: key, Value: value, Old: old, Client: r.clientID, Seq: seq}
+	payload := cmd.Encode()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		leader := r.Cluster.Leader()
+		if leader == nil {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		idx, _, err := leader.Propose(payload)
+		if err != nil {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		ch := r.storeFor(leader.ID()).wait(idx, cmd.Client, cmd.Seq)
+		// Wait a bounded slice per attempt: a deposed leader never
+		// commits our index, so block briefly and re-probe for the real
+		// leader (the dedup table makes retries idempotent).
+		attempt := 300 * time.Millisecond
+		if rem := time.Until(deadline); rem < attempt {
+			attempt = rem
+		}
+		select {
+		case wr := <-ch:
+			if wr.mine {
+				return wr.res, nil
+			}
+			// A different entry landed at our index: leadership changed.
+			// Loop and retry.
+		case <-time.After(attempt):
+			// Try again, possibly against a newer leader.
+		}
+	}
+	return Result{}, ErrTimeout
+}
+
+// Put sets key to value.
+func (r *Replicated) Put(key, value string, timeout time.Duration) error {
+	_, err := r.Do(OpPut, key, value, "", timeout)
+	return err
+}
+
+// Get reads key linearizably (through the log).
+func (r *Replicated) Get(key string, timeout time.Duration) (string, bool, error) {
+	res, err := r.Do(OpGet, key, "", "", timeout)
+	return res.Value, res.Found, err
+}
+
+// Delete removes key, reporting whether it existed.
+func (r *Replicated) Delete(key string, timeout time.Duration) (bool, error) {
+	res, err := r.Do(OpDelete, key, "", "", timeout)
+	return res.Found, err
+}
+
+// CAS sets key to value iff its current value is old.
+func (r *Replicated) CAS(key, old, value string, timeout time.Duration) (bool, error) {
+	res, err := r.Do(OpCAS, key, value, old, timeout)
+	return res.Swapped, err
+}
+
+// Append appends value to key's current value and returns the new value.
+func (r *Replicated) Append(key, value string, timeout time.Duration) (string, error) {
+	res, err := r.Do(OpAppend, key, value, "", timeout)
+	return res.Value, err
+}
+
+// FastGet reads key linearizably WITHOUT a log write, using the ReadIndex
+// barrier: the leader confirms its leadership with a heartbeat round, the
+// local state machine catches up to the confirmed commit index, and the
+// read is served from memory. Falls back to retrying across leader changes
+// until the deadline.
+func (r *Replicated) FastGet(key string, timeout time.Duration) (string, bool, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		leader := r.Cluster.Leader()
+		if leader == nil {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		attempt := 300 * time.Millisecond
+		if rem := time.Until(deadline); rem < attempt {
+			attempt = rem
+		}
+		idx, err := leader.ReadIndex(attempt)
+		if err != nil {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		st := r.storeFor(leader.ID())
+		for st.AppliedIndex() < idx {
+			if !time.Now().Before(deadline) {
+				return "", false, ErrTimeout
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		v, ok := st.LocalGet(key)
+		return v, ok, nil
+	}
+	return "", false, ErrTimeout
+}

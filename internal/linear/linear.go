@@ -1,0 +1,199 @@
+// Package linear checks linearizability of concurrent key-value histories
+// against the sequential map specification. The paper's SMR layer promises
+// that the replicated object behaves like "a single, atomically-accessible
+// object" (§2.2.1); this checker validates that promise end-to-end on the
+// runtime: concurrent client operations, recorded with invocation and
+// response timestamps, must admit a legal sequential order consistent with
+// real time.
+//
+// The algorithm is Wing & Gong's exhaustive search with memoization on
+// (linearized-set, state) pairs, adequate for the bounded histories the
+// tests generate (tens of operations).
+package linear
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adore/internal/kvstore"
+)
+
+// Event is one completed client operation.
+type Event struct {
+	// Client identifies the issuing client (operations of one client are
+	// sequential by construction).
+	Client int
+	// Op, Key, Value, Old describe the operation (kvstore semantics).
+	Op    kvstore.Op
+	Key   string
+	Value string
+	Old   string
+	// Out is the observed result.
+	Out kvstore.Result
+	// Call and Return are the invocation and response instants (any
+	// monotone clock; only their order matters).
+	Call, Return int64
+}
+
+// String renders the event.
+func (e Event) String() string {
+	return fmt.Sprintf("c%d %s(%q,%q)→{%q,%v,%v} [%d,%d]",
+		e.Client, e.Op, e.Key, e.Value, e.Out.Value, e.Out.Found, e.Out.Swapped, e.Call, e.Return)
+}
+
+// History is a set of completed operations.
+type History []Event
+
+// Result reports a linearizability check.
+type Result struct {
+	// Ok reports whether the history is linearizable.
+	Ok bool
+	// Witness is a legal sequential order of event indices when Ok.
+	Witness []int
+	// Visited counts search states (diagnostics).
+	Visited int
+}
+
+// Check decides whether h is linearizable with respect to the sequential
+// key-value specification.
+func Check(h History) Result {
+	n := len(h)
+	if n == 0 {
+		return Result{Ok: true}
+	}
+	if n > 62 {
+		panic("linear: history too long for the bitmask search (max 62 events)")
+	}
+	// Precedence: i must linearize before j if i returned before j was
+	// invoked.
+	precedes := make([][]int, n) // predecessors of each event
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if i != j && h[i].Return < h[j].Call {
+				precedes[j] = append(precedes[j], i)
+			}
+		}
+	}
+
+	memo := make(map[string]bool) // (mask, state) → dead end
+	res := Result{}
+	type frame struct {
+		mask  uint64
+		state map[string]string
+		order []int
+	}
+	var dfs func(mask uint64, state map[string]string, order []int) bool
+	dfs = func(mask uint64, state map[string]string, order []int) bool {
+		res.Visited++
+		if mask == (uint64(1)<<n)-1 {
+			res.Ok = true
+			res.Witness = append([]int(nil), order...)
+			return true
+		}
+		key := memoKey(mask, state)
+		if memo[key] {
+			return false
+		}
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				continue
+			}
+			ready := true
+			for _, i := range precedes[j] {
+				if mask&(1<<i) == 0 {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			out, next := applySeq(state, h[j])
+			if !sameResult(out, h[j].Out, h[j].Op) {
+				continue
+			}
+			if dfs(mask|(1<<j), next, append(order, j)) {
+				return true
+			}
+		}
+		memo[key] = true
+		return false
+	}
+	dfs(0, map[string]string{}, nil)
+	return res
+}
+
+// applySeq runs one operation on the sequential specification, returning
+// the expected output and the successor state (copy-on-write).
+func applySeq(state map[string]string, e Event) (kvstore.Result, map[string]string) {
+	read := func() (string, bool) { v, ok := state[e.Key]; return v, ok }
+	write := func(v string, del bool) map[string]string {
+		next := make(map[string]string, len(state)+1)
+		for k, val := range state {
+			next[k] = val
+		}
+		if del {
+			delete(next, e.Key)
+		} else {
+			next[e.Key] = v
+		}
+		return next
+	}
+	switch e.Op {
+	case kvstore.OpPut:
+		return kvstore.Result{Value: e.Value, Found: true}, write(e.Value, false)
+	case kvstore.OpGet:
+		v, ok := read()
+		return kvstore.Result{Value: v, Found: ok}, state
+	case kvstore.OpDelete:
+		_, ok := read()
+		return kvstore.Result{Found: ok}, write("", true)
+	case kvstore.OpCAS:
+		v, ok := read()
+		if ok && v == e.Old {
+			return kvstore.Result{Value: v, Found: true, Swapped: true}, write(e.Value, false)
+		}
+		return kvstore.Result{Value: v, Found: ok}, state
+	case kvstore.OpAppend:
+		v, _ := read()
+		return kvstore.Result{Value: v + e.Value, Found: true}, write(v+e.Value, false)
+	default:
+		return kvstore.Result{}, state
+	}
+}
+
+// sameResult compares the observed and specified outputs, ignoring fields
+// the operation does not define.
+func sameResult(spec, got kvstore.Result, op kvstore.Op) bool {
+	switch op {
+	case kvstore.OpPut:
+		return true // a put's output carries no information
+	case kvstore.OpGet:
+		return spec.Found == got.Found && (!spec.Found || spec.Value == got.Value)
+	case kvstore.OpDelete:
+		return spec.Found == got.Found
+	case kvstore.OpCAS:
+		return spec.Swapped == got.Swapped
+	case kvstore.OpAppend:
+		return spec.Value == got.Value
+	default:
+		return true
+	}
+}
+
+// memoKey builds the memoization key: the linearized mask plus a canonical
+// state rendering.
+func memoKey(mask uint64, state map[string]string) string {
+	keys := make([]string, 0, len(state))
+	for k := range state {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%x|", mask)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s;", k, state[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,185 @@
+package linear
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adore/internal/kvstore"
+	"adore/internal/raft/cluster"
+)
+
+func ev(client int, op kvstore.Op, key, value, old string, out kvstore.Result, call, ret int64) Event {
+	return Event{Client: client, Op: op, Key: key, Value: value, Old: old, Out: out, Call: call, Return: ret}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if !Check(nil).Ok {
+		t.Error("empty history must be linearizable")
+	}
+}
+
+func TestSequentialHistory(t *testing.T) {
+	h := History{
+		ev(1, kvstore.OpPut, "x", "a", "", kvstore.Result{}, 1, 2),
+		ev(1, kvstore.OpGet, "x", "", "", kvstore.Result{Value: "a", Found: true}, 3, 4),
+		ev(1, kvstore.OpDelete, "x", "", "", kvstore.Result{Found: true}, 5, 6),
+		ev(1, kvstore.OpGet, "x", "", "", kvstore.Result{Found: false}, 7, 8),
+	}
+	res := Check(h)
+	if !res.Ok {
+		t.Fatal("sequential history rejected")
+	}
+	if len(res.Witness) != 4 {
+		t.Errorf("witness = %v", res.Witness)
+	}
+}
+
+func TestConcurrentOverlapAllowsEitherOrder(t *testing.T) {
+	// Two overlapping puts followed by a read seeing either is fine.
+	h := History{
+		ev(1, kvstore.OpPut, "x", "a", "", kvstore.Result{}, 1, 10),
+		ev(2, kvstore.OpPut, "x", "b", "", kvstore.Result{}, 2, 9),
+		ev(3, kvstore.OpGet, "x", "", "", kvstore.Result{Value: "a", Found: true}, 11, 12),
+	}
+	if !Check(h).Ok {
+		t.Error("read of either concurrent write must linearize")
+	}
+	h[2].Out.Value = "b"
+	if !Check(h).Ok {
+		t.Error("read of the other concurrent write must linearize")
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	// A read that returns a value overwritten strictly earlier in real
+	// time is not linearizable.
+	h := History{
+		ev(1, kvstore.OpPut, "x", "a", "", kvstore.Result{}, 1, 2),
+		ev(1, kvstore.OpPut, "x", "b", "", kvstore.Result{}, 3, 4),
+		ev(2, kvstore.OpGet, "x", "", "", kvstore.Result{Value: "a", Found: true}, 5, 6),
+	}
+	if Check(h).Ok {
+		t.Error("stale read accepted")
+	}
+}
+
+func TestLostUpdateRejected(t *testing.T) {
+	// Two CAS both claiming success from the same expected value, with no
+	// interleaving write, cannot both linearize.
+	h := History{
+		ev(1, kvstore.OpPut, "x", "0", "", kvstore.Result{}, 1, 2),
+		ev(1, kvstore.OpCAS, "x", "1", "0", kvstore.Result{Swapped: true}, 3, 6),
+		ev(2, kvstore.OpCAS, "x", "2", "0", kvstore.Result{Swapped: true}, 4, 7),
+	}
+	if Check(h).Ok {
+		t.Error("double CAS success accepted")
+	}
+}
+
+func TestAppendOrdering(t *testing.T) {
+	// Appends are order-sensitive through their outputs.
+	h := History{
+		ev(1, kvstore.OpAppend, "x", "a", "", kvstore.Result{Value: "a", Found: true}, 1, 5),
+		ev(2, kvstore.OpAppend, "x", "b", "", kvstore.Result{Value: "ab", Found: true}, 2, 6),
+	}
+	if !Check(h).Ok {
+		t.Error("consistent append outputs rejected")
+	}
+	h[1].Out.Value = "b" // claims it ran first...
+	h[0].Out.Value = "a" // ...but so does the other
+	if Check(h).Ok {
+		t.Error("contradictory append outputs accepted")
+	}
+}
+
+func TestRealTimeOrderRespected(t *testing.T) {
+	// Put completes before a CAS starts: the CAS must see it.
+	h := History{
+		ev(1, kvstore.OpPut, "x", "new", "", kvstore.Result{}, 1, 2),
+		ev(2, kvstore.OpCAS, "x", "y", "old", kvstore.Result{Swapped: true}, 3, 4),
+	}
+	if Check(h).Ok {
+		t.Error("CAS swapped against an overwritten value")
+	}
+}
+
+// TestReplicatedKVIsLinearizable runs concurrent clients against the real
+// replicated store — including across a leader failure — and checks the
+// recorded history (the end-to-end SMR validation).
+func TestReplicatedKVIsLinearizable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end linearizability in -short mode")
+	}
+	r := kvstore.NewReplicated(cluster.Options{N: 3, Latency: 100 * time.Microsecond, Seed: 31})
+	defer r.Stop()
+	if _, err := r.Cluster.WaitForLeader(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var clock int64
+	now := func() int64 { return atomic.AddInt64(&clock, 1) }
+	var mu sync.Mutex
+	var h History
+
+	record := func(client int, op kvstore.Op, key, value, old string) {
+		call := now()
+		out, err := r.Do(op, key, value, old, 10*time.Second)
+		ret := now()
+		if err != nil {
+			t.Errorf("client %d: %v", client, err)
+			return
+		}
+		mu.Lock()
+		h = append(h, Event{Client: client, Op: op, Key: key, Value: value, Old: old, Out: out, Call: call, Return: ret})
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	ops := []struct {
+		op         kvstore.Op
+		key, v, ov string
+	}{
+		{kvstore.OpPut, "k", "a", ""},
+		{kvstore.OpAppend, "k", "b", ""},
+		{kvstore.OpGet, "k", "", ""},
+		{kvstore.OpCAS, "k", "z", "ab"},
+		{kvstore.OpGet, "k", "", ""},
+		{kvstore.OpPut, "j", "1", ""},
+		{kvstore.OpGet, "j", "", ""},
+		{kvstore.OpDelete, "j", "", ""},
+	}
+	for c := 0; c < 3; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := c; i < len(ops); i += 3 {
+				o := ops[i]
+				record(c, o.op, o.key, o.v, o.ov)
+			}
+		}()
+	}
+	// Kill the leader mid-run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(2 * time.Millisecond)
+		if l := r.Cluster.Leader(); l != nil {
+			r.Cluster.Net.Isolate(l.ID())
+			time.Sleep(50 * time.Millisecond)
+			r.Cluster.Net.Heal()
+		}
+	}()
+	wg.Wait()
+
+	res := Check(h)
+	if !res.Ok {
+		for _, e := range h {
+			t.Logf("  %s", e)
+		}
+		t.Fatalf("history is not linearizable (%d events, %d states visited)", len(h), res.Visited)
+	}
+	t.Logf("linearizable: %d events, witness %v, %d states visited", len(h), res.Witness, res.Visited)
+}

@@ -1,0 +1,246 @@
+// Package cluster assembles in-process raft clusters over the simulated
+// in-memory network — the harness used by the integration tests, the
+// examples, and the Fig. 16 benchmark.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"adore/internal/raft"
+	"adore/internal/raft/transport"
+	"adore/internal/types"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// N is the initial cluster size (members S1..SN).
+	N int
+	// Latency/Jitter configure the simulated network.
+	Latency time.Duration
+	Jitter  time.Duration
+	// ElectionTimeoutMin scales all protocol timers (0 = default).
+	ElectionTimeoutMin time.Duration
+	// DisableR3 reproduces the published reconfiguration bug.
+	DisableR3 bool
+	// Seed drives all randomness.
+	Seed int64
+	// OnApply, when set, is called synchronously from each node's apply
+	// drain for every committed entry (state machines hook in here).
+	OnApply func(types.NodeID, raft.ApplyMsg)
+	// StorageFor, when set, supplies per-node persistent storage, which
+	// makes CrashNode/RestartNode meaningful (state survives).
+	StorageFor func(types.NodeID) raft.Storage
+}
+
+// Cluster is a set of raft nodes joined by a MemNetwork.
+type Cluster struct {
+	Net  *transport.MemNetwork
+	opts Options
+
+	mu      sync.Mutex
+	nodes   map[types.NodeID]*raft.Node
+	applied map[types.NodeID][]raft.ApplyMsg
+	drains  sync.WaitGroup
+}
+
+// New starts a cluster of opts.N nodes and returns it.
+func New(opts Options) *Cluster {
+	if opts.N <= 0 {
+		opts.N = 3
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	c := &Cluster{
+		Net:     transport.NewMemNetwork(opts.Latency, opts.Jitter, opts.Seed),
+		opts:    opts,
+		nodes:   make(map[types.NodeID]*raft.Node),
+		applied: make(map[types.NodeID][]raft.ApplyMsg),
+	}
+	members := types.Range(1, types.NodeID(opts.N)).Copy()
+	for _, id := range members {
+		c.StartNode(id, members)
+	}
+	return c
+}
+
+// StartNode launches (or restarts) a node with the given initial
+// membership and attaches it to the network.
+func (c *Cluster) StartNode(id types.NodeID, members []types.NodeID) *raft.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inbox := make(chan raft.Message, 4096)
+	tr := c.Net.Attach(id, inbox)
+	var storage raft.Storage
+	if c.opts.StorageFor != nil {
+		storage = c.opts.StorageFor(id)
+	}
+	n := raft.StartNode(raft.Options{
+		ID:                 id,
+		Members:            members,
+		Transport:          tr,
+		Storage:            storage,
+		ElectionTimeoutMin: c.opts.ElectionTimeoutMin,
+		DisableR3:          c.opts.DisableR3,
+		Seed:               c.opts.Seed + int64(id),
+	})
+	// Pump the transport inbox into the node.
+	go func() {
+		for m := range inbox {
+			select {
+			case n.Inbox() <- m:
+			default:
+			}
+		}
+	}()
+	// Drain and record the apply stream.
+	c.drains.Add(1)
+	go func() {
+		defer c.drains.Done()
+		for msg := range n.ApplyCh() {
+			c.mu.Lock()
+			c.applied[id] = append(c.applied[id], msg)
+			c.mu.Unlock()
+			if c.opts.OnApply != nil {
+				c.opts.OnApply(id, msg)
+			}
+		}
+	}()
+	c.nodes[id] = n
+	return n
+}
+
+// Node returns the node with the given ID (nil if absent).
+func (c *Cluster) Node(id types.NodeID) *raft.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[id]
+}
+
+// Nodes returns a snapshot of all running nodes.
+func (c *Cluster) Nodes() []*raft.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*raft.Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Applied returns a copy of the entries a node has applied so far.
+func (c *Cluster) Applied(id types.NodeID) []raft.ApplyMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]raft.ApplyMsg(nil), c.applied[id]...)
+}
+
+// ErrNoLeader reports that no leader emerged within the deadline.
+var ErrNoLeader = errors.New("cluster: no leader elected within the deadline")
+
+// WaitForLeader blocks until some node is leader and returns its ID.
+func (c *Cluster) WaitForLeader(timeout time.Duration) (types.NodeID, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, n := range c.Nodes() {
+			if _, role, _ := n.Status(); role == raft.Leader {
+				return n.ID(), nil
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return types.NoNode, ErrNoLeader
+}
+
+// Leader returns the leader at the highest term, or nil. (During
+// partitions a deposed leader may still believe in itself; the highest
+// term wins.)
+func (c *Cluster) Leader() *raft.Node {
+	var best *raft.Node
+	var bestTerm types.Time
+	for _, n := range c.Nodes() {
+		if term, role, _ := n.Status(); role == raft.Leader && (best == nil || term > bestTerm) {
+			best, bestTerm = n, term
+		}
+	}
+	return best
+}
+
+// Propose submits a command via the current leader, retrying across leader
+// changes until the deadline. It returns the index the command was
+// proposed at (commitment is observed via WaitApplied or the KV layer).
+func (c *Cluster) Propose(cmd []byte, timeout time.Duration) (int, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if l := c.Leader(); l != nil {
+			if idx, _, err := l.Propose(cmd); err == nil {
+				return idx, nil
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return 0, fmt.Errorf("cluster: propose timed out")
+}
+
+// WaitCommit blocks until the given node's commit index reaches idx.
+func (c *Cluster) WaitCommit(id types.NodeID, idx int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if n := c.Node(id); n != nil && n.CommitIndex() >= idx {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("cluster: %s did not reach commit index %d", id, idx)
+}
+
+// Reconfigure retries a membership change against the current leader until
+// it is accepted (R3 needs the term-opening no-op to commit first) and
+// returns the config entry's index.
+func (c *Cluster) Reconfigure(members types.NodeSet, timeout time.Duration) (int, error) {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if l := c.Leader(); l != nil {
+			idx, _, err := l.ProposeConfig(members)
+			if err == nil {
+				return idx, nil
+			}
+			lastErr = err
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return 0, fmt.Errorf("cluster: reconfigure timed out (last error: %v)", lastErr)
+}
+
+// CrashNode stops a node abruptly and detaches it from the network; its
+// volatile state is lost. With Options.StorageFor set, RestartNode
+// recovers the persisted term, vote, and log.
+func (c *Cluster) CrashNode(id types.NodeID) {
+	c.mu.Lock()
+	n := c.nodes[id]
+	delete(c.nodes, id)
+	c.mu.Unlock()
+	c.Net.Detach(id)
+	if n != nil {
+		n.Stop()
+	}
+}
+
+// RestartNode relaunches a previously crashed node with the given initial
+// membership (its persisted log's configuration entries take precedence).
+func (c *Cluster) RestartNode(id types.NodeID, members []types.NodeID) *raft.Node {
+	return c.StartNode(id, members)
+}
+
+// Stop shuts down every node and the network.
+func (c *Cluster) Stop() {
+	for _, n := range c.Nodes() {
+		n.Stop()
+	}
+	c.Net.Close()
+	c.drains.Wait()
+}

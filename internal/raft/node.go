@@ -1,0 +1,739 @@
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"adore/internal/types"
+)
+
+// Role is a node's protocol role.
+type Role uint8
+
+const (
+	// Follower, Candidate, Leader are the standard Raft roles.
+	Follower Role = iota
+	Candidate
+	Leader
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Options configures a node.
+type Options struct {
+	// ID is this node's identity; Members the initial cluster.
+	ID      types.NodeID
+	Members []types.NodeID
+
+	// Transport carries messages; required.
+	Transport Transport
+
+	// ElectionTimeoutMin/Max bound the randomized election timeout;
+	// HeartbeatInterval is the leader's append cadence. Zero values get
+	// test-friendly defaults (50–100 ms / 20 ms).
+	ElectionTimeoutMin time.Duration
+	ElectionTimeoutMax time.Duration
+	HeartbeatInterval  time.Duration
+
+	// Storage persists term, vote, and log across restarts. Nil means
+	// the node is volatile (models, benchmarks, never-restarted tests).
+	Storage Storage
+
+	// DisableR3 reproduces the published single-server bug: reconfig no
+	// longer waits for a committed entry in the leader's current term.
+	// For experiments only.
+	DisableR3 bool
+
+	// Seed randomizes election timeouts deterministically (0 = from ID).
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.ElectionTimeoutMin == 0 {
+		o.ElectionTimeoutMin = 50 * time.Millisecond
+	}
+	if o.ElectionTimeoutMax == 0 {
+		o.ElectionTimeoutMax = 2 * o.ElectionTimeoutMin
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = o.ElectionTimeoutMin / 3
+	}
+	if o.Seed == 0 {
+		o.Seed = int64(o.ID) * 7919
+	}
+}
+
+// Errors returned by the client-facing API.
+var (
+	// ErrNotLeader reports that the node cannot serve the request; the
+	// caller should retry against the current leader.
+	ErrNotLeader = errors.New("raft: not the leader")
+	// ErrStopped reports the node has shut down.
+	ErrStopped = errors.New("raft: node stopped")
+	// ErrReconfigPending rejects a membership change while another is
+	// uncommitted (R2).
+	ErrReconfigPending = errors.New("raft: a configuration change is already in progress (R2)")
+	// ErrReconfigNotReady rejects a membership change before the leader
+	// has committed an entry in its current term (R3).
+	ErrReconfigNotReady = errors.New("raft: no committed entry in the current term yet (R3)")
+	// ErrBadMembership rejects changes that are not single-node (R1) or
+	// would empty the cluster.
+	ErrBadMembership = errors.New("raft: invalid membership change (R1)")
+)
+
+// Node is one Raft runtime instance. Create with StartNode; stop with Stop.
+type Node struct {
+	mu sync.Mutex
+
+	id   types.NodeID
+	opts Options
+	rng  *rand.Rand
+
+	term     types.Time
+	votedFor types.NodeID
+	role     Role
+	leader   types.NodeID // last known leader
+
+	// log is 1-indexed: log[0] is a sentinel.
+	log         []LogEntry
+	commitIndex int
+	lastApplied int
+
+	// Leader volatile state.
+	nextIndex  map[types.NodeID]int
+	matchIndex map[types.NodeID]int
+	votes      types.NodeSet
+
+	// conf0 is the initial membership; the effective membership is the
+	// latest config entry in the log (hot reconfiguration).
+	conf0 types.NodeSet
+
+	applyCh  chan ApplyMsg
+	inbox    chan Message
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	done     sync.WaitGroup
+
+	electionDeadline time.Time
+
+	// pendingReads are ReadIndex barriers awaiting quorum confirmation.
+	pendingReads []*pendingRead
+
+	// metrics
+	elections uint64
+}
+
+// pendingRead is one ReadIndex barrier: the commit index captured at
+// request time, and the leadership confirmations gathered since.
+type pendingRead struct {
+	index int
+	term  types.Time
+	acks  types.NodeSet
+	done  chan int // receives the read index once confirmed; closed on failure
+}
+
+// StartNode launches a node and its background loops.
+func StartNode(opts Options) *Node {
+	opts.defaults()
+	n := &Node{
+		id:      opts.ID,
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		role:    Follower,
+		log:     make([]LogEntry, 1), // sentinel at index 0
+		conf0:   types.NewNodeSet(opts.Members...),
+		applyCh: make(chan ApplyMsg, 1024),
+		inbox:   make(chan Message, 1024),
+		stopCh:  make(chan struct{}),
+	}
+	if opts.Storage != nil {
+		hs, log, err := opts.Storage.Load()
+		if err != nil {
+			panic(fmt.Sprintf("raft: storage load: %v", err))
+		}
+		n.term = hs.Term
+		n.votedFor = hs.VotedFor
+		if len(log) > 0 {
+			n.log = log
+		}
+	}
+	n.resetElectionDeadline()
+	n.done.Add(1)
+	go n.run()
+	return n
+}
+
+// Inbox returns the channel the transport should feed received messages
+// into.
+func (n *Node) Inbox() chan<- Message { return n.inbox }
+
+// ApplyCh delivers committed entries in order.
+func (n *Node) ApplyCh() <-chan ApplyMsg { return n.applyCh }
+
+// ID returns the node's identity.
+func (n *Node) ID() types.NodeID { return n.id }
+
+// Stop shuts the node down and waits for its loops to exit.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	n.done.Wait()
+}
+
+// Status reports the node's current term, role, and known leader.
+func (n *Node) Status() (types.Time, Role, types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.term, n.role, n.leader
+}
+
+// Members returns the node's current effective membership (the latest
+// configuration in its log).
+func (n *Node) Members() types.NodeSet {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.membersLocked()
+}
+
+func (n *Node) membersLocked() types.NodeSet {
+	for i := len(n.log) - 1; i >= 1; i-- {
+		if n.log[i].Kind == EntryConfig {
+			return types.NewNodeSet(n.log[i].Members...)
+		}
+	}
+	return n.conf0
+}
+
+// committedMembersLocked is the membership ignoring uncommitted config
+// entries (used for R2 checks and diagnostics).
+func (n *Node) committedMembersLocked() types.NodeSet {
+	for i := n.commitIndex; i >= 1; i-- {
+		if n.log[i].Kind == EntryConfig {
+			return types.NewNodeSet(n.log[i].Members...)
+		}
+	}
+	return n.conf0
+}
+
+// CommitIndex returns the node's commit index.
+func (n *Node) CommitIndex() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.commitIndex
+}
+
+// Elections returns how many elections this node has started (metrics).
+func (n *Node) Elections() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.elections
+}
+
+// Propose appends a client command at the leader. It returns the assigned
+// log index and term, or ErrNotLeader.
+func (n *Node) Propose(cmd []byte) (int, types.Time, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role != Leader {
+		return 0, 0, fmt.Errorf("%w (known leader: %s)", ErrNotLeader, n.leader)
+	}
+	idx := n.appendLocked(LogEntry{Term: n.term, Kind: EntryCommand, Command: cmd})
+	n.broadcastAppendLocked()
+	return idx, n.term, nil
+}
+
+// ProposeConfig appends a membership change at the leader, enforcing the
+// paper's guards: the change must add or remove exactly one node (R1),
+// no other configuration change may be in flight (R2), and — unless
+// DisableR3 — the leader must have committed an entry in its current term
+// (R3).
+func (n *Node) ProposeConfig(members types.NodeSet) (int, types.Time, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role != Leader {
+		return 0, 0, fmt.Errorf("%w (known leader: %s)", ErrNotLeader, n.leader)
+	}
+	cur := n.membersLocked()
+	if members.IsEmpty() {
+		return 0, 0, fmt.Errorf("%w: empty membership", ErrBadMembership)
+	}
+	added := members.Diff(cur).Len()
+	removed := cur.Diff(members).Len()
+	if added+removed != 1 {
+		return 0, 0, fmt.Errorf("%w: %s → %s changes %d nodes", ErrBadMembership, cur, members, added+removed)
+	}
+	// R2: no uncommitted config entry.
+	for i := n.commitIndex + 1; i < len(n.log); i++ {
+		if n.log[i].Kind == EntryConfig {
+			return 0, 0, ErrReconfigPending
+		}
+	}
+	// R3: a committed entry with the current term.
+	if !n.opts.DisableR3 {
+		ok := false
+		for i := n.commitIndex; i >= 1; i-- {
+			if n.log[i].Term == n.term {
+				ok = true
+				break
+			}
+			if n.log[i].Term < n.term {
+				break
+			}
+		}
+		if !ok {
+			return 0, 0, ErrReconfigNotReady
+		}
+	}
+	idx := n.appendLocked(LogEntry{Term: n.term, Kind: EntryConfig, Members: members.Copy()})
+	n.broadcastAppendLocked()
+	return idx, n.term, nil
+}
+
+// ReadIndex implements linearizable reads without log writes (the Raft
+// ReadIndex optimization): the leader captures its commit index, confirms
+// it is still the leader by collecting a round of quorum acknowledgements,
+// and returns the index. A caller that waits until its state machine has
+// applied up to the returned index may then serve the read locally.
+func (n *Node) ReadIndex(timeout time.Duration) (int, error) {
+	n.mu.Lock()
+	if n.role != Leader {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w (known leader: %s)", ErrNotLeader, n.leader)
+	}
+	pr := &pendingRead{
+		index: n.commitIndex,
+		term:  n.term,
+		acks:  types.NewNodeSet(n.id),
+		done:  make(chan int, 1),
+	}
+	// A single-node configuration is already a quorum of itself.
+	if isMajority(pr.acks, n.membersLocked()) {
+		n.mu.Unlock()
+		return pr.index, nil
+	}
+	n.pendingReads = append(n.pendingReads, pr)
+	n.broadcastAppendLocked() // heartbeat doubles as the confirmation round
+	n.mu.Unlock()
+
+	select {
+	case idx, ok := <-pr.done:
+		if !ok {
+			return 0, ErrNotLeader
+		}
+		return idx, nil
+	case <-time.After(timeout):
+		n.mu.Lock()
+		n.dropPendingRead(pr)
+		n.mu.Unlock()
+		return 0, fmt.Errorf("raft: read index confirmation timed out")
+	case <-n.stopCh:
+		return 0, ErrStopped
+	}
+}
+
+// isMajority reports whether acks form a strict majority of members.
+func isMajority(acks, members types.NodeSet) bool {
+	return members.Len() < 2*acks.IntersectLen(members)
+}
+
+func (n *Node) dropPendingRead(pr *pendingRead) {
+	for i, p := range n.pendingReads {
+		if p == pr {
+			n.pendingReads = append(n.pendingReads[:i], n.pendingReads[i+1:]...)
+			return
+		}
+	}
+}
+
+// confirmReadsLocked credits a leadership confirmation from a peer and
+// resolves the barriers that reached a quorum.
+func (n *Node) confirmReadsLocked(from types.NodeID) {
+	if len(n.pendingReads) == 0 {
+		return
+	}
+	members := n.membersLocked()
+	kept := n.pendingReads[:0]
+	for _, pr := range n.pendingReads {
+		if pr.term != n.term || n.role != Leader {
+			close(pr.done)
+			continue
+		}
+		pr.acks = pr.acks.Add(from)
+		if isMajority(pr.acks, members) {
+			pr.done <- pr.index
+			continue
+		}
+		kept = append(kept, pr)
+	}
+	n.pendingReads = kept
+}
+
+// failReadsLocked aborts every pending barrier (leadership lost).
+func (n *Node) failReadsLocked() {
+	for _, pr := range n.pendingReads {
+		close(pr.done)
+	}
+	n.pendingReads = nil
+}
+
+// AddServer proposes membership ∪ {id}.
+func (n *Node) AddServer(id types.NodeID) (int, types.Time, error) {
+	return n.ProposeConfig(n.Members().Add(id))
+}
+
+// RemoveServer proposes membership \ {id}.
+func (n *Node) RemoveServer(id types.NodeID) (int, types.Time, error) {
+	return n.ProposeConfig(n.Members().Remove(id))
+}
+
+// appendLocked appends an entry, persists it, and returns its index.
+func (n *Node) appendLocked(e LogEntry) int {
+	n.log = append(n.log, e)
+	idx := len(n.log) - 1
+	n.matchIndex[n.id] = idx
+	n.persistEntriesLocked(idx)
+	return idx
+}
+
+// persistStateLocked durably records the current term and vote.
+func (n *Node) persistStateLocked() {
+	if n.opts.Storage == nil {
+		return
+	}
+	if err := n.opts.Storage.SaveState(HardState{Term: n.term, VotedFor: n.votedFor}); err != nil {
+		panic(fmt.Sprintf("raft: persist state: %v", err))
+	}
+}
+
+// persistEntriesLocked durably replaces the log suffix from firstIndex.
+func (n *Node) persistEntriesLocked(firstIndex int) {
+	if n.opts.Storage == nil {
+		return
+	}
+	entries := make([]LogEntry, len(n.log)-firstIndex)
+	copy(entries, n.log[firstIndex:])
+	if err := n.opts.Storage.SaveEntries(firstIndex, entries); err != nil {
+		panic(fmt.Sprintf("raft: persist entries: %v", err))
+	}
+}
+
+// run is the main event loop: messages, timers, shutdown.
+func (n *Node) run() {
+	defer n.done.Done()
+	ticker := time.NewTicker(n.opts.HeartbeatInterval / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			close(n.applyCh)
+			_ = n.opts.Transport.Close()
+			return
+		case m := <-n.inbox:
+			n.handle(m)
+		case <-ticker.C:
+			n.tick()
+		}
+	}
+}
+
+// tick fires heartbeats (leader) or election timeouts (non-leaders).
+func (n *Node) tick() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := time.Now()
+	if n.role == Leader {
+		n.broadcastAppendLocked()
+		n.applyLocked()
+		return
+	}
+	if now.After(n.electionDeadline) {
+		// A node outside its own effective configuration must not
+		// disrupt the cluster with elections (it has been removed).
+		if !n.membersLocked().Contains(n.id) {
+			n.resetElectionDeadline()
+			return
+		}
+		n.startElectionLocked()
+	}
+}
+
+func (n *Node) resetElectionDeadline() {
+	span := n.opts.ElectionTimeoutMax - n.opts.ElectionTimeoutMin
+	d := n.opts.ElectionTimeoutMin
+	if span > 0 {
+		d += time.Duration(n.rng.Int63n(int64(span)))
+	}
+	n.electionDeadline = time.Now().Add(d)
+}
+
+// startElectionLocked begins a candidacy for the next term.
+func (n *Node) startElectionLocked() {
+	n.term++
+	n.role = Candidate
+	n.votedFor = n.id
+	n.persistStateLocked()
+	n.votes = types.NewNodeSet(n.id)
+	n.elections++
+	n.resetElectionDeadline()
+	lastIdx := len(n.log) - 1
+	req := Message{
+		Type:         MsgVoteRequest,
+		From:         n.id,
+		Term:         n.term,
+		LastLogIndex: lastIdx,
+		LastLogTerm:  n.log[lastIdx].Term,
+	}
+	for _, to := range n.membersLocked().Slice() {
+		if to == n.id {
+			continue
+		}
+		req.To = to
+		n.opts.Transport.Send(req)
+	}
+	n.maybeWinLocked()
+}
+
+// maybeWinLocked promotes a candidate with a quorum of votes.
+func (n *Node) maybeWinLocked() {
+	if n.role != Candidate {
+		return
+	}
+	members := n.membersLocked()
+	if members.Len() >= 2*n.votes.IntersectLen(members) {
+		return // not a strict majority
+	}
+	n.role = Leader
+	n.leader = n.id
+	n.nextIndex = make(map[types.NodeID]int)
+	n.matchIndex = make(map[types.NodeID]int)
+	for _, id := range members.Slice() {
+		n.nextIndex[id] = len(n.log)
+		n.matchIndex[id] = 0
+	}
+	n.matchIndex[n.id] = len(n.log) - 1
+	// Term-opening no-op: commits promptly in this term, satisfying both
+	// the commitment rule and R3.
+	n.appendLocked(LogEntry{Term: n.term, Kind: EntryNoOp})
+	n.broadcastAppendLocked()
+}
+
+// broadcastAppendLocked sends AppendEntries to every peer in the current
+// configuration (and to peers being removed that still need the entry that
+// removes them — they are reached while they remain in the effective
+// membership union with the committed one).
+func (n *Node) broadcastAppendLocked() {
+	if n.role != Leader {
+		return
+	}
+	targets := n.membersLocked().Union(n.committedMembersLocked())
+	for _, to := range targets.Slice() {
+		if to == n.id {
+			continue
+		}
+		n.sendAppendLocked(to)
+	}
+	// A single-member configuration commits on its own append: there are
+	// no responses to trigger the usual advance.
+	n.advanceCommitLocked()
+}
+
+func (n *Node) sendAppendLocked(to types.NodeID) {
+	next := n.nextIndex[to]
+	if next < 1 {
+		next = 1
+	}
+	if next > len(n.log) {
+		next = len(n.log)
+	}
+	prev := next - 1
+	entries := make([]LogEntry, len(n.log)-next)
+	copy(entries, n.log[next:])
+	n.opts.Transport.Send(Message{
+		Type:         MsgAppendEntries,
+		From:         n.id,
+		To:           to,
+		Term:         n.term,
+		PrevLogIndex: prev,
+		PrevLogTerm:  n.log[prev].Term,
+		Entries:      entries,
+		LeaderCommit: n.commitIndex,
+	})
+}
+
+// handle dispatches an incoming message.
+func (n *Node) handle(m Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m.Term > n.term {
+		n.term = m.Term
+		n.role = Follower
+		n.votedFor = types.NoNode
+		n.persistStateLocked()
+		n.failReadsLocked()
+	}
+	switch m.Type {
+	case MsgVoteRequest:
+		n.onVoteRequest(m)
+	case MsgVoteResponse:
+		n.onVoteResponse(m)
+	case MsgAppendEntries:
+		n.onAppendEntries(m)
+	case MsgAppendResponse:
+		n.onAppendResponse(m)
+	}
+	n.applyLocked()
+}
+
+func (n *Node) onVoteRequest(m Message) {
+	granted := false
+	if m.Term == n.term && (n.votedFor == types.NoNode || n.votedFor == m.From) {
+		lastIdx := len(n.log) - 1
+		lastTerm := n.log[lastIdx].Term
+		upToDate := m.LastLogTerm > lastTerm ||
+			(m.LastLogTerm == lastTerm && m.LastLogIndex >= lastIdx)
+		if upToDate {
+			granted = true
+			n.votedFor = m.From
+			n.persistStateLocked()
+			n.resetElectionDeadline()
+		}
+	}
+	n.opts.Transport.Send(Message{
+		Type: MsgVoteResponse, From: n.id, To: m.From, Term: n.term, Granted: granted,
+	})
+}
+
+func (n *Node) onVoteResponse(m Message) {
+	if n.role != Candidate || m.Term != n.term || !m.Granted {
+		return
+	}
+	n.votes = n.votes.Add(m.From)
+	n.maybeWinLocked()
+}
+
+func (n *Node) onAppendEntries(m Message) {
+	success := false
+	matchIdx := 0
+	if m.Term == n.term {
+		n.role = Follower
+		n.leader = m.From
+		n.resetElectionDeadline()
+		if m.PrevLogIndex < len(n.log) && n.log[m.PrevLogIndex].Term == m.PrevLogTerm {
+			success = true
+			// Append, truncating on conflicts.
+			idx := m.PrevLogIndex
+			firstChanged := 0
+			for i, e := range m.Entries {
+				pos := idx + 1 + i
+				if pos < len(n.log) {
+					if n.log[pos].Term != e.Term {
+						n.log = n.log[:pos]
+						n.log = append(n.log, e)
+						if firstChanged == 0 {
+							firstChanged = pos
+						}
+					}
+				} else {
+					n.log = append(n.log, e)
+					if firstChanged == 0 {
+						firstChanged = pos
+					}
+				}
+			}
+			if firstChanged != 0 {
+				n.persistEntriesLocked(firstChanged)
+			}
+			matchIdx = m.PrevLogIndex + len(m.Entries)
+			if m.LeaderCommit > n.commitIndex {
+				n.commitIndex = min(m.LeaderCommit, matchIdx)
+			}
+		}
+	}
+	n.opts.Transport.Send(Message{
+		Type: MsgAppendResponse, From: n.id, To: m.From, Term: n.term,
+		Success: success, MatchIndex: matchIdx,
+	})
+}
+
+func (n *Node) onAppendResponse(m Message) {
+	if n.role != Leader || m.Term != n.term {
+		return
+	}
+	if !m.Success {
+		if n.nextIndex[m.From] > 1 {
+			n.nextIndex[m.From]--
+		}
+		n.sendAppendLocked(m.From)
+		return
+	}
+	if m.MatchIndex > n.matchIndex[m.From] {
+		n.matchIndex[m.From] = m.MatchIndex
+	}
+	if m.MatchIndex >= n.nextIndex[m.From] {
+		n.nextIndex[m.From] = m.MatchIndex + 1
+	}
+	n.confirmReadsLocked(m.From)
+	n.advanceCommitLocked()
+}
+
+// advanceCommitLocked moves the commit index to the highest current-term
+// index replicated on a quorum of the current configuration.
+func (n *Node) advanceCommitLocked() {
+	members := n.membersLocked()
+	for idx := len(n.log) - 1; idx > n.commitIndex; idx-- {
+		if n.log[idx].Term != n.term {
+			break // commitment rule: only current-term entries directly
+		}
+		count := 0
+		for _, id := range members.Slice() {
+			if id == n.id || n.matchIndex[id] >= idx {
+				count++
+			}
+		}
+		if members.Len() < 2*count {
+			n.commitIndex = idx
+			// Stepping stone committed: if this commit finalizes our own
+			// removal, step down.
+			if !n.committedMembersLocked().Contains(n.id) && !members.Contains(n.id) {
+				n.role = Follower
+				n.failReadsLocked()
+			}
+			break
+		}
+	}
+}
+
+// applyLocked delivers newly committed entries to the apply channel.
+func (n *Node) applyLocked() {
+	for n.lastApplied < n.commitIndex {
+		n.lastApplied++
+		e := n.log[n.lastApplied]
+		msg := ApplyMsg{Index: n.lastApplied, Term: e.Term, Kind: e.Kind, Command: e.Command, Members: e.Members}
+		select {
+		case n.applyCh <- msg:
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,247 @@
+package raft
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"adore/internal/types"
+)
+
+// HardState is the durable per-node protocol state that Raft requires to
+// survive crashes: the current term and the vote cast in it. (The log is
+// persisted separately, entry by entry.)
+type HardState struct {
+	Term     types.Time
+	VotedFor types.NodeID
+}
+
+// Storage persists a node's hard state and log. Implementations must make
+// each call durable before returning — the protocol's safety after a crash
+// depends on it. A nil Storage in Options means the node is volatile
+// (fine for models, benchmarks, and tests that never restart nodes).
+type Storage interface {
+	// SaveState durably records the term and vote.
+	SaveState(hs HardState) error
+	// SaveEntries durably replaces the log suffix starting at firstIndex
+	// (1-based) with entries; the log is implicitly truncated at
+	// firstIndex before the append.
+	SaveEntries(firstIndex int, entries []LogEntry) error
+	// Load recovers the persisted state. A fresh store returns zero
+	// values and an empty log.
+	Load() (HardState, []LogEntry, error)
+	// Close releases resources.
+	Close() error
+}
+
+// MemStorage is an in-memory Storage for tests: durable across Node
+// restarts within a process, not across process crashes.
+type MemStorage struct {
+	mu  sync.Mutex
+	hs  HardState
+	log []LogEntry // 1-based: log[0] unused
+}
+
+// NewMemStorage creates an empty in-memory store.
+func NewMemStorage() *MemStorage {
+	return &MemStorage{log: make([]LogEntry, 1)}
+}
+
+// SaveState implements Storage.
+func (m *MemStorage) SaveState(hs HardState) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hs = hs
+	return nil
+}
+
+// SaveEntries implements Storage.
+func (m *MemStorage) SaveEntries(firstIndex int, entries []LogEntry) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if firstIndex < 1 || firstIndex > len(m.log) {
+		return fmt.Errorf("raft: SaveEntries at %d outside log of length %d", firstIndex, len(m.log)-1)
+	}
+	m.log = append(m.log[:firstIndex], entries...)
+	return nil
+}
+
+// Load implements Storage.
+func (m *MemStorage) Load() (HardState, []LogEntry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]LogEntry, len(m.log))
+	copy(out, m.log)
+	return m.hs, out, nil
+}
+
+// Close implements Storage.
+func (m *MemStorage) Close() error { return nil }
+
+// FileStorage is an append-only write-ahead log: every state change and
+// log mutation is one length-prefixed, independently gob-encoded record;
+// Load replays them. The file is compacted on every open (the live state
+// is rewritten as two records), so it never grows without bound across
+// restarts. A torn final record from a crash mid-write is ignored.
+type FileStorage struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+
+	// cached live state for compaction
+	hs  HardState
+	log []LogEntry
+}
+
+// walRecord is one WAL entry.
+type walRecord struct {
+	Kind       uint8 // 0 = state, 1 = entries
+	HS         HardState
+	FirstIndex int
+	Entries    []LogEntry
+}
+
+// encodeFrame serializes one record as a length-prefixed standalone gob
+// blob (each record carries its own type table, so streams survive
+// appends by later process generations).
+func encodeFrame(rec walRecord) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(rec); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 4+body.Len())
+	binary.BigEndian.PutUint32(out, uint32(body.Len()))
+	copy(out[4:], body.Bytes())
+	return out, nil
+}
+
+// readFrames replays every complete record in r, ignoring a torn tail.
+func readFrames(r io.Reader, apply func(walRecord)) {
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return
+		}
+		body := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
+		if _, err := io.ReadFull(r, body); err != nil {
+			return // torn write: the durable prefix stands
+		}
+		var rec walRecord
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&rec); err != nil {
+			return
+		}
+		apply(rec)
+	}
+}
+
+// OpenFileStorage opens (or creates) a WAL at path, replaying its records.
+func OpenFileStorage(path string) (*FileStorage, error) {
+	fs := &FileStorage{path: path, log: make([]LogEntry, 1)}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("raft: open wal: %w", err)
+	}
+	readFrames(f, fs.applyRecord)
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	// Compact: rewrite the live state as two records.
+	tmp := path + ".tmp"
+	nf, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("raft: compact wal: %w", err)
+	}
+	for _, rec := range []walRecord{
+		{Kind: 0, HS: fs.hs},
+		{Kind: 1, FirstIndex: 1, Entries: fs.log[1:]},
+	} {
+		frame, err := encodeFrame(rec)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := nf.Write(frame); err != nil {
+			return nil, err
+		}
+	}
+	if err := nf.Sync(); err != nil {
+		return nil, err
+	}
+	if err := nf.Close(); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, err
+	}
+	f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fs.f = f
+	return fs, nil
+}
+
+func (fs *FileStorage) applyRecord(rec walRecord) {
+	switch rec.Kind {
+	case 0:
+		fs.hs = rec.HS
+	case 1:
+		if rec.FirstIndex >= 1 && rec.FirstIndex <= len(fs.log) {
+			fs.log = append(fs.log[:rec.FirstIndex], rec.Entries...)
+		}
+	}
+}
+
+func (fs *FileStorage) append(rec walRecord) error {
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return fmt.Errorf("raft: wal append: %w", err)
+	}
+	if _, err := fs.f.Write(frame); err != nil {
+		return fmt.Errorf("raft: wal append: %w", err)
+	}
+	return fs.f.Sync()
+}
+
+// SaveState implements Storage.
+func (fs *FileStorage) SaveState(hs HardState) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.hs = hs
+	return fs.append(walRecord{Kind: 0, HS: hs})
+}
+
+// SaveEntries implements Storage.
+func (fs *FileStorage) SaveEntries(firstIndex int, entries []LogEntry) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if firstIndex < 1 || firstIndex > len(fs.log) {
+		return fmt.Errorf("raft: SaveEntries at %d outside log of length %d", firstIndex, len(fs.log)-1)
+	}
+	fs.log = append(fs.log[:firstIndex], entries...)
+	return fs.append(walRecord{Kind: 1, FirstIndex: firstIndex, Entries: entries})
+}
+
+// Load implements Storage.
+func (fs *FileStorage) Load() (HardState, []LogEntry, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]LogEntry, len(fs.log))
+	copy(out, fs.log)
+	return fs.hs, out, nil
+}
+
+// Close implements Storage.
+func (fs *FileStorage) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.f == nil {
+		return nil
+	}
+	err := fs.f.Close()
+	fs.f = nil
+	return err
+}

@@ -1,0 +1,105 @@
+package raft
+
+import (
+	"path/filepath"
+	"testing"
+
+	"adore/internal/types"
+)
+
+func TestMemStorageRoundTrip(t *testing.T) {
+	st := NewMemStorage()
+	if err := st.SaveState(HardState{Term: 3, VotedFor: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveEntries(1, []LogEntry{
+		{Term: 1, Kind: EntryNoOp},
+		{Term: 1, Kind: EntryCommand, Command: []byte("a")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hs, log, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Term != 3 || hs.VotedFor != 2 {
+		t.Errorf("hard state = %+v", hs)
+	}
+	if len(log) != 3 || string(log[2].Command) != "a" {
+		t.Errorf("log = %+v", log)
+	}
+	// Truncating rewrite.
+	if err := st.SaveEntries(2, []LogEntry{{Term: 2, Kind: EntryCommand, Command: []byte("b")}}); err != nil {
+		t.Fatal(err)
+	}
+	_, log, _ = st.Load()
+	if len(log) != 3 || string(log[2].Command) != "b" {
+		t.Errorf("log after truncate = %+v", log)
+	}
+	if err := st.SaveEntries(99, nil); err == nil {
+		t.Error("out-of-range SaveEntries accepted")
+	}
+}
+
+func TestFileStorageSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	st, err := OpenFileStorage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveState(HardState{Term: 7, VotedFor: 1}); err != nil {
+		t.Fatal(err)
+	}
+	entries := []LogEntry{
+		{Term: 7, Kind: EntryNoOp},
+		{Term: 7, Kind: EntryConfig, Members: []types.NodeID{1, 2}},
+		{Term: 7, Kind: EntryCommand, Command: []byte("x")},
+	}
+	if err := st.SaveEntries(1, entries); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate-and-replace the tail.
+	if err := st.SaveEntries(3, []LogEntry{{Term: 8, Kind: EntryCommand, Command: []byte("y")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenFileStorage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	hs, log, err := st2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Term != 7 || hs.VotedFor != 1 {
+		t.Errorf("hard state after reopen = %+v", hs)
+	}
+	if len(log) != 4 {
+		t.Fatalf("log length = %d, want 4", len(log))
+	}
+	if log[2].Kind != EntryConfig || len(log[2].Members) != 2 {
+		t.Errorf("config entry lost: %+v", log[2])
+	}
+	if string(log[3].Command) != "y" || log[3].Term != 8 {
+		t.Errorf("truncated tail wrong: %+v", log[3])
+	}
+}
+
+func TestFileStorageFreshFile(t *testing.T) {
+	st, err := OpenFileStorage(filepath.Join(t.TempDir(), "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	hs, log, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Term != 0 || len(log) != 1 {
+		t.Errorf("fresh store: %+v %v", hs, log)
+	}
+}

@@ -1,0 +1,179 @@
+// Package transport provides message transports for the raft runtime: an
+// in-memory network with injectable latency, loss, and partitions (the
+// repository's stand-in for the paper's EC2 testbed), and a TCP transport
+// over encoding/gob for real deployments.
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"adore/internal/raft"
+	"adore/internal/types"
+)
+
+// MemNetwork is a simulated network connecting in-process raft nodes.
+// Messages are delivered asynchronously with configurable latency, jitter,
+// and drop probability, and partitions can be imposed and healed at
+// runtime. All methods are safe for concurrent use.
+type MemNetwork struct {
+	mu       sync.Mutex
+	inboxes  map[types.NodeID]chan<- raft.Message
+	latency  time.Duration
+	jitter   time.Duration
+	dropRate float64
+	blocked  map[[2]types.NodeID]bool
+	rng      *rand.Rand
+	closed   bool
+
+	// Sent and Dropped count messages for diagnostics.
+	Sent    uint64
+	Dropped uint64
+}
+
+// NewMemNetwork creates an empty network with the given base latency and
+// jitter (uniform in [latency, latency+jitter)).
+func NewMemNetwork(latency, jitter time.Duration, seed int64) *MemNetwork {
+	return &MemNetwork{
+		inboxes: make(map[types.NodeID]chan<- raft.Message),
+		latency: latency,
+		jitter:  jitter,
+		blocked: make(map[[2]types.NodeID]bool),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Attach registers a node's inbox and returns the node's transport
+// endpoint.
+func (n *MemNetwork) Attach(id types.NodeID, inbox chan<- raft.Message) raft.Transport {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.inboxes[id] = inbox
+	return &memEndpoint{net: n, id: id}
+}
+
+// Detach unregisters a node's inbox: subsequent messages to it are dropped
+// (the node has crashed). Attach again to restart it.
+func (n *MemNetwork) Detach(id types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.inboxes, id)
+}
+
+// SetDropRate sets the probability of dropping each message.
+func (n *MemNetwork) SetDropRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropRate = p
+}
+
+// SetLatency adjusts the base latency and jitter.
+func (n *MemNetwork) SetLatency(latency, jitter time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = latency
+	n.jitter = jitter
+}
+
+// Partition blocks all traffic between the two groups (in both
+// directions). Traffic within a group still flows.
+func (n *MemNetwork) Partition(a, b []types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, x := range a {
+		for _, y := range b {
+			n.blocked[[2]types.NodeID{x, y}] = true
+			n.blocked[[2]types.NodeID{y, x}] = true
+		}
+	}
+}
+
+// Isolate cuts a single node off from everyone else.
+func (n *MemNetwork) Isolate(id types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for other := range n.inboxes {
+		if other != id {
+			n.blocked[[2]types.NodeID{id, other}] = true
+			n.blocked[[2]types.NodeID{other, id}] = true
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *MemNetwork) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked = make(map[[2]types.NodeID]bool)
+}
+
+// Close stops deliveries network-wide.
+func (n *MemNetwork) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+}
+
+// deliver routes one message, applying loss, partitions, and latency.
+func (n *MemNetwork) deliver(m raft.Message) {
+	n.mu.Lock()
+	if n.closed || n.blocked[[2]types.NodeID{m.From, m.To}] {
+		n.Dropped++
+		n.mu.Unlock()
+		return
+	}
+	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
+		n.Dropped++
+		n.mu.Unlock()
+		return
+	}
+	inbox, ok := n.inboxes[m.To]
+	if !ok {
+		n.Dropped++
+		n.mu.Unlock()
+		return
+	}
+	delay := n.latency
+	if n.jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.jitter)))
+	}
+	n.Sent++
+	n.mu.Unlock()
+
+	if delay <= 0 {
+		select {
+		case inbox <- m:
+		default: // full inbox = congested network; drop
+		}
+		return
+	}
+	time.AfterFunc(delay, func() {
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case inbox <- m:
+		default:
+		}
+	})
+}
+
+// memEndpoint is one node's view of the network.
+type memEndpoint struct {
+	net *MemNetwork
+	id  types.NodeID
+}
+
+// Send implements raft.Transport.
+func (e *memEndpoint) Send(m raft.Message) {
+	m.From = e.id
+	e.net.deliver(m)
+}
+
+// Close implements raft.Transport (a no-op: the network outlives
+// endpoints).
+func (e *memEndpoint) Close() error { return nil }

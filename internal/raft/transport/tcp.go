@@ -1,0 +1,181 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"adore/internal/raft"
+	"adore/internal/types"
+)
+
+// TCPTransport carries raft messages over TCP with gob encoding — the
+// runtime's real-network deployment path (cmd/raft-kv). Each endpoint
+// listens on its own address and lazily dials peers, caching connections.
+type TCPTransport struct {
+	id      types.NodeID
+	inbox   chan<- raft.Message
+	ln      net.Listener
+	mu      sync.Mutex
+	peers   map[types.NodeID]string
+	conns   map[types.NodeID]*peerConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// NewTCPTransport starts listening on addr and delivers inbound messages to
+// inbox. peers maps node IDs to addresses (this node's own entry is
+// ignored).
+func NewTCPTransport(id types.NodeID, addr string, peers map[types.NodeID]string, inbox chan<- raft.Message) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{
+		id:      id,
+		inbox:   inbox,
+		ln:      ln,
+		peers:   make(map[types.NodeID]string, len(peers)),
+		conns:   make(map[types.NodeID]*peerConn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	for pid, paddr := range peers {
+		t.peers[pid] = paddr
+	}
+	t.wg.Add(1)
+	go t.accept()
+	return t, nil
+}
+
+// Addr returns the transport's bound address (useful with ":0").
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// SetPeer registers or updates a peer's address (e.g. after AddServer).
+func (t *TCPTransport) SetPeer(id types.NodeID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = addr
+	delete(t.conns, id)
+}
+
+func (t *TCPTransport) accept() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.receive(conn)
+	}
+}
+
+func (t *TCPTransport) receive(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.inbound[conn] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var m raft.Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case t.inbox <- m:
+		default: // congested; drop (the protocol retries)
+		}
+	}
+}
+
+// Send implements raft.Transport: best-effort asynchronous delivery.
+func (t *TCPTransport) Send(m raft.Message) {
+	m.From = t.id
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	addr, ok := t.peers[m.To]
+	pc := t.conns[m.To]
+	t.mu.Unlock()
+	if !ok {
+		return
+	}
+	if pc == nil {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return // peer down; protocol retries
+		}
+		pc = &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
+		t.mu.Lock()
+		if existing := t.conns[m.To]; existing != nil {
+			conn.Close()
+			pc = existing
+		} else {
+			t.conns[m.To] = pc
+		}
+		t.mu.Unlock()
+	}
+	pc.mu.Lock()
+	err := pc.enc.Encode(m)
+	pc.mu.Unlock()
+	if err != nil {
+		t.mu.Lock()
+		if t.conns[m.To] == pc {
+			delete(t.conns, m.To)
+		}
+		t.mu.Unlock()
+		pc.conn.Close()
+	}
+}
+
+// Close implements raft.Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[types.NodeID]*peerConn{}
+	inbound := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		inbound = append(inbound, c)
+	}
+	t.mu.Unlock()
+	err := t.ln.Close()
+	for _, pc := range conns {
+		pc.conn.Close()
+	}
+	for _, c := range inbound {
+		c.Close() // unblocks the receive goroutines' Decode
+	}
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,237 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"adore/internal/raft"
+	"adore/internal/types"
+)
+
+func TestMemNetworkDelivers(t *testing.T) {
+	net := NewMemNetwork(0, 0, 1)
+	inbox := make(chan raft.Message, 8)
+	net.Attach(2, inbox)
+	ep := net.Attach(1, make(chan raft.Message, 8))
+	ep.Send(raft.Message{Type: raft.MsgVoteRequest, To: 2, Term: 1})
+	select {
+	case m := <-inbox:
+		if m.From != 1 || m.To != 2 || m.Term != 1 {
+			t.Errorf("delivered %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestMemNetworkLatency(t *testing.T) {
+	net := NewMemNetwork(20*time.Millisecond, 0, 1)
+	inbox := make(chan raft.Message, 8)
+	net.Attach(2, inbox)
+	ep := net.Attach(1, make(chan raft.Message, 8))
+	start := time.Now()
+	ep.Send(raft.Message{To: 2})
+	select {
+	case <-inbox:
+		if d := time.Since(start); d < 15*time.Millisecond {
+			t.Errorf("delivered after %v, want ≥ ~20ms", d)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestMemNetworkDrop(t *testing.T) {
+	net := NewMemNetwork(0, 0, 1)
+	net.SetDropRate(1.0)
+	inbox := make(chan raft.Message, 8)
+	net.Attach(2, inbox)
+	ep := net.Attach(1, make(chan raft.Message, 8))
+	ep.Send(raft.Message{To: 2})
+	select {
+	case <-inbox:
+		t.Fatal("message delivered despite 100% drop rate")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if net.Dropped == 0 {
+		t.Error("drop not counted")
+	}
+}
+
+func TestMemNetworkPartitionAndHeal(t *testing.T) {
+	net := NewMemNetwork(0, 0, 1)
+	inbox := make(chan raft.Message, 8)
+	net.Attach(2, inbox)
+	ep := net.Attach(1, make(chan raft.Message, 8))
+	net.Partition([]types.NodeID{1}, []types.NodeID{2})
+	ep.Send(raft.Message{To: 2})
+	select {
+	case <-inbox:
+		t.Fatal("message crossed a partition")
+	case <-time.After(30 * time.Millisecond):
+	}
+	net.Heal()
+	ep.Send(raft.Message{To: 2})
+	select {
+	case <-inbox:
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered after heal")
+	}
+}
+
+func TestMemNetworkIsolate(t *testing.T) {
+	net := NewMemNetwork(0, 0, 1)
+	in2 := make(chan raft.Message, 8)
+	in3 := make(chan raft.Message, 8)
+	net.Attach(2, in2)
+	net.Attach(3, in3)
+	ep := net.Attach(1, make(chan raft.Message, 8))
+	net.Isolate(1)
+	ep.Send(raft.Message{To: 2})
+	ep.Send(raft.Message{To: 3})
+	time.Sleep(30 * time.Millisecond)
+	if len(in2)+len(in3) != 0 {
+		t.Fatal("isolated node reached peers")
+	}
+	// Traffic between the others still flows.
+	ep2 := net.Attach(2, in2)
+	ep2.Send(raft.Message{To: 3})
+	select {
+	case <-in3:
+	case <-time.After(time.Second):
+		t.Fatal("unrelated traffic blocked by Isolate")
+	}
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	in1 := make(chan raft.Message, 8)
+	in2 := make(chan raft.Message, 8)
+	t1, err := NewTCPTransport(1, "127.0.0.1:0", nil, in1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	t2, err := NewTCPTransport(2, "127.0.0.1:0", nil, in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+	t1.SetPeer(2, t2.Addr())
+	t2.SetPeer(1, t1.Addr())
+
+	t1.Send(raft.Message{Type: raft.MsgAppendEntries, To: 2, Term: 3,
+		Entries: []raft.LogEntry{{Term: 3, Kind: raft.EntryCommand, Command: []byte("hello")}}})
+	select {
+	case m := <-in2:
+		if m.From != 1 || m.Term != 3 || len(m.Entries) != 1 || string(m.Entries[0].Command) != "hello" {
+			t.Errorf("received %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("TCP message not delivered")
+	}
+	// And the reverse direction.
+	t2.Send(raft.Message{Type: raft.MsgAppendResponse, To: 1, Term: 3, Success: true, MatchIndex: 1})
+	select {
+	case m := <-in1:
+		if !m.Success || m.MatchIndex != 1 {
+			t.Errorf("received %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("TCP response not delivered")
+	}
+}
+
+func TestTCPTransportUnknownPeerDropsSilently(t *testing.T) {
+	in := make(chan raft.Message, 8)
+	tr, err := NewTCPTransport(1, "127.0.0.1:0", nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.Send(raft.Message{To: 99}) // no peer registered: must not panic
+}
+
+// TestTCPCluster runs a real 3-node raft cluster over TCP loopback: the
+// executable-protocol deployment path of §7.
+func TestTCPCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP cluster test in -short mode")
+	}
+	ids := []types.NodeID{1, 2, 3}
+	inboxes := map[types.NodeID]chan raft.Message{}
+	trs := map[types.NodeID]*TCPTransport{}
+	for _, id := range ids {
+		inboxes[id] = make(chan raft.Message, 1024)
+		tr, err := NewTCPTransport(id, "127.0.0.1:0", nil, inboxes[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[id] = tr
+	}
+	for _, a := range ids {
+		for _, b := range ids {
+			if a != b {
+				trs[a].SetPeer(b, trs[b].Addr())
+			}
+		}
+	}
+	nodes := map[types.NodeID]*raft.Node{}
+	for _, id := range ids {
+		n := raft.StartNode(raft.Options{ID: id, Members: ids, Transport: trs[id], Seed: int64(id)})
+		nodes[id] = n
+		go func(id types.NodeID, n *raft.Node) {
+			for m := range inboxes[id] {
+				select {
+				case n.Inbox() <- m:
+				default:
+				}
+			}
+		}(id, n)
+		go func(n *raft.Node) {
+			for range n.ApplyCh() {
+			}
+		}(n)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	var leader *raft.Node
+	deadline := time.Now().Add(10 * time.Second)
+	for leader == nil && time.Now().Before(deadline) {
+		for _, n := range nodes {
+			if _, role, _ := n.Status(); role == raft.Leader {
+				leader = n
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if leader == nil {
+		t.Fatal("no leader over TCP")
+	}
+	var idx int
+	for i := 0; i < 10; i++ {
+		var err error
+		idx, _, err = leader.Propose([]byte(fmt.Sprintf("tcp-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, n := range nodes {
+			if n.CommitIndex() < idx {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("commands did not commit on all nodes over TCP")
+}

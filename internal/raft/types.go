@@ -1,0 +1,136 @@
+// Package raft is an executable Raft-like consensus runtime with hot
+// single-node reconfiguration — the Go counterpart of the paper's extracted
+// OCaml protocol plus its "small, unverified network library wrapper" (§7).
+//
+// The protocol follows the SRaft specification this repository refines into
+// Adore (packages raftnet/sraft/refine), made incremental and practical:
+//
+//   - randomized election timeouts and heartbeats drive leader election;
+//   - log replication uses standard AppendEntries consistency checks
+//     instead of whole-log shipping;
+//   - a new leader immediately appends a no-op entry in its term, which
+//     both lets it commit (Raft's current-term commitment rule) and
+//     establishes the R3 precondition for reconfiguration;
+//   - configuration changes are special log entries that take effect the
+//     moment they are appended ("hot"), guarded by R1 (one node at a
+//     time), R2 (no uncommitted config entry), and R3 (a committed entry
+//     in the leader's current term) — the certified algorithm of the
+//     paper, with the published bug toggleable for experiments.
+//
+// Transports are pluggable: an in-memory network with injectable latency,
+// loss, and partitions (package transport), and a TCP transport over
+// encoding/gob for real deployments.
+package raft
+
+import (
+	"fmt"
+
+	"adore/internal/types"
+)
+
+// EntryKind distinguishes runtime log entries.
+type EntryKind uint8
+
+const (
+	// EntryCommand carries an opaque state-machine command.
+	EntryCommand EntryKind = iota
+	// EntryNoOp is the leader's term-opening barrier entry.
+	EntryNoOp
+	// EntryConfig carries a new member list (hot reconfiguration).
+	EntryConfig
+)
+
+// String implements fmt.Stringer.
+func (k EntryKind) String() string {
+	switch k {
+	case EntryCommand:
+		return "cmd"
+	case EntryNoOp:
+		return "noop"
+	case EntryConfig:
+		return "config"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// LogEntry is one slot of the replicated log. Index 0 is unused (logs are
+// 1-indexed, as in the Raft paper).
+type LogEntry struct {
+	Term    types.Time
+	Kind    EntryKind
+	Command []byte
+	Members []types.NodeID // EntryConfig only
+}
+
+// MessageType enumerates the runtime's RPCs, modeled as asynchronous
+// messages.
+type MessageType uint8
+
+const (
+	// MsgVoteRequest / MsgVoteResponse implement leader election.
+	MsgVoteRequest MessageType = iota
+	MsgVoteResponse
+	// MsgAppendEntries / MsgAppendResponse implement replication and
+	// heartbeats.
+	MsgAppendEntries
+	MsgAppendResponse
+)
+
+// String implements fmt.Stringer.
+func (t MessageType) String() string {
+	switch t {
+	case MsgVoteRequest:
+		return "VoteRequest"
+	case MsgVoteResponse:
+		return "VoteResponse"
+	case MsgAppendEntries:
+		return "AppendEntries"
+	case MsgAppendResponse:
+		return "AppendResponse"
+	default:
+		return fmt.Sprintf("MessageType(%d)", uint8(t))
+	}
+}
+
+// Message is the single wire format for all four RPCs (gob-encodable).
+type Message struct {
+	Type MessageType
+	From types.NodeID
+	To   types.NodeID
+	Term types.Time
+
+	// Vote requests.
+	LastLogIndex int
+	LastLogTerm  types.Time
+
+	// Append requests.
+	PrevLogIndex int
+	PrevLogTerm  types.Time
+	Entries      []LogEntry
+	LeaderCommit int
+
+	// Responses.
+	Granted    bool // vote granted
+	Success    bool // append accepted
+	MatchIndex int  // highest replicated index on success
+}
+
+// ApplyMsg is delivered on the node's apply channel for every committed
+// entry, in log order.
+type ApplyMsg struct {
+	Index   int
+	Term    types.Time
+	Kind    EntryKind
+	Command []byte
+	Members []types.NodeID // EntryConfig
+}
+
+// Transport sends messages between nodes. Send must not block for long and
+// may drop messages silently; the protocol tolerates loss.
+type Transport interface {
+	// Send transmits m to m.To (best effort).
+	Send(m Message)
+	// Close releases transport resources for this endpoint.
+	Close() error
+}

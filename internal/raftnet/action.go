@@ -1,0 +1,175 @@
+package raftnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adore/internal/config"
+	"adore/internal/types"
+)
+
+// ActionKind enumerates the operations of Op_net plus message delivery.
+type ActionKind uint8
+
+const (
+	// ActElect / ActInvoke / ActReconfig / ActCommit are the four
+	// node-initiated operations; ActDeliver is a network event.
+	ActElect ActionKind = iota
+	ActInvoke
+	ActReconfig
+	ActCommit
+	ActDeliver
+	// ActDuplicate re-enqueues a copy of an in-flight message: the
+	// asynchronous network may deliver a message any number of times.
+	ActDuplicate
+)
+
+// Action is one step of a network-level execution trace. Deliveries are
+// content-addressed: Msg must match a message in the sent bag at replay
+// time.
+type Action struct {
+	Kind   ActionKind
+	NID    types.NodeID
+	Method types.MethodID
+	Conf   config.Config
+	Msg    Msg
+}
+
+// String renders the action.
+func (a Action) String() string {
+	switch a.Kind {
+	case ActDuplicate:
+		return fmt.Sprintf("duplicate %s", a.Msg)
+	case ActElect:
+		return fmt.Sprintf("elect %s", a.NID)
+	case ActInvoke:
+		return fmt.Sprintf("invoke %s %s", a.NID, a.Method)
+	case ActReconfig:
+		return fmt.Sprintf("reconfig %s → %s", a.NID, a.Conf)
+	case ActCommit:
+		return fmt.Sprintf("commit %s", a.NID)
+	case ActDeliver:
+		return fmt.Sprintf("deliver %s", a.Msg)
+	default:
+		return fmt.Sprintf("action(%d)", a.Kind)
+	}
+}
+
+// Apply executes the action on the state.
+func (st *State) Apply(a Action) error {
+	switch a.Kind {
+	case ActElect:
+		return st.Elect(a.NID)
+	case ActInvoke:
+		return st.Invoke(a.NID, a.Method)
+	case ActReconfig:
+		return st.Reconfig(a.NID, a.Conf)
+	case ActCommit:
+		return st.Commit(a.NID)
+	case ActDeliver:
+		return st.Deliver(a.Msg)
+	case ActDuplicate:
+		return st.Duplicate(a.Msg)
+	default:
+		return fmt.Errorf("raftnet: unknown action kind %d", a.Kind)
+	}
+}
+
+// Replay executes a trace from a fresh state built by mk and returns the
+// final state. It fails fast on the first rejected action.
+func Replay(mk func() *State, trace []Action) (*State, error) {
+	st := mk()
+	for i, a := range trace {
+		if err := st.Apply(a); err != nil {
+			return st, fmt.Errorf("raftnet: replay step %d (%s): %w", i, a, err)
+		}
+	}
+	return st, nil
+}
+
+// RandomExecution drives a random asynchronous execution of n steps with
+// the given seed, returning the trace and final state. Message deliveries,
+// elections, commits, invocations, and (when the guards permit)
+// reconfigurations interleave arbitrarily — the fully asynchronous Raft of
+// §5. Actions that the state rejects are simply not chosen.
+func RandomExecution(mk func() *State, seed int64, n int) ([]Action, *State) {
+	r := rand.New(rand.NewSource(seed))
+	st := mk()
+	var trace []Action
+	methodID := types.MethodID(1)
+	for len(trace) < n {
+		var candidates []Action
+		// Deliveries — and occasional duplications — of any in-flight
+		// message.
+		for i, m := range st.Sent {
+			candidates = append(candidates, Action{Kind: ActDeliver, Msg: m})
+			if i%5 == 0 {
+				candidates = append(candidates, Action{Kind: ActDuplicate, Msg: m})
+			}
+		}
+		for id, s := range st.Nodes {
+			candidates = append(candidates, Action{Kind: ActElect, NID: id})
+			if s.IsLeader {
+				candidates = append(candidates, Action{Kind: ActInvoke, NID: id, Method: methodID})
+				candidates = append(candidates, Action{Kind: ActCommit, NID: id})
+				for _, ncf := range st.Scheme.Successors(s.CurrentConfig(), st.universe()) {
+					if st.reconfigOK(s, ncf) {
+						candidates = append(candidates, Action{Kind: ActReconfig, NID: id, Conf: ncf})
+					}
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		a := candidates[r.Intn(len(candidates))]
+		if err := st.Apply(a); err != nil {
+			continue // racing enablement; pick again
+		}
+		if a.Kind == ActInvoke {
+			methodID++
+		}
+		trace = append(trace, a)
+	}
+	return trace, st
+}
+
+// universe returns every node ID known to the state.
+func (st *State) universe() types.NodeSet {
+	u := st.Conf0.Members()
+	for id := range st.Nodes {
+		u = u.Add(id)
+	}
+	return u
+}
+
+// reconfigOK predicts whether Reconfig would accept ncf (used to enumerate
+// enabled actions without mutating the state).
+func (st *State) reconfigOK(s *Server, ncf config.Config) bool {
+	if !st.Rules.AllowReconfig || !s.IsLeader {
+		return false
+	}
+	if st.Rules.R1 && !st.Scheme.R1Plus(s.CurrentConfig(), ncf) {
+		return false
+	}
+	if st.Rules.R2 {
+		for i := s.CommitLen; i < len(s.Log); i++ {
+			if s.Log[i].Kind == EntryConfig {
+				return false
+			}
+		}
+	}
+	if st.Rules.R3 {
+		ok := false
+		for i := 0; i < s.CommitLen; i++ {
+			if s.Log[i].Time == s.Time {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

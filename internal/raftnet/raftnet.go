@@ -1,0 +1,589 @@
+// Package raftnet is the asynchronous network-based specification of the
+// paper's Raft-like protocol (§5, Fig. 13). The distributed state is a set
+// of servers plus a bag of in-flight messages; the operations are elect,
+// commit, invoke, reconfig, and deliver. Like the paper's specification it
+// is simplified Raft: commit requests carry the leader's whole log, and
+// replicas adopt it wholesale.
+//
+// The protocol is parameterized by the same isQuorum and R1⁺ predicates as
+// the Adore model (via config.Scheme), and by core.Rules so the published
+// buggy variants remain expressible. Package sraft adds the scheduling
+// disciplines (valid/ordered/atomic deliveries) of Appendix C; package
+// refine relates executions of this specification to Adore via logMatch.
+package raftnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"adore/internal/config"
+	"adore/internal/core"
+	"adore/internal/types"
+)
+
+// EntryKind distinguishes regular commands from configuration changes.
+type EntryKind uint8
+
+const (
+	// EntryMethod is a client command.
+	EntryMethod EntryKind = iota
+	// EntryConfig is a reconfiguration command; it takes effect the
+	// moment it enters a log ("hot" reconfiguration).
+	EntryConfig
+)
+
+// Entry is one log slot: List(ℕ_time * Method * Config) in Fig. 13, plus
+// the version number that orders entries within a term.
+type Entry struct {
+	Time   types.Time
+	Vrsn   types.Vrsn
+	Kind   EntryKind
+	Method types.MethodID
+	Conf   config.Config // for EntryConfig
+}
+
+// Equal reports semantic equality of entries.
+func (e Entry) Equal(o Entry) bool {
+	if e.Time != o.Time || e.Vrsn != o.Vrsn || e.Kind != o.Kind {
+		return false
+	}
+	if e.Kind == EntryMethod {
+		return e.Method == o.Method
+	}
+	return e.Conf.Equal(o.Conf)
+}
+
+// String renders the entry.
+func (e Entry) String() string {
+	if e.Kind == EntryConfig {
+		return fmt.Sprintf("cfg%s@%d.%d", e.Conf, e.Time, e.Vrsn)
+	}
+	return fmt.Sprintf("%s@%d.%d", e.Method, e.Time, e.Vrsn)
+}
+
+// Server is one replica's local state (Fig. 13's Server, with the
+// bookkeeping fields spelled out).
+type Server struct {
+	ID        types.NodeID
+	Time      types.Time // current term
+	Vrsn      types.Vrsn // last version used by this leader in this term
+	Log       []Entry
+	CommitLen int // length of the known-committed prefix
+
+	IsLeader    bool
+	IsCandidate bool
+	Votes       types.NodeSet         // votes gathered while a candidate
+	Acks        map[int]types.NodeSet // commit acks per target length
+
+	conf0 config.Config
+}
+
+// CurrentConfig returns the latest configuration in the server's log (hot
+// reconfiguration: uncommitted entries count), or conf₀.
+func (s *Server) CurrentConfig() config.Config {
+	for i := len(s.Log) - 1; i >= 0; i-- {
+		if s.Log[i].Kind == EntryConfig {
+			return s.Log[i].Conf
+		}
+	}
+	return s.conf0
+}
+
+// LastEntry returns the final log entry and ok=false for an empty log.
+func (s *Server) LastEntry() (Entry, bool) {
+	if len(s.Log) == 0 {
+		return Entry{}, false
+	}
+	return s.Log[len(s.Log)-1], true
+}
+
+// upToDate reports whether a candidate log (described by its last entry and
+// length) is at least as current as the server's, per Raft's comparison:
+// later last-entry stamp wins; equal stamps compare lengths.
+func (s *Server) upToDate(candLast Entry, candLen int) bool {
+	last, ok := s.LastEntry()
+	if !ok {
+		return true
+	}
+	cl, sl := candLast.Stamp(), last.Stamp()
+	if cl != sl {
+		return !cl.Less(sl)
+	}
+	return candLen >= len(s.Log)
+}
+
+// Stamp returns the entry's (time, vrsn) pair.
+func (e Entry) Stamp() types.Stamp { return types.Stamp{Time: e.Time, Vrsn: e.Vrsn} }
+
+// MsgKind enumerates the four message types.
+type MsgKind uint8
+
+const (
+	// ElectReq is an election request from a candidate.
+	ElectReq MsgKind = iota
+	// ElectAck is a vote.
+	ElectAck
+	// CommitReq is a log-replication/commit request from a leader.
+	CommitReq
+	// CommitAck is a replication acknowledgement.
+	CommitAck
+)
+
+// String implements fmt.Stringer.
+func (k MsgKind) String() string {
+	switch k {
+	case ElectReq:
+		return "ElectReq"
+	case ElectAck:
+		return "ElectAck"
+	case CommitReq:
+		return "CommitReq"
+	case CommitAck:
+		return "CommitAck"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", uint8(k))
+	}
+}
+
+// Msg is a network message. Requests carry the sender's log; acks carry the
+// request's identifying stamp and a positive/negative flag.
+type Msg struct {
+	Kind      MsgKind
+	From, To  types.NodeID
+	Time      types.Time
+	Vrsn      types.Vrsn
+	Log       []Entry
+	CommitLen int
+	UpTo      int  // CommitReq/CommitAck: target committed length
+	Ok        bool // acks: vote granted / entry accepted
+}
+
+// Stamp returns the message's logical (time, vrsn) for the global ordering
+// of Definition C.4.
+func (m Msg) Stamp() types.Stamp { return types.Stamp{Time: m.Time, Vrsn: m.Vrsn} }
+
+// Equal reports full semantic equality (used for content-addressed
+// delivery).
+func (m Msg) Equal(o Msg) bool {
+	if m.Kind != o.Kind || m.From != o.From || m.To != o.To ||
+		m.Time != o.Time || m.Vrsn != o.Vrsn ||
+		m.CommitLen != o.CommitLen || m.UpTo != o.UpTo || m.Ok != o.Ok {
+		return false
+	}
+	if len(m.Log) != len(o.Log) {
+		return false
+	}
+	for i := range m.Log {
+		if !m.Log[i].Equal(o.Log[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the message compactly.
+func (m Msg) String() string {
+	return fmt.Sprintf("%s %s→%s @%d.%d ok=%v len=%d", m.Kind, m.From, m.To, m.Time, m.Vrsn, m.Ok, len(m.Log))
+}
+
+// State is Σ_net: all servers plus the network's sent and delivered bags.
+type State struct {
+	Nodes     map[types.NodeID]*Server
+	Sent      []Msg
+	Delivered []Msg
+
+	Scheme config.Scheme
+	Rules  core.Rules
+	Conf0  config.Config
+}
+
+// New builds the initial network state over the scheme's initial
+// configuration of members.
+func New(scheme config.Scheme, members types.NodeSet, rules core.Rules) *State {
+	conf0 := scheme.Initial(members)
+	st := &State{
+		Nodes:  make(map[types.NodeID]*Server),
+		Scheme: scheme,
+		Rules:  rules,
+		Conf0:  conf0,
+	}
+	for _, id := range members.Slice() {
+		st.Nodes[id] = &Server{ID: id, Acks: make(map[int]types.NodeSet), conf0: conf0}
+	}
+	return st
+}
+
+// Errors returned by the operations.
+var (
+	ErrUnknownNode   = errors.New("raftnet: unknown node")
+	ErrNotLeader     = errors.New("raftnet: node is not a leader")
+	ErrNoSuchMessage = errors.New("raftnet: message not in the sent bag")
+	ErrGuard         = errors.New("raftnet: reconfiguration guard rejected the proposal")
+)
+
+// AddNode registers a fresh, empty replica (used when a configuration grows
+// beyond the initial membership).
+func (st *State) AddNode(id types.NodeID) *Server {
+	if s, ok := st.Nodes[id]; ok {
+		return s
+	}
+	s := &Server{ID: id, Acks: make(map[int]types.NodeSet), conf0: st.Conf0}
+	st.Nodes[id] = s
+	return s
+}
+
+// node returns the server, creating it on demand for configured-but-fresh
+// IDs.
+func (st *State) node(id types.NodeID) *Server { return st.AddNode(id) }
+
+// send places a message in the sent bag (self-sends are delivered here and
+// now, matching the usual "a candidate votes for itself" shortcut).
+func (st *State) send(m Msg) {
+	if m.From == m.To {
+		st.handle(m)
+		return
+	}
+	st.Sent = append(st.Sent, m)
+}
+
+// Elect makes nid a candidate for its next term and broadcasts election
+// requests to its current configuration.
+func (st *State) Elect(nid types.NodeID) error {
+	s, ok := st.Nodes[nid]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, nid)
+	}
+	s.Time++
+	s.Vrsn = 0
+	s.IsCandidate = true
+	s.IsLeader = false
+	s.Votes = types.NewNodeSet(nid)
+	last, _ := s.LastEntry()
+	for _, to := range s.CurrentConfig().Members().Slice() {
+		if to == nid {
+			continue
+		}
+		st.send(Msg{Kind: ElectReq, From: nid, To: to, Time: s.Time,
+			Log: append([]Entry(nil), s.Log...), UpTo: len(s.Log), Vrsn: last.Vrsn})
+	}
+	st.maybeWin(s)
+	return nil
+}
+
+// maybeWin promotes a candidate whose votes form a quorum of its current
+// configuration.
+func (st *State) maybeWin(s *Server) {
+	if s.IsCandidate && s.CurrentConfig().IsQuorum(s.Votes) {
+		s.IsCandidate = false
+		s.IsLeader = true
+		s.Acks = make(map[int]types.NodeSet)
+	}
+}
+
+// Invoke appends a client command to the leader's log (a local operation).
+func (st *State) Invoke(nid types.NodeID, m types.MethodID) error {
+	s, ok := st.Nodes[nid]
+	if !ok || !s.IsLeader {
+		return fmt.Errorf("%w: %s", ErrNotLeader, nid)
+	}
+	s.Vrsn++
+	s.Log = append(s.Log, Entry{Time: s.Time, Vrsn: s.Vrsn, Kind: EntryMethod, Method: m})
+	return nil
+}
+
+// Reconfig appends a configuration change to the leader's log, subject to
+// the enabled guards:
+//
+//	R1⁺ — the scheme's relation between the current and new configuration,
+//	R2  — no uncommitted configuration entry in the log,
+//	R3  — a committed entry with the leader's current term.
+func (st *State) Reconfig(nid types.NodeID, ncf config.Config) error {
+	s, ok := st.Nodes[nid]
+	if !ok || !s.IsLeader {
+		return fmt.Errorf("%w: %s", ErrNotLeader, nid)
+	}
+	if !st.Rules.AllowReconfig {
+		return fmt.Errorf("%w: reconfiguration disabled", ErrGuard)
+	}
+	if st.Rules.R1 && !st.Scheme.R1Plus(s.CurrentConfig(), ncf) {
+		return fmt.Errorf("%w: R1⁺ rejects %s → %s", ErrGuard, s.CurrentConfig(), ncf)
+	}
+	if st.Rules.R2 {
+		for i := s.CommitLen; i < len(s.Log); i++ {
+			if s.Log[i].Kind == EntryConfig {
+				return fmt.Errorf("%w: R2: uncommitted config entry at %d", ErrGuard, i)
+			}
+		}
+	}
+	if st.Rules.R3 {
+		ok := false
+		for i := 0; i < s.CommitLen; i++ {
+			if s.Log[i].Time == s.Time {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%w: R3: no committed entry at term %d", ErrGuard, s.Time)
+		}
+	}
+	s.Vrsn++
+	s.Log = append(s.Log, Entry{Time: s.Time, Vrsn: s.Vrsn, Kind: EntryConfig, Conf: ncf})
+	// Ensure fresh members exist so they can receive traffic.
+	for _, id := range ncf.Members().Slice() {
+		st.AddNode(id)
+	}
+	return nil
+}
+
+// Commit broadcasts the leader's log to its current configuration, asking
+// the replicas to adopt it and acknowledge up to its full length.
+func (st *State) Commit(nid types.NodeID) error {
+	s, ok := st.Nodes[nid]
+	if !ok || !s.IsLeader {
+		return fmt.Errorf("%w: %s", ErrNotLeader, nid)
+	}
+	upTo := len(s.Log)
+	if s.Acks[upTo].IsEmpty() {
+		s.Acks[upTo] = types.NewNodeSet(nid)
+	}
+	last, _ := s.LastEntry()
+	for _, to := range s.CurrentConfig().Members().Slice() {
+		if to == nid {
+			continue
+		}
+		st.send(Msg{Kind: CommitReq, From: nid, To: to, Time: s.Time, Vrsn: last.Vrsn,
+			Log: append([]Entry(nil), s.Log...), CommitLen: s.CommitLen, UpTo: upTo})
+	}
+	st.maybeCommit(s, upTo)
+	return nil
+}
+
+// maybeCommit advances the leader's commit length once a quorum has acked.
+// Per Raft's commitment rule, a leader only counts replication of entries
+// from its own current term (committing an old-term entry directly is the
+// classic Figure-8 safety hazard; Adore encodes the same restriction in
+// canCommit's isLeader(st, nid, time(C_M)) premise). Old entries commit
+// transitively once a current-term entry on top of them commits.
+func (st *State) maybeCommit(s *Server, upTo int) {
+	if !s.IsLeader || upTo <= s.CommitLen {
+		return
+	}
+	if upTo < 1 || upTo > len(s.Log) || s.Log[upTo-1].Time != s.Time {
+		return
+	}
+	if s.CurrentConfig().IsQuorum(s.Acks[upTo]) {
+		s.CommitLen = upTo
+	}
+}
+
+// Deliver removes the first message equal to m from the sent bag and runs
+// its handler. It implements the deliver operation: any sent message may
+// arrive at any time.
+func (st *State) Deliver(m Msg) error {
+	idx := -1
+	for i, sent := range st.Sent {
+		if sent.Equal(m) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: %s", ErrNoSuchMessage, m)
+	}
+	st.Sent = append(st.Sent[:idx], st.Sent[idx+1:]...)
+	st.Delivered = append(st.Delivered, m)
+	st.handle(m)
+	return nil
+}
+
+// Duplicate re-enqueues a copy of a message currently in flight (network
+// duplication). The protocol's handlers are idempotent against duplicates.
+func (st *State) Duplicate(m Msg) error {
+	for _, sent := range st.Sent {
+		if sent.Equal(m) {
+			st.Sent = append(st.Sent, m)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrNoSuchMessage, m)
+}
+
+// Valid reports whether delivering m now would have any effect (Definition
+// C.2): invalid messages are ignored by their recipients.
+func (st *State) Valid(m Msg) bool {
+	s, ok := st.Nodes[m.To]
+	if !ok {
+		return false
+	}
+	switch m.Kind {
+	case ElectReq:
+		last := Entry{}
+		if len(m.Log) > 0 {
+			last = m.Log[len(m.Log)-1]
+		}
+		return m.Time > s.Time && s.upToDate(last, len(m.Log))
+	case ElectAck:
+		return m.Ok && s.IsCandidate && m.Time == s.Time
+	case CommitReq:
+		return m.Time >= s.Time
+	case CommitAck:
+		return m.Ok && s.IsLeader && m.Time == s.Time
+	default:
+		return false
+	}
+}
+
+// handle dispatches a delivered message.
+func (st *State) handle(m Msg) {
+	s := st.node(m.To)
+	switch m.Kind {
+	case ElectReq:
+		last := Entry{}
+		if len(m.Log) > 0 {
+			last = m.Log[len(m.Log)-1]
+		}
+		if m.Time > s.Time && s.upToDate(last, len(m.Log)) {
+			s.Time = m.Time
+			s.IsLeader = false
+			s.IsCandidate = false
+			st.send(Msg{Kind: ElectAck, From: m.To, To: m.From, Time: m.Time, Vrsn: m.Vrsn, Ok: true})
+		}
+	case ElectAck:
+		if m.Ok && s.IsCandidate && m.Time == s.Time {
+			s.Votes = s.Votes.Add(m.From)
+			st.maybeWin(s)
+		}
+	case CommitReq:
+		if m.Time >= s.Time {
+			s.Time = m.Time
+			if m.From != s.ID {
+				s.IsLeader = false
+				s.IsCandidate = false
+			}
+			s.Log = append([]Entry(nil), m.Log...)
+			if m.CommitLen > s.CommitLen {
+				s.CommitLen = m.CommitLen
+			}
+			st.send(Msg{Kind: CommitAck, From: m.To, To: m.From, Time: m.Time, Vrsn: m.Vrsn, UpTo: m.UpTo, Ok: true})
+		}
+	case CommitAck:
+		if m.Ok && s.IsLeader && m.Time == s.Time {
+			if s.Acks[m.UpTo].IsEmpty() {
+				s.Acks[m.UpTo] = types.NewNodeSet(s.ID)
+			}
+			s.Acks[m.UpTo] = s.Acks[m.UpTo].Add(m.From)
+			st.maybeCommit(s, m.UpTo)
+		}
+	}
+}
+
+// CommittedMethods returns the methods in nid's known-committed prefix.
+func (st *State) CommittedMethods(nid types.NodeID) []types.MethodID {
+	s, ok := st.Nodes[nid]
+	if !ok {
+		return nil
+	}
+	var out []types.MethodID
+	for _, e := range s.Log[:s.CommitLen] {
+		if e.Kind == EntryMethod {
+			out = append(out, e.Method)
+		}
+	}
+	return out
+}
+
+// Leader returns the unique leader at the highest term, or ok=false.
+func (st *State) Leader() (types.NodeID, bool) {
+	var best *Server
+	for _, s := range st.Nodes {
+		if s.IsLeader && (best == nil || s.Time > best.Time) {
+			best = s
+		}
+	}
+	if best == nil {
+		return types.NoNode, false
+	}
+	return best.ID, true
+}
+
+// Clone deep-copies the state.
+func (st *State) Clone() *State {
+	out := &State{
+		Sent:      append([]Msg(nil), st.Sent...),
+		Delivered: append([]Msg(nil), st.Delivered...),
+		Scheme:    st.Scheme,
+		Rules:     st.Rules,
+		Conf0:     st.Conf0,
+		Nodes:     make(map[types.NodeID]*Server, len(st.Nodes)),
+	}
+	for id, s := range st.Nodes {
+		cp := *s
+		cp.Log = append([]Entry(nil), s.Log...)
+		cp.Acks = make(map[int]types.NodeSet, len(s.Acks))
+		for k, v := range s.Acks {
+			cp.Acks[k] = v
+		}
+		out.Nodes[id] = &cp
+	}
+	return out
+}
+
+// RNetEqual implements ℝ_net (Fig. 18): per-node log and term equality.
+func RNetEqual(a, b *State) bool {
+	ids := make(map[types.NodeID]bool)
+	for id := range a.Nodes {
+		ids[id] = true
+	}
+	for id := range b.Nodes {
+		ids[id] = true
+	}
+	for id := range ids {
+		sa, oka := a.Nodes[id]
+		sb, okb := b.Nodes[id]
+		if !oka || !okb {
+			// A node that exists on one side only must be pristine.
+			s := sa
+			if s == nil {
+				s = sb
+			}
+			if s == nil || len(s.Log) != 0 || s.Time != 0 {
+				return false
+			}
+			continue
+		}
+		if sa.Time != sb.Time || len(sa.Log) != len(sb.Log) {
+			return false
+		}
+		for i := range sa.Log {
+			if !sa.Log[i].Equal(sb.Log[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders all server states.
+func (st *State) String() string {
+	ids := make([]types.NodeID, 0, len(st.Nodes))
+	for id := range st.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	for _, id := range ids {
+		s := st.Nodes[id]
+		role := " "
+		if s.IsLeader {
+			role = "L"
+		} else if s.IsCandidate {
+			role = "C"
+		}
+		fmt.Fprintf(&b, "%s%s t=%d commit=%d log=%v\n", s.ID, role, s.Time, s.CommitLen, s.Log)
+	}
+	fmt.Fprintf(&b, "in flight: %d\n", len(st.Sent))
+	return b.String()
+}

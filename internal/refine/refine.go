@@ -1,0 +1,234 @@
+// Package refine is the executable counterpart of the paper's refinement
+// proof (§5, Appendix C.1): it runs the SRaft network specification and the
+// Adore model in lockstep and checks the simulation relation ℝ after every
+// atomic step.
+//
+// The heart of ℝ is logMatch (Fig. 17): every replica's local log must
+// equal the MCaches and RCaches along that replica's active branch of the
+// cache tree. The checker realizes the active branch with an explicit
+// anchor map — for each replica, the cache corresponding to its last log
+// entry — updated exactly as Lemma C.1's proof prescribes:
+//
+//   - elect / pull:       no log changes, anchors unchanged (toLog ignores
+//     the new ECache);
+//   - invoke / reconfig:  the leader's anchor advances to the new cache;
+//   - commit / push:      every acker adopts the leader's log, so its
+//     anchor moves to the push target C_M.
+//
+// As in the paper's SRaft, commit rounds are atomic: the chosen ackers
+// receive and acknowledge the request in one step, and the checker requires
+// them to form a quorum (partial replication is modeled as message loss —
+// the round simply doesn't happen). Failed elections (non-quorum or refused
+// votes) are exercised in full.
+package refine
+
+import (
+	"fmt"
+
+	"adore/internal/config"
+	"adore/internal/core"
+	"adore/internal/raftnet"
+	"adore/internal/sraft"
+	"adore/internal/types"
+)
+
+// Checker holds the two lockstepped systems.
+type Checker struct {
+	// Net is the SRaft side; Model the Adore side.
+	Net   *sraft.Scheduler
+	Model *core.State
+
+	// anchors maps each replica to the cache of its last log entry.
+	anchors map[types.NodeID]types.CID
+
+	// Steps counts atomic steps executed; Checks counts logMatch
+	// evaluations (one per replica per step).
+	Steps  int
+	Checks int
+}
+
+// New builds a lockstep checker over the scheme's initial configuration.
+func New(scheme config.Scheme, members types.NodeSet, rules core.Rules) *Checker {
+	c := &Checker{
+		Net:     sraft.NewScheduler(raftnet.New(scheme, members, rules)),
+		Model:   core.NewState(scheme, members, rules),
+		anchors: make(map[types.NodeID]types.CID),
+	}
+	for _, id := range members.Slice() {
+		c.anchors[id] = c.Model.Tree.Root().ID
+	}
+	return c
+}
+
+// Elect runs one SRaft election round and the corresponding Adore pull,
+// then checks ℝ. The returned flag reports whether nid won.
+func (c *Checker) Elect(nid types.NodeID, voters types.NodeSet) (bool, error) {
+	before := c.Net.St.Nodes[nid]
+	if before == nil {
+		return false, fmt.Errorf("refine: unknown candidate %s", nid)
+	}
+	term := before.Time + 1
+	timesBefore := make(map[types.NodeID]types.Time, voters.Len())
+	for _, v := range voters.Slice() {
+		if s := c.Net.St.Nodes[v]; s != nil {
+			timesBefore[v] = s.Time
+		}
+	}
+	won, err := c.Net.AtomicElect(nid, voters)
+	if err != nil {
+		return false, err
+	}
+	// Q is the set of voters that GRANTED (advanced their term for this
+	// candidacy) — a superset of the counted acks: a vote whose ack
+	// arrives after the candidate already won never lands in Votes, but
+	// the voter's time moved, which is what the pull oracle records.
+	granted := types.NewNodeSet(nid)
+	for _, v := range voters.Slice() {
+		if s := c.Net.St.Nodes[v]; s != nil && timesBefore[v] < term && s.Time == term {
+			granted = granted.Add(v)
+		}
+	}
+	if _, err := c.Model.Pull(nid, core.PullChoice{Q: granted, T: term}); err != nil {
+		return false, fmt.Errorf("refine: model rejects pull mirroring election (Q=%s T=%d): %w", granted, term, err)
+	}
+	return won, c.check()
+}
+
+// Invoke appends a method at the leader on both sides and checks ℝ.
+func (c *Checker) Invoke(nid types.NodeID, m types.MethodID) error {
+	if err := c.Net.Invoke(nid, m); err != nil {
+		return err
+	}
+	cache, err := c.Model.Invoke(nid, m)
+	if err != nil {
+		return fmt.Errorf("refine: model rejects invoke mirrored from the network: %w", err)
+	}
+	c.anchors[nid] = cache.ID
+	return c.check()
+}
+
+// Reconfig appends a configuration change at the leader on both sides and
+// checks ℝ. A guard rejection must occur on both sides or neither.
+func (c *Checker) Reconfig(nid types.NodeID, ncf config.Config) error {
+	netErr := c.Net.Reconfig(nid, ncf)
+	cache, modelErr := c.Model.Reconfig(nid, ncf)
+	if (netErr == nil) != (modelErr == nil) {
+		return fmt.Errorf("refine: guard divergence: net=%v model=%v", netErr, modelErr)
+	}
+	if netErr != nil {
+		return nil // both rejected: a stutter step
+	}
+	c.anchors[nid] = cache.ID
+	return c.check()
+}
+
+// Commit runs one atomic commit round to the given ackers (which must form
+// a quorum of the leader's current configuration and be willing to accept)
+// and the corresponding Adore push, then checks ℝ.
+func (c *Checker) Commit(nid types.NodeID, ackers types.NodeSet) error {
+	leader := c.Net.St.Nodes[nid]
+	if leader == nil || !leader.IsLeader {
+		return fmt.Errorf("refine: %s is not a leader", nid)
+	}
+	target := c.anchors[nid] // the leader's log tip cache = C_M
+	cm := c.Model.Tree.Get(target)
+	if cm == nil {
+		return fmt.Errorf("refine: leader anchor %d missing from the tree", target)
+	}
+	// The round commits new entries iff C_M is an uncommitted command of
+	// this leader; otherwise it is a heartbeat (re-replication) and the
+	// model stutters.
+	last := c.Model.Tree.LastCommit(nid)
+	freshCommit := cm.IsCommand() && cm.Caller == nid && cm.Time == leader.Time &&
+		(last == nil || cm.Greater(last))
+	upTo := len(leader.Log)
+	if _, err := c.Net.AtomicCommit(nid, ackers); err != nil {
+		return err
+	}
+	// Use the acks that actually arrived: unwilling recipients (e.g. at a
+	// higher term) silently dropped the request.
+	actual := c.Net.St.Nodes[nid].Acks[upTo]
+	if !c.Net.St.Nodes[nid].CurrentConfig().IsQuorum(actual) {
+		return fmt.Errorf("refine: commit round acks %s are not a quorum; SRaft commit rounds must complete (choose willing ackers)", actual)
+	}
+	if freshCommit {
+		res, err := c.Model.Push(nid, core.PushChoice{Q: actual, CM: target})
+		if err != nil {
+			return fmt.Errorf("refine: model rejects push mirroring commit (Q=%s CM=%d): %w", actual, target, err)
+		}
+		if !res.Quorum {
+			return fmt.Errorf("refine: commit round ackers %s are not a model quorum", actual)
+		}
+	} else {
+		// Heartbeat: the model stutters, so it cannot record a time bump.
+		// Only ackers already at the leader's term are representable
+		// (lagging followers catch up through fresh commits or votes).
+		for _, id := range actual.Slice() {
+			if c.Model.TimeOf(id) != leader.Time {
+				return fmt.Errorf("refine: heartbeat to lagging follower %s is not representable as a stutter", id)
+			}
+		}
+	}
+	// Every acker adopted the leader's log: anchors move to C_M.
+	for _, id := range actual.Slice() {
+		c.anchors[id] = target
+	}
+	return c.check()
+}
+
+// check evaluates the refinement relation ℝ: logMatch plus timestamp
+// agreement for every replica.
+func (c *Checker) check() error {
+	c.Steps++
+	for id, server := range c.Net.St.Nodes {
+		c.Checks++
+		if mt := c.Model.TimeOf(id); mt != server.Time {
+			return fmt.Errorf("refine: ℝ broken at %s: model time %d ≠ network term %d", id, mt, server.Time)
+		}
+		if err := c.logMatch(id, server); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// logMatch compares a replica's local log with toLog(tree, nid): the
+// MCaches and RCaches on the branch from the root to the replica's anchor.
+func (c *Checker) logMatch(id types.NodeID, server *raftnet.Server) error {
+	anchor, ok := c.anchors[id]
+	if !ok {
+		anchor = c.Model.Tree.Root().ID
+	}
+	path := c.Model.Tree.PathToRoot(anchor)
+	// PathToRoot is leaf-first; walk backwards for root-first order.
+	var branch []*core.Cache
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i].IsCommand() {
+			branch = append(branch, path[i])
+		}
+	}
+	if len(branch) != len(server.Log) {
+		return fmt.Errorf("refine: logMatch broken at %s: branch has %d commands, log has %d\nbranch tip: %v",
+			id, len(branch), len(server.Log), c.Model.Tree.Get(anchor))
+	}
+	for i, cache := range branch {
+		e := server.Log[i]
+		if cache.Time != e.Time || cache.Vrsn != e.Vrsn {
+			return fmt.Errorf("refine: logMatch broken at %s[%d]: cache %s vs entry %s", id, i, cache.Stamp(), e.Stamp())
+		}
+		switch e.Kind {
+		case raftnet.EntryMethod:
+			if cache.Kind != core.KindM || cache.Method != e.Method {
+				return fmt.Errorf("refine: logMatch broken at %s[%d]: cache %v vs entry %v", id, i, cache, e)
+			}
+		case raftnet.EntryConfig:
+			if cache.Kind != core.KindR || !cache.Conf.Equal(e.Conf) {
+				return fmt.Errorf("refine: logMatch broken at %s[%d]: cache %v vs entry %v", id, i, cache, e)
+			}
+		}
+	}
+	return nil
+}
+
+// Anchor exposes a replica's current anchor (for tests).
+func (c *Checker) Anchor(id types.NodeID) types.CID { return c.anchors[id] }

@@ -1,0 +1,284 @@
+package refine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"adore/internal/config"
+	"adore/internal/core"
+	"adore/internal/invariant"
+	"adore/internal/raftnet"
+	"adore/internal/types"
+)
+
+func newChecker(n types.NodeID) *Checker {
+	return New(config.RaftSingleNode, types.Range(1, n), core.DefaultRules())
+}
+
+func TestLockstepBasics(t *testing.T) {
+	c := newChecker(3)
+	won, err := c.Elect(1, types.NewNodeSet(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !won {
+		t.Fatal("election lost")
+	}
+	if err := c.Invoke(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invoke(1, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(1, types.NewNodeSet(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Committed views agree across the two systems.
+	modelLog := c.Model.CommittedMethods()
+	netLog := c.Net.St.CommittedMethods(1)
+	if len(modelLog) != 2 || len(netLog) != 2 {
+		t.Fatalf("model=%v net=%v", modelLog, netLog)
+	}
+}
+
+func TestLockstepFailedElection(t *testing.T) {
+	c := newChecker(3)
+	won, err := c.Elect(1, types.NewNodeSet(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if won {
+		t.Fatal("minority election won")
+	}
+	// The candidate bumped its term on both sides.
+	if c.Model.TimeOf(1) != 1 || c.Net.St.Nodes[1].Time != 1 {
+		t.Error("times diverged after failed election")
+	}
+}
+
+func TestLockstepCompetingLeaders(t *testing.T) {
+	c := newChecker(3)
+	if _, err := c.Elect(1, types.NewNodeSet(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invoke(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// S2 wins the next term; S1's uncommitted method is abandoned.
+	if _, err := c.Elect(2, types.Range(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invoke(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(2, types.NewNodeSet(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Model.CommittedMethods()
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("committed = %v, want [M2]", got)
+	}
+}
+
+func TestLockstepReconfigAndGuards(t *testing.T) {
+	c := newChecker(3)
+	if _, err := c.Elect(1, types.Range(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Guard divergence check: R3 must reject on both sides.
+	if err := c.Reconfig(1, config.NewMajorityConfig(types.Range(1, 4))); err != nil {
+		t.Fatal(err) // both reject → nil (stutter)
+	}
+	if len(c.Model.Tree.RCaches()) != 0 {
+		t.Fatal("model accepted a reconfig the network rejected")
+	}
+	if err := c.Invoke(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(1, types.Range(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reconfig(1, config.NewMajorityConfig(types.Range(1, 4))); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Model.Tree.RCaches()) != 1 {
+		t.Fatal("reconfig not mirrored")
+	}
+	if err := c.Commit(1, types.NewNodeSet(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// The fresh member catches up via a fresh commit.
+	if err := c.Invoke(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(1, types.NewNodeSet(1, 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Net.St.Nodes[4].Log); got != 3 {
+		t.Errorf("S4 log length = %d, want 3", got)
+	}
+}
+
+func TestLockstepHeartbeat(t *testing.T) {
+	c := newChecker(3)
+	if _, err := c.Elect(1, types.Range(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invoke(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Commit with {1,2}; S3 is behind in log but at the leader's term
+	// (it voted), so a heartbeat round may include it.
+	if err := c.Commit(1, types.NewNodeSet(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(1, types.Range(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Net.St.Nodes[3].Log); got != 1 {
+		t.Errorf("heartbeat did not replicate to S3: log=%d", got)
+	}
+}
+
+// TestLemmaC1RandomLockstep is the executable Lemma C.1: random SRaft
+// schedules, with ℝ checked after every atomic step, across all shipped
+// schemes.
+func TestLemmaC1RandomLockstep(t *testing.T) {
+	for _, scheme := range config.AllSchemes() {
+		scheme := scheme
+		t.Run(scheme.Name(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 12; seed++ {
+				c := New(scheme, types.Range(1, 4), core.DefaultRules())
+				if err := driveRandom(c, seed, 50); err != nil {
+					t.Fatalf("seed %d: %v\nmodel tree:\n%s\nnet:\n%s",
+						seed, err, c.Model.Tree.Render(), c.Net.St)
+				}
+				// The mirrored model state must satisfy all invariants.
+				if vs := invariant.CheckAll(c.Model); len(vs) != 0 {
+					t.Fatalf("seed %d: model invariant violations: %v", seed, vs)
+				}
+			}
+		})
+	}
+}
+
+// driveRandom issues random elections, invokes, reconfigs, and quorum
+// commits through the checker. It returns the first refinement failure.
+func driveRandom(c *Checker, seed int64, steps int) error {
+	r := rand.New(rand.NewSource(seed))
+	method := types.MethodID(1)
+	for i := 0; i < steps; i++ {
+		// Pick a random node; decide what it attempts.
+		ids := nodeIDs(c)
+		nid := ids[r.Intn(len(ids))]
+		s := c.Net.St.Nodes[nid]
+		switch r.Intn(4) {
+		case 0: // election with a random voter set
+			if len(s.Log) == 0 && !c.Net.St.Conf0.Members().Contains(nid) {
+				continue // a knowledge-free candidate has no model image
+			}
+			voters := randomSubsetWith(r, c.Net.St.Nodes[nid].CurrentConfig().Members(), nid)
+			if _, err := c.Elect(nid, voters); err != nil {
+				if strings.Contains(err.Error(), "model rejects") || strings.Contains(err.Error(), "ℝ broken") ||
+					strings.Contains(err.Error(), "logMatch") {
+					return err
+				}
+				continue // network-side rejection (not a leader, etc.)
+			}
+		case 1: // invoke
+			if !s.IsLeader {
+				continue
+			}
+			if err := c.Invoke(nid, method); err != nil {
+				return err
+			}
+			method++
+		case 2: // reconfig
+			if !s.IsLeader {
+				continue
+			}
+			succs := c.Net.St.Scheme.Successors(s.CurrentConfig(), types.Range(1, 5))
+			if len(succs) == 0 {
+				continue
+			}
+			if err := c.Reconfig(nid, succs[r.Intn(len(succs))]); err != nil {
+				return err
+			}
+		case 3: // quorum commit with willing ackers
+			if !s.IsLeader {
+				continue
+			}
+			ackers := willingAckers(c, s)
+			if ackers.IsEmpty() || !s.CurrentConfig().IsQuorum(ackers) {
+				continue
+			}
+			// Heartbeats to lagging followers are not representable;
+			// only commit fresh entries (see package doc).
+			anchor := c.Model.Tree.Get(c.Anchor(nid))
+			last := c.Model.Tree.LastCommit(nid)
+			fresh := anchor != nil && anchor.IsCommand() && anchor.Caller == nid &&
+				anchor.Time == s.Time && (last == nil || anchor.Greater(last))
+			if !fresh {
+				// Heartbeat: restrict to same-term ackers.
+				ackers = sameTermAckers(c, s)
+				if !s.CurrentConfig().IsQuorum(ackers) {
+					continue
+				}
+			}
+			if err := c.Commit(nid, ackers); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func nodeIDs(c *Checker) []types.NodeID {
+	var ids []types.NodeID
+	for id := range c.Net.St.Nodes {
+		ids = append(ids, id)
+	}
+	// Deterministic order for reproducibility.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+func randomSubsetWith(r *rand.Rand, members types.NodeSet, must types.NodeID) types.NodeSet {
+	out := types.NewNodeSet(must)
+	for _, id := range members.Slice() {
+		if r.Intn(2) == 0 {
+			out = out.Add(id)
+		}
+	}
+	return out
+}
+
+// willingAckers returns the members of the leader's configuration whose
+// term does not exceed the leader's (they would accept a commit request).
+func willingAckers(c *Checker, s *raftnet.Server) types.NodeSet {
+	out := types.NewNodeSet(s.ID)
+	for _, id := range s.CurrentConfig().Members().Slice() {
+		if other, ok := c.Net.St.Nodes[id]; !ok || other.Time <= s.Time {
+			out = out.Add(id)
+		}
+	}
+	return out
+}
+
+// sameTermAckers returns the configuration members already at the leader's
+// term (safe recipients for heartbeat rounds).
+func sameTermAckers(c *Checker, s *raftnet.Server) types.NodeSet {
+	out := types.NewNodeSet(s.ID)
+	for _, id := range s.CurrentConfig().Members().Slice() {
+		if other, ok := c.Net.St.Nodes[id]; ok && other.Time == s.Time {
+			out = out.Add(id)
+		}
+	}
+	return out
+}

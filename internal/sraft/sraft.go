@@ -1,0 +1,276 @@
+// Package sraft implements SRaft: the paper's simplified network-based
+// specification (§5) that differs from the asynchronous Raft of package
+// raftnet only in its scheduling assumptions — messages are delivered
+// (1) only when valid, (2) in global logical-time order, and (3) atomically
+// per request round.
+//
+// The package provides two artifacts:
+//
+//   - Scheduler: a constructive SRaft driver whose AtomicElect/AtomicCommit
+//     execute a whole round (request broadcast, deliveries, acks) as one
+//     step on top of the raw raftnet semantics, recording the underlying
+//     fine-grained trace. Replaying that trace on plain raftnet reproduces
+//     the same state, witnessing SRaft ⊑ Raft.
+//
+//   - The trace transformations of Appendix C as executable functions:
+//     FilterInvalid (Lemma C.3), SortDelivers (Lemma C.7), and GroupRounds
+//     (Lemma C.9). Each rewrites an asynchronous trace into a more
+//     disciplined one; the accompanying tests replay both and assert
+//     ℝ_net-equivalence, which is the executable content of the lemmas.
+package sraft
+
+import (
+	"fmt"
+	"sort"
+
+	"adore/internal/config"
+	"adore/internal/raftnet"
+	"adore/internal/types"
+)
+
+// Scheduler drives SRaft atomic rounds over a raftnet state.
+type Scheduler struct {
+	// St is the underlying network state.
+	St *raftnet.State
+	// Trace is the fine-grained raftnet action sequence executed so far.
+	Trace []raftnet.Action
+}
+
+// NewScheduler wraps a fresh raftnet state.
+func NewScheduler(st *raftnet.State) *Scheduler {
+	return &Scheduler{St: st}
+}
+
+func (sc *Scheduler) apply(a raftnet.Action) error {
+	if err := sc.St.Apply(a); err != nil {
+		return err
+	}
+	sc.Trace = append(sc.Trace, a)
+	return nil
+}
+
+// AtomicElect runs an entire election round: nid campaigns, the chosen
+// voters receive the request and their votes are delivered back, all in one
+// atomic step. Voters outside the set never receive the request (their
+// copies are dropped, modeling message loss). It returns whether nid won.
+//
+// Voters whose state makes the request invalid (already past the term, or
+// more up-to-date) simply don't vote — exactly SRaft's "only valid messages
+// are delivered".
+func (sc *Scheduler) AtomicElect(nid types.NodeID, voters types.NodeSet) (bool, error) {
+	if err := sc.apply(raftnet.Action{Kind: raftnet.ActElect, NID: nid}); err != nil {
+		return false, err
+	}
+	if err := sc.deliverRound(nid, raftnet.ElectReq, voters); err != nil {
+		return false, err
+	}
+	s := sc.St.Nodes[nid]
+	return s != nil && s.IsLeader, nil
+}
+
+// Invoke appends a method at the leader (local, already atomic).
+func (sc *Scheduler) Invoke(nid types.NodeID, m types.MethodID) error {
+	return sc.apply(raftnet.Action{Kind: raftnet.ActInvoke, NID: nid, Method: m})
+}
+
+// Reconfig appends a configuration change at the leader (local).
+func (sc *Scheduler) Reconfig(nid types.NodeID, ncf config.Config) error {
+	return sc.apply(raftnet.Action{Kind: raftnet.ActReconfig, NID: nid, Conf: ncf})
+}
+
+// AtomicCommit runs an entire commit round to the chosen ackers and returns
+// the leader's resulting commit length.
+func (sc *Scheduler) AtomicCommit(nid types.NodeID, ackers types.NodeSet) (int, error) {
+	if err := sc.apply(raftnet.Action{Kind: raftnet.ActCommit, NID: nid}); err != nil {
+		return 0, err
+	}
+	if err := sc.deliverRound(nid, raftnet.CommitReq, ackers); err != nil {
+		return 0, err
+	}
+	s := sc.St.Nodes[nid]
+	if s == nil {
+		return 0, fmt.Errorf("sraft: leader %s vanished", nid)
+	}
+	return s.CommitLen, nil
+}
+
+// deliverRound delivers the coordinator's outstanding requests of the given
+// kind to the chosen recipients (when valid), drops the rest, then delivers
+// all resulting acks back to the coordinator (when valid).
+func (sc *Scheduler) deliverRound(coord types.NodeID, kind raftnet.MsgKind, recipients types.NodeSet) error {
+	// Deliver or drop the requests.
+	for _, m := range snapshot(sc.St.Sent) {
+		if m.Kind != kind || m.From != coord {
+			continue
+		}
+		if recipients.Contains(m.To) && sc.St.Valid(m) {
+			if err := sc.apply(raftnet.Action{Kind: raftnet.ActDeliver, Msg: m}); err != nil {
+				return err
+			}
+		} else {
+			sc.drop(m)
+		}
+	}
+	// Deliver the acks.
+	ackKind := raftnet.ElectAck
+	if kind == raftnet.CommitReq {
+		ackKind = raftnet.CommitAck
+	}
+	for _, m := range snapshot(sc.St.Sent) {
+		if m.Kind != ackKind || m.To != coord {
+			continue
+		}
+		if sc.St.Valid(m) {
+			if err := sc.apply(raftnet.Action{Kind: raftnet.ActDeliver, Msg: m}); err != nil {
+				return err
+			}
+		} else {
+			sc.drop(m)
+		}
+	}
+	return nil
+}
+
+// drop removes a message from the sent bag without delivering it (message
+// loss, always permitted by the asynchronous network).
+func (sc *Scheduler) drop(m raftnet.Msg) {
+	for i, sent := range sc.St.Sent {
+		if sent.Equal(m) {
+			sc.St.Sent = append(sc.St.Sent[:i], sc.St.Sent[i+1:]...)
+			return
+		}
+	}
+}
+
+func snapshot(ms []raftnet.Msg) []raftnet.Msg {
+	return append([]raftnet.Msg(nil), ms...)
+}
+
+// FilterInvalid implements Lemma C.3: it removes deliveries of invalid
+// messages from a trace. Replaying the filtered trace yields an
+// ℝ_net-equivalent state because invalid messages are ignored by their
+// recipients anyway.
+func FilterInvalid(mk func() *raftnet.State, trace []raftnet.Action) ([]raftnet.Action, error) {
+	st := mk()
+	var out []raftnet.Action
+	for i, a := range trace {
+		if a.Kind == raftnet.ActDeliver && !st.Valid(a.Msg) {
+			// Still consume the message so later duplicates resolve the
+			// same way, but record nothing: the recipient ignores it.
+			_ = st.Deliver(a.Msg)
+			continue
+		}
+		if err := st.Apply(a); err != nil {
+			return nil, fmt.Errorf("sraft: filter step %d (%s): %w", i, a, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// deliverRun identifies maximal runs of consecutive deliveries in a trace;
+// the reordering lemmas permute messages only within runs (deliveries never
+// move across the operation that sent them).
+type deliverRun struct{ lo, hi int } // trace[lo:hi] are all ActDeliver
+
+func runs(trace []raftnet.Action) []deliverRun {
+	var out []deliverRun
+	i := 0
+	for i < len(trace) {
+		if trace[i].Kind != raftnet.ActDeliver {
+			i++
+			continue
+		}
+		j := i
+		for j < len(trace) && trace[j].Kind == raftnet.ActDeliver {
+			j++
+		}
+		out = append(out, deliverRun{i, j})
+		i = j
+	}
+	return out
+}
+
+// reorderRuns rewrites each delivery run with a stable sort by key, then
+// verifies the rewrite by replaying both traces and comparing ℝ_net. The
+// replay is the ground truth for the commutation arguments in the paper's
+// proofs (deliveries to different recipients commute; same-recipient
+// deliveries are already locally ordered once invalid messages are gone).
+func reorderRuns(mk func() *raftnet.State, trace []raftnet.Action, key func(raftnet.Msg) []int) ([]raftnet.Action, bool, error) {
+	out := append([]raftnet.Action(nil), trace...)
+	for _, r := range runs(out) {
+		run := append([]raftnet.Action(nil), out[r.lo:r.hi]...)
+		sort.SliceStable(run, func(a, b int) bool {
+			ka, kb := key(run[a].Msg), key(run[b].Msg)
+			for i := range ka {
+				if ka[i] != kb[i] {
+					return ka[i] < kb[i]
+				}
+			}
+			return false
+		})
+		copy(out[r.lo:r.hi], run)
+	}
+	orig, err := raftnet.Replay(mk, trace)
+	if err != nil {
+		return nil, false, fmt.Errorf("sraft: original trace does not replay: %w", err)
+	}
+	rewritten, err := raftnet.Replay(mk, out)
+	if err != nil {
+		return nil, false, nil // rewrite not applicable to this trace
+	}
+	if !raftnet.RNetEqual(orig, rewritten) {
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
+// SortDelivers implements Lemma C.7: within each delivery run, messages are
+// rearranged into global (time, vrsn) order, verified by replay. For traces
+// containing only valid messages this always succeeds: such traces are
+// already locally ordered (Definition C.5), so the sort only commutes
+// deliveries to different recipients.
+func SortDelivers(mk func() *raftnet.State, trace []raftnet.Action) ([]raftnet.Action, bool, error) {
+	return reorderRuns(mk, trace, func(m raftnet.Msg) []int {
+		return []int{int(m.Time), int(m.Vrsn)}
+	})
+}
+
+// GroupRounds implements Lemma C.9: within each delivery run, messages are
+// additionally grouped by their round — the coordinator that initiated the
+// request — with requests before acknowledgements, making every round's
+// deliveries adjacent ("atomic"). Verified by replay.
+func GroupRounds(mk func() *raftnet.State, trace []raftnet.Action) ([]raftnet.Action, bool, error) {
+	return reorderRuns(mk, trace, func(m raftnet.Msg) []int {
+		coord := m.From
+		isAck := 0
+		if m.Kind == raftnet.ElectAck || m.Kind == raftnet.CommitAck {
+			coord = m.To
+			isAck = 1
+		}
+		reqKind := 0
+		if m.Kind == raftnet.CommitReq || m.Kind == raftnet.CommitAck {
+			reqKind = 1
+		}
+		return []int{int(m.Time), int(m.Vrsn), reqKind, int(coord), isAck}
+	})
+}
+
+// Normalize chains the three transformations: filter invalid deliveries,
+// sort into global logical order, and group rounds atomically — the
+// composite rewriting of Lemma C.10 (Raft refines SRaft).
+func Normalize(mk func() *raftnet.State, trace []raftnet.Action) ([]raftnet.Action, bool, error) {
+	filtered, err := FilterInvalid(mk, trace)
+	if err != nil {
+		return nil, false, err
+	}
+	sorted, ok, err := SortDelivers(mk, filtered)
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	grouped, ok, err := GroupRounds(mk, sorted)
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	return grouped, true, nil
+}

@@ -1,0 +1,186 @@
+package sraft
+
+import (
+	"testing"
+
+	"adore/internal/config"
+	"adore/internal/core"
+	"adore/internal/raftnet"
+	"adore/internal/types"
+)
+
+func mk3() *raftnet.State {
+	return raftnet.New(config.RaftSingleNode, types.Range(1, 3), core.DefaultRules())
+}
+
+func mk4() *raftnet.State {
+	return raftnet.New(config.RaftSingleNode, types.Range(1, 4), core.DefaultRules())
+}
+
+func TestSchedulerElectCommit(t *testing.T) {
+	sc := NewScheduler(mk3())
+	won, err := sc.AtomicElect(1, types.NewNodeSet(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !won {
+		t.Fatal("quorum election did not win")
+	}
+	if err := sc.Invoke(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	n, err := sc.AtomicCommit(1, types.NewNodeSet(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("commit length = %d, want 1", n)
+	}
+	if len(sc.St.Sent) != 0 {
+		t.Errorf("atomic rounds left %d messages in flight", len(sc.St.Sent))
+	}
+}
+
+func TestSchedulerMinorityElectionLoses(t *testing.T) {
+	sc := NewScheduler(mk3())
+	won, err := sc.AtomicElect(1, types.NewNodeSet(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if won {
+		t.Fatal("minority election won")
+	}
+}
+
+func TestSchedulerReconfig(t *testing.T) {
+	sc := NewScheduler(mk3())
+	if _, err := sc.AtomicElect(1, types.Range(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Invoke(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.AtomicCommit(1, types.Range(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Reconfig(1, config.NewMajorityConfig(types.Range(1, 4))); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := sc.AtomicCommit(1, types.Range(1, 4)); err != nil || n != 2 {
+		t.Fatalf("commit after reconfig: n=%d err=%v", n, err)
+	}
+}
+
+// TestSchedulerTraceReplaysOnRaft witnesses SRaft ⊑ Raft: the scheduler's
+// fine-grained trace, replayed on the raw asynchronous semantics, produces
+// an ℝ_net-equal state.
+func TestSchedulerTraceReplaysOnRaft(t *testing.T) {
+	sc := NewScheduler(mk3())
+	if _, err := sc.AtomicElect(1, types.NewNodeSet(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Invoke(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.AtomicCommit(1, types.NewNodeSet(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := raftnet.Replay(mk3, sc.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raftnet.RNetEqual(sc.St, replayed) {
+		t.Error("scheduler trace does not replay to an equal state")
+	}
+}
+
+// TestLemmaC3FilterInvalid: dropping invalid deliveries preserves ℝ_net on
+// random asynchronous executions.
+func TestLemmaC3FilterInvalid(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		trace, final := raftnet.RandomExecution(mk4, seed, 80)
+		filtered, err := FilterInvalid(mk4, trace)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		refinal, err := raftnet.Replay(mk4, filtered)
+		if err != nil {
+			t.Fatalf("seed %d: filtered trace does not replay: %v", seed, err)
+		}
+		if !raftnet.RNetEqual(final, refinal) {
+			t.Fatalf("seed %d: filtering changed the state\noriginal:\n%srewritten:\n%s", seed, final, refinal)
+		}
+	}
+}
+
+// TestLemmaC7SortDelivers: sorting valid deliveries into global logical
+// order preserves ℝ_net.
+func TestLemmaC7SortDelivers(t *testing.T) {
+	okCount := 0
+	for seed := int64(0); seed < 25; seed++ {
+		trace, _ := raftnet.RandomExecution(mk4, seed, 80)
+		filtered, err := FilterInvalid(mk4, trace)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sorted, ok, err := SortDelivers(mk4, filtered)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !ok {
+			continue // replay detected a non-commuting rewrite; allowed but rare
+		}
+		okCount++
+		if len(sorted) != len(filtered) {
+			t.Fatalf("seed %d: sort changed the trace length", seed)
+		}
+	}
+	if okCount < 20 {
+		t.Errorf("global sort succeeded on only %d/25 executions", okCount)
+	}
+}
+
+// TestLemmaC9GroupRounds: grouping each round's deliveries adjacently
+// preserves ℝ_net.
+func TestLemmaC9GroupRounds(t *testing.T) {
+	okCount := 0
+	for seed := int64(0); seed < 25; seed++ {
+		trace, _ := raftnet.RandomExecution(mk4, seed, 80)
+		normalized, ok, err := Normalize(mk4, trace)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !ok {
+			continue
+		}
+		okCount++
+		if normalized == nil {
+			t.Fatalf("seed %d: nil normalized trace", seed)
+		}
+	}
+	if okCount < 20 {
+		t.Errorf("normalization succeeded on only %d/25 executions", okCount)
+	}
+}
+
+// TestNormalizeIdempotentOnSchedulerTraces: a trace produced by the SRaft
+// scheduler is already normal — filtering and reordering change nothing.
+func TestNormalizeIdempotentOnSchedulerTraces(t *testing.T) {
+	sc := NewScheduler(mk3())
+	if _, err := sc.AtomicElect(1, types.NewNodeSet(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Invoke(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.AtomicCommit(1, types.NewNodeSet(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	normalized, ok, err := Normalize(mk3, sc.Trace)
+	if err != nil || !ok {
+		t.Fatalf("normalize: ok=%v err=%v", ok, err)
+	}
+	if len(normalized) != len(sc.Trace) {
+		t.Errorf("normalization changed a scheduler trace: %d → %d actions", len(sc.Trace), len(normalized))
+	}
+}

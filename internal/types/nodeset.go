@@ -1,0 +1,258 @@
+package types
+
+import (
+	"sort"
+)
+
+// NodeSet is an immutable, sorted, duplicate-free set of node IDs. It is the
+// Set(ℕ_nid) sort used for configuration memberships, quorums, and cache
+// supporter sets.
+//
+// The zero value is the empty set. All operations return new sets; a NodeSet
+// is safe to share between goroutines and to use as a map key via Key().
+type NodeSet struct {
+	ids []NodeID // sorted ascending, no duplicates
+}
+
+// NewNodeSet builds a set from the given IDs, discarding duplicates and the
+// reserved NoNode value.
+func NewNodeSet(ids ...NodeID) NodeSet {
+	out := make([]NodeID, 0, len(ids))
+	for _, id := range ids {
+		if id != NoNode {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out = dedupSorted(out)
+	return NodeSet{ids: out}
+}
+
+// Range returns the set {lo, lo+1, ..., hi}. It is a convenience for tests
+// and examples that name replicas S1..Sn.
+func Range(lo, hi NodeID) NodeSet {
+	if hi < lo {
+		return NodeSet{}
+	}
+	ids := make([]NodeID, 0, hi-lo+1)
+	for id := lo; id <= hi; id++ {
+		ids = append(ids, id)
+	}
+	return NewNodeSet(ids...)
+}
+
+func dedupSorted(ids []NodeID) []NodeID {
+	if len(ids) < 2 {
+		return ids
+	}
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Len returns the cardinality of the set.
+func (s NodeSet) Len() int { return len(s.ids) }
+
+// IsEmpty reports whether the set has no members.
+func (s NodeSet) IsEmpty() bool { return len(s.ids) == 0 }
+
+// Contains reports whether id is a member.
+func (s NodeSet) Contains(id NodeID) bool {
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= id })
+	return i < len(s.ids) && s.ids[i] == id
+}
+
+// Slice returns the members in ascending order. The caller must not mutate
+// the returned slice.
+func (s NodeSet) Slice() []NodeID { return s.ids }
+
+// Copy returns the members in ascending order in a fresh slice.
+func (s NodeSet) Copy() []NodeID {
+	out := make([]NodeID, len(s.ids))
+	copy(out, s.ids)
+	return out
+}
+
+// Add returns s ∪ {id}.
+func (s NodeSet) Add(id NodeID) NodeSet {
+	if id == NoNode || s.Contains(id) {
+		return s
+	}
+	out := make([]NodeID, 0, len(s.ids)+1)
+	out = append(out, s.ids...)
+	out = append(out, id)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return NodeSet{ids: out}
+}
+
+// Remove returns s \ {id}.
+func (s NodeSet) Remove(id NodeID) NodeSet {
+	if !s.Contains(id) {
+		return s
+	}
+	out := make([]NodeID, 0, len(s.ids)-1)
+	for _, x := range s.ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return NodeSet{ids: out}
+}
+
+// Union returns s ∪ t.
+func (s NodeSet) Union(t NodeSet) NodeSet {
+	out := make([]NodeID, 0, len(s.ids)+len(t.ids))
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(t.ids) {
+		switch {
+		case s.ids[i] < t.ids[j]:
+			out = append(out, s.ids[i])
+			i++
+		case s.ids[i] > t.ids[j]:
+			out = append(out, t.ids[j])
+			j++
+		default:
+			out = append(out, s.ids[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s.ids[i:]...)
+	out = append(out, t.ids[j:]...)
+	return NodeSet{ids: out}
+}
+
+// Intersect returns s ∩ t.
+func (s NodeSet) Intersect(t NodeSet) NodeSet {
+	out := make([]NodeID, 0, min(len(s.ids), len(t.ids)))
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(t.ids) {
+		switch {
+		case s.ids[i] < t.ids[j]:
+			i++
+		case s.ids[i] > t.ids[j]:
+			j++
+		default:
+			out = append(out, s.ids[i])
+			i++
+			j++
+		}
+	}
+	return NodeSet{ids: out}
+}
+
+// Diff returns s \ t.
+func (s NodeSet) Diff(t NodeSet) NodeSet {
+	out := make([]NodeID, 0, len(s.ids))
+	for _, id := range s.ids {
+		if !t.Contains(id) {
+			out = append(out, id)
+		}
+	}
+	return NodeSet{ids: out}
+}
+
+// Intersects reports whether s ∩ t ≠ ∅ without allocating.
+func (s NodeSet) Intersects(t NodeSet) bool {
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(t.ids) {
+		switch {
+		case s.ids[i] < t.ids[j]:
+			i++
+		case s.ids[i] > t.ids[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectLen returns |s ∩ t| without allocating.
+func (s NodeSet) IntersectLen(t NodeSet) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(t.ids) {
+		switch {
+		case s.ids[i] < t.ids[j]:
+			i++
+		case s.ids[i] > t.ids[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// SubsetOf reports whether s ⊆ t.
+func (s NodeSet) SubsetOf(t NodeSet) bool {
+	return s.IntersectLen(t) == len(s.ids)
+}
+
+// Equal reports whether s and t have the same members.
+func (s NodeSet) Equal(t NodeSet) bool {
+	if len(s.ids) != len(t.ids) {
+		return false
+	}
+	for i := range s.ids {
+		if s.ids[i] != t.ids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical comparable representation, suitable for use as a
+// map key or inside state hashes.
+func (s NodeSet) Key() string { return s.String() }
+
+// String renders the set in the paper's {S1,S2} style.
+func (s NodeSet) String() string { return FormatNodes(s.ids) }
+
+// Subsets calls fn with every subset of s, including the empty set and s
+// itself. It is used by the model explorer to enumerate oracle choices.
+// Enumeration stops early if fn returns false.
+func (s NodeSet) Subsets(fn func(NodeSet) bool) {
+	n := len(s.ids)
+	if n > 20 {
+		panic("types: refusing to enumerate subsets of a set with more than 20 members")
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		sub := make([]NodeID, 0, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, s.ids[i])
+			}
+		}
+		if !fn(NodeSet{ids: sub}) {
+			return
+		}
+	}
+}
+
+// SubsetsContaining enumerates the subsets of s that contain id.
+func (s NodeSet) SubsetsContaining(id NodeID, fn func(NodeSet) bool) {
+	if !s.Contains(id) {
+		return
+	}
+	s.Subsets(func(sub NodeSet) bool {
+		if !sub.Contains(id) {
+			return true
+		}
+		return fn(sub)
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,216 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNodeSetDedupAndSort(t *testing.T) {
+	s := NewNodeSet(3, 1, 2, 3, 1)
+	want := []NodeID{1, 2, 3}
+	if !reflect.DeepEqual(s.Copy(), want) {
+		t.Errorf("NewNodeSet(3,1,2,3,1) = %v, want %v", s.Slice(), want)
+	}
+}
+
+func TestNewNodeSetDropsNoNode(t *testing.T) {
+	s := NewNodeSet(NoNode, 1)
+	if s.Len() != 1 || !s.Contains(1) {
+		t.Errorf("NewNodeSet(NoNode,1) = %v, want {S1}", s)
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := Range(2, 4)
+	if !s.Equal(NewNodeSet(2, 3, 4)) {
+		t.Errorf("Range(2,4) = %v", s)
+	}
+	if !Range(5, 2).IsEmpty() {
+		t.Errorf("Range(5,2) should be empty")
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	s := NewNodeSet(1, 3)
+	s2 := s.Add(2)
+	if !s2.Equal(NewNodeSet(1, 2, 3)) {
+		t.Errorf("Add(2) = %v", s2)
+	}
+	if !s.Equal(NewNodeSet(1, 3)) {
+		t.Errorf("Add mutated receiver: %v", s)
+	}
+	s3 := s2.Remove(1)
+	if !s3.Equal(NewNodeSet(2, 3)) {
+		t.Errorf("Remove(1) = %v", s3)
+	}
+	if got := s3.Remove(99); !got.Equal(s3) {
+		t.Errorf("Remove of absent member changed the set: %v", got)
+	}
+	if got := s3.Add(2); !got.Equal(s3) {
+		t.Errorf("Add of present member changed the set: %v", got)
+	}
+}
+
+func TestUnionIntersectDiff(t *testing.T) {
+	a := NewNodeSet(1, 2, 3)
+	b := NewNodeSet(3, 4)
+	if got := a.Union(b); !got.Equal(NewNodeSet(1, 2, 3, 4)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewNodeSet(3)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Diff(b); !got.Equal(NewNodeSet(1, 2)) {
+		t.Errorf("Diff = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Errorf("Intersects should be true")
+	}
+	if a.Intersects(NewNodeSet(9)) {
+		t.Errorf("Intersects({9}) should be false")
+	}
+	if got := a.IntersectLen(b); got != 1 {
+		t.Errorf("IntersectLen = %d, want 1", got)
+	}
+}
+
+func TestSubsetEqual(t *testing.T) {
+	a := NewNodeSet(1, 2)
+	b := NewNodeSet(1, 2, 3)
+	if !a.SubsetOf(b) {
+		t.Errorf("{1,2} should be subset of {1,2,3}")
+	}
+	if b.SubsetOf(a) {
+		t.Errorf("{1,2,3} should not be subset of {1,2}")
+	}
+	if !NewNodeSet().SubsetOf(a) {
+		t.Errorf("empty set should be subset of anything")
+	}
+	if !a.Equal(NewNodeSet(2, 1)) {
+		t.Errorf("Equal should ignore construction order")
+	}
+	if a.Equal(b) {
+		t.Errorf("unequal sets reported equal")
+	}
+}
+
+func TestSubsetsEnumeration(t *testing.T) {
+	s := NewNodeSet(1, 2, 3)
+	var count int
+	seen := map[string]bool{}
+	s.Subsets(func(sub NodeSet) bool {
+		count++
+		if seen[sub.Key()] {
+			t.Errorf("duplicate subset %v", sub)
+		}
+		seen[sub.Key()] = true
+		if !sub.SubsetOf(s) {
+			t.Errorf("enumerated non-subset %v", sub)
+		}
+		return true
+	})
+	if count != 8 {
+		t.Errorf("enumerated %d subsets of a 3-set, want 8", count)
+	}
+}
+
+func TestSubsetsEarlyStop(t *testing.T) {
+	s := NewNodeSet(1, 2, 3)
+	count := 0
+	s.Subsets(func(NodeSet) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop after %d calls, want 3", count)
+	}
+}
+
+func TestSubsetsContaining(t *testing.T) {
+	s := NewNodeSet(1, 2, 3)
+	count := 0
+	s.SubsetsContaining(2, func(sub NodeSet) bool {
+		count++
+		if !sub.Contains(2) {
+			t.Errorf("subset %v missing required member", sub)
+		}
+		return true
+	})
+	if count != 4 {
+		t.Errorf("enumerated %d subsets containing 2, want 4", count)
+	}
+	s.SubsetsContaining(9, func(NodeSet) bool {
+		t.Errorf("should not enumerate subsets containing a non-member")
+		return true
+	})
+}
+
+func TestNodeSetString(t *testing.T) {
+	if got := NewNodeSet(2, 1).String(); got != "{S1,S2}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := NewNodeSet().String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+// randomSet draws a small random NodeSet for the property tests.
+func randomSet(r *rand.Rand) NodeSet {
+	n := r.Intn(6)
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(r.Intn(8) + 1)
+	}
+	return NewNodeSet(ids...)
+}
+
+func TestQuickUnionCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r), randomSet(r)
+		return a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r), randomSet(r)
+		i := a.Intersect(b)
+		return i.SubsetOf(a) && i.SubsetOf(b) && i.Len() == a.IntersectLen(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDiffDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r), randomSet(r)
+		d := a.Diff(b)
+		return !d.Intersects(b) && d.Union(a.Intersect(b)).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	u := Range(1, 8)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r), randomSet(r)
+		left := u.Diff(a.Union(b))
+		right := u.Diff(a).Intersect(u.Diff(b))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

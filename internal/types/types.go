@@ -1,0 +1,98 @@
+// Package types defines the primitive identifier and ordering types shared
+// by every model in this repository: node identifiers, logical timestamps,
+// version numbers, method identifiers, and cache identifiers.
+//
+// These correspond to the ℕ_nid, ℕ_time, ℕ_vrsn, Method, and ℕ_cid sorts of
+// the Adore paper (Fig. 6). They are deliberately thin named types so the
+// compiler keeps the many different kinds of natural number apart.
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NodeID identifies a replica (ℕ_nid). The zero value is reserved to mean
+// "no node" (for example the caller of the root cache).
+type NodeID uint32
+
+// NoNode is the reserved NodeID meaning "no node".
+const NoNode NodeID = 0
+
+// String renders the node ID in the paper's S₁, S₂, ... style.
+func (n NodeID) String() string {
+	if n == NoNode {
+		return "S∅"
+	}
+	return "S" + strconv.FormatUint(uint64(n), 10)
+}
+
+// Time is a logical timestamp (ℕ_time): a Paxos ballot number or Raft term.
+type Time uint64
+
+// Vrsn is a per-term version number (ℕ_vrsn). It resets to zero at the start
+// of each term and increments on every invoke/reconfig call.
+type Vrsn uint64
+
+// MethodID names an application method (the Method sort). The paper treats
+// methods as opaque identifiers because their payloads have no bearing on
+// protocol safety; we do the same.
+type MethodID uint64
+
+// String renders the method in the paper's M₁, M₂, ... style.
+func (m MethodID) String() string { return "M" + strconv.FormatUint(uint64(m), 10) }
+
+// CID identifies a cache in the cache tree (ℕ_cid). CID 0 is reserved for
+// "parent of the root" per the paper's convention.
+type CID uint64
+
+// NoCID is the reserved parent pointer of the root cache.
+const NoCID CID = 0
+
+// Stamp is a (time, version) pair, the lexicographic core of the paper's
+// strict order on caches (Fig. 9).
+type Stamp struct {
+	Time Time
+	Vrsn Vrsn
+}
+
+// Less reports whether s is lexicographically smaller than t.
+func (s Stamp) Less(t Stamp) bool {
+	if s.Time != t.Time {
+		return s.Time < t.Time
+	}
+	return s.Vrsn < t.Vrsn
+}
+
+// Compare returns -1, 0, or +1 according to the lexicographic order.
+func (s Stamp) Compare(t Stamp) int {
+	switch {
+	case s.Less(t):
+		return -1
+	case t.Less(s):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the stamp as "t.v".
+func (s Stamp) String() string {
+	return fmt.Sprintf("%d.%d", s.Time, s.Vrsn)
+}
+
+// FormatNodes renders a slice of node IDs as "{S1,S2}". It is shared by the
+// pretty-printers of several packages.
+func FormatNodes(ids []NodeID) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(id.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

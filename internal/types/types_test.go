@@ -1,0 +1,57 @@
+package types
+
+import (
+	"testing"
+)
+
+func TestStampLess(t *testing.T) {
+	cases := []struct {
+		a, b Stamp
+		want bool
+	}{
+		{Stamp{1, 0}, Stamp{2, 0}, true},
+		{Stamp{2, 0}, Stamp{1, 0}, false},
+		{Stamp{1, 1}, Stamp{1, 2}, true},
+		{Stamp{1, 2}, Stamp{1, 1}, false},
+		{Stamp{1, 5}, Stamp{2, 0}, true},
+		{Stamp{1, 1}, Stamp{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("Stamp%v.Less(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStampCompare(t *testing.T) {
+	if got := (Stamp{1, 0}).Compare(Stamp{1, 0}); got != 0 {
+		t.Errorf("equal stamps compare to %d, want 0", got)
+	}
+	if got := (Stamp{1, 0}).Compare(Stamp{1, 1}); got != -1 {
+		t.Errorf("smaller stamp compares to %d, want -1", got)
+	}
+	if got := (Stamp{2, 0}).Compare(Stamp{1, 9}); got != 1 {
+		t.Errorf("larger stamp compares to %d, want 1", got)
+	}
+}
+
+func TestStampString(t *testing.T) {
+	if got := (Stamp{3, 2}).String(); got != "3.2" {
+		t.Errorf("Stamp{3,2}.String() = %q, want %q", got, "3.2")
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if got := NodeID(3).String(); got != "S3" {
+		t.Errorf("NodeID(3).String() = %q", got)
+	}
+	if got := NoNode.String(); got != "S∅" {
+		t.Errorf("NoNode.String() = %q", got)
+	}
+}
+
+func TestMethodIDString(t *testing.T) {
+	if got := MethodID(7).String(); got != "M7" {
+		t.Errorf("MethodID(7).String() = %q", got)
+	}
+}
