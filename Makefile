@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet lint check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs adore-lint, the repo-specific static checker (cmd/adore-lint):
+# cache immutability, model determinism, lock-annotation discipline, and
+# exhaustive switches over the model's enum types.
+lint:
+	$(GO) run ./cmd/adore-lint ./...
+
+# check is the full CI gate.
+check: build vet lint race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

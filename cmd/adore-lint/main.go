@@ -1,0 +1,53 @@
+// Command adore-lint runs the repo-specific static checks over the adore
+// module: immutable-cache, deterministic-model, guarded-field, and
+// exhaustive-switch. It exits nonzero when any diagnostic is produced, so
+// it slots directly into CI next to go vet.
+//
+// Usage:
+//
+//	go run ./cmd/adore-lint ./...
+//
+// The package pattern argument is accepted for familiarity; the tool
+// always analyzes the whole module containing the working directory.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"adore/internal/lint"
+)
+
+func main() {
+	dir := "."
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "./...", "...":
+			// whole-module run, the default
+		case "-h", "--help":
+			fmt.Println("usage: adore-lint [./...]")
+			return
+		default:
+			dir = arg
+		}
+	}
+
+	root, modPath, err := lint.FindModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adore-lint:", err)
+		os.Exit(2)
+	}
+	prog, err := lint.Load(root, modPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adore-lint:", err)
+		os.Exit(2)
+	}
+	diags := lint.RunAll(prog, lint.DefaultConfig())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "adore-lint: %d issue(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -17,6 +17,7 @@ package config
 
 import (
 	"fmt"
+	"sort"
 
 	"adore/internal/types"
 )
@@ -138,6 +139,7 @@ func ReachableConfigs(s Scheme, members, universe types.NodeSet, depth int) []Co
 	for _, cf := range seen {
 		out = append(out, cf)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
 	return out
 }
 

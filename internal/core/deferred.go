@@ -65,6 +65,8 @@ func (s *State) ConfAt(c *Cache) config.Config {
 			if sawCommit {
 				return anc.Conf
 			}
+		case KindE, KindM:
+			// Neither commits nor carries a configuration change.
 		}
 	}
 	return s.Tree.Root().Conf

@@ -182,6 +182,8 @@ func (s *State) R2Holds(c *Cache) bool {
 			if !committed {
 				return false
 			}
+		case KindE, KindM:
+			// Neither commits nor reconfigures; irrelevant to R2.
 		}
 	}
 	return true
@@ -318,6 +320,8 @@ func committedRCacheOnPath(t *Tree, cc *Cache) bool {
 			return false // earlier commits already covered everything above
 		case KindR:
 			return true
+		case KindE, KindM:
+			// Plain log entries; keep scanning toward the root.
 		}
 	}
 	return false

@@ -1,0 +1,93 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"adore/internal/config"
+	"adore/internal/core"
+	"adore/internal/types"
+)
+
+// These tests pin down the replayability guarantee the deterministic-model
+// lint pass enforces statically: the same inputs must yield byte-identical
+// outputs across runs. A regression here usually means map-iteration order
+// leaked into successor enumeration or report rendering.
+
+// TestBFSDeterministic runs the same bounded search twice and requires
+// identical results — state counts, depth, and (when a violation exists)
+// the exact trace.
+func TestBFSDeterministic(t *testing.T) {
+	run := func() Result {
+		s := initial(config.RaftSingleNode, 3, core.DefaultRules())
+		return BFS(s, Options{MaxDepth: 3, MaxStates: 4000, WithFailures: true})
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("BFS is not deterministic:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+}
+
+// TestBFSViolationTraceDeterministic repeats a search that does find a
+// violation (the Fig. 4 bug with R3 disabled) and requires the identical
+// counterexample trace both times — the property that makes bug reports
+// reproducible.
+func TestBFSViolationTraceDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bug search is slow in -short mode")
+	}
+	run := func() Result {
+		s := initial(config.RaftSingleNode, 4, core.WithoutR3())
+		return BFS(s, Options{
+			MaxDepth:     6,
+			MaxStates:    300000,
+			MinimalTimes: true,
+			Actors:       types.NewNodeSet(1, 2),
+			Invariants:   BugHuntCheckers(),
+		})
+	}
+	a, b := run(), run()
+	if a.Violation == nil || b.Violation == nil {
+		t.Fatalf("no violation found at these bounds (states=%d)", a.States)
+	}
+	if !reflect.DeepEqual(a.Trace, b.Trace) {
+		t.Fatalf("violation traces differ between runs:\nfirst:  %v\nsecond: %v", a.Trace, b.Trace)
+	}
+	if a.ViolationState != b.ViolationState {
+		t.Fatalf("violation state renderings differ:\nfirst:\n%s\nsecond:\n%s", a.ViolationState, b.ViolationState)
+	}
+}
+
+// TestRandomWalkSeedDeterministic requires that the same seed replays the
+// same trajectory.
+func TestRandomWalkSeedDeterministic(t *testing.T) {
+	run := func() Result {
+		s := initial(config.RaftSingleNode, 3, core.DefaultRules())
+		return RandomWalk(s, 42, 20, 15, Options{WithFailures: true})
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("RandomWalk with a fixed seed is not deterministic:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+}
+
+// TestScenarioTranscriptsByteIdentical runs every built-in scenario twice
+// and requires byte-identical transcripts.
+func TestScenarioTranscriptsByteIdentical(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			tr1, err := sc.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr2, err := sc.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr1.Output != tr2.Output {
+				t.Fatalf("transcript differs between runs:\nfirst:\n%s\nsecond:\n%s", tr1.Output, tr2.Output)
+			}
+		})
+	}
+}

@@ -165,22 +165,14 @@ func CheckWellFormed(s *core.State) *Violation {
 			}
 		}
 	}
-	for id, kids := range childIndex(t) {
-		for _, kid := range kids {
-			if c := t.Get(kid); c == nil || c.Parent != id {
-				return &Violation{"WellFormed", fmt.Sprintf("child index stale for %d → %d", id, kid)}
+	for _, c := range t.All() {
+		for _, kid := range t.Children(c.ID) {
+			if k := t.Get(kid); k == nil || k.Parent != c.ID {
+				return &Violation{"WellFormed", fmt.Sprintf("child index stale for %d → %d", c.ID, kid)}
 			}
 		}
 	}
 	return nil
-}
-
-func childIndex(t *core.Tree) map[types.CID][]types.CID {
-	out := make(map[types.CID][]types.CID)
-	for _, c := range t.All() {
-		out[c.ID] = t.Children(c.ID)
-	}
-	return out
 }
 
 // CheckDescendantOrder is Lemma B.1: every cache is strictly greater than
@@ -361,6 +353,8 @@ func CheckGuardsRespected(s *core.State) *Violation {
 					return &Violation{"GuardsRespected",
 						fmt.Sprintf("RCache %v has uncommitted RCache ancestor %v (R2)", r, anc)}
 				}
+			case core.KindE, core.KindM:
+				// Plain log entries never witness or violate R2/R3.
 			}
 		}
 		if !r3 {

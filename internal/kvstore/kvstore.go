@@ -70,11 +70,11 @@ type Result struct {
 // and resolves local waiters.
 type Store struct {
 	mu      sync.Mutex
-	data    map[string]string
-	lastSeq map[uint64]uint64 // client → highest applied Seq
-	lastRes map[uint64]Result // client → result of that Seq
-	waiters map[int][]waiter  // log index → waiters
-	applied int               // highest applied index
+	data    map[string]string // guarded by mu
+	lastSeq map[uint64]uint64 // client → highest applied Seq; guarded by mu
+	lastRes map[uint64]Result // client → result of that Seq; guarded by mu
+	waiters map[int][]waiter  // log index → waiters; guarded by mu
+	applied int               // highest applied index; guarded by mu
 }
 
 type waiter struct {
@@ -117,7 +117,7 @@ func (s *Store) Apply(msg raft.ApplyMsg) {
 		if s.lastSeq[cmd.Client] >= cmd.Seq && cmd.Seq != 0 {
 			res = s.lastRes[cmd.Client] // duplicate: return cached result
 		} else {
-			res = s.applyCommand(cmd)
+			res = s.applyCommandLocked(cmd)
 			if cmd.Seq != 0 {
 				s.lastSeq[cmd.Client] = cmd.Seq
 				s.lastRes[cmd.Client] = res
@@ -130,7 +130,7 @@ func (s *Store) Apply(msg raft.ApplyMsg) {
 	delete(s.waiters, msg.Index)
 }
 
-func (s *Store) applyCommand(c Command) Result {
+func (s *Store) applyCommandLocked(c Command) Result {
 	switch c.Op {
 	case OpPut:
 		s.data[c.Key] = c.Value

@@ -17,20 +17,19 @@ type Replicated struct {
 	Cluster *cluster.Cluster
 
 	mu     sync.Mutex
-	stores map[types.NodeID]*Store
+	stores map[types.NodeID]*Store // guarded by mu
 
-	clientSeq uint64
-	clientID  uint64
+	clientSeq uint64 // accessed atomically
+	clientID  uint64 // set once at construction
 }
 
 // NewReplicated starts an n-node replicated store over a simulated network.
 func NewReplicated(opts cluster.Options) *Replicated {
-	r := &Replicated{stores: make(map[types.NodeID]*Store)}
+	r := &Replicated{stores: make(map[types.NodeID]*Store), clientID: 1}
 	opts.OnApply = func(id types.NodeID, msg raft.ApplyMsg) {
 		r.storeFor(id).Apply(msg)
 	}
 	r.Cluster = cluster.New(opts)
-	r.clientID = 1
 	return r
 }
 

@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runDeterminism keeps the model packages replayable: a model-checking run
+// (BFS or seeded random walk) must be a pure function of its seed, so the
+// model layer may not read wall clocks, may not use the global (unseeded)
+// math/rand source, and may not let map iteration order leak into output
+// or results.
+//
+// Map ranges are fine for aggregation (max, set union, counting) and for
+// the collect-then-sort idiom; they are flagged when the body prints,
+// appends to an outer slice that is never sorted afterwards in the same
+// block, or returns a value that depends on which element iteration
+// happened to visit.
+func runDeterminism(prog *Program, pkg *Package, cfg Config) []Diagnostic {
+	if !inPkgs(pkg.Path, cfg.ModelPkgs) {
+		return nil
+	}
+	var out []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		out = append(out, Diagnostic{Pos: prog.Fset.Position(pos), Pass: "deterministic-model", Message: msg})
+	}
+
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkForbiddenCall(pkg.Info, call, report)
+			}
+			// Statement lists are where a range and its follow-up sort live
+			// side by side.
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				checkStmtList(pkg.Info, b.List, report)
+			case *ast.CaseClause:
+				checkStmtList(pkg.Info, b.Body, report)
+			case *ast.CommClause:
+				checkStmtList(pkg.Info, b.Body, report)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkForbiddenCall flags wall-clock reads and global-source randomness.
+func checkForbiddenCall(info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			report(call.Pos(), "time."+fn.Name()+" in a model package; model runs must replay from a seed")
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			// Constructors for explicitly-seeded sources are the sanctioned
+			// way to get randomness.
+		default:
+			report(call.Pos(), "global rand."+fn.Name()+" in a model package; use an explicitly seeded *rand.Rand")
+		}
+	}
+}
+
+// checkStmtList scans a statement list for map ranges whose iteration
+// order can escape.
+func checkStmtList(info *types.Info, stmts []ast.Stmt, report func(token.Pos, string)) {
+	for i, stmt := range stmts {
+		rs, ok := stmt.(*ast.RangeStmt)
+		if !ok || !isMapRange(info, rs) {
+			continue
+		}
+		checkMapRange(info, rs, stmts[i+1:], report)
+	}
+}
+
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange inspects one map-range body. rest is the remainder of the
+// enclosing statement list, searched for a sanctioning sort call.
+func checkMapRange(info *types.Info, rs *ast.RangeStmt, rest []ast.Stmt, report func(token.Pos, string)) {
+	loopVars := make(map[*types.Var]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				loopVars[v] = true
+			}
+		}
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if isPrintCall(info, st) {
+				report(st.Pos(), "printing inside a map range; iteration order leaks into output — sort keys first")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if refersTo(info, res, loopVars) {
+					report(st.Pos(), "returning a value chosen by map iteration order; sort keys and iterate deterministically")
+					break
+				}
+			}
+		case *ast.AssignStmt:
+			for ri, rhs := range st.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(info, call) || ri >= len(st.Lhs) {
+					continue
+				}
+				if isMapIndexWrite(info, st.Lhs[ri]) {
+					// Writes keyed by map index land in the same slot
+					// whatever the visit order.
+					continue
+				}
+				target := rootVar(info, st.Lhs[ri])
+				if target == nil || loopVars[target] {
+					continue
+				}
+				if target.Pos() >= rs.Body.Pos() && target.Pos() < rs.Body.End() {
+					// Per-iteration accumulator, reset each pass.
+					continue
+				}
+				if !sortedAfter(info, rest, target) {
+					report(st.Pos(), "appending to "+target.Name()+" in map iteration order with no sort afterwards; sort before use")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isPrintCall matches the fmt print family and io-style Write methods —
+// anything that emits bytes in loop order.
+func isPrintCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln", "Sprint", "Sprintf", "Sprintln":
+			return true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return true
+		}
+	}
+	return false
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}
+
+// refersTo reports whether expr mentions any of the given variables, or
+// any local derived inside the loop (conservatively, any non-constant
+// identifier declared in the range body's scope chain under it). Constant
+// results ("return true") never depend on iteration order.
+func refersTo(info *types.Info, expr ast.Expr, vars map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok && vars[v] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isMapIndexWrite reports whether the lvalue writes through a map index.
+func isMapIndexWrite(info *types.Info, expr ast.Expr) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			if tv, ok := info.Types[e.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return true
+				}
+			}
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// rootVar resolves the base identifier of an lvalue to its variable.
+func rootVar(info *types.Info, expr ast.Expr) *types.Var {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[e].(*types.Var)
+			if v == nil {
+				v, _ = info.Defs[e].(*types.Var)
+			}
+			return v
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether a later statement in the same list passes
+// the accumulated slice to sort or slices.
+func sortedAfter(info *types.Info, rest []ast.Stmt, target *types.Var) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pn, ok := info.Uses[pkgID].(*types.PkgName); !ok ||
+				(pn.Imported().Path() != "sort" && pn.Imported().Path() != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if rootVar(info, arg) == target {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

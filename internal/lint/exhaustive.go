@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// runExhaustive checks switches over the module's enum types (named
+// integer or string types with at least two package-level constants, like
+// core.Kind). A switch must either list every constant or carry a default
+// with a non-empty body; an empty default silently swallows new enum
+// values, which is exactly how a new cache kind would bypass the safety
+// rules unnoticed.
+func runExhaustive(prog *Program, pkg *Package, cfg Config) []Diagnostic {
+	enums := collectEnums(prog, cfg)
+	if len(enums) == 0 {
+		return nil
+	}
+
+	var out []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		out = append(out, Diagnostic{Pos: prog.Fset.Position(pos), Pass: "exhaustive-switch", Message: msg})
+	}
+
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pkg.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := types.Unalias(tv.Type).(*types.Named)
+			if !ok {
+				return true
+			}
+			enum, ok := enums[named.Obj()]
+			if !ok {
+				return true
+			}
+			checkSwitch(pkg, sw, named.Obj().Name(), enum, report)
+			return true
+		})
+	}
+	return out
+}
+
+// enumValues maps a constant's exact value to one representative name.
+type enumValues map[string]string
+
+// collectEnums finds enum types across the loaded module: named types with
+// a basic integer/string underlying type and >= 2 package-level constants.
+func collectEnums(prog *Program, cfg Config) map[*types.TypeName]enumValues {
+	enums := make(map[*types.TypeName]enumValues)
+	for _, pkg := range prog.Pkgs {
+		if strings.HasSuffix(pkg.Path, ".test") {
+			continue
+		}
+		if len(cfg.EnumPkgs) > 0 && !inPkgs(pkg.Path, cfg.EnumPkgs) {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok {
+				continue
+			}
+			named, ok := types.Unalias(c.Type()).(*types.Named)
+			if !ok || named.Obj().Pkg() != pkg.Types {
+				continue
+			}
+			basic, ok := named.Underlying().(*types.Basic)
+			if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+				continue
+			}
+			vals := enums[named.Obj()]
+			if vals == nil {
+				vals = make(enumValues)
+				enums[named.Obj()] = vals
+			}
+			key := c.Val().ExactString()
+			if prev, ok := vals[key]; !ok || name < prev {
+				vals[key] = name
+			}
+		}
+	}
+	// An enum needs at least two distinct values; single-constant types
+	// are sentinels, not enums.
+	for tn, vals := range enums {
+		if len(vals) < 2 {
+			delete(enums, tn)
+		}
+	}
+	return enums
+}
+
+func checkSwitch(pkg *Package, sw *ast.SwitchStmt, typeName string, enum enumValues, report func(token.Pos, string)) {
+	covered := make(map[string]bool)
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	if defaultClause != nil {
+		if len(defaultClause.Body) == 0 {
+			report(defaultClause.Pos(), "empty default in switch over "+typeName+
+				"; handle unknown values loudly (return an error or panic)")
+		}
+		return
+	}
+
+	var missing []string
+	for val, name := range enum {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	report(sw.Pos(), "switch over "+typeName+" misses "+strings.Join(missing, ", ")+
+		"; add the cases or a default that fails loudly")
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+var guardedRe = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+// runGuarded enforces "// guarded by mu" field annotations in the
+// concurrent packages: an annotated field may only be touched by a
+// function that acquires that mutex (a `x.mu.Lock()` / `x.mu.RLock()`
+// call in its own body), or by a method whose name ends in "Locked" —
+// the repo's convention for helpers whose caller holds the lock.
+//
+// Function literals are checked independently of their enclosing
+// function: a closure can escape onto another goroutine, so an outer
+// Lock() does not cover it.
+func runGuarded(prog *Program, pkg *Package, cfg Config) []Diagnostic {
+	if !inPkgs(pkg.Path, cfg.GuardedPkgs) {
+		return nil
+	}
+
+	// Map each annotated field to the mutex field guarding it.
+	guards := collectGuards(pkg)
+	if len(guards) == 0 {
+		return nil
+	}
+
+	var out []Diagnostic
+	report := func(pos token.Pos, field, mu string) {
+		out = append(out, Diagnostic{
+			Pos:  prog.Fset.Position(pos),
+			Pass: "guarded-field",
+			Message: "access to " + field + " (guarded by " + mu +
+				") without holding the lock; acquire it or name the helper ...Locked",
+		})
+	}
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncBody(pkg, fn.Body, strings.HasSuffix(fn.Name.Name, "Locked"), guards, report)
+		}
+	}
+	return out
+}
+
+// guardInfo describes one annotated field.
+type guardInfo struct {
+	mutex *types.Var // the guarding mutex field
+	name  string     // annotation text, for messages
+}
+
+// collectGuards scans struct declarations for "guarded by" comments and
+// resolves each annotation to the named mutex field of the same struct.
+func collectGuards(pkg *Package) map[*types.Var]guardInfo {
+	guards := make(map[*types.Var]guardInfo)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// First resolve every field name in this struct so annotations
+			// can point at their mutex.
+			fieldByName := make(map[string]*types.Var)
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						fieldByName[name.Name] = v
+					}
+				}
+			}
+			for _, f := range st.Fields.List {
+				m := matchGuardComment(f)
+				if m == "" {
+					continue
+				}
+				mu, ok := fieldByName[m]
+				if !ok {
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						guards[v] = guardInfo{mutex: mu, name: m}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func matchGuardComment(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkFuncBody verifies every guarded-field access in one function body.
+// Nested function literals are peeled off and checked on their own.
+func checkFuncBody(pkg *Package, body *ast.BlockStmt, isLockedHelper bool,
+	guards map[*types.Var]guardInfo, report func(token.Pos, string, string)) {
+
+	held := make(map[*types.Var]bool)
+	var lits []*ast.FuncLit
+	// Pass 1: find lock acquisitions in this body (not in nested literals).
+	walkShallow(body, func(n ast.Node) {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return
+		}
+		if muSel, ok := sel.X.(*ast.SelectorExpr); ok {
+			if s, ok := pkg.Info.Selections[muSel]; ok && s.Kind() == types.FieldVal {
+				if v, ok := s.Obj().(*types.Var); ok {
+					held[v] = true
+				}
+			}
+		}
+	})
+	// Pass 2: check accesses.
+	walkShallow(body, func(n ast.Node) {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		s, ok := pkg.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok {
+			return
+		}
+		g, guarded := guards[v]
+		if !guarded {
+			return
+		}
+		if isLockedHelper || held[g.mutex] {
+			return
+		}
+		report(sel.Sel.Pos(), v.Name(), g.name)
+	})
+	for _, lit := range lits {
+		checkFuncBody(pkg, lit.Body, false, guards, report)
+	}
+}
+
+// walkShallow visits nodes in body but does not descend into function
+// literals (it still reports the literal itself so callers can recurse).
+func walkShallow(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		visit(n)
+		_, isLit := n.(*ast.FuncLit)
+		return !isLit
+	})
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runImmutable enforces the append-only cache tree: fields of the cache
+// node types (core.Cache) may be written only by the designated
+// constructors in the core package. Everywhere else a cache reached
+// through a pointer is read-only — the rdist induction in the paper
+// assumes a cache's content never changes after it enters the tree.
+//
+// Writes through a value copy held in a local variable are permitted: they
+// mutate the copy, not the tree.
+func runImmutable(prog *Program, pkg *Package, cfg Config) []Diagnostic {
+	cacheTypes := lookupNamedTypes(prog, cfg.CorePkg, cfg.CacheTypes)
+	if len(cacheTypes) == 0 {
+		return nil
+	}
+	allowed := make(map[string]bool, len(cfg.CacheConstructors))
+	for _, name := range cfg.CacheConstructors {
+		allowed[name] = true
+	}
+	inCore := inPkgs(pkg.Path, []string{cfg.CorePkg})
+
+	var out []Diagnostic
+	report := func(pos token.Pos, field string) {
+		out = append(out, Diagnostic{
+			Pos:  prog.Fset.Position(pos),
+			Pass: "immutable-cache",
+			Message: "write to cache field " + field +
+				" outside a constructor; cache nodes are immutable once inserted",
+		})
+	}
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body == nil {
+				continue
+			}
+			if !ok {
+				continue
+			}
+			if inCore && allowed[fn.Name.Name] {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						if name, bad := mutatesCache(pkg.Info, lhs, cacheTypes); bad {
+							report(lhs.Pos(), name)
+						}
+					}
+				case *ast.IncDecStmt:
+					if name, bad := mutatesCache(pkg.Info, st.X, cacheTypes); bad {
+						report(st.X.Pos(), name)
+					}
+				case *ast.UnaryExpr:
+					// Taking the address of a field of a shared cache hands
+					// out a mutable alias; treat it as a write.
+					if st.Op == token.AND {
+						if name, bad := mutatesCache(pkg.Info, st.X, cacheTypes); bad {
+							report(st.X.Pos(), name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// mutatesCache reports whether expr is a selector naming a field of one of
+// the cache types, reached through shared (pointer) access rather than a
+// local value copy.
+func mutatesCache(info *types.Info, expr ast.Expr, cacheTypes []*types.Named) (string, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return "", false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		if isCacheType(ptr.Elem(), cacheTypes) {
+			return sel.Sel.Name, true
+		}
+		return "", false
+	}
+	if !isCacheType(recv, cacheTypes) {
+		return "", false
+	}
+	// Value receiver: a plain local variable holds a copy — mutating it is
+	// fine. Anything else (deref, map/slice element, field of a shared
+	// struct) aliases tree state.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if v, ok := info.Uses[id].(*types.Var); ok && !v.IsField() && v.Parent() != v.Pkg().Scope() {
+			return "", false
+		}
+	}
+	return sel.Sel.Name, true
+}
+
+func isCacheType(t types.Type, cacheTypes []*types.Named) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for _, ct := range cacheTypes {
+		if named.Obj() == ct.Obj() {
+			return true
+		}
+	}
+	return false
+}
+
+// lookupNamedTypes resolves type names declared in the package at path.
+func lookupNamedTypes(prog *Program, path string, names []string) []*types.Named {
+	tpkg := prog.Lookup(path)
+	if tpkg == nil {
+		return nil
+	}
+	var out []*types.Named
+	for _, name := range names {
+		obj := tpkg.Scope().Lookup(name)
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if named, ok := tn.Type().(*types.Named); ok {
+			out = append(out, named)
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the pass that produced it, and a
+// human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Pass    string
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+}
+
+// Config selects what each pass targets. The zero value is unusable; use
+// DefaultConfig for the adore repo. Fixture tests override the package
+// paths to point at their testdata module.
+type Config struct {
+	// CorePkg is the package defining the cache tree (immutable-cache and
+	// exhaustive-switch look here for the node type and its enums).
+	CorePkg string
+	// CacheTypes names the struct types in CorePkg whose fields are
+	// append-only after construction.
+	CacheTypes []string
+	// CacheConstructors names the functions/methods in CorePkg allowed to
+	// write cache fields (constructors and tree-shape mutators).
+	CacheConstructors []string
+	// ModelPkgs are the deterministic-model packages: no wall clocks, no
+	// global randomness, no map-iteration-ordered output.
+	ModelPkgs []string
+	// GuardedPkgs are the packages where "guarded by" field annotations
+	// are enforced.
+	GuardedPkgs []string
+	// EnumPkgs are the packages whose local enum switches must be
+	// exhaustive. Empty means every loaded module package.
+	EnumPkgs []string
+}
+
+// DefaultConfig returns the configuration for the adore module itself.
+func DefaultConfig() Config {
+	return Config{
+		CorePkg:           "adore/internal/core",
+		CacheTypes:        []string{"Cache"},
+		CacheConstructors: []string{"NewTree", "AddLeaf", "InsertBtw"},
+		ModelPkgs: []string{
+			"adore/internal/core",
+			"adore/internal/explore",
+			"adore/internal/config",
+			"adore/internal/refine",
+			"adore/internal/types",
+			"adore/internal/invariant",
+			"adore/internal/ado",
+			"adore/internal/cado",
+			"adore/internal/raftnet",
+			"adore/internal/sraft",
+		},
+		GuardedPkgs: []string{
+			"adore/internal/raft",
+			"adore/internal/kvstore",
+			"adore/internal/raft/transport",
+			"adore/internal/raft/cluster",
+		},
+	}
+}
+
+// A pass inspects one package and appends diagnostics.
+type pass struct {
+	name string
+	run  func(*Program, *Package, Config) []Diagnostic
+}
+
+func allPasses() []pass {
+	return []pass{
+		{"immutable-cache", runImmutable},
+		{"deterministic-model", runDeterminism},
+		{"guarded-field", runGuarded},
+		{"exhaustive-switch", runExhaustive},
+	}
+}
+
+// RunAll executes every pass over every package in prog and returns the
+// diagnostics sorted by position.
+func RunAll(prog *Program, cfg Config) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, p := range allPasses() {
+			out = append(out, p.run(prog, pkg, cfg)...)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}
+
+// inPkgs reports whether path (optionally with the ".test" suffix of an
+// external test unit) matches one of the listed import paths.
+func inPkgs(path string, pkgs []string) bool {
+	base := strings.TrimSuffix(path, ".test")
+	for _, p := range pkgs {
+		if base == p {
+			return true
+		}
+	}
+	return false
+}

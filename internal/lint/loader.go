@@ -1,0 +1,319 @@
+// Package lint is adore's repo-specific static analyzer. It enforces the
+// structural invariants the Adore safety argument leans on but that Go's
+// type system cannot express: cache-tree nodes are immutable after
+// insertion (append-only tree), the model core is deterministic (replayable
+// from a seed), concurrent state is accessed under its annotated mutex, and
+// switches over protocol enums are exhaustive.
+//
+// The analyzer is intentionally dependency-free: it loads and type-checks
+// the module with nothing but go/parser and go/types, so go.mod stays
+// empty and the checker can run anywhere the toolchain runs (CI included,
+// via `go run ./cmd/adore-lint ./...`).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked compilation unit: a directory's library (or
+// main) package with its in-package test files merged in, or an external
+// _test package.
+type Package struct {
+	// Path is the import path ("adore/internal/core"). External test
+	// packages get the ".test" suffix appended so units stay unique.
+	Path string
+	// Dir is the directory the files came from.
+	Dir string
+	// Files is the parsed syntax, comments included.
+	Files []*ast.File
+	// Types and Info carry the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a loaded module: every package, type-checked, in a stable
+// (import-topological, then lexical) order.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Lookup returns the types.Package for an import path loaded in this
+// program, or nil.
+func (p *Program) Lookup(path string) *types.Package {
+	for _, pkg := range p.Pkgs {
+		if pkg.Path == path {
+			return pkg.Types
+		}
+	}
+	return nil
+}
+
+// unit is a pre-typecheck package candidate.
+type unit struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports []string // module-internal import paths
+	test    bool     // external _test package
+}
+
+// Load parses and type-checks every package under root, treating root as
+// the module with the given module path. Directories named "testdata",
+// hidden directories, and vendored trees are skipped. In-package _test.go
+// files are merged into their package; external _test packages are checked
+// as separate units after all library packages.
+func Load(root, modPath string) (*Program, error) {
+	fset := token.NewFileSet()
+	var dirs []string
+	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !fi.IsDir() {
+			return nil
+		}
+		name := fi.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: walk %s: %w", root, err)
+	}
+	sort.Strings(dirs)
+
+	var units []*unit
+	for _, dir := range dirs {
+		us, err := parseDir(fset, root, modPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, us...)
+	}
+
+	ordered, err := topoSort(units)
+	if err != nil {
+		return nil, err
+	}
+
+	prog := &Program{Fset: fset}
+	local := make(map[string]*types.Package)
+	imp := &chainImporter{fset: fset, local: local}
+	for _, u := range ordered {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		var firstErr error
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				if firstErr == nil {
+					firstErr = err
+				}
+			},
+		}
+		tpkg, _ := conf.Check(strings.TrimSuffix(u.path, ".test"), fset, u.files, info)
+		if firstErr != nil {
+			return nil, fmt.Errorf("lint: typecheck %s: %w", u.path, firstErr)
+		}
+		if !u.test {
+			local[u.path] = tpkg
+		}
+		prog.Pkgs = append(prog.Pkgs, &Package{
+			Path:  u.path,
+			Dir:   u.dir,
+			Files: u.files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return prog, nil
+}
+
+// parseDir parses one directory into up to two units: the package (with
+// in-package tests merged) and an external _test package.
+func parseDir(fset *token.FileSet, root, modPath, dir string) ([]*unit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+
+	var base, ext []*ast.File
+	var baseName string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse: %w", err)
+		}
+		pkgName := f.Name.Name
+		switch {
+		case strings.HasSuffix(pkgName, "_test"):
+			ext = append(ext, f)
+		default:
+			if baseName == "" {
+				baseName = pkgName
+			} else if pkgName != baseName {
+				return nil, fmt.Errorf("lint: %s: mixed packages %q and %q", dir, baseName, pkgName)
+			}
+			base = append(base, f)
+		}
+	}
+	var units []*unit
+	if len(base) > 0 {
+		units = append(units, &unit{path: path, dir: dir, files: base, imports: internalImports(base, modPath)})
+	}
+	if len(ext) > 0 {
+		units = append(units, &unit{path: path + ".test", dir: dir, files: ext,
+			imports: internalImports(ext, modPath), test: true})
+	}
+	return units, nil
+}
+
+// internalImports lists the module-internal import paths of files.
+func internalImports(files []*ast.File, modPath string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if (p == modPath || strings.HasPrefix(p, modPath+"/")) && !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topoSort orders units so every unit follows its module-internal imports.
+// External test units sort after all library units.
+func topoSort(units []*unit) ([]*unit, error) {
+	byPath := make(map[string]*unit, len(units))
+	for _, u := range units {
+		if !u.test {
+			byPath[u.path] = u
+		}
+	}
+	var out []*unit
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(u *unit) error
+	visit = func(u *unit) error {
+		switch state[u.path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", u.path)
+		case 2:
+			return nil
+		}
+		state[u.path] = 1
+		for _, dep := range u.imports {
+			if d, ok := byPath[dep]; ok && d != u {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[u.path] = 2
+		out = append(out, u)
+		return nil
+	}
+	var libs, tests []*unit
+	for _, u := range units {
+		if u.test {
+			tests = append(tests, u)
+		} else {
+			libs = append(libs, u)
+		}
+	}
+	sort.Slice(libs, func(i, j int) bool { return libs[i].path < libs[j].path })
+	sort.Slice(tests, func(i, j int) bool { return tests[i].path < tests[j].path })
+	for _, u := range libs {
+		if err := visit(u); err != nil {
+			return nil, err
+		}
+	}
+	out = append(out, tests...)
+	return out, nil
+}
+
+// chainImporter serves module-internal packages from the load in progress
+// and everything else (the standard library) from the toolchain, falling
+// back to compiling from source when export data is unavailable.
+type chainImporter struct {
+	fset   *token.FileSet
+	local  map[string]*types.Package
+	std    types.Importer
+	source types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	if c.std == nil {
+		c.std = importer.Default()
+	}
+	if p, err := c.std.Import(path); err == nil {
+		return p, nil
+	}
+	if c.source == nil {
+		c.source = importer.ForCompiler(c.fset, "source", nil)
+	}
+	return c.source.Import(path)
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod and
+// returns it plus the declared module path.
+func FindModuleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if data, err := os.ReadFile(gomod); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if strings.HasPrefix(line, "module ") {
+					return dir, strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s has no module line", gomod)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

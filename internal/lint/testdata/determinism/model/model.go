@@ -1,0 +1,92 @@
+// Package model is the deterministic-model fixture: wall clocks, global
+// randomness, and order-leaking map ranges next to their sanctioned
+// counterparts.
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock — forbidden.
+func Stamp() int64 {
+	return time.Now().Unix() // want "time.Now in a model package"
+}
+
+// Roll uses the global rand source — forbidden.
+func Roll() int {
+	return rand.Intn(6) // want "global rand.Intn"
+}
+
+// SeededRoll draws from an explicitly seeded source — allowed.
+func SeededRoll(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Dump prints in map iteration order — forbidden.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "printing inside a map range"
+	}
+}
+
+// Pick returns whichever key iteration visits first — forbidden.
+func Pick(m map[string]int) string {
+	for k := range m {
+		return k // want "returning a value chosen by map iteration order"
+	}
+	return ""
+}
+
+// Has returns a constant from inside the range — allowed.
+func Has(m map[string]int, want int) bool {
+	for _, v := range m {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Collect accumulates in iteration order with no sort — forbidden.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "appending to out in map iteration order"
+	}
+	return out
+}
+
+// Sorted is the sanctioned collect-then-sort idiom — allowed.
+func Sorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Max aggregates order-independently — allowed.
+func Max(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Invert writes through map indices — allowed (slot-addressed, not
+// order-addressed).
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

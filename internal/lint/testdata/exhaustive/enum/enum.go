@@ -1,0 +1,57 @@
+// Package enum is the exhaustive-switch fixture: full, partial, silent,
+// and loud switches over a small enum.
+package enum
+
+// Kind enumerates fixture node kinds.
+type Kind int
+
+const (
+	// KindA, KindB, KindC are the three kinds.
+	KindA Kind = iota
+	KindB
+	KindC
+)
+
+// Name covers every constant — allowed.
+func Name(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	case KindC:
+		return "c"
+	}
+	return ""
+}
+
+// Partial misses KindC — forbidden.
+func Partial(k Kind) string {
+	switch k { // want "switch over Kind misses KindC"
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	}
+	return ""
+}
+
+// Silent swallows unknown kinds in an empty default — forbidden.
+func Silent(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	default: // want "empty default in switch over Kind"
+	}
+	return ""
+}
+
+// Loud fails loudly on unknown kinds — allowed.
+func Loud(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	default:
+		panic("enum: unknown kind")
+	}
+}

@@ -1,0 +1,54 @@
+// Package srv is the guarded-field fixture: an annotated struct with
+// locked, Locked-suffixed, and unguarded accesses.
+package srv
+
+import "sync"
+
+// Counter is a shared counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Inc acquires the lock — allowed.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Peek reads without the lock — forbidden.
+func (c *Counter) Peek() int {
+	return c.n // want `access to n \(guarded by mu\) without holding the lock`
+}
+
+// bumpLocked follows the caller-holds-lock naming convention — allowed.
+func (c *Counter) bumpLocked(d int) {
+	c.n += d
+}
+
+// Bump wraps bumpLocked under the lock.
+func (c *Counter) Bump(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked(d)
+}
+
+// Leak spawns a goroutine whose closure touches n without its own lock —
+// forbidden: the enclosing lock does not cover an escaping closure.
+func (c *Counter) Leak() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "access to n"
+	}()
+}
+
+// Safe spawns a goroutine that locks for itself — allowed.
+func (c *Counter) Safe() {
+	go func() {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+}

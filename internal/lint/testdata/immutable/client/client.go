@@ -1,0 +1,24 @@
+// Package client seeds cross-package violations for the immutable-cache
+// fixture.
+package client
+
+import "fix/core"
+
+// Rewire illegally mutates a cache reached through the tree.
+func Rewire(t *core.Tree) {
+	c := t.Get(1)
+	c.Parent = 7 // want "write to cache field Parent"
+	c.Time++     // want "write to cache field Time"
+}
+
+// Alias hands out a mutable pointer into a shared cache.
+func Alias(t *core.Tree) *int {
+	return &t.Get(1).Time // want "write to cache field Time"
+}
+
+// Inspect reads freely and may mutate a local value copy.
+func Inspect(t *core.Tree) int {
+	cp := *t.Get(1)
+	cp.Time = 0
+	return cp.Time + t.Get(1).Parent
+}

@@ -1,0 +1,43 @@
+// Package core is the immutable-cache fixture: a miniature cache tree
+// with sanctioned constructors and a seeded in-package violation.
+package core
+
+// Cache is a fixture tree node.
+type Cache struct {
+	ID     int
+	Parent int
+	Time   int
+}
+
+// Tree holds caches.
+type Tree struct {
+	nodes map[int]*Cache
+	next  int
+}
+
+// NewTree builds a tree with a root; constructor writes are allowed.
+func NewTree() *Tree {
+	t := &Tree{nodes: make(map[int]*Cache)}
+	c := &Cache{}
+	c.ID = 1
+	t.nodes[1] = c
+	t.next = 2
+	return t
+}
+
+// AddLeaf inserts a child; writes before insertion are allowed.
+func AddLeaf(t *Tree, parent int) *Cache {
+	c := &Cache{Parent: parent}
+	c.ID = t.next
+	t.next++
+	t.nodes[c.ID] = c
+	return c
+}
+
+// Get returns a node.
+func (t *Tree) Get(id int) *Cache { return t.nodes[id] }
+
+// Touch mutates a node after insertion — forbidden even in this package.
+func (t *Tree) Touch(id int) {
+	t.nodes[id].Time++ // want "write to cache field Time"
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// want.go implements the `// want "regex"` expectation harness used by the
+// fixture tests: each fixture line that should produce a diagnostic carries
+// a trailing comment with a regexp the message must match, and the test
+// fails on any unmatched expectation or unexpected diagnostic.
+
+// Both quoting styles are accepted: "..." (with escapes) and `...` (raw,
+// convenient for patterns full of backslashes).
+var wantRe = regexp.MustCompile("// want (\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+// expectation is one `// want` annotation.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// CheckExpectations compares diagnostics against the `// want` annotations
+// in prog's files and returns a list of mismatch descriptions (empty on
+// success).
+func CheckExpectations(prog *Program, diags []Diagnostic) []string {
+	var wants []*expectation
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			wants = append(wants, fileExpectations(prog, file)...)
+		}
+	}
+
+	var problems []string
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			problems = append(problems, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+func fileExpectations(prog *Program, file *ast.File) []*expectation {
+	var out []*expectation
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pattern, err := strconv.Unquote(m[1])
+			if err != nil {
+				continue
+			}
+			re, err := regexp.Compile(pattern)
+			if err != nil {
+				continue
+			}
+			pos := prog.Fset.Position(c.Pos())
+			out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+		}
+	}
+	return out
+}

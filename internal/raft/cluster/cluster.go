@@ -41,8 +41,8 @@ type Cluster struct {
 	opts Options
 
 	mu      sync.Mutex
-	nodes   map[types.NodeID]*raft.Node
-	applied map[types.NodeID][]raft.ApplyMsg
+	nodes   map[types.NodeID]*raft.Node      // guarded by mu
+	applied map[types.NodeID][]raft.ApplyMsg // guarded by mu
 	drains  sync.WaitGroup
 }
 

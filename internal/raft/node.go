@@ -102,22 +102,22 @@ type Node struct {
 
 	id   types.NodeID
 	opts Options
-	rng  *rand.Rand
+	rng  *rand.Rand // guarded by mu
 
-	term     types.Time
-	votedFor types.NodeID
-	role     Role
-	leader   types.NodeID // last known leader
+	term     types.Time   // guarded by mu
+	votedFor types.NodeID // guarded by mu
+	role     Role         // guarded by mu
+	leader   types.NodeID // last known leader; guarded by mu
 
 	// log is 1-indexed: log[0] is a sentinel.
-	log         []LogEntry
-	commitIndex int
-	lastApplied int
+	log         []LogEntry // guarded by mu
+	commitIndex int        // guarded by mu
+	lastApplied int        // guarded by mu
 
 	// Leader volatile state.
-	nextIndex  map[types.NodeID]int
-	matchIndex map[types.NodeID]int
-	votes      types.NodeSet
+	nextIndex  map[types.NodeID]int // guarded by mu
+	matchIndex map[types.NodeID]int // guarded by mu
+	votes      types.NodeSet        // guarded by mu
 
 	// conf0 is the initial membership; the effective membership is the
 	// latest config entry in the log (hot reconfiguration).
@@ -129,13 +129,13 @@ type Node struct {
 	stopOnce sync.Once
 	done     sync.WaitGroup
 
-	electionDeadline time.Time
+	electionDeadline time.Time // guarded by mu
 
 	// pendingReads are ReadIndex barriers awaiting quorum confirmation.
-	pendingReads []*pendingRead
+	pendingReads []*pendingRead // guarded by mu
 
 	// metrics
-	elections uint64
+	elections uint64 // guarded by mu
 }
 
 // pendingRead is one ReadIndex barrier: the commit index captured at
@@ -150,29 +150,34 @@ type pendingRead struct {
 // StartNode launches a node and its background loops.
 func StartNode(opts Options) *Node {
 	opts.defaults()
-	n := &Node{
-		id:      opts.ID,
-		opts:    opts,
-		rng:     rand.New(rand.NewSource(opts.Seed)),
-		role:    Follower,
-		log:     make([]LogEntry, 1), // sentinel at index 0
-		conf0:   types.NewNodeSet(opts.Members...),
-		applyCh: make(chan ApplyMsg, 1024),
-		inbox:   make(chan Message, 1024),
-		stopCh:  make(chan struct{}),
-	}
+	var hs HardState
+	log := make([]LogEntry, 1) // sentinel at index 0
 	if opts.Storage != nil {
-		hs, log, err := opts.Storage.Load()
+		h, stored, err := opts.Storage.Load()
 		if err != nil {
 			panic(fmt.Sprintf("raft: storage load: %v", err))
 		}
-		n.term = hs.Term
-		n.votedFor = hs.VotedFor
-		if len(log) > 0 {
-			n.log = log
+		hs = h
+		if len(stored) > 0 {
+			log = stored
 		}
 	}
-	n.resetElectionDeadline()
+	n := &Node{
+		id:       opts.ID,
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		role:     Follower,
+		term:     hs.Term,
+		votedFor: hs.VotedFor,
+		log:      log,
+		conf0:    types.NewNodeSet(opts.Members...),
+		applyCh:  make(chan ApplyMsg, 1024),
+		inbox:    make(chan Message, 1024),
+		stopCh:   make(chan struct{}),
+	}
+	n.mu.Lock()
+	n.resetElectionDeadlineLocked()
+	n.mu.Unlock()
 	n.done.Add(1)
 	go n.run()
 	return n
@@ -311,8 +316,9 @@ func (n *Node) ProposeConfig(members types.NodeSet) (int, types.Time, error) {
 func (n *Node) ReadIndex(timeout time.Duration) (int, error) {
 	n.mu.Lock()
 	if n.role != Leader {
+		leader := n.leader // copy before unlocking: handle() updates it
 		n.mu.Unlock()
-		return 0, fmt.Errorf("%w (known leader: %s)", ErrNotLeader, n.leader)
+		return 0, fmt.Errorf("%w (known leader: %s)", ErrNotLeader, leader)
 	}
 	pr := &pendingRead{
 		index: n.commitIndex,
@@ -337,7 +343,7 @@ func (n *Node) ReadIndex(timeout time.Duration) (int, error) {
 		return idx, nil
 	case <-time.After(timeout):
 		n.mu.Lock()
-		n.dropPendingRead(pr)
+		n.dropPendingReadLocked(pr)
 		n.mu.Unlock()
 		return 0, fmt.Errorf("raft: read index confirmation timed out")
 	case <-n.stopCh:
@@ -350,7 +356,7 @@ func isMajority(acks, members types.NodeSet) bool {
 	return members.Len() < 2*acks.IntersectLen(members)
 }
 
-func (n *Node) dropPendingRead(pr *pendingRead) {
+func (n *Node) dropPendingReadLocked(pr *pendingRead) {
 	for i, p := range n.pendingReads {
 		if p == pr {
 			n.pendingReads = append(n.pendingReads[:i], n.pendingReads[i+1:]...)
@@ -464,14 +470,14 @@ func (n *Node) tick() {
 		// A node outside its own effective configuration must not
 		// disrupt the cluster with elections (it has been removed).
 		if !n.membersLocked().Contains(n.id) {
-			n.resetElectionDeadline()
+			n.resetElectionDeadlineLocked()
 			return
 		}
 		n.startElectionLocked()
 	}
 }
 
-func (n *Node) resetElectionDeadline() {
+func (n *Node) resetElectionDeadlineLocked() {
 	span := n.opts.ElectionTimeoutMax - n.opts.ElectionTimeoutMin
 	d := n.opts.ElectionTimeoutMin
 	if span > 0 {
@@ -488,7 +494,7 @@ func (n *Node) startElectionLocked() {
 	n.persistStateLocked()
 	n.votes = types.NewNodeSet(n.id)
 	n.elections++
-	n.resetElectionDeadline()
+	n.resetElectionDeadlineLocked()
 	lastIdx := len(n.log) - 1
 	req := Message{
 		Type:         MsgVoteRequest,
@@ -587,18 +593,18 @@ func (n *Node) handle(m Message) {
 	}
 	switch m.Type {
 	case MsgVoteRequest:
-		n.onVoteRequest(m)
+		n.onVoteRequestLocked(m)
 	case MsgVoteResponse:
-		n.onVoteResponse(m)
+		n.onVoteResponseLocked(m)
 	case MsgAppendEntries:
-		n.onAppendEntries(m)
+		n.onAppendEntriesLocked(m)
 	case MsgAppendResponse:
-		n.onAppendResponse(m)
+		n.onAppendResponseLocked(m)
 	}
 	n.applyLocked()
 }
 
-func (n *Node) onVoteRequest(m Message) {
+func (n *Node) onVoteRequestLocked(m Message) {
 	granted := false
 	if m.Term == n.term && (n.votedFor == types.NoNode || n.votedFor == m.From) {
 		lastIdx := len(n.log) - 1
@@ -609,7 +615,7 @@ func (n *Node) onVoteRequest(m Message) {
 			granted = true
 			n.votedFor = m.From
 			n.persistStateLocked()
-			n.resetElectionDeadline()
+			n.resetElectionDeadlineLocked()
 		}
 	}
 	n.opts.Transport.Send(Message{
@@ -617,7 +623,7 @@ func (n *Node) onVoteRequest(m Message) {
 	})
 }
 
-func (n *Node) onVoteResponse(m Message) {
+func (n *Node) onVoteResponseLocked(m Message) {
 	if n.role != Candidate || m.Term != n.term || !m.Granted {
 		return
 	}
@@ -625,13 +631,13 @@ func (n *Node) onVoteResponse(m Message) {
 	n.maybeWinLocked()
 }
 
-func (n *Node) onAppendEntries(m Message) {
+func (n *Node) onAppendEntriesLocked(m Message) {
 	success := false
 	matchIdx := 0
 	if m.Term == n.term {
 		n.role = Follower
 		n.leader = m.From
-		n.resetElectionDeadline()
+		n.resetElectionDeadlineLocked()
 		if m.PrevLogIndex < len(n.log) && n.log[m.PrevLogIndex].Term == m.PrevLogTerm {
 			success = true
 			// Append, truncating on conflicts.
@@ -669,7 +675,7 @@ func (n *Node) onAppendEntries(m Message) {
 	})
 }
 
-func (n *Node) onAppendResponse(m Message) {
+func (n *Node) onAppendResponseLocked(m Message) {
 	if n.role != Leader || m.Term != n.term {
 		return
 	}

@@ -42,8 +42,8 @@ type Storage interface {
 // restarts within a process, not across process crashes.
 type MemStorage struct {
 	mu  sync.Mutex
-	hs  HardState
-	log []LogEntry // 1-based: log[0] unused
+	hs  HardState  // guarded by mu
+	log []LogEntry // 1-based: log[0] unused; guarded by mu
 }
 
 // NewMemStorage creates an empty in-memory store.
@@ -90,11 +90,11 @@ func (m *MemStorage) Close() error { return nil }
 type FileStorage struct {
 	mu   sync.Mutex
 	path string
-	f    *os.File
+	f    *os.File // guarded by mu
 
 	// cached live state for compaction
-	hs  HardState
-	log []LogEntry
+	hs  HardState  // guarded by mu
+	log []LogEntry // guarded by mu
 }
 
 // walRecord is one WAL entry.
@@ -141,11 +141,13 @@ func readFrames(r io.Reader, apply func(walRecord)) {
 // OpenFileStorage opens (or creates) a WAL at path, replaying its records.
 func OpenFileStorage(path string) (*FileStorage, error) {
 	fs := &FileStorage{path: path, log: make([]LogEntry, 1)}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("raft: open wal: %w", err)
 	}
-	readFrames(f, fs.applyRecord)
+	readFrames(f, fs.applyRecordLocked)
 	if err := f.Close(); err != nil {
 		return nil, err
 	}
@@ -184,7 +186,7 @@ func OpenFileStorage(path string) (*FileStorage, error) {
 	return fs, nil
 }
 
-func (fs *FileStorage) applyRecord(rec walRecord) {
+func (fs *FileStorage) applyRecordLocked(rec walRecord) {
 	switch rec.Kind {
 	case 0:
 		fs.hs = rec.HS
@@ -195,7 +197,7 @@ func (fs *FileStorage) applyRecord(rec walRecord) {
 	}
 }
 
-func (fs *FileStorage) append(rec walRecord) error {
+func (fs *FileStorage) appendLocked(rec walRecord) error {
 	frame, err := encodeFrame(rec)
 	if err != nil {
 		return fmt.Errorf("raft: wal append: %w", err)
@@ -211,7 +213,7 @@ func (fs *FileStorage) SaveState(hs HardState) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.hs = hs
-	return fs.append(walRecord{Kind: 0, HS: hs})
+	return fs.appendLocked(walRecord{Kind: 0, HS: hs})
 }
 
 // SaveEntries implements Storage.
@@ -222,7 +224,7 @@ func (fs *FileStorage) SaveEntries(firstIndex int, entries []LogEntry) error {
 		return fmt.Errorf("raft: SaveEntries at %d outside log of length %d", firstIndex, len(fs.log)-1)
 	}
 	fs.log = append(fs.log[:firstIndex], entries...)
-	return fs.append(walRecord{Kind: 1, FirstIndex: firstIndex, Entries: entries})
+	return fs.appendLocked(walRecord{Kind: 1, FirstIndex: firstIndex, Entries: entries})
 }
 
 // Load implements Storage.

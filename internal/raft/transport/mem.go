@@ -19,17 +19,18 @@ import (
 // runtime. All methods are safe for concurrent use.
 type MemNetwork struct {
 	mu       sync.Mutex
-	inboxes  map[types.NodeID]chan<- raft.Message
-	latency  time.Duration
-	jitter   time.Duration
-	dropRate float64
-	blocked  map[[2]types.NodeID]bool
-	rng      *rand.Rand
-	closed   bool
+	inboxes  map[types.NodeID]chan<- raft.Message // guarded by mu
+	latency  time.Duration                        // guarded by mu
+	jitter   time.Duration                        // guarded by mu
+	dropRate float64                              // guarded by mu
+	blocked  map[[2]types.NodeID]bool             // guarded by mu
+	rng      *rand.Rand                           // guarded by mu
+	closed   bool                                 // guarded by mu
 
-	// Sent and Dropped count messages for diagnostics.
-	Sent    uint64
-	Dropped uint64
+	// sent and dropped count messages for diagnostics; guarded by mu.
+	// Read them through Counters.
+	sent    uint64 // guarded by mu
+	dropped uint64 // guarded by mu
 }
 
 // NewMemNetwork creates an empty network with the given base latency and
@@ -115,22 +116,29 @@ func (n *MemNetwork) Close() {
 	n.closed = true
 }
 
+// Counters returns the number of messages delivered and dropped so far.
+func (n *MemNetwork) Counters() (sent, dropped uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.dropped
+}
+
 // deliver routes one message, applying loss, partitions, and latency.
 func (n *MemNetwork) deliver(m raft.Message) {
 	n.mu.Lock()
 	if n.closed || n.blocked[[2]types.NodeID{m.From, m.To}] {
-		n.Dropped++
+		n.dropped++
 		n.mu.Unlock()
 		return
 	}
 	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
-		n.Dropped++
+		n.dropped++
 		n.mu.Unlock()
 		return
 	}
 	inbox, ok := n.inboxes[m.To]
 	if !ok {
-		n.Dropped++
+		n.dropped++
 		n.mu.Unlock()
 		return
 	}
@@ -138,7 +146,7 @@ func (n *MemNetwork) deliver(m raft.Message) {
 	if n.jitter > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(n.jitter)))
 	}
-	n.Sent++
+	n.sent++
 	n.mu.Unlock()
 
 	if delay <= 0 {

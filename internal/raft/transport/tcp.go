@@ -18,17 +18,17 @@ type TCPTransport struct {
 	inbox   chan<- raft.Message
 	ln      net.Listener
 	mu      sync.Mutex
-	peers   map[types.NodeID]string
-	conns   map[types.NodeID]*peerConn
-	inbound map[net.Conn]struct{}
-	closed  bool
+	peers   map[types.NodeID]string    // guarded by mu
+	conns   map[types.NodeID]*peerConn // guarded by mu
+	inbound map[net.Conn]struct{}      // guarded by mu
+	closed  bool                       // guarded by mu
 	wg      sync.WaitGroup
 }
 
 type peerConn struct {
 	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+	conn net.Conn     // set at construction; Close is safe concurrently
+	enc  *gob.Encoder // guarded by mu
 }
 
 // NewTCPTransport starts listening on addr and delivers inbound messages to
@@ -39,16 +39,17 @@ func NewTCPTransport(id types.NodeID, addr string, peers map[types.NodeID]string
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
+	peerAddrs := make(map[types.NodeID]string, len(peers))
+	for pid, paddr := range peers {
+		peerAddrs[pid] = paddr
+	}
 	t := &TCPTransport{
 		id:      id,
 		inbox:   inbox,
 		ln:      ln,
-		peers:   make(map[types.NodeID]string, len(peers)),
+		peers:   peerAddrs,
 		conns:   make(map[types.NodeID]*peerConn),
 		inbound: make(map[net.Conn]struct{}),
-	}
-	for pid, paddr := range peers {
-		t.peers[pid] = paddr
 	}
 	t.wg.Add(1)
 	go t.accept()

@@ -54,7 +54,7 @@ func TestMemNetworkDrop(t *testing.T) {
 		t.Fatal("message delivered despite 100% drop rate")
 	case <-time.After(50 * time.Millisecond):
 	}
-	if net.Dropped == 0 {
+	if _, dropped := net.Counters(); dropped == 0 {
 		t.Error("drop not counted")
 	}
 }

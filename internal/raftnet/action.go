@@ -3,6 +3,7 @@ package raftnet
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"adore/internal/config"
 	"adore/internal/types"
@@ -107,7 +108,15 @@ func RandomExecution(mk func() *State, seed int64, n int) ([]Action, *State) {
 				candidates = append(candidates, Action{Kind: ActDuplicate, Msg: m})
 			}
 		}
-		for id, s := range st.Nodes {
+		// Iterate nodes in ID order: the candidate list feeds a seeded
+		// random pick, so its order must not depend on map iteration.
+		ids := make([]types.NodeID, 0, len(st.Nodes))
+		for id := range st.Nodes {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			s := st.Nodes[id]
 			candidates = append(candidates, Action{Kind: ActElect, NID: id})
 			if s.IsLeader {
 				candidates = append(candidates, Action{Kind: ActInvoke, NID: id, Method: methodID})

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 
 	"adore/internal/config"
@@ -338,6 +339,7 @@ func checkPrefixAgreement(t *testing.T, st *State, seed int64) {
 	for id, s := range st.Nodes {
 		views = append(views, view{id, s.Log[:s.CommitLen]})
 	}
+	sort.Slice(views, func(i, j int) bool { return views[i].id < views[j].id })
 	for i := 0; i < len(views); i++ {
 		for j := i + 1; j < len(views); j++ {
 			a, b := views[i], views[j]
@@ -369,7 +371,13 @@ func TestElectionSafety(t *testing.T) {
 			for _, m := range st.Sent {
 				candidates = append(candidates, Action{Kind: ActDeliver, Msg: m})
 			}
-			for id, s := range st.Nodes {
+			ids := make([]types.NodeID, 0, len(st.Nodes))
+			for id := range st.Nodes {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				s := st.Nodes[id]
 				candidates = append(candidates, Action{Kind: ActElect, NID: id})
 				if s.IsLeader {
 					candidates = append(candidates, Action{Kind: ActInvoke, NID: id, Method: methodID})

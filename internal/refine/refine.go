@@ -24,6 +24,7 @@ package refine
 
 import (
 	"fmt"
+	"sort"
 
 	"adore/internal/config"
 	"adore/internal/core"
@@ -180,7 +181,13 @@ func (c *Checker) Commit(nid types.NodeID, ackers types.NodeSet) error {
 // agreement for every replica.
 func (c *Checker) check() error {
 	c.Steps++
-	for id, server := range c.Net.St.Nodes {
+	ids := make([]types.NodeID, 0, len(c.Net.St.Nodes))
+	for id := range c.Net.St.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		server := c.Net.St.Nodes[id]
 		c.Checks++
 		if mt := c.Model.TimeOf(id); mt != server.Time {
 			return fmt.Errorf("refine: ℝ broken at %s: model time %d ≠ network term %d", id, mt, server.Time)

@@ -2,6 +2,7 @@ package refine
 
 import (
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 
@@ -241,11 +242,7 @@ func nodeIDs(c *Checker) []types.NodeID {
 		ids = append(ids, id)
 	}
 	// Deterministic order for reproducibility.
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
