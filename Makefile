@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check bench
+.PHONY: all build test race vet lint check bench bench-evidence
 
 all: check
 
@@ -25,5 +25,18 @@ lint:
 # check is the full CI gate.
 check: build vet lint race
 
+# bench is the smoke pass CI runs: every Go benchmark once (-benchtime=1x,
+# no test functions), then a small durable batched-vs-unbatched Fig. 16
+# ablation written as BENCH_smoke.json. No thresholds — it just must
+# complete, so the benchmarks can't bit-rot.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench . -benchtime=1x -benchmem -run '^$$' ./...
+	$(GO) run ./cmd/raft-bench -requests 800 -reconfig-every 200 -clients 16 \
+		-latency 50us -jitter 20us -durable -ab -window 200 -json BENCH_smoke.json
+
+# bench-evidence regenerates the committed BENCH_2.json: the Fig. 16
+# series re-measured with group commit on and off (32 concurrent clients,
+# file-backed WALs), two seeds per mode.
+bench-evidence:
+	$(GO) run ./cmd/raft-bench -requests 5000 -reconfig-every 1000 -clients 32 \
+		-latency 50us -jitter 20us -durable -ab -runs 2 -window 500 -json BENCH_2.json

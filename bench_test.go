@@ -10,6 +10,9 @@ package adore_test
 
 import (
 	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,7 +21,9 @@ import (
 	"adore/internal/core"
 	"adore/internal/explore"
 	"adore/internal/kvstore"
+	"adore/internal/raft"
 	"adore/internal/raft/cluster"
+	"adore/internal/raft/transport"
 	"adore/internal/raftnet"
 	"adore/internal/refine"
 	"adore/internal/sraft"
@@ -69,6 +74,83 @@ func BenchmarkRuntimeThroughputNoReconfig(b *testing.B) {
 		b.ReportMetric(float64(s.Mean.Microseconds()), "µs/req-mean")
 	}
 }
+
+// --- E1b: group-commit throughput (batched vs unbatched hot path) ---------
+
+// benchProposeThroughput drives 64 concurrent proposers against a
+// single-node raft on a real FileStorage WAL. The batched variant goes
+// through ProposeAsync (group commit: one frame + one fsync per flush);
+// the unbatched variant calls the synchronous Propose (one fsync per
+// command). fsyncs/op is reported from a CountingStorage wrapper.
+func benchProposeThroughput(b *testing.B, unbatched bool) {
+	fs, err := raft.OpenFileStorage(filepath.Join(b.TempDir(), "wal"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs := &raft.CountingStorage{Inner: fs}
+	net := transport.NewMemNetwork(0, 0, 1)
+	inbox := make(chan raft.Message, 64)
+	n := raft.StartNode(raft.Options{
+		ID:        1,
+		Members:   []types.NodeID{1},
+		Transport: net.Attach(1, inbox),
+		Storage:   cs,
+	})
+	defer n.Stop()
+	go func() {
+		for range n.ApplyCh() {
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, role, _ := n.Status(); role == raft.Leader {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			b.Fatal("single node did not elect itself")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	const proposers = 64
+	base := cs.Syncs()
+	var next atomic.Int64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < proposers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cmd := []byte("bench-command-payload")
+			for {
+				if next.Add(1) > int64(b.N) {
+					return
+				}
+				var err error
+				if unbatched {
+					_, _, err = n.Propose(cmd)
+				} else {
+					_, _, err = n.ProposeAsync(cmd).Wait()
+				}
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(cs.Syncs()-base)/float64(b.N), "fsyncs/op")
+}
+
+// BenchmarkProposeThroughputBatched measures the group-commit hot path:
+// many proposals share each WAL frame, fsync, and AppendEntries broadcast.
+func BenchmarkProposeThroughputBatched(b *testing.B) { benchProposeThroughput(b, false) }
+
+// BenchmarkProposeThroughputUnbatched is the naive baseline: one durable
+// WAL frame per proposal, serialized under the state lock.
+func BenchmarkProposeThroughputUnbatched(b *testing.B) { benchProposeThroughput(b, true) }
 
 // --- E2: CADO vs Adore model-checking effort ------------------------------
 

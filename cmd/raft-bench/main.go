@@ -5,6 +5,8 @@
 //	raft-bench                      # the paper's parameters
 //	raft-bench -requests 2000 -reconfig-every 400 -window 50
 //	raft-bench -runs 8              # the paper aggregates 8 runs
+//	raft-bench -clients 16          # concurrent closed-loop clients
+//	raft-bench -ab -json BENCH.json # batched vs unbatched, JSON evidence
 package main
 
 import (
@@ -24,8 +26,13 @@ func main() {
 	flag.DurationVar(&opts.NetLatency, "latency", opts.NetLatency, "simulated one-way network latency")
 	flag.DurationVar(&opts.NetJitter, "jitter", opts.NetJitter, "simulated latency jitter")
 	flag.Int64Var(&opts.Seed, "seed", opts.Seed, "random seed")
+	flag.IntVar(&opts.Clients, "clients", 1, "concurrent closed-loop clients")
+	flag.BoolVar(&opts.Unbatched, "unbatched", false, "bypass group commit (one fsync per command)")
+	flag.BoolVar(&opts.Durable, "durable", false, "back each node with a file WAL (fsync on the critical path)")
 	window := flag.Int("window", 100, "requests per report window")
 	runs := flag.Int("runs", 1, "independent runs (the paper reports 8)")
+	ab := flag.Bool("ab", false, "run the batching ablation: the same workload batched AND unbatched")
+	jsonPath := flag.String("json", "", "also write the runs as JSON to this file (BENCH_*.json evidence)")
 	availability := flag.Bool("availability", false, "run the liveness/availability probe instead of Fig. 16")
 	flag.Parse()
 
@@ -39,19 +46,42 @@ func main() {
 		return
 	}
 
+	var results []bench.Fig16JSON
+	execute := func(o bench.Fig16Options, name string) {
+		res, err := bench.RunFig16(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("===== %s (seed %d, %d clients) =====\n", name, o.Seed, max(1, o.Clients))
+		res.Print(os.Stdout, *window)
+		fmt.Println()
+		results = append(results, res.JSON(name, o, *window))
+		time.Sleep(50 * time.Millisecond) // let goroutines drain between runs
+	}
+
 	for run := 0; run < *runs; run++ {
 		o := opts
 		o.Seed = opts.Seed + int64(run)
-		if *runs > 1 {
-			fmt.Printf("===== run %d/%d (seed %d) =====\n", run+1, *runs, o.Seed)
+		if *ab {
+			o.Unbatched = false
+			execute(o, fmt.Sprintf("batched-run%d", run+1))
+			o.Unbatched = true
+			execute(o, fmt.Sprintf("unbatched-run%d", run+1))
+		} else {
+			name := "fig16"
+			if o.Unbatched {
+				name = "fig16-unbatched"
+			}
+			execute(o, fmt.Sprintf("%s-run%d", name, run+1))
 		}
-		res, err := bench.RunFig16(o)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "run %d: %v\n", run+1, err)
+	}
+
+	if *jsonPath != "" {
+		if err := bench.WriteJSON(*jsonPath, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		res.Print(os.Stdout, *window)
-		fmt.Println()
-		time.Sleep(50 * time.Millisecond) // let goroutines drain between runs
+		fmt.Printf("wrote %d runs to %s\n", len(results), *jsonPath)
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -78,15 +79,18 @@ func main() {
 		for m := range inbox {
 			select {
 			case node.Inbox() <- m:
-			default:
+			case <-node.Done():
+				return
 			}
 		}
 	}()
 
 	store := kvstore.NewStore()
 	go func() {
-		for msg := range node.ApplyCh() {
-			store.Apply(msg)
+		for batch := range node.ApplyCh() {
+			for _, msg := range batch {
+				store.Apply(msg)
+			}
 		}
 	}()
 
@@ -146,7 +150,7 @@ func bumpPort(addr string, by int) string {
 }
 
 func serveClients(ln net.Listener, node *raft.Node, store *kvstore.Store) {
-	var seq uint64
+	var seq atomic.Uint64 // shared by all connection goroutines
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -158,8 +162,7 @@ func serveClients(ln net.Listener, node *raft.Node, store *kvstore.Store) {
 			w := bufio.NewWriter(conn)
 			defer w.Flush()
 			for sc.Scan() {
-				seq++
-				reply := handleCommand(node, store, strings.Fields(sc.Text()), seq)
+				reply := handleCommand(node, store, strings.Fields(sc.Text()), seq.Add(1))
 				fmt.Fprintln(w, reply)
 				w.Flush()
 			}

@@ -10,11 +10,15 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
 // LatencyRecorder collects per-request latencies with event annotations.
+// It is safe for concurrent use: the multi-client Fig. 16 mode records
+// from many goroutines at once.
 type LatencyRecorder struct {
+	mu      sync.Mutex
 	samples []time.Duration
 	events  map[int]string // request index → annotation ("reconfig → 4 nodes")
 }
@@ -28,16 +32,44 @@ func NewLatencyRecorder(capacity int) *LatencyRecorder {
 }
 
 // Record appends one request latency.
-func (r *LatencyRecorder) Record(d time.Duration) { r.samples = append(r.samples, d) }
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
 
 // Annotate marks the next request index with an event label.
-func (r *LatencyRecorder) Annotate(label string) { r.events[len(r.samples)] = label }
+func (r *LatencyRecorder) Annotate(label string) {
+	r.mu.Lock()
+	r.events[len(r.samples)] = label
+	r.mu.Unlock()
+}
 
 // Len returns the number of samples.
-func (r *LatencyRecorder) Len() int { return len(r.samples) }
+func (r *LatencyRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
 
-// Samples returns the raw latencies.
-func (r *LatencyRecorder) Samples() []time.Duration { return r.samples }
+// Samples returns a copy of the raw latencies.
+func (r *LatencyRecorder) Samples() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.samples...)
+}
+
+// snapshot copies the recorded state for lock-free aggregation.
+func (r *LatencyRecorder) snapshot() ([]time.Duration, map[int]string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	samples := append([]time.Duration(nil), r.samples...)
+	events := make(map[int]string, len(r.events))
+	for k, v := range r.events {
+		events[k] = v
+	}
+	return samples, events
+}
 
 // Window summarizes a bucket of consecutive requests.
 type Window struct {
@@ -52,17 +84,18 @@ func (r *LatencyRecorder) Windows(size int) []Window {
 	if size <= 0 {
 		size = 100
 	}
+	samples, events := r.snapshot()
 	var out []Window
-	for lo := 0; lo < len(r.samples); lo += size {
+	for lo := 0; lo < len(samples); lo += size {
 		hi := lo + size
-		if hi > len(r.samples) {
-			hi = len(r.samples)
+		if hi > len(samples) {
+			hi = len(samples)
 		}
 		w := Window{Start: lo, End: hi}
 		var sum time.Duration
-		w.Min = r.samples[lo]
+		w.Min = samples[lo]
 		for i := lo; i < hi; i++ {
-			d := r.samples[i]
+			d := samples[i]
 			sum += d
 			if d < w.Min {
 				w.Min = d
@@ -70,7 +103,7 @@ func (r *LatencyRecorder) Windows(size int) []Window {
 			if d > w.Max {
 				w.Max = d
 			}
-			if ev, ok := r.events[i]; ok {
+			if ev, ok := events[i]; ok {
 				w.Events = append(w.Events, ev)
 			}
 		}
@@ -82,10 +115,10 @@ func (r *LatencyRecorder) Windows(size int) []Window {
 
 // Percentile returns the p-th percentile latency (p in [0,100]).
 func (r *LatencyRecorder) Percentile(p float64) time.Duration {
-	if len(r.samples) == 0 {
+	sorted := r.Samples()
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), r.samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	idx := int(p / 100 * float64(len(sorted)-1))
 	return sorted[idx]
@@ -100,13 +133,14 @@ type Summary struct {
 
 // Summarize computes the run summary.
 func (r *LatencyRecorder) Summarize() Summary {
-	s := Summary{Count: len(r.samples)}
+	samples := r.Samples()
+	s := Summary{Count: len(samples)}
 	if s.Count == 0 {
 		return s
 	}
 	var sum time.Duration
-	s.Min = r.samples[0]
-	for _, d := range r.samples {
+	s.Min = samples[0]
+	for _, d := range samples {
 		sum += d
 		if d < s.Min {
 			s.Min = d
@@ -116,9 +150,11 @@ func (r *LatencyRecorder) Summarize() Summary {
 		}
 	}
 	s.Mean = sum / time.Duration(s.Count)
-	s.P50 = r.Percentile(50)
-	s.P95 = r.Percentile(95)
-	s.P99 = r.Percentile(99)
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pct := func(p float64) time.Duration { return samples[int(p/100*float64(len(samples)-1))] }
+	s.P50 = pct(50)
+	s.P95 = pct(95)
+	s.P99 = pct(99)
 	return s
 }
 

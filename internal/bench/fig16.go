@@ -3,9 +3,14 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"adore/internal/kvstore"
+	"adore/internal/raft"
 	"adore/internal/raft/cluster"
 	"adore/internal/types"
 )
@@ -31,6 +36,20 @@ type Fig16Options struct {
 	Seed int64
 	// Timeout bounds each client request.
 	Timeout time.Duration
+	// Clients is the number of concurrent closed-loop clients (0 or 1:
+	// the paper's single sequential client). With several clients the
+	// group-commit path coalesces their proposals into shared WAL frames
+	// and broadcasts — the batching ablation's load generator.
+	Clients int
+	// Unbatched routes proposals through the synchronous Propose path
+	// (one fsync and one broadcast per command) instead of group commit,
+	// isolating what batching buys under the same workload.
+	Unbatched bool
+	// Durable backs every node with a real file WAL in a temporary
+	// directory (removed afterwards). Without it appends are memory-only,
+	// so the batching ablation would measure only broadcast coalescing —
+	// with it, fsync amortization dominates, as on real hardware.
+	Durable bool
 }
 
 // Fig16Defaults returns the paper's parameters (scaled to run in seconds on
@@ -63,12 +82,28 @@ func RunFig16(opts Fig16Options) (*Fig16Result, error) {
 	if opts.Requests == 0 {
 		opts = Fig16Defaults()
 	}
-	r := kvstore.NewReplicated(cluster.Options{
+	clOpts := cluster.Options{
 		N:       opts.StartNodes,
 		Latency: opts.NetLatency,
 		Jitter:  opts.NetJitter,
 		Seed:    opts.Seed,
-	})
+	}
+	if opts.Durable {
+		dir, err := os.MkdirTemp("", "fig16-wal-")
+		if err != nil {
+			return nil, fmt.Errorf("bench: wal dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		clOpts.StorageFor = func(id types.NodeID) raft.Storage {
+			fs, err := raft.OpenFileStorage(filepath.Join(dir, fmt.Sprintf("wal-%s", id)))
+			if err != nil {
+				panic(fmt.Sprintf("bench: open wal for %s: %v", id, err))
+			}
+			return fs
+		}
+	}
+	r := kvstore.NewReplicated(clOpts)
+	r.Unbatched = opts.Unbatched
 	defer r.Stop()
 	if _, err := r.Cluster.WaitForLeader(opts.Timeout); err != nil {
 		return nil, err
@@ -101,17 +136,9 @@ func RunFig16(opts Fig16Options) (*Fig16Result, error) {
 	rec := NewLatencyRecorder(opts.Requests)
 	res := &Fig16Result{Recorder: rec}
 	start := time.Now()
-	nextChange := 0
-	for i := 0; i < opts.Requests; i++ {
-		if opts.ReconfigEvery > 0 && i > 0 && i%opts.ReconfigEvery == 0 && nextChange < len(schedule) {
-			ch := schedule[nextChange]
-			nextChange++
-			rec.Annotate(ch.label)
-			res.Schedule = append(res.Schedule, ch.label)
-			if _, err := r.Cluster.Reconfigure(ch.target, opts.Timeout); err != nil {
-				return nil, fmt.Errorf("bench: reconfig %q: %w", ch.label, err)
-			}
-		}
+
+	// One request by its global sequence number i; used by both modes.
+	doRequest := func(i int) error {
 		t0 := time.Now()
 		key := fmt.Sprintf("key-%d", i%64)
 		var err error
@@ -121,9 +148,81 @@ func RunFig16(opts Fig16Options) (*Fig16Result, error) {
 			err = r.Put(key, fmt.Sprintf("value-%d", i), opts.Timeout)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("bench: request %d: %w", i, err)
+			return fmt.Errorf("bench: request %d: %w", i, err)
 		}
 		rec.Record(time.Since(t0))
+		return nil
+	}
+
+	var schedMu sync.Mutex
+	nextChange := 0
+	// maybeReconfig applies the next scheduled membership change when the
+	// request counter crosses a boundary. Exactly one client owns each
+	// request number, so each boundary fires once; schedMu orders the
+	// schedule bookkeeping among clients.
+	maybeReconfig := func(i int) error {
+		if opts.ReconfigEvery <= 0 || i == 0 || i%opts.ReconfigEvery != 0 {
+			return nil
+		}
+		schedMu.Lock()
+		if nextChange >= len(schedule) {
+			schedMu.Unlock()
+			return nil
+		}
+		ch := schedule[nextChange]
+		nextChange++
+		rec.Annotate(ch.label)
+		res.Schedule = append(res.Schedule, ch.label)
+		schedMu.Unlock()
+		if _, err := r.Cluster.Reconfigure(ch.target, opts.Timeout); err != nil {
+			return fmt.Errorf("bench: reconfig %q: %w", ch.label, err)
+		}
+		return nil
+	}
+
+	if opts.Clients <= 1 {
+		// The paper's sequential closed loop.
+		for i := 0; i < opts.Requests; i++ {
+			if err := maybeReconfig(i); err != nil {
+				return nil, err
+			}
+			if err := doRequest(i); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// Concurrent closed-loop clients share a global request counter;
+		// whichever client draws a boundary number performs the reconfig
+		// before its request.
+		var ctr atomic.Int64
+		errCh := make(chan error, opts.Clients)
+		var wg sync.WaitGroup
+		for c := 0; c < opts.Clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(ctr.Add(1)) - 1
+					if i >= opts.Requests {
+						return
+					}
+					if err := maybeReconfig(i); err != nil {
+						errCh <- err
+						return
+					}
+					if err := doRequest(i); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return nil, err
+		default:
+		}
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil

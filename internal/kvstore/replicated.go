@@ -16,6 +16,13 @@ import (
 type Replicated struct {
 	Cluster *cluster.Cluster
 
+	// Unbatched, when set before the first request, routes proposals
+	// through the synchronous Propose path (one fsync and one broadcast
+	// per command) instead of the group-commit ProposeAsync path. It
+	// exists so benchmarks can measure batching against the naive
+	// baseline; leave it false in real use.
+	Unbatched bool
+
 	mu     sync.Mutex
 	stores map[types.NodeID]*Store // guarded by mu
 
@@ -63,7 +70,13 @@ func (r *Replicated) Do(op Op, key, value, old string, timeout time.Duration) (R
 			time.Sleep(time.Millisecond)
 			continue
 		}
-		idx, _, err := leader.Propose(payload)
+		var idx int
+		var err error
+		if r.Unbatched {
+			idx, _, err = leader.Propose(payload)
+		} else {
+			idx, _, err = leader.ProposeAsync(payload).Wait()
+		}
 		if err != nil {
 			time.Sleep(time.Millisecond)
 			continue

@@ -33,6 +33,10 @@ type Options struct {
 	// StorageFor, when set, supplies per-node persistent storage, which
 	// makes CrashNode/RestartNode meaningful (state survives).
 	StorageFor func(types.NodeID) raft.Storage
+	// InboxSize is the per-node transport inbox capacity (0 = 4096).
+	// Small values exercise back-pressure: the inbox pump blocks instead
+	// of dropping when a node falls behind.
+	InboxSize int
 }
 
 // Cluster is a set of raft nodes joined by a MemNetwork.
@@ -72,7 +76,11 @@ func New(opts Options) *Cluster {
 func (c *Cluster) StartNode(id types.NodeID, members []types.NodeID) *raft.Node {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	inbox := make(chan raft.Message, 4096)
+	size := c.opts.InboxSize
+	if size <= 0 {
+		size = 4096
+	}
+	inbox := make(chan raft.Message, size)
 	tr := c.Net.Attach(id, inbox)
 	var storage raft.Storage
 	if c.opts.StorageFor != nil {
@@ -87,25 +95,30 @@ func (c *Cluster) StartNode(id types.NodeID, members []types.NodeID) *raft.Node 
 		DisableR3:          c.opts.DisableR3,
 		Seed:               c.opts.Seed + int64(id),
 	})
-	// Pump the transport inbox into the node.
+	// Pump the transport inbox into the node. Delivery blocks when the
+	// node's own queue is full (back-pressure, not silent loss); the
+	// stop-channel select releases the pump once the node shuts down.
 	go func() {
 		for m := range inbox {
 			select {
 			case n.Inbox() <- m:
-			default:
+			case <-n.Done():
+				return
 			}
 		}
 	}()
-	// Drain and record the apply stream.
+	// Drain and record the apply stream, one lock acquisition per batch.
 	c.drains.Add(1)
 	go func() {
 		defer c.drains.Done()
-		for msg := range n.ApplyCh() {
+		for batch := range n.ApplyCh() {
 			c.mu.Lock()
-			c.applied[id] = append(c.applied[id], msg)
+			c.applied[id] = append(c.applied[id], batch...)
 			c.mu.Unlock()
 			if c.opts.OnApply != nil {
-				c.opts.OnApply(id, msg)
+				for _, msg := range batch {
+					c.opts.OnApply(id, msg)
+				}
 			}
 		}
 	}()
@@ -185,16 +198,32 @@ func (c *Cluster) Propose(cmd []byte, timeout time.Duration) (int, error) {
 	return 0, fmt.Errorf("cluster: propose timed out")
 }
 
-// WaitCommit blocks until the given node's commit index reaches idx.
+// WaitCommit blocks until the given node's commit index reaches idx AND
+// the entries up to idx have landed in the cluster's applied record. The
+// second condition closes the gap between the node advancing its commit
+// index and the drain goroutine recording the (batched) apply stream;
+// without it a caller could read Applied() while the batch is still in
+// flight on the channel.
 func (c *Cluster) WaitCommit(id types.NodeID, idx int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		if n := c.Node(id); n != nil && n.CommitIndex() >= idx {
+		if n := c.Node(id); n != nil && n.CommitIndex() >= idx && c.appliedThrough(id) >= idx {
 			return nil
 		}
 		time.Sleep(time.Millisecond)
 	}
 	return fmt.Errorf("cluster: %s did not reach commit index %d", id, idx)
+}
+
+// appliedThrough reports the highest index in the node's recorded apply
+// stream (0 if nothing has been recorded).
+func (c *Cluster) appliedThrough(id types.NodeID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a := c.applied[id]; len(a) > 0 {
+		return a[len(a)-1].Index
+	}
+	return 0
 }
 
 // Reconfigure retries a membership change against the current leader until

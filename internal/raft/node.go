@@ -54,6 +54,13 @@ type Options struct {
 	// the node is volatile (models, benchmarks, never-restarted tests).
 	Storage Storage
 
+	// MaxEntriesPerAppend caps the entries carried by one AppendEntries
+	// message. The leader streams a lagging follower's log as a pipeline
+	// of bounded windows (advancing nextIndex optimistically per send)
+	// instead of re-sending the full suffix stop-and-wait. Zero gets a
+	// default of 256.
+	MaxEntriesPerAppend int
+
 	// DisableR3 reproduces the published single-server bug: reconfig no
 	// longer waits for a committed entry in the leader's current term.
 	// For experiments only.
@@ -75,6 +82,9 @@ func (o *Options) defaults() {
 	}
 	if o.Seed == 0 {
 		o.Seed = int64(o.ID) * 7919
+	}
+	if o.MaxEntriesPerAppend == 0 {
+		o.MaxEntriesPerAppend = 256
 	}
 }
 
@@ -122,17 +132,40 @@ type Node struct {
 	// conf0 is the initial membership; the effective membership is the
 	// latest config entry in the log (hot reconfiguration).
 	conf0 types.NodeSet
+	// confIdxs caches the positions of EntryConfig entries in the log, in
+	// ascending order, so membership lookups cost O(#configs) instead of a
+	// backward scan over the whole log (which made every broadcast O(n) on
+	// long logs). Every log append/truncation keeps it in sync.
+	confIdxs []int // guarded by mu
 
-	applyCh  chan ApplyMsg
-	inbox    chan Message
-	stopCh   chan struct{}
-	stopOnce sync.Once
-	done     sync.WaitGroup
+	applyCh    chan []ApplyMsg
+	inbox      chan Message
+	stopCh     chan struct{}
+	stopOnce   sync.Once
+	applyClose sync.Once
+	done       sync.WaitGroup
+
+	// Group-commit state (see batch.go): ProposeAsync enqueues proposals
+	// here; the flush loop drains them all into one WAL frame (a single
+	// fsync) and one AppendEntries broadcast, then acks the futures. The
+	// queue lives under its own narrow mutex — never held across I/O — so
+	// proposers keep enqueueing while a flush holds mu across the fsync;
+	// that overlap is what lets batches grow under load. Lock order:
+	// mu before propMu (flushBatch drains under propMu alone, then takes
+	// mu; failPropsLocked runs under mu and takes propMu inside).
+	propMu       sync.Mutex
+	pendingProps []*Proposal // guarded by propMu
+	stopping     bool        // guarded by propMu
+	flushCh      chan struct{}
 
 	electionDeadline time.Time // guarded by mu
 
 	// pendingReads are ReadIndex barriers awaiting quorum confirmation.
 	pendingReads []*pendingRead // guarded by mu
+
+	// appendSeq numbers outgoing AppendEntries; followers echo it in their
+	// responses so barriers can tell fresh acks from stale in-flight ones.
+	appendSeq uint64 // guarded by mu
 
 	// metrics
 	elections uint64 // guarded by mu
@@ -143,6 +176,7 @@ type Node struct {
 type pendingRead struct {
 	index int
 	term  types.Time
+	seq   uint64 // only acks echoing a seq beyond this confirm the barrier
 	acks  types.NodeSet
 	done  chan int // receives the read index once confirmed; closed on failure
 }
@@ -171,15 +205,24 @@ func StartNode(opts Options) *Node {
 		votedFor: hs.VotedFor,
 		log:      log,
 		conf0:    types.NewNodeSet(opts.Members...),
-		applyCh:  make(chan ApplyMsg, 1024),
+		applyCh:  make(chan []ApplyMsg, 1024),
 		inbox:    make(chan Message, 1024),
 		stopCh:   make(chan struct{}),
+		flushCh:  make(chan struct{}, 1),
+	}
+	// Seed the config-index cache from the recovered log (one scan, here
+	// only; afterwards every append/truncation maintains it).
+	for i := 1; i < len(log); i++ { // 0 is the sentinel
+		if log[i].Kind == EntryConfig {
+			n.confIdxs = append(n.confIdxs, i)
+		}
 	}
 	n.mu.Lock()
 	n.resetElectionDeadlineLocked()
 	n.mu.Unlock()
-	n.done.Add(1)
+	n.done.Add(2)
 	go n.run()
+	go n.flushLoop()
 	return n
 }
 
@@ -187,16 +230,26 @@ func StartNode(opts Options) *Node {
 // into.
 func (n *Node) Inbox() chan<- Message { return n.inbox }
 
-// ApplyCh delivers committed entries in order.
-func (n *Node) ApplyCh() <-chan ApplyMsg { return n.applyCh }
+// ApplyCh delivers committed entries in order, coalesced into batches: one
+// receive drains everything that committed since the previous one, so
+// state-machine drains pay one channel operation per commit advance rather
+// than per entry.
+func (n *Node) ApplyCh() <-chan []ApplyMsg { return n.applyCh }
 
 // ID returns the node's identity.
 func (n *Node) ID() types.NodeID { return n.id }
+
+// Done is closed when the node starts shutting down (for pumps and drains
+// that would otherwise block on a stopped node's inbox).
+func (n *Node) Done() <-chan struct{} { return n.stopCh }
 
 // Stop shuts the node down and waits for its loops to exit.
 func (n *Node) Stop() {
 	n.stopOnce.Do(func() { close(n.stopCh) })
 	n.done.Wait()
+	// Both loops have exited: no sender is left, so closing the apply
+	// channel is race-free and lets consumers drain out.
+	n.applyClose.Do(func() { close(n.applyCh) })
 }
 
 // Status reports the node's current term, role, and known leader.
@@ -215,10 +268,8 @@ func (n *Node) Members() types.NodeSet {
 }
 
 func (n *Node) membersLocked() types.NodeSet {
-	for i := len(n.log) - 1; i >= 1; i-- {
-		if n.log[i].Kind == EntryConfig {
-			return types.NewNodeSet(n.log[i].Members...)
-		}
+	if k := len(n.confIdxs); k > 0 {
+		return types.NewNodeSet(n.log[n.confIdxs[k-1]].Members...)
 	}
 	return n.conf0
 }
@@ -226,12 +277,28 @@ func (n *Node) membersLocked() types.NodeSet {
 // committedMembersLocked is the membership ignoring uncommitted config
 // entries (used for R2 checks and diagnostics).
 func (n *Node) committedMembersLocked() types.NodeSet {
-	for i := n.commitIndex; i >= 1; i-- {
-		if n.log[i].Kind == EntryConfig {
-			return types.NewNodeSet(n.log[i].Members...)
+	for i := len(n.confIdxs) - 1; i >= 0; i-- {
+		if n.confIdxs[i] <= n.commitIndex {
+			return types.NewNodeSet(n.log[n.confIdxs[i]].Members...)
 		}
 	}
 	return n.conf0
+}
+
+// trackConfigLocked records a freshly appended entry's position in the
+// config-index cache. Call it for every log append.
+func (n *Node) trackConfigLocked(idx int, e LogEntry) {
+	if e.Kind == EntryConfig {
+		n.confIdxs = append(n.confIdxs, idx)
+	}
+}
+
+// dropConfigsFromLocked evicts cached config positions at or above pos
+// (the log is being truncated there).
+func (n *Node) dropConfigsFromLocked(pos int) {
+	for len(n.confIdxs) > 0 && n.confIdxs[len(n.confIdxs)-1] >= pos {
+		n.confIdxs = n.confIdxs[:len(n.confIdxs)-1]
+	}
 }
 
 // CommitIndex returns the node's commit index.
@@ -323,6 +390,7 @@ func (n *Node) ReadIndex(timeout time.Duration) (int, error) {
 	pr := &pendingRead{
 		index: n.commitIndex,
 		term:  n.term,
+		seq:   n.appendSeq, // acks must echo a later seq: stale in-flight responses don't confirm
 		acks:  types.NewNodeSet(n.id),
 		done:  make(chan int, 1),
 	}
@@ -366,8 +434,11 @@ func (n *Node) dropPendingReadLocked(pr *pendingRead) {
 }
 
 // confirmReadsLocked credits a leadership confirmation from a peer and
-// resolves the barriers that reached a quorum.
-func (n *Node) confirmReadsLocked(from types.NodeID) {
+// resolves the barriers that reached a quorum. seq is the append sequence
+// the peer echoed: only responses to appends sent after a barrier was
+// registered count for it, so a response that was already in flight when
+// the barrier (or a partition) arrived cannot confirm leadership.
+func (n *Node) confirmReadsLocked(from types.NodeID, seq uint64) {
 	if len(n.pendingReads) == 0 {
 		return
 	}
@@ -378,7 +449,9 @@ func (n *Node) confirmReadsLocked(from types.NodeID) {
 			close(pr.done)
 			continue
 		}
-		pr.acks = pr.acks.Add(from)
+		if seq > pr.seq {
+			pr.acks = pr.acks.Add(from)
+		}
 		if isMajority(pr.acks, members) {
 			pr.done <- pr.index
 			continue
@@ -410,6 +483,7 @@ func (n *Node) RemoveServer(id types.NodeID) (int, types.Time, error) {
 func (n *Node) appendLocked(e LogEntry) int {
 	n.log = append(n.log, e)
 	idx := len(n.log) - 1
+	n.trackConfigLocked(idx, e)
 	n.matchIndex[n.id] = idx
 	n.persistEntriesLocked(idx)
 	return idx
@@ -445,7 +519,6 @@ func (n *Node) run() {
 	for {
 		select {
 		case <-n.stopCh:
-			close(n.applyCh)
 			_ = n.opts.Transport.Close()
 			return
 		case m := <-n.inbox:
@@ -566,8 +639,16 @@ func (n *Node) sendAppendLocked(to types.NodeID) {
 		next = len(n.log)
 	}
 	prev := next - 1
-	entries := make([]LogEntry, len(n.log)-next)
-	copy(entries, n.log[next:])
+	// Bound the window: a lagging follower is streamed in
+	// MaxEntriesPerAppend-sized messages instead of one full-suffix
+	// resend per round trip.
+	end := len(n.log)
+	if lim := n.opts.MaxEntriesPerAppend; lim > 0 && end-next > lim {
+		end = next + lim
+	}
+	entries := make([]LogEntry, end-next)
+	copy(entries, n.log[next:end])
+	n.appendSeq++
 	n.opts.Transport.Send(Message{
 		Type:         MsgAppendEntries,
 		From:         n.id,
@@ -577,7 +658,15 @@ func (n *Node) sendAppendLocked(to types.NodeID) {
 		PrevLogTerm:  n.log[prev].Term,
 		Entries:      entries,
 		LeaderCommit: n.commitIndex,
+		Seq:          n.appendSeq,
 	})
+	// Pipelining: advance nextIndex optimistically so the next flush tick
+	// or heartbeat streams the following window without waiting for this
+	// one's response. A rejection resets it via the follower's hint; a
+	// lost window is recovered the same way when the next probe fails.
+	if len(entries) > 0 {
+		n.nextIndex[to] = end
+	}
 }
 
 // handle dispatches an incoming message.
@@ -590,6 +679,7 @@ func (n *Node) handle(m Message) {
 		n.votedFor = types.NoNode
 		n.persistStateLocked()
 		n.failReadsLocked()
+		n.failPropsLocked()
 	}
 	switch m.Type {
 	case MsgVoteRequest:
@@ -634,6 +724,7 @@ func (n *Node) onVoteResponseLocked(m Message) {
 func (n *Node) onAppendEntriesLocked(m Message) {
 	success := false
 	matchIdx := 0
+	hint := 0
 	if m.Term == n.term {
 		n.role = Follower
 		n.leader = m.From
@@ -648,13 +739,16 @@ func (n *Node) onAppendEntriesLocked(m Message) {
 				if pos < len(n.log) {
 					if n.log[pos].Term != e.Term {
 						n.log = n.log[:pos]
+						n.dropConfigsFromLocked(pos)
 						n.log = append(n.log, e)
+						n.trackConfigLocked(pos, e)
 						if firstChanged == 0 {
 							firstChanged = pos
 						}
 					}
 				} else {
 					n.log = append(n.log, e)
+					n.trackConfigLocked(pos, e)
 					if firstChanged == 0 {
 						firstChanged = pos
 					}
@@ -667,11 +761,16 @@ func (n *Node) onAppendEntriesLocked(m Message) {
 			if m.LeaderCommit > n.commitIndex {
 				n.commitIndex = min(m.LeaderCommit, matchIdx)
 			}
+		} else {
+			// Consistency check failed: hint where our log actually ends
+			// so a pipelining leader can jump back in one round trip
+			// instead of probing one index at a time.
+			hint = min(m.PrevLogIndex-1, len(n.log)-1)
 		}
 	}
 	n.opts.Transport.Send(Message{
 		Type: MsgAppendResponse, From: n.id, To: m.From, Term: n.term,
-		Success: success, MatchIndex: matchIdx,
+		Success: success, MatchIndex: matchIdx, HintIndex: hint, Seq: m.Seq,
 	})
 }
 
@@ -680,9 +779,19 @@ func (n *Node) onAppendResponseLocked(m Message) {
 		return
 	}
 	if !m.Success {
-		if n.nextIndex[m.From] > 1 {
-			n.nextIndex[m.From]--
+		// Back off below the rejected probe, jumping straight to the
+		// follower's hint when it is lower (fast conflict resolution for
+		// pipelined windows). No floor at the recorded matchIndex: a
+		// volatile follower can restart with an empty log, and resending
+		// already-acked entries is harmless (the follower deduplicates).
+		next := n.nextIndex[m.From] - 1
+		if m.HintIndex+1 < next {
+			next = m.HintIndex + 1
 		}
+		if next < 1 {
+			next = 1
+		}
+		n.nextIndex[m.From] = next
 		n.sendAppendLocked(m.From)
 		return
 	}
@@ -692,7 +801,7 @@ func (n *Node) onAppendResponseLocked(m Message) {
 	if m.MatchIndex >= n.nextIndex[m.From] {
 		n.nextIndex[m.From] = m.MatchIndex + 1
 	}
-	n.confirmReadsLocked(m.From)
+	n.confirmReadsLocked(m.From, m.Seq)
 	n.advanceCommitLocked()
 }
 
@@ -717,23 +826,29 @@ func (n *Node) advanceCommitLocked() {
 			if !n.committedMembersLocked().Contains(n.id) && !members.Contains(n.id) {
 				n.role = Follower
 				n.failReadsLocked()
+				n.failPropsLocked()
 			}
 			break
 		}
 	}
 }
 
-// applyLocked delivers newly committed entries to the apply channel.
+// applyLocked delivers newly committed entries to the apply channel as one
+// batch: consumers pay a single channel operation per commit advance
+// instead of one per entry.
 func (n *Node) applyLocked() {
+	if n.lastApplied >= n.commitIndex {
+		return
+	}
+	batch := make([]ApplyMsg, 0, n.commitIndex-n.lastApplied)
 	for n.lastApplied < n.commitIndex {
 		n.lastApplied++
 		e := n.log[n.lastApplied]
-		msg := ApplyMsg{Index: n.lastApplied, Term: e.Term, Kind: e.Kind, Command: e.Command, Members: e.Members}
-		select {
-		case n.applyCh <- msg:
-		case <-n.stopCh:
-			return
-		}
+		batch = append(batch, ApplyMsg{Index: n.lastApplied, Term: e.Term, Kind: e.Kind, Command: e.Command, Members: e.Members})
+	}
+	select {
+	case n.applyCh <- batch:
+	case <-n.stopCh:
 	}
 }
 

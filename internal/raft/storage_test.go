@@ -1,6 +1,8 @@
 package raft
 
 import (
+	"fmt"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -86,6 +88,93 @@ func TestFileStorageSurvivesReopen(t *testing.T) {
 	}
 	if string(log[3].Command) != "y" || log[3].Term != 8 {
 		t.Errorf("truncated tail wrong: %+v", log[3])
+	}
+}
+
+// TestFileStorageTornBatchFrame simulates a crash in the middle of writing
+// a group-commit frame: the WAL ends with a partial multi-entry record.
+// Replay must keep every frame that was fully written (the acked batches —
+// acks only happen after the frame's Sync returns) and discard the torn
+// frame whole, leaving the WAL appendable.
+func TestFileStorageTornBatchFrame(t *testing.T) {
+	for name, cut := range map[string]func(frameStart, frameEnd int64) int64{
+		// Torn inside the gob body of the batch frame.
+		"mid-body": func(s, e int64) int64 { return s + (e-s)/2 },
+		// Torn inside the 4-byte length prefix itself.
+		"mid-header": func(s, e int64) int64 { return s + 2 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal")
+			st, err := OpenFileStorage(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Batch 1: the acked group commit (one frame, three entries).
+			if err := st.SaveEntries(1, []LogEntry{
+				{Term: 1, Kind: EntryNoOp},
+				{Term: 1, Kind: EntryCommand, Command: []byte("a1")},
+				{Term: 1, Kind: EntryCommand, Command: []byte("a2")},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			afterBatch1 := info.Size()
+			// Batch 2: the in-flight group commit the crash tears.
+			batch2 := make([]LogEntry, 5)
+			for i := range batch2 {
+				batch2[i] = LogEntry{Term: 1, Kind: EntryCommand, Command: []byte(fmt.Sprintf("b%d", i))}
+			}
+			if err := st.SaveEntries(4, batch2); err != nil {
+				t.Fatal(err)
+			}
+			info, err = os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			afterBatch2 := info.Size()
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Crash: truncate inside batch 2's frame.
+			if err := os.Truncate(path, cut(afterBatch1, afterBatch2)); err != nil {
+				t.Fatal(err)
+			}
+
+			re, err := OpenFileStorage(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			_, log, err := re.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(log) != 4 {
+				t.Fatalf("recovered log has %d entries, want 3 (batch 1 only)", len(log)-1)
+			}
+			if string(log[2].Command) != "a1" || string(log[3].Command) != "a2" {
+				t.Fatalf("batch 1 corrupted by torn batch 2: %+v", log[1:])
+			}
+			// The WAL must remain appendable after discarding the torn tail.
+			if err := re.SaveEntries(4, []LogEntry{{Term: 2, Kind: EntryCommand, Command: []byte("c")}}); err != nil {
+				t.Fatal(err)
+			}
+			re2, err := OpenFileStorage(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re2.Close()
+			_, log, err = re2.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(log) != 5 || string(log[4].Command) != "c" {
+				t.Fatalf("append after torn-frame recovery lost data: %+v", log[1:])
+			}
+		})
 	}
 }
 

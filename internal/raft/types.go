@@ -109,11 +109,17 @@ type Message struct {
 	PrevLogTerm  types.Time
 	Entries      []LogEntry
 	LeaderCommit int
+	// Seq is a per-leader monotone counter stamped on every AppendEntries
+	// and echoed in the response. ReadIndex barriers use it to reject acks
+	// generated before the barrier's confirmation round (an in-flight
+	// response from an older heartbeat must not confirm a fresh barrier).
+	Seq uint64
 
 	// Responses.
 	Granted    bool // vote granted
 	Success    bool // append accepted
 	MatchIndex int  // highest replicated index on success
+	HintIndex  int  // on append rejection: where the follower's log ends
 }
 
 // ApplyMsg is delivered on the node's apply channel for every committed
