@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check bench bench-evidence
+.PHONY: all build test race vet lint check bench bench-evidence chaos chaos-smoke chaos-teeth
 
 all: check
 
@@ -24,6 +24,23 @@ lint:
 
 # check is the full CI gate.
 check: build vet lint race
+
+# chaos is the full local sweep: 200 seeded nemesis schedules against live
+# clusters with file-backed WALs, every run checked against the safety
+# oracles (linearizability, committed-prefix agreement, election safety).
+# A failing seed is replayable verbatim: raft-chaos -seed N.
+chaos:
+	$(GO) run ./cmd/raft-chaos -seeds 200 -duration 2s
+
+# chaos-smoke is the CI slice: fewer seeds, shorter horizon, race detector
+# on the harness binary's cluster.
+chaos-smoke:
+	$(GO) run -race ./cmd/raft-chaos -seeds 25 -duration 1s
+
+# chaos-teeth proves the harness catches a reintroduced reconfiguration bug:
+# with R2 disabled the crafted double-shed schedule must produce violations.
+chaos-teeth:
+	$(GO) run ./cmd/raft-chaos -seeds 3 -duration 1500ms -teeth -disable-r2 -mem
 
 # bench is the smoke pass CI runs: every Go benchmark once (-benchtime=1x,
 # no test functions), then a small durable batched-vs-unbatched Fig. 16

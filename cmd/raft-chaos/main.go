@@ -1,0 +1,153 @@
+// Command raft-chaos runs seeded chaos schedules against live clusters and
+// checks the paper's safety oracles on every run: linearizability of the
+// concurrent client history, committed-prefix agreement across replicas,
+// at most one leader per term, and monotone terms.
+//
+// Every run's fault plan is a pure function of its seed, so a failing seed
+// replays the identical nemesis timeline and workload:
+//
+//	raft-chaos -seeds 200 -duration 2s      # sweep seeds 0..199
+//	raft-chaos -seed 1337 -v                # replay one seed, print its plan
+//	raft-chaos -seeds 50 -disable-r2        # teeth check: must find violations
+//
+// Exit status is non-zero if any seed produced a safety violation (or, with
+// -disable-r2/-disable-r3, if none did: a harness that cannot catch a
+// reintroduced bug is broken).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adore/internal/chaos"
+)
+
+func main() {
+	var (
+		seeds     = flag.Int("seeds", 20, "number of seeds to sweep (0..n-1), ignored when -seed is set")
+		seed      = flag.Int64("seed", -1, "run exactly this seed (replay mode)")
+		duration  = flag.Duration("duration", 2*time.Second, "nemesis horizon per run")
+		nodes     = flag.Int("nodes", 5, "cluster size")
+		clients   = flag.Int("clients", 4, "concurrent workload clients")
+		ops       = flag.Int("ops", 32, "operations per client")
+		keys      = flag.Int("keys", 8, "distinct keys (bounds per-key history size)")
+		mem       = flag.Bool("mem", false, "in-memory WALs instead of file-backed")
+		workers   = flag.Int("workers", runtime.NumCPU(), "parallel seed runners")
+		disableR2 = flag.Bool("disable-r2", false, "reintroduce the R2 bug (expect violations)")
+		disableR3 = flag.Bool("disable-r3", false, "reintroduce the R3 bug (expect violations)")
+		teeth     = flag.Bool("teeth", false, "run the crafted double-shed schedule instead of generated ones")
+		verbose   = flag.Bool("v", false, "print each run's plan and report")
+	)
+	flag.Parse()
+
+	opt := chaos.Options{
+		Nodes:        *nodes,
+		Clients:      *clients,
+		OpsPerClient: *ops,
+		Keys:         *keys,
+		Duration:     *duration,
+		MemWAL:       *mem,
+		DisableR2:    *disableR2,
+		DisableR3:    *disableR3,
+	}
+	expectViolations := *disableR2 || *disableR3
+
+	var list []int64
+	if *seed >= 0 {
+		list = []int64{*seed}
+	} else {
+		for s := int64(0); s < int64(*seeds); s++ {
+			list = append(list, s)
+		}
+	}
+
+	var (
+		mu      sync.Mutex
+		failing []int64
+		caught  atomic.Int64
+		ran     atomic.Int64
+	)
+	jobs := make(chan int64)
+	var wg sync.WaitGroup
+	for w := 0; w < max(1, *workers); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				sched := chaos.Generate(s, opt)
+				if *teeth {
+					sched = chaos.R2ViolationSchedule(opt)
+					sched.Seed = s
+				}
+				rep, err := chaos.Run(sched, opt)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "seed %d: harness error: %v\n", s, err)
+					mu.Lock()
+					failing = append(failing, s)
+					mu.Unlock()
+					continue
+				}
+				ran.Add(1)
+				if *verbose {
+					mu.Lock()
+					fmt.Printf("--- seed %d plan ---\n%s%s\n", s, sched, rep)
+					mu.Unlock()
+				}
+				if !rep.Ok() {
+					caught.Add(1)
+					if expectViolations {
+						fmt.Printf("seed %d: caught (as expected with guards off): %s\n", s, rep.Violations[0])
+						continue
+					}
+					mu.Lock()
+					failing = append(failing, s)
+					mu.Unlock()
+					fmt.Fprintf(os.Stderr, "seed %d: SAFETY VIOLATION (replay: raft-chaos -seed %d -duration %s%s)\n",
+						s, s, *duration, memFlag(*mem))
+					for _, v := range rep.Violations {
+						fmt.Fprintf(os.Stderr, "  %s\n", v)
+					}
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	for _, s := range list {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+
+	if expectViolations {
+		fmt.Printf("%d/%d seeds caught the reintroduced bug in %s\n", caught.Load(), ran.Load(), time.Since(start).Round(time.Millisecond))
+		if caught.Load() == 0 {
+			fmt.Fprintln(os.Stderr, "guards disabled but no seed found a violation: the harness has no teeth")
+			os.Exit(1)
+		}
+		return
+	}
+	if len(failing) > 0 {
+		fmt.Fprintf(os.Stderr, "%d/%d seeds failed: %v\n", len(failing), len(list), failing)
+		os.Exit(1)
+	}
+	fmt.Printf("%d seeds clean in %s\n", len(list), time.Since(start).Round(time.Millisecond))
+}
+
+func memFlag(mem bool) string {
+	if mem {
+		return " -mem"
+	}
+	return ""
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

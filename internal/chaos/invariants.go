@@ -1,0 +1,241 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"adore/internal/linear"
+	"adore/internal/raft"
+	"adore/internal/raft/cluster"
+	"adore/internal/types"
+)
+
+// maxViolationDetail caps how many instances of one violation family a
+// report carries (a genuinely broken run can produce hundreds).
+const maxViolationDetail = 8
+
+// monitor samples every node's status throughout the run and checks the
+// paper's leader-election oracles online:
+//
+//   - election safety: at most one leader per term, globally — across
+//     crashes and restarts (a restarted node must win a fresh election at a
+//     higher term before leading again, so one term never has two leaders
+//     unless quorum intersection was broken);
+//   - term monotonicity: one node incarnation's term never decreases.
+type monitor struct {
+	c      *cluster.Cluster
+	stopCh chan struct{}
+	doneCh chan struct{}
+
+	mu         sync.Mutex
+	leaders    map[types.Time]types.NodeID // term → leader seen; guarded by mu
+	lastTerm   map[*raft.Node]types.Time   // per incarnation; guarded by mu
+	violations map[string]bool             // deduplicated; guarded by mu
+	stopped    bool                        // guarded by mu
+}
+
+func startMonitor(c *cluster.Cluster) *monitor {
+	m := &monitor{
+		c:          c,
+		stopCh:     make(chan struct{}),
+		doneCh:     make(chan struct{}),
+		leaders:    make(map[types.Time]types.NodeID),
+		lastTerm:   make(map[*raft.Node]types.Time),
+		violations: make(map[string]bool),
+	}
+	go m.loop()
+	return m
+}
+
+func (m *monitor) loop() {
+	defer close(m.doneCh)
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		case <-t.C:
+			m.sample()
+		}
+	}
+}
+
+func (m *monitor) sample() {
+	nodes := m.c.Nodes()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, n := range nodes {
+		term, role, _ := n.Status()
+		if last, ok := m.lastTerm[n]; ok && term < last {
+			m.violations[fmt.Sprintf("term went backwards on S%d: %d after %d", n.ID(), term, last)] = true
+		}
+		m.lastTerm[n] = term
+		if role == raft.Leader {
+			if prev, ok := m.leaders[term]; ok && prev != n.ID() {
+				m.violations[fmt.Sprintf("two leaders in term %d: S%d and S%d", term, prev, n.ID())] = true
+			} else {
+				m.leaders[term] = n.ID()
+			}
+		}
+	}
+}
+
+// stop halts sampling (idempotent) and waits for the loop to exit.
+func (m *monitor) stop() {
+	m.mu.Lock()
+	if !m.stopped {
+		m.stopped = true
+		close(m.stopCh)
+	}
+	m.mu.Unlock()
+	<-m.doneCh
+}
+
+// report returns the deduplicated violations in a stable order.
+func (m *monitor) report() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.violations))
+	for v := range m.violations {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// entryFP fingerprints one applied entry for agreement checking.
+type entryFP struct {
+	term    types.Time
+	kind    raft.EntryKind
+	command string
+	members string
+}
+
+func fingerprint(msg raft.ApplyMsg) entryFP {
+	return entryFP{term: msg.Term, kind: msg.Kind, command: string(msg.Command), members: fmt.Sprint(msg.Members)}
+}
+
+func (f entryFP) String() string {
+	switch f.kind {
+	case raft.EntryNoOp:
+		return fmt.Sprintf("noop@t%d", f.term)
+	case raft.EntryConfig:
+		return fmt.Sprintf("config%s@t%d", f.members, f.term)
+	case raft.EntryCommand:
+		return fmt.Sprintf("cmd(%s)@t%d", f.command, f.term)
+	default:
+		return fmt.Sprintf("kind%d@t%d", f.kind, f.term)
+	}
+}
+
+// checkApplied validates the committed-prefix oracles over the recorded
+// apply streams: every replica must have applied the same entry at every
+// index (the paper's "all CCaches lie on one branch" invariant), one
+// replica must never re-apply a different entry at an index it already
+// applied (restarted nodes replay their log from the start, so the streams
+// legitimately contain duplicates — but only identical ones), and log terms
+// must be nondecreasing in the index.
+func checkApplied(c *cluster.Cluster, nodes int) []string {
+	var out []string
+	perNode := make(map[types.NodeID]map[int]entryFP, nodes)
+	for i := 1; i <= nodes; i++ {
+		id := types.NodeID(i)
+		byIndex := make(map[int]entryFP)
+		selfConflicts := 0
+		for _, msg := range c.Applied(id) {
+			f := fingerprint(msg)
+			if prev, ok := byIndex[msg.Index]; ok && prev != f {
+				if selfConflicts < maxViolationDetail {
+					out = append(out, fmt.Sprintf("S%d re-applied index %d as %s after %s", id, msg.Index, f, prev))
+				}
+				selfConflicts++
+			}
+			byIndex[msg.Index] = f
+		}
+		if selfConflicts > maxViolationDetail {
+			out = append(out, fmt.Sprintf("S%d: … and %d more re-apply conflicts", id, selfConflicts-maxViolationDetail))
+		}
+		// Terms nondecreasing along the index order.
+		idxs := make([]int, 0, len(byIndex))
+		for idx := range byIndex {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		lastTerm := types.Time(0)
+		for _, idx := range idxs {
+			if t := byIndex[idx].term; t < lastTerm {
+				out = append(out, fmt.Sprintf("S%d applied non-monotone terms: index %d has term %d after term %d", id, idx, t, lastTerm))
+				break
+			} else {
+				lastTerm = t
+			}
+		}
+		perNode[id] = byIndex
+	}
+	// Cross-replica agreement per index.
+	crossConflicts := 0
+	maxIdx := 0
+	for _, byIndex := range perNode {
+		for idx := range byIndex {
+			if idx > maxIdx {
+				maxIdx = idx
+			}
+		}
+	}
+	for idx := 1; idx <= maxIdx; idx++ {
+		var refID types.NodeID
+		var ref entryFP
+		haveRef := false
+		for i := 1; i <= nodes; i++ {
+			id := types.NodeID(i)
+			f, ok := perNode[id][idx]
+			if !ok {
+				continue
+			}
+			if !haveRef {
+				refID, ref, haveRef = id, f, true
+				continue
+			}
+			if f != ref {
+				if crossConflicts < maxViolationDetail {
+					out = append(out, fmt.Sprintf("committed prefix divergence at index %d: S%d applied %s, S%d applied %s", idx, refID, ref, id, f))
+				}
+				crossConflicts++
+			}
+		}
+	}
+	if crossConflicts > maxViolationDetail {
+		out = append(out, fmt.Sprintf("… and %d more divergent indexes", crossConflicts-maxViolationDetail))
+	}
+	return out
+}
+
+// checkLinearizable splits the history per key (linearizability is
+// compositional: a history over many keys is linearizable iff each key's
+// subhistory is) and runs the Wing & Gong checker on each.
+func checkLinearizable(h linear.History) []string {
+	byKey := make(map[string]linear.History)
+	for _, e := range h {
+		byKey[e.Key] = append(byKey[e.Key], e)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []string
+	for _, k := range keys {
+		sub := byKey[k]
+		if res := linear.Check(sub); !res.Ok {
+			msg := fmt.Sprintf("history for key %q is not linearizable (%d events, %d states searched):", k, len(sub), res.Visited)
+			for _, e := range sub {
+				msg += "\n    " + e.String()
+			}
+			out = append(out, msg)
+		}
+	}
+	return out
+}

@@ -1,0 +1,565 @@
+// Package chaos is a deterministic fault-injection harness for the
+// executable raft runtime: a seeded PRNG generates a nemesis timeline
+// (network partitions, drop-rate storms, node crashes with disk faults,
+// mid-run reconfigurations) and per-client operation scripts; a runner
+// executes the schedule against a live cluster while concurrent clients
+// record a history; and a set of checkers validates the run against the
+// paper's safety claims — linearizability of the client history,
+// committed-prefix agreement across replicas ("all CCaches on one
+// branch"), monotonic terms, and at-most-one-leader-per-term.
+//
+// Everything injected derives from (seed, options) alone: generating a
+// schedule twice yields byte-identical event logs, so a failing seed
+// printed by CI replays the same fault sequence locally. (The cluster's
+// own interleavings stay nondeterministic — the schedule pins down what
+// the nemesis does, not what the scheduler does.)
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"adore/internal/kvstore"
+	"adore/internal/types"
+)
+
+// EventKind enumerates nemesis events.
+type EventKind uint8
+
+const (
+	// EvPartition splits the cluster into two PRNG-chosen halves.
+	EvPartition EventKind = iota
+	// EvPartitionLeader cuts the current leader plus Keep followers off
+	// from the rest (the classic "stale leader in a minority" scenario;
+	// sides are resolved at execution time, the plan just records Keep).
+	EvPartitionLeader
+	// EvHeal removes all partitions.
+	EvHeal
+	// EvIsolate cuts one node off from everyone.
+	EvIsolate
+	// EvDropRate sets the network's message-loss probability.
+	EvDropRate
+	// EvCrash stops a node: cleanly, with a torn final WAL frame, or by
+	// wounding its disk (an injected write error the node must fail-stop
+	// on).
+	EvCrash
+	// EvRestart repairs a node's storage faults and restarts it.
+	EvRestart
+	// EvReconfigRemove / EvReconfigAdd propose single-node membership
+	// changes through the current leader.
+	EvReconfigRemove
+	EvReconfigAdd
+	// EvReconfigShed proposes, directly at a partitioned stale leader,
+	// the removal of one node outside its partition side. With the
+	// paper's guards on this is harmless (R2/R3 reject the dangerous
+	// repeat); with DisableR2 it manufactures the disjoint-quorum
+	// scenario the guards exist to prevent.
+	EvReconfigShed
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvPartition:
+		return "partition"
+	case EvPartitionLeader:
+		return "partition-leader"
+	case EvHeal:
+		return "heal"
+	case EvIsolate:
+		return "isolate"
+	case EvDropRate:
+		return "drop-rate"
+	case EvCrash:
+		return "crash"
+	case EvRestart:
+		return "restart"
+	case EvReconfigRemove:
+		return "reconfig-remove"
+	case EvReconfigAdd:
+		return "reconfig-add"
+	case EvReconfigShed:
+		return "reconfig-shed"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// CrashMode distinguishes how a crash interacts with the node's WAL.
+type CrashMode uint8
+
+const (
+	// CrashClean stops the node abruptly; the WAL keeps every synced frame.
+	CrashClean CrashMode = iota
+	// CrashTorn tears the frame being written at crash time: the node
+	// fail-stops on the torn write and recovery replays the longest
+	// durable prefix.
+	CrashTorn
+	// CrashWound injects a plain write error first: the node must surface
+	// it as an explicit fail-stop (not silent corruption) before the
+	// harness takes it down.
+	CrashWound
+)
+
+// String implements fmt.Stringer.
+func (m CrashMode) String() string {
+	switch m {
+	case CrashClean:
+		return "clean"
+	case CrashTorn:
+		return "torn"
+	case CrashWound:
+		return "wound"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Event is one planned nemesis action. Fields beyond At/Kind are only
+// meaningful for the kinds that use them. String renders the plan — never
+// runtime-resolved state — so rendering is deterministic per seed.
+type Event struct {
+	At   time.Duration // offset from run start
+	Kind EventKind
+	Node types.NodeID // crash/restart/isolate/reconfig target
+	Mode CrashMode    // EvCrash
+	A, B []types.NodeID
+	Keep int     // EvPartitionLeader: followers kept on the leader's side
+	Rate float64 // EvDropRate
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvPartition:
+		return fmt.Sprintf("[%6s] partition %v | %v", e.At, e.A, e.B)
+	case EvPartitionLeader:
+		return fmt.Sprintf("[%6s] partition-leader keep=%d", e.At, e.Keep)
+	case EvHeal:
+		return fmt.Sprintf("[%6s] heal", e.At)
+	case EvIsolate:
+		return fmt.Sprintf("[%6s] isolate S%d", e.At, e.Node)
+	case EvDropRate:
+		return fmt.Sprintf("[%6s] drop-rate %.2f", e.At, e.Rate)
+	case EvCrash:
+		return fmt.Sprintf("[%6s] crash S%d (%s)", e.At, e.Node, e.Mode)
+	case EvRestart:
+		return fmt.Sprintf("[%6s] restart S%d", e.At, e.Node)
+	case EvReconfigRemove:
+		return fmt.Sprintf("[%6s] reconfig-remove S%d", e.At, e.Node)
+	case EvReconfigAdd:
+		return fmt.Sprintf("[%6s] reconfig-add S%d", e.At, e.Node)
+	case EvReconfigShed:
+		return fmt.Sprintf("[%6s] reconfig-shed", e.At)
+	default:
+		return fmt.Sprintf("[%6s] %s", e.At, e.Kind)
+	}
+}
+
+// ClientOp is one scripted workload operation.
+type ClientOp struct {
+	Op       kvstore.Op
+	Key      string
+	Value    string
+	Old      string // CAS expected value
+	FastRead bool   // serve this Get through the ReadIndex barrier
+}
+
+// String implements fmt.Stringer.
+func (o ClientOp) String() string {
+	if o.FastRead {
+		return fmt.Sprintf("fastget(%s)", o.Key)
+	}
+	switch o.Op {
+	case kvstore.OpGet:
+		return fmt.Sprintf("get(%s)", o.Key)
+	case kvstore.OpPut:
+		return fmt.Sprintf("put(%s,%s)", o.Key, o.Value)
+	case kvstore.OpAppend:
+		return fmt.Sprintf("append(%s,%s)", o.Key, o.Value)
+	case kvstore.OpDelete:
+		return fmt.Sprintf("delete(%s)", o.Key)
+	case kvstore.OpCAS:
+		return fmt.Sprintf("cas(%s,%s→%s)", o.Key, o.Old, o.Value)
+	default:
+		return fmt.Sprintf("%s(%s)", o.Op, o.Key)
+	}
+}
+
+// Schedule is a fully generated chaos run plan: the nemesis timeline plus
+// every client's operation script. It is a pure function of (seed,
+// options); Hash() fingerprints it for the determinism test and for replay
+// verification.
+type Schedule struct {
+	Seed    int64
+	Nodes   int
+	Events  []Event
+	Scripts [][]ClientOp
+}
+
+// String renders the whole plan (the replayable "event log" of a run).
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d, %d nodes, %d clients\n", s.Seed, s.Nodes, len(s.Scripts))
+	for _, e := range s.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	for c, script := range s.Scripts {
+		fmt.Fprintf(&b, "client %d:", c)
+		for _, op := range script {
+			b.WriteByte(' ')
+			b.WriteString(op.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Hash returns a hex SHA-256 of the rendered plan.
+func (s *Schedule) Hash() string {
+	sum := sha256.Sum256([]byte(s.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Options configures schedule generation and the runner. The zero value
+// gets chaos-smoke-friendly defaults.
+type Options struct {
+	// Nodes, Clients, OpsPerClient, Keys size the cluster and workload.
+	// Keys bounds the per-key history (ops are dealt round-robin across
+	// keys), which keeps the linearizability checker's per-key windows
+	// inside its 62-event limit.
+	Nodes        int
+	Clients      int
+	OpsPerClient int
+	Keys         int
+	// Duration is the nemesis horizon: events are scheduled inside it and
+	// clients stop issuing at it.
+	Duration time.Duration
+	// EventBudget is the number of nemesis events (0 = scaled from
+	// Duration).
+	EventBudget int
+	// OpTimeout bounds one client operation; a timed-out write is
+	// recorded as an outcome-unknown (Maybe) event.
+	OpTimeout time.Duration
+	// SettleTimeout bounds the post-horizon convergence wait.
+	SettleTimeout time.Duration
+	// ElectionTimeoutMin scales the protocol timers (0 = 15ms — fast
+	// enough that a 2s run sees many elections).
+	ElectionTimeoutMin time.Duration
+	// Latency/Jitter configure the simulated network.
+	Latency, Jitter time.Duration
+	// MemWAL backs nodes with in-memory storage instead of file WALs
+	// (faster; file WALs are the honest default).
+	MemWAL bool
+	// Dir is where file WALs live ("" = a fresh temp dir, removed after
+	// the run).
+	Dir string
+	// DisableR2/DisableR3 reintroduce the reconfiguration bugs the
+	// paper's guards prevent — used to prove the harness catches them.
+	DisableR2 bool
+	DisableR3 bool
+}
+
+func (o *Options) defaults() {
+	if o.Nodes <= 0 {
+		o.Nodes = 5
+	}
+	if o.Clients <= 0 {
+		o.Clients = 4
+	}
+	if o.OpsPerClient <= 0 {
+		o.OpsPerClient = 32
+	}
+	if o.Keys <= 0 {
+		o.Keys = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.EventBudget <= 0 {
+		// Roughly one nemesis event per 150ms, at least 4.
+		o.EventBudget = int(o.Duration / (150 * time.Millisecond))
+		if o.EventBudget < 4 {
+			o.EventBudget = 4
+		}
+	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 400 * time.Millisecond
+	}
+	if o.SettleTimeout <= 0 {
+		o.SettleTimeout = 10 * time.Second
+	}
+	if o.ElectionTimeoutMin <= 0 {
+		o.ElectionTimeoutMin = 15 * time.Millisecond
+	}
+	if o.Latency <= 0 {
+		o.Latency = 200 * time.Microsecond
+	}
+	if o.Jitter <= 0 {
+		o.Jitter = 300 * time.Microsecond
+	}
+}
+
+// maxCrashed is how many nodes may be down at once: strictly less than
+// half, so a quorum of the initial membership stays available.
+func maxCrashed(n int) int { return (n - 1) / 2 }
+
+// Generate builds the deterministic plan for one seed. The generator
+// tracks which nodes it has crashed and which partition state is active,
+// so every emitted event is executable: restarts target crashed nodes,
+// partitions never stack, and at most a minority is down at any time.
+func Generate(seed int64, opt Options) *Schedule {
+	opt.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	s := &Schedule{Seed: seed, Nodes: opt.Nodes}
+
+	all := make([]types.NodeID, opt.Nodes)
+	for i := range all {
+		all[i] = types.NodeID(i + 1)
+	}
+
+	crashed := map[types.NodeID]bool{}
+	removed := map[types.NodeID]bool{} // scheduled membership removals
+	memberCount := opt.Nodes
+	partitioned := false // one partition active at a time
+	dropActive := false
+	shedsPending := 0 // reconfig-sheds still owed to an open leader partition
+
+	// Event instants: sorted draws inside [10%, 80%] of the horizon, so
+	// the cluster first elects undisturbed and the tail lets clients
+	// finish against a faulty-but-unpartitioned cluster before settle.
+	span := opt.Duration * 7 / 10
+	base := opt.Duration / 10
+	step := span / time.Duration(opt.EventBudget)
+	at := base
+
+	aliveList := func() []types.NodeID {
+		var out []types.NodeID
+		for _, id := range all {
+			if !crashed[id] {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	pick := func(ids []types.NodeID) types.NodeID {
+		return ids[rng.Intn(len(ids))]
+	}
+
+	for i := 0; i < opt.EventBudget; i++ {
+		// Jittered but deterministic spacing.
+		at += step/2 + time.Duration(rng.Int63n(int64(step)))
+		if at >= base+span {
+			break
+		}
+
+		// Owed shed events follow their leader-partition immediately.
+		if shedsPending > 0 {
+			shedsPending--
+			s.Events = append(s.Events, Event{At: at, Kind: EvReconfigShed})
+			continue
+		}
+
+		// Weighted choice among currently-legal kinds.
+		type choice struct {
+			kind   EventKind
+			weight int
+		}
+		var choices []choice
+		if partitioned {
+			choices = append(choices, choice{EvHeal, 50})
+		} else {
+			choices = append(choices, choice{EvPartition, 14}, choice{EvPartitionLeader, 10}, choice{EvIsolate, 8})
+		}
+		if dropActive {
+			choices = append(choices, choice{EvDropRate, 20}) // lower or clear it
+		} else {
+			choices = append(choices, choice{EvDropRate, 8})
+		}
+		if len(crashed) < maxCrashed(opt.Nodes) {
+			choices = append(choices, choice{EvCrash, 14})
+		}
+		if len(crashed) > 0 {
+			choices = append(choices, choice{EvRestart, 18})
+		}
+		if memberCount > 3 {
+			choices = append(choices, choice{EvReconfigRemove, 8})
+		}
+		if len(removed) > 0 {
+			choices = append(choices, choice{EvReconfigAdd, 10})
+		}
+		total := 0
+		for _, c := range choices {
+			total += c.weight
+		}
+		roll := rng.Intn(total)
+		var kind EventKind
+		for _, c := range choices {
+			if roll < c.weight {
+				kind = c.kind
+				break
+			}
+			roll -= c.weight
+		}
+
+		switch kind {
+		case EvPartition:
+			// Split the full node set (crashed nodes included, so a later
+			// restart comes back inside the same partition regime).
+			perm := rng.Perm(opt.Nodes)
+			cut := 1 + rng.Intn(opt.Nodes-1)
+			a := make([]types.NodeID, 0, cut)
+			b := make([]types.NodeID, 0, opt.Nodes-cut)
+			for i, p := range perm {
+				if i < cut {
+					a = append(a, all[p])
+				} else {
+					b = append(b, all[p])
+				}
+			}
+			sortIDs(a)
+			sortIDs(b)
+			s.Events = append(s.Events, Event{At: at, Kind: EvPartition, A: a, B: b})
+			partitioned = true
+		case EvPartitionLeader:
+			keep := 1
+			if opt.Nodes >= 7 && rng.Intn(2) == 0 {
+				keep = 2
+			}
+			s.Events = append(s.Events, Event{At: at, Kind: EvPartitionLeader, Keep: keep})
+			partitioned = true
+			// Half the leader partitions are followed by a shed pair: the
+			// stale minority leader is asked to shrink the cluster toward
+			// its own side — exactly the R2/R3 danger zone.
+			if rng.Intn(2) == 0 {
+				shedsPending = 2
+			}
+		case EvHeal:
+			s.Events = append(s.Events, Event{At: at, Kind: EvHeal})
+			partitioned = false
+			shedsPending = 0
+		case EvIsolate:
+			s.Events = append(s.Events, Event{At: at, Kind: EvIsolate, Node: pick(aliveList())})
+			partitioned = true
+		case EvDropRate:
+			rate := 0.0
+			if !dropActive || rng.Intn(2) == 0 {
+				rate = 0.05 + 0.25*rng.Float64()
+			}
+			s.Events = append(s.Events, Event{At: at, Kind: EvDropRate, Rate: rate})
+			dropActive = rate > 0
+		case EvCrash:
+			victim := pick(aliveList())
+			mode := CrashMode(rng.Intn(3))
+			s.Events = append(s.Events, Event{At: at, Kind: EvCrash, Node: victim, Mode: mode})
+			crashed[victim] = true
+		case EvRestart:
+			var down []types.NodeID
+			for _, id := range all {
+				if crashed[id] {
+					down = append(down, id)
+				}
+			}
+			victim := pick(down)
+			s.Events = append(s.Events, Event{At: at, Kind: EvRestart, Node: victim})
+			delete(crashed, victim)
+		case EvReconfigRemove:
+			var members []types.NodeID
+			for _, id := range all {
+				if !removed[id] {
+					members = append(members, id)
+				}
+			}
+			victim := pick(members)
+			s.Events = append(s.Events, Event{At: at, Kind: EvReconfigRemove, Node: victim})
+			removed[victim] = true
+			memberCount--
+		case EvReconfigAdd:
+			var out []types.NodeID
+			for _, id := range all {
+				if removed[id] {
+					out = append(out, id)
+				}
+			}
+			victim := pick(out)
+			s.Events = append(s.Events, Event{At: at, Kind: EvReconfigAdd, Node: victim})
+			delete(removed, victim)
+			memberCount++
+		case EvReconfigShed:
+			// Only reachable through shedsPending, handled above.
+		default:
+			panic(fmt.Sprintf("chaos: generator produced unknown event kind %v", kind))
+		}
+	}
+
+	// The run always ends healed, repaired, and restarted; the runner
+	// appends those actions unconditionally at the horizon (they are part
+	// of the fixed epilogue, not the plan).
+
+	// Client scripts: keys are dealt round-robin so each key's history is
+	// exactly Clients*OpsPerClient/Keys events at most, values are unique
+	// per (client, op).
+	s.Scripts = make([][]ClientOp, opt.Clients)
+	for c := 0; c < opt.Clients; c++ {
+		script := make([]ClientOp, opt.OpsPerClient)
+		for i := 0; i < opt.OpsPerClient; i++ {
+			key := fmt.Sprintf("k%d", (c*opt.OpsPerClient+i)%opt.Keys)
+			op := ClientOp{Key: key, Value: fmt.Sprintf("c%d-%d", c, i)}
+			switch roll := rng.Intn(100); {
+			case roll < 30:
+				op.Op = kvstore.OpPut
+			case roll < 55:
+				op.Op = kvstore.OpGet
+			case roll < 70:
+				op.Op = kvstore.OpGet
+				op.FastRead = true
+			case roll < 85:
+				op.Op = kvstore.OpAppend
+			case roll < 95:
+				op.Op = kvstore.OpCAS
+				op.Old = fmt.Sprintf("c%d-%d", rng.Intn(opt.Clients), rng.Intn(opt.OpsPerClient))
+			default:
+				op.Op = kvstore.OpDelete
+			}
+			script[i] = op
+		}
+		s.Scripts[c] = script
+	}
+	return s
+}
+
+func sortIDs(ids []types.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// R2ViolationSchedule is the handcrafted plan the teeth test uses: cut the
+// leader plus one follower off, shed the far side twice through the stale
+// leader, heal. With the guards on the second shed is rejected (R2) and
+// nothing the stale leader appended can commit; with DisableR2 the stale
+// minority forms a quorum of its shrunken config and commits on a branch
+// the majority never saw — a committed-prefix divergence the checker must
+// flag.
+func R2ViolationSchedule(opt Options) *Schedule {
+	opt.defaults()
+	d := opt.Duration
+	return &Schedule{
+		Seed:  -1,
+		Nodes: opt.Nodes,
+		Events: []Event{
+			{At: d * 25 / 100, Kind: EvPartitionLeader, Keep: 1},
+			{At: d*25/100 + 10*time.Millisecond, Kind: EvReconfigShed},
+			{At: d*25/100 + 20*time.Millisecond, Kind: EvReconfigShed},
+			{At: d * 60 / 100, Kind: EvHeal},
+		},
+		Scripts: Generate(1, opt).Scripts,
+	}
+}

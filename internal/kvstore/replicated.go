@@ -26,18 +26,36 @@ type Replicated struct {
 	mu     sync.Mutex
 	stores map[types.NodeID]*Store // guarded by mu
 
-	clientSeq uint64 // accessed atomically
-	clientID  uint64 // set once at construction
+	nextClient uint64 // accessed atomically
+	def        *Client
 }
 
 // NewReplicated starts an n-node replicated store over a simulated network.
 func NewReplicated(opts cluster.Options) *Replicated {
-	r := &Replicated{stores: make(map[types.NodeID]*Store), clientID: 1}
+	r := &Replicated{stores: make(map[types.NodeID]*Store)}
 	opts.OnApply = func(id types.NodeID, msg raft.ApplyMsg) {
 		r.storeFor(id).Apply(msg)
 	}
 	r.Cluster = cluster.New(opts)
+	r.def = r.NewClient()
 	return r
+}
+
+// Client is one logical client session with its own request identity.
+// The store's dedup table assumes at most one outstanding request per
+// client ID (Seq numbers commit in order), so every concurrently-operating
+// caller must hold its own Client: two goroutines sharing an ID can commit
+// out of sequence order, and the dedup table would swallow the
+// later-committing request as a stale duplicate.
+type Client struct {
+	r   *Replicated
+	id  uint64
+	seq uint64 // accessed atomically
+}
+
+// NewClient mints a fresh client session.
+func (r *Replicated) NewClient() *Client {
+	return &Client{r: r, id: atomic.AddUint64(&r.nextClient, 1)}
 }
 
 func (r *Replicated) storeFor(id types.NodeID) *Store {
@@ -58,10 +76,22 @@ func (r *Replicated) Store(id types.NodeID) *Store { return r.storeFor(id) }
 func (r *Replicated) Stop() { r.Cluster.Stop() }
 
 // Do submits a command through the current leader and waits for it to
-// apply, retrying across leader changes until the deadline.
+// apply, retrying across leader changes until the deadline. It runs on the
+// service's default client session; callers issuing requests from several
+// goroutines should mint a Client each (see NewClient) so the dedup table
+// sees in-order sequence numbers.
 func (r *Replicated) Do(op Op, key, value, old string, timeout time.Duration) (Result, error) {
-	seq := atomic.AddUint64(&r.clientSeq, 1)
-	cmd := Command{Op: op, Key: key, Value: value, Old: old, Client: r.clientID, Seq: seq}
+	return r.def.Do(op, key, value, old, timeout)
+}
+
+// Do submits a command on this client session and waits for it to apply,
+// retrying across leader changes until the deadline. Retries reuse the same
+// (client, seq) pair, so a request that committed but lost its ack is
+// answered from the dedup table instead of applying twice.
+func (c *Client) Do(op Op, key, value, old string, timeout time.Duration) (Result, error) {
+	r := c.r
+	seq := atomic.AddUint64(&c.seq, 1)
+	cmd := Command{Op: op, Key: key, Value: value, Old: old, Client: c.id, Seq: seq}
 	payload := cmd.Encode()
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {

@@ -34,10 +34,21 @@ type Event struct {
 	// Call and Return are the invocation and response instants (any
 	// monotone clock; only their order matters).
 	Call, Return int64
+	// Maybe marks an operation whose outcome is unknown: the client timed
+	// out, so the op may have taken effect at any point after Call — or
+	// never. The checker ignores Out and Return for such events and is
+	// free to linearize them anywhere after Call, or to drop them
+	// entirely. (This is how timed-out writes under faults are recorded
+	// soundly: a Put whose ack was lost but that actually committed must
+	// still be available to explain later reads.)
+	Maybe bool
 }
 
 // String renders the event.
 func (e Event) String() string {
+	if e.Maybe {
+		return fmt.Sprintf("c%d %s(%q,%q)→? [%d,∞]", e.Client, e.Op, e.Key, e.Value, e.Call)
+	}
 	return fmt.Sprintf("c%d %s(%q,%q)→{%q,%v,%v} [%d,%d]",
 		e.Client, e.Op, e.Key, e.Value, e.Out.Value, e.Out.Found, e.Out.Swapped, e.Call, e.Return)
 }
@@ -66,13 +77,23 @@ func Check(h History) Result {
 		panic("linear: history too long for the bitmask search (max 62 events)")
 	}
 	// Precedence: i must linearize before j if i returned before j was
-	// invoked.
+	// invoked. A Maybe event has no known return instant (treated as +∞),
+	// so it precedes nothing; it is still constrained to follow events
+	// that returned before its Call.
 	precedes := make([][]int, n) // predecessors of each event
 	for j := 0; j < n; j++ {
 		for i := 0; i < n; i++ {
-			if i != j && h[i].Return < h[j].Call {
+			if i != j && !h[i].Maybe && h[i].Return < h[j].Call {
 				precedes[j] = append(precedes[j], i)
 			}
+		}
+	}
+	// The search succeeds once every definite event is linearized; Maybe
+	// events are optional (an op whose ack was lost may never have run).
+	var definite uint64
+	for j := 0; j < n; j++ {
+		if !h[j].Maybe {
+			definite |= 1 << j
 		}
 	}
 
@@ -86,7 +107,7 @@ func Check(h History) Result {
 	var dfs func(mask uint64, state map[string]string, order []int) bool
 	dfs = func(mask uint64, state map[string]string, order []int) bool {
 		res.Visited++
-		if mask == (uint64(1)<<n)-1 {
+		if mask&definite == definite {
 			res.Ok = true
 			res.Witness = append([]int(nil), order...)
 			return true
@@ -110,7 +131,9 @@ func Check(h History) Result {
 				continue
 			}
 			out, next := applySeq(state, h[j])
-			if !sameResult(out, h[j].Out, h[j].Op) {
+			// A Maybe event's observed output is meaningless — any spec
+			// outcome is admissible.
+			if !h[j].Maybe && !sameResult(out, h[j].Out, h[j].Op) {
 				continue
 			}
 			if dfs(mask|(1<<j), next, append(order, j)) {

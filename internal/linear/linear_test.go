@@ -105,6 +105,75 @@ func TestRealTimeOrderRespected(t *testing.T) {
 	}
 }
 
+func maybeEv(client int, op kvstore.Op, key, value string, call int64) Event {
+	return Event{Client: client, Op: op, Key: key, Value: value, Call: call, Maybe: true}
+}
+
+func TestMaybeWriteMayHaveTakenEffect(t *testing.T) {
+	// A timed-out Put whose value is later observed: the history only
+	// linearizes if the checker is allowed to place the maybe-op.
+	h := History{
+		maybeEv(1, kvstore.OpPut, "x", "a", 1),
+		ev(2, kvstore.OpGet, "x", "", "", kvstore.Result{Value: "a", Found: true}, 5, 6),
+	}
+	if !Check(h).Ok {
+		t.Error("read of a timed-out write's value rejected")
+	}
+}
+
+func TestMaybeWriteMayHaveNeverRun(t *testing.T) {
+	// The same timed-out Put with a read that never sees it: also fine —
+	// the op may simply never have executed.
+	h := History{
+		maybeEv(1, kvstore.OpPut, "x", "a", 1),
+		ev(2, kvstore.OpGet, "x", "", "", kvstore.Result{Found: false}, 5, 6),
+	}
+	if !Check(h).Ok {
+		t.Error("maybe-op forced to take effect")
+	}
+}
+
+func TestMaybeWriteTakesEffectLate(t *testing.T) {
+	// The timed-out write lands after an intervening read: read misses it,
+	// a later read sees it. Only legal because a maybe-op has no return
+	// bound (it may linearize long after the client gave up).
+	h := History{
+		maybeEv(1, kvstore.OpPut, "x", "a", 1),
+		ev(2, kvstore.OpGet, "x", "", "", kvstore.Result{Found: false}, 10, 11),
+		ev(2, kvstore.OpGet, "x", "", "", kvstore.Result{Value: "a", Found: true}, 12, 13),
+	}
+	if !Check(h).Ok {
+		t.Error("late-landing timed-out write rejected")
+	}
+}
+
+func TestMaybeCannotExcuseContradiction(t *testing.T) {
+	// Maybe-ops widen the search but cannot repair a genuinely broken
+	// history: two reads observing values no write (definite or maybe)
+	// can explain in that order.
+	h := History{
+		ev(1, kvstore.OpPut, "x", "a", "", kvstore.Result{}, 1, 2),
+		maybeEv(1, kvstore.OpPut, "x", "b", 3),
+		ev(2, kvstore.OpGet, "x", "", "", kvstore.Result{Value: "b", Found: true}, 10, 11),
+		ev(2, kvstore.OpGet, "x", "", "", kvstore.Result{Value: "a", Found: true}, 12, 13),
+	}
+	if Check(h).Ok {
+		t.Error("value resurrection accepted")
+	}
+}
+
+func TestMaybeRespectsCallLowerBound(t *testing.T) {
+	// A maybe-op cannot take effect before its invocation: a read that
+	// completed before the maybe-Put was even called must not see it.
+	h := History{
+		ev(2, kvstore.OpGet, "x", "", "", kvstore.Result{Value: "a", Found: true}, 1, 2),
+		maybeEv(1, kvstore.OpPut, "x", "a", 5),
+	}
+	if Check(h).Ok {
+		t.Error("maybe-op linearized before its call instant")
+	}
+}
+
 // TestReplicatedKVIsLinearizable runs concurrent clients against the real
 // replicated store — including across a leader failure — and checks the
 // recorded history (the end-to-end SMR validation).

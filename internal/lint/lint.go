@@ -67,6 +67,7 @@ func DefaultConfig() Config {
 			"adore/internal/kvstore",
 			"adore/internal/raft/transport",
 			"adore/internal/raft/cluster",
+			"adore/internal/chaos",
 		},
 	}
 }

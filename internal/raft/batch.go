@@ -150,7 +150,17 @@ func (n *Node) flushBatch() {
 	for _, p := range batch {
 		n.log = append(n.log, LogEntry{Term: n.term, Kind: EntryCommand, Command: p.cmd})
 	}
-	n.persistEntriesLocked(first)
+	if !n.persistEntriesLocked(first) {
+		// The WAL write failed: the node fail-stopped and the batch was
+		// never durable (this batch was already drained, so failStopLocked's
+		// own sweep did not cover it).
+		err := n.stopErr
+		n.mu.Unlock()
+		for _, p := range batch {
+			p.fail(err)
+		}
+		return
+	}
 	n.matchIndex[n.id] = len(n.log) - 1
 	term := n.term
 	n.broadcastAppendLocked()

@@ -23,7 +23,9 @@ type Options struct {
 	Jitter  time.Duration
 	// ElectionTimeoutMin scales all protocol timers (0 = default).
 	ElectionTimeoutMin time.Duration
-	// DisableR3 reproduces the published reconfiguration bug.
+	// DisableR2/DisableR3 reintroduce the reconfiguration bugs the paper's
+	// guards prevent (used by the chaos harness to prove it catches them).
+	DisableR2 bool
 	DisableR3 bool
 	// Seed drives all randomness.
 	Seed int64
@@ -92,6 +94,7 @@ func (c *Cluster) StartNode(id types.NodeID, members []types.NodeID) *raft.Node 
 		Transport:          tr,
 		Storage:            storage,
 		ElectionTimeoutMin: c.opts.ElectionTimeoutMin,
+		DisableR2:          c.opts.DisableR2,
 		DisableR3:          c.opts.DisableR3,
 		Seed:               c.opts.Seed + int64(id),
 	})

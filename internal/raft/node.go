@@ -66,6 +66,13 @@ type Options struct {
 	// For experiments only.
 	DisableR3 bool
 
+	// DisableR2 drops the "no uncommitted configuration entry" guard, so
+	// a second membership change can be proposed while the first is still
+	// in flight. Disjoint quorums become reachable — the chaos harness
+	// uses this to prove it can catch the resulting divergence. For
+	// experiments only.
+	DisableR2 bool
+
 	// Seed randomizes election timeouts deterministically (0 = from ID).
 	Seed int64
 }
@@ -104,6 +111,11 @@ var (
 	// ErrBadMembership rejects changes that are not single-node (R1) or
 	// would empty the cluster.
 	ErrBadMembership = errors.New("raft: invalid membership change (R1)")
+	// ErrStorageFailed reports that a durable write failed and the node
+	// fail-stopped: it halted rather than keep running on state it could
+	// not persist (acting on unpersisted state breaks the crash-recovery
+	// argument). StorageErr returns the underlying cause.
+	ErrStorageFailed = errors.New("raft: storage write failed; node halted")
 )
 
 // Node is one Raft runtime instance. Create with StartNode; stop with Stop.
@@ -166,6 +178,10 @@ type Node struct {
 	// appendSeq numbers outgoing AppendEntries; followers echo it in their
 	// responses so barriers can tell fresh acks from stale in-flight ones.
 	appendSeq uint64 // guarded by mu
+
+	// stopErr, when non-nil, records the storage error that fail-stopped
+	// the node (see failStopLocked).
+	stopErr error // guarded by mu
 
 	// metrics
 	elections uint64 // guarded by mu
@@ -252,6 +268,33 @@ func (n *Node) Stop() {
 	n.applyClose.Do(func() { close(n.applyCh) })
 }
 
+// StorageErr returns the storage error that fail-stopped this node, or nil
+// if the node is healthy (or was stopped normally). A fail-stopped node has
+// its Done channel closed, so callers can distinguish "crashed as designed"
+// (Done closed, StorageErr non-nil) from a clean shutdown.
+func (n *Node) StorageErr() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stopErr
+}
+
+// failStopLocked halts the node because a durable write failed: continuing
+// to vote, ack, or lead on state that is not actually persisted would break
+// the crash-recovery argument (a restart would forget promises already sent
+// to peers). The node abdicates, aborts waiting clients, and shuts down; it
+// sends nothing after the failed write.
+func (n *Node) failStopLocked(err error) {
+	if n.stopErr != nil {
+		return
+	}
+	n.stopErr = fmt.Errorf("%w: %v", ErrStorageFailed, err)
+	n.role = Follower
+	n.leader = types.NoNode
+	n.failReadsLocked()
+	n.failPropsLocked()
+	n.stopOnce.Do(func() { close(n.stopCh) })
+}
+
 // Status reports the node's current term, role, and known leader.
 func (n *Node) Status() (types.Time, Role, types.NodeID) {
 	n.mu.Lock()
@@ -323,7 +366,10 @@ func (n *Node) Propose(cmd []byte) (int, types.Time, error) {
 	if n.role != Leader {
 		return 0, 0, fmt.Errorf("%w (known leader: %s)", ErrNotLeader, n.leader)
 	}
-	idx := n.appendLocked(LogEntry{Term: n.term, Kind: EntryCommand, Command: cmd})
+	idx, ok := n.appendLocked(LogEntry{Term: n.term, Kind: EntryCommand, Command: cmd})
+	if !ok {
+		return 0, 0, n.stopErr
+	}
 	n.broadcastAppendLocked()
 	return idx, n.term, nil
 }
@@ -349,9 +395,11 @@ func (n *Node) ProposeConfig(members types.NodeSet) (int, types.Time, error) {
 		return 0, 0, fmt.Errorf("%w: %s → %s changes %d nodes", ErrBadMembership, cur, members, added+removed)
 	}
 	// R2: no uncommitted config entry.
-	for i := n.commitIndex + 1; i < len(n.log); i++ {
-		if n.log[i].Kind == EntryConfig {
-			return 0, 0, ErrReconfigPending
+	if !n.opts.DisableR2 {
+		for i := n.commitIndex + 1; i < len(n.log); i++ {
+			if n.log[i].Kind == EntryConfig {
+				return 0, 0, ErrReconfigPending
+			}
 		}
 	}
 	// R3: a committed entry with the current term.
@@ -370,7 +418,10 @@ func (n *Node) ProposeConfig(members types.NodeSet) (int, types.Time, error) {
 			return 0, 0, ErrReconfigNotReady
 		}
 	}
-	idx := n.appendLocked(LogEntry{Term: n.term, Kind: EntryConfig, Members: members.Copy()})
+	idx, ok := n.appendLocked(LogEntry{Term: n.term, Kind: EntryConfig, Members: members.Copy()})
+	if !ok {
+		return 0, 0, n.stopErr
+	}
 	n.broadcastAppendLocked()
 	return idx, n.term, nil
 }
@@ -479,36 +530,45 @@ func (n *Node) RemoveServer(id types.NodeID) (int, types.Time, error) {
 	return n.ProposeConfig(n.Members().Remove(id))
 }
 
-// appendLocked appends an entry, persists it, and returns its index.
-func (n *Node) appendLocked(e LogEntry) int {
+// appendLocked appends an entry, persists it, and returns its index. ok is
+// false when the durable write failed: the node has fail-stopped and the
+// entry must not be acted on (the caller returns an error instead of
+// broadcasting).
+func (n *Node) appendLocked(e LogEntry) (idx int, ok bool) {
 	n.log = append(n.log, e)
-	idx := len(n.log) - 1
+	idx = len(n.log) - 1
 	n.trackConfigLocked(idx, e)
 	n.matchIndex[n.id] = idx
-	n.persistEntriesLocked(idx)
-	return idx
+	return idx, n.persistEntriesLocked(idx)
 }
 
-// persistStateLocked durably records the current term and vote.
-func (n *Node) persistStateLocked() {
+// persistStateLocked durably records the current term and vote. On failure
+// it fail-stops the node and returns false; the caller must not act on the
+// unpersisted state (no votes, no responses, no broadcasts).
+func (n *Node) persistStateLocked() bool {
 	if n.opts.Storage == nil {
-		return
+		return true
 	}
 	if err := n.opts.Storage.SaveState(HardState{Term: n.term, VotedFor: n.votedFor}); err != nil {
-		panic(fmt.Sprintf("raft: persist state: %v", err))
+		n.failStopLocked(fmt.Errorf("persist state: %w", err))
+		return false
 	}
+	return true
 }
 
-// persistEntriesLocked durably replaces the log suffix from firstIndex.
-func (n *Node) persistEntriesLocked(firstIndex int) {
+// persistEntriesLocked durably replaces the log suffix from firstIndex. On
+// failure it fail-stops the node and returns false (see persistStateLocked).
+func (n *Node) persistEntriesLocked(firstIndex int) bool {
 	if n.opts.Storage == nil {
-		return
+		return true
 	}
 	entries := make([]LogEntry, len(n.log)-firstIndex)
 	copy(entries, n.log[firstIndex:])
 	if err := n.opts.Storage.SaveEntries(firstIndex, entries); err != nil {
-		panic(fmt.Sprintf("raft: persist entries: %v", err))
+		n.failStopLocked(fmt.Errorf("persist entries: %w", err))
+		return false
 	}
+	return true
 }
 
 // run is the main event loop: messages, timers, shutdown.
@@ -564,7 +624,9 @@ func (n *Node) startElectionLocked() {
 	n.term++
 	n.role = Candidate
 	n.votedFor = n.id
-	n.persistStateLocked()
+	if !n.persistStateLocked() {
+		return // fail-stopped: the candidacy was never durable, send nothing
+	}
 	n.votes = types.NewNodeSet(n.id)
 	n.elections++
 	n.resetElectionDeadlineLocked()
@@ -606,7 +668,9 @@ func (n *Node) maybeWinLocked() {
 	n.matchIndex[n.id] = len(n.log) - 1
 	// Term-opening no-op: commits promptly in this term, satisfying both
 	// the commitment rule and R3.
-	n.appendLocked(LogEntry{Term: n.term, Kind: EntryNoOp})
+	if _, ok := n.appendLocked(LogEntry{Term: n.term, Kind: EntryNoOp}); !ok {
+		return // fail-stopped while persisting the no-op
+	}
 	n.broadcastAppendLocked()
 }
 
@@ -677,7 +741,9 @@ func (n *Node) handle(m Message) {
 		n.term = m.Term
 		n.role = Follower
 		n.votedFor = types.NoNode
-		n.persistStateLocked()
+		if !n.persistStateLocked() {
+			return // fail-stopped: the term bump never became durable
+		}
 		n.failReadsLocked()
 		n.failPropsLocked()
 	}
@@ -704,7 +770,9 @@ func (n *Node) onVoteRequestLocked(m Message) {
 		if upToDate {
 			granted = true
 			n.votedFor = m.From
-			n.persistStateLocked()
+			if !n.persistStateLocked() {
+				return // fail-stopped: never promise a vote that is not durable
+			}
 			n.resetElectionDeadlineLocked()
 		}
 	}
@@ -754,8 +822,8 @@ func (n *Node) onAppendEntriesLocked(m Message) {
 					}
 				}
 			}
-			if firstChanged != 0 {
-				n.persistEntriesLocked(firstChanged)
+			if firstChanged != 0 && !n.persistEntriesLocked(firstChanged) {
+				return // fail-stopped: do not ack entries that are not durable
 			}
 			matchIdx = m.PrevLogIndex + len(m.Entries)
 			if m.LeaderCommit > n.commitIndex {

@@ -3,32 +3,66 @@ package transport
 import (
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"adore/internal/raft"
 	"adore/internal/types"
 )
 
+const (
+	// sendQueueSize bounds each peer's outbound queue. When the peer is
+	// unreachable the queue fills and further sends are dropped (counted);
+	// the protocol's retries make that safe.
+	sendQueueSize = 1024
+	// dialBackoffMin/Max bound the reconnector's exponential backoff.
+	dialBackoffMin = 20 * time.Millisecond
+	dialBackoffMax = 2 * time.Second
+	// inboxWait is how long an inbound reader waits on a congested inbox
+	// before shedding the message. Bounded (not infinite) so one slow node
+	// cannot stall a peer's reader goroutine indefinitely; non-zero so a
+	// short apply hiccup causes backpressure instead of silent loss.
+	inboxWait = 5 * time.Millisecond
+)
+
 // TCPTransport carries raft messages over TCP with gob encoding — the
-// runtime's real-network deployment path (cmd/raft-kv). Each endpoint
-// listens on its own address and lazily dials peers, caching connections.
+// runtime's real-network deployment path (cmd/raft-kv).
+//
+// Sends never block on the network: each peer has a background sender
+// goroutine that owns the connection, redials with capped exponential
+// backoff plus jitter when the peer is down, and drains a bounded queue.
+// Send enqueues or — when the queue is full or the peer unknown — drops and
+// counts. Inbound messages get a bounded wait on a congested inbox before
+// being shed (counted), so transient slowness backpressures the sender
+// instead of silently losing traffic, while a wedged node cannot pin the
+// reader forever.
 type TCPTransport struct {
-	id      types.NodeID
-	inbox   chan<- raft.Message
-	ln      net.Listener
+	id    types.NodeID
+	inbox chan<- raft.Message
+	ln    net.Listener
+
 	mu      sync.Mutex
-	peers   map[types.NodeID]string    // guarded by mu
-	conns   map[types.NodeID]*peerConn // guarded by mu
-	inbound map[net.Conn]struct{}      // guarded by mu
-	closed  bool                       // guarded by mu
+	peers   map[types.NodeID]string      // guarded by mu
+	senders map[types.NodeID]*peerSender // guarded by mu
+	inbound map[net.Conn]struct{}        // guarded by mu
+	closed  bool                         // guarded by mu
 	wg      sync.WaitGroup
+
+	dropped atomic.Uint64 // outbound: queue full, unknown peer, or write failure
+	shed    atomic.Uint64 // inbound: inbox still full after the bounded wait
 }
 
-type peerConn struct {
-	mu   sync.Mutex
-	conn net.Conn     // set at construction; Close is safe concurrently
-	enc  *gob.Encoder // guarded by mu
+// peerSender owns one peer's connection. All fields are set at construction;
+// the loop goroutine is the only user of the connection itself.
+type peerSender struct {
+	t     *TCPTransport
+	addr  string
+	queue chan raft.Message
+	stop  chan struct{}
+	once  sync.Once
 }
 
 // NewTCPTransport starts listening on addr and delivers inbound messages to
@@ -48,7 +82,7 @@ func NewTCPTransport(id types.NodeID, addr string, peers map[types.NodeID]string
 		inbox:   inbox,
 		ln:      ln,
 		peers:   peerAddrs,
-		conns:   make(map[types.NodeID]*peerConn),
+		senders: make(map[types.NodeID]*peerSender),
 		inbound: make(map[net.Conn]struct{}),
 	}
 	t.wg.Add(1)
@@ -59,12 +93,24 @@ func NewTCPTransport(id types.NodeID, addr string, peers map[types.NodeID]string
 // Addr returns the transport's bound address (useful with ":0").
 func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
 
-// SetPeer registers or updates a peer's address (e.g. after AddServer).
+// Counters returns how many outbound messages were dropped (full queue,
+// unknown peer, or write failure) and how many inbound messages were shed
+// after the bounded inbox wait.
+func (t *TCPTransport) Counters() (dropped, shed uint64) {
+	return t.dropped.Load(), t.shed.Load()
+}
+
+// SetPeer registers or updates a peer's address (e.g. after AddServer). An
+// existing sender for the peer is torn down; the next Send spawns a fresh
+// one against the new address.
 func (t *TCPTransport) SetPeer(id types.NodeID, addr string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.peers[id] = addr
-	delete(t.conns, id)
+	if ps := t.senders[id]; ps != nil {
+		ps.shutdown()
+		delete(t.senders, id)
+	}
 }
 
 func (t *TCPTransport) accept() {
@@ -95,6 +141,8 @@ func (t *TCPTransport) receive(conn net.Conn) {
 		t.mu.Unlock()
 	}()
 	dec := gob.NewDecoder(conn)
+	timer := time.NewTimer(inboxWait)
+	defer timer.Stop()
 	for {
 		var m raft.Message
 		if err := dec.Decode(&m); err != nil {
@@ -108,12 +156,29 @@ func (t *TCPTransport) receive(conn net.Conn) {
 		}
 		select {
 		case t.inbox <- m:
-		default: // congested; drop (the protocol retries)
+			continue
+		default:
+		}
+		// Congested inbox: wait a bounded slice — TCP stops reading, the
+		// peer backpressures — then shed rather than wedge the reader.
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(inboxWait)
+		select {
+		case t.inbox <- m:
+		case <-timer.C:
+			t.shed.Add(1)
 		}
 	}
 }
 
-// Send implements raft.Transport: best-effort asynchronous delivery.
+// Send implements raft.Transport: best-effort, never blocking on the
+// network. The message is queued to the peer's sender (spawned on first
+// use) or dropped with a count if the queue is full.
 func (t *TCPTransport) Send(m raft.Message) {
 	m.From = t.id
 	t.mu.Lock()
@@ -121,37 +186,81 @@ func (t *TCPTransport) Send(m raft.Message) {
 		t.mu.Unlock()
 		return
 	}
-	addr, ok := t.peers[m.To]
-	pc := t.conns[m.To]
+	ps := t.senders[m.To]
+	if ps == nil {
+		addr, ok := t.peers[m.To]
+		if !ok {
+			t.mu.Unlock()
+			t.dropped.Add(1)
+			return
+		}
+		ps = &peerSender{
+			t:     t,
+			addr:  addr,
+			queue: make(chan raft.Message, sendQueueSize),
+			stop:  make(chan struct{}),
+		}
+		t.senders[m.To] = ps
+		t.wg.Add(1)
+		go ps.loop()
+	}
 	t.mu.Unlock()
-	if !ok {
-		return
+	select {
+	case ps.queue <- m:
+	default:
+		t.dropped.Add(1)
 	}
-	if pc == nil {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			return // peer down; protocol retries
-		}
-		pc = &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
-		t.mu.Lock()
-		if existing := t.conns[m.To]; existing != nil {
+}
+
+// shutdown stops the sender's loop (idempotent; safe under t.mu).
+func (ps *peerSender) shutdown() {
+	ps.once.Do(func() { close(ps.stop) })
+}
+
+// loop drains the queue, (re)dialing as needed. Dial failures back off
+// exponentially with jitter up to a cap; while disconnected the queue fills
+// and Send sheds load at the enqueue side.
+func (ps *peerSender) loop() {
+	defer ps.t.wg.Done()
+	var conn net.Conn
+	var enc *gob.Encoder
+	defer func() {
+		if conn != nil {
 			conn.Close()
-			pc = existing
-		} else {
-			t.conns[m.To] = pc
 		}
-		t.mu.Unlock()
-	}
-	pc.mu.Lock()
-	err := pc.enc.Encode(m)
-	pc.mu.Unlock()
-	if err != nil {
-		t.mu.Lock()
-		if t.conns[m.To] == pc {
-			delete(t.conns, m.To)
+	}()
+	backoff := dialBackoffMin
+	for {
+		select {
+		case <-ps.stop:
+			return
+		case m := <-ps.queue:
+			for conn == nil {
+				c, err := net.Dial("tcp", ps.addr)
+				if err == nil {
+					conn, enc = c, gob.NewEncoder(c)
+					backoff = dialBackoffMin
+					break
+				}
+				// Full jitter on the current backoff tier: desynchronizes
+				// reconnect storms when a node restarts.
+				delay := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+				backoff *= 2
+				if backoff > dialBackoffMax {
+					backoff = dialBackoffMax
+				}
+				select {
+				case <-ps.stop:
+					return
+				case <-time.After(delay):
+				}
+			}
+			if err := enc.Encode(m); err != nil {
+				conn.Close()
+				conn, enc = nil, nil
+				ps.t.dropped.Add(1) // this message is lost; the protocol retries
+			}
 		}
-		t.mu.Unlock()
-		pc.conn.Close()
 	}
 }
 
@@ -163,16 +272,16 @@ func (t *TCPTransport) Close() error {
 		return nil
 	}
 	t.closed = true
-	conns := t.conns
-	t.conns = map[types.NodeID]*peerConn{}
+	senders := t.senders
+	t.senders = map[types.NodeID]*peerSender{}
 	inbound := make([]net.Conn, 0, len(t.inbound))
 	for c := range t.inbound {
 		inbound = append(inbound, c)
 	}
 	t.mu.Unlock()
 	err := t.ln.Close()
-	for _, pc := range conns {
-		pc.conn.Close()
+	for _, ps := range senders {
+		ps.shutdown()
 	}
 	for _, c := range inbound {
 		c.Close() // unblocks the receive goroutines' Decode

@@ -152,6 +152,122 @@ func TestTCPTransportUnknownPeerDropsSilently(t *testing.T) {
 	tr.Send(raft.Message{To: 99}) // no peer registered: must not panic
 }
 
+// TestTCPSendNeverBlocks sends a burst at a peer that is not listening:
+// Send must return immediately every time (the dial happens on the
+// background reconnector, not the caller), and once the per-peer queue
+// fills the overflow must be counted, not silently lost and not blocked on.
+func TestTCPSendNeverBlocks(t *testing.T) {
+	in := make(chan raft.Message, 8)
+	tr, err := NewTCPTransport(1, "127.0.0.1:0", nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	// Reserve an address with nobody behind it.
+	dead, err := NewTCPTransport(9, "127.0.0.1:0", nil, make(chan raft.Message, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.Addr()
+	dead.Close()
+	tr.SetPeer(2, addr)
+
+	const burst = 3 * sendQueueSize
+	start := time.Now()
+	for i := 0; i < burst; i++ {
+		tr.Send(raft.Message{To: 2, Term: types.Time(i)})
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("burst of %d sends to a down peer took %v — Send is blocking on the network", burst, d)
+	}
+	if dropped, _ := tr.Counters(); dropped == 0 {
+		t.Fatal("queue overflow to a down peer was not counted")
+	}
+}
+
+// TestTCPReconnectsAfterPeerRestart kills a peer and brings it back on the
+// same address: the background reconnector's backoff loop must pick the
+// connection back up without any SetPeer call.
+func TestTCPReconnectsAfterPeerRestart(t *testing.T) {
+	in1 := make(chan raft.Message, 8)
+	t1, err := NewTCPTransport(1, "127.0.0.1:0", nil, in1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	in2 := make(chan raft.Message, 8)
+	t2, err := NewTCPTransport(2, "127.0.0.1:0", nil, in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := t2.Addr()
+	t1.SetPeer(2, addr)
+
+	t1.Send(raft.Message{To: 2, Term: 1})
+	select {
+	case <-in2:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery before the restart")
+	}
+
+	// Peer goes down; sends queue or drop but never block.
+	t2.Close()
+	for i := 0; i < 10; i++ {
+		t1.Send(raft.Message{To: 2, Term: 2})
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Peer comes back on the same address.
+	in2b := make(chan raft.Message, 64)
+	t2b, err := NewTCPTransport(2, addr, nil, in2b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2b.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		t1.Send(raft.Message{To: 2, Term: 3})
+		select {
+		case <-in2b:
+			return // reconnected
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	t.Fatal("sender never reconnected to the restarted peer")
+}
+
+// TestTCPInboxBackpressureShedsAfterBoundedWait wedges the receiving node (a
+// full inbox nobody drains): the reader must wait its bounded slice and then
+// shed with a count — not block forever, not drop instantly without trace.
+func TestTCPInboxBackpressureShedsAfterBoundedWait(t *testing.T) {
+	in2 := make(chan raft.Message, 1) // tiny inbox, never drained
+	t2, err := NewTCPTransport(2, "127.0.0.1:0", nil, in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+	in1 := make(chan raft.Message, 1)
+	t1, err := NewTCPTransport(1, "127.0.0.1:0", nil, in1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	t1.SetPeer(2, t2.Addr())
+
+	for i := 0; i < 64; i++ {
+		t1.Send(raft.Message{To: 2, Term: types.Time(i)})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, shed := t2.Counters(); shed > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, shed := t2.Counters()
+	t.Fatalf("wedged inbox: shed = %d, want > 0", shed)
+}
+
 // TestTCPCluster runs a real 3-node raft cluster over TCP loopback: the
 // executable-protocol deployment path of §7.
 func TestTCPCluster(t *testing.T) {
