@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check bench bench-evidence chaos chaos-smoke chaos-teeth
+.PHONY: all build test race vet lint check bench bench-evidence chaos chaos-smoke chaos-teeth sim-sweep sim-teeth
 
 all: check
 
@@ -41,6 +41,20 @@ chaos-smoke:
 # with R2 disabled the crafted double-shed schedule must produce violations.
 chaos-teeth:
 	$(GO) run ./cmd/raft-chaos -seeds 3 -duration 1500ms -teeth -disable-r2 -mem
+
+# sim-sweep runs the same schedules in the deterministic simulator: the
+# whole execution (not just the fault plan) is a pure function of the seed,
+# there are no wall-clock sleeps, and the executable refinement checker
+# (replica logs vs the ADORE cache tree) joins the oracle set — so 500
+# seeds finish in seconds and a failing seed replays byte-identically.
+sim-sweep:
+	$(GO) run ./cmd/raft-chaos -sim -seeds 500
+
+# sim-teeth: the simulator's oracles (committed-prefix, refinement,
+# linearizability) must catch the R2 double-shed divergence. With
+# -disable-r2 explicit the tool expects violations and exits 0 on a catch.
+sim-teeth:
+	$(GO) run ./cmd/raft-chaos -sim -teeth -disable-r2 -seeds 1
 
 # bench is the smoke pass CI runs: every Go benchmark once (-benchtime=1x,
 # no test functions), then a small durable batched-vs-unbatched Fig. 16

@@ -9,6 +9,16 @@
 //	raft-chaos -seeds 200 -duration 2s      # sweep seeds 0..199
 //	raft-chaos -seed 1337 -v                # replay one seed, print its plan
 //	raft-chaos -seeds 50 -disable-r2        # teeth check: must find violations
+//	raft-chaos -sim -seeds 500              # deterministic simulation sweep
+//	raft-chaos -sim -teeth                  # sim teeth: must exit non-zero
+//
+// With -sim each seed runs in the deterministic simulator instead of a live
+// cluster: single-threaded on a logical clock, the entire execution (not
+// just the fault plan) a pure function of the seed, with the executable
+// refinement checker (replica logs vs the Adore cache tree) added to the
+// oracle set. A bare -teeth implies -disable-r2 but keeps violations as the
+// failing exit status, so `raft-chaos [-sim] -teeth` exits 1 exactly when
+// the harness still has teeth.
 //
 // Exit status is non-zero if any seed produced a safety violation (or, with
 // -disable-r2/-disable-r3, if none did: a harness that cannot catch a
@@ -41,9 +51,19 @@ func main() {
 		disableR2 = flag.Bool("disable-r2", false, "reintroduce the R2 bug (expect violations)")
 		disableR3 = flag.Bool("disable-r3", false, "reintroduce the R3 bug (expect violations)")
 		teeth     = flag.Bool("teeth", false, "run the crafted double-shed schedule instead of generated ones")
+		sim       = flag.Bool("sim", false, "deterministic simulation instead of a live cluster (adds the refinement oracle)")
 		verbose   = flag.Bool("v", false, "print each run's plan and report")
 	)
 	flag.Parse()
+
+	// A bare -teeth asserts the harness catches the R2 bug: the guard is
+	// dropped for the run, but violations keep their failing exit status
+	// (unlike an explicit -disable-r2, which flips to expect-violations
+	// mode and exits 0 on a catch).
+	expectViolations := *disableR2 || *disableR3
+	if *teeth && !expectViolations {
+		*disableR2 = true
+	}
 
 	opt := chaos.Options{
 		Nodes:        *nodes,
@@ -55,7 +75,6 @@ func main() {
 		DisableR2:    *disableR2,
 		DisableR3:    *disableR3,
 	}
-	expectViolations := *disableR2 || *disableR3
 
 	var list []int64
 	if *seed >= 0 {
@@ -84,7 +103,11 @@ func main() {
 					sched = chaos.R2ViolationSchedule(opt)
 					sched.Seed = s
 				}
-				rep, err := chaos.Run(sched, opt)
+				run := chaos.Run
+				if *sim {
+					run = chaos.RunSim
+				}
+				rep, err := run(sched, opt)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "seed %d: harness error: %v\n", s, err)
 					mu.Lock()
@@ -107,8 +130,8 @@ func main() {
 					mu.Lock()
 					failing = append(failing, s)
 					mu.Unlock()
-					fmt.Fprintf(os.Stderr, "seed %d: SAFETY VIOLATION (replay: raft-chaos -seed %d -duration %s%s)\n",
-						s, s, *duration, memFlag(*mem))
+					fmt.Fprintf(os.Stderr, "seed %d: SAFETY VIOLATION (replay: raft-chaos%s -seed %d -duration %s%s)\n",
+						s, simFlag(*sim), s, *duration, memFlag(*mem))
 					for _, v := range rep.Violations {
 						fmt.Fprintf(os.Stderr, "  %s\n", v)
 					}
@@ -141,6 +164,13 @@ func main() {
 func memFlag(mem bool) string {
 	if mem {
 		return " -mem"
+	}
+	return ""
+}
+
+func simFlag(sim bool) string {
+	if sim {
+		return " -sim"
 	}
 	return ""
 }

@@ -23,7 +23,13 @@ const maxViolationDetail = 8
 //     crashes and restarts (a restarted node must win a fresh election at a
 //     higher term before leading again, so one term never has two leaders
 //     unless quorum intersection was broken);
-//   - term monotonicity: one node incarnation's term never decreases.
+//   - term monotonicity: one node incarnation's term never decreases;
+//   - commit monotonicity: one incarnation's commit index never decreases.
+//
+// Each sample is one Node.Snapshot() call, so the fields checked against
+// each other (term/role, term/commit) come from a single consistent view
+// of the node — a torn read across separate accessors cannot fabricate a
+// violation.
 type monitor struct {
 	c      *cluster.Cluster
 	stopCh chan struct{}
@@ -32,6 +38,7 @@ type monitor struct {
 	mu         sync.Mutex
 	leaders    map[types.Time]types.NodeID // term → leader seen; guarded by mu
 	lastTerm   map[*raft.Node]types.Time   // per incarnation; guarded by mu
+	lastCommit map[*raft.Node]int          // per incarnation; guarded by mu
 	violations map[string]bool             // deduplicated; guarded by mu
 	stopped    bool                        // guarded by mu
 }
@@ -43,6 +50,7 @@ func startMonitor(c *cluster.Cluster) *monitor {
 		doneCh:     make(chan struct{}),
 		leaders:    make(map[types.Time]types.NodeID),
 		lastTerm:   make(map[*raft.Node]types.Time),
+		lastCommit: make(map[*raft.Node]int),
 		violations: make(map[string]bool),
 	}
 	go m.loop()
@@ -68,16 +76,20 @@ func (m *monitor) sample() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, n := range nodes {
-		term, role, _ := n.Status()
-		if last, ok := m.lastTerm[n]; ok && term < last {
-			m.violations[fmt.Sprintf("term went backwards on S%d: %d after %d", n.ID(), term, last)] = true
+		s := n.Snapshot()
+		if last, ok := m.lastTerm[n]; ok && s.Term < last {
+			m.violations[fmt.Sprintf("term went backwards on S%d: %d after %d", n.ID(), s.Term, last)] = true
 		}
-		m.lastTerm[n] = term
-		if role == raft.Leader {
-			if prev, ok := m.leaders[term]; ok && prev != n.ID() {
-				m.violations[fmt.Sprintf("two leaders in term %d: S%d and S%d", term, prev, n.ID())] = true
+		m.lastTerm[n] = s.Term
+		if last, ok := m.lastCommit[n]; ok && s.CommitIndex < last {
+			m.violations[fmt.Sprintf("commit index went backwards on S%d: %d after %d", n.ID(), s.CommitIndex, last)] = true
+		}
+		m.lastCommit[n] = s.CommitIndex
+		if s.Role == raft.Leader {
+			if prev, ok := m.leaders[s.Term]; ok && prev != n.ID() {
+				m.violations[fmt.Sprintf("two leaders in term %d: S%d and S%d", s.Term, prev, n.ID())] = true
 			} else {
-				m.leaders[term] = n.ID()
+				m.leaders[s.Term] = n.ID()
 			}
 		}
 	}
@@ -139,13 +151,24 @@ func (f entryFP) String() string {
 // legitimately contain duplicates — but only identical ones), and log terms
 // must be nondecreasing in the index.
 func checkApplied(c *cluster.Cluster, nodes int) []string {
+	streams := make(map[types.NodeID][]raft.ApplyMsg, nodes)
+	for i := 1; i <= nodes; i++ {
+		id := types.NodeID(i)
+		streams[id] = c.Applied(id)
+	}
+	return checkAppliedStreams(streams, nodes)
+}
+
+// checkAppliedStreams is checkApplied over raw apply streams, shared by the
+// live runner (cluster-recorded streams) and the deterministic simulation.
+func checkAppliedStreams(streams map[types.NodeID][]raft.ApplyMsg, nodes int) []string {
 	var out []string
 	perNode := make(map[types.NodeID]map[int]entryFP, nodes)
 	for i := 1; i <= nodes; i++ {
 		id := types.NodeID(i)
 		byIndex := make(map[int]entryFP)
 		selfConflicts := 0
-		for _, msg := range c.Applied(id) {
+		for _, msg := range streams[id] {
 			f := fingerprint(msg)
 			if prev, ok := byIndex[msg.Index]; ok && prev != f {
 				if selfConflicts < maxViolationDetail {

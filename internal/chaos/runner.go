@@ -26,6 +26,10 @@ type Report struct {
 	Timeouts   int // operations with unknown outcome
 	Faults     uint64
 	Events     int
+
+	// Journal is the deterministic event transcript (simulation runs
+	// only); byte-identical across runs of the same seed and options.
+	Journal []byte
 }
 
 // Ok reports whether the run found no safety violation.

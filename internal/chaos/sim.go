@@ -1,0 +1,586 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"adore/internal/kvstore"
+	"adore/internal/linear"
+	"adore/internal/raft"
+	"adore/internal/raft/sim"
+	"adore/internal/refine"
+	"adore/internal/types"
+)
+
+// This file replays chaos schedules deterministically: the same Schedule
+// that Run executes against live goroutines is driven here through
+// internal/raft/sim — single-threaded, on a logical clock, every random
+// draw from the schedule's seed. One schedule millisecond is one sim tick,
+// so the generated timelines (events in [10%, 80%] of the horizon, clients
+// paced across it) keep their shape.
+//
+// On top of the live runner's oracles (election safety, term and commit
+// monotonicity, applied-prefix agreement, per-key linearizability), the
+// deterministic run checks executable refinement: every few ticks each
+// replica's raw log and commit index are fed through
+// refine.ExecChecker.ObserveNode, which rebuilds the Adore cache tree and
+// requires logMatch plus one committed branch. A run of the R2-disabled
+// schedule fails this oracle at the exact tick the histories fork.
+
+// simTick is the schedule-time quantum: one simulator tick per millisecond
+// of scheduled time.
+const simTick = time.Millisecond
+
+// refineEvery is how many ticks pass between executable-refinement sweeps.
+const refineEvery = 25
+
+// crashGraceTicks bounds how long an armed torn/wound fault may wait for a
+// write before the hard crash lands (the live executor waits 50ms).
+const crashGraceTicks = 50
+
+// ticksOf converts a schedule offset to sim ticks (at least 1).
+func ticksOf(d time.Duration) int64 {
+	t := int64(d / simTick)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// RunSimSeed generates the schedule for seed and replays it in the
+// deterministic simulator.
+func RunSimSeed(seed int64, opt Options) (*Report, error) {
+	return RunSim(Generate(seed, opt), opt)
+}
+
+// RunSim executes a schedule in the deterministic simulator and returns
+// the same Report shape as Run, plus the replayable journal. Two calls
+// with equal schedule and options produce byte-identical journals.
+func RunSim(sched *Schedule, opt Options) (*Report, error) {
+	opt.defaults()
+	if sched.Nodes > 0 {
+		opt.Nodes = sched.Nodes
+	}
+	perKey := map[string]int{}
+	for _, script := range sched.Scripts {
+		for _, op := range script {
+			perKey[op.Key]++
+		}
+	}
+	for k, cnt := range perKey {
+		if cnt > 62 {
+			return nil, fmt.Errorf("chaos: key %q would see %d ops, beyond the checker's 62-event bound; raise Keys or lower the workload", k, cnt)
+		}
+	}
+	rep := &Report{Seed: sched.Seed, Hash: sched.Hash(), Events: len(sched.Events)}
+
+	et := int(ticksOf(opt.ElectionTimeoutMin))
+	r := &simRun{
+		s: sim.New(sim.Options{
+			Nodes:          opt.Nodes,
+			Seed:           sched.Seed,
+			ElectionTicks:  et,
+			JitterTicks:    et,
+			HeartbeatTicks: max(1, et/3),
+			DisableR2:      opt.DisableR2,
+			DisableR3:      opt.DisableR3,
+		}),
+		opt:        opt,
+		horizon:    ticksOf(opt.Duration),
+		opTimeout:  ticksOf(opt.OpTimeout),
+		stores:     make(map[types.NodeID]*kvstore.Store, opt.Nodes),
+		applied:    make(map[types.NodeID][]raft.ApplyMsg, opt.Nodes),
+		incarn:     make(map[types.NodeID]int, opt.Nodes),
+		leaders:    make(map[types.Time]types.NodeID),
+		lastTerm:   make(map[incKey]types.Time),
+		lastCommit: make(map[incKey]int),
+		violations: make(map[string]bool),
+		members:    append([]types.NodeID(nil), types.Range(1, types.NodeID(opt.Nodes)).Slice()...),
+	}
+	for _, id := range r.s.IDs() {
+		r.stores[id] = kvstore.NewStore()
+	}
+	r.s.OnApply(func(id types.NodeID, batch []raft.ApplyMsg) {
+		r.applied[id] = append(r.applied[id], batch...)
+		for _, msg := range batch {
+			r.stores[id].Apply(msg)
+		}
+	})
+	r.exec = refine.NewExec(types.NewNodeSet(r.members...))
+
+	for ci, script := range sched.Scripts {
+		r.clients = append(r.clients, newSimClient(ci, script, r.horizon))
+	}
+
+	// Main phase: tick the cluster, fire due nemesis events, drive clients,
+	// sample the safety monitors.
+	nextEvent := 0
+	for now := int64(0); now < r.horizon; now++ {
+		r.s.Step()
+		for nextEvent < len(sched.Events) && ticksOf(sched.Events[nextEvent].At) <= r.s.Now() {
+			r.apply(sched.Events[nextEvent])
+			nextEvent++
+		}
+		r.tickClients()
+		r.sampleMonitor()
+		if r.s.Now()%refineEvery == 0 {
+			r.checkRefinement()
+		}
+	}
+
+	// Epilogue: heal everything, restart the fallen, let in-flight client
+	// ops resolve or time out, and wait for commit indexes to agree.
+	r.s.Heal()
+	r.s.SetDropRate(0)
+	for _, id := range r.s.IDs() {
+		r.s.ClearFaults(id)
+		r.restart(id)
+	}
+	settle := r.s.Now() + ticksOf(opt.SettleTimeout)
+	stable := 0
+	converged := false
+	for r.s.Now() < settle {
+		r.s.Step()
+		r.tickClients()
+		r.sampleMonitor()
+		if r.s.Now()%refineEvery == 0 {
+			r.checkRefinement()
+		}
+		if r.converged() && !r.clientsPending() {
+			stable++
+			if stable >= 3 {
+				converged = true
+				break
+			}
+		} else {
+			stable = 0
+		}
+	}
+	if !converged {
+		rep.Warnings = append(rep.Warnings, fmt.Sprintf("cluster did not converge within %s of the run ending", opt.SettleTimeout))
+	}
+	r.checkRefinement()
+
+	for _, cl := range r.clients {
+		rep.Ops += cl.ops
+		rep.Timeouts += cl.timeouts
+	}
+	rep.Faults = r.s.Faults()
+	rep.Violations = append(rep.Violations, r.monitorReport()...)
+	rep.Violations = append(rep.Violations, checkAppliedStreams(r.applied, opt.Nodes)...)
+	rep.Violations = append(rep.Violations, checkLinearizable(r.history)...)
+	rep.Violations = append(rep.Violations, r.refineViolations...)
+	rep.Journal = append([]byte(nil), r.s.Journal()...)
+	return rep, nil
+}
+
+// incKey identifies one incarnation of one node for the monotonicity
+// oracles (a restart legitimately resets the volatile commit index).
+type incKey struct {
+	id  types.NodeID
+	inc int
+}
+
+// simRun is the deterministic counterpart of Run's goroutine soup: one
+// struct, stepped synchronously.
+type simRun struct {
+	s         *sim.Cluster
+	opt       Options
+	horizon   int64
+	opTimeout int64
+
+	stores  map[types.NodeID]*kvstore.Store
+	applied map[types.NodeID][]raft.ApplyMsg
+	incarn  map[types.NodeID]int
+	clients []*simClient
+	history linear.History
+
+	// nemesis state (mirrors executor)
+	members    []types.NodeID
+	near, far  []types.NodeID
+	partLeader types.NodeID // NoNode when no leader partition is active
+
+	// monitor state
+	leaders    map[types.Time]types.NodeID
+	lastTerm   map[incKey]types.Time
+	lastCommit map[incKey]int
+	violations map[string]bool
+
+	// executable refinement
+	exec             *refine.ExecChecker
+	refineBroken     bool
+	refineViolations []string
+}
+
+// restart boots a fallen node (no-op when healthy) with a fresh store; the
+// replayed apply stream rebuilds it, and the accumulated stream keeps both
+// incarnations for checkAppliedStreams.
+func (r *simRun) restart(id types.NodeID) {
+	if r.s.Alive(id) {
+		return
+	}
+	r.incarn[id]++
+	r.stores[id] = kvstore.NewStore()
+	r.s.Restart(id)
+}
+
+// sampleMonitor is the monitor.sample of the deterministic run: election
+// safety plus per-incarnation term and commit monotonicity.
+func (r *simRun) sampleMonitor() {
+	for _, id := range r.s.IDs() {
+		term, role, _ := r.s.Status(id)
+		key := incKey{id, r.incarn[id]}
+		if last, ok := r.lastTerm[key]; ok && term < last {
+			r.violations[fmt.Sprintf("term went backwards on S%d: %d after %d", id, term, last)] = true
+		}
+		r.lastTerm[key] = term
+		ci := r.s.CommitIndex(id)
+		if last, ok := r.lastCommit[key]; ok && ci < last {
+			r.violations[fmt.Sprintf("commit index went backwards on S%d: %d after %d", id, ci, last)] = true
+		}
+		r.lastCommit[key] = ci
+		if role == raft.Leader {
+			if prev, ok := r.leaders[term]; ok && prev != id {
+				r.violations[fmt.Sprintf("two leaders in term %d: S%d and S%d", term, prev, id)] = true
+			} else {
+				r.leaders[term] = id
+			}
+		}
+	}
+}
+
+func (r *simRun) monitorReport() []string {
+	out := make([]string, 0, len(r.violations))
+	for v := range r.violations {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkRefinement feeds every replica's current log and commit index
+// through the executable-refinement checker. The first violation is
+// recorded and further sweeps stop (a forked tree keeps failing).
+func (r *simRun) checkRefinement() {
+	if r.refineBroken {
+		return
+	}
+	for _, id := range r.s.IDs() {
+		last := r.s.LastIndex(id)
+		log := make([]raft.LogEntry, last)
+		for i := 1; i <= last; i++ {
+			log[i-1] = r.s.Entry(id, i)
+		}
+		if err := r.exec.ObserveNode(id, log, r.s.CommitIndex(id)); err != nil {
+			r.refineViolations = append(r.refineViolations, err.Error())
+			r.refineBroken = true
+			r.s.Journalf("refinement violation: %v", err)
+			return
+		}
+	}
+}
+
+// converged reports whether every member of the leader's configuration
+// agrees on the commit index.
+func (r *simRun) converged() bool {
+	lid, ok := r.s.Leader()
+	if !ok {
+		return false
+	}
+	want := r.s.CommitIndex(lid)
+	for _, id := range r.s.Members(lid).Slice() {
+		if !r.s.Alive(id) || r.s.CommitIndex(id) != want {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *simRun) clientsPending() bool {
+	for _, cl := range r.clients {
+		if cl.pend != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// apply executes one nemesis event (the executor.apply of the sim world).
+func (r *simRun) apply(e Event) {
+	switch e.Kind {
+	case EvPartition:
+		r.clearPartition()
+		r.s.Partition(e.A, e.B)
+	case EvPartitionLeader:
+		r.partitionLeader(e.Keep)
+	case EvHeal:
+		r.clearPartition()
+		r.s.Heal()
+	case EvIsolate:
+		r.clearPartition()
+		r.s.Isolate(e.Node)
+	case EvDropRate:
+		r.s.SetDropRate(e.Rate)
+	case EvCrash:
+		switch e.Mode {
+		case CrashClean:
+			r.s.Crash(e.Node)
+		case CrashTorn:
+			r.s.CrashTorn(e.Node, crashGraceTicks)
+		case CrashWound:
+			r.s.CrashWound(e.Node, crashGraceTicks)
+		default:
+			panic(fmt.Sprintf("chaos: unknown crash mode %v", e.Mode))
+		}
+	case EvRestart:
+		r.s.ClearFaults(e.Node)
+		r.restart(e.Node)
+	case EvReconfigRemove, EvReconfigAdd:
+		lid, ok := r.s.Leader()
+		if !ok {
+			return
+		}
+		target := r.s.Members(lid)
+		if e.Kind == EvReconfigRemove {
+			target = target.Remove(e.Node)
+		} else {
+			target = target.Add(e.Node)
+		}
+		if target.Len() == r.s.Members(lid).Len() {
+			return
+		}
+		// Best effort, as in the live executor: R2/R3 rejections and
+		// never-committing changes are outcomes the oracles observe.
+		r.s.ProposeConfig(lid, target)
+	case EvReconfigShed:
+		r.shed()
+	default:
+		panic(fmt.Sprintf("chaos: sim executor saw unknown event kind %v", e.Kind))
+	}
+}
+
+func (r *simRun) clearPartition() {
+	r.near, r.far, r.partLeader = nil, nil, types.NoNode
+}
+
+func (r *simRun) partitionLeader(keep int) {
+	r.clearPartition()
+	lid, ok := r.s.Leader()
+	if !ok {
+		lid = r.members[0]
+	}
+	near := []types.NodeID{lid}
+	var far []types.NodeID
+	for _, id := range r.members {
+		if id == lid {
+			continue
+		}
+		if len(near) < 1+keep {
+			near = append(near, id)
+		} else {
+			far = append(far, id)
+		}
+	}
+	r.s.Partition(near, far)
+	r.near, r.far = near, far
+	if ok {
+		r.partLeader = lid
+	}
+}
+
+// shed asks the partitioned stale leader to drop one far-side member — the
+// move R2/R3 must police (see executor.shed).
+func (r *simRun) shed() {
+	if r.partLeader == types.NoNode || !r.s.Alive(r.partLeader) {
+		return
+	}
+	members := r.s.Members(r.partLeader)
+	for _, id := range r.far {
+		if members.Contains(id) {
+			r.s.ProposeConfig(r.partLeader, members.Remove(id))
+			return
+		}
+	}
+}
+
+// tickClients advances every client's state machine one tick, in client
+// order (determinism requires a fixed order, and clients are independent).
+func (r *simRun) tickClients() {
+	for _, cl := range r.clients {
+		cl.tick(r)
+	}
+}
+
+// simClient is one scripted client as an explicit state machine: at most
+// one outstanding operation, retried against the current leader until the
+// dedup table shows it applied (the live client's transparent retry), then
+// recorded in the shared history with sim-tick call/return times.
+type simClient struct {
+	idx      int
+	clientID uint64
+	script   []ClientOp
+	startAt  []int64
+	next     int
+	pend     *simPending
+	ops      int
+	timeouts int
+}
+
+// simPending is the in-flight operation.
+type simPending struct {
+	op       ClientOp
+	seq      uint64
+	call     int64
+	deadline int64
+	lastTry  int64 // last proposal attempt (writes) — retry pacing
+
+	// fast-read barrier state
+	readNode types.NodeID
+	readReq  uint64
+	readIdx  int // -1 until the barrier resolves
+}
+
+func newSimClient(idx int, script []ClientOp, horizon int64) *simClient {
+	interval := horizon / int64(len(script)+1)
+	starts := make([]int64, len(script))
+	for i := range script {
+		starts[i] = int64(i) * interval
+	}
+	return &simClient{idx: idx, clientID: uint64(idx) + 1, script: script, startAt: starts}
+}
+
+// retryInterval paces proposal retransmissions (in ticks): long enough for
+// a round trip, short enough to land several tries inside one op timeout.
+const retryInterval = 20
+
+func (cl *simClient) tick(r *simRun) {
+	now := r.s.Now()
+	if cl.pend == nil {
+		if cl.next >= len(cl.script) || now < cl.startAt[cl.next] || now >= r.horizon {
+			return
+		}
+		op := cl.script[cl.next]
+		cl.next++
+		cl.pend = &simPending{
+			op:       op,
+			seq:      uint64(cl.next), // 1-based, strictly increasing
+			call:     now,
+			deadline: now + r.opTimeout,
+			lastTry:  -retryInterval,
+			readIdx:  -1,
+		}
+	}
+	p := cl.pend
+	if p.op.FastRead {
+		cl.tickFastRead(r, p)
+	} else {
+		cl.tickLogged(r, p)
+	}
+	if cl.pend != nil && now >= cl.pend.deadline {
+		cl.finish(r, nil, true)
+	}
+}
+
+// tickLogged drives a through-the-log operation: propose (and re-propose)
+// the command at whoever currently leads, and complete once any replica's
+// dedup table shows the sequence number applied.
+func (cl *simClient) tickLogged(r *simRun, p *simPending) {
+	for _, id := range r.s.IDs() {
+		if seq, res := r.stores[id].LastApplied(cl.clientID); seq >= p.seq {
+			cl.finish(r, &res, false)
+			return
+		}
+	}
+	if r.s.Now()-p.lastTry < retryInterval {
+		return
+	}
+	if lid, ok := r.s.Leader(); ok {
+		p.lastTry = r.s.Now()
+		cmd := kvstore.Command{
+			Op: p.op.Op, Key: p.op.Key, Value: p.op.Value, Old: p.op.Old,
+			Client: cl.clientID, Seq: p.seq,
+		}
+		r.s.Propose(lid, cmd.Encode()) // rejection or fail-stop: retried next interval
+	}
+}
+
+// tickFastRead drives a ReadIndex read: obtain the barrier index from the
+// leader, wait for the local apply to pass it, then read locally. An
+// aborted barrier (leadership lost) restarts the sequence.
+func (cl *simClient) tickFastRead(r *simRun, p *simPending) {
+	if p.readReq != 0 && p.readIdx < 0 {
+		if idx, done := r.s.ReadResult(p.readNode, p.readReq); done {
+			if idx >= 0 {
+				p.readIdx = idx
+			} else {
+				p.readReq = 0 // aborted: retry from scratch
+			}
+		}
+	}
+	if p.readReq == 0 {
+		if r.s.Now()-p.lastTry < retryInterval {
+			return
+		}
+		lid, ok := r.s.Leader()
+		if !ok {
+			return
+		}
+		p.lastTry = r.s.Now()
+		req, idx, confirmed, err := r.s.ReadIndex(lid)
+		if err != nil {
+			return
+		}
+		p.readNode, p.readReq = lid, req
+		if confirmed {
+			p.readIdx = idx
+		}
+	}
+	if p.readIdx >= 0 {
+		if !r.s.Alive(p.readNode) || r.stores[p.readNode].AppliedIndex() < p.readIdx {
+			if !r.s.Alive(p.readNode) {
+				p.readReq, p.readIdx = 0, -1 // barrier node died: start over
+			}
+			return
+		}
+		v, found := r.stores[p.readNode].LocalGet(p.op.Key)
+		cl.finish(r, &kvstore.Result{Value: v, Found: found}, false)
+	}
+}
+
+// finish resolves the pending op: res != nil records a completed event;
+// timeouts record Maybe events for writes (the op may still commit) and
+// drop reads, mirroring runClient.
+func (cl *simClient) finish(r *simRun, res *kvstore.Result, timedOut bool) {
+	p := cl.pend
+	cl.pend = nil
+	cl.ops++
+	if timedOut {
+		cl.timeouts++
+		r.s.Journalf("client %d op %d %s(%q) timeout", cl.idx, p.seq, p.op.Op, p.op.Key)
+		if p.op.FastRead || p.op.Op == kvstore.OpGet {
+			return
+		}
+		r.history = append(r.history, linear.Event{
+			Client: cl.idx, Op: p.op.Op, Key: p.op.Key, Value: p.op.Value, Old: p.op.Old,
+			Call: p.call, Maybe: true,
+		})
+		return
+	}
+	op := p.op.Op
+	if p.op.FastRead {
+		op = kvstore.OpGet
+	}
+	r.s.Journalf("client %d op %d %s(%q) ok", cl.idx, p.seq, op, p.op.Key)
+	r.history = append(r.history, linear.Event{
+		Client: cl.idx, Op: op, Key: p.op.Key, Value: p.op.Value, Old: p.op.Old,
+		Out: *res, Call: p.call, Return: r.s.Now(),
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

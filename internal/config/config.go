@@ -70,9 +70,19 @@ type Scheme interface {
 
 // Majority reports whether q contains a strict majority of members:
 // |members| < 2·|q ∩ members|. It is the quorum rule shared by several
-// schemes (and by the paper's running examples).
+// schemes (and by the paper's running examples), and the one the
+// executable core (internal/raft/raftcore) calls, so the model and the
+// implementation cannot diverge on what a quorum is.
 func Majority(q, members types.NodeSet) bool {
-	return members.Len() < 2*q.IntersectLen(members)
+	return MajorityCount(q.IntersectLen(members), members)
+}
+
+// MajorityCount is Majority for callers that already hold the count of
+// acknowledgers inside members: it reports |members| < 2·count. The
+// executable core's commit rule counts matchIndex entries against this
+// predicate instead of materializing an ack set per index.
+func MajorityCount(count int, members types.NodeSet) bool {
+	return members.Len() < 2*count
 }
 
 // CheckAssumptions verifies REFLEXIVE and OVERLAP for a scheme over all

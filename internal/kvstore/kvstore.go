@@ -252,6 +252,17 @@ func (s *Store) LoadSnapshot(b []byte) error {
 	return nil
 }
 
+// LastApplied returns the highest sequence number this replica has applied
+// for the client, with its cached result. Pollers (the deterministic
+// simulation's clients) use it to detect that a retried request landed:
+// with one outstanding request per client, seq reaching the request's
+// number means exactly that request committed, and res is its outcome.
+func (s *Store) LastApplied(client uint64) (seq uint64, res Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq[client], s.lastRes[client]
+}
+
 // AppliedIndex returns the highest log index applied so far.
 func (s *Store) AppliedIndex() int {
 	s.mu.Lock()

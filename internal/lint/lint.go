@@ -42,6 +42,10 @@ type Config struct {
 	// EnumPkgs are the packages whose local enum switches must be
 	// exhaustive. Empty means every loaded module package.
 	EnumPkgs []string
+	// PureCorePkgs are the sans-IO protocol cores: no time/rand/sync
+	// imports, no goroutines, no channels — all effects flow through
+	// Ready batches.
+	PureCorePkgs []string
 }
 
 // DefaultConfig returns the configuration for the adore module itself.
@@ -61,6 +65,7 @@ func DefaultConfig() Config {
 			"adore/internal/cado",
 			"adore/internal/raftnet",
 			"adore/internal/sraft",
+			"adore/internal/raft/raftcore",
 		},
 		GuardedPkgs: []string{
 			"adore/internal/raft",
@@ -69,6 +74,7 @@ func DefaultConfig() Config {
 			"adore/internal/raft/cluster",
 			"adore/internal/chaos",
 		},
+		PureCorePkgs: []string{"adore/internal/raft/raftcore"},
 	}
 }
 
@@ -84,6 +90,7 @@ func allPasses() []pass {
 		{"deterministic-model", runDeterminism},
 		{"guarded-field", runGuarded},
 		{"exhaustive-switch", runExhaustive},
+		{"pure-core", runPureCore},
 	}
 }
 

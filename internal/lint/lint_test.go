@@ -51,6 +51,13 @@ func TestGuardedFieldFixture(t *testing.T) {
 	})
 }
 
+func TestPureCoreFixture(t *testing.T) {
+	checkFixture(t, "purecore", Config{
+		PureCorePkgs: []string{"fix/pure"},
+		EnumPkgs:     off,
+	})
+}
+
 func TestExhaustiveSwitchFixture(t *testing.T) {
 	checkFixture(t, "exhaustive", Config{
 		EnumPkgs: []string{"fix/enum"},

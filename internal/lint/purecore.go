@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// runPureCore enforces the sans-IO discipline on the pure protocol cores
+// (Config.PureCorePkgs, in this repo the raftcore package): the core may
+// not import clocks, randomness, or synchronization, may not launch
+// goroutines, and may not touch channels. Everything the core wants done
+// leaves it through a Ready batch; everything it learns enters through
+// Step/Tick/Propose. That boundary is what makes the simulator's replay
+// and the runtime driver execute literally the same state machine, so the
+// pass guards the refinement argument, not style.
+//
+// Test files are exempt: the discipline binds the shipped core, and tests
+// drive it from outside where clocks and helpers are fair game.
+func runPureCore(prog *Program, pkg *Package, cfg Config) []Diagnostic {
+	if !inPkgs(pkg.Path, cfg.PureCorePkgs) {
+		return nil
+	}
+	var out []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		out = append(out, Diagnostic{Pos: prog.Fset.Position(pos), Pass: "pure-core", Message: msg})
+	}
+
+	for _, file := range pkg.Files {
+		if strings.HasSuffix(prog.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if msg := forbiddenCoreImport(path); msg != "" {
+				report(imp.Pos(), msg)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.GoStmt:
+				report(st.Pos(), "go statement in a pure core package; the core must stay single-threaded and deterministic")
+			case *ast.SelectStmt:
+				report(st.Pos(), "select in a pure core package; the core has no concurrency to multiplex")
+			case *ast.SendStmt:
+				report(st.Pos(), "channel send in a pure core package; effects leave the core only through Ready")
+			case *ast.UnaryExpr:
+				if st.Op == token.ARROW {
+					report(st.Pos(), "channel receive in a pure core package; inputs enter the core only through Step and Tick")
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pkg.Info.Types[st.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						report(st.Pos(), "ranging over a channel in a pure core package; inputs enter the core only through Step and Tick")
+					}
+				}
+			case *ast.ChanType:
+				report(st.Pos(), "channel type in a pure core package; the core communicates only through Ready batches")
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// forbiddenCoreImport maps an import path banned in pure core packages to
+// its diagnostic, or returns "" for an allowed import. Import-level
+// rejection subsumes call-level checks: time.Now, rand.Intn, sync.Mutex
+// and friends cannot appear without the import.
+func forbiddenCoreImport(path string) string {
+	switch path {
+	case "time":
+		return "import of time in a pure core package; the core counts caller-supplied logical ticks"
+	case "math/rand", "math/rand/v2":
+		return "import of " + path + " in a pure core package; randomness enters only via Config.Jitter"
+	case "sync", "sync/atomic":
+		return "import of " + path + " in a pure core package; the caller serializes all access to the core"
+	}
+	return ""
+}

@@ -1,0 +1,56 @@
+// Package pure is the pure-core fixture: clocks, randomness, locks,
+// goroutines, and channels beside the sanctioned tick/jitter idiom.
+package pure
+
+import (
+	"math/rand" // want "import of math/rand in a pure core package"
+	"sync"      // want "import of sync in a pure core package"
+	"time"      // want "import of time in a pure core package"
+)
+
+// Core drags a mutex into the state machine — flagged at the sync import.
+type Core struct {
+	mu    sync.Mutex
+	ticks int
+}
+
+// Now reads the wall clock — flagged at the time import.
+func (c *Core) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Now()
+}
+
+// Jitter draws from the global source — flagged at the math/rand import.
+func Jitter() int { return rand.Intn(10) }
+
+// Spawn launches a goroutine — forbidden.
+func Spawn(f func()) {
+	go f() // want "go statement in a pure core package"
+}
+
+// Notify pushes an effect out through a channel — forbidden.
+func Notify(ch chan int) { // want "channel type in a pure core package"
+	ch <- 1 // want "channel send in a pure core package"
+}
+
+// Wait multiplexes on a channel — forbidden twice over.
+func Wait(ch chan int) int { // want "channel type in a pure core package"
+	select { // want "select in a pure core package"
+	case v := <-ch: // want "channel receive in a pure core package"
+		return v
+	}
+}
+
+// Drain consumes a channel as an input stream — forbidden.
+func Drain(ch chan int) int { // want "channel type in a pure core package"
+	total := 0
+	for v := range ch { // want "ranging over a channel in a pure core package"
+		total += v
+	}
+	return total
+}
+
+// Tick is the sanctioned idiom: logical time advanced by the caller, with
+// the randomized share injected as a jitter closure.
+func (c *Core) Tick(jitter func() int) { c.ticks += 1 + jitter() }

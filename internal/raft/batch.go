@@ -138,19 +138,30 @@ func (n *Node) flushBatch() {
 		return
 	}
 	n.mu.Lock()
-	if n.role != Leader {
-		err := fmt.Errorf("%w (known leader: %s)", ErrNotLeader, n.leader)
+	if n.stopErr != nil {
+		err := n.stopErr
 		n.mu.Unlock()
 		for _, p := range batch {
 			p.fail(err)
 		}
 		return
 	}
-	first := len(n.log)
-	for _, p := range batch {
-		n.log = append(n.log, LogEntry{Term: n.term, Kind: EntryCommand, Command: p.cmd})
+	cmds := make([][]byte, len(batch))
+	for i, p := range batch {
+		cmds[i] = p.cmd
 	}
-	if !n.persistEntriesLocked(first) {
+	first, term, err := n.core.ProposeBatch(cmds)
+	if err != nil {
+		n.mu.Unlock()
+		for _, p := range batch {
+			p.fail(err)
+		}
+		return
+	}
+	// One Ready covers the whole batch: a single SaveEntries frame (one
+	// fsync) and one broadcast, entries durable before anything escapes.
+	n.processReadyLocked()
+	if n.stopErr != nil {
 		// The WAL write failed: the node fail-stopped and the batch was
 		// never durable (this batch was already drained, so failStopLocked's
 		// own sweep did not cover it).
@@ -161,10 +172,6 @@ func (n *Node) flushBatch() {
 		}
 		return
 	}
-	n.matchIndex[n.id] = len(n.log) - 1
-	term := n.term
-	n.broadcastAppendLocked()
-	n.applyLocked()
 	n.mu.Unlock()
 	for i, p := range batch {
 		p.complete(first+i, term)
@@ -176,7 +183,7 @@ func (n *Node) flushBatch() {
 // never entered the log. The caller holds mu (for n.leader); the queue
 // itself is drained under propMu, keeping the mu → propMu lock order.
 func (n *Node) failPropsLocked() {
-	err := fmt.Errorf("%w (known leader: %s)", ErrNotLeader, n.leader)
+	err := fmt.Errorf("%w (known leader: %s)", ErrNotLeader, n.core.Leader())
 	n.propMu.Lock()
 	batch := n.pendingProps
 	n.pendingProps = nil

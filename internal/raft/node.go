@@ -7,32 +7,9 @@ import (
 	"sync"
 	"time"
 
+	"adore/internal/raft/raftcore"
 	"adore/internal/types"
 )
-
-// Role is a node's protocol role.
-type Role uint8
-
-const (
-	// Follower, Candidate, Leader are the standard Raft roles.
-	Follower Role = iota
-	Candidate
-	Leader
-)
-
-// String implements fmt.Stringer.
-func (r Role) String() string {
-	switch r {
-	case Follower:
-		return "follower"
-	case Candidate:
-		return "candidate"
-	case Leader:
-		return "leader"
-	default:
-		return fmt.Sprintf("role(%d)", uint8(r))
-	}
-}
 
 // Options configures a node.
 type Options struct {
@@ -95,22 +72,24 @@ func (o *Options) defaults() {
 	}
 }
 
-// Errors returned by the client-facing API.
+// Errors returned by the client-facing API. The protocol-level errors are
+// defined by the sans-IO core and re-exported so errors.Is keeps working
+// across the package split.
 var (
 	// ErrNotLeader reports that the node cannot serve the request; the
 	// caller should retry against the current leader.
-	ErrNotLeader = errors.New("raft: not the leader")
+	ErrNotLeader = raftcore.ErrNotLeader
 	// ErrStopped reports the node has shut down.
 	ErrStopped = errors.New("raft: node stopped")
 	// ErrReconfigPending rejects a membership change while another is
 	// uncommitted (R2).
-	ErrReconfigPending = errors.New("raft: a configuration change is already in progress (R2)")
+	ErrReconfigPending = raftcore.ErrReconfigPending
 	// ErrReconfigNotReady rejects a membership change before the leader
 	// has committed an entry in its current term (R3).
-	ErrReconfigNotReady = errors.New("raft: no committed entry in the current term yet (R3)")
+	ErrReconfigNotReady = raftcore.ErrReconfigNotReady
 	// ErrBadMembership rejects changes that are not single-node (R1) or
 	// would empty the cluster.
-	ErrBadMembership = errors.New("raft: invalid membership change (R1)")
+	ErrBadMembership = raftcore.ErrBadMembership
 	// ErrStorageFailed reports that a durable write failed and the node
 	// fail-stopped: it halted rather than keep running on state it could
 	// not persist (acting on unpersisted state breaks the crash-recovery
@@ -118,37 +97,26 @@ var (
 	ErrStorageFailed = errors.New("raft: storage write failed; node halted")
 )
 
-// Node is one Raft runtime instance. Create with StartNode; stop with Stop.
+// Node is one Raft runtime instance: the IO driver around a raftcore.Core.
+// Create with StartNode; stop with Stop.
+//
+// The driver's whole job is the Ready loop: every core interaction
+// (message, tick, proposal, barrier) ends with processReadyLocked, which
+// persists the batch's hard state and log suffix, then sends its messages,
+// resolves its read barriers, and delivers its committed entries — in that
+// order, so nothing is externalized before it is durable. A failed persist
+// fail-stops the node with the batch's outbound effects still unsent.
 type Node struct {
 	mu sync.Mutex
 
 	id   types.NodeID
 	opts Options
-	rng  *rand.Rand // guarded by mu
 
-	term     types.Time   // guarded by mu
-	votedFor types.NodeID // guarded by mu
-	role     Role         // guarded by mu
-	leader   types.NodeID // last known leader; guarded by mu
+	core *raftcore.Core // guarded by mu
 
-	// log is 1-indexed: log[0] is a sentinel.
-	log         []LogEntry // guarded by mu
-	commitIndex int        // guarded by mu
-	lastApplied int        // guarded by mu
-
-	// Leader volatile state.
-	nextIndex  map[types.NodeID]int // guarded by mu
-	matchIndex map[types.NodeID]int // guarded by mu
-	votes      types.NodeSet        // guarded by mu
-
-	// conf0 is the initial membership; the effective membership is the
-	// latest config entry in the log (hot reconfiguration).
-	conf0 types.NodeSet
-	// confIdxs caches the positions of EntryConfig entries in the log, in
-	// ascending order, so membership lookups cost O(#configs) instead of a
-	// backward scan over the whole log (which made every broadcast O(n) on
-	// long logs). Every log append/truncation keeps it in sync.
-	confIdxs []int // guarded by mu
+	// wasLeader tracks leadership across core interactions so the driver
+	// can abort queued proposals the moment the core steps down.
+	wasLeader bool // guarded by mu
 
 	applyCh    chan []ApplyMsg
 	inbox      chan Message
@@ -170,38 +138,22 @@ type Node struct {
 	stopping     bool        // guarded by propMu
 	flushCh      chan struct{}
 
-	electionDeadline time.Time // guarded by mu
-
-	// pendingReads are ReadIndex barriers awaiting quorum confirmation.
-	pendingReads []*pendingRead // guarded by mu
-
-	// appendSeq numbers outgoing AppendEntries; followers echo it in their
-	// responses so barriers can tell fresh acks from stale in-flight ones.
-	appendSeq uint64 // guarded by mu
+	// readWaiters maps a pending ReadIndex barrier's request id to the
+	// channel its caller blocks on; the core resolves barriers through
+	// ReadStates in a Ready.
+	readWaiters map[uint64]chan int // guarded by mu
+	nextReadID  uint64              // guarded by mu
 
 	// stopErr, when non-nil, records the storage error that fail-stopped
 	// the node (see failStopLocked).
 	stopErr error // guarded by mu
-
-	// metrics
-	elections uint64 // guarded by mu
-}
-
-// pendingRead is one ReadIndex barrier: the commit index captured at
-// request time, and the leadership confirmations gathered since.
-type pendingRead struct {
-	index int
-	term  types.Time
-	seq   uint64 // only acks echoing a seq beyond this confirm the barrier
-	acks  types.NodeSet
-	done  chan int // receives the read index once confirmed; closed on failure
 }
 
 // StartNode launches a node and its background loops.
 func StartNode(opts Options) *Node {
 	opts.defaults()
 	var hs HardState
-	log := make([]LogEntry, 1) // sentinel at index 0
+	var log []LogEntry
 	if opts.Storage != nil {
 		h, stored, err := opts.Storage.Load()
 		if err != nil {
@@ -212,30 +164,45 @@ func StartNode(opts Options) *Node {
 			log = stored
 		}
 	}
-	n := &Node{
-		id:       opts.ID,
-		opts:     opts,
-		rng:      rand.New(rand.NewSource(opts.Seed)),
-		role:     Follower,
-		term:     hs.Term,
-		votedFor: hs.VotedFor,
-		log:      log,
-		conf0:    types.NewNodeSet(opts.Members...),
-		applyCh:  make(chan []ApplyMsg, 1024),
-		inbox:    make(chan Message, 1024),
-		stopCh:   make(chan struct{}),
-		flushCh:  make(chan struct{}, 1),
+	// The driver ticks the core every HeartbeatInterval/2 (the historical
+	// run-loop cadence): leaders broadcast on every tick, and election
+	// timeouts are counted in the same unit. The jitter closure owns the
+	// randomness — the core itself is deterministic.
+	tickUnit := opts.HeartbeatInterval / 2
+	if tickUnit <= 0 {
+		tickUnit = time.Millisecond
 	}
-	// Seed the config-index cache from the recovered log (one scan, here
-	// only; afterwards every append/truncation maintains it).
-	for i := 1; i < len(log); i++ { // 0 is the sentinel
-		if log[i].Kind == EntryConfig {
-			n.confIdxs = append(n.confIdxs, i)
+	electionTicks := int(opts.ElectionTimeoutMin / tickUnit)
+	if electionTicks < 1 {
+		electionTicks = 1
+	}
+	jitterSpan := int64((opts.ElectionTimeoutMax - opts.ElectionTimeoutMin) / tickUnit)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	jitter := func() int {
+		if jitterSpan <= 0 {
+			return 0
 		}
+		return int(rng.Int63n(jitterSpan))
 	}
-	n.mu.Lock()
-	n.resetElectionDeadlineLocked()
-	n.mu.Unlock()
+	n := &Node{
+		id:   opts.ID,
+		opts: opts,
+		core: raftcore.New(raftcore.Config{
+			ID:                  opts.ID,
+			Members:             opts.Members,
+			ElectionTicks:       electionTicks,
+			Jitter:              jitter,
+			HeartbeatTicks:      1,
+			MaxEntriesPerAppend: opts.MaxEntriesPerAppend,
+			DisableR2:           opts.DisableR2,
+			DisableR3:           opts.DisableR3,
+		}, hs, log),
+		applyCh:     make(chan []ApplyMsg, 1024),
+		inbox:       make(chan Message, 1024),
+		stopCh:      make(chan struct{}),
+		flushCh:     make(chan struct{}, 1),
+		readWaiters: make(map[uint64]chan int),
+	}
 	n.done.Add(2)
 	go n.run()
 	go n.flushLoop()
@@ -288,18 +255,59 @@ func (n *Node) failStopLocked(err error) {
 		return
 	}
 	n.stopErr = fmt.Errorf("%w: %v", ErrStorageFailed, err)
-	n.role = Follower
-	n.leader = types.NoNode
-	n.failReadsLocked()
+	for id, ch := range n.readWaiters {
+		delete(n.readWaiters, id)
+		close(ch)
+	}
 	n.failPropsLocked()
 	n.stopOnce.Do(func() { close(n.stopCh) })
 }
 
-// Status reports the node's current term, role, and known leader.
+// Status reports the node's current term, role, and known leader. A
+// fail-stopped node reports itself a follower with no leader.
 func (n *Node) Status() (types.Time, Role, types.NodeID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.term, n.role, n.leader
+	if n.stopErr != nil {
+		return n.core.Term(), Follower, types.NoNode
+	}
+	return n.core.Term(), n.core.Role(), n.core.Leader()
+}
+
+// Snapshot is one consistent view of a node's externally visible state,
+// captured under a single lock acquisition. Chaos oracles use it instead
+// of separate Status/CommitIndex/Members calls, which could interleave
+// with protocol steps and observe mutually inconsistent values.
+type Snapshot struct {
+	Term        types.Time
+	Role        Role
+	Leader      types.NodeID
+	CommitIndex int
+	LastIndex   int
+	Members     types.NodeSet
+	Elections   uint64
+	Err         error // the fail-stop cause, if any
+}
+
+// Snapshot returns a consistent snapshot of the node's state.
+func (n *Node) Snapshot() Snapshot {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := Snapshot{
+		Term:        n.core.Term(),
+		Role:        n.core.Role(),
+		Leader:      n.core.Leader(),
+		CommitIndex: n.core.CommitIndex(),
+		LastIndex:   n.core.LastIndex(),
+		Members:     n.core.Members(),
+		Elections:   n.core.Elections(),
+		Err:         n.stopErr,
+	}
+	if n.stopErr != nil {
+		s.Role = Follower
+		s.Leader = types.NoNode
+	}
+	return s
 }
 
 // Members returns the node's current effective membership (the latest
@@ -307,268 +315,71 @@ func (n *Node) Status() (types.Time, Role, types.NodeID) {
 func (n *Node) Members() types.NodeSet {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.membersLocked()
-}
-
-func (n *Node) membersLocked() types.NodeSet {
-	if k := len(n.confIdxs); k > 0 {
-		return types.NewNodeSet(n.log[n.confIdxs[k-1]].Members...)
-	}
-	return n.conf0
-}
-
-// committedMembersLocked is the membership ignoring uncommitted config
-// entries (used for R2 checks and diagnostics).
-func (n *Node) committedMembersLocked() types.NodeSet {
-	for i := len(n.confIdxs) - 1; i >= 0; i-- {
-		if n.confIdxs[i] <= n.commitIndex {
-			return types.NewNodeSet(n.log[n.confIdxs[i]].Members...)
-		}
-	}
-	return n.conf0
-}
-
-// trackConfigLocked records a freshly appended entry's position in the
-// config-index cache. Call it for every log append.
-func (n *Node) trackConfigLocked(idx int, e LogEntry) {
-	if e.Kind == EntryConfig {
-		n.confIdxs = append(n.confIdxs, idx)
-	}
-}
-
-// dropConfigsFromLocked evicts cached config positions at or above pos
-// (the log is being truncated there).
-func (n *Node) dropConfigsFromLocked(pos int) {
-	for len(n.confIdxs) > 0 && n.confIdxs[len(n.confIdxs)-1] >= pos {
-		n.confIdxs = n.confIdxs[:len(n.confIdxs)-1]
-	}
+	return n.core.Members()
 }
 
 // CommitIndex returns the node's commit index.
 func (n *Node) CommitIndex() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.commitIndex
+	return n.core.CommitIndex()
 }
 
 // Elections returns how many elections this node has started (metrics).
 func (n *Node) Elections() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.elections
+	return n.core.Elections()
 }
 
-// Propose appends a client command at the leader. It returns the assigned
-// log index and term, or ErrNotLeader.
-func (n *Node) Propose(cmd []byte) (int, types.Time, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.role != Leader {
-		return 0, 0, fmt.Errorf("%w (known leader: %s)", ErrNotLeader, n.leader)
-	}
-	idx, ok := n.appendLocked(LogEntry{Term: n.term, Kind: EntryCommand, Command: cmd})
-	if !ok {
-		return 0, 0, n.stopErr
-	}
-	n.broadcastAppendLocked()
-	return idx, n.term, nil
-}
-
-// ProposeConfig appends a membership change at the leader, enforcing the
-// paper's guards: the change must add or remove exactly one node (R1),
-// no other configuration change may be in flight (R2), and — unless
-// DisableR3 — the leader must have committed an entry in its current term
-// (R3).
-func (n *Node) ProposeConfig(members types.NodeSet) (int, types.Time, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.role != Leader {
-		return 0, 0, fmt.Errorf("%w (known leader: %s)", ErrNotLeader, n.leader)
-	}
-	cur := n.membersLocked()
-	if members.IsEmpty() {
-		return 0, 0, fmt.Errorf("%w: empty membership", ErrBadMembership)
-	}
-	added := members.Diff(cur).Len()
-	removed := cur.Diff(members).Len()
-	if added+removed != 1 {
-		return 0, 0, fmt.Errorf("%w: %s → %s changes %d nodes", ErrBadMembership, cur, members, added+removed)
-	}
-	// R2: no uncommitted config entry.
-	if !n.opts.DisableR2 {
-		for i := n.commitIndex + 1; i < len(n.log); i++ {
-			if n.log[i].Kind == EntryConfig {
-				return 0, 0, ErrReconfigPending
+// processReadyLocked executes one Ready batch: persist, then externalize.
+// Every code path that touches the core ends here; after it returns the
+// core's effects are either fully applied or the node has fail-stopped
+// with nothing from the batch escaped.
+func (n *Node) processReadyLocked() {
+	rd := n.core.TakeReady()
+	if n.opts.Storage != nil {
+		if rd.HardState != nil {
+			if err := n.opts.Storage.SaveState(*rd.HardState); err != nil {
+				n.failStopLocked(fmt.Errorf("persist state: %w", err))
+				return
+			}
+		}
+		if len(rd.Entries) > 0 {
+			if err := n.opts.Storage.SaveEntries(rd.FirstIndex, rd.Entries); err != nil {
+				n.failStopLocked(fmt.Errorf("persist entries: %w", err))
+				return
 			}
 		}
 	}
-	// R3: a committed entry with the current term.
-	if !n.opts.DisableR3 {
-		ok := false
-		for i := n.commitIndex; i >= 1; i-- {
-			if n.log[i].Term == n.term {
-				ok = true
-				break
-			}
-			if n.log[i].Term < n.term {
-				break
-			}
-		}
+	for _, m := range rd.Messages {
+		n.opts.Transport.Send(m)
+	}
+	for _, rs := range rd.ReadStates {
+		ch, ok := n.readWaiters[rs.ReqID]
 		if !ok {
-			return 0, 0, ErrReconfigNotReady
+			continue // caller already timed out
+		}
+		delete(n.readWaiters, rs.ReqID)
+		if rs.Index < 0 {
+			close(ch) // leadership lost before confirmation
+		} else {
+			ch <- rs.Index
 		}
 	}
-	idx, ok := n.appendLocked(LogEntry{Term: n.term, Kind: EntryConfig, Members: members.Copy()})
-	if !ok {
-		return 0, 0, n.stopErr
-	}
-	n.broadcastAppendLocked()
-	return idx, n.term, nil
-}
-
-// ReadIndex implements linearizable reads without log writes (the Raft
-// ReadIndex optimization): the leader captures its commit index, confirms
-// it is still the leader by collecting a round of quorum acknowledgements,
-// and returns the index. A caller that waits until its state machine has
-// applied up to the returned index may then serve the read locally.
-func (n *Node) ReadIndex(timeout time.Duration) (int, error) {
-	n.mu.Lock()
-	if n.role != Leader {
-		leader := n.leader // copy before unlocking: handle() updates it
-		n.mu.Unlock()
-		return 0, fmt.Errorf("%w (known leader: %s)", ErrNotLeader, leader)
-	}
-	pr := &pendingRead{
-		index: n.commitIndex,
-		term:  n.term,
-		seq:   n.appendSeq, // acks must echo a later seq: stale in-flight responses don't confirm
-		acks:  types.NewNodeSet(n.id),
-		done:  make(chan int, 1),
-	}
-	// A single-node configuration is already a quorum of itself.
-	if isMajority(pr.acks, n.membersLocked()) {
-		n.mu.Unlock()
-		return pr.index, nil
-	}
-	n.pendingReads = append(n.pendingReads, pr)
-	n.broadcastAppendLocked() // heartbeat doubles as the confirmation round
-	n.mu.Unlock()
-
-	select {
-	case idx, ok := <-pr.done:
-		if !ok {
-			return 0, ErrNotLeader
-		}
-		return idx, nil
-	case <-time.After(timeout):
-		n.mu.Lock()
-		n.dropPendingReadLocked(pr)
-		n.mu.Unlock()
-		return 0, fmt.Errorf("raft: read index confirmation timed out")
-	case <-n.stopCh:
-		return 0, ErrStopped
-	}
-}
-
-// isMajority reports whether acks form a strict majority of members.
-func isMajority(acks, members types.NodeSet) bool {
-	return members.Len() < 2*acks.IntersectLen(members)
-}
-
-func (n *Node) dropPendingReadLocked(pr *pendingRead) {
-	for i, p := range n.pendingReads {
-		if p == pr {
-			n.pendingReads = append(n.pendingReads[:i], n.pendingReads[i+1:]...)
-			return
+	if len(rd.Committed) > 0 {
+		select {
+		case n.applyCh <- rd.Committed:
+		case <-n.stopCh:
 		}
 	}
-}
-
-// confirmReadsLocked credits a leadership confirmation from a peer and
-// resolves the barriers that reached a quorum. seq is the append sequence
-// the peer echoed: only responses to appends sent after a barrier was
-// registered count for it, so a response that was already in flight when
-// the barrier (or a partition) arrived cannot confirm leadership.
-func (n *Node) confirmReadsLocked(from types.NodeID, seq uint64) {
-	if len(n.pendingReads) == 0 {
-		return
+	// Leadership lost inside this batch: abort queued (unflushed)
+	// proposals — their commands never entered the log.
+	isLeader := n.core.Role() == Leader
+	if n.wasLeader && !isLeader {
+		n.failPropsLocked()
 	}
-	members := n.membersLocked()
-	kept := n.pendingReads[:0]
-	for _, pr := range n.pendingReads {
-		if pr.term != n.term || n.role != Leader {
-			close(pr.done)
-			continue
-		}
-		if seq > pr.seq {
-			pr.acks = pr.acks.Add(from)
-		}
-		if isMajority(pr.acks, members) {
-			pr.done <- pr.index
-			continue
-		}
-		kept = append(kept, pr)
-	}
-	n.pendingReads = kept
-}
-
-// failReadsLocked aborts every pending barrier (leadership lost).
-func (n *Node) failReadsLocked() {
-	for _, pr := range n.pendingReads {
-		close(pr.done)
-	}
-	n.pendingReads = nil
-}
-
-// AddServer proposes membership ∪ {id}.
-func (n *Node) AddServer(id types.NodeID) (int, types.Time, error) {
-	return n.ProposeConfig(n.Members().Add(id))
-}
-
-// RemoveServer proposes membership \ {id}.
-func (n *Node) RemoveServer(id types.NodeID) (int, types.Time, error) {
-	return n.ProposeConfig(n.Members().Remove(id))
-}
-
-// appendLocked appends an entry, persists it, and returns its index. ok is
-// false when the durable write failed: the node has fail-stopped and the
-// entry must not be acted on (the caller returns an error instead of
-// broadcasting).
-func (n *Node) appendLocked(e LogEntry) (idx int, ok bool) {
-	n.log = append(n.log, e)
-	idx = len(n.log) - 1
-	n.trackConfigLocked(idx, e)
-	n.matchIndex[n.id] = idx
-	return idx, n.persistEntriesLocked(idx)
-}
-
-// persistStateLocked durably records the current term and vote. On failure
-// it fail-stops the node and returns false; the caller must not act on the
-// unpersisted state (no votes, no responses, no broadcasts).
-func (n *Node) persistStateLocked() bool {
-	if n.opts.Storage == nil {
-		return true
-	}
-	if err := n.opts.Storage.SaveState(HardState{Term: n.term, VotedFor: n.votedFor}); err != nil {
-		n.failStopLocked(fmt.Errorf("persist state: %w", err))
-		return false
-	}
-	return true
-}
-
-// persistEntriesLocked durably replaces the log suffix from firstIndex. On
-// failure it fail-stops the node and returns false (see persistStateLocked).
-func (n *Node) persistEntriesLocked(firstIndex int) bool {
-	if n.opts.Storage == nil {
-		return true
-	}
-	entries := make([]LogEntry, len(n.log)-firstIndex)
-	copy(entries, n.log[firstIndex:])
-	if err := n.opts.Storage.SaveEntries(firstIndex, entries); err != nil {
-		n.failStopLocked(fmt.Errorf("persist entries: %w", err))
-		return false
-	}
-	return true
+	n.wasLeader = isLeader
 }
 
 // run is the main event loop: messages, timers, shutdown.
@@ -582,347 +393,128 @@ func (n *Node) run() {
 			_ = n.opts.Transport.Close()
 			return
 		case m := <-n.inbox:
-			n.handle(m)
+			n.step(m)
 		case <-ticker.C:
 			n.tick()
 		}
 	}
 }
 
-// tick fires heartbeats (leader) or election timeouts (non-leaders).
+// step feeds one incoming message to the core and executes the effects.
+func (n *Node) step(m Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopErr != nil {
+		return // fail-stopped: send nothing after the lost write
+	}
+	n.core.Step(m)
+	n.processReadyLocked()
+}
+
+// tick advances the core's logical clock (heartbeats, election timeouts).
 func (n *Node) tick() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	now := time.Now()
-	if n.role == Leader {
-		n.broadcastAppendLocked()
-		n.applyLocked()
+	if n.stopErr != nil {
 		return
 	}
-	if now.After(n.electionDeadline) {
-		// A node outside its own effective configuration must not
-		// disrupt the cluster with elections (it has been removed).
-		if !n.membersLocked().Contains(n.id) {
-			n.resetElectionDeadlineLocked()
-			return
-		}
-		n.startElectionLocked()
-	}
+	n.core.Tick()
+	n.processReadyLocked()
 }
 
-func (n *Node) resetElectionDeadlineLocked() {
-	span := n.opts.ElectionTimeoutMax - n.opts.ElectionTimeoutMin
-	d := n.opts.ElectionTimeoutMin
-	if span > 0 {
-		d += time.Duration(n.rng.Int63n(int64(span)))
-	}
-	n.electionDeadline = time.Now().Add(d)
-}
-
-// startElectionLocked begins a candidacy for the next term.
-func (n *Node) startElectionLocked() {
-	n.term++
-	n.role = Candidate
-	n.votedFor = n.id
-	if !n.persistStateLocked() {
-		return // fail-stopped: the candidacy was never durable, send nothing
-	}
-	n.votes = types.NewNodeSet(n.id)
-	n.elections++
-	n.resetElectionDeadlineLocked()
-	lastIdx := len(n.log) - 1
-	req := Message{
-		Type:         MsgVoteRequest,
-		From:         n.id,
-		Term:         n.term,
-		LastLogIndex: lastIdx,
-		LastLogTerm:  n.log[lastIdx].Term,
-	}
-	for _, to := range n.membersLocked().Slice() {
-		if to == n.id {
-			continue
-		}
-		req.To = to
-		n.opts.Transport.Send(req)
-	}
-	n.maybeWinLocked()
-}
-
-// maybeWinLocked promotes a candidate with a quorum of votes.
-func (n *Node) maybeWinLocked() {
-	if n.role != Candidate {
-		return
-	}
-	members := n.membersLocked()
-	if members.Len() >= 2*n.votes.IntersectLen(members) {
-		return // not a strict majority
-	}
-	n.role = Leader
-	n.leader = n.id
-	n.nextIndex = make(map[types.NodeID]int)
-	n.matchIndex = make(map[types.NodeID]int)
-	for _, id := range members.Slice() {
-		n.nextIndex[id] = len(n.log)
-		n.matchIndex[id] = 0
-	}
-	n.matchIndex[n.id] = len(n.log) - 1
-	// Term-opening no-op: commits promptly in this term, satisfying both
-	// the commitment rule and R3.
-	if _, ok := n.appendLocked(LogEntry{Term: n.term, Kind: EntryNoOp}); !ok {
-		return // fail-stopped while persisting the no-op
-	}
-	n.broadcastAppendLocked()
-}
-
-// broadcastAppendLocked sends AppendEntries to every peer in the current
-// configuration (and to peers being removed that still need the entry that
-// removes them — they are reached while they remain in the effective
-// membership union with the committed one).
-func (n *Node) broadcastAppendLocked() {
-	if n.role != Leader {
-		return
-	}
-	targets := n.membersLocked().Union(n.committedMembersLocked())
-	for _, to := range targets.Slice() {
-		if to == n.id {
-			continue
-		}
-		n.sendAppendLocked(to)
-	}
-	// A single-member configuration commits on its own append: there are
-	// no responses to trigger the usual advance.
-	n.advanceCommitLocked()
-}
-
-func (n *Node) sendAppendLocked(to types.NodeID) {
-	next := n.nextIndex[to]
-	if next < 1 {
-		next = 1
-	}
-	if next > len(n.log) {
-		next = len(n.log)
-	}
-	prev := next - 1
-	// Bound the window: a lagging follower is streamed in
-	// MaxEntriesPerAppend-sized messages instead of one full-suffix
-	// resend per round trip.
-	end := len(n.log)
-	if lim := n.opts.MaxEntriesPerAppend; lim > 0 && end-next > lim {
-		end = next + lim
-	}
-	entries := make([]LogEntry, end-next)
-	copy(entries, n.log[next:end])
-	n.appendSeq++
-	n.opts.Transport.Send(Message{
-		Type:         MsgAppendEntries,
-		From:         n.id,
-		To:           to,
-		Term:         n.term,
-		PrevLogIndex: prev,
-		PrevLogTerm:  n.log[prev].Term,
-		Entries:      entries,
-		LeaderCommit: n.commitIndex,
-		Seq:          n.appendSeq,
-	})
-	// Pipelining: advance nextIndex optimistically so the next flush tick
-	// or heartbeat streams the following window without waiting for this
-	// one's response. A rejection resets it via the follower's hint; a
-	// lost window is recovered the same way when the next probe fails.
-	if len(entries) > 0 {
-		n.nextIndex[to] = end
-	}
-}
-
-// handle dispatches an incoming message.
-func (n *Node) handle(m Message) {
+// Propose appends a client command at the leader. It returns the assigned
+// log index and term, or ErrNotLeader.
+func (n *Node) Propose(cmd []byte) (int, types.Time, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if m.Term > n.term {
-		n.term = m.Term
-		n.role = Follower
-		n.votedFor = types.NoNode
-		if !n.persistStateLocked() {
-			return // fail-stopped: the term bump never became durable
-		}
-		n.failReadsLocked()
-		n.failPropsLocked()
+	if n.stopErr != nil {
+		return 0, 0, fmt.Errorf("%w (known leader: %s)", ErrNotLeader, types.NoNode)
 	}
-	switch m.Type {
-	case MsgVoteRequest:
-		n.onVoteRequestLocked(m)
-	case MsgVoteResponse:
-		n.onVoteResponseLocked(m)
-	case MsgAppendEntries:
-		n.onAppendEntriesLocked(m)
-	case MsgAppendResponse:
-		n.onAppendResponseLocked(m)
+	idx, term, err := n.core.Propose(cmd)
+	if err != nil {
+		return 0, 0, err
 	}
-	n.applyLocked()
+	n.processReadyLocked()
+	if n.stopErr != nil {
+		// The WAL write failed: the node fail-stopped and the entry was
+		// never durable; the caller must not act on it.
+		return 0, 0, n.stopErr
+	}
+	return idx, term, nil
 }
 
-func (n *Node) onVoteRequestLocked(m Message) {
-	granted := false
-	if m.Term == n.term && (n.votedFor == types.NoNode || n.votedFor == m.From) {
-		lastIdx := len(n.log) - 1
-		lastTerm := n.log[lastIdx].Term
-		upToDate := m.LastLogTerm > lastTerm ||
-			(m.LastLogTerm == lastTerm && m.LastLogIndex >= lastIdx)
-		if upToDate {
-			granted = true
-			n.votedFor = m.From
-			if !n.persistStateLocked() {
-				return // fail-stopped: never promise a vote that is not durable
-			}
-			n.resetElectionDeadlineLocked()
-		}
+// ProposeConfig appends a membership change at the leader, enforcing the
+// paper's guards: the change must add or remove exactly one node (R1),
+// no other configuration change may be in flight (R2), and — unless
+// DisableR3 — the leader must have committed an entry in its current term
+// (R3).
+func (n *Node) ProposeConfig(members types.NodeSet) (int, types.Time, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopErr != nil {
+		return 0, 0, fmt.Errorf("%w (known leader: %s)", ErrNotLeader, types.NoNode)
 	}
-	n.opts.Transport.Send(Message{
-		Type: MsgVoteResponse, From: n.id, To: m.From, Term: n.term, Granted: granted,
-	})
+	idx, term, err := n.core.ProposeConfig(members)
+	if err != nil {
+		return 0, 0, err
+	}
+	n.processReadyLocked()
+	if n.stopErr != nil {
+		return 0, 0, n.stopErr
+	}
+	return idx, term, nil
 }
 
-func (n *Node) onVoteResponseLocked(m Message) {
-	if n.role != Candidate || m.Term != n.term || !m.Granted {
-		return
+// ReadIndex implements linearizable reads without log writes (the Raft
+// ReadIndex optimization): the leader captures its commit index, confirms
+// it is still the leader by collecting a round of quorum acknowledgements,
+// and returns the index. A caller that waits until its state machine has
+// applied up to the returned index may then serve the read locally.
+func (n *Node) ReadIndex(timeout time.Duration) (int, error) {
+	n.mu.Lock()
+	if n.stopErr != nil {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w (known leader: %s)", ErrNotLeader, types.NoNode)
 	}
-	n.votes = n.votes.Add(m.From)
-	n.maybeWinLocked()
-}
+	reqID := n.nextReadID
+	n.nextReadID++
+	idx, confirmed, err := n.core.ReadIndex(reqID)
+	if err != nil {
+		n.mu.Unlock()
+		return 0, err
+	}
+	if confirmed {
+		n.mu.Unlock()
+		return idx, nil
+	}
+	ch := make(chan int, 1)
+	n.readWaiters[reqID] = ch
+	n.processReadyLocked() // the barrier's confirmation heartbeat
+	n.mu.Unlock()
 
-func (n *Node) onAppendEntriesLocked(m Message) {
-	success := false
-	matchIdx := 0
-	hint := 0
-	if m.Term == n.term {
-		n.role = Follower
-		n.leader = m.From
-		n.resetElectionDeadlineLocked()
-		if m.PrevLogIndex < len(n.log) && n.log[m.PrevLogIndex].Term == m.PrevLogTerm {
-			success = true
-			// Append, truncating on conflicts.
-			idx := m.PrevLogIndex
-			firstChanged := 0
-			for i, e := range m.Entries {
-				pos := idx + 1 + i
-				if pos < len(n.log) {
-					if n.log[pos].Term != e.Term {
-						n.log = n.log[:pos]
-						n.dropConfigsFromLocked(pos)
-						n.log = append(n.log, e)
-						n.trackConfigLocked(pos, e)
-						if firstChanged == 0 {
-							firstChanged = pos
-						}
-					}
-				} else {
-					n.log = append(n.log, e)
-					n.trackConfigLocked(pos, e)
-					if firstChanged == 0 {
-						firstChanged = pos
-					}
-				}
-			}
-			if firstChanged != 0 && !n.persistEntriesLocked(firstChanged) {
-				return // fail-stopped: do not ack entries that are not durable
-			}
-			matchIdx = m.PrevLogIndex + len(m.Entries)
-			if m.LeaderCommit > n.commitIndex {
-				n.commitIndex = min(m.LeaderCommit, matchIdx)
-			}
-		} else {
-			// Consistency check failed: hint where our log actually ends
-			// so a pipelining leader can jump back in one round trip
-			// instead of probing one index at a time.
-			hint = min(m.PrevLogIndex-1, len(n.log)-1)
-		}
-	}
-	n.opts.Transport.Send(Message{
-		Type: MsgAppendResponse, From: n.id, To: m.From, Term: n.term,
-		Success: success, MatchIndex: matchIdx, HintIndex: hint, Seq: m.Seq,
-	})
-}
-
-func (n *Node) onAppendResponseLocked(m Message) {
-	if n.role != Leader || m.Term != n.term {
-		return
-	}
-	if !m.Success {
-		// Back off below the rejected probe, jumping straight to the
-		// follower's hint when it is lower (fast conflict resolution for
-		// pipelined windows). No floor at the recorded matchIndex: a
-		// volatile follower can restart with an empty log, and resending
-		// already-acked entries is harmless (the follower deduplicates).
-		next := n.nextIndex[m.From] - 1
-		if m.HintIndex+1 < next {
-			next = m.HintIndex + 1
-		}
-		if next < 1 {
-			next = 1
-		}
-		n.nextIndex[m.From] = next
-		n.sendAppendLocked(m.From)
-		return
-	}
-	if m.MatchIndex > n.matchIndex[m.From] {
-		n.matchIndex[m.From] = m.MatchIndex
-	}
-	if m.MatchIndex >= n.nextIndex[m.From] {
-		n.nextIndex[m.From] = m.MatchIndex + 1
-	}
-	n.confirmReadsLocked(m.From, m.Seq)
-	n.advanceCommitLocked()
-}
-
-// advanceCommitLocked moves the commit index to the highest current-term
-// index replicated on a quorum of the current configuration.
-func (n *Node) advanceCommitLocked() {
-	members := n.membersLocked()
-	for idx := len(n.log) - 1; idx > n.commitIndex; idx-- {
-		if n.log[idx].Term != n.term {
-			break // commitment rule: only current-term entries directly
-		}
-		count := 0
-		for _, id := range members.Slice() {
-			if id == n.id || n.matchIndex[id] >= idx {
-				count++
-			}
-		}
-		if members.Len() < 2*count {
-			n.commitIndex = idx
-			// Stepping stone committed: if this commit finalizes our own
-			// removal, step down.
-			if !n.committedMembersLocked().Contains(n.id) && !members.Contains(n.id) {
-				n.role = Follower
-				n.failReadsLocked()
-				n.failPropsLocked()
-			}
-			break
-		}
-	}
-}
-
-// applyLocked delivers newly committed entries to the apply channel as one
-// batch: consumers pay a single channel operation per commit advance
-// instead of one per entry.
-func (n *Node) applyLocked() {
-	if n.lastApplied >= n.commitIndex {
-		return
-	}
-	batch := make([]ApplyMsg, 0, n.commitIndex-n.lastApplied)
-	for n.lastApplied < n.commitIndex {
-		n.lastApplied++
-		e := n.log[n.lastApplied]
-		batch = append(batch, ApplyMsg{Index: n.lastApplied, Term: e.Term, Kind: e.Kind, Command: e.Command, Members: e.Members})
-	}
 	select {
-	case n.applyCh <- batch:
+	case idx, ok := <-ch:
+		if !ok {
+			return 0, ErrNotLeader
+		}
+		return idx, nil
+	case <-time.After(timeout):
+		n.mu.Lock()
+		delete(n.readWaiters, reqID)
+		n.core.CancelRead(reqID)
+		n.mu.Unlock()
+		return 0, fmt.Errorf("raft: read index confirmation timed out")
 	case <-n.stopCh:
+		return 0, ErrStopped
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+// AddServer proposes membership ∪ {id}.
+func (n *Node) AddServer(id types.NodeID) (int, types.Time, error) {
+	return n.ProposeConfig(n.Members().Add(id))
+}
+
+// RemoveServer proposes membership \ {id}.
+func (n *Node) RemoveServer(id types.NodeID) (int, types.Time, error) {
+	return n.ProposeConfig(n.Members().Remove(id))
 }

@@ -1,0 +1,763 @@
+package raftcore
+
+import (
+	"errors"
+	"fmt"
+
+	"adore/internal/config"
+	"adore/internal/types"
+)
+
+// Errors returned by the client-facing API. The runtime driver (package
+// raft) re-exports them unchanged.
+var (
+	// ErrNotLeader reports that the node cannot serve the request; the
+	// caller should retry against the current leader.
+	ErrNotLeader = errors.New("raft: not the leader")
+	// ErrReconfigPending rejects a membership change while another is
+	// uncommitted (R2).
+	ErrReconfigPending = errors.New("raft: a configuration change is already in progress (R2)")
+	// ErrReconfigNotReady rejects a membership change before the leader
+	// has committed an entry in its current term (R3).
+	ErrReconfigNotReady = errors.New("raft: no committed entry in the current term yet (R3)")
+	// ErrBadMembership rejects changes that are not single-node (R1) or
+	// would empty the cluster.
+	ErrBadMembership = errors.New("raft: invalid membership change (R1)")
+)
+
+// Config parameterizes a Core. Time is abstract: the caller advances the
+// core with Tick calls, and all intervals are counted in those ticks.
+type Config struct {
+	// ID is this node's identity; Members the initial cluster.
+	ID      types.NodeID
+	Members []types.NodeID
+
+	// ElectionTicks is the minimum number of ticks without leader contact
+	// before a node campaigns; each timer arm adds Jitter() extra ticks.
+	// Zero gets a default of 10.
+	ElectionTicks int
+
+	// Jitter supplies the randomized share of each election timeout, in
+	// ticks. The core itself contains no randomness — the caller owns the
+	// seed (the runtime driver closes over a seeded rand; the simulator
+	// hands out deterministic values). Nil means no jitter.
+	Jitter func() int
+
+	// HeartbeatTicks is the leader's broadcast cadence in ticks. Zero
+	// gets a default of 1 (broadcast every tick).
+	HeartbeatTicks int
+
+	// MaxEntriesPerAppend caps the entries carried by one AppendEntries
+	// message. The leader streams a lagging follower's log as a pipeline
+	// of bounded windows (advancing nextIndex optimistically per send)
+	// instead of re-sending the full suffix stop-and-wait. Zero gets a
+	// default of 256.
+	MaxEntriesPerAppend int
+
+	// DisableR3 reproduces the published single-server bug: reconfig no
+	// longer waits for a committed entry in the leader's current term.
+	// For experiments only.
+	DisableR3 bool
+
+	// DisableR2 drops the "no uncommitted configuration entry" guard, so
+	// a second membership change can be proposed while the first is still
+	// in flight. Disjoint quorums become reachable — the chaos harness
+	// uses this to prove it can catch the resulting divergence. For
+	// experiments only.
+	DisableR2 bool
+}
+
+func (c *Config) defaults() {
+	if c.ElectionTicks <= 0 {
+		c.ElectionTicks = 10
+	}
+	if c.HeartbeatTicks <= 0 {
+		c.HeartbeatTicks = 1
+	}
+	if c.MaxEntriesPerAppend <= 0 {
+		c.MaxEntriesPerAppend = 256
+	}
+}
+
+// Core is the pure raft state machine. It is not safe for concurrent use:
+// the caller serializes Step/Tick/Propose/... and executes each TakeReady
+// batch (persist, then send/apply) before externalizing anything.
+type Core struct {
+	id  types.NodeID
+	cfg Config
+
+	term     types.Time
+	votedFor types.NodeID
+	role     Role
+	leader   types.NodeID // last known leader
+
+	// log is 1-indexed: log[0] is a sentinel.
+	log         []LogEntry
+	commitIndex int
+	lastApplied int
+
+	// Leader volatile state.
+	nextIndex  map[types.NodeID]int
+	matchIndex map[types.NodeID]int
+	votes      types.NodeSet
+
+	// conf0 is the initial membership; the effective membership is the
+	// latest config entry in the log (hot reconfiguration).
+	conf0 types.NodeSet
+	// confIdxs caches the positions of EntryConfig entries in the log, in
+	// ascending order, so membership lookups cost O(#configs) instead of
+	// a backward scan over the whole log. Every log append/truncation
+	// keeps it in sync.
+	confIdxs []int
+
+	// Logical clock: electionElapsed ticks since the last timer arm,
+	// against a timeout of ElectionTicks + the jitter drawn at arm time.
+	electionElapsed  int
+	electionTimeout  int
+	heartbeatElapsed int
+
+	// pendingReads are ReadIndex barriers awaiting quorum confirmation.
+	pendingReads []*pendingRead
+
+	// appendSeq numbers outgoing AppendEntries; followers echo it in
+	// their responses so barriers can tell fresh acks from stale
+	// in-flight ones.
+	appendSeq uint64
+
+	// Pending effects, drained by TakeReady.
+	hsDirty    bool        // term/votedFor changed since last TakeReady
+	dirtyFrom  int         // lowest log index changed since last TakeReady (0 = clean)
+	msgs       []Message   // outbound, in generation order
+	readStates []ReadState // resolved ReadIndex barriers
+
+	// metrics
+	elections uint64
+}
+
+// pendingRead is one ReadIndex barrier: the commit index captured at
+// request time, and the leadership confirmations gathered since.
+type pendingRead struct {
+	reqID uint64
+	index int
+	term  types.Time
+	seq   uint64 // only acks echoing a seq beyond this confirm the barrier
+	acks  types.NodeSet
+}
+
+// New builds a core from a configuration and recovered durable state: hs
+// and log as returned by the driver's storage Load (log may be nil or the
+// 1-indexed slice with its sentinel at 0).
+func New(cfg Config, hs HardState, log []LogEntry) *Core {
+	cfg.defaults()
+	if len(log) == 0 {
+		log = make([]LogEntry, 1) // sentinel at index 0
+	}
+	c := &Core{
+		id:       cfg.ID,
+		cfg:      cfg,
+		role:     Follower,
+		term:     hs.Term,
+		votedFor: hs.VotedFor,
+		log:      log,
+		conf0:    types.NewNodeSet(cfg.Members...),
+	}
+	// Seed the config-index cache from the recovered log (one scan, here
+	// only; afterwards every append/truncation maintains it).
+	for i := 1; i < len(log); i++ { // 0 is the sentinel
+		if log[i].Kind == EntryConfig {
+			c.confIdxs = append(c.confIdxs, i)
+		}
+	}
+	c.resetElectionTimer()
+	return c
+}
+
+// --- Accessors (all cheap; the caller holds whatever lock guards the core) ---
+
+// ID returns the node's identity.
+func (c *Core) ID() types.NodeID { return c.id }
+
+// Term returns the current term.
+func (c *Core) Term() types.Time { return c.term }
+
+// Role returns the current protocol role.
+func (c *Core) Role() Role { return c.role }
+
+// Leader returns the last known leader (possibly NoNode).
+func (c *Core) Leader() types.NodeID { return c.leader }
+
+// CommitIndex returns the commit index.
+func (c *Core) CommitIndex() int { return c.commitIndex }
+
+// LastIndex returns the index of the last log entry (0 when empty).
+func (c *Core) LastIndex() int { return len(c.log) - 1 }
+
+// Entry returns the log entry at index i (1-based). The returned value
+// shares the underlying command/member slices; callers must not mutate.
+func (c *Core) Entry(i int) LogEntry { return c.log[i] }
+
+// Elections returns how many elections this node has started (metrics).
+func (c *Core) Elections() uint64 { return c.elections }
+
+// Members returns the current effective membership (the latest
+// configuration in the log, committed or not — hot reconfiguration).
+func (c *Core) Members() types.NodeSet {
+	if k := len(c.confIdxs); k > 0 {
+		return types.NewNodeSet(c.log[c.confIdxs[k-1]].Members...)
+	}
+	return c.conf0
+}
+
+// CommittedMembers is the membership ignoring uncommitted config entries
+// (used for R2 checks and diagnostics).
+func (c *Core) CommittedMembers() types.NodeSet {
+	for i := len(c.confIdxs) - 1; i >= 0; i-- {
+		if c.confIdxs[i] <= c.commitIndex {
+			return types.NewNodeSet(c.log[c.confIdxs[i]].Members...)
+		}
+	}
+	return c.conf0
+}
+
+// --- Effect bookkeeping ---
+
+func (c *Core) markHardState() { c.hsDirty = true }
+
+func (c *Core) markEntries(from int) {
+	if c.dirtyFrom == 0 || from < c.dirtyFrom {
+		c.dirtyFrom = from
+	}
+}
+
+func (c *Core) send(m Message) { c.msgs = append(c.msgs, m) }
+
+// TakeReady drains the effects accumulated since the last call. The
+// caller must persist HardState and Entries before sending Messages,
+// resolving ReadStates, or delivering Committed (see the Ready contract).
+func (c *Core) TakeReady() Ready {
+	var rd Ready
+	if c.hsDirty {
+		hs := HardState{Term: c.term, VotedFor: c.votedFor}
+		rd.HardState = &hs
+		c.hsDirty = false
+	}
+	if c.dirtyFrom != 0 {
+		rd.FirstIndex = c.dirtyFrom
+		rd.Entries = make([]LogEntry, len(c.log)-c.dirtyFrom)
+		copy(rd.Entries, c.log[c.dirtyFrom:])
+		c.dirtyFrom = 0
+	}
+	rd.Messages = c.msgs
+	c.msgs = nil
+	rd.ReadStates = c.readStates
+	c.readStates = nil
+	if c.lastApplied < c.commitIndex {
+		rd.Committed = make([]ApplyMsg, 0, c.commitIndex-c.lastApplied)
+		for c.lastApplied < c.commitIndex {
+			c.lastApplied++
+			e := c.log[c.lastApplied]
+			rd.Committed = append(rd.Committed, ApplyMsg{
+				Index: c.lastApplied, Term: e.Term, Kind: e.Kind, Command: e.Command, Members: e.Members,
+			})
+		}
+	}
+	return rd
+}
+
+// --- Clock ---
+
+func (c *Core) resetElectionTimer() {
+	c.electionElapsed = 0
+	c.electionTimeout = c.cfg.ElectionTicks
+	if c.cfg.Jitter != nil {
+		c.electionTimeout += c.cfg.Jitter()
+	}
+}
+
+// Tick advances the logical clock by one unit: leaders fire heartbeats on
+// their cadence, non-leaders count toward an election timeout.
+func (c *Core) Tick() {
+	if c.role == Leader {
+		c.heartbeatElapsed++
+		if c.heartbeatElapsed >= c.cfg.HeartbeatTicks {
+			c.heartbeatElapsed = 0
+			c.broadcastAppend()
+		}
+		return
+	}
+	c.electionElapsed++
+	if c.electionElapsed >= c.electionTimeout {
+		// A node outside its own effective configuration must not
+		// disrupt the cluster with elections (it has been removed).
+		if !c.Members().Contains(c.id) {
+			c.resetElectionTimer()
+			return
+		}
+		c.startElection()
+	}
+}
+
+// --- Elections ---
+
+// startElection begins a candidacy for the next term.
+func (c *Core) startElection() {
+	c.term++
+	c.role = Candidate
+	c.votedFor = c.id
+	c.markHardState()
+	c.votes = types.NewNodeSet(c.id)
+	c.elections++
+	c.resetElectionTimer()
+	lastIdx := len(c.log) - 1
+	req := Message{
+		Type:         MsgVoteRequest,
+		From:         c.id,
+		Term:         c.term,
+		LastLogIndex: lastIdx,
+		LastLogTerm:  c.log[lastIdx].Term,
+	}
+	for _, to := range c.Members().Slice() {
+		if to == c.id {
+			continue
+		}
+		req.To = to
+		c.send(req)
+	}
+	c.maybeWin()
+}
+
+// maybeWin promotes a candidate with a quorum of votes.
+func (c *Core) maybeWin() {
+	if c.role != Candidate {
+		return
+	}
+	members := c.Members()
+	if !config.Majority(c.votes, members) {
+		return // not a strict majority
+	}
+	c.role = Leader
+	c.leader = c.id
+	c.heartbeatElapsed = 0
+	c.nextIndex = make(map[types.NodeID]int)
+	c.matchIndex = make(map[types.NodeID]int)
+	for _, id := range members.Slice() {
+		c.nextIndex[id] = len(c.log)
+		c.matchIndex[id] = 0
+	}
+	c.matchIndex[c.id] = len(c.log) - 1
+	// Term-opening no-op: commits promptly in this term, satisfying both
+	// the commitment rule and R3.
+	c.appendAsLeader(LogEntry{Term: c.term, Kind: EntryNoOp})
+	c.broadcastAppend()
+}
+
+// --- Client-facing operations ---
+
+// errNotLeader builds the standard redirect error.
+func (c *Core) errNotLeader() error {
+	return fmt.Errorf("%w (known leader: %s)", ErrNotLeader, c.leader)
+}
+
+// Propose appends a client command at the leader. It returns the assigned
+// log index and term, or ErrNotLeader.
+func (c *Core) Propose(cmd []byte) (int, types.Time, error) {
+	if c.role != Leader {
+		return 0, 0, c.errNotLeader()
+	}
+	idx := c.appendAsLeader(LogEntry{Term: c.term, Kind: EntryCommand, Command: cmd})
+	c.broadcastAppend()
+	return idx, c.term, nil
+}
+
+// ProposeBatch appends several client commands as one log suffix with a
+// single broadcast — the group-commit path. It returns the index of the
+// first command; command i landed at first+i.
+func (c *Core) ProposeBatch(cmds [][]byte) (first int, term types.Time, err error) {
+	if c.role != Leader {
+		return 0, 0, c.errNotLeader()
+	}
+	first = len(c.log)
+	for _, cmd := range cmds {
+		c.appendAsLeader(LogEntry{Term: c.term, Kind: EntryCommand, Command: cmd})
+	}
+	c.broadcastAppend()
+	return first, c.term, nil
+}
+
+// ProposeConfig appends a membership change at the leader, enforcing the
+// paper's guards: the change must add or remove exactly one node (R1),
+// no other configuration change may be in flight (R2), and — unless
+// DisableR3 — the leader must have committed an entry in its current term
+// (R3).
+func (c *Core) ProposeConfig(members types.NodeSet) (int, types.Time, error) {
+	if c.role != Leader {
+		return 0, 0, c.errNotLeader()
+	}
+	cur := c.Members()
+	if members.IsEmpty() {
+		return 0, 0, fmt.Errorf("%w: empty membership", ErrBadMembership)
+	}
+	added := members.Diff(cur).Len()
+	removed := cur.Diff(members).Len()
+	if added+removed != 1 {
+		return 0, 0, fmt.Errorf("%w: %s → %s changes %d nodes", ErrBadMembership, cur, members, added+removed)
+	}
+	// R2: no uncommitted config entry.
+	if !c.cfg.DisableR2 {
+		for i := c.commitIndex + 1; i < len(c.log); i++ {
+			if c.log[i].Kind == EntryConfig {
+				return 0, 0, ErrReconfigPending
+			}
+		}
+	}
+	// R3: a committed entry with the current term.
+	if !c.cfg.DisableR3 {
+		ok := false
+		for i := c.commitIndex; i >= 1; i-- {
+			if c.log[i].Term == c.term {
+				ok = true
+				break
+			}
+			if c.log[i].Term < c.term {
+				break
+			}
+		}
+		if !ok {
+			return 0, 0, ErrReconfigNotReady
+		}
+	}
+	idx := c.appendAsLeader(LogEntry{Term: c.term, Kind: EntryConfig, Members: members.Copy()})
+	c.broadcastAppend()
+	return idx, c.term, nil
+}
+
+// ReadIndex registers a linearizable-read barrier (the Raft ReadIndex
+// optimization): the leader captures its commit index and confirms it is
+// still the leader by collecting a round of quorum acknowledgements. If
+// the quorum is immediately satisfied (single-node configurations) the
+// confirmed index is returned with confirmed=true; otherwise the barrier
+// resolves through a ReadState in a later Ready, keyed by reqID.
+func (c *Core) ReadIndex(reqID uint64) (index int, confirmed bool, err error) {
+	if c.role != Leader {
+		return 0, false, c.errNotLeader()
+	}
+	pr := &pendingRead{
+		reqID: reqID,
+		index: c.commitIndex,
+		term:  c.term,
+		seq:   c.appendSeq, // acks must echo a later seq: stale in-flight responses don't confirm
+		acks:  types.NewNodeSet(c.id),
+	}
+	// A single-node configuration is already a quorum of itself.
+	if config.Majority(pr.acks, c.Members()) {
+		return pr.index, true, nil
+	}
+	c.pendingReads = append(c.pendingReads, pr)
+	c.broadcastAppend() // heartbeat doubles as the confirmation round
+	return 0, false, nil
+}
+
+// CancelRead abandons a pending barrier (the caller timed out).
+func (c *Core) CancelRead(reqID uint64) {
+	for i, pr := range c.pendingReads {
+		if pr.reqID == reqID {
+			c.pendingReads = append(c.pendingReads[:i], c.pendingReads[i+1:]...)
+			return
+		}
+	}
+}
+
+// confirmReads credits a leadership confirmation from a peer and resolves
+// the barriers that reached a quorum. seq is the append sequence the peer
+// echoed: only responses to appends sent after a barrier was registered
+// count for it, so a response that was already in flight when the barrier
+// (or a partition) arrived cannot confirm leadership.
+func (c *Core) confirmReads(from types.NodeID, seq uint64) {
+	if len(c.pendingReads) == 0 {
+		return
+	}
+	members := c.Members()
+	kept := c.pendingReads[:0]
+	for _, pr := range c.pendingReads {
+		if pr.term != c.term || c.role != Leader {
+			c.readStates = append(c.readStates, ReadState{ReqID: pr.reqID, Index: -1})
+			continue
+		}
+		if seq > pr.seq {
+			pr.acks = pr.acks.Add(from)
+		}
+		if config.Majority(pr.acks, members) {
+			c.readStates = append(c.readStates, ReadState{ReqID: pr.reqID, Index: pr.index})
+			continue
+		}
+		kept = append(kept, pr)
+	}
+	c.pendingReads = kept
+}
+
+// abortReads aborts every pending barrier (leadership lost).
+func (c *Core) abortReads() {
+	for _, pr := range c.pendingReads {
+		c.readStates = append(c.readStates, ReadState{ReqID: pr.reqID, Index: -1})
+	}
+	c.pendingReads = nil
+}
+
+// --- Log maintenance ---
+
+// appendAsLeader appends an entry at the leader and returns its index.
+func (c *Core) appendAsLeader(e LogEntry) int {
+	c.log = append(c.log, e)
+	idx := len(c.log) - 1
+	c.trackConfig(idx, e)
+	c.matchIndex[c.id] = idx
+	c.markEntries(idx)
+	return idx
+}
+
+// trackConfig records a freshly appended entry's position in the
+// config-index cache. Call it for every log append.
+func (c *Core) trackConfig(idx int, e LogEntry) {
+	if e.Kind == EntryConfig {
+		c.confIdxs = append(c.confIdxs, idx)
+	}
+}
+
+// dropConfigsFrom evicts cached config positions at or above pos (the log
+// is being truncated there).
+func (c *Core) dropConfigsFrom(pos int) {
+	for len(c.confIdxs) > 0 && c.confIdxs[len(c.confIdxs)-1] >= pos {
+		c.confIdxs = c.confIdxs[:len(c.confIdxs)-1]
+	}
+}
+
+// --- Replication ---
+
+// broadcastAppend sends AppendEntries to every peer in the current
+// configuration (and to peers being removed that still need the entry
+// that removes them — they are reached while they remain in the effective
+// membership union with the committed one).
+func (c *Core) broadcastAppend() {
+	if c.role != Leader {
+		return
+	}
+	targets := c.Members().Union(c.CommittedMembers())
+	for _, to := range targets.Slice() {
+		if to == c.id {
+			continue
+		}
+		c.sendAppend(to)
+	}
+	// A single-member configuration commits on its own append: there are
+	// no responses to trigger the usual advance.
+	c.advanceCommit()
+}
+
+func (c *Core) sendAppend(to types.NodeID) {
+	next := c.nextIndex[to]
+	if next < 1 {
+		next = 1
+	}
+	if next > len(c.log) {
+		next = len(c.log)
+	}
+	prev := next - 1
+	// Bound the window: a lagging follower is streamed in
+	// MaxEntriesPerAppend-sized messages instead of one full-suffix
+	// resend per round trip.
+	end := len(c.log)
+	if lim := c.cfg.MaxEntriesPerAppend; lim > 0 && end-next > lim {
+		end = next + lim
+	}
+	entries := make([]LogEntry, end-next)
+	copy(entries, c.log[next:end])
+	c.appendSeq++
+	c.send(Message{
+		Type:         MsgAppendEntries,
+		From:         c.id,
+		To:           to,
+		Term:         c.term,
+		PrevLogIndex: prev,
+		PrevLogTerm:  c.log[prev].Term,
+		Entries:      entries,
+		LeaderCommit: c.commitIndex,
+		Seq:          c.appendSeq,
+	})
+	// Pipelining: advance nextIndex optimistically so the next flush tick
+	// or heartbeat streams the following window without waiting for this
+	// one's response. A rejection resets it via the follower's hint; a
+	// lost window is recovered the same way when the next probe fails.
+	if len(entries) > 0 {
+		c.nextIndex[to] = end
+	}
+}
+
+// --- Message handling ---
+
+// Step consumes one incoming message.
+func (c *Core) Step(m Message) {
+	if m.Term > c.term {
+		c.term = m.Term
+		c.role = Follower
+		c.votedFor = types.NoNode
+		c.markHardState()
+		c.abortReads()
+	}
+	switch m.Type {
+	case MsgVoteRequest:
+		c.onVoteRequest(m)
+	case MsgVoteResponse:
+		c.onVoteResponse(m)
+	case MsgAppendEntries:
+		c.onAppendEntries(m)
+	case MsgAppendResponse:
+		c.onAppendResponse(m)
+	}
+}
+
+func (c *Core) onVoteRequest(m Message) {
+	granted := false
+	if m.Term == c.term && (c.votedFor == types.NoNode || c.votedFor == m.From) {
+		lastIdx := len(c.log) - 1
+		lastTerm := c.log[lastIdx].Term
+		upToDate := m.LastLogTerm > lastTerm ||
+			(m.LastLogTerm == lastTerm && m.LastLogIndex >= lastIdx)
+		if upToDate {
+			granted = true
+			c.votedFor = m.From
+			c.markHardState()
+			c.resetElectionTimer()
+		}
+	}
+	c.send(Message{
+		Type: MsgVoteResponse, From: c.id, To: m.From, Term: c.term, Granted: granted,
+	})
+}
+
+func (c *Core) onVoteResponse(m Message) {
+	if c.role != Candidate || m.Term != c.term || !m.Granted {
+		return
+	}
+	c.votes = c.votes.Add(m.From)
+	c.maybeWin()
+}
+
+func (c *Core) onAppendEntries(m Message) {
+	success := false
+	matchIdx := 0
+	hint := 0
+	if m.Term == c.term {
+		c.role = Follower
+		c.leader = m.From
+		c.resetElectionTimer()
+		if m.PrevLogIndex < len(c.log) && c.log[m.PrevLogIndex].Term == m.PrevLogTerm {
+			success = true
+			// Append, truncating on conflicts.
+			idx := m.PrevLogIndex
+			firstChanged := 0
+			for i, e := range m.Entries {
+				pos := idx + 1 + i
+				if pos < len(c.log) {
+					if c.log[pos].Term != e.Term {
+						c.log = c.log[:pos]
+						c.dropConfigsFrom(pos)
+						c.log = append(c.log, e)
+						c.trackConfig(pos, e)
+						if firstChanged == 0 {
+							firstChanged = pos
+						}
+					}
+				} else {
+					c.log = append(c.log, e)
+					c.trackConfig(pos, e)
+					if firstChanged == 0 {
+						firstChanged = pos
+					}
+				}
+			}
+			if firstChanged != 0 {
+				c.markEntries(firstChanged)
+			}
+			matchIdx = m.PrevLogIndex + len(m.Entries)
+			if m.LeaderCommit > c.commitIndex {
+				c.commitIndex = min(m.LeaderCommit, matchIdx)
+			}
+		} else {
+			// Consistency check failed: hint where our log actually ends
+			// so a pipelining leader can jump back in one round trip
+			// instead of probing one index at a time.
+			hint = min(m.PrevLogIndex-1, len(c.log)-1)
+		}
+	}
+	c.send(Message{
+		Type: MsgAppendResponse, From: c.id, To: m.From, Term: c.term,
+		Success: success, MatchIndex: matchIdx, HintIndex: hint, Seq: m.Seq,
+	})
+}
+
+func (c *Core) onAppendResponse(m Message) {
+	if c.role != Leader || m.Term != c.term {
+		return
+	}
+	if !m.Success {
+		// Back off below the rejected probe, jumping straight to the
+		// follower's hint when it is lower (fast conflict resolution for
+		// pipelined windows). No floor at the recorded matchIndex: a
+		// volatile follower can restart with an empty log, and resending
+		// already-acked entries is harmless (the follower deduplicates).
+		next := c.nextIndex[m.From] - 1
+		if m.HintIndex+1 < next {
+			next = m.HintIndex + 1
+		}
+		if next < 1 {
+			next = 1
+		}
+		c.nextIndex[m.From] = next
+		c.sendAppend(m.From)
+		return
+	}
+	if m.MatchIndex > c.matchIndex[m.From] {
+		c.matchIndex[m.From] = m.MatchIndex
+	}
+	if m.MatchIndex >= c.nextIndex[m.From] {
+		c.nextIndex[m.From] = m.MatchIndex + 1
+	}
+	c.confirmReads(m.From, m.Seq)
+	c.advanceCommit()
+}
+
+// advanceCommit moves the commit index to the highest current-term index
+// replicated on a quorum of the current configuration. The quorum test is
+// the model's (config.MajorityCount): the executable commit rule and the
+// verified one share a single predicate.
+func (c *Core) advanceCommit() {
+	members := c.Members()
+	for idx := len(c.log) - 1; idx > c.commitIndex; idx-- {
+		if c.log[idx].Term != c.term {
+			break // commitment rule: only current-term entries directly
+		}
+		count := 0
+		for _, id := range members.Slice() {
+			if id == c.id || c.matchIndex[id] >= idx {
+				count++
+			}
+		}
+		if config.MajorityCount(count, members) {
+			c.commitIndex = idx
+			// Stepping stone committed: if this commit finalizes our own
+			// removal, step down.
+			if !c.CommittedMembers().Contains(c.id) && !members.Contains(c.id) {
+				c.role = Follower
+				c.abortReads()
+			}
+			break
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

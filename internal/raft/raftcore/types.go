@@ -1,0 +1,207 @@
+// Package raftcore is the sans-IO core of the executable raft runtime: a
+// pure state machine that the paper's refinement story can reach. Core
+// consumes protocol inputs — messages via Step, logical clock ticks via
+// Tick, client commands via Propose — mutates only in-memory state, and
+// emits its intended effects (durable writes, outbound messages, committed
+// entries, read confirmations) as a Ready batch that the caller executes.
+//
+// The package deliberately contains no goroutines, channels, locks,
+// clocks, randomness, or storage calls (adore-lint's pure-core pass
+// enforces this): time is a count of abstract ticks supplied by the
+// caller, and election-timeout jitter comes in through Config.Jitter.
+// That purity is what makes the core deterministically steppable — the
+// runtime driver (package raft) replays it against real WALs, transports,
+// and wall clocks, while the simulation driver (package raft/sim) replays
+// the very same code single-threaded from a seed and checks it against
+// the ADORE model's cache tree.
+package raftcore
+
+import (
+	"fmt"
+
+	"adore/internal/types"
+)
+
+// Role is a node's protocol role.
+type Role uint8
+
+const (
+	// Follower, Candidate, Leader are the standard Raft roles.
+	Follower Role = iota
+	Candidate
+	Leader
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// EntryKind distinguishes runtime log entries.
+type EntryKind uint8
+
+const (
+	// EntryCommand carries an opaque state-machine command.
+	EntryCommand EntryKind = iota
+	// EntryNoOp is the leader's term-opening barrier entry.
+	EntryNoOp
+	// EntryConfig carries a new member list (hot reconfiguration).
+	EntryConfig
+)
+
+// String implements fmt.Stringer.
+func (k EntryKind) String() string {
+	switch k {
+	case EntryCommand:
+		return "cmd"
+	case EntryNoOp:
+		return "noop"
+	case EntryConfig:
+		return "config"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// LogEntry is one slot of the replicated log. Index 0 is unused (logs are
+// 1-indexed, as in the Raft paper).
+type LogEntry struct {
+	Term    types.Time
+	Kind    EntryKind
+	Command []byte
+	Members []types.NodeID // EntryConfig only
+}
+
+// MessageType enumerates the runtime's RPCs, modeled as asynchronous
+// messages.
+type MessageType uint8
+
+const (
+	// MsgVoteRequest / MsgVoteResponse implement leader election.
+	MsgVoteRequest MessageType = iota
+	MsgVoteResponse
+	// MsgAppendEntries / MsgAppendResponse implement replication and
+	// heartbeats.
+	MsgAppendEntries
+	MsgAppendResponse
+)
+
+// String implements fmt.Stringer.
+func (t MessageType) String() string {
+	switch t {
+	case MsgVoteRequest:
+		return "VoteRequest"
+	case MsgVoteResponse:
+		return "VoteResponse"
+	case MsgAppendEntries:
+		return "AppendEntries"
+	case MsgAppendResponse:
+		return "AppendResponse"
+	default:
+		return fmt.Sprintf("MessageType(%d)", uint8(t))
+	}
+}
+
+// Message is the single wire format for all four RPCs (gob-encodable).
+type Message struct {
+	Type MessageType
+	From types.NodeID
+	To   types.NodeID
+	Term types.Time
+
+	// Vote requests.
+	LastLogIndex int
+	LastLogTerm  types.Time
+
+	// Append requests.
+	PrevLogIndex int
+	PrevLogTerm  types.Time
+	Entries      []LogEntry
+	LeaderCommit int
+	// Seq is a per-leader monotone counter stamped on every AppendEntries
+	// and echoed in the response. ReadIndex barriers use it to reject acks
+	// generated before the barrier's confirmation round (an in-flight
+	// response from an older heartbeat must not confirm a fresh barrier).
+	Seq uint64
+
+	// Responses.
+	Granted    bool // vote granted
+	Success    bool // append accepted
+	MatchIndex int  // highest replicated index on success
+	HintIndex  int  // on append rejection: where the follower's log ends
+}
+
+// ApplyMsg is delivered for every committed entry, in log order.
+type ApplyMsg struct {
+	Index   int
+	Term    types.Time
+	Kind    EntryKind
+	Command []byte
+	Members []types.NodeID // EntryConfig
+}
+
+// HardState is the durable per-node protocol state that Raft requires to
+// survive crashes: the current term and the vote cast in it. (The log is
+// persisted separately, entry by entry.)
+type HardState struct {
+	Term     types.Time
+	VotedFor types.NodeID
+}
+
+// ReadState resolves one ReadIndex barrier. Index is the commit index the
+// barrier captured, confirmed by a quorum; a negative Index reports that
+// leadership was lost before confirmation and the read must be retried.
+type ReadState struct {
+	// ReqID echoes the identifier the caller passed to Core.ReadIndex.
+	ReqID uint64
+	// Index is the confirmed read index, or -1 if the barrier aborted.
+	Index int
+}
+
+// Ready is one batch of effects the core wants performed. The caller MUST
+// externalize in this order: persist HardState and Entries first, then
+// send Messages, resolve ReadStates, and deliver Committed. Nothing in a
+// Ready may reach another node or a client before the persistence step
+// succeeds — that ordering is what carries the acked⇒durable invariant
+// (a vote or append ack never precedes the durable write that backs it)
+// and the fail-stop discipline (a failed persist means the whole batch,
+// messages included, is discarded and the node halts).
+type Ready struct {
+	// HardState, when non-nil, must be made durable before anything below
+	// is externalized.
+	HardState *HardState
+
+	// Entries is the dirty log suffix starting at FirstIndex (1-based):
+	// the durable log must be truncated at FirstIndex and these entries
+	// appended. Empty when the log did not change. The suffix may include
+	// entries that were already durable (a conflict truncation re-persists
+	// from the truncation point); re-writing them is harmless.
+	FirstIndex int
+	Entries    []LogEntry
+
+	// Messages are the outbound messages generated since the last
+	// TakeReady, in generation order.
+	Messages []Message
+
+	// Committed are the entries whose commitment became known since the
+	// last TakeReady, in log order, ready to apply to the state machine.
+	Committed []ApplyMsg
+
+	// ReadStates resolve ReadIndex barriers (confirmed or aborted).
+	ReadStates []ReadState
+}
+
+// Empty reports whether the batch carries no effects at all.
+func (rd *Ready) Empty() bool {
+	return rd.HardState == nil && len(rd.Entries) == 0 && len(rd.Messages) == 0 &&
+		len(rd.Committed) == 0 && len(rd.ReadStates) == 0
+}

@@ -1,0 +1,537 @@
+// Package sim is the deterministic simulation driver for the sans-IO raft
+// core: an N-node cluster stepped single-threaded on a logical clock, with
+// a seeded virtual network (latency, jitter, loss, partitions) and
+// fault-injectable in-memory WALs. Two runs with the same options produce
+// byte-identical event journals — the wall clock, the goroutine scheduler,
+// and every other source of nondeterminism is out of the loop, so a chaos
+// schedule that finds a violation replays it exactly.
+//
+// The simulator drives the very same raftcore.Core the runtime Node does,
+// through the same Ready contract: persist first, then send, then apply.
+// Persistence failures injected through raft.FaultStorage fail-stop the
+// simulated node just like the real driver (nothing from the failed batch
+// escapes), so crash/recovery behavior is exercised, not approximated.
+package sim
+
+import (
+	"bytes"
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"adore/internal/raft"
+	"adore/internal/raft/raftcore"
+	"adore/internal/types"
+)
+
+// ErrDown reports an operation against a crashed or fail-stopped node.
+var ErrDown = errors.New("sim: node is down")
+
+// Options sizes and seeds a simulated cluster. All intervals are counted
+// in ticks (the abstract clock unit; one Step advances one tick).
+type Options struct {
+	// Nodes is the cluster size (IDs 1..Nodes).
+	Nodes int
+	// Seed drives every random draw: election jitter, network latency
+	// jitter, and message loss.
+	Seed int64
+
+	// ElectionTicks / JitterTicks / HeartbeatTicks are the protocol
+	// timers: a node campaigns after ElectionTicks + rand(JitterTicks)
+	// ticks without leader contact; leaders broadcast every
+	// HeartbeatTicks. Zero gets 15 / 15 / 5.
+	ElectionTicks  int
+	JitterTicks    int
+	HeartbeatTicks int
+
+	// LatencyTicks / LatencyJitterTicks bound message delivery delay:
+	// uniform in [1+LatencyTicks, 1+LatencyTicks+LatencyJitterTicks].
+	// Zero gets 0 / 2 (delivery 1–3 ticks after send).
+	LatencyTicks       int
+	LatencyJitterTicks int
+
+	// MaxEntriesPerAppend is forwarded to the core (0 = default 256).
+	MaxEntriesPerAppend int
+
+	// DisableR2 / DisableR3 reintroduce the reconfiguration bugs.
+	DisableR2 bool
+	DisableR3 bool
+}
+
+func (o *Options) defaults() {
+	if o.Nodes <= 0 {
+		o.Nodes = 5
+	}
+	if o.ElectionTicks <= 0 {
+		o.ElectionTicks = 15
+	}
+	if o.JitterTicks <= 0 {
+		o.JitterTicks = 15
+	}
+	if o.HeartbeatTicks <= 0 {
+		o.HeartbeatTicks = 5
+	}
+	if o.LatencyJitterTicks <= 0 {
+		o.LatencyJitterTicks = 2
+	}
+}
+
+// node is one simulated replica: the pure core plus its liveness state.
+type node struct {
+	id       types.NodeID
+	core     *raftcore.Core
+	up       bool
+	failErr  error // fail-stop cause (nil while healthy)
+	lastRole raftcore.Role
+	doomAt   int64 // scheduled hard crash (0 = none)
+}
+
+// packet is one in-flight message.
+type packet struct {
+	at  int64  // delivery tick
+	seq uint64 // FIFO tie-break for equal delivery ticks
+	m   raftcore.Message
+}
+
+// packetHeap orders packets by (at, seq) — a deterministic delivery order.
+type packetHeap []packet
+
+func (h packetHeap) Len() int { return len(h) }
+func (h packetHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h packetHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *packetHeap) Push(x any)        { *h = append(*h, x.(packet)) }
+func (h *packetHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}
+
+// Cluster is a simulated raft cluster. Not safe for concurrent use: the
+// whole point is that exactly one goroutine steps it.
+type Cluster struct {
+	opt     Options
+	rng     *rand.Rand
+	now     int64
+	sendSeq uint64
+
+	ids      []types.NodeID // sorted, fixed
+	members0 []types.NodeID // initial configuration (for restarts)
+	nodes    map[types.NodeID]*node
+	storage  map[types.NodeID]*raft.FaultStorage
+
+	inflight packetHeap
+	blocked  map[[2]types.NodeID]bool
+	dropRate float64
+
+	// reads holds resolved ReadIndex barriers per (node, reqID).
+	reads      map[readKey]int // confirmed index, -1 = aborted
+	nextReadID uint64
+
+	onApply func(id types.NodeID, batch []raftcore.ApplyMsg)
+
+	journal bytes.Buffer
+}
+
+type readKey struct {
+	id  types.NodeID
+	req uint64
+}
+
+// New builds a cluster of opt.Nodes fresh replicas, all stopped at tick 0.
+// Call Step to advance time.
+func New(opt Options) *Cluster {
+	opt.defaults()
+	s := &Cluster{
+		opt:     opt,
+		rng:     rand.New(rand.NewSource(opt.Seed)),
+		nodes:   make(map[types.NodeID]*node, opt.Nodes),
+		storage: make(map[types.NodeID]*raft.FaultStorage, opt.Nodes),
+		blocked: make(map[[2]types.NodeID]bool),
+		reads:   make(map[readKey]int),
+	}
+	for i := 1; i <= opt.Nodes; i++ {
+		id := types.NodeID(i)
+		s.ids = append(s.ids, id)
+		s.members0 = append(s.members0, id)
+	}
+	for _, id := range s.ids {
+		s.storage[id] = raft.NewFaultStorage(raft.NewMemStorage())
+		s.bootNode(id)
+	}
+	return s
+}
+
+// bootNode (re)creates a node's core from its storage.
+func (s *Cluster) bootNode(id types.NodeID) {
+	hs, log, err := s.storage[id].Load()
+	if err != nil {
+		// MemStorage cannot fail Load; a scripted fault there would be a
+		// harness bug, not a protocol scenario.
+		panic(fmt.Sprintf("sim: load S%d: %v", id, err))
+	}
+	core := raftcore.New(raftcore.Config{
+		ID:                  id,
+		Members:             s.members0,
+		ElectionTicks:       s.opt.ElectionTicks,
+		Jitter:              s.jitter,
+		HeartbeatTicks:      s.opt.HeartbeatTicks,
+		MaxEntriesPerAppend: s.opt.MaxEntriesPerAppend,
+		DisableR2:           s.opt.DisableR2,
+		DisableR3:           s.opt.DisableR3,
+	}, hs, log)
+	s.nodes[id] = &node{id: id, core: core, up: true, lastRole: raftcore.Follower}
+}
+
+func (s *Cluster) jitter() int {
+	if s.opt.JitterTicks <= 0 {
+		return 0
+	}
+	return s.rng.Intn(s.opt.JitterTicks)
+}
+
+// --- Introspection ---
+
+// Now returns the current tick.
+func (s *Cluster) Now() int64 { return s.now }
+
+// IDs returns the node identities in ascending order. Callers must not
+// mutate the slice.
+func (s *Cluster) IDs() []types.NodeID { return s.ids }
+
+// Alive reports whether the node is running (not crashed, not
+// fail-stopped).
+func (s *Cluster) Alive(id types.NodeID) bool {
+	n := s.nodes[id]
+	return n.up && n.failErr == nil
+}
+
+// FailStopErr returns the storage error that fail-stopped the node, or nil.
+func (s *Cluster) FailStopErr(id types.NodeID) error { return s.nodes[id].failErr }
+
+// Status reports a node's term, role, and known leader. Crashed and
+// fail-stopped nodes report followers with no leader (matching the
+// runtime driver's post-fail-stop Status).
+func (s *Cluster) Status(id types.NodeID) (types.Time, raftcore.Role, types.NodeID) {
+	n := s.nodes[id]
+	if !s.Alive(id) {
+		return n.core.Term(), raftcore.Follower, types.NoNode
+	}
+	return n.core.Term(), n.core.Role(), n.core.Leader()
+}
+
+// CommitIndex returns a node's commit index.
+func (s *Cluster) CommitIndex(id types.NodeID) int { return s.nodes[id].core.CommitIndex() }
+
+// LastIndex returns the index of a node's last log entry.
+func (s *Cluster) LastIndex(id types.NodeID) int { return s.nodes[id].core.LastIndex() }
+
+// Entry returns a node's log entry at index i (1-based).
+func (s *Cluster) Entry(id types.NodeID, i int) raftcore.LogEntry { return s.nodes[id].core.Entry(i) }
+
+// Members returns a node's effective membership.
+func (s *Cluster) Members(id types.NodeID) types.NodeSet { return s.nodes[id].core.Members() }
+
+// Leader returns the alive leader with the highest term, if any.
+func (s *Cluster) Leader() (types.NodeID, bool) {
+	var best types.NodeID
+	var bestTerm types.Time
+	found := false
+	for _, id := range s.ids {
+		if !s.Alive(id) {
+			continue
+		}
+		c := s.nodes[id].core
+		if c.Role() == raftcore.Leader && (!found || c.Term() > bestTerm) {
+			best, bestTerm, found = id, c.Term(), true
+		}
+	}
+	return best, found
+}
+
+// Faults returns the total storage faults injected across all nodes.
+func (s *Cluster) Faults() uint64 {
+	var total uint64
+	for _, id := range s.ids {
+		total += s.storage[id].Injected()
+	}
+	return total
+}
+
+// --- Journal ---
+
+// Journalf appends one formatted line to the run journal (the driver
+// prefixes the current tick). Chaos runners log nemesis and client events
+// here so the whole run is one deterministic transcript.
+func (s *Cluster) Journalf(format string, args ...any) {
+	fmt.Fprintf(&s.journal, "t=%06d ", s.now)
+	fmt.Fprintf(&s.journal, format, args...)
+	s.journal.WriteByte('\n')
+}
+
+// Journal returns the transcript so far. Two runs with equal Options
+// produce byte-identical journals.
+func (s *Cluster) Journal() []byte { return s.journal.Bytes() }
+
+// --- Time ---
+
+// Step advances the cluster one tick: scheduled crashes land, due messages
+// are delivered (in deterministic (tick, send-order) order), then every
+// alive node's clock ticks. Each core interaction is followed by its Ready
+// execution, so effects never linger across ticks.
+func (s *Cluster) Step() {
+	s.now++
+	for _, id := range s.ids {
+		n := s.nodes[id]
+		if n.doomAt != 0 && n.doomAt <= s.now {
+			n.doomAt = 0
+			if n.up {
+				s.Journalf("S%d crash (scheduled)", id)
+				n.up = false
+			}
+		}
+	}
+	for len(s.inflight) > 0 && s.inflight[0].at <= s.now {
+		p := heap.Pop(&s.inflight).(packet)
+		n := s.nodes[p.m.To]
+		if !n.up || n.failErr != nil {
+			continue // dropped on the floor: the receiver is down
+		}
+		n.core.Step(p.m)
+		s.processReady(n)
+	}
+	for _, id := range s.ids {
+		n := s.nodes[id]
+		if !n.up || n.failErr != nil {
+			continue
+		}
+		n.core.Tick()
+		s.processReady(n)
+	}
+}
+
+// processReady executes one node's pending effects under the sans-IO
+// contract: persist, then send, then apply. A persistence failure
+// fail-stops the node with the batch's messages unsent — identical to the
+// runtime driver's behavior.
+func (s *Cluster) processReady(n *node) {
+	rd := n.core.TakeReady()
+	st := s.storage[n.id]
+	if rd.HardState != nil {
+		if err := st.SaveState(*rd.HardState); err != nil {
+			s.failStop(n, err)
+			return
+		}
+	}
+	if len(rd.Entries) > 0 {
+		if err := st.SaveEntries(rd.FirstIndex, rd.Entries); err != nil {
+			s.failStop(n, err)
+			return
+		}
+	}
+	for _, m := range rd.Messages {
+		s.deliver(m)
+	}
+	for _, rs := range rd.ReadStates {
+		s.reads[readKey{n.id, rs.ReqID}] = rs.Index
+	}
+	if len(rd.Committed) > 0 {
+		s.Journalf("S%d commit %d..%d", n.id, rd.Committed[0].Index, rd.Committed[len(rd.Committed)-1].Index)
+		if s.onApply != nil {
+			s.onApply(n.id, rd.Committed)
+		}
+	}
+	if role := n.core.Role(); role != n.lastRole {
+		s.Journalf("S%d %s@t%d", n.id, role, n.core.Term())
+		n.lastRole = role
+	}
+}
+
+func (s *Cluster) failStop(n *node, err error) {
+	n.failErr = err
+	s.Journalf("S%d fail-stop: %v", n.id, err)
+}
+
+// deliver enqueues one outbound message, applying partitions and loss at
+// send time (like the runtime's in-memory network).
+func (s *Cluster) deliver(m raftcore.Message) {
+	if s.blocked[[2]types.NodeID{m.From, m.To}] {
+		return
+	}
+	if s.dropRate > 0 && s.rng.Float64() < s.dropRate {
+		return
+	}
+	delay := int64(1 + s.opt.LatencyTicks)
+	if s.opt.LatencyJitterTicks > 0 {
+		delay += int64(s.rng.Intn(s.opt.LatencyJitterTicks + 1))
+	}
+	s.sendSeq++
+	heap.Push(&s.inflight, packet{at: s.now + delay, seq: s.sendSeq, m: m})
+}
+
+// OnApply registers the committed-entry hook (one per cluster): batches
+// arrive in commit order per node, including replays after restarts.
+func (s *Cluster) OnApply(f func(id types.NodeID, batch []raftcore.ApplyMsg)) { s.onApply = f }
+
+// --- Client-facing operations ---
+
+// Propose appends a command at node id, as if a client called the runtime
+// driver's Propose. The entry is persisted and broadcast before return.
+func (s *Cluster) Propose(id types.NodeID, cmd []byte) (int, types.Time, error) {
+	n := s.nodes[id]
+	if !s.Alive(id) {
+		return 0, 0, ErrDown
+	}
+	idx, term, err := n.core.Propose(cmd)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.processReady(n)
+	if n.failErr != nil {
+		return 0, 0, n.failErr
+	}
+	return idx, term, nil
+}
+
+// ProposeConfig proposes a membership change at node id (R1/R2/R3 guards
+// apply as configured).
+func (s *Cluster) ProposeConfig(id types.NodeID, members types.NodeSet) (int, types.Time, error) {
+	n := s.nodes[id]
+	if !s.Alive(id) {
+		return 0, 0, ErrDown
+	}
+	idx, term, err := n.core.ProposeConfig(members)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.processReady(n)
+	if n.failErr != nil {
+		return 0, 0, n.failErr
+	}
+	return idx, term, nil
+}
+
+// ReadIndex starts a linearizable-read barrier at node id. If confirmed is
+// true the barrier resolved immediately (single-node quorum) at index idx;
+// otherwise poll ReadResult(id, reqID) on subsequent ticks.
+func (s *Cluster) ReadIndex(id types.NodeID) (reqID uint64, idx int, confirmed bool, err error) {
+	n := s.nodes[id]
+	if !s.Alive(id) {
+		return 0, 0, false, ErrDown
+	}
+	s.nextReadID++
+	reqID = s.nextReadID
+	idx, confirmed, err = n.core.ReadIndex(reqID)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	s.processReady(n)
+	return reqID, idx, confirmed, nil
+}
+
+// ReadResult polls a pending barrier: done reports resolution, and a
+// negative idx means the barrier aborted (leadership lost) — retry.
+func (s *Cluster) ReadResult(id types.NodeID, reqID uint64) (idx int, done bool) {
+	idx, done = s.reads[readKey{id, reqID}]
+	if done {
+		delete(s.reads, readKey{id, reqID})
+	}
+	return idx, done
+}
+
+// CancelRead abandons a pending barrier.
+func (s *Cluster) CancelRead(id types.NodeID, reqID uint64) {
+	delete(s.reads, readKey{id, reqID})
+	if s.Alive(id) {
+		s.nodes[id].core.CancelRead(reqID)
+	}
+}
+
+// --- Nemesis operations ---
+
+// Partition blocks all traffic between the two groups (both directions).
+func (s *Cluster) Partition(a, b []types.NodeID) {
+	for _, x := range a {
+		for _, y := range b {
+			s.blocked[[2]types.NodeID{x, y}] = true
+			s.blocked[[2]types.NodeID{y, x}] = true
+		}
+	}
+	s.Journalf("partition %v | %v", a, b)
+}
+
+// Isolate cuts one node off from everyone else.
+func (s *Cluster) Isolate(id types.NodeID) {
+	for _, other := range s.ids {
+		if other != id {
+			s.blocked[[2]types.NodeID{id, other}] = true
+			s.blocked[[2]types.NodeID{other, id}] = true
+		}
+	}
+	s.Journalf("isolate S%d", id)
+}
+
+// Heal removes all partitions.
+func (s *Cluster) Heal() {
+	s.blocked = make(map[[2]types.NodeID]bool)
+	s.Journalf("heal")
+}
+
+// SetDropRate sets the probability of dropping each message.
+func (s *Cluster) SetDropRate(p float64) {
+	s.dropRate = p
+	s.Journalf("drop-rate %.2f", p)
+}
+
+// Crash stops a node immediately (clean crash: the WAL keeps every synced
+// frame; in-flight messages to it are lost).
+func (s *Cluster) Crash(id types.NodeID) {
+	n := s.nodes[id]
+	if n.up {
+		s.Journalf("S%d crash (clean)", id)
+		n.up = false
+	}
+	n.doomAt = 0
+}
+
+// CrashTorn arms a torn write on the node's next persist and schedules a
+// hard crash graceTicks later: if the node writes in the window it
+// fail-stops on the torn frame (exercising the fail-stop path), otherwise
+// the scheduled crash lands. Mirrors the real-time executor's torn-crash
+// sequencing.
+func (s *Cluster) CrashTorn(id types.NodeID, graceTicks int64) {
+	s.storage[id].TearNextWrite()
+	s.nodes[id].doomAt = s.now + graceTicks
+	s.Journalf("S%d crash (torn, grace=%d)", id, graceTicks)
+}
+
+// CrashWound arms a plain write error and schedules the hard crash, like
+// CrashTorn but with a non-torn fault.
+func (s *Cluster) CrashWound(id types.NodeID, graceTicks int64) {
+	s.storage[id].FailNextSaveEntries(fmt.Errorf("sim: injected write error on S%d", id))
+	s.nodes[id].doomAt = s.now + graceTicks
+	s.Journalf("S%d crash (wound, grace=%d)", id, graceTicks)
+}
+
+// ClearFaults disarms any armed (not yet tripped) storage faults on the
+// node without restarting it — the epilogue's "repair the disk" step.
+func (s *Cluster) ClearFaults(id types.NodeID) { s.storage[id].ClearFaults() }
+
+// Restart repairs a node's storage faults and boots a fresh incarnation
+// from its durable state. It is a no-op for a node that is still healthy.
+func (s *Cluster) Restart(id types.NodeID) {
+	n := s.nodes[id]
+	if n.up && n.failErr == nil {
+		return
+	}
+	s.storage[id].ClearFaults()
+	s.bootNode(id)
+	s.Journalf("S%d restart", id)
+}

@@ -10,17 +10,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
-
-	"adore/internal/types"
 )
-
-// HardState is the durable per-node protocol state that Raft requires to
-// survive crashes: the current term and the vote cast in it. (The log is
-// persisted separately, entry by entry.)
-type HardState struct {
-	Term     types.Time
-	VotedFor types.NodeID
-}
 
 // Storage persists a node's hard state and log. Implementations must make
 // each call durable before returning — the protocol's safety after a crash

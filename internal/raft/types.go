@@ -2,6 +2,17 @@
 // single-node reconfiguration — the Go counterpart of the paper's extracted
 // OCaml protocol plus its "small, unverified network library wrapper" (§7).
 //
+// The protocol itself lives in the sans-IO subpackage raftcore: a pure
+// state machine stepped by messages and logical ticks that emits its
+// effects as Ready batches. This package is the runtime driver around it —
+// goroutines, wall-clock timers, the group-commit WAL, and transports.
+// Node executes each Ready in the order the core's contract requires:
+// persist the hard state and log suffix first, then send messages, resolve
+// read barriers, and deliver committed entries. That ordering preserves
+// the acked⇒durable invariant (nothing reaches a peer or client before
+// the durable write that backs it), and a failed persist fail-stops the
+// node before anything from the batch escapes.
+//
 // The protocol follows the SRaft specification this repository refines into
 // Adore (packages raftnet/sraft/refine), made incremental and practical:
 //
@@ -23,114 +34,63 @@
 package raft
 
 import (
-	"fmt"
+	"adore/internal/raft/raftcore"
+)
 
-	"adore/internal/types"
+// The wire and log types are defined in the sans-IO core and re-exported
+// here so existing callers (transports, cluster harness, chaos, kvstore)
+// keep compiling unchanged.
+
+// Role is a node's protocol role.
+type Role = raftcore.Role
+
+const (
+	// Follower, Candidate, Leader are the standard Raft roles.
+	Follower  = raftcore.Follower
+	Candidate = raftcore.Candidate
+	Leader    = raftcore.Leader
 )
 
 // EntryKind distinguishes runtime log entries.
-type EntryKind uint8
+type EntryKind = raftcore.EntryKind
 
 const (
 	// EntryCommand carries an opaque state-machine command.
-	EntryCommand EntryKind = iota
+	EntryCommand = raftcore.EntryCommand
 	// EntryNoOp is the leader's term-opening barrier entry.
-	EntryNoOp
+	EntryNoOp = raftcore.EntryNoOp
 	// EntryConfig carries a new member list (hot reconfiguration).
-	EntryConfig
+	EntryConfig = raftcore.EntryConfig
 )
-
-// String implements fmt.Stringer.
-func (k EntryKind) String() string {
-	switch k {
-	case EntryCommand:
-		return "cmd"
-	case EntryNoOp:
-		return "noop"
-	case EntryConfig:
-		return "config"
-	default:
-		return fmt.Sprintf("kind(%d)", uint8(k))
-	}
-}
 
 // LogEntry is one slot of the replicated log. Index 0 is unused (logs are
 // 1-indexed, as in the Raft paper).
-type LogEntry struct {
-	Term    types.Time
-	Kind    EntryKind
-	Command []byte
-	Members []types.NodeID // EntryConfig only
-}
+type LogEntry = raftcore.LogEntry
 
 // MessageType enumerates the runtime's RPCs, modeled as asynchronous
 // messages.
-type MessageType uint8
+type MessageType = raftcore.MessageType
 
 const (
 	// MsgVoteRequest / MsgVoteResponse implement leader election.
-	MsgVoteRequest MessageType = iota
-	MsgVoteResponse
+	MsgVoteRequest  = raftcore.MsgVoteRequest
+	MsgVoteResponse = raftcore.MsgVoteResponse
 	// MsgAppendEntries / MsgAppendResponse implement replication and
 	// heartbeats.
-	MsgAppendEntries
-	MsgAppendResponse
+	MsgAppendEntries  = raftcore.MsgAppendEntries
+	MsgAppendResponse = raftcore.MsgAppendResponse
 )
 
-// String implements fmt.Stringer.
-func (t MessageType) String() string {
-	switch t {
-	case MsgVoteRequest:
-		return "VoteRequest"
-	case MsgVoteResponse:
-		return "VoteResponse"
-	case MsgAppendEntries:
-		return "AppendEntries"
-	case MsgAppendResponse:
-		return "AppendResponse"
-	default:
-		return fmt.Sprintf("MessageType(%d)", uint8(t))
-	}
-}
-
 // Message is the single wire format for all four RPCs (gob-encodable).
-type Message struct {
-	Type MessageType
-	From types.NodeID
-	To   types.NodeID
-	Term types.Time
-
-	// Vote requests.
-	LastLogIndex int
-	LastLogTerm  types.Time
-
-	// Append requests.
-	PrevLogIndex int
-	PrevLogTerm  types.Time
-	Entries      []LogEntry
-	LeaderCommit int
-	// Seq is a per-leader monotone counter stamped on every AppendEntries
-	// and echoed in the response. ReadIndex barriers use it to reject acks
-	// generated before the barrier's confirmation round (an in-flight
-	// response from an older heartbeat must not confirm a fresh barrier).
-	Seq uint64
-
-	// Responses.
-	Granted    bool // vote granted
-	Success    bool // append accepted
-	MatchIndex int  // highest replicated index on success
-	HintIndex  int  // on append rejection: where the follower's log ends
-}
+type Message = raftcore.Message
 
 // ApplyMsg is delivered on the node's apply channel for every committed
 // entry, in log order.
-type ApplyMsg struct {
-	Index   int
-	Term    types.Time
-	Kind    EntryKind
-	Command []byte
-	Members []types.NodeID // EntryConfig
-}
+type ApplyMsg = raftcore.ApplyMsg
+
+// HardState is the durable per-node protocol state that Raft requires to
+// survive crashes: the current term and the vote cast in it.
+type HardState = raftcore.HardState
 
 // Transport sends messages between nodes. Send must not block for long and
 // may drop messages silently; the protocol tolerates loss.

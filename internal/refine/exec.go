@@ -1,0 +1,189 @@
+package refine
+
+// This file is the executable half of the refinement story: where
+// Checker locksteps the SRaft *specification* against the Adore model,
+// ExecChecker checks the *implementation* — the sans-IO raftcore driven by
+// the deterministic simulator — against the same cache-tree abstraction.
+//
+// The mapping is the one Appendix C.1 induces on states: a log entry at
+// index i of term t is the command cache stamped (Time=t, Vrsn=i); a
+// replica's whole log is the branch from the root to its last entry's
+// cache. ExecChecker rebuilds the cache tree from the logs it is shown —
+// entries with equal stamps and payloads are the same cache, so replicas
+// sharing a prefix share a branch, and a truncated-away suffix survives as
+// a dead sibling branch, exactly as uncommitted caches do in the model.
+// Against that tree it checks the two halves of ℝ that are meaningful for
+// observed executions:
+//
+//   - logMatch: each replica's log equals toLog(tree, anchor) along its
+//     branch (term-monotone, version = index);
+//   - committed-branch agreement: every replica's committed prefix lies on
+//     ONE branch of the tree — the global committed tip only ever extends.
+//     This is the paper's Theorem 4.1 as seen through logMatch: with R2
+//     disabled, the Fig. 4 schedule makes two leaders commit different
+//     caches at the same stamp depth on sibling branches, and the check
+//     fails.
+
+import (
+	"fmt"
+
+	"adore/internal/config"
+	"adore/internal/core"
+	"adore/internal/raft/raftcore"
+	"adore/internal/types"
+)
+
+// ExecChecker maps executable raftcore logs onto an Adore cache tree and
+// checks the observable refinement relation after every observation.
+type ExecChecker struct {
+	// Tree is the reconstructed cache tree (exported for rendering in
+	// violation reports).
+	Tree *core.Tree
+
+	// anchors maps each replica to the cache of its last observed log
+	// entry; commits to the cache at its observed commit index.
+	anchors map[types.NodeID]types.CID
+	commits map[types.NodeID]types.CID
+
+	// committedTip is the deepest committed cache seen across all
+	// replicas and all observations; tipOwner reported it.
+	committedTip types.CID
+	tipOwner     types.NodeID
+
+	// methods interns command payloads as model MethodIDs.
+	methods map[string]types.MethodID
+
+	// Checks counts ObserveNode calls (logMatch evaluations).
+	Checks int
+}
+
+// NewExec builds an executable-refinement checker for a cluster whose
+// initial configuration is a majority quorum over members.
+func NewExec(members types.NodeSet) *ExecChecker {
+	t := core.NewTree(config.NewMajorityConfig(members))
+	return &ExecChecker{
+		Tree:         t,
+		anchors:      make(map[types.NodeID]types.CID),
+		commits:      make(map[types.NodeID]types.CID),
+		committedTip: t.Root().ID,
+		tipOwner:     types.NoNode,
+		methods:      make(map[string]types.MethodID),
+	}
+}
+
+// intern returns a stable MethodID for a command payload.
+func (e *ExecChecker) intern(key string) types.MethodID {
+	if m, ok := e.methods[key]; ok {
+		return m
+	}
+	m := types.MethodID(len(e.methods) + 1)
+	e.methods[key] = m
+	return m
+}
+
+// view translates one raftcore log entry (at 1-based index idx) into the
+// abstract log slot the shared logMatch comparison consumes.
+func (e *ExecChecker) view(le raftcore.LogEntry, idx int) entryView {
+	v := entryView{stamp: types.Stamp{Time: le.Term, Vrsn: types.Vrsn(idx)}}
+	switch le.Kind {
+	case raftcore.EntryConfig:
+		v.kind = core.KindR
+		v.conf = config.NewMajorityConfig(types.NewNodeSet(le.Members...))
+	case raftcore.EntryNoOp:
+		v.kind = core.KindM
+		v.method = e.intern("\x00noop")
+	default:
+		v.kind = core.KindM
+		v.method = e.intern(string(le.Command))
+	}
+	return v
+}
+
+// ObserveNode ingests one replica's current log (entries 1..len(log), no
+// sentinel) and commit index, extends the cache tree with any new
+// branches, and checks ℝ. It returns the first violation found:
+// non-monotone terms within the log, a logMatch mismatch against the
+// reconstructed branch, or a committed prefix that leaves the committed
+// branch. Call it for every replica after each round of a simulated run;
+// a nil error means the observed execution still refines Adore.
+func (e *ExecChecker) ObserveNode(id types.NodeID, log []raftcore.LogEntry, commitIndex int) error {
+	e.Checks++
+	if commitIndex < 0 || commitIndex > len(log) {
+		return fmt.Errorf("refine: exec %s: commit index %d outside log of length %d", id, commitIndex, len(log))
+	}
+
+	// Walk the log down from the root, reusing matching children (shared
+	// prefixes collapse onto one branch) and adding leaves for new entries.
+	views := make([]entryView, len(log))
+	cids := make([]types.CID, len(log))
+	parent := e.Tree.Root().ID
+	curConf := e.Tree.Root().Conf // the branch's config, inherited by MCaches
+	prevTerm := types.Time(0)
+	for i, le := range log {
+		if le.Term < prevTerm {
+			return fmt.Errorf("refine: exec %s: term regresses %d -> %d at index %d", id, prevTerm, le.Term, i+1)
+		}
+		prevTerm = le.Term
+		v := e.view(le, i+1)
+		views[i] = v
+		cid := types.NoCID
+		for _, child := range e.Tree.Children(parent) {
+			if v.matches(e.Tree.Get(child)) {
+				cid = child
+				break
+			}
+		}
+		if cid == types.NoCID {
+			conf := v.conf // RCaches carry their NEW config
+			if v.kind == core.KindM {
+				conf = curConf
+			}
+			added := e.Tree.AddLeaf(parent, core.Cache{
+				Kind:   v.kind,
+				Caller: types.NoNode,
+				Time:   v.stamp.Time,
+				Vrsn:   v.stamp.Vrsn,
+				Method: v.method,
+				Conf:   conf,
+			})
+			cid = added.ID
+		}
+		cids[i] = cid
+		parent = cid
+		curConf = e.Tree.Get(cid).Conf
+	}
+	anchor := e.Tree.Root().ID
+	if len(cids) > 0 {
+		anchor = cids[len(cids)-1]
+	}
+	e.anchors[id] = anchor
+
+	// logMatch: the replica's log must equal toLog(tree, anchor).
+	if err := logMatchEntries(e.Tree, id, anchor, views); err != nil {
+		return err
+	}
+
+	// Committed-branch agreement: this replica's committed cache must sit
+	// on the same branch as the deepest committed cache any replica has
+	// shown us — committed histories never fork.
+	cc := e.Tree.Root().ID
+	if commitIndex > 0 {
+		cc = cids[commitIndex-1]
+	}
+	e.commits[id] = cc
+	if !e.Tree.OnSameBranch(cc, e.committedTip) {
+		return fmt.Errorf(
+			"refine: committed branches diverge: %s committed %v but %s had committed %v on a different branch",
+			id, e.Tree.Get(cc), e.tipOwner, e.Tree.Get(e.committedTip))
+	}
+	if e.Tree.Depth(cc) > e.Tree.Depth(e.committedTip) {
+		e.committedTip, e.tipOwner = cc, id
+	}
+	return nil
+}
+
+// CommittedTip returns the deepest committed cache observed so far.
+func (e *ExecChecker) CommittedTip() *core.Cache { return e.Tree.Get(e.committedTip) }
+
+// ExecAnchor exposes a replica's current anchor (for tests).
+func (e *ExecChecker) ExecAnchor(id types.NodeID) types.CID { return e.anchors[id] }

@@ -1,0 +1,92 @@
+package refine
+
+import (
+	"strings"
+	"testing"
+
+	"adore/internal/raft/raftcore"
+	"adore/internal/types"
+)
+
+func cmd(term types.Time, payload string) raftcore.LogEntry {
+	return raftcore.LogEntry{Term: term, Kind: raftcore.EntryCommand, Command: []byte(payload)}
+}
+
+func noop(term types.Time) raftcore.LogEntry {
+	return raftcore.LogEntry{Term: term, Kind: raftcore.EntryNoOp}
+}
+
+func cfg(term types.Time, members ...types.NodeID) raftcore.LogEntry {
+	return raftcore.LogEntry{Term: term, Kind: raftcore.EntryConfig, Members: members}
+}
+
+func TestExecCheckerSharedPrefixSharesBranch(t *testing.T) {
+	e := NewExec(types.NewNodeSet(1, 2, 3))
+	common := []raftcore.LogEntry{noop(1), cmd(1, "a"), cfg(1, 1, 2, 3, 4)}
+	if err := e.ObserveNode(1, append(common[:3:3], cmd(2, "b")), 3); err != nil {
+		t.Fatalf("observe S1: %v", err)
+	}
+	if err := e.ObserveNode(2, common, 3); err != nil {
+		t.Fatalf("observe S2: %v", err)
+	}
+	// S2's log is a prefix of S1's: its anchor must be an ancestor.
+	if !e.Tree.OnSameBranch(e.ExecAnchor(1), e.ExecAnchor(2)) {
+		t.Fatal("shared log prefix mapped to different branches")
+	}
+	// Root + 4 distinct entries: dedup collapsed the common prefix.
+	if e.Tree.Len() != 5 {
+		t.Fatalf("tree has %d caches, want 5\n%s", e.Tree.Len(), e.Tree.Render())
+	}
+}
+
+func TestExecCheckerTruncatedSuffixBecomesDeadBranch(t *testing.T) {
+	e := NewExec(types.NewNodeSet(1, 2, 3))
+	// First observation: an uncommitted tail from a deposed leader.
+	if err := e.ObserveNode(1, []raftcore.LogEntry{noop(1), cmd(1, "lost")}, 1); err != nil {
+		t.Fatalf("observe before truncation: %v", err)
+	}
+	// The new leader overwrote index 2; the old cache stays as a sibling.
+	if err := e.ObserveNode(1, []raftcore.LogEntry{noop(1), noop(2), cmd(2, "kept")}, 3); err != nil {
+		t.Fatalf("observe after truncation: %v", err)
+	}
+	if err := e.ObserveNode(2, []raftcore.LogEntry{noop(1), noop(2), cmd(2, "kept")}, 3); err != nil {
+		t.Fatalf("observe follower: %v", err)
+	}
+	if got := e.CommittedTip(); got.Stamp() != (types.Stamp{Time: 2, Vrsn: 3}) {
+		t.Fatalf("committed tip %v, want stamp 2.3", got)
+	}
+}
+
+func TestExecCheckerCatchesCommittedDivergence(t *testing.T) {
+	e := NewExec(types.NewNodeSet(1, 2, 3))
+	if err := e.ObserveNode(1, []raftcore.LogEntry{cmd(1, "a")}, 1); err != nil {
+		t.Fatalf("observe S1: %v", err)
+	}
+	err := e.ObserveNode(2, []raftcore.LogEntry{cmd(2, "b")}, 1)
+	if err == nil {
+		t.Fatalf("divergent committed entries accepted\n%s", e.Tree.Render())
+	}
+	if !strings.Contains(err.Error(), "committed branches diverge") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestExecCheckerCatchesTermRegression(t *testing.T) {
+	e := NewExec(types.NewNodeSet(1, 2, 3))
+	err := e.ObserveNode(1, []raftcore.LogEntry{noop(2), cmd(1, "x")}, 0)
+	if err == nil || !strings.Contains(err.Error(), "term regresses") {
+		t.Fatalf("term regression not caught: %v", err)
+	}
+}
+
+func TestExecCheckerConfigEntriesCompareByMembership(t *testing.T) {
+	e := NewExec(types.NewNodeSet(1, 2, 3))
+	if err := e.ObserveNode(1, []raftcore.LogEntry{cfg(1, 1, 2)}, 1); err != nil {
+		t.Fatalf("observe S1: %v", err)
+	}
+	// Same stamp, different membership: a different cache, hence a fork of
+	// the committed branch.
+	if err := e.ObserveNode(2, []raftcore.LogEntry{cfg(1, 2, 3)}, 1); err == nil {
+		t.Fatal("conflicting config entries at one stamp accepted")
+	}
+}

@@ -206,7 +206,48 @@ func (c *Checker) logMatch(id types.NodeID, server *raftnet.Server) error {
 	if !ok {
 		anchor = c.Model.Tree.Root().ID
 	}
-	path := c.Model.Tree.PathToRoot(anchor)
+	log := make([]entryView, len(server.Log))
+	for i, e := range server.Log {
+		v := entryView{
+			stamp:  types.Stamp{Time: e.Time, Vrsn: e.Vrsn},
+			kind:   core.KindM,
+			method: e.Method,
+			conf:   e.Conf,
+		}
+		if e.Kind == raftnet.EntryConfig {
+			v.kind = core.KindR
+		}
+		log[i] = v
+	}
+	return logMatchEntries(c.Model.Tree, id, anchor, log)
+}
+
+// entryView is one replica-log slot abstracted over its source — the SRaft
+// network specification (raftnet.Entry) or the executable core's log
+// (raftcore.LogEntry, translated by ExecChecker) — so both checkers run
+// the same logMatch comparison.
+type entryView struct {
+	stamp  types.Stamp
+	kind   core.Kind // KindM or KindR
+	method types.MethodID
+	conf   config.Config
+}
+
+// matches reports whether a cache realizes this log slot.
+func (v entryView) matches(cache *core.Cache) bool {
+	if cache.Stamp() != v.stamp || cache.Kind != v.kind {
+		return false
+	}
+	if v.kind == core.KindR {
+		return cache.Conf.Equal(v.conf)
+	}
+	return cache.Method == v.method
+}
+
+// branchCommands returns toLog(tree, anchor): the MCaches and RCaches on
+// the branch from the root to anchor, root-first.
+func branchCommands(tree *core.Tree, anchor types.CID) []*core.Cache {
+	path := tree.PathToRoot(anchor)
 	// PathToRoot is leaf-first; walk backwards for root-first order.
 	var branch []*core.Cache
 	for i := len(path) - 1; i >= 0; i-- {
@@ -214,24 +255,20 @@ func (c *Checker) logMatch(id types.NodeID, server *raftnet.Server) error {
 			branch = append(branch, path[i])
 		}
 	}
-	if len(branch) != len(server.Log) {
+	return branch
+}
+
+// logMatchEntries is the heart of ℝ shared by both checkers: the replica's
+// log must equal the command caches along its active branch, slot by slot.
+func logMatchEntries(tree *core.Tree, id types.NodeID, anchor types.CID, log []entryView) error {
+	branch := branchCommands(tree, anchor)
+	if len(branch) != len(log) {
 		return fmt.Errorf("refine: logMatch broken at %s: branch has %d commands, log has %d\nbranch tip: %v",
-			id, len(branch), len(server.Log), c.Model.Tree.Get(anchor))
+			id, len(branch), len(log), tree.Get(anchor))
 	}
 	for i, cache := range branch {
-		e := server.Log[i]
-		if cache.Time != e.Time || cache.Vrsn != e.Vrsn {
-			return fmt.Errorf("refine: logMatch broken at %s[%d]: cache %s vs entry %s", id, i, cache.Stamp(), e.Stamp())
-		}
-		switch e.Kind {
-		case raftnet.EntryMethod:
-			if cache.Kind != core.KindM || cache.Method != e.Method {
-				return fmt.Errorf("refine: logMatch broken at %s[%d]: cache %v vs entry %v", id, i, cache, e)
-			}
-		case raftnet.EntryConfig:
-			if cache.Kind != core.KindR || !cache.Conf.Equal(e.Conf) {
-				return fmt.Errorf("refine: logMatch broken at %s[%d]: cache %v vs entry %v", id, i, cache, e)
-			}
+		if !log[i].matches(cache) {
+			return fmt.Errorf("refine: logMatch broken at %s[%d]: cache %v vs entry stamped %v", id, i, cache, log[i].stamp)
 		}
 	}
 	return nil
