@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check bench bench-evidence chaos chaos-smoke chaos-teeth sim-sweep sim-teeth
+.PHONY: all build test race vet lint lint-teeth check bench bench-evidence chaos chaos-smoke chaos-teeth sim-sweep sim-teeth
 
 all: check
 
@@ -17,13 +17,25 @@ vet:
 	$(GO) vet ./...
 
 # lint runs adore-lint, the repo-specific static checker (cmd/adore-lint):
-# cache immutability, model determinism, lock-annotation discipline, and
-# exhaustive switches over the model's enum types.
+# cache immutability, model determinism, lockset discipline, exhaustive
+# switches over the model's enum types, transitive purity of the core and
+# model packages, and the persist-before-send effect order in the Ready
+# driver.
 lint:
 	$(GO) run ./cmd/adore-lint ./...
 
+# lint-teeth proves each analysis still bites: the mutant fixtures under
+# internal/lint/testdata (send-before-persist, dropped persist error,
+# transitive time.Now reach, bare call to a *Locked helper, unlock-then-read
+# window, ...) must keep producing their expected diagnostics, and the
+# fixture harness fails any pass that goes inert (zero findings). The CLI
+# golden tests pin output format and deterministic ordering the same way.
+lint-teeth:
+	$(GO) test -count=1 -run 'Fixture' ./internal/lint
+	$(GO) test -count=1 -run 'CLI' ./cmd/adore-lint
+
 # check is the full CI gate.
-check: build vet lint race
+check: build vet lint lint-teeth race
 
 # chaos is the full local sweep: 200 seeded nemesis schedules against live
 # clusters with file-backed WALs, every run checked against the safety

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureDir is the self-contained module the CLI runs over in tests.
+var fixtureDir = filepath.Join("testdata", "src")
+
+// runCLI invokes the CLI entry point with captured output.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+// normalize strips the absolute fixture-module prefix so goldens are
+// machine-independent.
+func normalize(t *testing.T, s string) string {
+	t.Helper()
+	abs, err := filepath.Abs(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = strings.ReplaceAll(s, abs+string(filepath.Separator), "")
+	return filepath.ToSlash(s)
+}
+
+// checkGolden compares got against the named golden file (regenerate with
+// `go test ./cmd/adore-lint -update`).
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("output differs from %s:\n--- want ---\n%s--- got ---\n%s", path, want, got)
+	}
+}
+
+func TestCLIPlainOutput(t *testing.T) {
+	code, out, errOut := runCLI(t, fixtureDir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errOut)
+	}
+	checkGolden(t, "plain.golden", normalize(t, out))
+	if !strings.Contains(errOut, "2 issue(s)") {
+		t.Errorf("stderr = %q, want issue count", errOut)
+	}
+}
+
+func TestCLIJSONOutput(t *testing.T) {
+	code, out, errOut := runCLI(t, "-json", fixtureDir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errOut)
+	}
+	checkGolden(t, "json.golden", normalize(t, out))
+}
+
+func TestCLIPassFilter(t *testing.T) {
+	// A pass with nothing to say about the fixture module: clean exit.
+	code, out, errOut := runCLI(t, "-pass", "deterministic-model", fixtureDir)
+	if code != 0 || out != "" {
+		t.Fatalf("filtered run: exit=%d stdout=%q stderr=%q, want clean", code, out, errOut)
+	}
+	// Selecting exactly the firing pass reproduces the full plain output.
+	code, out, _ = runCLI(t, "-pass", "exhaustive-switch", fixtureDir)
+	if code != 1 {
+		t.Fatalf("exhaustive-only run: exit = %d, want 1", code)
+	}
+	checkGolden(t, "plain.golden", normalize(t, out))
+}
+
+func TestCLIUnknownPass(t *testing.T) {
+	code, _, errOut := runCLI(t, "-pass", "no-such-pass", fixtureDir)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown pass") {
+		t.Errorf("stderr = %q, want unknown-pass error", errOut)
+	}
+}

@@ -1,0 +1,3 @@
+module fixcli
+
+go 1.22

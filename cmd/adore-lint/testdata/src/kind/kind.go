@@ -1,0 +1,25 @@
+// Package kind declares a protocol enum and switches over it without
+// covering every value — the CLI golden test pins the resulting
+// diagnostic and its ordering.
+package kind
+
+// Kind tags tree nodes.
+type Kind int
+
+// The Kind values.
+const (
+	KLeaf Kind = iota
+	KNode
+	KRoot
+)
+
+// Describe misses KRoot and has no default.
+func Describe(k Kind) string {
+	switch k {
+	case KLeaf:
+		return "leaf"
+	case KNode:
+		return "node"
+	}
+	return ""
+}

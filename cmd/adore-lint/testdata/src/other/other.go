@@ -1,0 +1,15 @@
+// Package other swallows unknown kinds with an empty default — the second
+// finding, in a second file, pins cross-file diagnostic ordering.
+package other
+
+import "fixcli/kind"
+
+// Class maps kinds to display classes.
+func Class(k kind.Kind) string {
+	switch k {
+	case kind.KLeaf:
+		return "leaf"
+	default:
+	}
+	return ""
+}

@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// callgraph.go builds the module-wide static call graph the
+// interprocedural passes (transitive-purity, effect-order, lockset) share.
+// Like the rest of the analyzer it leans on go/types only: a call is an
+// edge when the callee resolves statically — a package-level function or a
+// method on a concrete receiver. Calls through interfaces and func values
+// have no static callee; they are recorded as dynamic call sites so passes
+// can decide their own policy (the pure-core tier refuses them outright,
+// the model tier ignores them).
+
+// CallSite is one call expression inside a declared function.
+type CallSite struct {
+	Pos  token.Pos
+	Call *ast.CallExpr
+	// Callee is the statically resolved target (module-internal or
+	// standard library), nil for dynamic calls.
+	Callee *types.Func
+	// Dynamic marks calls through func values and interface methods.
+	Dynamic bool
+	// DynamicName describes a dynamic call site for reporting and
+	// allowlisting: "Type.Field" for a call through a func-typed field,
+	// "Iface.Method" for an interface method, or the variable name.
+	DynamicName string
+	// InGo marks calls that are the operand of a go statement: the callee
+	// runs concurrently, so sequencing analyses must not treat it as an
+	// in-line event.
+	InGo bool
+}
+
+// FuncNode is one declared function or method with its call sites (calls
+// inside nested function literals are attributed to the declaring
+// function — the literal's code ships with it).
+type FuncNode struct {
+	Fn    *types.Func
+	Decl  *ast.FuncDecl
+	Pkg   *Package
+	Calls []CallSite
+}
+
+// CallGraph indexes every function declared in the module.
+type CallGraph struct {
+	Nodes map[*types.Func]*FuncNode
+}
+
+// CallGraph builds (once) and returns the module call graph.
+func (p *Program) CallGraph() *CallGraph {
+	if p.cg != nil {
+		return p.cg
+	}
+	cg := &CallGraph{Nodes: make(map[*types.Func]*FuncNode)}
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Fn: fn, Decl: fd, Pkg: pkg}
+				collectCalls(pkg, fd.Body, false, &node.Calls)
+				cg.Nodes[fn] = node
+			}
+		}
+	}
+	p.cg = cg
+	return cg
+}
+
+// collectCalls gathers the call sites under n (descending into function
+// literals; inGo marks operands of go statements).
+func collectCalls(pkg *Package, n ast.Node, inGo bool, out *[]CallSite) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch e := m.(type) {
+		case *ast.GoStmt:
+			// The go operand's function and args are evaluated here, but
+			// the call itself runs on another goroutine.
+			*out = append(*out, resolveCall(pkg, e.Call, true))
+			for _, arg := range e.Call.Args {
+				collectCalls(pkg, arg, inGo, out)
+			}
+			collectCalls(pkg, e.Call.Fun, inGo, out)
+			return false
+		case *ast.CallExpr:
+			cs := resolveCall(pkg, e, inGo)
+			if cs.Callee != nil || cs.Dynamic {
+				*out = append(*out, cs)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// resolveCall classifies one call expression.
+func resolveCall(pkg *Package, call *ast.CallExpr, inGo bool) CallSite {
+	cs := CallSite{Pos: call.Pos(), Call: call, InGo: inGo}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[fun].(type) {
+		case *types.Func:
+			cs.Callee = obj
+		case *types.Builtin, *types.TypeName, nil:
+			// builtin or conversion: not a call edge
+		case *types.Var:
+			cs.Dynamic = true
+			cs.DynamicName = obj.Name()
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				fn, _ := sel.Obj().(*types.Func)
+				cs.Callee = fn
+				if recvIsInterface(sel.Recv()) {
+					cs.Dynamic = true
+					cs.DynamicName = typeShortName(sel.Recv()) + "." + sel.Obj().Name()
+				}
+			case types.FieldVal:
+				// Call through a func-typed field (the jitter-hook shape).
+				cs.Dynamic = true
+				cs.DynamicName = typeShortName(sel.Recv()) + "." + sel.Obj().Name()
+			}
+		} else if obj, ok := pkg.Info.Uses[fun.Sel]; ok {
+			// Package-qualified call (pkg.Fn) or conversion.
+			if fn, ok := obj.(*types.Func); ok {
+				cs.Callee = fn
+			}
+		}
+	default:
+		// Call of a func literal or arbitrary expression: dynamic, but a
+		// literal's body is walked by the caller anyway.
+		if _, isLit := call.Fun.(*ast.FuncLit); !isLit {
+			cs.Dynamic = true
+			cs.DynamicName = "func value"
+		}
+	}
+	return cs
+}
+
+func recvIsInterface(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return types.IsInterface(t)
+}
+
+// typeShortName renders a receiver type as its bare (package-less) name.
+func typeShortName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	s := t.String()
+	if i := strings.LastIndex(s, "."); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+// FuncDisplayName renders a function for diagnostics: "pkg.Fn" or
+// "(pkg.T).Method".
+func FuncDisplayName(fn *types.Func) string {
+	pkgName := ""
+	if fn.Pkg() != nil {
+		pkgName = fn.Pkg().Name()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "(" + pkgName + "." + typeShortName(sig.Recv().Type()) + ")." + fn.Name()
+	}
+	if pkgName == "" {
+		return fn.Name()
+	}
+	return pkgName + "." + fn.Name()
+}
+
+// Reaches reports whether from can reach (transitively, through static
+// module-internal calls) any function for which target returns true, and
+// returns one witness chain of display names when it does.
+func (cg *CallGraph) Reaches(from *types.Func, target func(*types.Func) bool) (bool, []string) {
+	seen := make(map[*types.Func]bool)
+	var walk func(fn *types.Func, depth int) []string
+	walk = func(fn *types.Func, depth int) []string {
+		if seen[fn] || depth > 64 {
+			return nil
+		}
+		seen[fn] = true
+		if target(fn) {
+			return []string{FuncDisplayName(fn)}
+		}
+		node, ok := cg.Nodes[fn]
+		if !ok {
+			return nil
+		}
+		for _, cs := range node.Calls {
+			if cs.Callee == nil || cs.Dynamic {
+				continue
+			}
+			if chain := walk(cs.Callee, depth+1); chain != nil {
+				return append([]string{FuncDisplayName(fn)}, chain...)
+			}
+		}
+		return nil
+	}
+	chain := walk(from, 0)
+	return chain != nil, chain
+}

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildCFG parses a function body and builds its CFG.
+func buildCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f(c bool, n int, ch chan int, xs []int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return BuildCFG(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// countEdges tallies the graph's edges by kind.
+func countEdges(g *CFG, back bool) int {
+	n := 0
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.Back == back {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// forwardReach returns the set of block indices reachable from from over
+// forward edges only.
+func forwardReach(g *CFG, from *Block) map[int]bool {
+	seen := map[int]bool{from.Index: true}
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range b.Succs {
+			if !e.Back && !seen[e.To.Index] {
+				seen[e.To.Index] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildCFG(t, "x := 1\n_ = x")
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry nodes = %d, want 2", len(g.Entry.Nodes))
+	}
+	if countEdges(g, true) != 0 {
+		t.Fatalf("straight-line code has back edges")
+	}
+	if !forwardReach(g, g.Entry)[g.Exit.Index] {
+		t.Fatalf("exit not forward-reachable from entry")
+	}
+}
+
+func TestCFGIfElseJoin(t *testing.T) {
+	g := buildCFG(t, "if c {\n_ = 1\n} else {\n_ = 2\n}\n_ = 3")
+	if got := len(g.Entry.Succs); got != 2 {
+		t.Fatalf("if-else entry has %d successors, want 2 (then, else)", got)
+	}
+	if countEdges(g, true) != 0 {
+		t.Fatalf("if-else has back edges")
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	g := buildCFG(t, "for i := 0; i < n; i++ {\n_ = i\n}")
+	if got := countEdges(g, true); got != 1 {
+		t.Fatalf("for loop has %d back edges, want 1", got)
+	}
+	// Every back edge carries a forward shadow to the loop exit, so facts
+	// set in the body survive past the loop in a back-edge-cutting
+	// analysis.
+	for _, b := range g.Blocks {
+		hasBack := false
+		hasForward := false
+		for _, e := range b.Succs {
+			if e.Back {
+				hasBack = true
+			} else {
+				hasForward = true
+			}
+		}
+		if hasBack && !hasForward {
+			t.Fatalf("block %d has a back edge but no forward shadow", b.Index)
+		}
+	}
+}
+
+func TestCFGInfiniteLoopShadowReachesExit(t *testing.T) {
+	// `for {}` has no cond edge to the loop exit; only the shadow edges
+	// make the code after the loop (and the function exit) forward-
+	// reachable.
+	g := buildCFG(t, "for {\nif c {\ncontinue\n}\n_ = 1\n}")
+	if !forwardReach(g, g.Entry)[g.Exit.Index] {
+		t.Fatalf("exit not forward-reachable through shadow edges")
+	}
+	if got := countEdges(g, true); got != 2 {
+		t.Fatalf("loop has %d back edges, want 2 (continue, body end)", got)
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	g := buildCFG(t, "for _, x := range xs {\n_ = x\n}\n_ = 1")
+	if got := countEdges(g, true); got != 1 {
+		t.Fatalf("range loop has %d back edges, want 1", got)
+	}
+}
+
+func TestCFGDeferLIFO(t *testing.T) {
+	g := buildCFG(t, "defer println(1)\ndefer println(2)\n_ = 3")
+	if got := len(g.Exit.Nodes); got != 2 {
+		t.Fatalf("exit holds %d deferred calls, want 2", got)
+	}
+	// LIFO: the later defer runs first.
+	if g.Exit.Nodes[0].Pos() < g.Exit.Nodes[1].Pos() {
+		t.Fatalf("deferred calls not in LIFO order")
+	}
+}
+
+func TestCFGReturnEdges(t *testing.T) {
+	g := buildCFG(t, "if c {\nreturn\n}\n_ = 1")
+	into := 0
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.To == g.Exit {
+				into++
+			}
+		}
+	}
+	if into != 2 {
+		t.Fatalf("%d edges into exit, want 2 (return, fall-through)", into)
+	}
+}
+
+func TestCFGSelectClauses(t *testing.T) {
+	g := buildCFG(t, "select {\ncase <-ch:\n_ = 1\ncase ch <- n:\n_ = 2\n}")
+	if got := len(g.Entry.Succs); got != 2 {
+		t.Fatalf("select entry has %d successors, want 2 (one per clause)", got)
+	}
+}
+
+func TestCFGSwitchDefault(t *testing.T) {
+	// With a default clause there is no head→join fall-through edge.
+	g := buildCFG(t, "switch n {\ncase 1:\n_ = 1\ndefault:\n_ = 2\n}")
+	if got := len(g.Entry.Succs); got != 2 {
+		t.Fatalf("switch-with-default entry has %d successors, want 2", got)
+	}
+}
+
+func TestCFGReversePostOrder(t *testing.T) {
+	g := buildCFG(t, "for i := 0; i < n; i++ {\nif c {\n_ = 1\n}\n}\n_ = 2")
+	order := g.ReversePostOrder()
+	pos := make(map[int]int, len(order))
+	for i, b := range order {
+		pos[b.Index] = i
+	}
+	// Over forward edges, every predecessor sorts before its successor.
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.Back {
+				continue
+			}
+			pi, ok1 := pos[b.Index]
+			si, ok2 := pos[e.To.Index]
+			if ok1 && ok2 && pi >= si {
+				t.Fatalf("RPO violates forward edge %d → %d", b.Index, e.To.Index)
+			}
+		}
+	}
+	if pos[g.Entry.Index] != 0 {
+		t.Fatalf("entry is not first in RPO")
+	}
+}
+
+func TestWalkNodeSkipsFuncLitBodies(t *testing.T) {
+	g := buildCFG(t, "go func() {\ninner := 1\n_ = inner\n}()\n_ = 2")
+	var idents []string
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			walkNode(n, func(m ast.Node) {
+				if id, ok := m.(*ast.Ident); ok {
+					idents = append(idents, id.Name)
+				}
+			})
+		}
+	}
+	if strings.Contains(strings.Join(idents, ","), "inner") {
+		t.Fatalf("walkNode descended into a function literal body: %v", idents)
+	}
+}

@@ -1,0 +1,495 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// effectorder.go proves the Ready-execution contract on the driver
+// package: on every forward control-flow path, persistence of the
+// HardState and log entries (Storage.SaveState / SaveEntries) happens
+// before any externalizing effect — a Transport.Send, a read-barrier
+// resolution, an apply handoff, or any other channel send/close. This is
+// the acked⇒durable obligation: once a message or an apply leaves the
+// node, a crash must not be able to forget the state that justified it.
+//
+// The check is a may-analysis over the shared CFG: a single forward pass
+// (back edges skipped — a persist in the *next* loop iteration legally
+// follows the previous iteration's sends) tracks whether an externalizing
+// effect may already have happened; a persist reached with that bit set is
+// a contract violation, reported with the effect that got ahead of it.
+// Effects propagate through same-package static calls via {persists,
+// externalizes} function summaries, so a driver that delegates to helpers
+// is held to the same order. Calls launched with `go` run concurrently and
+// are not in-line events; deferred calls take effect at function exit.
+//
+// The same pass enforces the error discipline that makes persistence
+// meaningful: every Storage persist call's error must be returned,
+// panicked on, or routed to the fail-stop halt (Config FailStops, e.g.
+// failStopLocked). A dropped or merely-logged storage error would let the
+// node keep acking on top of unpersisted state.
+
+// EffectOrderConfig targets one package's Ready-execution driver.
+type EffectOrderConfig struct {
+	// Pkg is the driver package's import path.
+	Pkg string
+	// StorageIface / PersistMethods name the persistence interface and its
+	// persisting methods ("Storage", SaveState/SaveEntries).
+	StorageIface   string
+	PersistMethods []string
+	// SendIface / SendMethods name the externalizing transport interface
+	// ("Transport", Send). Channel sends and closes always externalize.
+	SendIface   string
+	SendMethods []string
+	// FailStops names the functions that halt the node on a storage error;
+	// a persist error must reach one of them (or a panic, or a return).
+	FailStops []string
+}
+
+// effectSummary is one function's interprocedural effect bits.
+type effectSummary struct {
+	persists     bool
+	externalizes bool
+	callees      []*types.Func // same-package static callees (not via go)
+}
+
+// runEffectOrder is the effect-order pass entry point.
+func runEffectOrder(prog *Program, pkg *Package, cfg Config) []Diagnostic {
+	var out []Diagnostic
+	if strings.HasSuffix(pkg.Path, ".test") {
+		return nil // the contract binds the shipped driver, not its tests
+	}
+	for _, eoc := range cfg.EffectOrder {
+		if pkg.Path != eoc.Pkg {
+			continue
+		}
+		a := &effectAnalysis{prog: prog, pkg: pkg, eoc: eoc}
+		a.computeSummaries()
+		report := func(pos token.Pos, msg string) {
+			out = append(out, Diagnostic{Pos: prog.Fset.Position(pos), Pass: "effect-order", Message: msg})
+		}
+		for _, file := range pkg.Files {
+			if strings.HasSuffix(prog.Fset.Position(file.Pos()).Filename, "_test.go") {
+				continue
+			}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				a.checkOrder(fd, report)
+				a.checkErrDiscipline(fd.Body, report)
+			}
+		}
+	}
+	return out
+}
+
+type effectAnalysis struct {
+	prog *Program
+	pkg  *Package
+	eoc  EffectOrderConfig
+	sums map[*types.Func]*effectSummary
+}
+
+// ifaceCall reports whether call is a dynamic call to iface.method for one
+// of the listed methods, returning its display name ("Storage.SaveState").
+func (a *effectAnalysis) ifaceCall(call *ast.CallExpr, iface string, methods []string) string {
+	cs := resolveCall(a.pkg, call, false)
+	if !cs.Dynamic {
+		return ""
+	}
+	for _, m := range methods {
+		if cs.DynamicName == iface+"."+m {
+			return cs.DynamicName
+		}
+	}
+	return ""
+}
+
+func (a *effectAnalysis) persistCall(call *ast.CallExpr) string {
+	return a.ifaceCall(call, a.eoc.StorageIface, a.eoc.PersistMethods)
+}
+
+func (a *effectAnalysis) sendCall(call *ast.CallExpr) string {
+	return a.ifaceCall(call, a.eoc.SendIface, a.eoc.SendMethods)
+}
+
+// closeCall reports whether call is the close builtin.
+func (a *effectAnalysis) closeCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := a.pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}
+
+// samePkgCallee returns the statically resolved same-package callee of
+// call, or nil.
+func (a *effectAnalysis) samePkgCallee(call *ast.CallExpr) *types.Func {
+	cs := resolveCall(a.pkg, call, false)
+	if cs.Callee == nil || cs.Dynamic || cs.Callee.Pkg() != pkgTypes(a.pkg) {
+		return nil
+	}
+	return cs.Callee
+}
+
+func pkgTypes(pkg *Package) *types.Package { return pkg.Types }
+
+// computeSummaries builds the {persists, externalizes} fixpoint over the
+// package's declared functions.
+func (a *effectAnalysis) computeSummaries() {
+	a.sums = make(map[*types.Func]*effectSummary)
+	for fn, node := range a.prog.CallGraph().Nodes {
+		if node.Pkg != a.pkg {
+			continue
+		}
+		sum := &effectSummary{}
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.FuncLit:
+				return false // a defined-but-not-called literal has no effect
+			case *ast.GoStmt:
+				return false // runs concurrently, not an in-line effect
+			case *ast.SendStmt:
+				sum.externalizes = true
+			case *ast.CallExpr:
+				if a.persistCall(e) != "" {
+					sum.persists = true
+				}
+				if a.sendCall(e) != "" || a.closeCall(e) {
+					sum.externalizes = true
+				}
+				if callee := a.samePkgCallee(e); callee != nil {
+					sum.callees = append(sum.callees, callee)
+				}
+			}
+			return true
+		})
+		a.sums[fn] = sum
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, sum := range a.sums {
+			for _, callee := range sum.callees {
+				cs, ok := a.sums[callee]
+				if !ok {
+					continue
+				}
+				if cs.persists && !sum.persists {
+					sum.persists = true
+					changed = true
+				}
+				if cs.externalizes && !sum.externalizes {
+					sum.externalizes = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// mayState is the forward dataflow fact: has an externalizing effect
+// possibly happened, and which one (for the message).
+type mayState struct {
+	extern bool
+	why    string
+}
+
+func (s *mayState) externalize(why string) {
+	if !s.extern {
+		s.extern = true
+		s.why = why
+	}
+}
+
+func (s *mayState) merge(src mayState) {
+	if src.extern && !s.extern {
+		s.extern = true
+		s.why = src.why
+	}
+}
+
+// checkOrder runs the may-analysis over one function.
+func (a *effectAnalysis) checkOrder(fd *ast.FuncDecl, report func(token.Pos, string)) {
+	g := BuildCFG(fd.Body)
+	in := make([]mayState, len(g.Blocks))
+	reached := make([]bool, len(g.Blocks))
+	reached[g.Entry.Index] = true
+	// Reverse post-order over forward edges visits every predecessor of a
+	// block before the block itself, so one pass over the loop-free
+	// skeleton converges.
+	for _, blk := range g.ReversePostOrder() {
+		if !reached[blk.Index] {
+			continue
+		}
+		st := in[blk.Index]
+		for _, node := range blk.Nodes {
+			var skip *ast.CallExpr
+			switch d := node.(type) {
+			case *ast.DeferStmt:
+				skip = d.Call // takes effect at exit; its node is in the exit block
+			case *ast.GoStmt:
+				skip = d.Call // runs concurrently
+			}
+			a.walkEvents(node, skip, &st, report)
+		}
+		for _, e := range blk.Succs {
+			if e.Back {
+				continue
+			}
+			if !reached[e.To.Index] {
+				in[e.To.Index] = st
+				reached[e.To.Index] = true
+			} else {
+				in[e.To.Index].merge(st)
+			}
+		}
+	}
+}
+
+// walkEvents interprets one block node's effects against st. skip is a
+// call expression whose own event must not fire here (deferred or
+// go-launched); its arguments still evaluate in place.
+func (a *effectAnalysis) walkEvents(node ast.Node, skip *ast.CallExpr, st *mayState, report func(token.Pos, string)) {
+	walkNode(node, func(m ast.Node) {
+		switch e := m.(type) {
+		case *ast.SendStmt:
+			st.externalize("a channel send")
+		case *ast.CallExpr:
+			if e == skip {
+				return
+			}
+			if name := a.persistCall(e); name != "" {
+				if st.extern {
+					report(e.Pos(), name+" persists after "+st.why+" on this path; "+
+						"the Ready contract requires persistence before sends, read resolution, and apply")
+				}
+				return
+			}
+			if name := a.sendCall(e); name != "" {
+				st.externalize(name)
+				return
+			}
+			if a.closeCall(e) {
+				st.externalize("a channel close")
+				return
+			}
+			if callee := a.samePkgCallee(e); callee != nil {
+				sum := a.sums[callee]
+				if sum == nil {
+					return
+				}
+				if sum.persists && st.extern {
+					report(e.Pos(), "call to "+FuncDisplayName(callee)+" (which persists state) after "+
+						st.why+" on this path; the Ready contract requires persistence before sends, read resolution, and apply")
+				}
+				if sum.externalizes {
+					st.externalize("a call to " + FuncDisplayName(callee) + " (which externalizes)")
+				}
+			}
+		}
+	})
+}
+
+// checkErrDiscipline verifies every Storage persist call's error is
+// handled: returned, panicked on, or routed to a fail-stop halt. scope
+// recursion keeps each function literal a separate return/flow scope.
+func (a *effectAnalysis) checkErrDiscipline(scope *ast.BlockStmt, report func(token.Pos, string)) {
+	ast.Inspect(scope, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			a.checkErrDiscipline(e.Body, report)
+			return false
+		case *ast.CallExpr:
+			if name := a.persistCall(e); name != "" {
+				a.checkOneErr(scope, e, name, report)
+			}
+		}
+		return true
+	})
+}
+
+// checkOneErr applies the error discipline to one persist call.
+func (a *effectAnalysis) checkOneErr(scope *ast.BlockStmt, call *ast.CallExpr, name string, report func(token.Pos, string)) {
+	path := pathTo(scope, call)
+	var stmt ast.Stmt
+	for i := len(path) - 1; i >= 0; i-- {
+		if s, ok := path[i].(ast.Stmt); ok {
+			stmt = s
+			break
+		}
+	}
+	dropped := func() {
+		report(call.Pos(), "error from "+name+" is dropped; a failed persist must fail-stop the node, "+
+			"not leave it acking on unpersisted state")
+	}
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		return // propagated to the caller
+	case *ast.ExprStmt, *ast.GoStmt, *ast.DeferStmt:
+		dropped()
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 || ast.Unparen(s.Rhs[0]) != call {
+			return // call feeds a larger expression; assume the consumer handles it
+		}
+		errIdent, ok := s.Lhs[len(s.Lhs)-1].(*ast.Ident)
+		if !ok {
+			return
+		}
+		if errIdent.Name == "_" {
+			dropped()
+			return
+		}
+		obj := a.pkg.Info.Defs[errIdent]
+		if obj == nil {
+			obj = a.pkg.Info.Uses[errIdent]
+		}
+		if obj == nil {
+			return
+		}
+		if !a.errReachesHalt(scope, obj, errIdent) {
+			report(call.Pos(), "error from "+name+" never reaches the fail-stop halt; route it to "+
+				strings.Join(a.eoc.FailStops, "/")+", panic, or return it")
+		}
+	case *ast.IfStmt:
+		// The call sits in the condition (err != nil inline); the branches
+		// must halt.
+		if !a.blockHalts(s) {
+			report(call.Pos(), "error from "+name+" is checked but the failure branch does not halt; "+
+				"route it to "+strings.Join(a.eoc.FailStops, "/")+", panic, or return it")
+		}
+	}
+}
+
+// errReachesHalt reports whether some use of the error object is terminal:
+// returned, passed to panic or a fail-stop-reaching call, or tested by an
+// if whose branches halt.
+func (a *effectAnalysis) errReachesHalt(scope *ast.BlockStmt, obj types.Object, def *ast.Ident) bool {
+	used := false
+	halts := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || a.pkg.Info.Uses[id] != obj {
+			return true
+		}
+		used = true
+		path := pathTo(scope, id)
+		for i := len(path) - 1; i >= 0; i-- {
+			switch anc := path[i].(type) {
+			case *ast.ReturnStmt:
+				halts = true
+				return true
+			case *ast.CallExpr:
+				if a.callHalts(anc) {
+					halts = true
+					return true
+				}
+			case *ast.IfStmt:
+				// Only a use inside the condition makes the if a check of
+				// this error.
+				if anc.Cond.Pos() <= id.Pos() && id.Pos() <= anc.Cond.End() && a.blockHalts(anc) {
+					halts = true
+					return true
+				}
+			case *ast.FuncLit:
+				return true // different scope; its own pass judges it
+			}
+		}
+		return true
+	})
+	return used && halts
+}
+
+// callHalts reports whether call is panic or reaches a fail-stop.
+func (a *effectAnalysis) callHalts(call *ast.CallExpr) bool {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := a.pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	}
+	cs := resolveCall(a.pkg, call, false)
+	if cs.Callee == nil || cs.Dynamic {
+		return false
+	}
+	return a.reachesFailStop(cs.Callee)
+}
+
+// blockHalts reports whether an if statement's branches contain a return,
+// a panic, or a fail-stop-reaching call.
+func (a *effectAnalysis) blockHalts(s *ast.IfStmt) bool {
+	found := false
+	check := func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			switch e := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				found = true
+				return false
+			case *ast.CallExpr:
+				if a.callHalts(e) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	check(s.Body)
+	if s.Else != nil {
+		check(s.Else)
+	}
+	return found
+}
+
+// reachesFailStop reports whether fn is, or transitively calls, a
+// configured fail-stop function.
+func (a *effectAnalysis) reachesFailStop(fn *types.Func) bool {
+	isStop := func(g *types.Func) bool {
+		for _, name := range a.eoc.FailStops {
+			if g.Name() == name {
+				return true
+			}
+		}
+		return false
+	}
+	if isStop(fn) {
+		return true
+	}
+	ok, _ := a.prog.CallGraph().Reaches(fn, isStop)
+	return ok
+}
+
+// pathTo returns the node path from root down to target (inclusive), or
+// nil if target is not under root.
+func pathTo(root, target ast.Node) []ast.Node {
+	var stack []ast.Node
+	var found []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if found != nil {
+			return false
+		}
+		stack = append(stack, n)
+		if n == target {
+			found = append([]ast.Node(nil), stack...)
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -44,8 +44,16 @@ type Config struct {
 	EnumPkgs []string
 	// PureCorePkgs are the sans-IO protocol cores: no time/rand/sync
 	// imports, no goroutines, no channels — all effects flow through
-	// Ready batches.
+	// Ready batches. Enforced transitively through the call graph.
 	PureCorePkgs []string
+	// PurityAllowCalls lists dynamic call sites ("Type.Field") the
+	// pure-core tier sanctions — caller-supplied hooks like the jitter
+	// source, whose impurity is owned outside the core.
+	PurityAllowCalls []string
+	// EffectOrder configures the Ready-execution drivers whose
+	// persist-before-externalize order and storage-error discipline are
+	// proven by the effect-order pass.
+	EffectOrder []EffectOrderConfig
 }
 
 // DefaultConfig returns the configuration for the adore module itself.
@@ -74,7 +82,16 @@ func DefaultConfig() Config {
 			"adore/internal/raft/cluster",
 			"adore/internal/chaos",
 		},
-		PureCorePkgs: []string{"adore/internal/raft/raftcore"},
+		PureCorePkgs:     []string{"adore/internal/raft/raftcore"},
+		PurityAllowCalls: []string{"Config.Jitter"},
+		EffectOrder: []EffectOrderConfig{{
+			Pkg:            "adore/internal/raft",
+			StorageIface:   "Storage",
+			PersistMethods: []string{"SaveState", "SaveEntries"},
+			SendIface:      "Transport",
+			SendMethods:    []string{"Send"},
+			FailStops:      []string{"failStopLocked"},
+		}},
 	}
 }
 
@@ -88,23 +105,57 @@ func allPasses() []pass {
 	return []pass{
 		{"immutable-cache", runImmutable},
 		{"deterministic-model", runDeterminism},
-		{"guarded-field", runGuarded},
+		{"lockset", runLockset},
 		{"exhaustive-switch", runExhaustive},
-		{"pure-core", runPureCore},
+		{"transitive-purity", runPurity},
+		{"effect-order", runEffectOrder},
 	}
+}
+
+// PassNames lists the registered pass names in registry order.
+func PassNames() []string {
+	ps := allPasses()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.name
+	}
+	return names
 }
 
 // RunAll executes every pass over every package in prog and returns the
 // diagnostics sorted by position.
 func RunAll(prog *Program, cfg Config) []Diagnostic {
+	ds, _ := RunPasses(prog, cfg, nil)
+	return ds
+}
+
+// RunPasses executes the named passes (nil or empty = all) over every
+// package in prog and returns the diagnostics sorted by position. Unknown
+// names are an error so a typo cannot silently disable a check.
+func RunPasses(prog *Program, cfg Config, names []string) ([]Diagnostic, error) {
+	selected := allPasses()
+	if len(names) > 0 {
+		byName := make(map[string]pass)
+		for _, p := range selected {
+			byName[p.name] = p
+		}
+		selected = selected[:0]
+		for _, n := range names {
+			p, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("lint: unknown pass %q (have %s)", n, strings.Join(PassNames(), ", "))
+			}
+			selected = append(selected, p)
+		}
+	}
 	var out []Diagnostic
 	for _, pkg := range prog.Pkgs {
-		for _, p := range allPasses() {
+		for _, p := range selected {
 			out = append(out, p.run(prog, pkg, cfg)...)
 		}
 	}
 	sortDiagnostics(out)
-	return out
+	return out, nil
 }
 
 func sortDiagnostics(ds []Diagnostic) {

@@ -44,17 +44,33 @@ func TestDeterministicModelFixture(t *testing.T) {
 	})
 }
 
-func TestGuardedFieldFixture(t *testing.T) {
-	checkFixture(t, "guarded", Config{
+func TestLocksetFixture(t *testing.T) {
+	checkFixture(t, "lockset", Config{
 		GuardedPkgs: []string{"fix/srv"},
 		EnumPkgs:    off,
 	})
 }
 
-func TestPureCoreFixture(t *testing.T) {
-	checkFixture(t, "purecore", Config{
-		PureCorePkgs: []string{"fix/pure"},
-		EnumPkgs:     off,
+func TestTransitivePurityFixture(t *testing.T) {
+	checkFixture(t, "purity", Config{
+		PureCorePkgs:     []string{"fix/pure"},
+		ModelPkgs:        []string{"fix/model"},
+		PurityAllowCalls: []string{"Config.Jitter"},
+		EnumPkgs:         off,
+	})
+}
+
+func TestEffectOrderFixture(t *testing.T) {
+	checkFixture(t, "effectorder", Config{
+		EffectOrder: []EffectOrderConfig{{
+			Pkg:            "fix/driver",
+			StorageIface:   "Storage",
+			PersistMethods: []string{"SaveState", "SaveEntries"},
+			SendIface:      "Transport",
+			SendMethods:    []string{"Send"},
+			FailStops:      []string{"failStop"},
+		}},
+		EnumPkgs: off,
 	})
 }
 

@@ -14,12 +14,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -45,6 +47,9 @@ type Package struct {
 type Program struct {
 	Fset *token.FileSet
 	Pkgs []*Package
+
+	// cg caches the module call graph (built on first use).
+	cg *CallGraph
 }
 
 // Lookup returns the types.Package for an import path loaded in this
@@ -171,9 +176,15 @@ func parseDir(fset *token.FileSet, root, modPath, dir string) ([]*unit, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
 			continue
 		}
+		if !fileNameMatchesHost(name) {
+			continue
+		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: parse: %w", err)
+		}
+		if !constraintsMatchHost(f) {
+			continue
 		}
 		pkgName := f.Name.Name
 		switch {
@@ -197,6 +208,95 @@ func parseDir(fset *token.FileSet, root, modPath, dir string) ([]*unit, error) {
 			imports: internalImports(ext, modPath), test: true})
 	}
 	return units, nil
+}
+
+// fileNameMatchesHost applies the go tool's _GOOS / _GOARCH /
+// _GOOS_GOARCH filename convention: a file whose name carries an explicit
+// platform suffix for a different platform is excluded from the load (the
+// toolchain would not compile it, so type-checking it would double-declare
+// symbols its host-platform sibling also declares).
+func fileNameMatchesHost(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	base = strings.TrimSuffix(base, "_test")
+	parts := strings.Split(base, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	prev := ""
+	if len(parts) >= 3 {
+		prev = parts[len(parts)-2]
+	}
+	switch {
+	case knownArch[last]:
+		if last != runtime.GOARCH {
+			return false
+		}
+		return prev == "" || !knownOS[prev] || prev == runtime.GOOS
+	case knownOS[last]:
+		return last == runtime.GOOS
+	}
+	return true
+}
+
+// constraintsMatchHost evaluates a file's //go:build (or legacy // +build)
+// constraint for the host platform. Tags recognized: the host GOOS and
+// GOARCH, "unix" on unix-like hosts, and go1.N release tags (all assumed
+// satisfied — the toolchain running the linter is at least the module's
+// minimum). Everything else — "ignore", custom tags — evaluates false, so
+// tagged-out fixtures and generators are skipped the way `go build` skips
+// them.
+func constraintsMatchHost(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		// Constraints must precede the package clause.
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			ok := expr.Eval(func(tag string) bool {
+				switch {
+				case tag == runtime.GOOS || tag == runtime.GOARCH:
+					return true
+				case tag == "unix":
+					return unixOS[runtime.GOOS]
+				case strings.HasPrefix(tag, "go1"):
+					return true
+				}
+				return false
+			})
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
 }
 
 // internalImports lists the module-internal import paths of files.

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// writeTree materializes a file tree under a temp root and returns it.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// findPkg returns the loaded package with the given import path, or nil.
+func findPkg(prog *Program, path string) *Package {
+	for _, pkg := range prog.Pkgs {
+		if pkg.Path == path {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// TestLoadExternalTestPackage checks that in-package _test.go files merge
+// into their library unit while package foo_test files become a separate
+// ".test"-suffixed unit that can import the library.
+func TestLoadExternalTestPackage(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/a.go": "package a\n\nfunc Answer() int { return 42 }\n",
+		"a/a_internal_test.go": "package a\n\nfunc double() int { return Answer() * 2 }\n",
+		"a/a_ext_test.go": "package a_test\n\nimport \"tmpmod/a\"\n\nvar _ = a.Answer\n",
+	})
+	prog, err := Load(root, "tmpmod")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	lib := findPkg(prog, "tmpmod/a")
+	if lib == nil {
+		t.Fatalf("library package not loaded; have %v", pkgPaths(prog))
+	}
+	if len(lib.Files) != 2 {
+		t.Fatalf("library unit has %d files, want 2 (source + in-package test)", len(lib.Files))
+	}
+	ext := findPkg(prog, "tmpmod/a.test")
+	if ext == nil {
+		t.Fatalf("external test package not loaded; have %v", pkgPaths(prog))
+	}
+	if len(ext.Files) != 1 {
+		t.Fatalf("external test unit has %d files, want 1", len(ext.Files))
+	}
+	// The external unit type-checked against the live library unit, so its
+	// import resolved to the same *types.Package.
+	if ext.Types.Name() != "a_test" {
+		t.Fatalf("external unit package name = %q, want a_test", ext.Types.Name())
+	}
+}
+
+// TestLoadBuildConstraints checks that files excluded by //go:build
+// constraints or by _GOOS filename suffixes are dropped before
+// type-checking: every skipped file below redeclares Dup, so loading any
+// of them would fail the type check.
+func TestLoadBuildConstraints(t *testing.T) {
+	otherOS := "windows"
+	if runtime.GOOS == "windows" {
+		otherOS = "linux"
+	}
+	root := writeTree(t, map[string]string{
+		"b/keep.go": "package b\n\nfunc Dup() int { return 1 }\n",
+		// Release tags are assumed satisfied, so this file stays in.
+		"b/keep_go1.go": "//go:build go1.18\n\npackage b\n\nfunc Other() int { return Dup() }\n",
+		// Custom tags evaluate false.
+		"b/skip_tagged.go": "//go:build sometag\n\npackage b\n\nfunc Dup() int { return 2 }\n",
+		// "ignore" is just another unsatisfied tag.
+		"b/skip_ignore.go": "//go:build ignore\n\npackage b\n\nfunc Dup() int { return 3 }\n",
+		// Legacy +build syntax is honored too.
+		"b/skip_legacy.go": "// +build sometag\n\npackage b\n\nfunc Dup() int { return 4 }\n",
+		// Filename platform suffix for a different GOOS.
+		"b/skip_" + otherOS + ".go": "package b\n\nfunc Dup() int { return 5 }\n",
+	})
+	prog, err := Load(root, "tmpmod")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	pkg := findPkg(prog, "tmpmod/b")
+	if pkg == nil {
+		t.Fatalf("package b not loaded; have %v", pkgPaths(prog))
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("package b has %d files, want 2 (keep.go, keep_go1.go)", len(pkg.Files))
+	}
+}
+
+// TestLoadHostConstraintKept checks the positive direction: a constraint
+// naming the host platform keeps the file.
+func TestLoadHostConstraintKept(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"c/c.go": "package c\n\nfunc V() int { return host() }\n",
+		"c/host.go": "//go:build " + runtime.GOOS + "\n\npackage c\n\nfunc host() int { return 1 }\n",
+	})
+	prog, err := Load(root, "tmpmod")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	pkg := findPkg(prog, "tmpmod/c")
+	if pkg == nil || len(pkg.Files) != 2 {
+		t.Fatalf("host-constrained file was dropped")
+	}
+}
+
+func pkgPaths(prog *Program) []string {
+	var out []string
+	for _, p := range prog.Pkgs {
+		out = append(out, p.Path)
+	}
+	return out
+}

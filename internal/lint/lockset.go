@@ -1,0 +1,482 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var guardedRe = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+// lockset.go is the guarded-field pass, v2: a flow-sensitive lockset
+// analysis over the shared CFG instead of the v1 "a Lock() anywhere in the
+// body covers everything" approximation. Three rules:
+//
+//  1. A field annotated "// guarded by mu" may only be touched at a
+//     program point where mu is definitely held (must-analysis: meet over
+//     all paths is set intersection). An explicit mu.Unlock() releases the
+//     lock for the rest of the path — late accesses after an early unlock
+//     are flagged, the exact unlock-then-read window the ReadIndex race
+//     fix closed by hand. A deferred Unlock releases only at function
+//     exit, so it never opens such a window.
+//
+//  2. A helper named ...Locked is verified at its call sites: the caller
+//     must hold the mutexes the helper actually needs (computed by
+//     analyzing the helper's body with an empty entry lockset and
+//     collecting the guards of its unprotected accesses, transitively
+//     through further Locked calls). Taking a Locked method as a value is
+//     held to the same bar — the binding escapes the lock scope.
+//
+//  3. Function literals are analyzed with an empty entry lockset: a
+//     closure can escape onto another goroutine, so an enclosing Lock()
+//     does not cover it.
+//
+// Lock identity is the mutex *field* (types.Var), not the instance —
+// two objects of the same struct type share a lockset slot. That matches
+// the v1 pass and the repo's single-instance usage.
+func runLockset(prog *Program, pkg *Package, cfg Config) []Diagnostic {
+	if !inPkgs(pkg.Path, cfg.GuardedPkgs) {
+		return nil
+	}
+	guards := collectGuards(pkg)
+	if len(guards) == 0 {
+		return nil
+	}
+	a := &locksetAnalysis{
+		prog:   prog,
+		pkg:    pkg,
+		guards: guards,
+		needs:  make(map[*types.Func]map[*types.Var]bool),
+	}
+
+	var out []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		out = append(out, Diagnostic{Pos: prog.Fset.Position(pos), Pass: "lockset", Message: msg})
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			entry := a.entryLockset(pkg, fn)
+			a.checkBody(fn.Body, entry, report)
+		}
+	}
+	return out
+}
+
+// locksetAnalysis carries the per-package state.
+type locksetAnalysis struct {
+	prog   *Program
+	pkg    *Package
+	guards map[*types.Var]guardInfo
+	// needs memoizes, per Locked helper, the mutexes its body requires at
+	// entry. A nil entry marks an in-progress computation (recursion).
+	needs map[*types.Func]map[*types.Var]bool
+}
+
+// guardInfo describes one annotated field.
+type guardInfo struct {
+	mutex *types.Var // the guarding mutex field
+	name  string     // annotation text, for messages
+}
+
+// collectGuards scans struct declarations for "guarded by" comments and
+// resolves each annotation to the named mutex field of the same struct.
+func collectGuards(pkg *Package) map[*types.Var]guardInfo {
+	guards := make(map[*types.Var]guardInfo)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// First resolve every field name in this struct so annotations
+			// can point at their mutex.
+			fieldByName := make(map[string]*types.Var)
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						fieldByName[name.Name] = v
+					}
+				}
+			}
+			for _, f := range st.Fields.List {
+				m := matchGuardComment(f)
+				if m == "" {
+					continue
+				}
+				mu, ok := fieldByName[m]
+				if !ok {
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						guards[v] = guardInfo{mutex: mu, name: m}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func matchGuardComment(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// entryLockset is the lockset assumed on entry to a declared function: a
+// ...Locked helper is entered with its receiver's mutexes held (that is
+// the naming contract this pass verifies at every call site); everything
+// else starts with nothing held.
+func (a *locksetAnalysis) entryLockset(pkg *Package, fn *ast.FuncDecl) map[*types.Var]bool {
+	entry := make(map[*types.Var]bool)
+	if !strings.HasSuffix(fn.Name.Name, "Locked") {
+		return entry
+	}
+	for _, mu := range receiverMutexes(pkg, fn) {
+		entry[mu] = true
+	}
+	return entry
+}
+
+// receiverMutexes lists the sync.Mutex/RWMutex fields of fn's receiver
+// struct (nil for free functions and non-struct receivers).
+func receiverMutexes(pkg *Package, fn *ast.FuncDecl) []*types.Var {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := pkg.Info.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []*types.Var
+	for i := 0; i < st.NumFields(); i++ {
+		if isMutexType(st.Field(i).Type()) {
+			out = append(out, st.Field(i))
+		}
+	}
+	return out
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (optionally
+// behind a pointer).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}
+
+// lockState is the per-point dataflow fact: held is the must-hold set;
+// released records mutexes explicitly unlocked earlier on some path
+// (may-analysis, used only to sharpen messages).
+type lockState struct {
+	held     map[*types.Var]bool
+	released map[*types.Var]bool
+}
+
+func (s lockState) clone() lockState {
+	h := make(map[*types.Var]bool, len(s.held))
+	for k := range s.held {
+		h[k] = true
+	}
+	r := make(map[*types.Var]bool, len(s.released))
+	for k := range s.released {
+		r[k] = true
+	}
+	return lockState{held: h, released: r}
+}
+
+// meet folds src into dst (held: intersection, released: union) and
+// reports whether dst changed.
+func (s *lockState) meet(src lockState) bool {
+	changed := false
+	for k := range s.held {
+		if !src.held[k] {
+			delete(s.held, k)
+			changed = true
+		}
+	}
+	for k := range src.released {
+		if !s.released[k] {
+			s.released[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// violation is one lockset fact the analysis surfaces; in report mode it
+// becomes a diagnostic, in needed-collection mode it feeds the helper's
+// entry requirement.
+type violation struct {
+	pos     token.Pos
+	missing []*types.Var // mutexes that had to be held here
+	msg     string       // report-mode message ("" in collect mode)
+}
+
+// checkBody runs the dataflow over one function body and reports
+// violations; nested function literals are analyzed afterwards with empty
+// entry locksets.
+func (a *locksetAnalysis) checkBody(body *ast.BlockStmt, entry map[*types.Var]bool, report func(token.Pos, string)) {
+	var lits []*ast.FuncLit
+	a.flow(body, entry, func(v violation) { report(v.pos, v.msg) }, &lits)
+	for i := 0; i < len(lits); i++ {
+		a.flow(lits[i].Body, map[*types.Var]bool{}, func(v violation) { report(v.pos, v.msg) }, &lits)
+	}
+}
+
+// flow runs the fixpoint lockset analysis over body. onViolation receives
+// each unprotected access/call; lits (when non-nil) accumulates nested
+// literals for the caller to analyze separately.
+func (a *locksetAnalysis) flow(body *ast.BlockStmt, entry map[*types.Var]bool, onViolation func(violation), lits *[]*ast.FuncLit) {
+	g := BuildCFG(body)
+	in := make([]lockState, len(g.Blocks))
+	reached := make([]bool, len(g.Blocks))
+	in[g.Entry.Index] = lockState{held: entry, released: map[*types.Var]bool{}}.clone()
+	reached[g.Entry.Index] = true
+
+	order := g.ReversePostOrder()
+	// Fixpoint: back edges can shrink loop-head locksets (a loop body that
+	// unlocks leaves the next iteration unprotected).
+	for pass := 0; ; pass++ {
+		changed := false
+		for _, blk := range order {
+			if !reached[blk.Index] {
+				continue
+			}
+			st := in[blk.Index].clone()
+			// Violations are reported on the final pass only, once the
+			// fixpoint has stabilized (pass > 0 and nothing changed in the
+			// previous sweep is detected by the caller loop below).
+			a.transfer(blk, &st, nil, nil)
+			for _, e := range blk.Succs {
+				if !reached[e.To.Index] {
+					in[e.To.Index] = st.clone()
+					reached[e.To.Index] = true
+					changed = true
+				} else if in[e.To.Index].meet(st) {
+					changed = true
+				}
+			}
+		}
+		if !changed || pass > len(g.Blocks)+2 {
+			break
+		}
+	}
+	// Final sweep: emit violations with the converged entry states.
+	for _, blk := range order {
+		if !reached[blk.Index] {
+			continue
+		}
+		st := in[blk.Index].clone()
+		a.transfer(blk, &st, onViolation, lits)
+	}
+	// The exit block holds deferred calls; it is processed as part of the
+	// sweep above (it is in the order and reached via return edges).
+}
+
+// transfer interprets one block's nodes against st, invoking onViolation
+// for unprotected accesses (nil = just compute the out-state).
+func (a *locksetAnalysis) transfer(blk *Block, st *lockState, onViolation func(violation), lits *[]*ast.FuncLit) {
+	isExit := len(blk.Succs) == 0
+	for _, node := range blk.Nodes {
+		if d, ok := node.(*ast.DeferStmt); ok {
+			// The deferred call's receiver and arguments are evaluated
+			// here; the call itself runs at exit (its node is in the exit
+			// block). Lock/Unlock effects — and the Locked-callee check —
+			// of the deferred call therefore do not apply at this point,
+			// so visit only the operands, not the call expression.
+			if sel, ok := d.Call.Fun.(*ast.SelectorExpr); ok {
+				a.visitExprs(sel.X, st, false, onViolation, lits)
+			}
+			for _, arg := range d.Call.Args {
+				a.visitExprs(arg, st, false, onViolation, lits)
+			}
+			continue
+		}
+		a.visitExprs(node, st, isExit, onViolation, lits)
+	}
+}
+
+// visitExprs walks one node's expressions in evaluation order, applying
+// lock transfers and checking accesses. atExit marks deferred-call
+// processing in the exit block: lock transfers apply (a deferred Unlock
+// releases at exit) but field accesses are not re-checked — their
+// operands were evaluated at the defer statement.
+func (a *locksetAnalysis) visitExprs(node ast.Node, st *lockState, atExit bool, onViolation func(violation), lits *[]*ast.FuncLit) {
+	walkNode(node, func(m ast.Node) {
+		switch e := m.(type) {
+		case *ast.FuncLit:
+			if lits != nil {
+				*lits = append(*lits, e)
+			}
+		case *ast.CallExpr:
+			if mu, op := a.lockCall(e); mu != nil {
+				switch op {
+				case "Lock", "RLock":
+					st.held[mu] = true
+					delete(st.released, mu)
+				case "Unlock", "RUnlock":
+					delete(st.held, mu)
+					st.released[mu] = true
+				}
+			}
+		case *ast.SelectorExpr:
+			sel, ok := a.pkg.Info.Selections[e]
+			if !ok {
+				return
+			}
+			switch sel.Kind() {
+			case types.FieldVal:
+				if atExit {
+					return
+				}
+				v, ok := sel.Obj().(*types.Var)
+				if !ok {
+					return
+				}
+				g, guarded := a.guards[v]
+				if !guarded || st.held[g.mutex] {
+					return
+				}
+				if onViolation != nil {
+					msg := "access to " + v.Name() + " (guarded by " + g.name +
+						") without holding the lock; acquire it or name the helper ...Locked"
+					if st.released[g.mutex] {
+						msg = "access to " + v.Name() + " (guarded by " + g.name + ") after " +
+							g.name + ".Unlock() on this path; the unlock-then-read window breaks atomicity"
+					}
+					onViolation(violation{pos: e.Sel.Pos(), missing: []*types.Var{g.mutex}, msg: msg})
+				}
+			case types.MethodVal:
+				fn, ok := sel.Obj().(*types.Func)
+				if !ok || !strings.HasSuffix(fn.Name(), "Locked") {
+					return
+				}
+				needed := a.neededLocks(fn)
+				var missing []*types.Var
+				for _, mu := range sortedVars(needed) {
+					if !st.held[mu] {
+						missing = append(missing, mu)
+					}
+				}
+				if len(missing) == 0 || onViolation == nil {
+					return
+				}
+				names := make([]string, len(missing))
+				for i, mu := range missing {
+					names[i] = mu.Name()
+				}
+				onViolation(violation{
+					pos:     e.Sel.Pos(),
+					missing: missing,
+					msg: "call to " + fn.Name() + " requires holding " + strings.Join(names, ", ") +
+						"; acquire the lock first or call it from a ...Locked helper",
+				})
+			}
+		}
+	})
+}
+
+// lockCall recognizes mu.Lock / mu.RLock / mu.Unlock / mu.RUnlock where mu
+// is a sync mutex variable (struct field, local, or package-level),
+// returning the mutex variable and the operation.
+func (a *locksetAnalysis) lockCall(call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	var v *types.Var
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := a.pkg.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			v, _ = s.Obj().(*types.Var)
+		}
+	case *ast.Ident:
+		v, _ = a.pkg.Info.Uses[x].(*types.Var)
+	}
+	if v == nil || !isMutexType(v.Type()) {
+		return nil, ""
+	}
+	return v, op
+}
+
+// neededLocks computes the mutexes a ...Locked helper requires at entry:
+// its body is analyzed with nothing held, and every guard its unprotected
+// accesses need — including, transitively, what further Locked callees
+// need — becomes part of the requirement. Memoized; recursion yields the
+// partial set.
+func (a *locksetAnalysis) neededLocks(fn *types.Func) map[*types.Var]bool {
+	if got, ok := a.needs[fn]; ok {
+		if got == nil {
+			return map[*types.Var]bool{}
+		}
+		return got
+	}
+	a.needs[fn] = nil // in progress
+	need := make(map[*types.Var]bool)
+	node, ok := a.prog.CallGraph().Nodes[fn]
+	if ok && node.Decl != nil && node.Decl.Body != nil {
+		// Analyze in the helper's own package context (guards and
+		// selections are package-scoped).
+		helperA := a
+		if node.Pkg != a.pkg {
+			helperA = &locksetAnalysis{
+				prog:   a.prog,
+				pkg:    node.Pkg,
+				guards: collectGuards(node.Pkg),
+				needs:  a.needs,
+			}
+		}
+		helperA.flow(node.Decl.Body, map[*types.Var]bool{}, func(v violation) {
+			for _, mu := range v.missing {
+				need[mu] = true
+			}
+		}, nil)
+	}
+	a.needs[fn] = need
+	return need
+}
+
+// sortedVars returns the set's variables in stable (position) order.
+func sortedVars(set map[*types.Var]bool) []*types.Var {
+	out := make([]*types.Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}

@@ -1,0 +1,440 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// purity.go is the transitive-purity pass. The v1 pure-core check banned
+// time/rand/sync at the import level of the sans-IO core; that proves
+// nothing about what the core reaches *through its callees* — one helper
+// in another package calling time.Now would silently break replayability.
+// v2 walks the module call graph: every function a checked package can
+// reach through static calls is summarized for impurity (wall clocks,
+// randomness, IO, locks, goroutines, channel operations), and a checked
+// function that reaches an impure callee is flagged at the call site with
+// the witness chain.
+//
+// Two tiers share the machinery:
+//
+//   - pure-core (Config.PureCorePkgs, the raftcore package): full sans-IO
+//     discipline. No clocks of any kind, no randomness (seeded included),
+//     no sync, no IO, no goroutines, no channel operations — directly or
+//     through any callee chain. Calls through func values are refused too
+//     (they could hide anything) unless the func-typed field is explicitly
+//     allowlisted (Config.PurityAllowCalls; the caller-supplied jitter
+//     hook Config.Jitter is the sanctioned example — randomness enters the
+//     core only through it, owned and seeded by the caller). The v1
+//     import bans are kept as an early, readable signal.
+//
+//   - model (Config.ModelPkgs): replayability discipline. Wall clocks,
+//     global (unseeded) randomness, IO, sync, goroutines, and channels are
+//     banned transitively; explicitly seeded *rand.Rand sources remain the
+//     sanctioned way to randomize. Direct wall-clock/global-rand calls are
+//     the deterministic-model pass's beat and are not re-reported here —
+//     this tier adds the transitive reach and the concurrency facets.
+//
+// Test files of checked packages are exempt as before: the discipline
+// binds the shipped core; tests drive it from outside.
+
+// Impurity categories.
+const (
+	catClock  = "clock"
+	catRand   = "rand"        // global (unseeded) randomness
+	catSeeded = "seeded-rand" // explicitly seeded sources & their methods
+	catSync   = "sync"
+	catIO     = "io"
+	catGo     = "go"
+	catChan   = "chan"
+)
+
+// purityFact is one impurity found directly in a function body.
+type purityFact struct {
+	cat  string
+	what string // e.g. "time.Now", "go statement"
+	pos  token.Pos
+}
+
+// purityInfo summarizes a function: its direct facts plus, per category,
+// one witness (fact + the callee it came through) for the transitive set.
+type purityInfo struct {
+	facts []purityFact
+	// reach maps category → witness for reachability reporting.
+	reach map[string]purityWitness
+}
+
+type purityWitness struct {
+	what string
+	via  *types.Func // nil = direct in this function
+}
+
+// runPurity is the transitive-purity pass entry point.
+func runPurity(prog *Program, pkg *Package, cfg Config) []Diagnostic {
+	isCore := inPkgs(pkg.Path, cfg.PureCorePkgs)
+	isModel := inPkgs(pkg.Path, cfg.ModelPkgs)
+	if !isCore && !isModel {
+		return nil
+	}
+	var out []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		out = append(out, Diagnostic{Pos: prog.Fset.Position(pos), Pass: "transitive-purity", Message: msg})
+	}
+
+	tier := "model"
+	banned := map[string]bool{catClock: true, catRand: true, catSync: true, catIO: true, catGo: true, catChan: true}
+	if isCore {
+		tier = "pure core"
+		banned[catSeeded] = true
+	}
+
+	pa := newPurityAnalysis(prog)
+	checked := make(map[string]bool)
+	for _, p := range cfg.PureCorePkgs {
+		checked[p] = true
+	}
+	for _, p := range cfg.ModelPkgs {
+		checked[p] = true
+	}
+
+	for _, file := range pkg.Files {
+		if strings.HasSuffix(prog.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		if isCore {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if msg := forbiddenCoreImport(path); msg != "" {
+					report(imp.Pos(), msg)
+				}
+			}
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			pa.checkFunc(prog.CallGraph().Nodes[fn], tier, banned, checked, isCore, cfg, report)
+		}
+	}
+	return out
+}
+
+// forbiddenCoreImport maps an import path banned in pure core packages to
+// its diagnostic, or returns "" for an allowed import.
+func forbiddenCoreImport(path string) string {
+	switch path {
+	case "time":
+		return "import of time in a pure core package; the core counts caller-supplied logical ticks"
+	case "math/rand", "math/rand/v2":
+		return "import of " + path + " in a pure core package; randomness enters only via Config.Jitter"
+	case "sync", "sync/atomic":
+		return "import of " + path + " in a pure core package; the caller serializes all access to the core"
+	}
+	return ""
+}
+
+// purityAnalysis caches per-function summaries across packages.
+type purityAnalysis struct {
+	prog *Program
+	info map[*types.Func]*purityInfo // nil value = in progress (cycle)
+}
+
+func newPurityAnalysis(prog *Program) *purityAnalysis {
+	return &purityAnalysis{prog: prog, info: make(map[*types.Func]*purityInfo)}
+}
+
+// checkFunc reports the impurities of one checked function: direct facts
+// at their positions, transitive ones at the frontier call site (the call
+// leaving the checked-package set) with a witness chain.
+func (pa *purityAnalysis) checkFunc(node *FuncNode, tier string, banned map[string]bool,
+	checked map[string]bool, strictDynamic bool, cfg Config, report func(token.Pos, string)) {
+	if node == nil {
+		return
+	}
+	// Direct facts, in source order.
+	for _, f := range directFacts(node) {
+		if !banned[f.cat] {
+			continue
+		}
+		if tier == "model" && (f.cat == catClock || f.cat == catRand) {
+			// Direct wall-clock and global-rand calls in model packages are
+			// already the deterministic-model pass's diagnostics; only the
+			// transitive reach is news here.
+			continue
+		}
+		report(f.pos, f.what+" in a "+tier+" package; "+categoryRationale(f.cat, tier))
+	}
+	// Dynamic calls: the pure-core tier refuses what it cannot trace.
+	// go-statement operands are already flagged as the (banned) goroutine
+	// launch itself, so they are not re-reported here.
+	if strictDynamic {
+		for _, cs := range node.Calls {
+			if !cs.Dynamic || cs.InGo {
+				continue
+			}
+			if purityAllowed(cs.DynamicName, cfg.PurityAllowCalls) {
+				continue
+			}
+			report(cs.Pos, "dynamic call through "+cs.DynamicName+" in a pure core package; "+
+				"an untraceable callee cannot be proven pure (allowlist it in PurityAllowCalls if it is a sanctioned hook)")
+		}
+	}
+	// Transitive reach through static callees outside the checked set
+	// (callees inside it produce their own direct reports).
+	for _, cs := range node.Calls {
+		if cs.Callee == nil || cs.Dynamic || cs.InGo {
+			continue
+		}
+		calleeNode, internal := pa.prog.CallGraph().Nodes[cs.Callee]
+		if !internal {
+			continue // external callees are direct facts, handled above
+		}
+		if checked[calleeNode.Pkg.Path] {
+			continue
+		}
+		sum := pa.summarize(cs.Callee)
+		for _, cat := range purityCategoryOrder {
+			w, ok := sum.reach[cat]
+			if !ok || !banned[cat] {
+				continue
+			}
+			chain := pa.witnessChain(cs.Callee, cat, w)
+			report(cs.Pos, "call to "+FuncDisplayName(cs.Callee)+" reaches "+w.what+
+				" ("+strings.Join(chain, " → ")+") in a "+tier+" package; "+categoryRationale(cat, tier))
+		}
+	}
+}
+
+var purityCategoryOrder = []string{catClock, catRand, catSeeded, catSync, catIO, catGo, catChan}
+
+// witnessChain renders the callee chain from fn to the witnessed fact.
+func (pa *purityAnalysis) witnessChain(fn *types.Func, cat string, w purityWitness) []string {
+	chain := []string{FuncDisplayName(fn)}
+	for w.via != nil && len(chain) < 8 {
+		fn = w.via
+		chain = append(chain, FuncDisplayName(fn))
+		sum := pa.summarize(fn)
+		next, ok := sum.reach[cat]
+		if !ok {
+			break
+		}
+		w = next
+	}
+	return append(chain, w.what)
+}
+
+// summarize computes (and caches) the transitive impurity summary of a
+// module-internal function.
+func (pa *purityAnalysis) summarize(fn *types.Func) *purityInfo {
+	if got, ok := pa.info[fn]; ok {
+		if got == nil {
+			return &purityInfo{reach: map[string]purityWitness{}} // cycle: partial
+		}
+		return got
+	}
+	pa.info[fn] = nil // in progress
+	sum := &purityInfo{reach: make(map[string]purityWitness)}
+	node, ok := pa.prog.CallGraph().Nodes[fn]
+	if ok {
+		sum.facts = directFacts(node)
+		for _, f := range sum.facts {
+			if _, seen := sum.reach[f.cat]; !seen {
+				sum.reach[f.cat] = purityWitness{what: f.what}
+			}
+		}
+		for _, cs := range node.Calls {
+			if cs.Callee == nil || cs.Dynamic {
+				continue
+			}
+			if _, internal := pa.prog.CallGraph().Nodes[cs.Callee]; !internal {
+				continue
+			}
+			csum := pa.summarize(cs.Callee)
+			for cat, w := range csum.reach {
+				if _, seen := sum.reach[cat]; !seen {
+					sum.reach[cat] = purityWitness{what: w.what, via: cs.Callee}
+				}
+			}
+		}
+	}
+	pa.info[fn] = sum
+	return sum
+}
+
+// directFacts lists the impurities appearing textually in one function
+// (nested literals included — their code ships with the function).
+func directFacts(node *FuncNode) []purityFact {
+	var facts []purityFact
+	add := func(cat, what string, pos token.Pos) {
+		facts = append(facts, purityFact{cat: cat, what: what, pos: pos})
+	}
+	info := node.Pkg.Info
+	// Call-based facts from the resolved call sites.
+	for _, cs := range node.Calls {
+		if cs.Callee == nil {
+			continue
+		}
+		if cat, what := categorizeExternal(cs.Callee); cat != "" {
+			add(cat, what, cs.Pos)
+		}
+	}
+	// Syntax-based facts.
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.GoStmt:
+			add(catGo, "go statement", st.Pos())
+		case *ast.SelectStmt:
+			add(catChan, "select statement", st.Pos())
+		case *ast.SendStmt:
+			add(catChan, "channel send", st.Pos())
+		case *ast.UnaryExpr:
+			if st.Op == token.ARROW {
+				add(catChan, "channel receive", st.Pos())
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[st.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					add(catChan, "range over a channel", st.Pos())
+				}
+			}
+		case *ast.CallExpr:
+			// close(ch) and make(chan ...).
+			if id, ok := st.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "close":
+						add(catChan, "close of a channel", st.Pos())
+					case "make":
+						if len(st.Args) > 0 {
+							if tv, ok := info.Types[st.Args[0]]; ok {
+								if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+									add(catChan, "make(chan)", st.Pos())
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return facts
+}
+
+// categorizeExternal classifies a standard-library callee into an
+// impurity category ("" = pure/benign).
+func categorizeExternal(fn *types.Func) (cat, what string) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", ""
+	}
+	name := fn.Name()
+	display := pkg.Name() + "." + name
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	if isMethod {
+		display = "(" + pkg.Name() + "." + typeShortName(sig.Recv().Type()) + ")." + name
+	}
+	switch pkg.Path() {
+	case "time":
+		if isMethod {
+			return "", "" // Duration/Time arithmetic is pure
+		}
+		switch name {
+		case "Now", "Since", "Until":
+			return catClock, display
+		case "Sleep", "After", "AfterFunc", "Tick", "NewTimer", "NewTicker":
+			return catClock, display
+		}
+		return "", "" // Parse, Date, Unix, ... are pure constructors
+	case "math/rand", "math/rand/v2":
+		if isMethod {
+			return catSeeded, display // methods run on an explicitly seeded source
+		}
+		switch name {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return catSeeded, display
+		}
+		return catRand, display // package-level funcs use the global source
+	case "sync", "sync/atomic":
+		return catSync, display
+	case "os", "io", "io/fs", "io/ioutil", "net", "bufio", "syscall", "os/exec", "os/signal":
+		return catIO, display
+	case "fmt":
+		// Fprint* writes to a caller-supplied writer — deterministic given
+		// the writer; the sink's impurity belongs to whoever built it.
+		switch name {
+		case "Print", "Printf", "Println", "Scan", "Scanf", "Scanln":
+			return catIO, display
+		}
+		return "", ""
+	case "path/filepath":
+		switch name {
+		case "Walk", "WalkDir", "Glob", "Abs", "EvalSymlinks":
+			return catIO, display
+		}
+		return "", ""
+	case "runtime":
+		switch name {
+		case "Gosched", "GC", "Goexit":
+			return catSync, display
+		}
+		return "", ""
+	}
+	return "", ""
+}
+
+// categoryRationale explains why a category is banned in a tier.
+func categoryRationale(cat, tier string) string {
+	core := tier == "pure core"
+	switch cat {
+	case catClock:
+		if core {
+			return "the core counts caller-supplied logical ticks"
+		}
+		return "model runs must replay from a seed"
+	case catRand:
+		if core {
+			return "randomness enters only via the allowlisted jitter hook"
+		}
+		return "use an explicitly seeded *rand.Rand"
+	case catSeeded:
+		return "even seeded randomness is caller-owned; inject values through the jitter hook"
+	case catSync:
+		return "the caller serializes all access; hidden synchronization breaks replay equivalence"
+	case catIO:
+		return "all effects must flow out through Ready batches"
+	case catGo:
+		if core {
+			return "the core must stay single-threaded and deterministic"
+		}
+		return "model runs must stay single-threaded and deterministic"
+	case catChan:
+		if core {
+			return "the core communicates only through Ready batches"
+		}
+		return "channel scheduling is nondeterministic; model runs must replay from a seed"
+	}
+	return "it breaks the purity discipline"
+}
+
+// purityAllowed reports whether a dynamic-call site name (Type.Field) is
+// on the allowlist.
+func purityAllowed(name string, allow []string) bool {
+	for _, a := range allow {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+// Package driver is the effect-order fixture: a miniature Ready-execution
+// driver with the contract-abiding path plus the mutants the pass must
+// catch — send-before-persist, apply-before-persist, dropped storage
+// errors, and checked-but-never-halting error handling.
+package driver
+
+// HardState is the durable term/vote/commit triple.
+type HardState struct{ Term, Vote, Commit int }
+
+// Entry is one log entry.
+type Entry struct {
+	Term int
+	Data []byte
+}
+
+// Message is one outbound protocol message.
+type Message struct{ To int }
+
+// Ready is one batch of core effects.
+type Ready struct {
+	HardState *HardState
+	Entries   []Entry
+	Messages  []Message
+}
+
+// Storage persists raft state; its methods are the persist events.
+type Storage interface {
+	SaveState(hs HardState) error
+	SaveEntries(first int, es []Entry) error
+}
+
+// Transport sends protocol messages; Send is the externalize event.
+type Transport interface {
+	Send(m Message)
+}
+
+// Node is the fixture driver.
+type Node struct {
+	storage   Storage
+	transport Transport
+	applyCh   chan []Entry
+	stopped   bool
+	err       error
+}
+
+// failStop is the configured fail-stop halt.
+func (n *Node) failStop(err error) {
+	n.stopped = true
+	n.err = err
+}
+
+// crash reaches the halt through one more hop.
+func (n *Node) crash(err error) { n.failStop(err) }
+
+// flushMsgs delegates the sends; callers inherit its externalize effect.
+func (n *Node) flushMsgs(ms []Message) {
+	for _, m := range ms {
+		n.transport.Send(m)
+	}
+}
+
+// Good executes one batch in contract order — clean.
+func (n *Node) Good(rd Ready) {
+	if rd.HardState != nil {
+		if err := n.storage.SaveState(*rd.HardState); err != nil {
+			n.failStop(err)
+			return
+		}
+	}
+	if len(rd.Entries) > 0 {
+		if err := n.storage.SaveEntries(1, rd.Entries); err != nil {
+			n.failStop(err)
+			return
+		}
+	}
+	for _, m := range rd.Messages {
+		n.transport.Send(m)
+	}
+	n.applyCh <- rd.Entries
+}
+
+// SendFirst externalizes before persisting — the acked⇒durable mutant.
+func (n *Node) SendFirst(rd Ready) {
+	for _, m := range rd.Messages {
+		n.transport.Send(m)
+	}
+	if err := n.storage.SaveState(*rd.HardState); err != nil { // want "Storage.SaveState persists after Transport.Send"
+		n.failStop(err)
+		return
+	}
+}
+
+// ApplyFirst hands committed entries to the applier before they are
+// durable.
+func (n *Node) ApplyFirst(rd Ready) {
+	n.applyCh <- rd.Entries
+	if err := n.storage.SaveEntries(1, rd.Entries); err != nil { // want "Storage.SaveEntries persists after a channel send"
+		n.failStop(err)
+		return
+	}
+}
+
+// LateViaHelper persists after delegating the sends to a helper — the
+// summary propagation case.
+func (n *Node) LateViaHelper(rd Ready) {
+	n.flushMsgs(rd.Messages)
+	if err := n.storage.SaveState(*rd.HardState); err != nil { // want `after a call to \(driver.Node\).flushMsgs`
+		n.failStop(err)
+		return
+	}
+}
+
+// Fire never looks at the persist error — dropped.
+func (n *Node) Fire(hs HardState) {
+	n.storage.SaveState(hs) // want "error from Storage.SaveState is dropped"
+}
+
+// Blank discards the persist error explicitly — still dropped.
+func (n *Node) Blank(hs HardState) {
+	_ = n.storage.SaveState(hs) // want "error from Storage.SaveState is dropped"
+}
+
+// Logged checks the error but only records it — the node keeps running on
+// unpersisted state.
+func (n *Node) Logged(hs HardState) {
+	if err := n.storage.SaveState(hs); err != nil { // want "never reaches the fail-stop halt"
+		n.err = err
+	}
+}
+
+// Passthrough propagates the error to its caller — clean.
+func (n *Node) Passthrough(hs HardState) error {
+	return n.storage.SaveState(hs)
+}
+
+// Deep halts through a helper that reaches failStop — clean.
+func (n *Node) Deep(hs HardState) {
+	if err := n.storage.SaveState(hs); err != nil {
+		n.crash(err)
+	}
+}
+
+// Pump runs batch after batch: sends from iteration N legally precede
+// iteration N+1's persist — each iteration is a fresh batch, which is why
+// the may-analysis cuts loop back edges. Clean.
+func (n *Node) Pump(batches []Ready) {
+	for _, rd := range batches {
+		n.Good(rd)
+	}
+}
+
+// Start launches the pump goroutine before persisting: `go` operands run
+// concurrently and are not in-line effects. Clean.
+func (n *Node) Start(hs HardState) {
+	go n.Pump(nil)
+	if err := n.storage.SaveState(hs); err != nil {
+		n.failStop(err)
+		return
+	}
+}
+
+// Shutdown defers the close: it runs at exit, after the persist in the
+// return statement, not at its syntactic position. Clean.
+func (n *Node) Shutdown(hs HardState) error {
+	defer close(n.applyCh)
+	return n.storage.SaveState(hs)
+}

@@ -1,0 +1,117 @@
+// Package srv is the lockset fixture: an annotated struct exercised by
+// locked, Locked-suffixed, early-unlocked, and unguarded accesses. The
+// flow-sensitive cases (early explicit Unlock, loops that leak the lock,
+// bare calls to Locked helpers) are the v2 teeth.
+package srv
+
+import "sync"
+
+// Counter is a shared counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Inc acquires the lock — allowed.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Peek reads without the lock — forbidden.
+func (c *Counter) Peek() int {
+	return c.n // want `access to n \(guarded by mu\) without holding the lock`
+}
+
+// bumpLocked follows the caller-holds-lock naming convention — allowed.
+func (c *Counter) bumpLocked(d int) {
+	c.n += d
+}
+
+// Bump wraps bumpLocked under the lock — allowed.
+func (c *Counter) Bump(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked(d)
+}
+
+// Race calls the Locked helper with nothing held — forbidden.
+func (c *Counter) Race(d int) {
+	c.bumpLocked(d) // want "call to bumpLocked requires holding mu"
+}
+
+// Handler lets the Locked method escape its lock scope — forbidden.
+func (c *Counter) Handler() func(int) {
+	return c.bumpLocked // want "call to bumpLocked requires holding mu"
+}
+
+// Snapshot releases early and keeps reading — the unlock-then-read window.
+func (c *Counter) Snapshot() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v + c.n // want `access to n \(guarded by mu\) after mu.Unlock\(\)`
+}
+
+// Deferred releases only at exit, so the late read is covered — allowed.
+// (Regression: a deferred Unlock must not count as an early release.)
+func (c *Counter) Deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n > 10 {
+		return 10
+	}
+	return c.n
+}
+
+// TryInc unlocks on the refusing branch only — allowed: the fall-through
+// path still holds the lock.
+func (c *Counter) TryInc() bool {
+	c.mu.Lock()
+	if c.n < 0 {
+		c.mu.Unlock()
+		return false
+	}
+	c.n++
+	c.mu.Unlock()
+	return true
+}
+
+// Pump re-acquires each iteration — allowed.
+func (c *Counter) Pump(k int) {
+	for i := 0; i < k; i++ {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+// Leaky holds the lock only for the first iteration: after the back edge
+// the body runs unprotected — forbidden.
+func (c *Counter) Leaky(k int) {
+	c.mu.Lock()
+	for i := 0; i < k; i++ {
+		c.n++ // want `access to n \(guarded by mu\) after mu.Unlock\(\)`
+		c.mu.Unlock()
+	}
+}
+
+// Leak spawns a goroutine whose closure touches n without its own lock —
+// forbidden: the enclosing lock does not cover an escaping closure.
+func (c *Counter) Leak() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "access to n"
+	}()
+}
+
+// Safe spawns a goroutine that locks for itself — allowed.
+func (c *Counter) Safe() {
+	go func() {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+}

@@ -1,0 +1,33 @@
+// Package model is the model-tier fixture: explicitly seeded randomness
+// is sanctioned, while wall clocks and synchronization reached through
+// helper packages — and any concurrency — break replayability.
+package model
+
+import (
+	"fix/util"
+	"math/rand"
+)
+
+// Roll draws from an explicitly seeded source — sanctioned.
+func Roll(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Stamp reaches the wall clock through the helper package — forbidden.
+func Stamp() int64 {
+	return util.Stamp() // want `call to util.Stamp reaches time.Now`
+}
+
+// Exclusive reaches hidden synchronization — forbidden.
+func Exclusive() {
+	util.Locked(nil) // want `call to util.Locked reaches \(sync.Mutex\).Lock`
+}
+
+// Spawn forks the model — replay must stay single-threaded.
+func Spawn(f func()) {
+	go f() // want "go statement in a model package"
+}
+
+// Scaled uses a pure helper — allowed.
+func Scaled(x int) int { return util.Scale(x, 2) }

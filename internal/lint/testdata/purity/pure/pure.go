@@ -1,0 +1,74 @@
+// Package pure is the pure-core tier fixture: direct impurities, banned
+// imports, transitive reach through the unchecked util package, refused
+// dynamic calls, and the allowlisted jitter hook.
+package pure
+
+import (
+	"fix/util"
+	"sync" // want "import of sync in a pure core package"
+)
+
+// Config carries the caller-supplied jitter hook — the one sanctioned
+// dynamic call (PurityAllowCalls: Config.Jitter).
+type Config struct {
+	Jitter func() int
+}
+
+// Core is the fixture state machine.
+type Core struct {
+	mu    sync.Mutex
+	ticks int
+	cfg   Config
+}
+
+// Tick advances logical time with the allowlisted jitter hook — allowed.
+func (c *Core) Tick() { c.ticks += 1 + c.cfg.Jitter() }
+
+// Scaled uses a pure helper — allowed.
+func (c *Core) Scaled() int { return util.Scale(c.ticks, 3) }
+
+// Stamp reaches the wall clock through the helper package — forbidden,
+// reported at the frontier call with the witness chain.
+func (c *Core) Stamp() int64 {
+	return util.Stamp() // want `call to util.Stamp reaches time.Now \(util.Stamp → util.now → time.Now\)`
+}
+
+// Guarded hides synchronization inside the core — forbidden.
+func (c *Core) Guarded() {
+	c.mu.Lock() // want `\(sync.Mutex\).Lock in a pure core package`
+	c.ticks++
+	c.mu.Unlock() // want `\(sync.Mutex\).Unlock in a pure core package`
+}
+
+// Apply calls an arbitrary func value — the core tier refuses what it
+// cannot trace.
+func Apply(f func() int) int {
+	return f() // want "dynamic call through f in a pure core package"
+}
+
+// Spawn launches a goroutine — forbidden.
+func Spawn(f func()) {
+	go f() // want "go statement in a pure core package"
+}
+
+// Notify pushes an effect out through a channel — forbidden.
+func Notify(ch chan int) {
+	ch <- 1 // want "channel send in a pure core package"
+}
+
+// Wait multiplexes on channels — forbidden twice over.
+func Wait(ch chan int) int {
+	select { // want "select statement in a pure core package"
+	case v := <-ch: // want "channel receive in a pure core package"
+		return v
+	}
+}
+
+// Drain consumes a channel as an input stream — forbidden.
+func Drain(ch chan int) int {
+	total := 0
+	for v := range ch { // want "range over a channel in a pure core package"
+		total += v
+	}
+	return total
+}

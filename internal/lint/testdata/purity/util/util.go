@@ -1,0 +1,30 @@
+// Package util is an UNCHECKED helper package: the purity fixture's pure
+// and model packages reach its impurities only transitively, so every
+// diagnostic about it must appear at the frontier call site with a
+// witness chain — never inside this file.
+package util
+
+import (
+	"sync"
+	"time"
+)
+
+// Stamp returns the wall clock through one more hop, so witness chains
+// have an interior link (Stamp → now → time.Now).
+func Stamp() int64 { return now().UnixNano() }
+
+func now() time.Time { return time.Now() }
+
+var mu sync.Mutex
+
+// Locked runs f under a package mutex — hidden synchronization.
+func Locked(f func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	if f != nil {
+		f()
+	}
+}
+
+// Scale is pure; calls to it must not be flagged.
+func Scale(x, k int) int { return x * k }
