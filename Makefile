@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-teeth check bench bench-evidence chaos chaos-smoke chaos-teeth sim-sweep sim-teeth
+.PHONY: all build test race vet lint lint-teeth check bench bench-evidence bench-evidence-7 chaos chaos-smoke chaos-teeth sim-sweep sim-teeth
 
 all: check
 
@@ -76,6 +76,7 @@ bench:
 	$(GO) test -bench . -benchtime=1x -benchmem -run '^$$' ./...
 	$(GO) run ./cmd/raft-bench -requests 800 -reconfig-every 200 -clients 16 \
 		-latency 50us -jitter 20us -durable -ab -window 200 -json BENCH_smoke.json
+	$(GO) run ./cmd/raft-bench -recovery -recovery-histories 2000,4000
 
 # bench-evidence regenerates the committed BENCH_2.json: the Fig. 16
 # series re-measured with group commit on and off (32 concurrent clients,
@@ -83,3 +84,10 @@ bench:
 bench-evidence:
 	$(GO) run ./cmd/raft-bench -requests 5000 -reconfig-every 1000 -clients 32 \
 		-latency 50us -jitter 20us -durable -ab -runs 2 -window 500 -json BENCH_2.json
+
+# bench-evidence-7 regenerates the committed BENCH_7.json: restart
+# recovery and follower catch-up for the same histories with and without
+# compaction — replayed entries bounded by the retained tail vs the whole
+# WAL, one InstallSnapshot image vs walking the append pipeline.
+bench-evidence-7:
+	$(GO) run ./cmd/raft-bench -recovery -json BENCH_7.json

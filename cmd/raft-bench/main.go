@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"adore/internal/bench"
@@ -34,7 +36,38 @@ func main() {
 	ab := flag.Bool("ab", false, "run the batching ablation: the same workload batched AND unbatched")
 	jsonPath := flag.String("json", "", "also write the runs as JSON to this file (BENCH_*.json evidence)")
 	availability := flag.Bool("availability", false, "run the liveness/availability probe instead of Fig. 16")
+	recovery := flag.Bool("recovery", false, "run the restart-recovery/catch-up grid (compacted vs full WAL) instead of Fig. 16")
+	recoveryHist := flag.String("recovery-histories", "", "comma-separated history sizes for -recovery (default 5000,20000,50000)")
 	flag.Parse()
+
+	if *recovery {
+		opts := bench.RecoveryDefaults()
+		if *recoveryHist != "" {
+			opts.Histories = opts.Histories[:0]
+			for _, f := range strings.Split(*recoveryHist, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil || n <= opts.RetainTail {
+					fmt.Fprintf(os.Stderr, "bad -recovery-histories entry %q (must be an int > %d)\n", f, opts.RetainTail)
+					os.Exit(1)
+				}
+				opts.Histories = append(opts.Histories, n)
+			}
+		}
+		res, err := bench.RunRecovery(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res.Print(os.Stdout)
+		if *jsonPath != "" {
+			if err := bench.WriteJSON(*jsonPath, res); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote recovery grid to %s\n", *jsonPath)
+		}
+		return
+	}
 
 	if *availability {
 		res, err := bench.RunAvailability(bench.AvailabilityDefaults())

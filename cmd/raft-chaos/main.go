@@ -52,6 +52,7 @@ func main() {
 		disableR3 = flag.Bool("disable-r3", false, "reintroduce the R3 bug (expect violations)")
 		teeth     = flag.Bool("teeth", false, "run the crafted double-shed schedule instead of generated ones")
 		sim       = flag.Bool("sim", false, "deterministic simulation instead of a live cluster (adds the refinement oracle)")
+		snapThr   = flag.Int("snapshot-threshold", 0, "applied entries between state-machine snapshots (0 = default 64, negative = no compaction)")
 		verbose   = flag.Bool("v", false, "print each run's plan and report")
 	)
 	flag.Parse()
@@ -66,14 +67,15 @@ func main() {
 	}
 
 	opt := chaos.Options{
-		Nodes:        *nodes,
-		Clients:      *clients,
-		OpsPerClient: *ops,
-		Keys:         *keys,
-		Duration:     *duration,
-		MemWAL:       *mem,
-		DisableR2:    *disableR2,
-		DisableR3:    *disableR3,
+		Nodes:             *nodes,
+		Clients:           *clients,
+		OpsPerClient:      *ops,
+		Keys:              *keys,
+		Duration:          *duration,
+		MemWAL:            *mem,
+		DisableR2:         *disableR2,
+		DisableR3:         *disableR3,
+		SnapshotThreshold: *snapThr,
 	}
 
 	var list []int64

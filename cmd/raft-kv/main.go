@@ -16,6 +16,10 @@
 // Commands: get K | put K V | delete K | cas K OLD NEW | members | status |
 // addserver ID | removeserver ID. Writes must be sent to the leader
 // (responses include a redirect hint otherwise).
+//
+// With -wal DIR the replica persists its log (and, with
+// -snapshot-threshold N, periodic state-machine snapshots that truncate
+// it) and recovers both across restarts.
 package main
 
 import (
@@ -44,6 +48,8 @@ func main() {
 		clientListen = flag.String("client-listen", "", "client listen address (default: raft port + 1000)")
 		peersFlag    = flag.String("peers", "", "comma-separated id=addr pairs for every cluster member")
 		timeoutMin   = flag.Duration("election-timeout", 150*time.Millisecond, "minimum election timeout")
+		walDir       = flag.String("wal", "", "directory for the file-backed WAL (default: in-memory storage)")
+		snapThr      = flag.Int("snapshot-threshold", 0, "applied entries between state-machine snapshots (0 = no local compaction)")
 	)
 	flag.Parse()
 
@@ -62,6 +68,17 @@ func main() {
 		members = append(members, pid)
 	}
 
+	var storage raft.Storage
+	if *walDir != "" {
+		fs, err := raft.OpenFileStorage(*walDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		storage = fs
+	}
+	store := kvstore.NewStore()
+
 	inbox := make(chan raft.Message, 4096)
 	tr, err := transport.NewTCPTransport(id, *listen, peers, inbox)
 	if err != nil {
@@ -72,6 +89,9 @@ func main() {
 		ID:                 id,
 		Members:            members,
 		Transport:          tr,
+		Storage:            storage,
+		StateMachine:       store,
+		SnapshotThreshold:  *snapThr,
 		ElectionTimeoutMin: *timeoutMin,
 		Seed:               int64(id),
 	})
@@ -85,7 +105,6 @@ func main() {
 		}
 	}()
 
-	store := kvstore.NewStore()
 	go func() {
 		for batch := range node.ApplyCh() {
 			for _, msg := range batch {

@@ -1,0 +1,275 @@
+package bench
+
+// This file measures what ISSUE 7's compaction buys: restart recovery
+// bounded by the snapshot threshold instead of history length, and
+// follower catch-up that streams one state-machine image instead of
+// replaying the whole log. Each grid point runs the same history twice —
+// compacted and full — so the evidence file shows the O(history) vs
+// O(threshold) split directly.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"adore/internal/raft"
+	"adore/internal/raft/raftcore"
+	"adore/internal/types"
+)
+
+// RecoveryOptions parameterizes the recovery/catch-up grid.
+type RecoveryOptions struct {
+	// Histories are the committed-entry counts to sweep.
+	Histories []int
+	// RetainTail is how many entries stay above the snapshot base in the
+	// compacted variant — the model's SnapshotThreshold.
+	RetainTail int
+	// Payload is the per-command payload size in bytes.
+	Payload int
+	// Image is the state-machine image size used for compaction and
+	// InstallSnapshot transfers.
+	Image int
+}
+
+// RecoveryDefaults mirrors the acceptance bound: a threshold of 1000
+// against histories up to 50k entries.
+func RecoveryDefaults() RecoveryOptions {
+	return RecoveryOptions{
+		Histories:  []int{5000, 20000, 50000},
+		RetainTail: 1000,
+		Payload:    28,
+		Image:      64 << 10,
+	}
+}
+
+// RecoveryPoint is one grid cell: a history length run either compacted
+// (snapshot + bounded suffix) or full (replay everything).
+type RecoveryPoint struct {
+	Name          string  `json:"name"`
+	History       int     `json:"history"`
+	Compacted     bool    `json:"compacted"`
+	ReplayEntries int     `json:"replay_entries"`
+	OpenMS        float64 `json:"open_ms"`
+	CatchupRounds int     `json:"catchup_rounds"`
+	CatchupMS     float64 `json:"catchup_ms"`
+}
+
+// RecoveryResult is the full grid, one point per (history, compacted).
+type RecoveryResult struct {
+	RetainTail int             `json:"retain_tail"`
+	Points     []RecoveryPoint `json:"points"`
+}
+
+// RunRecovery sweeps the grid. For each point it measures (a) restart:
+// wall time of OpenFileStorage over a real WAL directory plus the entry
+// count the replay materializes, and (b) catch-up: message rounds and
+// wall time for a fresh follower to converge with a leader holding that
+// history, pumped deterministically through the pure core.
+func RunRecovery(opts RecoveryOptions) (*RecoveryResult, error) {
+	if len(opts.Histories) == 0 {
+		opts = RecoveryDefaults()
+	}
+	res := &RecoveryResult{RetainTail: opts.RetainTail}
+	for _, h := range opts.Histories {
+		for _, compacted := range []bool{false, true} {
+			p := RecoveryPoint{History: h, Compacted: compacted}
+			p.Name = fmt.Sprintf("h%d-full", h)
+			if compacted {
+				p.Name = fmt.Sprintf("h%d-compacted", h)
+			}
+			if err := measureRestart(&p, opts); err != nil {
+				return nil, err
+			}
+			if err := measureCatchup(&p, opts); err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, p)
+		}
+	}
+	return res, nil
+}
+
+// buildRecoveryWAL writes history entries into a WAL directory and, for
+// the compacted variant, folds everything but the retained tail into a
+// snapshot — the on-disk shape a long-lived node leaves behind.
+func buildRecoveryWAL(dir string, history int, compacted bool, opts RecoveryOptions) error {
+	fs, err := raft.OpenFileStorage(dir)
+	if err != nil {
+		return err
+	}
+	payload := make([]byte, opts.Payload)
+	const batch = 512
+	for first := 1; first <= history; first += batch {
+		n := batch
+		if first+n > history+1 {
+			n = history + 1 - first
+		}
+		entries := make([]raft.LogEntry, n)
+		for i := range entries {
+			entries[i] = raft.LogEntry{Term: 1, Kind: raft.EntryCommand, Command: payload}
+		}
+		if err := fs.SaveEntries(first, entries); err != nil {
+			return err
+		}
+	}
+	if compacted {
+		if err := fs.SaveSnapshot(raft.LogSnapshot{
+			Index:   history - opts.RetainTail,
+			Term:    1,
+			Members: []types.NodeID{1},
+			Data:    make([]byte, opts.Image),
+		}); err != nil {
+			return err
+		}
+	}
+	return fs.Close()
+}
+
+// measureRestart builds a WAL with p.History entries (compacting to the
+// retained tail if asked), then times a cold open of the directory.
+func measureRestart(p *RecoveryPoint, opts RecoveryOptions) error {
+	dir, err := os.MkdirTemp("", "adore-bench-recovery-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := buildRecoveryWAL(dir, p.History, p.Compacted, opts); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	re, err := raft.OpenFileStorage(dir)
+	if err != nil {
+		return err
+	}
+	_, _, log, err := re.Load()
+	if err != nil {
+		return err
+	}
+	p.OpenMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	p.ReplayEntries = len(log)
+	return re.Close()
+}
+
+func catchupConfig(id types.NodeID) raftcore.Config {
+	return raftcore.Config{
+		ID:            id,
+		Members:       []types.NodeID{1, 2},
+		ElectionTicks: 5,
+		Jitter:        func() int { return 0 },
+	}
+}
+
+// catchupRelay cross-delivers pending messages between the leader and
+// the follower until both are quiet.
+func catchupRelay(lead, f *raftcore.Core) {
+	for i := 0; i < 1000; i++ {
+		rdL, rdF := lead.TakeReady(), f.TakeReady()
+		if len(rdL.Messages) == 0 && len(rdF.Messages) == 0 {
+			return
+		}
+		for _, m := range rdL.Messages {
+			if m.To == 2 {
+				f.Step(m)
+			}
+		}
+		for _, m := range rdF.Messages {
+			if m.To == 1 {
+				lead.Step(m)
+			}
+		}
+	}
+}
+
+// newCatchupLeader builds a two-member leader with history committed
+// entries applied (compacted to a single image if asked) and returns it
+// with the commit index a joining follower must reach.
+func newCatchupLeader(history int, compacted bool, opts RecoveryOptions) (*raftcore.Core, int, error) {
+	lead := raftcore.New(catchupConfig(1), raftcore.HardState{}, raftcore.Snapshot{}, nil)
+	warm := raftcore.New(catchupConfig(2), raftcore.HardState{}, raftcore.Snapshot{}, nil)
+	for i := 0; i < 5; i++ {
+		lead.Tick()
+	}
+	catchupRelay(lead, warm)
+	if lead.Role() != raftcore.Leader {
+		return nil, 0, fmt.Errorf("bench: catch-up leader never elected (role %s)", lead.Role())
+	}
+	payload := make([]byte, opts.Payload)
+	for i := 0; i < history; i++ {
+		if _, _, err := lead.Propose(payload); err != nil {
+			return nil, 0, err
+		}
+		if i%256 == 0 {
+			catchupRelay(lead, warm)
+		}
+	}
+	catchupRelay(lead, warm)
+	target := history + 1 // entries plus the term-1 no-op
+	if got := lead.CommitIndex(); got != target {
+		return nil, 0, fmt.Errorf("bench: leader committed %d of %d", got, target)
+	}
+	if compacted {
+		if !lead.Compact(target, make([]byte, opts.Image)) {
+			return nil, 0, fmt.Errorf("bench: leader rejected Compact(%d)", target)
+		}
+		lead.TakeReady()
+	}
+	return lead, target, nil
+}
+
+// runCatchup boots a cold follower on ID 2 and pumps tick/exchange
+// rounds until its commit index reaches target. The follower's empty log
+// rejects the leader's optimistic appends, which either walks the probe
+// back through the whole log (full) or falls below the base and streams
+// the image (compacted).
+func runCatchup(lead *raftcore.Core, target int) (int, error) {
+	fresh := raftcore.New(catchupConfig(2), raftcore.HardState{}, raftcore.Snapshot{}, nil)
+	rounds := 0
+	for fresh.CommitIndex() < target {
+		rounds++
+		if rounds > 4*target+10000 {
+			return rounds, fmt.Errorf("bench: follower stuck at commit %d of %d after %d rounds",
+				fresh.CommitIndex(), target, rounds)
+		}
+		lead.Tick()
+		catchupRelay(lead, fresh)
+	}
+	return rounds, nil
+}
+
+// measureCatchup pumps a leader holding p.History committed entries
+// against a fresh, empty follower through the pure core — no goroutines,
+// no clocks — and counts the tick/exchange rounds until the follower's
+// commit index reaches the leader's.
+func measureCatchup(p *RecoveryPoint, opts RecoveryOptions) error {
+	lead, target, err := newCatchupLeader(p.History, p.Compacted, opts)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	rounds, err := runCatchup(lead, target)
+	if err != nil {
+		return err
+	}
+	p.CatchupMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	p.CatchupRounds = rounds
+	return nil
+}
+
+// Print renders the grid as a table.
+func (r *RecoveryResult) Print(w io.Writer) {
+	t := &Table{Header: []string{
+		"point", "history", "replayed", "open ms", "catchup rounds", "catchup ms",
+	}}
+	for _, p := range r.Points {
+		t.Add(p.Name,
+			fmt.Sprintf("%d", p.History),
+			fmt.Sprintf("%d", p.ReplayEntries),
+			fmt.Sprintf("%.2f", p.OpenMS),
+			fmt.Sprintf("%d", p.CatchupRounds),
+			fmt.Sprintf("%.2f", p.CatchupMS))
+	}
+	fmt.Fprintf(w, "restart recovery and follower catch-up (retained tail %d)\n", r.RetainTail)
+	t.Print(w)
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adore/internal/raft"
+)
+
+// openAndLoad performs one cold recovery: open the directory, replay the
+// retained suffix, and report how many entries materialized.
+func openAndLoad(dir string) (int, error) {
+	re, err := raft.OpenFileStorage(dir)
+	if err != nil {
+		return 0, err
+	}
+	_, _, log, err := re.Load()
+	if err != nil {
+		re.Close()
+		return 0, err
+	}
+	return len(log), re.Close()
+}
+
+// TestRunRecoveryGrid runs a small grid end to end and checks the shape
+// of the evidence: the compacted variant must replay a bounded suffix and
+// converge in strictly fewer catch-up rounds than the full variant.
+func TestRunRecoveryGrid(t *testing.T) {
+	opts := RecoveryOptions{
+		Histories:  []int{2000},
+		RetainTail: 500,
+		Payload:    16,
+		Image:      4 << 10,
+	}
+	res, err := RunRecovery(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("want 2 grid points, got %d", len(res.Points))
+	}
+	full, comp := res.Points[0], res.Points[1]
+	if full.Compacted || !comp.Compacted {
+		t.Fatalf("grid order changed: %+v / %+v", full, comp)
+	}
+	if full.ReplayEntries != 2000 {
+		t.Fatalf("full variant replayed %d entries, want the whole history", full.ReplayEntries)
+	}
+	if comp.ReplayEntries != opts.RetainTail {
+		t.Fatalf("compacted variant replayed %d entries, want the retained tail %d",
+			comp.ReplayEntries, opts.RetainTail)
+	}
+	if comp.CatchupRounds >= full.CatchupRounds {
+		t.Fatalf("compacted catch-up took %d rounds, full took %d — the snapshot path is not shorter",
+			comp.CatchupRounds, full.CatchupRounds)
+	}
+}
+
+// benchRestart times one cold WAL open over a prebuilt directory; new
+// files from each open (the fresh active segment) are removed between
+// iterations so every open sees the identical on-disk state.
+func benchRestart(b *testing.B, history int, compacted bool) {
+	opts := RecoveryDefaults()
+	dir := b.TempDir()
+	if err := buildRecoveryWAL(dir, history, compacted, opts); err != nil {
+		b.Fatal(err)
+	}
+	baseline := map[string]bool{}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, de := range names {
+		baseline[de.Name()] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs, err := openAndLoad(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(fs), "entries/replay")
+		b.StopTimer()
+		now, err := os.ReadDir(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, de := range now {
+			if !baseline[de.Name()] {
+				os.Remove(filepath.Join(dir, de.Name()))
+			}
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkRestartRecovery measures cold-open recovery time for the same
+// history with and without compaction: the compacted WAL replays the
+// retained tail, the full WAL replays everything.
+func BenchmarkRestartRecovery(b *testing.B) {
+	const history = 20000
+	b.Run("full", func(b *testing.B) { benchRestart(b, history, false) })
+	b.Run("compacted", func(b *testing.B) { benchRestart(b, history, true) })
+}
+
+// BenchmarkFollowerCatchup measures how long a cold follower takes to
+// converge with a leader holding 20k committed entries: a full log walks
+// the append pipeline through the whole history, a compacted one streams
+// a single snapshot image.
+func BenchmarkFollowerCatchup(b *testing.B) {
+	const history = 20000
+	for _, variant := range []struct {
+		name      string
+		compacted bool
+	}{{"full", false}, {"compacted", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			lead, target, err := newCatchupLeader(history, variant.compacted, RecoveryDefaults())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rounds, err := runCatchup(lead, target)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rounds), "rounds/op")
+			}
+		})
+	}
+}

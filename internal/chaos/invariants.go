@@ -161,14 +161,38 @@ func checkApplied(c *cluster.Cluster, nodes int) []string {
 
 // checkAppliedStreams is checkApplied over raw apply streams, shared by the
 // live runner (cluster-recorded streams) and the deterministic simulation.
+//
+// Snapshot restores (EntrySnapshot) are not regular entries: the image is
+// a gob encoding whose map ordering is not canonical, so byte-comparing
+// two images of the same state would be a false oracle. Restores are
+// instead checked by their base fingerprint — every restore at index i
+// must carry the same term, across replicas and against any regular entry
+// applied at i (a snapshot summarizes a committed prefix, so its base
+// must name the committed entry there).
 func checkAppliedStreams(streams map[types.NodeID][]raft.ApplyMsg, nodes int) []string {
 	var out []string
 	perNode := make(map[types.NodeID]map[int]entryFP, nodes)
+	snapTerms := make(map[int]types.Time)   // snapshot base index → term
+	snapOwner := make(map[int]types.NodeID) // who reported it first
+	snapConflicts := 0
 	for i := 1; i <= nodes; i++ {
 		id := types.NodeID(i)
 		byIndex := make(map[int]entryFP)
 		selfConflicts := 0
 		for _, msg := range streams[id] {
+			if msg.Kind == raft.EntrySnapshot {
+				if prev, ok := snapTerms[msg.Index]; ok && prev != msg.Term {
+					if snapConflicts < maxViolationDetail {
+						out = append(out, fmt.Sprintf("snapshot bases diverge at index %d: S%d restored term %d, S%d restored term %d",
+							msg.Index, snapOwner[msg.Index], prev, id, msg.Term))
+					}
+					snapConflicts++
+				} else if !ok {
+					snapTerms[msg.Index] = msg.Term
+					snapOwner[msg.Index] = id
+				}
+				continue
+			}
 			f := fingerprint(msg)
 			if prev, ok := byIndex[msg.Index]; ok && prev != f {
 				if selfConflicts < maxViolationDetail {
@@ -232,6 +256,23 @@ func checkAppliedStreams(streams map[types.NodeID][]raft.ApplyMsg, nodes int) []
 	}
 	if crossConflicts > maxViolationDetail {
 		out = append(out, fmt.Sprintf("… and %d more divergent indexes", crossConflicts-maxViolationDetail))
+	}
+	// Snapshot bases against regular entries: a restore at index i and a
+	// replica that applied the entry at i must agree on its term.
+	snapIdxs := make([]int, 0, len(snapTerms))
+	for idx := range snapTerms {
+		snapIdxs = append(snapIdxs, idx)
+	}
+	sort.Ints(snapIdxs)
+	for _, idx := range snapIdxs {
+		for i := 1; i <= nodes; i++ {
+			id := types.NodeID(i)
+			if f, ok := perNode[id][idx]; ok && f.term != snapTerms[idx] {
+				out = append(out, fmt.Sprintf("snapshot base at index %d has term %d but S%d applied %s there",
+					idx, snapTerms[idx], id, f))
+				break
+			}
+		}
 	}
 	return out
 }

@@ -118,6 +118,7 @@ func Run(sched *Schedule, opt Options) (*Report, error) {
 		DisableR3:          opt.DisableR3,
 		Seed:               sched.Seed,
 		StorageFor:         func(id types.NodeID) raft.Storage { return faults[id] },
+		SnapshotThreshold:  opt.snapThreshold(),
 	})
 	defer r.Stop()
 	c := r.Cluster

@@ -263,6 +263,21 @@ type Options struct {
 	// paper's guards prevent — used to prove the harness catches them.
 	DisableR2 bool
 	DisableR3 bool
+	// SnapshotThreshold is the log-compaction trigger: after this many
+	// applied entries above the snapshot base a node captures its state
+	// machine and truncates its log. 0 picks a chaos-friendly default
+	// (64, low enough that every sweep crosses the snapshot path);
+	// negative disables compaction entirely.
+	SnapshotThreshold int
+}
+
+// snapThreshold resolves the SnapshotThreshold convention (negative =
+// off) into the value the runtimes take (0 = off).
+func (o *Options) snapThreshold() int {
+	if o.SnapshotThreshold < 0 {
+		return 0
+	}
+	return o.SnapshotThreshold
 }
 
 func (o *Options) defaults() {
@@ -302,6 +317,9 @@ func (o *Options) defaults() {
 	}
 	if o.Jitter <= 0 {
 		o.Jitter = 300 * time.Microsecond
+	}
+	if o.SnapshotThreshold == 0 {
+		o.SnapshotThreshold = 64
 	}
 }
 

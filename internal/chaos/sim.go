@@ -78,13 +78,14 @@ func RunSim(sched *Schedule, opt Options) (*Report, error) {
 	et := int(ticksOf(opt.ElectionTimeoutMin))
 	r := &simRun{
 		s: sim.New(sim.Options{
-			Nodes:          opt.Nodes,
-			Seed:           sched.Seed,
-			ElectionTicks:  et,
-			JitterTicks:    et,
-			HeartbeatTicks: max(1, et/3),
-			DisableR2:      opt.DisableR2,
-			DisableR3:      opt.DisableR3,
+			Nodes:             opt.Nodes,
+			Seed:              sched.Seed,
+			ElectionTicks:     et,
+			JitterTicks:       et,
+			HeartbeatTicks:    max(1, et/3),
+			DisableR2:         opt.DisableR2,
+			DisableR3:         opt.DisableR3,
+			SnapshotThreshold: opt.snapThreshold(),
 		}),
 		opt:        opt,
 		horizon:    ticksOf(opt.Duration),
@@ -106,6 +107,20 @@ func RunSim(sched *Schedule, opt Options) (*Report, error) {
 		for _, msg := range batch {
 			r.stores[id].Apply(msg)
 		}
+	})
+	// The sim's apply hook runs synchronously inside the same ready drain
+	// that raises TakeSnapshot, so by the time the capture hook fires the
+	// store has applied exactly the requested prefix — any mismatch is a
+	// harness bug, not a race.
+	r.s.OnSnapshot(func(id types.NodeID, index int) []byte {
+		data, applied, err := r.stores[id].SaveSnapshot()
+		if err != nil {
+			return nil // abort this snapshot; the policy re-fires later
+		}
+		if applied != index {
+			panic(fmt.Sprintf("chaos: snapshot capture on S%d saw applied index %d, policy requested %d", id, applied, index))
+		}
+		return data
 	})
 	r.exec = refine.NewExec(types.NewNodeSet(r.members...))
 
@@ -259,20 +274,24 @@ func (r *simRun) monitorReport() []string {
 	return out
 }
 
-// checkRefinement feeds every replica's current log and commit index
-// through the executable-refinement checker. The first violation is
-// recorded and further sweeps stop (a forked tree keeps failing).
+// checkRefinement feeds every replica's retained log suffix and commit
+// index through the executable-refinement checker. Compacted replicas are
+// observed from their snapshot base: the fingerprint (index, term) must
+// name the committed cache at that depth before the suffix is matched.
+// The first violation is recorded and further sweeps stop (a forked tree
+// keeps failing).
 func (r *simRun) checkRefinement() {
 	if r.refineBroken {
 		return
 	}
 	for _, id := range r.s.IDs() {
-		last := r.s.LastIndex(id)
-		log := make([]raft.LogEntry, last)
-		for i := 1; i <= last; i++ {
-			log[i-1] = r.s.Entry(id, i)
+		first, last := r.s.FirstIndex(id), r.s.LastIndex(id)
+		log := make([]raft.LogEntry, 0, last-first+1)
+		for i := first; i <= last; i++ {
+			log = append(log, r.s.Entry(id, i))
 		}
-		if err := r.exec.ObserveNode(id, log, r.s.CommitIndex(id)); err != nil {
+		err := r.exec.ObserveNodeAt(id, r.s.SnapshotIndex(id), r.s.SnapshotTerm(id), log, r.s.CommitIndex(id))
+		if err != nil {
 			r.refineViolations = append(r.refineViolations, err.Error())
 			r.refineBroken = true
 			r.s.Journalf("refinement violation: %v", err)

@@ -100,9 +100,46 @@ func NewStore() *Store {
 
 // Apply consumes one committed raft entry. Non-command entries (no-ops,
 // config changes) still resolve waiters at their index as "not mine".
+// An EntrySnapshot message replaces the whole state with the image in
+// Command — the restore path for crash recovery and leader-installed
+// snapshots; the dedup tables ride inside the image, so exactly-once
+// semantics survive a snapshot-based rejoin.
 func (s *Store) Apply(msg raft.ApplyMsg) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if msg.Kind == raft.EntrySnapshot {
+		if msg.Index <= s.applied {
+			// Stale restore: a store that outlived its node's restart is
+			// already at or past the base, and the image is a prefix of
+			// its current state. Rewinding would transiently expose old
+			// values to local readers.
+			return
+		}
+		if err := s.restoreLocked(msg.Command); err != nil {
+			// The image was committed by consensus; failing to decode it
+			// is unrecoverable divergence, not a retryable error.
+			panic(fmt.Sprintf("kvstore: snapshot restore at index %d: %v", msg.Index, err))
+		}
+		s.applied = msg.Index
+		// Waiters at indices the snapshot folded away resolve through the
+		// restored dedup tables: if the client's request is recorded
+		// there, it committed (with that result); otherwise its fate is
+		// unknown and the waiter re-proposes.
+		for idx, ws := range s.waiters {
+			if idx > msg.Index {
+				continue
+			}
+			for _, w := range ws {
+				if w.seq != 0 && s.lastSeq[w.client] >= w.seq {
+					w.ch <- waitResult{res: s.lastRes[w.client], mine: true}
+				} else {
+					w.ch <- waitResult{mine: false}
+				}
+			}
+			delete(s.waiters, idx)
+		}
+		return
+	}
 	s.applied = msg.Index
 	var cmd Command
 	isCmd := false
@@ -211,8 +248,10 @@ type snapshotState struct {
 }
 
 // SaveSnapshot serializes the state machine (data, dedup tables, applied
-// index) for log compaction or node bootstrap.
-func (s *Store) SaveSnapshot() ([]byte, error) {
+// index) for log compaction or node bootstrap, and reports the applied
+// index the image captures. The capture is atomic with respect to Apply,
+// so the index and the data always agree. Implements raft.StateMachine.
+func (s *Store) SaveSnapshot() ([]byte, int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var buf bytes.Buffer
@@ -223,19 +262,23 @@ func (s *Store) SaveSnapshot() ([]byte, error) {
 		Applied: s.applied,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("kvstore: snapshot: %w", err)
+		return nil, 0, fmt.Errorf("kvstore: snapshot: %w", err)
 	}
-	return buf.Bytes(), nil
+	return buf.Bytes(), s.applied, nil
 }
 
 // LoadSnapshot replaces the state machine with a serialized image.
 func (s *Store) LoadSnapshot(b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restoreLocked(b)
+}
+
+func (s *Store) restoreLocked(b []byte) error {
 	var st snapshotState
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
 		return fmt.Errorf("kvstore: restore: %w", err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.data = st.Data
 	s.lastSeq = st.LastSeq
 	s.lastRes = st.LastRes

@@ -238,9 +238,12 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	s := NewStore()
 	applyCmd(t, s, 1, Command{Op: OpPut, Key: "a", Value: "1", Client: 1, Seq: 1})
 	applyCmd(t, s, 2, Command{Op: OpPut, Key: "b", Value: "2", Client: 1, Seq: 2})
-	img, err := s.SaveSnapshot()
+	img, applied, err := s.SaveSnapshot()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if applied != 2 {
+		t.Errorf("snapshot applied index = %d, want 2", applied)
 	}
 	fresh := NewStore()
 	if err := fresh.LoadSnapshot(img); err != nil {

@@ -36,6 +36,9 @@ func NewReplicated(opts cluster.Options) *Replicated {
 	opts.OnApply = func(id types.NodeID, msg raft.ApplyMsg) {
 		r.storeFor(id).Apply(msg)
 	}
+	opts.StateMachineFor = func(id types.NodeID) raft.StateMachine {
+		return r.storeFor(id)
+	}
 	r.Cluster = cluster.New(opts)
 	r.def = r.NewClient()
 	return r

@@ -87,7 +87,7 @@ func DefaultConfig() Config {
 		EffectOrder: []EffectOrderConfig{{
 			Pkg:            "adore/internal/raft",
 			StorageIface:   "Storage",
-			PersistMethods: []string{"SaveState", "SaveEntries"},
+			PersistMethods: []string{"SaveState", "SaveSnapshot", "SaveEntries"},
 			SendIface:      "Transport",
 			SendMethods:    []string{"Send"},
 			FailStops:      []string{"failStopLocked"},

@@ -65,7 +65,7 @@ func TestEffectOrderFixture(t *testing.T) {
 		EffectOrder: []EffectOrderConfig{{
 			Pkg:            "fix/driver",
 			StorageIface:   "Storage",
-			PersistMethods: []string{"SaveState", "SaveEntries"},
+			PersistMethods: []string{"SaveState", "SaveSnapshot", "SaveEntries"},
 			SendIface:      "Transport",
 			SendMethods:    []string{"Send"},
 			FailStops:      []string{"failStop"},

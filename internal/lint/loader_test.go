@@ -38,9 +38,9 @@ func findPkg(prog *Program, path string) *Package {
 // ".test"-suffixed unit that can import the library.
 func TestLoadExternalTestPackage(t *testing.T) {
 	root := writeTree(t, map[string]string{
-		"a/a.go": "package a\n\nfunc Answer() int { return 42 }\n",
+		"a/a.go":               "package a\n\nfunc Answer() int { return 42 }\n",
 		"a/a_internal_test.go": "package a\n\nfunc double() int { return Answer() * 2 }\n",
-		"a/a_ext_test.go": "package a_test\n\nimport \"tmpmod/a\"\n\nvar _ = a.Answer\n",
+		"a/a_ext_test.go":      "package a_test\n\nimport \"tmpmod/a\"\n\nvar _ = a.Answer\n",
 	})
 	prog, err := Load(root, "tmpmod")
 	if err != nil {
@@ -106,7 +106,7 @@ func TestLoadBuildConstraints(t *testing.T) {
 // naming the host platform keeps the file.
 func TestLoadHostConstraintKept(t *testing.T) {
 	root := writeTree(t, map[string]string{
-		"c/c.go": "package c\n\nfunc V() int { return host() }\n",
+		"c/c.go":    "package c\n\nfunc V() int { return host() }\n",
 		"c/host.go": "//go:build " + runtime.GOOS + "\n\npackage c\n\nfunc host() int { return 1 }\n",
 	})
 	prog, err := Load(root, "tmpmod")

@@ -16,9 +16,16 @@ type Entry struct {
 // Message is one outbound protocol message.
 type Message struct{ To int }
 
+// Snapshot is a durable state-machine image replacing a log prefix.
+type Snapshot struct {
+	Index int
+	Data  []byte
+}
+
 // Ready is one batch of core effects.
 type Ready struct {
 	HardState *HardState
+	Snapshot  *Snapshot
 	Entries   []Entry
 	Messages  []Message
 }
@@ -26,6 +33,7 @@ type Ready struct {
 // Storage persists raft state; its methods are the persist events.
 type Storage interface {
 	SaveState(hs HardState) error
+	SaveSnapshot(s Snapshot) error
 	SaveEntries(first int, es []Entry) error
 }
 
@@ -67,6 +75,12 @@ func (n *Node) Good(rd Ready) {
 			return
 		}
 	}
+	if rd.Snapshot != nil {
+		if err := n.storage.SaveSnapshot(*rd.Snapshot); err != nil {
+			n.failStop(err)
+			return
+		}
+	}
 	if len(rd.Entries) > 0 {
 		if err := n.storage.SaveEntries(1, rd.Entries); err != nil {
 			n.failStop(err)
@@ -77,6 +91,25 @@ func (n *Node) Good(rd Ready) {
 		n.transport.Send(m)
 	}
 	n.applyCh <- rd.Entries
+}
+
+// AckBeforeImage acks the snapshot install before the image is durable:
+// a crash after the ack leaves the leader believing a base the follower
+// cannot recover — the snapshot twin of acked⇒durable.
+func (n *Node) AckBeforeImage(rd Ready) {
+	for _, m := range rd.Messages {
+		n.transport.Send(m)
+	}
+	if err := n.storage.SaveSnapshot(*rd.Snapshot); err != nil { // want "Storage.SaveSnapshot persists after Transport.Send"
+		n.failStop(err)
+		return
+	}
+}
+
+// TruncateOnFailedImage drops the snapshot persist error: the caller goes
+// on to truncate a WAL whose replacement image never landed.
+func (n *Node) TruncateOnFailedImage(rd Ready) {
+	n.storage.SaveSnapshot(*rd.Snapshot) // want "error from Storage.SaveSnapshot is dropped"
 }
 
 // SendFirst externalizes before persisting — the acked⇒durable mutant.

@@ -187,17 +187,17 @@ func TestGroupCommitDurableAfterCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer re.Close()
-	_, log, err := re.Load()
+	_, _, log, err := re.Load()
 	if err != nil {
 		t.Fatal(err)
 	}
 	for idx, cmd := range acked {
-		if idx >= len(log) {
-			t.Fatalf("acked index %d (%s) missing: recovered log ends at %d", idx, cmd, len(log)-1)
+		if idx > len(log) {
+			t.Fatalf("acked index %d (%s) missing: recovered log ends at %d", idx, cmd, len(log))
 		}
-		if got := string(log[idx].Command); got != cmd {
+		if got := string(log[idx-1].Command); got != cmd {
 			t.Fatalf("index %d: recovered %q, acked %q", idx, got, cmd)
 		}
 	}
-	t.Logf("%d acked proposals all recovered (log length %d)", len(acked), len(log)-1)
+	t.Logf("%d acked proposals all recovered (log length %d)", len(acked), len(log))
 }

@@ -35,6 +35,13 @@ type Options struct {
 	// StorageFor, when set, supplies per-node persistent storage, which
 	// makes CrashNode/RestartNode meaningful (state survives).
 	StorageFor func(types.NodeID) raft.Storage
+	// StateMachineFor, when set, gives each node snapshot access to its
+	// application state machine (required for SnapshotThreshold > 0).
+	StateMachineFor func(types.NodeID) raft.StateMachine
+	// SnapshotThreshold enables log compaction: after this many applied
+	// entries above the snapshot base a node captures its state machine
+	// and truncates its WAL (0 = disabled).
+	SnapshotThreshold int
 	// InboxSize is the per-node transport inbox capacity (0 = 4096).
 	// Small values exercise back-pressure: the inbox pump blocks instead
 	// of dropping when a node falls behind.
@@ -88,11 +95,17 @@ func (c *Cluster) StartNode(id types.NodeID, members []types.NodeID) *raft.Node 
 	if c.opts.StorageFor != nil {
 		storage = c.opts.StorageFor(id)
 	}
+	var sm raft.StateMachine
+	if c.opts.StateMachineFor != nil {
+		sm = c.opts.StateMachineFor(id)
+	}
 	n := raft.StartNode(raft.Options{
 		ID:                 id,
 		Members:            members,
 		Transport:          tr,
 		Storage:            storage,
+		StateMachine:       sm,
+		SnapshotThreshold:  c.opts.SnapshotThreshold,
 		ElectionTimeoutMin: c.opts.ElectionTimeoutMin,
 		DisableR2:          c.opts.DisableR2,
 		DisableR3:          c.opts.DisableR3,

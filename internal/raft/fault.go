@@ -42,7 +42,8 @@ type FaultStorage struct {
 	mu          sync.Mutex
 	failState   error         // next SaveState returns this, one-shot; guarded by mu
 	failEntries error         // next SaveEntries returns this, one-shot; guarded by mu
-	tearNext    bool          // next write of either kind tears; guarded by mu
+	failSnap    error         // next SaveSnapshot returns this, one-shot; guarded by mu
+	tearNext    bool          // next write of any kind tears; guarded by mu
 	stall       time.Duration // every write sleeps this long first; guarded by mu
 
 	injected atomic.Uint64 // faults actually delivered
@@ -68,8 +69,17 @@ func (f *FaultStorage) FailNextSaveEntries(err error) {
 	f.failEntries = err
 }
 
-// TearNextWrite arms a one-shot torn write: the next SaveState or
-// SaveEntries fails with ErrTornWrite and persists nothing.
+// FailNextSaveSnapshot arms a one-shot error for the next SaveSnapshot
+// call (a failed snapshot fsync: the image never became durable, so the
+// log prefix must not be dropped — the node fail-stops).
+func (f *FaultStorage) FailNextSaveSnapshot(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSnap = err
+}
+
+// TearNextWrite arms a one-shot torn write: the next save of any kind
+// fails with ErrTornWrite and persists nothing.
 func (f *FaultStorage) TearNextWrite() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -90,6 +100,7 @@ func (f *FaultStorage) ClearFaults() {
 	defer f.mu.Unlock()
 	f.failState = nil
 	f.failEntries = nil
+	f.failSnap = nil
 	f.tearNext = false
 	f.stall = 0
 }
@@ -97,9 +108,18 @@ func (f *FaultStorage) ClearFaults() {
 // Injected returns how many faults have actually fired.
 func (f *FaultStorage) Injected() uint64 { return f.injected.Load() }
 
+// writeKind selects which one-shot fault a gate call can consume.
+type writeKind uint8
+
+const (
+	writeState writeKind = iota
+	writeEntries
+	writeSnapshot
+)
+
 // gate applies the stall and consumes at most one armed fault, returning
-// the error to inject (nil = pass through). one of stateWrite/entriesWrite.
-func (f *FaultStorage) gate(stateWrite bool) error {
+// the error to inject (nil = pass through).
+func (f *FaultStorage) gate(kind writeKind) error {
 	f.mu.Lock()
 	stall := f.stall
 	var err error
@@ -107,12 +127,15 @@ func (f *FaultStorage) gate(stateWrite bool) error {
 	case f.tearNext:
 		f.tearNext = false
 		err = ErrTornWrite
-	case stateWrite && f.failState != nil:
+	case kind == writeState && f.failState != nil:
 		err = f.failState
 		f.failState = nil
-	case !stateWrite && f.failEntries != nil:
+	case kind == writeEntries && f.failEntries != nil:
 		err = f.failEntries
 		f.failEntries = nil
+	case kind == writeSnapshot && f.failSnap != nil:
+		err = f.failSnap
+		f.failSnap = nil
 	}
 	f.mu.Unlock()
 	if stall > 0 {
@@ -126,7 +149,7 @@ func (f *FaultStorage) gate(stateWrite bool) error {
 
 // SaveState implements Storage.
 func (f *FaultStorage) SaveState(hs HardState) error {
-	if err := f.gate(true); err != nil {
+	if err := f.gate(writeState); err != nil {
 		return fmt.Errorf("save state: %w", err)
 	}
 	return f.inner.SaveState(hs)
@@ -134,15 +157,25 @@ func (f *FaultStorage) SaveState(hs HardState) error {
 
 // SaveEntries implements Storage.
 func (f *FaultStorage) SaveEntries(firstIndex int, entries []LogEntry) error {
-	if err := f.gate(false); err != nil {
+	if err := f.gate(writeEntries); err != nil {
 		return fmt.Errorf("save entries: %w", err)
 	}
 	return f.inner.SaveEntries(firstIndex, entries)
 }
 
+// SaveSnapshot implements Storage.
+func (f *FaultStorage) SaveSnapshot(snap LogSnapshot) error {
+	if err := f.gate(writeSnapshot); err != nil {
+		return fmt.Errorf("save snapshot: %w", err)
+	}
+	return f.inner.SaveSnapshot(snap)
+}
+
 // Load implements Storage: recovery sees exactly what the inner store made
 // durable (injected failures never reached it).
-func (f *FaultStorage) Load() (HardState, []LogEntry, error) { return f.inner.Load() }
+func (f *FaultStorage) Load() (HardState, LogSnapshot, []LogEntry, error) {
+	return f.inner.Load()
+}
 
 // Close implements Storage.
 func (f *FaultStorage) Close() error { return f.inner.Close() }

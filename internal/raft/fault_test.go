@@ -21,8 +21,8 @@ func TestFaultStorageInjectsOneShotErrors(t *testing.T) {
 	if err := fs.SaveEntries(1, []raft.LogEntry{{Term: 1}}); !errors.Is(err, boom) {
 		t.Fatalf("SaveEntries error = %v, want %v", err, boom)
 	}
-	if _, log, _ := inner.Load(); len(log) != 1 {
-		t.Fatalf("failed write reached the inner store: %d entries", len(log)-1)
+	if _, _, log, _ := inner.Load(); len(log) != 0 {
+		t.Fatalf("failed write reached the inner store: %d entries", len(log))
 	}
 	// One-shot: the next write goes through.
 	if err := fs.SaveEntries(1, []raft.LogEntry{{Term: 1}}); err != nil {
@@ -33,7 +33,7 @@ func TestFaultStorageInjectsOneShotErrors(t *testing.T) {
 	if err := fs.SaveState(raft.HardState{Term: 7}); !errors.Is(err, boom) {
 		t.Fatalf("SaveState error = %v, want %v", err, boom)
 	}
-	if hs, _, _ := inner.Load(); hs.Term != 0 {
+	if hs, _, _, _ := inner.Load(); hs.Term != 0 {
 		t.Fatalf("failed state write reached the inner store: term %d", hs.Term)
 	}
 	if err := fs.SaveState(raft.HardState{Term: 7}); err != nil {
@@ -80,18 +80,18 @@ func TestFaultStorageTornWriteReplaysDurablePrefix(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer re.Close()
-	hs, log, err := re.Load()
+	hs, _, log, err := re.Load()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hs.Term != 1 || hs.VotedFor != 1 {
 		t.Fatalf("recovered hard state %+v, want term 1 vote 1", hs)
 	}
-	if len(log)-1 != len(durable) {
-		t.Fatalf("recovered %d entries, want the %d durable ones", len(log)-1, len(durable))
+	if len(log) != len(durable) {
+		t.Fatalf("recovered %d entries, want the %d durable ones", len(log), len(durable))
 	}
-	if string(log[2].Command) != "a" {
-		t.Fatalf("recovered entry 2 = %q", log[2].Command)
+	if string(log[1].Command) != "a" {
+		t.Fatalf("recovered entry 2 = %q", log[1].Command)
 	}
 }
 

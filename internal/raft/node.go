@@ -27,9 +27,22 @@ type Options struct {
 	ElectionTimeoutMax time.Duration
 	HeartbeatInterval  time.Duration
 
-	// Storage persists term, vote, and log across restarts. Nil means
-	// the node is volatile (models, benchmarks, never-restarted tests).
+	// Storage persists term, vote, snapshot, and log across restarts. Nil
+	// means the node is volatile (models, benchmarks, never-restarted
+	// tests).
 	Storage Storage
+
+	// StateMachine gives the driver snapshot access to the replicated
+	// application. Required for log compaction (SnapshotThreshold > 0):
+	// the TakeSnapshot effect is answered by serializing it. Nil disables
+	// local snapshots (the node still installs leader-sent ones).
+	StateMachine StateMachine
+
+	// SnapshotThreshold is the compaction policy: once this many applied
+	// entries accumulate above the snapshot base, the node captures a
+	// state-machine image and truncates its WAL. Zero disables
+	// compaction. Ignored without a StateMachine.
+	SnapshotThreshold int
 
 	// MaxEntriesPerAppend caps the entries carried by one AppendEntries
 	// message. The leader streams a lagging follower's log as a pipeline
@@ -70,6 +83,19 @@ func (o *Options) defaults() {
 	if o.MaxEntriesPerAppend == 0 {
 		o.MaxEntriesPerAppend = 256
 	}
+}
+
+// StateMachine is the driver's view of the replicated application for
+// snapshotting. Implementations must be safe for concurrent use with the
+// apply stream (kvstore.Store is the canonical one).
+type StateMachine interface {
+	// AppliedIndex reports the highest log index applied so far.
+	AppliedIndex() int
+	// SaveSnapshot atomically serializes the full state — including
+	// client-session dedup tables, so exactly-once survives a
+	// snapshot-based rejoin — and reports the applied index the image
+	// captures.
+	SaveSnapshot() (data []byte, appliedIndex int, err error)
 }
 
 // Errors returned by the client-facing API. The protocol-level errors are
@@ -144,6 +170,13 @@ type Node struct {
 	readWaiters map[uint64]chan int // guarded by mu
 	nextReadID  uint64              // guarded by mu
 
+	// snapReqCh hands TakeSnapshot effects to the snapshot loop, which
+	// serializes the state machine outside mu and answers via
+	// core.Compact. Capacity 1: a request arriving while one is queued is
+	// dropped (the policy re-fires after the pending capture resolves).
+	// Nil when no StateMachine is configured.
+	snapReqCh chan raftcore.SnapshotRequest
+
 	// stopErr, when non-nil, records the storage error that fail-stopped
 	// the node (see failStopLocked).
 	stopErr error // guarded by mu
@@ -153,13 +186,14 @@ type Node struct {
 func StartNode(opts Options) *Node {
 	opts.defaults()
 	var hs HardState
+	var snap LogSnapshot
 	var log []LogEntry
 	if opts.Storage != nil {
-		h, stored, err := opts.Storage.Load()
+		h, sn, stored, err := opts.Storage.Load()
 		if err != nil {
 			panic(fmt.Sprintf("raft: storage load: %v", err))
 		}
-		hs = h
+		hs, snap = h, sn
 		if len(stored) > 0 {
 			log = stored
 		}
@@ -184,6 +218,10 @@ func StartNode(opts Options) *Node {
 		}
 		return int(rng.Int63n(jitterSpan))
 	}
+	snapThreshold := opts.SnapshotThreshold
+	if opts.StateMachine == nil {
+		snapThreshold = 0 // nobody to capture an image from
+	}
 	n := &Node{
 		id:   opts.ID,
 		opts: opts,
@@ -194,19 +232,39 @@ func StartNode(opts Options) *Node {
 			Jitter:              jitter,
 			HeartbeatTicks:      1,
 			MaxEntriesPerAppend: opts.MaxEntriesPerAppend,
+			SnapshotThreshold:   snapThreshold,
 			DisableR2:           opts.DisableR2,
 			DisableR3:           opts.DisableR3,
-		}, hs, log),
+		}, hs, snap, log),
 		applyCh:     make(chan []ApplyMsg, 1024),
 		inbox:       make(chan Message, 1024),
 		stopCh:      make(chan struct{}),
 		flushCh:     make(chan struct{}, 1),
 		readWaiters: make(map[uint64]chan int),
 	}
-	n.done.Add(2)
+	if opts.StateMachine != nil {
+		n.snapReqCh = make(chan raftcore.SnapshotRequest, 1)
+	}
+	// A recovered snapshot re-seeds the (empty, restarted) state machine
+	// through the apply stream before any suffix entries: the consumer's
+	// first receive is the restore.
+	if snap.Index > 0 {
+		n.applyCh <- []ApplyMsg{restoreMsg(&snap)}
+	}
+	n.done.Add(3)
 	go n.run()
 	go n.flushLoop()
+	go n.snapLoop()
 	return n
+}
+
+// restoreMsg is the apply-stream representation of a snapshot: the state
+// machine discards its state and loads the image.
+func restoreMsg(snap *LogSnapshot) ApplyMsg {
+	return ApplyMsg{
+		Index: snap.Index, Term: snap.Term, Kind: EntrySnapshot,
+		Command: snap.Data, Members: snap.Members,
+	}
 }
 
 // Inbox returns the channel the transport should feed received messages
@@ -345,7 +403,16 @@ func (n *Node) processReadyLocked() {
 				return
 			}
 		}
-		if len(rd.Entries) > 0 {
+		if rd.Snapshot != nil {
+			// Durability ordering rule: the snapshot image reaches disk
+			// before SaveEntries (below) is allowed to truncate the log
+			// prefix it summarizes.
+			if err := n.opts.Storage.SaveSnapshot(*rd.Snapshot); err != nil {
+				n.failStopLocked(fmt.Errorf("persist snapshot: %w", err))
+				return
+			}
+		}
+		if rd.FirstIndex > 0 {
 			if err := n.opts.Storage.SaveEntries(rd.FirstIndex, rd.Entries); err != nil {
 				n.failStopLocked(fmt.Errorf("persist entries: %w", err))
 				return
@@ -367,10 +434,25 @@ func (n *Node) processReadyLocked() {
 			ch <- rs.Index
 		}
 	}
-	if len(rd.Committed) > 0 {
+	committed := rd.Committed
+	if rd.RestoreSnapshot && rd.Snapshot != nil {
+		// A leader-installed snapshot replaces the state machine's world:
+		// deliver the restore before any suffix entries committed in the
+		// same batch.
+		committed = append([]ApplyMsg{restoreMsg(rd.Snapshot)}, committed...)
+	}
+	if len(committed) > 0 {
 		select {
-		case n.applyCh <- rd.Committed:
+		case n.applyCh <- committed:
 		case <-n.stopCh:
+		}
+	}
+	if rd.TakeSnapshot != nil && n.snapReqCh != nil {
+		select {
+		case n.snapReqCh <- *rd.TakeSnapshot:
+		default:
+			// A capture is already queued; the policy stays latched until
+			// that one resolves, so dropping this request is safe.
 		}
 	}
 	// Leadership lost inside this batch: abort queued (unflushed)
@@ -380,6 +462,63 @@ func (n *Node) processReadyLocked() {
 		n.failPropsLocked()
 	}
 	n.wasLeader = isLeader
+}
+
+// snapLoop answers TakeSnapshot effects: wait for the state machine to
+// apply through the requested index, serialize it outside mu, then fold
+// the image into the core with Compact. Runs for the node's lifetime; with
+// no StateMachine the nil snapReqCh never delivers and the loop just waits
+// for shutdown.
+func (n *Node) snapLoop() {
+	defer n.done.Done()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case req := <-n.snapReqCh:
+			n.handleSnapshotRequest(req)
+		}
+	}
+}
+
+// handleSnapshotRequest runs one snapshot capture. On any failure the
+// request is aborted (the policy re-arms at the next threshold crossing);
+// only a successful capture compacts the log.
+func (n *Node) handleSnapshotRequest(req raftcore.SnapshotRequest) {
+	sm := n.opts.StateMachine
+	deadline := time.Now().Add(5 * time.Second)
+	for sm.AppliedIndex() < req.Index {
+		if time.Now().After(deadline) {
+			n.abortSnapshot() // apply stream stalled; try again later
+			return
+		}
+		select {
+		case <-n.stopCh:
+			return
+		case <-time.After(500 * time.Microsecond):
+		}
+	}
+	data, applied, err := sm.SaveSnapshot()
+	if err != nil {
+		n.abortSnapshot()
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopErr != nil {
+		return
+	}
+	if n.core.Compact(applied, data) {
+		n.processReadyLocked()
+	}
+}
+
+// abortSnapshot clears the core's pending snapshot request so the policy
+// can fire again.
+func (n *Node) abortSnapshot() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.core.AbortSnapshot()
 }
 
 // run is the main event loop: messages, timers, shutdown.

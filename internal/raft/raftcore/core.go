@@ -54,6 +54,17 @@ type Config struct {
 	// default of 256.
 	MaxEntriesPerAppend int
 
+	// SnapshotThreshold is the compaction policy: once at least this many
+	// applied entries sit above the snapshot base, TakeReady emits a
+	// TakeSnapshot effect asking the application to capture a
+	// state-machine image (answered via Compact). Zero disables local
+	// snapshotting; the node still accepts InstallSnapshot from leaders.
+	SnapshotThreshold int
+
+	// MaxSnapshotChunk caps the snapshot-image bytes carried by one
+	// InstallSnapshot message. Zero gets a default of 64 KiB.
+	MaxSnapshotChunk int
+
 	// DisableR3 reproduces the published single-server bug: reconfig no
 	// longer waits for a committed entry in the leader's current term.
 	// For experiments only.
@@ -77,6 +88,9 @@ func (c *Config) defaults() {
 	if c.MaxEntriesPerAppend <= 0 {
 		c.MaxEntriesPerAppend = 256
 	}
+	if c.MaxSnapshotChunk <= 0 {
+		c.MaxSnapshotChunk = 64 << 10
+	}
 }
 
 // Core is the pure raft state machine. It is not safe for concurrent use:
@@ -91,8 +105,16 @@ type Core struct {
 	role     Role
 	leader   types.NodeID // last known leader
 
-	// log is 1-indexed: log[0] is a sentinel.
+	// The log is compacted: entries [1, snapIndex] are summarized by a
+	// snapshot and only the suffix is held. log[0] is a sentinel carrying
+	// the base term, so absolute index i lives at log[i-snapIndex] and
+	// the first retained entry is snapIndex+1. A fresh node has
+	// snapIndex 0 and the classic 1-indexed log.
 	log         []LogEntry
+	snapIndex   int
+	snapTerm    types.Time
+	snapMembers []types.NodeID // effective membership at snapIndex (nil = conf0)
+	snapData    []byte         // latest snapshot image, kept to catch up laggards
 	commitIndex int
 	lastApplied int
 
@@ -100,21 +122,27 @@ type Core struct {
 	nextIndex  map[types.NodeID]int
 	matchIndex map[types.NodeID]int
 	votes      types.NodeSet
+	// snapSent records, per peer, the tick of the last snapshot transfer,
+	// pacing resends to one per election interval.
+	snapSent map[types.NodeID]int64
 
 	// conf0 is the initial membership; the effective membership is the
-	// latest config entry in the log (hot reconfiguration).
+	// latest config entry in the log (hot reconfiguration), falling back
+	// to the snapshot's membership once config entries are compacted.
 	conf0 types.NodeSet
-	// confIdxs caches the positions of EntryConfig entries in the log, in
-	// ascending order, so membership lookups cost O(#configs) instead of
-	// a backward scan over the whole log. Every log append/truncation
-	// keeps it in sync.
+	// confIdxs caches the absolute positions of EntryConfig entries in
+	// the retained log, in ascending order, so membership lookups cost
+	// O(#configs) instead of a backward scan over the whole log. Every
+	// log append/truncation/compaction keeps it in sync.
 	confIdxs []int
 
 	// Logical clock: electionElapsed ticks since the last timer arm,
 	// against a timeout of ElectionTicks + the jitter drawn at arm time.
+	// ticks counts every Tick since boot (snapshot resend pacing).
 	electionElapsed  int
 	electionTimeout  int
 	heartbeatElapsed int
+	ticks            int64
 
 	// pendingReads are ReadIndex barriers awaiting quorum confirmation.
 	pendingReads []*pendingRead
@@ -124,11 +152,22 @@ type Core struct {
 	// in-flight ones.
 	appendSeq uint64
 
+	// inSnap is the in-progress inbound snapshot transfer (follower side).
+	inSnap *inboundSnap
+	// snapRequested is set while a TakeSnapshot effect is outstanding, so
+	// the policy fires once per threshold crossing.
+	snapRequested bool
+
 	// Pending effects, drained by TakeReady.
 	hsDirty    bool        // term/votedFor changed since last TakeReady
-	dirtyFrom  int         // lowest log index changed since last TakeReady (0 = clean)
+	dirtyFrom  int         // lowest absolute log index changed since last TakeReady (0 = clean)
 	msgs       []Message   // outbound, in generation order
 	readStates []ReadState // resolved ReadIndex barriers
+	// pendingSnap is a snapshot awaiting durable persistence in the next
+	// Ready; pendingRestore marks it leader-installed (the driver must
+	// restore the state machine from it).
+	pendingSnap    *Snapshot
+	pendingRestore bool
 
 	// metrics
 	elections uint64
@@ -144,28 +183,44 @@ type pendingRead struct {
 	acks  types.NodeSet
 }
 
-// New builds a core from a configuration and recovered durable state: hs
-// and log as returned by the driver's storage Load (log may be nil or the
-// 1-indexed slice with its sentinel at 0).
-func New(cfg Config, hs HardState, log []LogEntry) *Core {
+// inboundSnap reassembles one chunked snapshot transfer on the follower.
+type inboundSnap struct {
+	index   int
+	term    types.Time
+	members []types.NodeID
+	total   int
+	buf     []byte
+}
+
+// New builds a core from a configuration and recovered durable state: hs,
+// the snapshot base (zero Index when none), and the retained log suffix —
+// entries holds the entries after snap.Index, without any sentinel, as
+// returned by the driver's storage Load.
+func New(cfg Config, hs HardState, snap Snapshot, entries []LogEntry) *Core {
 	cfg.defaults()
-	if len(log) == 0 {
-		log = make([]LogEntry, 1) // sentinel at index 0
-	}
+	log := make([]LogEntry, 1, len(entries)+1)
+	log[0] = LogEntry{Term: snap.Term} // sentinel carries the base term
+	log = append(log, entries...)
 	c := &Core{
-		id:       cfg.ID,
-		cfg:      cfg,
-		role:     Follower,
-		term:     hs.Term,
-		votedFor: hs.VotedFor,
-		log:      log,
-		conf0:    types.NewNodeSet(cfg.Members...),
+		id:          cfg.ID,
+		cfg:         cfg,
+		role:        Follower,
+		term:        hs.Term,
+		votedFor:    hs.VotedFor,
+		log:         log,
+		snapIndex:   snap.Index,
+		snapTerm:    snap.Term,
+		snapMembers: snap.Members,
+		snapData:    snap.Data,
+		commitIndex: snap.Index, // everything a snapshot covers was committed
+		lastApplied: snap.Index, // the driver restores the SM from the image
+		conf0:       types.NewNodeSet(cfg.Members...),
 	}
-	// Seed the config-index cache from the recovered log (one scan, here
-	// only; afterwards every append/truncation maintains it).
+	// Seed the config-index cache from the recovered suffix (one scan,
+	// here only; afterwards every append/truncation maintains it).
 	for i := 1; i < len(log); i++ { // 0 is the sentinel
 		if log[i].Kind == EntryConfig {
-			c.confIdxs = append(c.confIdxs, i)
+			c.confIdxs = append(c.confIdxs, snap.Index+i)
 		}
 	}
 	c.resetElectionTimer()
@@ -189,23 +244,52 @@ func (c *Core) Leader() types.NodeID { return c.leader }
 // CommitIndex returns the commit index.
 func (c *Core) CommitIndex() int { return c.commitIndex }
 
-// LastIndex returns the index of the last log entry (0 when empty).
-func (c *Core) LastIndex() int { return len(c.log) - 1 }
+// LastIndex returns the absolute index of the last log entry (0 when the
+// log is empty and nothing was ever compacted).
+func (c *Core) LastIndex() int { return c.lastIndex() }
 
-// Entry returns the log entry at index i (1-based). The returned value
-// shares the underlying command/member slices; callers must not mutate.
-func (c *Core) Entry(i int) LogEntry { return c.log[i] }
+// FirstIndex returns the absolute index of the first retained log entry,
+// snapIndex+1: entries below it live only in the snapshot.
+func (c *Core) FirstIndex() int { return c.snapIndex + 1 }
+
+// SnapshotIndex returns the snapshot base index (0 = no snapshot).
+func (c *Core) SnapshotIndex() int { return c.snapIndex }
+
+// SnapshotTerm returns the term of the entry at the snapshot base.
+func (c *Core) SnapshotTerm() types.Time { return c.snapTerm }
+
+// Entry returns the log entry at absolute index i, which must be in
+// [FirstIndex, LastIndex]. The returned value shares the underlying
+// command/member slices; callers must not mutate.
+func (c *Core) Entry(i int) LogEntry { return c.entryAt(i) }
 
 // Elections returns how many elections this node has started (metrics).
 func (c *Core) Elections() uint64 { return c.elections }
+
+func (c *Core) lastIndex() int { return c.snapIndex + len(c.log) - 1 }
+
+func (c *Core) entryAt(i int) LogEntry { return c.log[i-c.snapIndex] }
+
+// termAt returns the term at absolute index i, valid for
+// i in [snapIndex, lastIndex] (the sentinel holds the base term).
+func (c *Core) termAt(i int) types.Time { return c.log[i-c.snapIndex].Term }
+
+// baseMembers is the membership at the snapshot base (conf0 when nothing
+// was ever compacted or the snapshot predates any reconfiguration).
+func (c *Core) baseMembers() types.NodeSet {
+	if c.snapMembers != nil {
+		return types.NewNodeSet(c.snapMembers...)
+	}
+	return c.conf0
+}
 
 // Members returns the current effective membership (the latest
 // configuration in the log, committed or not — hot reconfiguration).
 func (c *Core) Members() types.NodeSet {
 	if k := len(c.confIdxs); k > 0 {
-		return types.NewNodeSet(c.log[c.confIdxs[k-1]].Members...)
+		return types.NewNodeSet(c.entryAt(c.confIdxs[k-1]).Members...)
 	}
-	return c.conf0
+	return c.baseMembers()
 }
 
 // CommittedMembers is the membership ignoring uncommitted config entries
@@ -213,10 +297,32 @@ func (c *Core) Members() types.NodeSet {
 func (c *Core) CommittedMembers() types.NodeSet {
 	for i := len(c.confIdxs) - 1; i >= 0; i-- {
 		if c.confIdxs[i] <= c.commitIndex {
-			return types.NewNodeSet(c.log[c.confIdxs[i]].Members...)
+			return types.NewNodeSet(c.entryAt(c.confIdxs[i]).Members...)
 		}
 	}
-	return c.conf0
+	return c.baseMembers()
+}
+
+// membersAt returns a copy of the effective membership at absolute index
+// idx, which must be committed (compaction only covers committed
+// prefixes, so every config at or below idx is final).
+func (c *Core) membersAt(idx int) []types.NodeID {
+	for i := len(c.confIdxs) - 1; i >= 0; i-- {
+		if c.confIdxs[i] <= idx {
+			return copyIDs(c.entryAt(c.confIdxs[i]).Members)
+		}
+	}
+	if c.snapMembers != nil {
+		return copyIDs(c.snapMembers)
+	}
+	return c.conf0.Slice()
+}
+
+// copyIDs returns a fresh copy of a member list.
+func copyIDs(src []types.NodeID) []types.NodeID {
+	out := make([]types.NodeID, len(src))
+	copy(out, src)
+	return out
 }
 
 // --- Effect bookkeeping ---
@@ -232,8 +338,9 @@ func (c *Core) markEntries(from int) {
 func (c *Core) send(m Message) { c.msgs = append(c.msgs, m) }
 
 // TakeReady drains the effects accumulated since the last call. The
-// caller must persist HardState and Entries before sending Messages,
-// resolving ReadStates, or delivering Committed (see the Ready contract).
+// caller must persist HardState, Snapshot, and Entries before sending
+// Messages, resolving ReadStates, or delivering Committed (see the Ready
+// contract).
 func (c *Core) TakeReady() Ready {
 	var rd Ready
 	if c.hsDirty {
@@ -241,10 +348,16 @@ func (c *Core) TakeReady() Ready {
 		rd.HardState = &hs
 		c.hsDirty = false
 	}
+	if c.pendingSnap != nil {
+		rd.Snapshot = c.pendingSnap
+		rd.RestoreSnapshot = c.pendingRestore
+		c.pendingSnap = nil
+		c.pendingRestore = false
+	}
 	if c.dirtyFrom != 0 {
 		rd.FirstIndex = c.dirtyFrom
-		rd.Entries = make([]LogEntry, len(c.log)-c.dirtyFrom)
-		copy(rd.Entries, c.log[c.dirtyFrom:])
+		rd.Entries = make([]LogEntry, len(c.log)-(c.dirtyFrom-c.snapIndex))
+		copy(rd.Entries, c.log[c.dirtyFrom-c.snapIndex:])
 		c.dirtyFrom = 0
 	}
 	rd.Messages = c.msgs
@@ -255,14 +368,67 @@ func (c *Core) TakeReady() Ready {
 		rd.Committed = make([]ApplyMsg, 0, c.commitIndex-c.lastApplied)
 		for c.lastApplied < c.commitIndex {
 			c.lastApplied++
-			e := c.log[c.lastApplied]
+			e := c.entryAt(c.lastApplied)
 			rd.Committed = append(rd.Committed, ApplyMsg{
 				Index: c.lastApplied, Term: e.Term, Kind: e.Kind, Command: e.Command, Members: e.Members,
 			})
 		}
 	}
+	// Compaction policy: enough applied entries above the base ⇒ ask the
+	// application for a state-machine image (once per crossing).
+	if c.cfg.SnapshotThreshold > 0 && !c.snapRequested &&
+		c.lastApplied-c.snapIndex >= c.cfg.SnapshotThreshold {
+		c.snapRequested = true
+		rd.TakeSnapshot = &SnapshotRequest{Index: c.lastApplied}
+	}
 	return rd
 }
+
+// --- Compaction ---
+
+// Compact answers a TakeSnapshot request: data is the state machine's
+// serialized image with everything through absolute index idx applied.
+// The committed prefix [1, idx] is folded into the snapshot base and the
+// in-memory log truncated to the suffix; the durable counterpart is the
+// Snapshot carried by the next Ready (persist it before externalizing
+// anything, which is what makes dropping the WAL prefix safe). Stale or
+// out-of-range indexes are rejected with false.
+func (c *Core) Compact(idx int, data []byte) bool {
+	c.snapRequested = false
+	if idx <= c.snapIndex || idx > c.lastApplied {
+		return false
+	}
+	term := c.termAt(idx)
+	members := c.membersAt(idx)
+	suffix := c.log[idx-c.snapIndex:]
+	log := make([]LogEntry, len(suffix))
+	copy(log, suffix)
+	log[0] = LogEntry{Term: term} // new sentinel for the new base
+	c.log = log
+	c.snapIndex, c.snapTerm = idx, term
+	c.snapMembers = members
+	c.snapData = data
+	for len(c.confIdxs) > 0 && c.confIdxs[0] <= idx {
+		c.confIdxs = c.confIdxs[1:]
+	}
+	// Dirty entries at or below the base are superseded by the snapshot
+	// persist; only a surviving dirty suffix still needs a log write.
+	if c.dirtyFrom != 0 && c.dirtyFrom <= idx {
+		if idx < c.lastIndex() {
+			c.dirtyFrom = idx + 1
+		} else {
+			c.dirtyFrom = 0
+		}
+	}
+	c.pendingSnap = &Snapshot{Index: idx, Term: term, Members: members, Data: data}
+	c.pendingRestore = false
+	return true
+}
+
+// AbortSnapshot withdraws an outstanding TakeSnapshot request (the
+// application could not produce an image); the policy re-fires on the
+// next TakeReady whose applied distance still crosses the threshold.
+func (c *Core) AbortSnapshot() { c.snapRequested = false }
 
 // --- Clock ---
 
@@ -277,6 +443,7 @@ func (c *Core) resetElectionTimer() {
 // Tick advances the logical clock by one unit: leaders fire heartbeats on
 // their cadence, non-leaders count toward an election timeout.
 func (c *Core) Tick() {
+	c.ticks++
 	if c.role == Leader {
 		c.heartbeatElapsed++
 		if c.heartbeatElapsed >= c.cfg.HeartbeatTicks {
@@ -308,13 +475,13 @@ func (c *Core) startElection() {
 	c.votes = types.NewNodeSet(c.id)
 	c.elections++
 	c.resetElectionTimer()
-	lastIdx := len(c.log) - 1
+	lastIdx := c.lastIndex()
 	req := Message{
 		Type:         MsgVoteRequest,
 		From:         c.id,
 		Term:         c.term,
 		LastLogIndex: lastIdx,
-		LastLogTerm:  c.log[lastIdx].Term,
+		LastLogTerm:  c.termAt(lastIdx),
 	}
 	for _, to := range c.Members().Slice() {
 		if to == c.id {
@@ -340,11 +507,12 @@ func (c *Core) maybeWin() {
 	c.heartbeatElapsed = 0
 	c.nextIndex = make(map[types.NodeID]int)
 	c.matchIndex = make(map[types.NodeID]int)
+	c.snapSent = make(map[types.NodeID]int64)
 	for _, id := range members.Slice() {
-		c.nextIndex[id] = len(c.log)
+		c.nextIndex[id] = c.lastIndex() + 1
 		c.matchIndex[id] = 0
 	}
-	c.matchIndex[c.id] = len(c.log) - 1
+	c.matchIndex[c.id] = c.lastIndex()
 	// Term-opening no-op: commits promptly in this term, satisfying both
 	// the commitment rule and R3.
 	c.appendAsLeader(LogEntry{Term: c.term, Kind: EntryNoOp})
@@ -376,7 +544,7 @@ func (c *Core) ProposeBatch(cmds [][]byte) (first int, term types.Time, err erro
 	if c.role != Leader {
 		return 0, 0, c.errNotLeader()
 	}
-	first = len(c.log)
+	first = c.lastIndex() + 1
 	for _, cmd := range cmds {
 		c.appendAsLeader(LogEntry{Term: c.term, Kind: EntryCommand, Command: cmd})
 	}
@@ -402,25 +570,29 @@ func (c *Core) ProposeConfig(members types.NodeSet) (int, types.Time, error) {
 	if added+removed != 1 {
 		return 0, 0, fmt.Errorf("%w: %s → %s changes %d nodes", ErrBadMembership, cur, members, added+removed)
 	}
-	// R2: no uncommitted config entry.
+	// R2: no uncommitted config entry. Compacted configs are committed by
+	// construction, so the cache (which survives compaction) is enough.
 	if !c.cfg.DisableR2 {
-		for i := c.commitIndex + 1; i < len(c.log); i++ {
-			if c.log[i].Kind == EntryConfig {
-				return 0, 0, ErrReconfigPending
-			}
+		if k := len(c.confIdxs); k > 0 && c.confIdxs[k-1] > c.commitIndex {
+			return 0, 0, ErrReconfigPending
 		}
 	}
-	// R3: a committed entry with the current term.
+	// R3: a committed entry with the current term. The scan stops at the
+	// snapshot base; the base entry itself (term snapTerm) was committed,
+	// so it can satisfy the guard when the suffix cannot.
 	if !c.cfg.DisableR3 {
 		ok := false
-		for i := c.commitIndex; i >= 1; i-- {
-			if c.log[i].Term == c.term {
+		for i := c.commitIndex; i > c.snapIndex; i-- {
+			if c.termAt(i) == c.term {
 				ok = true
 				break
 			}
-			if c.log[i].Term < c.term {
+			if c.termAt(i) < c.term {
 				break
 			}
+		}
+		if !ok && c.snapIndex > 0 && c.snapTerm == c.term {
+			ok = true
 		}
 		if !ok {
 			return 0, 0, ErrReconfigNotReady
@@ -508,7 +680,7 @@ func (c *Core) abortReads() {
 // appendAsLeader appends an entry at the leader and returns its index.
 func (c *Core) appendAsLeader(e LogEntry) int {
 	c.log = append(c.log, e)
-	idx := len(c.log) - 1
+	idx := c.lastIndex()
 	c.trackConfig(idx, e)
 	c.matchIndex[c.id] = idx
 	c.markEntries(idx)
@@ -555,22 +727,28 @@ func (c *Core) broadcastAppend() {
 
 func (c *Core) sendAppend(to types.NodeID) {
 	next := c.nextIndex[to]
-	if next < 1 {
+	if next <= c.snapIndex {
+		// The follower needs entries we compacted away: catch it up with
+		// the snapshot instead of the log.
+		if c.snapIndex > 0 {
+			c.sendSnapshot(to)
+			return
+		}
 		next = 1
 	}
-	if next > len(c.log) {
-		next = len(c.log)
+	if next > c.lastIndex()+1 {
+		next = c.lastIndex() + 1
 	}
-	prev := next - 1
+	prev := next - 1 // >= snapIndex: prev's term is known
 	// Bound the window: a lagging follower is streamed in
 	// MaxEntriesPerAppend-sized messages instead of one full-suffix
 	// resend per round trip.
-	end := len(c.log)
+	end := c.lastIndex() + 1
 	if lim := c.cfg.MaxEntriesPerAppend; lim > 0 && end-next > lim {
 		end = next + lim
 	}
 	entries := make([]LogEntry, end-next)
-	copy(entries, c.log[next:end])
+	copy(entries, c.log[next-c.snapIndex:end-c.snapIndex])
 	c.appendSeq++
 	c.send(Message{
 		Type:         MsgAppendEntries,
@@ -578,7 +756,7 @@ func (c *Core) sendAppend(to types.NodeID) {
 		To:           to,
 		Term:         c.term,
 		PrevLogIndex: prev,
-		PrevLogTerm:  c.log[prev].Term,
+		PrevLogTerm:  c.termAt(prev),
 		Entries:      entries,
 		LeaderCommit: c.commitIndex,
 		Seq:          c.appendSeq,
@@ -590,6 +768,45 @@ func (c *Core) sendAppend(to types.NodeID) {
 	if len(entries) > 0 {
 		c.nextIndex[to] = end
 	}
+}
+
+// sendSnapshot streams the snapshot image to a laggard follower as a
+// burst of MaxSnapshotChunk-sized InstallSnapshot messages. The transfer
+// is paced: at most one burst per election interval per peer, so a slow
+// or unreachable follower is not flooded with full images on every
+// heartbeat. nextIndex advances optimistically past the base; a rejection
+// of the follow-up append hints the leader back here if the install was
+// lost.
+func (c *Core) sendSnapshot(to types.NodeID) {
+	if last, ok := c.snapSent[to]; ok && c.ticks-last < int64(c.cfg.ElectionTicks) {
+		return // a transfer is (likely) still in flight
+	}
+	c.snapSent[to] = c.ticks
+	total := len(c.snapData)
+	for off := 0; ; off += c.cfg.MaxSnapshotChunk {
+		n := total - off
+		if n > c.cfg.MaxSnapshotChunk {
+			n = c.cfg.MaxSnapshotChunk
+		}
+		c.appendSeq++
+		c.send(Message{
+			Type:        MsgInstallSnapshot,
+			From:        c.id,
+			To:          to,
+			Term:        c.term,
+			SnapIndex:   c.snapIndex,
+			SnapTerm:    c.snapTerm,
+			SnapMembers: c.snapMembers,
+			SnapOffset:  off,
+			SnapTotal:   total,
+			SnapData:    c.snapData[off : off+n],
+			Seq:         c.appendSeq,
+		})
+		if off+n >= total {
+			break
+		}
+	}
+	c.nextIndex[to] = c.snapIndex + 1
 }
 
 // --- Message handling ---
@@ -612,14 +829,16 @@ func (c *Core) Step(m Message) {
 		c.onAppendEntries(m)
 	case MsgAppendResponse:
 		c.onAppendResponse(m)
+	case MsgInstallSnapshot:
+		c.onInstallSnapshot(m)
 	}
 }
 
 func (c *Core) onVoteRequest(m Message) {
 	granted := false
 	if m.Term == c.term && (c.votedFor == types.NoNode || c.votedFor == m.From) {
-		lastIdx := len(c.log) - 1
-		lastTerm := c.log[lastIdx].Term
+		lastIdx := c.lastIndex()
+		lastTerm := c.termAt(lastIdx)
 		upToDate := m.LastLogTerm > lastTerm ||
 			(m.LastLogTerm == lastTerm && m.LastLogIndex >= lastIdx)
 		if upToDate {
@@ -650,16 +869,29 @@ func (c *Core) onAppendEntries(m Message) {
 		c.role = Follower
 		c.leader = m.From
 		c.resetElectionTimer()
-		if m.PrevLogIndex < len(c.log) && c.log[m.PrevLogIndex].Term == m.PrevLogTerm {
+		prev, prevTerm, entries := m.PrevLogIndex, m.PrevLogTerm, m.Entries
+		if prev < c.snapIndex {
+			// The message overlaps our compacted prefix. Everything at or
+			// below the base is committed here, and committed prefixes
+			// agree, so that part of the message matches by construction:
+			// skip it and check consistency at the base instead.
+			if drop := c.snapIndex - prev; drop < len(entries) {
+				entries = entries[drop:]
+			} else {
+				entries = nil
+			}
+			prev, prevTerm = c.snapIndex, c.snapTerm
+		}
+		if prev <= c.lastIndex() && c.termAt(prev) == prevTerm {
 			success = true
 			// Append, truncating on conflicts.
-			idx := m.PrevLogIndex
 			firstChanged := 0
-			for i, e := range m.Entries {
-				pos := idx + 1 + i
-				if pos < len(c.log) {
-					if c.log[pos].Term != e.Term {
-						c.log = c.log[:pos]
+			for i, e := range entries {
+				pos := prev + 1 + i     // absolute index
+				sp := pos - c.snapIndex // slot in the retained suffix
+				if sp < len(c.log) {
+					if c.log[sp].Term != e.Term {
+						c.log = c.log[:sp]
 						c.dropConfigsFrom(pos)
 						c.log = append(c.log, e)
 						c.trackConfig(pos, e)
@@ -678,7 +910,7 @@ func (c *Core) onAppendEntries(m Message) {
 			if firstChanged != 0 {
 				c.markEntries(firstChanged)
 			}
-			matchIdx = m.PrevLogIndex + len(m.Entries)
+			matchIdx = prev + len(entries)
 			if m.LeaderCommit > c.commitIndex {
 				c.commitIndex = min(m.LeaderCommit, matchIdx)
 			}
@@ -686,12 +918,83 @@ func (c *Core) onAppendEntries(m Message) {
 			// Consistency check failed: hint where our log actually ends
 			// so a pipelining leader can jump back in one round trip
 			// instead of probing one index at a time.
-			hint = min(m.PrevLogIndex-1, len(c.log)-1)
+			hint = min(m.PrevLogIndex-1, c.lastIndex())
 		}
 	}
 	c.send(Message{
 		Type: MsgAppendResponse, From: c.id, To: m.From, Term: c.term,
 		Success: success, MatchIndex: matchIdx, HintIndex: hint, Seq: m.Seq,
+	})
+}
+
+// onInstallSnapshot handles one chunk of a leader's snapshot transfer,
+// installing the image once the final chunk lands.
+func (c *Core) onInstallSnapshot(m Message) {
+	if m.Term != c.term {
+		// Stale leader: the response carries our higher term (m.Term >
+		// c.term was already folded by Step).
+		c.send(Message{
+			Type: MsgAppendResponse, From: c.id, To: m.From, Term: c.term, Seq: m.Seq,
+		})
+		return
+	}
+	c.role = Follower
+	c.leader = m.From
+	c.resetElectionTimer()
+	// Reassemble strictly in order; offset 0 (re)starts a transfer. A
+	// mismatched or out-of-order chunk is dropped — the leader resends
+	// the whole image after its pacing interval.
+	if m.SnapOffset == 0 {
+		c.inSnap = &inboundSnap{
+			index: m.SnapIndex, term: m.SnapTerm,
+			members: m.SnapMembers, total: m.SnapTotal,
+		}
+	}
+	s := c.inSnap
+	if s == nil || s.index != m.SnapIndex || s.term != m.SnapTerm ||
+		s.total != m.SnapTotal || len(s.buf) != m.SnapOffset {
+		return
+	}
+	s.buf = append(s.buf, m.SnapData...)
+	if len(s.buf) < s.total {
+		return
+	}
+	c.inSnap = nil
+	if s.index <= c.commitIndex {
+		// Stale image: our committed prefix already covers it.
+		c.ackSnapshot(m, c.commitIndex)
+		return
+	}
+	if s.index <= c.lastIndex() && c.termAt(s.index) == s.term {
+		// Our log already matches through the snapshot point: no install
+		// needed, the transfer just taught us the prefix is committed.
+		c.commitIndex = s.index
+		c.ackSnapshot(m, s.index)
+		return
+	}
+	// Full install: the snapshot replaces the log wholesale. The suffix
+	// is discarded even if non-empty — it conflicts at or before the
+	// base, or we would have matched above.
+	c.log = []LogEntry{{Term: s.term}}
+	c.snapIndex, c.snapTerm = s.index, s.term
+	c.snapMembers = copyIDs(s.members)
+	c.snapData = s.buf
+	c.confIdxs = nil
+	c.commitIndex = s.index
+	c.lastApplied = s.index // the restore delivery stands in for applying [.., s.index]
+	c.dirtyFrom = 0
+	c.markEntries(s.index + 1) // durable log: truncate to the empty suffix
+	c.pendingSnap = &Snapshot{Index: s.index, Term: s.term, Members: c.snapMembers, Data: s.buf}
+	c.pendingRestore = true
+	c.ackSnapshot(m, s.index)
+}
+
+// ackSnapshot acknowledges an InstallSnapshot transfer as an ordinary
+// successful append response at match, echoing the transfer's Seq.
+func (c *Core) ackSnapshot(m Message, match int) {
+	c.send(Message{
+		Type: MsgAppendResponse, From: c.id, To: m.From, Term: c.term,
+		Success: true, MatchIndex: match, Seq: m.Seq,
 	})
 }
 
@@ -732,8 +1035,8 @@ func (c *Core) onAppendResponse(m Message) {
 // verified one share a single predicate.
 func (c *Core) advanceCommit() {
 	members := c.Members()
-	for idx := len(c.log) - 1; idx > c.commitIndex; idx-- {
-		if c.log[idx].Term != c.term {
+	for idx := c.lastIndex(); idx > c.commitIndex; idx-- {
+		if c.termAt(idx) != c.term {
 			break // commitment rule: only current-term entries directly
 		}
 		count := 0

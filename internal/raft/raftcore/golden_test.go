@@ -26,9 +26,7 @@ func assertReady(t *testing.T, got, want Ready) {
 // follower builds a follower core with recovered state. log entries are
 // 1-based (no sentinel); nil means an empty log.
 func follower(id types.NodeID, members []types.NodeID, hs HardState, entries []LogEntry) *Core {
-	log := make([]LogEntry, 1, len(entries)+1)
-	log = append(log, entries...)
-	return New(Config{ID: id, Members: members, Jitter: func() int { return 0 }}, hs, log)
+	return New(Config{ID: id, Members: members, Jitter: func() int { return 0 }}, hs, Snapshot{}, entries)
 }
 
 // leader3 brings node 1 of {1,2,3} to leadership in term 1 and drains the
@@ -43,7 +41,7 @@ func leader3(t *testing.T) *Core {
 		// Campaign on the first tick, deterministically.
 		ElectionTicks: 1,
 		Jitter:        func() int { return 0 },
-	}, HardState{}, nil)
+	}, HardState{}, Snapshot{}, nil)
 	c.Tick()
 	assertReady(t, c.TakeReady(), Ready{
 		HardState: &HardState{Term: 1, VotedFor: 1},

@@ -56,6 +56,11 @@ const (
 	EntryNoOp
 	// EntryConfig carries a new member list (hot reconfiguration).
 	EntryConfig
+	// EntrySnapshot never appears in the log: it is an apply-stream-only
+	// kind. An ApplyMsg with this kind tells the state machine to discard
+	// its state and restore from the snapshot image in Command, which
+	// summarizes every entry up to and including Index.
+	EntrySnapshot
 )
 
 // String implements fmt.Stringer.
@@ -67,6 +72,8 @@ func (k EntryKind) String() string {
 		return "noop"
 	case EntryConfig:
 		return "config"
+	case EntrySnapshot:
+		return "snapshot"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -93,6 +100,11 @@ const (
 	// heartbeats.
 	MsgAppendEntries
 	MsgAppendResponse
+	// MsgInstallSnapshot streams the leader's snapshot (in chunks) to a
+	// follower whose nextIndex fell behind the leader's compaction point.
+	// The follower acknowledges a completed install with an ordinary
+	// MsgAppendResponse whose MatchIndex is the snapshot index.
+	MsgInstallSnapshot
 )
 
 // String implements fmt.Stringer.
@@ -106,6 +118,8 @@ func (t MessageType) String() string {
 		return "AppendEntries"
 	case MsgAppendResponse:
 		return "AppendResponse"
+	case MsgInstallSnapshot:
+		return "InstallSnapshot"
 	default:
 		return fmt.Sprintf("MessageType(%d)", uint8(t))
 	}
@@ -138,6 +152,17 @@ type Message struct {
 	Success    bool // append accepted
 	MatchIndex int  // highest replicated index on success
 	HintIndex  int  // on append rejection: where the follower's log ends
+
+	// Snapshot transfer (MsgInstallSnapshot). A transfer is a burst of
+	// chunks sharing (SnapIndex, SnapTerm, SnapTotal); SnapOffset is the
+	// byte offset of this chunk's SnapData within the full image and the
+	// follower reassembles strictly in order, restarting on offset 0.
+	SnapIndex   int
+	SnapTerm    types.Time
+	SnapMembers []types.NodeID // effective membership at SnapIndex
+	SnapOffset  int
+	SnapTotal   int // total image size in bytes
+	SnapData    []byte
 }
 
 // ApplyMsg is delivered for every committed entry, in log order.
@@ -157,6 +182,31 @@ type HardState struct {
 	VotedFor types.NodeID
 }
 
+// Snapshot is a durable summary of the committed log prefix [1, Index]:
+// an opaque state-machine image plus the metadata needed to splice it
+// under the retained log suffix. A zero Index means "no snapshot" (the
+// log is complete from index 1).
+type Snapshot struct {
+	// Index and Term identify the last entry the image covers.
+	Index int
+	Term  types.Time
+	// Members is the effective membership at Index (nil = the initial
+	// configuration); recovery needs it because the config entries that
+	// established it may be compacted away.
+	Members []types.NodeID
+	// Data is the opaque state-machine image.
+	Data []byte
+}
+
+// SnapshotRequest is the core's TakeSnapshot effect: the compaction policy
+// asks the application to capture a state-machine image at (or after)
+// Index. The driver serializes its state machine once it has applied
+// through Index and hands the image back via Core.Compact.
+type SnapshotRequest struct {
+	// Index is the core's lastApplied when the policy fired.
+	Index int
+}
+
 // ReadState resolves one ReadIndex barrier. Index is the commit index the
 // barrier captured, confirmed by a quorum; a negative Index reports that
 // leadership was lost before confirmation and the read must be retried.
@@ -168,11 +218,13 @@ type ReadState struct {
 }
 
 // Ready is one batch of effects the core wants performed. The caller MUST
-// externalize in this order: persist HardState and Entries first, then
-// send Messages, resolve ReadStates, and deliver Committed. Nothing in a
-// Ready may reach another node or a client before the persistence step
-// succeeds — that ordering is what carries the acked⇒durable invariant
-// (a vote or append ack never precedes the durable write that backs it)
+// externalize in this order: persist HardState, Snapshot, and Entries
+// first (in that order), then send Messages, resolve ReadStates, and
+// deliver Committed. Nothing in a Ready may reach another node or a client
+// before the persistence step succeeds — that ordering is what carries the
+// acked⇒durable invariant (a vote or append ack never precedes the durable
+// write that backs it), its compaction extension (the snapshot is durable
+// before the log prefix it replaces is dropped or its install is acked)
 // and the fail-stop discipline (a failed persist means the whole batch,
 // messages included, is discarded and the node halts).
 type Ready struct {
@@ -180,11 +232,22 @@ type Ready struct {
 	// is externalized.
 	HardState *HardState
 
-	// Entries is the dirty log suffix starting at FirstIndex (1-based):
-	// the durable log must be truncated at FirstIndex and these entries
-	// appended. Empty when the log did not change. The suffix may include
-	// entries that were already durable (a conflict truncation re-persists
-	// from the truncation point); re-writing them is harmless.
+	// Snapshot, when non-nil, must be made durable before anything below
+	// is externalized: persisting it atomically replaces the stored log
+	// prefix [1, Snapshot.Index]. RestoreSnapshot marks a leader-installed
+	// image (vs. a local compaction of already-applied state): after
+	// persisting, the driver must restore its state machine from it by
+	// delivering an EntrySnapshot ApplyMsg ahead of Committed.
+	Snapshot        *Snapshot
+	RestoreSnapshot bool
+
+	// Entries is the dirty log suffix starting at FirstIndex: the durable
+	// log must be truncated at FirstIndex and these entries appended.
+	// FirstIndex 0 means the log did not change; a positive FirstIndex
+	// with no entries is a pure truncation (a snapshot install emptied the
+	// suffix). The suffix may include entries that were already durable (a
+	// conflict truncation re-persists from the truncation point);
+	// re-writing them is harmless.
 	FirstIndex int
 	Entries    []LogEntry
 
@@ -198,10 +261,17 @@ type Ready struct {
 
 	// ReadStates resolve ReadIndex barriers (confirmed or aborted).
 	ReadStates []ReadState
+
+	// TakeSnapshot, when non-nil, asks the application to capture a
+	// state-machine image (the compaction policy fired). It carries no
+	// durability or ordering obligation: the driver answers, possibly much
+	// later, by calling Core.Compact with the serialized image.
+	TakeSnapshot *SnapshotRequest
 }
 
 // Empty reports whether the batch carries no effects at all.
 func (rd *Ready) Empty() bool {
-	return rd.HardState == nil && len(rd.Entries) == 0 && len(rd.Messages) == 0 &&
-		len(rd.Committed) == 0 && len(rd.ReadStates) == 0
+	return rd.HardState == nil && rd.Snapshot == nil && rd.FirstIndex == 0 &&
+		len(rd.Messages) == 0 && len(rd.Committed) == 0 &&
+		len(rd.ReadStates) == 0 && rd.TakeSnapshot == nil
 }

@@ -54,6 +54,12 @@ type Options struct {
 	// MaxEntriesPerAppend is forwarded to the core (0 = default 256).
 	MaxEntriesPerAppend int
 
+	// SnapshotThreshold is forwarded to the core: after this many applied
+	// entries above the snapshot base the core requests a compaction
+	// (answered through the OnSnapshot hook). Zero disables local
+	// snapshots; nodes still install leader-sent ones.
+	SnapshotThreshold int
+
 	// DisableR2 / DisableR3 reintroduce the reconfiguration bugs.
 	DisableR2 bool
 	DisableR3 bool
@@ -104,8 +110,8 @@ func (h packetHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h packetHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *packetHeap) Push(x any)        { *h = append(*h, x.(packet)) }
+func (h packetHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *packetHeap) Push(x any)   { *h = append(*h, x.(packet)) }
 func (h *packetHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -135,7 +141,8 @@ type Cluster struct {
 	reads      map[readKey]int // confirmed index, -1 = aborted
 	nextReadID uint64
 
-	onApply func(id types.NodeID, batch []raftcore.ApplyMsg)
+	onApply    func(id types.NodeID, batch []raftcore.ApplyMsg)
+	onSnapshot func(id types.NodeID, index int) []byte
 
 	journal bytes.Buffer
 }
@@ -169,9 +176,11 @@ func New(opt Options) *Cluster {
 	return s
 }
 
-// bootNode (re)creates a node's core from its storage.
+// bootNode (re)creates a node's core from its storage. A recovered
+// snapshot is re-delivered through the apply hook before any replayed
+// suffix entries, exactly like the runtime driver's restart path.
 func (s *Cluster) bootNode(id types.NodeID) {
-	hs, log, err := s.storage[id].Load()
+	hs, snap, log, err := s.storage[id].Load()
 	if err != nil {
 		// MemStorage cannot fail Load; a scripted fault there would be a
 		// harness bug, not a protocol scenario.
@@ -184,10 +193,25 @@ func (s *Cluster) bootNode(id types.NodeID) {
 		Jitter:              s.jitter,
 		HeartbeatTicks:      s.opt.HeartbeatTicks,
 		MaxEntriesPerAppend: s.opt.MaxEntriesPerAppend,
+		SnapshotThreshold:   s.opt.SnapshotThreshold,
 		DisableR2:           s.opt.DisableR2,
 		DisableR3:           s.opt.DisableR3,
-	}, hs, log)
+	}, hs, snap, log)
 	s.nodes[id] = &node{id: id, core: core, up: true, lastRole: raftcore.Follower}
+	if snap.Index > 0 {
+		s.Journalf("S%d recover snapshot@%d", id, snap.Index)
+		if s.onApply != nil {
+			s.onApply(id, []raftcore.ApplyMsg{restoreApply(&snap)})
+		}
+	}
+}
+
+// restoreApply is the apply-stream representation of a snapshot restore.
+func restoreApply(snap *raftcore.Snapshot) raftcore.ApplyMsg {
+	return raftcore.ApplyMsg{
+		Index: snap.Index, Term: snap.Term, Kind: raftcore.EntrySnapshot,
+		Command: snap.Data, Members: snap.Members,
+	}
 }
 
 func (s *Cluster) jitter() int {
@@ -233,8 +257,19 @@ func (s *Cluster) CommitIndex(id types.NodeID) int { return s.nodes[id].core.Com
 // LastIndex returns the index of a node's last log entry.
 func (s *Cluster) LastIndex(id types.NodeID) int { return s.nodes[id].core.LastIndex() }
 
-// Entry returns a node's log entry at index i (1-based).
+// Entry returns a node's log entry at index i (1-based). The index must be
+// above the node's snapshot base (see FirstIndex).
 func (s *Cluster) Entry(id types.NodeID, i int) raftcore.LogEntry { return s.nodes[id].core.Entry(i) }
+
+// FirstIndex returns the first log index a node still holds as an entry
+// (snapshot base + 1). 1 when the node has never compacted.
+func (s *Cluster) FirstIndex(id types.NodeID) int { return s.nodes[id].core.FirstIndex() }
+
+// SnapshotIndex returns the node's snapshot base index (0 = no snapshot).
+func (s *Cluster) SnapshotIndex(id types.NodeID) int { return s.nodes[id].core.SnapshotIndex() }
+
+// SnapshotTerm returns the term of the entry at the snapshot base.
+func (s *Cluster) SnapshotTerm(id types.NodeID) types.Time { return s.nodes[id].core.SnapshotTerm() }
 
 // Members returns a node's effective membership.
 func (s *Cluster) Members(id types.NodeID) types.NodeSet { return s.nodes[id].core.Members() }
@@ -330,7 +365,14 @@ func (s *Cluster) processReady(n *node) {
 			return
 		}
 	}
-	if len(rd.Entries) > 0 {
+	if rd.Snapshot != nil {
+		// Snapshot durable before the truncating SaveEntries below.
+		if err := st.SaveSnapshot(*rd.Snapshot); err != nil {
+			s.failStop(n, err)
+			return
+		}
+	}
+	if rd.FirstIndex > 0 {
 		if err := st.SaveEntries(rd.FirstIndex, rd.Entries); err != nil {
 			s.failStop(n, err)
 			return
@@ -342,10 +384,28 @@ func (s *Cluster) processReady(n *node) {
 	for _, rs := range rd.ReadStates {
 		s.reads[readKey{n.id, rs.ReqID}] = rs.Index
 	}
-	if len(rd.Committed) > 0 {
-		s.Journalf("S%d commit %d..%d", n.id, rd.Committed[0].Index, rd.Committed[len(rd.Committed)-1].Index)
+	committed := rd.Committed
+	if rd.RestoreSnapshot && rd.Snapshot != nil {
+		s.Journalf("S%d install snapshot@%d", n.id, rd.Snapshot.Index)
+		committed = append([]raftcore.ApplyMsg{restoreApply(rd.Snapshot)}, committed...)
+	}
+	if len(committed) > 0 {
+		s.Journalf("S%d commit %d..%d", n.id, committed[0].Index, committed[len(committed)-1].Index)
 		if s.onApply != nil {
-			s.onApply(n.id, rd.Committed)
+			s.onApply(n.id, committed)
+		}
+	}
+	if rd.TakeSnapshot != nil {
+		// The sim answers the policy synchronously: the apply hook above
+		// has already applied through the requested index.
+		if s.onSnapshot == nil {
+			n.core.AbortSnapshot()
+		} else {
+			data := s.onSnapshot(n.id, rd.TakeSnapshot.Index)
+			if n.core.Compact(rd.TakeSnapshot.Index, data) {
+				s.Journalf("S%d snapshot@%d", n.id, rd.TakeSnapshot.Index)
+				s.processReady(n) // persist the compaction's effects
+			}
 		}
 	}
 	if role := n.core.Role(); role != n.lastRole {
@@ -379,6 +439,13 @@ func (s *Cluster) deliver(m raftcore.Message) {
 // OnApply registers the committed-entry hook (one per cluster): batches
 // arrive in commit order per node, including replays after restarts.
 func (s *Cluster) OnApply(f func(id types.NodeID, batch []raftcore.ApplyMsg)) { s.onApply = f }
+
+// OnSnapshot registers the state-machine capture hook: given a node and
+// the index the policy requested, return the serialized image of that
+// node's state machine as applied through exactly that index (the sim's
+// apply hook is synchronous, so "current state" is correct). Without a
+// hook, TakeSnapshot effects are aborted.
+func (s *Cluster) OnSnapshot(f func(id types.NodeID, index int) []byte) { s.onSnapshot = f }
 
 // --- Client-facing operations ---
 
@@ -518,6 +585,13 @@ func (s *Cluster) CrashWound(id types.NodeID, graceTicks int64) {
 	s.storage[id].FailNextSaveEntries(fmt.Errorf("sim: injected write error on S%d", id))
 	s.nodes[id].doomAt = s.now + graceTicks
 	s.Journalf("S%d crash (wound, grace=%d)", id, graceTicks)
+}
+
+// FailNextSaveSnapshot arms a snapshot-persist fault: the node's next
+// snapshot save fails and the node must fail-stop rather than truncate a
+// log whose replacement image never became durable.
+func (s *Cluster) FailNextSaveSnapshot(id types.NodeID) {
+	s.storage[id].FailNextSaveSnapshot(fmt.Errorf("sim: injected snapshot write error on S%d", id))
 }
 
 // ClearFaults disarms any armed (not yet tripped) storage faults on the

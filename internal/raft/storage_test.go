@@ -1,9 +1,11 @@
 package raft
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"adore/internal/types"
@@ -20,22 +22,25 @@ func TestMemStorageRoundTrip(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	hs, log, err := st.Load()
+	hs, snap, log, err := st.Load()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hs.Term != 3 || hs.VotedFor != 2 {
 		t.Errorf("hard state = %+v", hs)
 	}
-	if len(log) != 3 || string(log[2].Command) != "a" {
+	if snap.Index != 0 {
+		t.Errorf("fresh store has snapshot base %d", snap.Index)
+	}
+	if len(log) != 2 || string(log[1].Command) != "a" {
 		t.Errorf("log = %+v", log)
 	}
 	// Truncating rewrite.
 	if err := st.SaveEntries(2, []LogEntry{{Term: 2, Kind: EntryCommand, Command: []byte("b")}}); err != nil {
 		t.Fatal(err)
 	}
-	_, log, _ = st.Load()
-	if len(log) != 3 || string(log[2].Command) != "b" {
+	_, _, log, _ = st.Load()
+	if len(log) != 2 || string(log[1].Command) != "b" {
 		t.Errorf("log after truncate = %+v", log)
 	}
 	if err := st.SaveEntries(99, nil); err == nil {
@@ -43,9 +48,79 @@ func TestMemStorageRoundTrip(t *testing.T) {
 	}
 }
 
+func TestMemStorageSnapshot(t *testing.T) {
+	st := NewMemStorage()
+	entries := make([]LogEntry, 5)
+	for i := range entries {
+		entries[i] = LogEntry{Term: 1, Kind: EntryCommand, Command: []byte{byte('a' + i)}}
+	}
+	if err := st.SaveEntries(1, entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSnapshot(LogSnapshot{Index: 3, Term: 1, Members: []types.NodeID{1, 2, 3}, Data: []byte("img")}); err != nil {
+		t.Fatal(err)
+	}
+	_, snap, log, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Index != 3 || string(snap.Data) != "img" {
+		t.Fatalf("snapshot base = %+v", snap)
+	}
+	if len(log) != 2 || string(log[0].Command) != "d" || string(log[1].Command) != "e" {
+		t.Fatalf("retained suffix = %+v", log)
+	}
+	// Writes below the base are rejected: that prefix no longer exists.
+	if err := st.SaveEntries(2, entries[:1]); err == nil {
+		t.Error("SaveEntries below snapshot base accepted")
+	}
+	// A stale snapshot is a no-op, not a regression of the base.
+	if err := st.SaveSnapshot(LogSnapshot{Index: 2, Term: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, snap, _, _ := st.Load(); snap.Index != 3 {
+		t.Errorf("stale snapshot moved base to %d", snap.Index)
+	}
+	// A snapshot covering the whole log leaves an empty suffix.
+	if err := st.SaveSnapshot(LogSnapshot{Index: 5, Term: 1, Data: []byte("img2")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, snap, log, _ := st.Load(); snap.Index != 5 || len(log) != 0 {
+		t.Errorf("full-log snapshot: base=%d suffix=%+v", snap.Index, log)
+	}
+}
+
+// TestMemStorageLoadBounded is the regression test for the O(history) Load:
+// with a snapshot base near the tip, Load must copy (and allocate) only the
+// retained suffix, regardless of how many entries ever existed.
+func TestMemStorageLoadBounded(t *testing.T) {
+	st := NewMemStorage()
+	const total = 4096
+	entries := make([]LogEntry, total)
+	for i := range entries {
+		entries[i] = LogEntry{Term: 1, Kind: EntryCommand, Command: []byte("x")}
+	}
+	if err := st.SaveEntries(1, entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSnapshot(LogSnapshot{Index: total - 8, Term: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, log, _ := st.Load()
+	if len(log) != 8 {
+		t.Fatalf("suffix length = %d, want 8", len(log))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		st.Load()
+	})
+	if allocs > 4 {
+		t.Errorf("Load allocates %.0f times for an 8-entry suffix (history %d): not suffix-bounded", allocs, total)
+	}
+}
+
 func TestFileStorageSurvivesReopen(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "wal")
-	st, err := OpenFileStorage(path)
+	dir := filepath.Join(t.TempDir(), "wal")
+	st, err := OpenFileStorage(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,34 +143,37 @@ func TestFileStorageSurvivesReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	st2, err := OpenFileStorage(path)
+	st2, err := OpenFileStorage(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	hs, log, err := st2.Load()
+	hs, snap, log, err := st2.Load()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hs.Term != 7 || hs.VotedFor != 1 {
 		t.Errorf("hard state after reopen = %+v", hs)
 	}
-	if len(log) != 4 {
-		t.Fatalf("log length = %d, want 4", len(log))
+	if snap.Index != 0 {
+		t.Errorf("uncompacted store has snapshot base %d", snap.Index)
 	}
-	if log[2].Kind != EntryConfig || len(log[2].Members) != 2 {
-		t.Errorf("config entry lost: %+v", log[2])
+	if len(log) != 3 {
+		t.Fatalf("log length = %d, want 3", len(log))
 	}
-	if string(log[3].Command) != "y" || log[3].Term != 8 {
-		t.Errorf("truncated tail wrong: %+v", log[3])
+	if log[1].Kind != EntryConfig || len(log[1].Members) != 2 {
+		t.Errorf("config entry lost: %+v", log[1])
+	}
+	if string(log[2].Command) != "y" || log[2].Term != 8 {
+		t.Errorf("truncated tail wrong: %+v", log[2])
 	}
 }
 
 // TestFileStorageTornBatchFrame simulates a crash in the middle of writing
-// a group-commit frame: the WAL ends with a partial multi-entry record.
-// Replay must keep every frame that was fully written (the acked batches —
-// acks only happen after the frame's Sync returns) and discard the torn
-// frame whole, leaving the WAL appendable.
+// a group-commit frame: the active WAL segment ends with a partial
+// multi-entry record. Replay must keep every frame that was fully written
+// (the acked batches — acks only happen after the frame's Sync returns) and
+// discard the torn frame whole, leaving the WAL appendable.
 func TestFileStorageTornBatchFrame(t *testing.T) {
 	for name, cut := range map[string]func(frameStart, frameEnd int64) int64{
 		// Torn inside the gob body of the batch frame.
@@ -104,11 +182,12 @@ func TestFileStorageTornBatchFrame(t *testing.T) {
 		"mid-header": func(s, e int64) int64 { return s + 2 },
 	} {
 		t.Run(name, func(t *testing.T) {
-			path := filepath.Join(t.TempDir(), "wal")
-			st, err := OpenFileStorage(path)
+			dir := filepath.Join(t.TempDir(), "wal")
+			st, err := OpenFileStorage(dir)
 			if err != nil {
 				t.Fatal(err)
 			}
+			seg := segPath(dir, 1) // the first generation's active segment
 			// Batch 1: the acked group commit (one frame, three entries).
 			if err := st.SaveEntries(1, []LogEntry{
 				{Term: 1, Kind: EntryNoOp},
@@ -117,7 +196,7 @@ func TestFileStorageTornBatchFrame(t *testing.T) {
 			}); err != nil {
 				t.Fatal(err)
 			}
-			info, err := os.Stat(path)
+			info, err := os.Stat(seg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -130,7 +209,7 @@ func TestFileStorageTornBatchFrame(t *testing.T) {
 			if err := st.SaveEntries(4, batch2); err != nil {
 				t.Fatal(err)
 			}
-			info, err = os.Stat(path)
+			info, err = os.Stat(seg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -139,40 +218,40 @@ func TestFileStorageTornBatchFrame(t *testing.T) {
 				t.Fatal(err)
 			}
 			// Crash: truncate inside batch 2's frame.
-			if err := os.Truncate(path, cut(afterBatch1, afterBatch2)); err != nil {
+			if err := os.Truncate(seg, cut(afterBatch1, afterBatch2)); err != nil {
 				t.Fatal(err)
 			}
 
-			re, err := OpenFileStorage(path)
+			re, err := OpenFileStorage(dir)
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer re.Close()
-			_, log, err := re.Load()
+			_, _, log, err := re.Load()
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(log) != 4 {
-				t.Fatalf("recovered log has %d entries, want 3 (batch 1 only)", len(log)-1)
+			if len(log) != 3 {
+				t.Fatalf("recovered log has %d entries, want 3 (batch 1 only)", len(log))
 			}
-			if string(log[2].Command) != "a1" || string(log[3].Command) != "a2" {
-				t.Fatalf("batch 1 corrupted by torn batch 2: %+v", log[1:])
+			if string(log[1].Command) != "a1" || string(log[2].Command) != "a2" {
+				t.Fatalf("batch 1 corrupted by torn batch 2: %+v", log)
 			}
 			// The WAL must remain appendable after discarding the torn tail.
 			if err := re.SaveEntries(4, []LogEntry{{Term: 2, Kind: EntryCommand, Command: []byte("c")}}); err != nil {
 				t.Fatal(err)
 			}
-			re2, err := OpenFileStorage(path)
+			re2, err := OpenFileStorage(dir)
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer re2.Close()
-			_, log, err = re2.Load()
+			_, _, log, err = re2.Load()
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(log) != 5 || string(log[4].Command) != "c" {
-				t.Fatalf("append after torn-frame recovery lost data: %+v", log[1:])
+			if len(log) != 4 || string(log[3].Command) != "c" {
+				t.Fatalf("append after torn-frame recovery lost data: %+v", log)
 			}
 		})
 	}
@@ -184,11 +263,232 @@ func TestFileStorageFreshFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	hs, log, err := st.Load()
+	hs, snap, log, err := st.Load()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hs.Term != 0 || len(log) != 1 {
-		t.Errorf("fresh store: %+v %v", hs, log)
+	if hs.Term != 0 || snap.Index != 0 || len(log) != 0 {
+		t.Errorf("fresh store: %+v %+v %v", hs, snap, log)
+	}
+}
+
+// TestFileStorageSnapshotRecovery covers the compaction contract end to
+// end: SaveSnapshot makes the image durable, drops the covered segments,
+// and a reopen recovers base + suffix without materializing history.
+func TestFileStorageSnapshotRecovery(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	st, err := OpenFileStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveState(HardState{Term: 2, VotedFor: 1}); err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]LogEntry, 6)
+	for i := range entries {
+		entries[i] = LogEntry{Term: 1, Kind: EntryCommand, Command: []byte(fmt.Sprintf("e%d", i+1))}
+	}
+	if err := st.SaveEntries(1, entries); err != nil {
+		t.Fatal(err)
+	}
+	want := LogSnapshot{Index: 4, Term: 1, Members: []types.NodeID{1, 2, 3}, Data: []byte("state@4")}
+	if err := st.SaveSnapshot(want); err != nil {
+		t.Fatal(err)
+	}
+	// The suffix stays writable above the new base.
+	if err := st.SaveEntries(7, []LogEntry{{Term: 2, Kind: EntryCommand, Command: []byte("e7")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFileStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	hs, snap, log, err := re.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Term != 2 || hs.VotedFor != 1 {
+		t.Errorf("hard state = %+v", hs)
+	}
+	if snap.Index != 4 || snap.Term != 1 || string(snap.Data) != "state@4" || len(snap.Members) != 3 {
+		t.Fatalf("recovered snapshot = %+v, want %+v", snap, want)
+	}
+	if len(log) != 3 || string(log[0].Command) != "e5" || string(log[2].Command) != "e7" {
+		t.Fatalf("recovered suffix = %+v", log)
+	}
+	// Exactly one snapshot file survives; the pre-snapshot segments are
+	// unlinked (compaction is an unlink, not a rewrite).
+	var snaps, segs int
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		switch {
+		case strings.HasSuffix(de.Name(), ".snap"):
+			snaps++
+		case strings.HasSuffix(de.Name(), ".seg"):
+			segs++
+		}
+	}
+	if snaps != 1 {
+		t.Errorf("%d snapshot files, want 1", snaps)
+	}
+	if segs != re.SegmentCount() {
+		t.Errorf("%d segment files on disk, SegmentCount reports %d", segs, re.SegmentCount())
+	}
+}
+
+// TestFileStorageCorruptSnapshotFailStop: a flipped bit in the snapshot
+// file must fail recovery loudly — running without the committed state the
+// file summarized would be silent divergence.
+func TestFileStorageCorruptSnapshotFailStop(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	st, err := OpenFileStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveEntries(1, []LogEntry{
+		{Term: 1, Kind: EntryNoOp},
+		{Term: 1, Kind: EntryCommand, Command: []byte("a")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSnapshot(LogSnapshot{Index: 2, Term: 1, Data: []byte("image-bytes")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := snapPath(dir, 2)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-3] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStorage(dir); err == nil {
+		t.Fatal("recovery accepted a corrupt snapshot file")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt snapshot error = %v, want checksum mismatch", err)
+	}
+}
+
+// TestFileStorageMissingSnapshotFailStop: if the WAL's segments build on a
+// snapshot whose file is gone, recovery must refuse to fabricate a log.
+func TestFileStorageMissingSnapshotFailStop(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	st, err := OpenFileStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveEntries(1, []LogEntry{
+		{Term: 1, Kind: EntryNoOp},
+		{Term: 1, Kind: EntryCommand, Command: []byte("a")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSnapshot(LogSnapshot{Index: 2, Term: 1, Data: []byte("img")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(snapPath(dir, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStorage(dir); err == nil {
+		t.Fatal("recovery accepted a WAL whose snapshot file is missing")
+	}
+}
+
+// TestFileStorageTornSnapshotTemp: a crash during the snapshot write leaves
+// only a .tmp file; recovery discards it and keeps the full pre-snapshot
+// log — the prefix was never dropped because the rename never happened.
+func TestFileStorageTornSnapshotTemp(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	st, err := OpenFileStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveEntries(1, []LogEntry{
+		{Term: 1, Kind: EntryNoOp},
+		{Term: 1, Kind: EntryCommand, Command: []byte("a")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulated torn snapshot write: partial bytes, no rename.
+	if err := os.WriteFile(snapPath(dir, 2)+".tmp", []byte("part"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFileStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	_, snap, log, err := re.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Index != 0 || len(log) != 2 {
+		t.Fatalf("after torn snapshot temp: base=%d suffix=%+v", snap.Index, log)
+	}
+	if _, err := os.Stat(snapPath(dir, 2) + ".tmp"); !os.IsNotExist(err) {
+		t.Error("torn .tmp snapshot not cleaned up on open")
+	}
+}
+
+// TestFileStorageCompactionUnlinksSegments drives many snapshot cycles and
+// asserts the directory stays bounded: old segments are unlinked, not
+// rewritten, and only one snapshot file is retained.
+func TestFileStorageCompactionUnlinksSegments(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	st, err := OpenFileStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	next := 1
+	for round := 0; round < 10; round++ {
+		batch := make([]LogEntry, 20)
+		for i := range batch {
+			batch[i] = LogEntry{Term: 1, Kind: EntryCommand, Command: bytes.Repeat([]byte("p"), 32)}
+		}
+		if err := st.SaveEntries(next, batch); err != nil {
+			t.Fatal(err)
+		}
+		next += len(batch)
+		if err := st.SaveSnapshot(LogSnapshot{Index: next - 1, Term: 1, Data: []byte("img")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each cycle rotates once; everything before the newest snapshot is
+	// unlinked, so the live set stays at one active segment (+1 slack for
+	// the rotation boundary).
+	if n := st.SegmentCount(); n > 2 {
+		t.Errorf("SegmentCount = %d after 10 compaction cycles, want <= 2", n)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps int
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), ".snap") {
+			snaps++
+		}
+	}
+	if snaps != 1 {
+		t.Errorf("%d snapshot files retained, want 1", snaps)
 	}
 }

@@ -61,6 +61,9 @@ const (
 	EntryNoOp = raftcore.EntryNoOp
 	// EntryConfig carries a new member list (hot reconfiguration).
 	EntryConfig = raftcore.EntryConfig
+	// EntrySnapshot is an apply-stream-only kind: restore the state
+	// machine from the snapshot image in Command.
+	EntrySnapshot = raftcore.EntrySnapshot
 )
 
 // LogEntry is one slot of the replicated log. Index 0 is unused (logs are
@@ -79,6 +82,8 @@ const (
 	// heartbeats.
 	MsgAppendEntries  = raftcore.MsgAppendEntries
 	MsgAppendResponse = raftcore.MsgAppendResponse
+	// MsgInstallSnapshot streams a leader snapshot to a laggard follower.
+	MsgInstallSnapshot = raftcore.MsgInstallSnapshot
 )
 
 // Message is the single wire format for all four RPCs (gob-encodable).
@@ -91,6 +96,11 @@ type ApplyMsg = raftcore.ApplyMsg
 // HardState is the durable per-node protocol state that Raft requires to
 // survive crashes: the current term and the vote cast in it.
 type HardState = raftcore.HardState
+
+// LogSnapshot is a durable summary of the committed log prefix [1, Index]:
+// a state-machine image plus splice metadata. (The name avoids a clash
+// with Node.Snapshot, the consistent status view.)
+type LogSnapshot = raftcore.Snapshot
 
 // Transport sends messages between nodes. Send must not block for long and
 // may drop messages silently; the protocol tolerates loss.

@@ -107,24 +107,68 @@ func (e *ExecChecker) view(le raftcore.LogEntry, idx int) entryView {
 // branch. Call it for every replica after each round of a simulated run;
 // a nil error means the observed execution still refines Adore.
 func (e *ExecChecker) ObserveNode(id types.NodeID, log []raftcore.LogEntry, commitIndex int) error {
+	return e.ObserveNodeAt(id, 0, 0, log, commitIndex)
+}
+
+// ObserveNodeAt is ObserveNode for a compacted replica: log holds only the
+// retained suffix (absolute indices base+1..base+len(log)) and the prefix
+// [1, base] is summarized by the snapshot fingerprint (base, baseTerm).
+//
+// The refinement obligation restated over a compacted base: a snapshot is
+// only ever taken of a COMMITTED prefix, so its fingerprint must name the
+// cache at depth base on the committed branch of the reconstructed tree —
+// the stamp (Time=baseTerm, Vrsn=base) identifies that cache exactly. The
+// suffix then has to satisfy logMatch against the branch below it, and
+// commitment agreement is checked as before (Theorem 4.1 survives
+// compaction because the discarded prefix is pinned by the fingerprint).
+//
+// Limitation: if no observation ever showed the committed prefix down to
+// depth base (the checker joined after compaction), the base cannot be
+// anchored and the observation is skipped rather than failed.
+func (e *ExecChecker) ObserveNodeAt(id types.NodeID, base int, baseTerm types.Time, log []raftcore.LogEntry, commitIndex int) error {
 	e.Checks++
-	if commitIndex < 0 || commitIndex > len(log) {
-		return fmt.Errorf("refine: exec %s: commit index %d outside log of length %d", id, commitIndex, len(log))
+	if commitIndex < base || commitIndex > base+len(log) {
+		return fmt.Errorf("refine: exec %s: commit index %d outside [%d, %d]", id, commitIndex, base, base+len(log))
 	}
 
-	// Walk the log down from the root, reusing matching children (shared
-	// prefixes collapse onto one branch) and adding leaves for new entries.
+	// Anchor the snapshot base on the committed branch. Every snapshot
+	// summarizes a committed prefix, and committed caches all lie on one
+	// branch, so the cache at depth base on the committed tip's path IS
+	// the base — if its stamp disagrees with the snapshot fingerprint,
+	// the compaction broke refinement.
+	baseCID := e.Tree.Root().ID
+	if base > 0 {
+		tip := e.Tree.Get(e.committedTip)
+		if e.Tree.Depth(e.committedTip) < base {
+			return nil // prefix never observed: nothing to anchor against
+		}
+		cur := e.committedTip
+		for e.Tree.Depth(cur) > base {
+			cur = e.Tree.Get(cur).Parent
+		}
+		bc := e.Tree.Get(cur)
+		if bc.Time != baseTerm || bc.Vrsn != types.Vrsn(base) {
+			return fmt.Errorf(
+				"refine: exec %s: snapshot base (idx=%d term=%d) does not name the committed cache %v (tip %v)",
+				id, base, baseTerm, bc, tip)
+		}
+		baseCID = cur
+	}
+
+	// Walk the suffix down from the base cache, reusing matching children
+	// (shared prefixes collapse onto one branch) and adding leaves for new
+	// entries.
 	views := make([]entryView, len(log))
 	cids := make([]types.CID, len(log))
-	parent := e.Tree.Root().ID
-	curConf := e.Tree.Root().Conf // the branch's config, inherited by MCaches
-	prevTerm := types.Time(0)
+	parent := baseCID
+	curConf := e.Tree.Get(baseCID).Conf // the branch's config, inherited by MCaches
+	prevTerm := baseTerm
 	for i, le := range log {
 		if le.Term < prevTerm {
-			return fmt.Errorf("refine: exec %s: term regresses %d -> %d at index %d", id, prevTerm, le.Term, i+1)
+			return fmt.Errorf("refine: exec %s: term regresses %d -> %d at index %d", id, prevTerm, le.Term, base+i+1)
 		}
 		prevTerm = le.Term
-		v := e.view(le, i+1)
+		v := e.view(le, base+i+1)
 		views[i] = v
 		cid := types.NoCID
 		for _, child := range e.Tree.Children(parent) {
@@ -152,23 +196,24 @@ func (e *ExecChecker) ObserveNode(id types.NodeID, log []raftcore.LogEntry, comm
 		parent = cid
 		curConf = e.Tree.Get(cid).Conf
 	}
-	anchor := e.Tree.Root().ID
+	anchor := baseCID
 	if len(cids) > 0 {
 		anchor = cids[len(cids)-1]
 	}
 	e.anchors[id] = anchor
 
-	// logMatch: the replica's log must equal toLog(tree, anchor).
-	if err := logMatchEntries(e.Tree, id, anchor, views); err != nil {
+	// logMatch over the suffix: the replica's retained log must equal
+	// toLog(tree, anchor) below the snapshot base.
+	if err := logMatchSuffix(e.Tree, id, anchor, base, views); err != nil {
 		return err
 	}
 
 	// Committed-branch agreement: this replica's committed cache must sit
 	// on the same branch as the deepest committed cache any replica has
 	// shown us — committed histories never fork.
-	cc := e.Tree.Root().ID
-	if commitIndex > 0 {
-		cc = cids[commitIndex-1]
+	cc := baseCID
+	if commitIndex > base {
+		cc = cids[commitIndex-base-1]
 	}
 	e.commits[id] = cc
 	if !e.Tree.OnSameBranch(cc, e.committedTip) {
@@ -178,6 +223,24 @@ func (e *ExecChecker) ObserveNode(id types.NodeID, log []raftcore.LogEntry, comm
 	}
 	if e.Tree.Depth(cc) > e.Tree.Depth(e.committedTip) {
 		e.committedTip, e.tipOwner = cc, id
+	}
+	return nil
+}
+
+// logMatchSuffix checks logMatch for the retained suffix of a compacted
+// log: the branch from the root to anchor must be exactly base commands
+// longer than the suffix, and the part below the base must match it
+// entry for entry. With base 0 this is plain logMatch.
+func logMatchSuffix(tree *core.Tree, id types.NodeID, anchor types.CID, base int, log []entryView) error {
+	branch := branchCommands(tree, anchor)
+	if len(branch) != base+len(log) {
+		return fmt.Errorf("refine: logMatch broken at %s: branch has %d commands, snapshot base %d + suffix %d\nbranch tip: %v",
+			id, len(branch), base, len(log), tree.Get(anchor))
+	}
+	for i, cache := range branch[base:] {
+		if !log[i].matches(cache) {
+			return fmt.Errorf("refine: logMatch broken at %s[%d]: cache %v vs entry stamped %v", id, base+i, cache, log[i].stamp)
+		}
 	}
 	return nil
 }
