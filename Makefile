@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-teeth check bench bench-evidence bench-evidence-7 chaos chaos-smoke chaos-teeth sim-sweep sim-teeth
+.PHONY: all build test race vet lint lint-teeth check bench bench-evidence bench-evidence-7 chaos chaos-smoke chaos-teeth chaos-elections sim-sweep sim-teeth
 
 all: check
 
@@ -10,8 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
+# -shuffle=on randomizes test order within each package, so tests that
+# quietly depend on a predecessor's side effects fail loudly (the seed is
+# printed for replay).
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -53,6 +56,18 @@ chaos-smoke:
 # with R2 disabled the crafted double-shed schedule must produce violations.
 chaos-teeth:
 	$(GO) run ./cmd/raft-chaos -seeds 3 -duration 1500ms -teeth -disable-r2 -mem
+
+# chaos-elections is the election-robustness gate: both election teeth
+# (knock out Pre-Vote → the rejoin-disruption schedule must be caught;
+# knock out CheckQuorum → the stale-leader schedule must be caught; each
+# exits 1 if its oracle stayed silent), then a 100-seed all-guards-on
+# simulator sweep over the full nemesis mix (partial partitions,
+# isolation+rejoin, transfers, drop-leader reconfigs), which must stay
+# violation-free.
+chaos-elections:
+	$(GO) run ./cmd/raft-chaos -teeth -disable-prevote -seeds 1
+	$(GO) run ./cmd/raft-chaos -teeth -disable-checkquorum -seeds 1
+	$(GO) run ./cmd/raft-chaos -sim -seeds 100
 
 # sim-sweep runs the same schedules in the deterministic simulator: the
 # whole execution (not just the fault plan) is a pure function of the seed,

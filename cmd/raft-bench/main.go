@@ -31,6 +31,8 @@ func main() {
 	flag.IntVar(&opts.Clients, "clients", 1, "concurrent closed-loop clients")
 	flag.BoolVar(&opts.Unbatched, "unbatched", false, "bypass group commit (one fsync per command)")
 	flag.BoolVar(&opts.Durable, "durable", false, "back each node with a file WAL (fsync on the critical path)")
+	flag.BoolVar(&opts.DisablePreVote, "disable-prevote", false, "turn off Pre-Vote (measure reconfiguration without election robustness)")
+	flag.BoolVar(&opts.DisableCheckQuorum, "disable-checkquorum", false, "turn off CheckQuorum step-down")
 	window := flag.Int("window", 100, "requests per report window")
 	runs := flag.Int("runs", 1, "independent runs (the paper reports 8)")
 	ab := flag.Bool("ab", false, "run the batching ablation: the same workload batched AND unbatched")

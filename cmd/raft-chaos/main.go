@@ -11,6 +11,8 @@
 //	raft-chaos -seeds 50 -disable-r2        # teeth check: must find violations
 //	raft-chaos -sim -seeds 500              # deterministic simulation sweep
 //	raft-chaos -sim -teeth                  # sim teeth: must exit non-zero
+//	raft-chaos -teeth -disable-prevote      # election teeth: the rejoin-disruption schedule must be caught
+//	raft-chaos -teeth -disable-checkquorum  # election teeth: the immortal stale leader must be caught
 //
 // With -sim each seed runs in the deterministic simulator instead of a live
 // cluster: single-threaded on a logical clock, the entire execution (not
@@ -50,32 +52,45 @@ func main() {
 		workers   = flag.Int("workers", runtime.NumCPU(), "parallel seed runners")
 		disableR2 = flag.Bool("disable-r2", false, "reintroduce the R2 bug (expect violations)")
 		disableR3 = flag.Bool("disable-r3", false, "reintroduce the R3 bug (expect violations)")
-		teeth     = flag.Bool("teeth", false, "run the crafted double-shed schedule instead of generated ones")
+		disPV     = flag.Bool("disable-prevote", false, "turn off Pre-Vote (with -teeth: run the rejoin-disruption schedule)")
+		disCQ     = flag.Bool("disable-checkquorum", false, "turn off CheckQuorum step-down (with -teeth: run the stale-leader schedule)")
+		teeth     = flag.Bool("teeth", false, "run the crafted violation schedule for the disabled guard instead of generated ones")
 		sim       = flag.Bool("sim", false, "deterministic simulation instead of a live cluster (adds the refinement oracle)")
 		snapThr   = flag.Int("snapshot-threshold", 0, "applied entries between state-machine snapshots (0 = default 64, negative = no compaction)")
 		verbose   = flag.Bool("v", false, "print each run's plan and report")
 	)
 	flag.Parse()
 
-	// A bare -teeth asserts the harness catches the R2 bug: the guard is
-	// dropped for the run, but violations keep their failing exit status
-	// (unlike an explicit -disable-r2, which flips to expect-violations
-	// mode and exits 0 on a catch).
-	expectViolations := *disableR2 || *disableR3
-	if *teeth && !expectViolations {
-		*disableR2 = true
+	// -teeth runs the crafted violation schedule for the disabled guard
+	// (default: R2). A bare -teeth keeps violations as the failing exit
+	// status, so it exits non-zero exactly when the oracles still bite; an
+	// explicit -disable-* (with or without -teeth) flips to
+	// expect-violations mode — exit 0 on a catch, exit 1 if no seed caught
+	// anything (a harness with no teeth).
+	expectViolations := *disableR2 || *disableR3 || *disPV || *disCQ
+	if *teeth {
+		if !expectViolations {
+			*disableR2 = true
+		}
+		// The election oracles (disruption, stale leader) live in the
+		// deterministic simulator, which can see the link state.
+		if *disPV || *disCQ {
+			*sim = true
+		}
 	}
 
 	opt := chaos.Options{
-		Nodes:             *nodes,
-		Clients:           *clients,
-		OpsPerClient:      *ops,
-		Keys:              *keys,
-		Duration:          *duration,
-		MemWAL:            *mem,
-		DisableR2:         *disableR2,
-		DisableR3:         *disableR3,
-		SnapshotThreshold: *snapThr,
+		Nodes:              *nodes,
+		Clients:            *clients,
+		OpsPerClient:       *ops,
+		Keys:               *keys,
+		Duration:           *duration,
+		MemWAL:             *mem,
+		DisableR2:          *disableR2,
+		DisableR3:          *disableR3,
+		DisablePreVote:     *disPV,
+		DisableCheckQuorum: *disCQ,
+		SnapshotThreshold:  *snapThr,
 	}
 
 	var list []int64
@@ -102,7 +117,14 @@ func main() {
 			for s := range jobs {
 				sched := chaos.Generate(s, opt)
 				if *teeth {
-					sched = chaos.R2ViolationSchedule(opt)
+					switch {
+					case *disPV:
+						sched = chaos.DisruptionSchedule(opt)
+					case *disCQ:
+						sched = chaos.StaleLeaderSchedule(opt)
+					default:
+						sched = chaos.R2ViolationSchedule(opt)
+					}
 					sched.Seed = s
 				}
 				run := chaos.Run

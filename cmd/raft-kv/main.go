@@ -14,8 +14,9 @@
 //	printf 'put name adore\nget name\n' | nc 127.0.0.1 8001
 //
 // Commands: get K | put K V | delete K | cas K OLD NEW | members | status |
-// addserver ID | removeserver ID. Writes must be sent to the leader
-// (responses include a redirect hint otherwise).
+// addserver ID | removeserver ID | transfer [ID]. Writes must be sent to
+// the leader (responses include a redirect hint otherwise); transfer hands
+// leadership to ID, or to the most caught-up voter when omitted.
 //
 // With -wal DIR the replica persists its log (and, with
 // -snapshot-threshold N, periodic state-machine snapshots that truncate
@@ -50,6 +51,8 @@ func main() {
 		timeoutMin   = flag.Duration("election-timeout", 150*time.Millisecond, "minimum election timeout")
 		walDir       = flag.String("wal", "", "directory for the file-backed WAL (default: in-memory storage)")
 		snapThr      = flag.Int("snapshot-threshold", 0, "applied entries between state-machine snapshots (0 = no local compaction)")
+		disPV        = flag.Bool("disable-prevote", false, "campaign without the Pre-Vote round (rejoining nodes may disrupt a healthy leader)")
+		disCQ        = flag.Bool("disable-checkquorum", false, "leaders keep leading without quorum contact (stale leaders linger after partitions)")
 	)
 	flag.Parse()
 
@@ -93,6 +96,8 @@ func main() {
 		StateMachine:       store,
 		SnapshotThreshold:  *snapThr,
 		ElectionTimeoutMin: *timeoutMin,
+		DisablePreVote:     *disPV,
+		DisableCheckQuorum: *disCQ,
 		Seed:               int64(id),
 	})
 	go func() {
@@ -264,6 +269,21 @@ func handleCommand(node *raft.Node, store *kvstore.Store, fields []string, seq u
 			return "ERR " + err.Error()
 		}
 		return "OK"
+	case "transfer":
+		// transfer [ID]: hand leadership to ID, or to the most caught-up
+		// voter when no ID is given. Must be sent to the leader.
+		to := types.NoNode
+		if len(fields) > 1 {
+			id, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return "ERR bad id"
+			}
+			to = types.NodeID(id)
+		}
+		if err := node.TransferLeader(to); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK (transferring)"
 	default:
 		return "ERR unknown command"
 	}

@@ -50,6 +50,11 @@ type Fig16Options struct {
 	// so the batching ablation would measure only broadcast coalescing —
 	// with it, fsync amortization dominates, as on real hardware.
 	Durable bool
+	// DisablePreVote/DisableCheckQuorum turn off the election-robustness
+	// guards, so the reconfiguration latency spikes can be measured with
+	// and without graceful leadership handling.
+	DisablePreVote     bool
+	DisableCheckQuorum bool
 }
 
 // Fig16Defaults returns the paper's parameters (scaled to run in seconds on
@@ -83,10 +88,12 @@ func RunFig16(opts Fig16Options) (*Fig16Result, error) {
 		opts = Fig16Defaults()
 	}
 	clOpts := cluster.Options{
-		N:       opts.StartNodes,
-		Latency: opts.NetLatency,
-		Jitter:  opts.NetJitter,
-		Seed:    opts.Seed,
+		N:                  opts.StartNodes,
+		Latency:            opts.NetLatency,
+		Jitter:             opts.NetJitter,
+		Seed:               opts.Seed,
+		DisablePreVote:     opts.DisablePreVote,
+		DisableCheckQuorum: opts.DisableCheckQuorum,
 	}
 	if opts.Durable {
 		dir, err := os.MkdirTemp("", "fig16-wal-")

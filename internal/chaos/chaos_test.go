@@ -54,9 +54,17 @@ func TestScheduleEventsAreExecutable(t *testing.T) {
 					seen[id] = true
 				}
 				partitioned = true
-			case EvPartitionLeader, EvIsolate:
+			case EvPartitionLeader, EvIsolate, EvIsolateLeader, EvIsolateFollower:
 				if partitioned {
 					t.Fatalf("seed %d: stacked partition: %s", seed, e)
+				}
+				partitioned = true
+			case EvPartialPartition:
+				if partitioned {
+					t.Fatalf("seed %d: stacked partition: %s", seed, e)
+				}
+				if len(e.A) != 1 || len(e.B) != 1 || e.A[0] == e.B[0] {
+					t.Fatalf("seed %d: malformed partial partition: %s", seed, e)
 				}
 				partitioned = true
 			case EvHeal:
@@ -77,7 +85,8 @@ func TestScheduleEventsAreExecutable(t *testing.T) {
 					t.Fatalf("seed %d: restart of running S%d", seed, e.Node)
 				}
 				delete(crashed, e.Node)
-			case EvDropRate, EvReconfigRemove, EvReconfigAdd, EvReconfigShed:
+			case EvDropRate, EvReconfigRemove, EvReconfigAdd, EvReconfigShed,
+				EvTransferLeader, EvReconfigDropLeader:
 				// Always executable.
 			default:
 				t.Fatalf("seed %d: unknown event kind %v", seed, e.Kind)

@@ -36,11 +36,12 @@ type monitor struct {
 	doneCh chan struct{}
 
 	mu         sync.Mutex
-	leaders    map[types.Time]types.NodeID // term → leader seen; guarded by mu
-	lastTerm   map[*raft.Node]types.Time   // per incarnation; guarded by mu
-	lastCommit map[*raft.Node]int          // per incarnation; guarded by mu
-	violations map[string]bool             // deduplicated; guarded by mu
-	stopped    bool                        // guarded by mu
+	leaders    map[types.Time]types.NodeID  // term → leader seen; guarded by mu
+	lastTerm   map[*raft.Node]types.Time    // per incarnation; guarded by mu
+	lastCommit map[*raft.Node]int           // per incarnation; guarded by mu
+	counters   map[*raft.Node]raft.Counters // last sampled, per incarnation; guarded by mu
+	violations map[string]bool              // deduplicated; guarded by mu
+	stopped    bool                         // guarded by mu
 }
 
 func startMonitor(c *cluster.Cluster) *monitor {
@@ -51,6 +52,7 @@ func startMonitor(c *cluster.Cluster) *monitor {
 		leaders:    make(map[types.Time]types.NodeID),
 		lastTerm:   make(map[*raft.Node]types.Time),
 		lastCommit: make(map[*raft.Node]int),
+		counters:   make(map[*raft.Node]raft.Counters),
 		violations: make(map[string]bool),
 	}
 	go m.loop()
@@ -85,6 +87,7 @@ func (m *monitor) sample() {
 			m.violations[fmt.Sprintf("commit index went backwards on S%d: %d after %d", n.ID(), s.CommitIndex, last)] = true
 		}
 		m.lastCommit[n] = s.CommitIndex
+		m.counters[n] = s.Counters
 		if s.Role == raft.Leader {
 			if prev, ok := m.leaders[s.Term]; ok && prev != n.ID() {
 				m.violations[fmt.Sprintf("two leaders in term %d: S%d and S%d", s.Term, prev, n.ID())] = true
@@ -104,6 +107,18 @@ func (m *monitor) stop() {
 	}
 	m.mu.Unlock()
 	<-m.doneCh
+}
+
+// stats sums the last-sampled election counters across every node
+// incarnation the monitor observed.
+func (m *monitor) stats() raft.Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var rep Report
+	for _, c := range m.counters {
+		rep.addStats(c)
+	}
+	return rep.Stats
 }
 
 // report returns the deduplicated violations in a stable order.

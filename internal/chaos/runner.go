@@ -27,9 +27,28 @@ type Report struct {
 	Faults     uint64
 	Events     int
 
+	// Stats sums the election-disruption counters across every node (and
+	// every incarnation — a restart resets a node's own counters): how
+	// hard the run churned leadership and how the robustness guards
+	// responded.
+	Stats raft.Counters
+
 	// Journal is the deterministic event transcript (simulation runs
 	// only); byte-identical across runs of the same seed and options.
 	Journal []byte
+}
+
+// addStats folds one node's counters into the report sum.
+func (r *Report) addStats(c raft.Counters) {
+	r.Stats.Elections += c.Elections
+	r.Stats.PreVoteRounds += c.PreVoteRounds
+	r.Stats.PreVotesWon += c.PreVotesWon
+	r.Stats.TimeoutElections += c.TimeoutElections
+	r.Stats.TransferElections += c.TransferElections
+	r.Stats.TermBumps += c.TermBumps
+	r.Stats.StepDowns += c.StepDowns
+	r.Stats.TransfersStarted += c.TransfersStarted
+	r.Stats.TransfersAborted += c.TransfersAborted
 }
 
 // Ok reports whether the run found no safety violation.
@@ -41,8 +60,9 @@ func (r *Report) String() string {
 	if !r.Ok() {
 		status = fmt.Sprintf("FAILED (%d violations)", len(r.Violations))
 	}
-	return fmt.Sprintf("seed %d: %s — %d events, %d ops (%d unknown), %d storage faults, %d warnings",
-		r.Seed, status, r.Events, r.Ops, r.Timeouts, r.Faults, len(r.Warnings))
+	return fmt.Sprintf("seed %d: %s — %d events, %d ops (%d unknown), %d storage faults, %d warnings, %d elections (%d pre-vote rounds, %d step-downs, %d transfers)",
+		r.Seed, status, r.Events, r.Ops, r.Timeouts, r.Faults, len(r.Warnings),
+		r.Stats.Elections, r.Stats.PreVoteRounds, r.Stats.StepDowns, r.Stats.TransfersStarted)
 }
 
 // RunSeed generates the schedule for seed and executes it.
@@ -116,6 +136,8 @@ func Run(sched *Schedule, opt Options) (*Report, error) {
 		ElectionTimeoutMin: opt.ElectionTimeoutMin,
 		DisableR2:          opt.DisableR2,
 		DisableR3:          opt.DisableR3,
+		DisablePreVote:     opt.DisablePreVote,
+		DisableCheckQuorum: opt.DisableCheckQuorum,
 		Seed:               sched.Seed,
 		StorageFor:         func(id types.NodeID) raft.Storage { return faults[id] },
 		SnapshotThreshold:  opt.snapThreshold(),
@@ -179,6 +201,7 @@ func Run(sched *Schedule, opt Options) (*Report, error) {
 	for _, f := range faults {
 		rep.Faults += f.Injected()
 	}
+	rep.Stats = mon.stats()
 	rep.Violations = append(rep.Violations, mon.report()...)
 	rep.Violations = append(rep.Violations, checkApplied(c, opt.Nodes)...)
 	rep.Violations = append(rep.Violations, checkLinearizable(hist.snapshot())...)
@@ -330,6 +353,41 @@ func (ex *executor) apply(e Event) {
 		ex.c.Reconfigure(target, 200*time.Millisecond)
 	case EvReconfigShed:
 		ex.shed()
+	case EvPartialPartition:
+		ex.c.Net.BlockOneWay(e.A[0], e.B[0])
+	case EvIsolateLeader:
+		ex.clearPartition()
+		if l := ex.c.Leader(); l != nil {
+			ex.c.Net.Isolate(l.ID())
+		}
+	case EvIsolateFollower:
+		ex.clearPartition()
+		var lid types.NodeID
+		if l := ex.c.Leader(); l != nil {
+			lid = l.ID()
+		}
+		for _, id := range ex.members {
+			if id != lid && ex.c.Node(id) != nil {
+				ex.c.Net.Isolate(id)
+				return
+			}
+		}
+	case EvTransferLeader:
+		if l := ex.c.Leader(); l != nil {
+			l.TransferLeader(types.NoNode) // best effort; no-op on errors
+		}
+	case EvReconfigDropLeader:
+		l := ex.c.Leader()
+		if l == nil {
+			return
+		}
+		members := l.Members()
+		if !members.Contains(l.ID()) || members.Len() <= 3 {
+			return
+		}
+		// cluster.Reconfigure hands leadership off before proposing a
+		// change that sheds the sitting leader.
+		ex.c.Reconfigure(members.Remove(l.ID()), 200*time.Millisecond)
 	default:
 		panic(fmt.Sprintf("chaos: executor saw unknown event kind %v", e.Kind))
 	}

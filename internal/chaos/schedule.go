@@ -59,6 +59,26 @@ const (
 	// repeat); with DisableR2 it manufactures the disjoint-quorum
 	// scenario the guards exist to prevent.
 	EvReconfigShed
+	// EvPartialPartition blocks the single one-way link A[0]→B[0]: the
+	// blocked node can still hear the cluster but cannot be heard. This
+	// is the asymmetric fault Pre-Vote and CheckQuorum exist for.
+	EvPartialPartition
+	// EvIsolateLeader cuts whoever currently leads off from everyone
+	// (resolved at execution time); a later EvHeal lets it rejoin — the
+	// classic rejoin-disruption scenario Pre-Vote neutralizes.
+	EvIsolateLeader
+	// EvIsolateFollower isolates a current non-leader. While isolated it
+	// times out over and over; with Pre-Vote those rounds are term-neutral
+	// and the heal is silent, without it the rejoiner's inflated term
+	// deposes a perfectly healthy leader.
+	EvIsolateFollower
+	// EvTransferLeader asks the current leader to hand off gracefully to
+	// its most caught-up voter (a TimeoutNow transfer, not a timeout).
+	EvTransferLeader
+	// EvReconfigDropLeader proposes a membership change that removes the
+	// current leader itself, exercising the transfer-then-propose path
+	// cluster.Reconfigure takes when the new config sheds the leader.
+	EvReconfigDropLeader
 )
 
 // String implements fmt.Stringer.
@@ -84,6 +104,16 @@ func (k EventKind) String() string {
 		return "reconfig-add"
 	case EvReconfigShed:
 		return "reconfig-shed"
+	case EvPartialPartition:
+		return "partial-partition"
+	case EvIsolateLeader:
+		return "isolate-leader"
+	case EvIsolateFollower:
+		return "isolate-follower"
+	case EvTransferLeader:
+		return "transfer-leader"
+	case EvReconfigDropLeader:
+		return "reconfig-drop-leader"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -155,6 +185,16 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%6s] reconfig-add S%d", e.At, e.Node)
 	case EvReconfigShed:
 		return fmt.Sprintf("[%6s] reconfig-shed", e.At)
+	case EvPartialPartition:
+		return fmt.Sprintf("[%6s] partial-partition S%d->S%d", e.At, e.A[0], e.B[0])
+	case EvIsolateLeader:
+		return fmt.Sprintf("[%6s] isolate-leader", e.At)
+	case EvIsolateFollower:
+		return fmt.Sprintf("[%6s] isolate-follower", e.At)
+	case EvTransferLeader:
+		return fmt.Sprintf("[%6s] transfer-leader", e.At)
+	case EvReconfigDropLeader:
+		return fmt.Sprintf("[%6s] reconfig-drop-leader", e.At)
 	default:
 		return fmt.Sprintf("[%6s] %s", e.At, e.Kind)
 	}
@@ -263,6 +303,12 @@ type Options struct {
 	// paper's guards prevent — used to prove the harness catches them.
 	DisableR2 bool
 	DisableR3 bool
+	// DisablePreVote/DisableCheckQuorum turn off the election-robustness
+	// guards — used to prove the disruption oracles catch a rejoining
+	// node deposing a healthy leader (Pre-Vote) and a quorumless leader
+	// that never steps down (CheckQuorum).
+	DisablePreVote     bool
+	DisableCheckQuorum bool
 	// SnapshotThreshold is the log-compaction trigger: after this many
 	// applied entries above the snapshot base a node captures its state
 	// machine and truncates its log. 0 picks a chaos-friendly default
@@ -393,6 +439,11 @@ func Generate(seed int64, opt Options) *Schedule {
 			choices = append(choices, choice{EvHeal, 50})
 		} else {
 			choices = append(choices, choice{EvPartition, 14}, choice{EvPartitionLeader, 10}, choice{EvIsolate, 8})
+			choices = append(choices, choice{EvPartialPartition, 6}, choice{EvIsolateLeader, 5}, choice{EvIsolateFollower, 6})
+		}
+		choices = append(choices, choice{EvTransferLeader, 6})
+		if memberCount > 3 {
+			choices = append(choices, choice{EvReconfigDropLeader, 5})
 		}
 		if dropActive {
 			choices = append(choices, choice{EvDropRate, 20}) // lower or clear it
@@ -464,6 +515,30 @@ func Generate(seed int64, opt Options) *Schedule {
 		case EvIsolate:
 			s.Events = append(s.Events, Event{At: at, Kind: EvIsolate, Node: pick(aliveList())})
 			partitioned = true
+		case EvPartialPartition:
+			// One asymmetric link between two distinct alive nodes; cleared
+			// by the next heal like every other cut.
+			alive := aliveList()
+			if len(alive) < 2 {
+				continue
+			}
+			a := pick(alive)
+			b := a
+			for b == a {
+				b = pick(alive)
+			}
+			s.Events = append(s.Events, Event{At: at, Kind: EvPartialPartition, A: []types.NodeID{a}, B: []types.NodeID{b}})
+			partitioned = true
+		case EvIsolateLeader:
+			s.Events = append(s.Events, Event{At: at, Kind: EvIsolateLeader})
+			partitioned = true
+		case EvIsolateFollower:
+			s.Events = append(s.Events, Event{At: at, Kind: EvIsolateFollower})
+			partitioned = true
+		case EvTransferLeader:
+			s.Events = append(s.Events, Event{At: at, Kind: EvTransferLeader})
+		case EvReconfigDropLeader:
+			s.Events = append(s.Events, Event{At: at, Kind: EvReconfigDropLeader})
 		case EvDropRate:
 			rate := 0.0
 			if !dropActive || rng.Intn(2) == 0 {
@@ -566,6 +641,11 @@ func sortIDs(ids []types.NodeID) {
 // minority forms a quorum of its shrunken config and commits on a branch
 // the majority never saw — a committed-prefix divergence the checker must
 // flag.
+//
+// The sheds land right after the cut — inside CheckQuorum's one-interval
+// grace window. Any later and the stale leader (correctly) steps down
+// before the second shed can shrink its config to where the minority is a
+// quorum again, and the scenario evaporates.
 func R2ViolationSchedule(opt Options) *Schedule {
 	opt.defaults()
 	d := opt.Duration
@@ -574,9 +654,69 @@ func R2ViolationSchedule(opt Options) *Schedule {
 		Nodes: opt.Nodes,
 		Events: []Event{
 			{At: d * 25 / 100, Kind: EvPartitionLeader, Keep: 1},
-			{At: d*25/100 + 10*time.Millisecond, Kind: EvReconfigShed},
-			{At: d*25/100 + 20*time.Millisecond, Kind: EvReconfigShed},
+			{At: d*25/100 + 3*time.Millisecond, Kind: EvReconfigShed},
+			{At: d*25/100 + 6*time.Millisecond, Kind: EvReconfigShed},
 			{At: d * 60 / 100, Kind: EvHeal},
+		},
+		Scripts: Generate(1, opt).Scripts,
+	}
+}
+
+// DisruptionSchedule is the rejoin-disruption plan the Pre-Vote teeth test
+// uses: isolate one follower long enough for ten election intervals of
+// futile campaigning, then heal. With Pre-Vote the rounds are term-neutral
+// and the heal is a non-event; with DisablePreVote the rejoiner comes back
+// with an inflated term, deposes the healthy leader, and the disruption
+// oracle flags it.
+func DisruptionSchedule(opt Options) *Schedule {
+	opt.defaults()
+	d := opt.Duration
+	iso := d * 25 / 100
+	return &Schedule{
+		Seed:  -2,
+		Nodes: opt.Nodes,
+		Events: []Event{
+			{At: iso, Kind: EvIsolateFollower},
+			{At: iso + 10*opt.ElectionTimeoutMin, Kind: EvHeal},
+		},
+		Scripts: Generate(1, opt).Scripts,
+	}
+}
+
+// StaleLeaderSchedule cuts the leader (plus one follower) into a minority
+// and leaves it there for most of the run. With CheckQuorum the stale
+// leader steps down within an election interval of losing quorum contact;
+// with DisableCheckQuorum it reigns over its minority indefinitely and the
+// stale-leader oracle flags it.
+func StaleLeaderSchedule(opt Options) *Schedule {
+	opt.defaults()
+	d := opt.Duration
+	return &Schedule{
+		Seed:  -3,
+		Nodes: opt.Nodes,
+		Events: []Event{
+			{At: d * 25 / 100, Kind: EvPartitionLeader, Keep: 1},
+			{At: d * 80 / 100, Kind: EvHeal},
+		},
+		Scripts: Generate(1, opt).Scripts,
+	}
+}
+
+// TransferDuringReconfigSchedule exercises graceful handoff under churn:
+// two membership changes that each shed the sitting leader, with an
+// explicit transfer between them. A correct run completes every handoff by
+// TimeoutNow — the journal shows transfer campaigns and zero timeout
+// campaigns.
+func TransferDuringReconfigSchedule(opt Options) *Schedule {
+	opt.defaults()
+	d := opt.Duration
+	return &Schedule{
+		Seed:  -4,
+		Nodes: opt.Nodes,
+		Events: []Event{
+			{At: d * 30 / 100, Kind: EvReconfigDropLeader},
+			{At: d * 50 / 100, Kind: EvTransferLeader},
+			{At: d * 70 / 100, Kind: EvReconfigDropLeader},
 		},
 		Scripts: Generate(1, opt).Scripts,
 	}

@@ -78,16 +78,19 @@ func RunSim(sched *Schedule, opt Options) (*Report, error) {
 	et := int(ticksOf(opt.ElectionTimeoutMin))
 	r := &simRun{
 		s: sim.New(sim.Options{
-			Nodes:             opt.Nodes,
-			Seed:              sched.Seed,
-			ElectionTicks:     et,
-			JitterTicks:       et,
-			HeartbeatTicks:    max(1, et/3),
-			DisableR2:         opt.DisableR2,
-			DisableR3:         opt.DisableR3,
-			SnapshotThreshold: opt.snapThreshold(),
+			Nodes:              opt.Nodes,
+			Seed:               sched.Seed,
+			ElectionTicks:      et,
+			JitterTicks:        et,
+			HeartbeatTicks:     max(1, et/3),
+			DisableR2:          opt.DisableR2,
+			DisableR3:          opt.DisableR3,
+			DisablePreVote:     opt.DisablePreVote,
+			DisableCheckQuorum: opt.DisableCheckQuorum,
+			SnapshotThreshold:  opt.snapThreshold(),
 		}),
 		opt:        opt,
+		et:         int64(et),
 		horizon:    ticksOf(opt.Duration),
 		opTimeout:  ticksOf(opt.OpTimeout),
 		stores:     make(map[types.NodeID]*kvstore.Store, opt.Nodes),
@@ -97,6 +100,8 @@ func RunSim(sched *Schedule, opt Options) (*Report, error) {
 		lastTerm:   make(map[incKey]types.Time),
 		lastCommit: make(map[incKey]int),
 		violations: make(map[string]bool),
+		staleFor:   make(map[types.NodeID]int64),
+		curLeader:  types.NoNode,
 		members:    append([]types.NodeID(nil), types.Range(1, types.NodeID(opt.Nodes)).Slice()...),
 	}
 	for _, id := range r.s.IDs() {
@@ -137,6 +142,7 @@ func RunSim(sched *Schedule, opt Options) (*Report, error) {
 			r.apply(sched.Events[nextEvent])
 			nextEvent++
 		}
+		r.driveReconfig()
 		r.tickClients()
 		r.sampleMonitor()
 		if r.s.Now()%refineEvery == 0 {
@@ -157,6 +163,7 @@ func RunSim(sched *Schedule, opt Options) (*Report, error) {
 	converged := false
 	for r.s.Now() < settle {
 		r.s.Step()
+		r.driveReconfig()
 		r.tickClients()
 		r.sampleMonitor()
 		if r.s.Now()%refineEvery == 0 {
@@ -182,6 +189,9 @@ func RunSim(sched *Schedule, opt Options) (*Report, error) {
 		rep.Timeouts += cl.timeouts
 	}
 	rep.Faults = r.s.Faults()
+	for _, id := range r.s.IDs() {
+		rep.addStats(r.s.Counters(id))
+	}
 	rep.Violations = append(rep.Violations, r.monitorReport()...)
 	rep.Violations = append(rep.Violations, checkAppliedStreams(r.applied, opt.Nodes)...)
 	rep.Violations = append(rep.Violations, checkLinearizable(r.history)...)
@@ -202,6 +212,7 @@ type incKey struct {
 type simRun struct {
 	s         *sim.Cluster
 	opt       Options
+	et        int64 // election interval in ticks
 	horizon   int64
 	opTimeout int64
 
@@ -216,11 +227,25 @@ type simRun struct {
 	near, far  []types.NodeID
 	partLeader types.NodeID // NoNode when no leader partition is active
 
+	// drop-leader reconfiguration in flight: the target membership a
+	// leader must transfer out of before the change is proposed (mirrors
+	// cluster.Reconfigure's retry loop, one attempt per tick).
+	dropPending  bool
+	dropTarget   types.NodeSet
+	dropDeadline int64 // give up on the pending drop after this tick
+
 	// monitor state
 	leaders    map[types.Time]types.NodeID
 	lastTerm   map[incKey]types.Time
 	lastCommit map[incKey]int
 	violations map[string]bool
+
+	// election-disruption oracle state
+	curLeader     types.NodeID // established-leader candidate (NoNode = none)
+	curLeaderTerm types.Time
+	healthyFor    int64                  // consecutive ticks curLeader has been healthy
+	suppressUntil int64                  // disruption oracle muted through this tick (transfers)
+	staleFor      map[types.NodeID]int64 // consecutive ticks leading without a linked quorum
 
 	// executable refinement
 	exec             *refine.ExecChecker
@@ -262,6 +287,129 @@ func (r *simRun) sampleMonitor() {
 				r.leaders[term] = id
 			}
 		}
+	}
+	r.checkElections()
+}
+
+// checkElections runs the two election-robustness oracles every tick.
+//
+// Stale-leader oracle (CheckQuorum's contract): an alive node still
+// claiming leadership long after its last linked quorum disappeared should
+// have stepped down within an election interval; tolerating several
+// intervals of slack, a persistent minority reign is a violation.
+//
+// Disruption oracle (Pre-Vote + sticky leadership's contract): a leader
+// that has been continuously healthy — alive, no probabilistic loss, a
+// quorum of its configuration alive and bidirectionally linked — for two
+// full election intervals is "established": its quorum hears heartbeats,
+// so every member of it denies (pre-)votes, and no rejoining node can
+// assemble a majority. If such a leader is deposed anyway outside a
+// leadership-transfer window, election robustness is broken.
+func (r *simRun) checkElections() {
+	estThreshold := 4 * r.et // 2 × (ElectionTicks + JitterTicks)
+	staleThreshold := 6 * r.et
+	now := r.s.Now()
+
+	for _, id := range r.s.IDs() {
+		_, role, _ := r.s.Status(id)
+		if !r.s.Alive(id) || role != raft.Leader || !r.s.Members(id).Contains(id) || r.quorumLinked(id) {
+			delete(r.staleFor, id)
+			continue
+		}
+		r.staleFor[id]++
+		if r.staleFor[id] == staleThreshold {
+			r.violations[fmt.Sprintf("stale leader S%d kept leading %d ticks after losing quorum contact (CheckQuorum should step it down)", id, staleThreshold)] = true
+			r.s.Journalf("stale-leader violation: S%d", id)
+		}
+	}
+
+	if r.curLeader != types.NoNode {
+		term, role, _ := r.s.Status(r.curLeader)
+		if !r.s.Alive(r.curLeader) {
+			r.curLeader, r.healthyFor = types.NoNode, 0
+		} else if role != raft.Leader || term != r.curLeaderTerm {
+			if r.healthyFor >= estThreshold && now >= r.suppressUntil {
+				r.violations[fmt.Sprintf("healthy leader S%d (term %d) deposed by election disruption", r.curLeader, r.curLeaderTerm)] = true
+				r.s.Journalf("disruption violation: S%d term %d", r.curLeader, r.curLeaderTerm)
+			}
+			r.curLeader, r.healthyFor = types.NoNode, 0
+		}
+	}
+	if r.curLeader == types.NoNode {
+		if lid, ok := r.s.Leader(); ok && r.s.Alive(lid) {
+			term, _, _ := r.s.Status(lid)
+			r.curLeader, r.curLeaderTerm, r.healthyFor = lid, term, 0
+		}
+	}
+	if r.curLeader != types.NoNode {
+		if r.healthy(r.curLeader) {
+			r.healthyFor++
+		} else {
+			r.healthyFor = 0
+		}
+	}
+}
+
+// healthy reports whether id is a leader the disruption oracle would
+// protect: alive, a voter in its own configuration, no probabilistic
+// message loss, and a quorum of that configuration alive and linked.
+func (r *simRun) healthy(id types.NodeID) bool {
+	if !r.s.Alive(id) || r.s.DropRate() > 0 {
+		return false
+	}
+	if !r.s.Members(id).Contains(id) {
+		return false
+	}
+	return r.quorumLinked(id)
+}
+
+// quorumLinked reports whether a majority of id's configuration (counting
+// itself) is alive with a clean bidirectional link to id.
+func (r *simRun) quorumLinked(id types.NodeID) bool {
+	members := r.s.Members(id)
+	contact := 0
+	for _, m := range members.Slice() {
+		if m == id || (r.s.Alive(m) && r.s.Linked(id, m)) {
+			contact++
+		}
+	}
+	return contact >= members.Len()/2+1
+}
+
+// suppress mutes the disruption oracle for a transfer window: a graceful
+// handoff deposes a perfectly healthy leader on purpose.
+func (r *simRun) suppress() {
+	r.suppressUntil = r.s.Now() + 10*r.et
+}
+
+// driveReconfig advances a pending drop-leader reconfiguration one step:
+// transfer leadership into the surviving set if the sitting leader is being
+// shed, then propose the change at a leader that will survive it.
+func (r *simRun) driveReconfig() {
+	if !r.dropPending {
+		return
+	}
+	if r.s.Now() > r.dropDeadline {
+		r.dropPending = false // the run moved on (stacked reconfigs); give up
+		return
+	}
+	lid, ok := r.s.Leader()
+	if !ok || !r.s.Alive(lid) {
+		return
+	}
+	if !r.dropTarget.Contains(lid) {
+		if to := r.s.PickTransferTarget(lid, r.dropTarget); to != types.NoNode {
+			r.s.TransferLeader(lid, to) // ErrTransferInProgress etc.: retried next tick
+			r.suppress()
+		}
+		return
+	}
+	if r.s.Members(lid).Equal(r.dropTarget) {
+		r.dropPending = false
+		return
+	}
+	if _, _, err := r.s.ProposeConfig(lid, r.dropTarget); err == nil {
+		r.dropPending = false
 	}
 }
 
@@ -369,14 +517,60 @@ func (r *simRun) apply(e Event) {
 		if target.Len() == r.s.Members(lid).Len() {
 			return
 		}
+		if !target.Contains(lid) {
+			// The change sheds the sitting leader: hand off first, as
+			// cluster.Reconfigure does live.
+			r.startDropLeader(target)
+			return
+		}
 		// Best effort, as in the live executor: R2/R3 rejections and
 		// never-committing changes are outcomes the oracles observe.
 		r.s.ProposeConfig(lid, target)
 	case EvReconfigShed:
 		r.shed()
+	case EvPartialPartition:
+		r.s.BlockOneWay(e.A[0], e.B[0])
+	case EvIsolateLeader:
+		r.clearPartition()
+		if lid, ok := r.s.Leader(); ok {
+			r.s.Isolate(lid)
+		}
+	case EvIsolateFollower:
+		r.clearPartition()
+		lid, ok := r.s.Leader()
+		for _, id := range r.members {
+			if r.s.Alive(id) && (!ok || id != lid) {
+				r.s.Isolate(id)
+				return
+			}
+		}
+	case EvTransferLeader:
+		if lid, ok := r.s.Leader(); ok {
+			r.suppress()
+			r.s.TransferLeader(lid, types.NoNode) // best effort; no-op on errors
+		}
+	case EvReconfigDropLeader:
+		lid, ok := r.s.Leader()
+		if !ok {
+			return
+		}
+		members := r.s.Members(lid)
+		if !members.Contains(lid) || members.Len() <= 3 {
+			return
+		}
+		r.startDropLeader(members.Remove(lid))
 	default:
 		panic(fmt.Sprintf("chaos: sim executor saw unknown event kind %v", e.Kind))
 	}
+}
+
+// startDropLeader arms the drop-leader reconfiguration that driveReconfig
+// advances each tick until the change is proposed at a surviving leader.
+func (r *simRun) startDropLeader(target types.NodeSet) {
+	r.dropPending = true
+	r.dropTarget = target
+	r.dropDeadline = r.s.Now() + 40*r.et
+	r.suppress()
 }
 
 func (r *simRun) clearPartition() {

@@ -1,0 +1,65 @@
+package kvstore
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"adore/internal/raft/cluster"
+)
+
+// TestLeaderlessBackoff pins the client's retry budget against a leaderless
+// cluster. With the historical fixed 1ms spin, a 300ms request burned ~300
+// probe attempts per client — a core's worth of wakeups during any real
+// outage. Capped jittered exponential backoff (1ms doubling to 40ms) bounds
+// the same window to a couple dozen probes.
+func TestLeaderlessBackoff(t *testing.T) {
+	r := NewReplicated(cluster.Options{
+		N:                  3,
+		Latency:            100 * time.Microsecond,
+		Seed:               53,
+		ElectionTimeoutMin: 15 * time.Millisecond,
+	})
+	defer r.Stop()
+	if _, err := r.Cluster.WaitForLeader(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut every link. CheckQuorum steps the leader down within a couple of
+	// election intervals, and Pre-Vote keeps the isolated followers from
+	// winning anything, so the cluster goes and stays leaderless.
+	r.Cluster.Net.SetDropRate(1)
+	leaderless := time.Now().Add(5 * time.Second)
+	for r.Cluster.Leader() != nil {
+		if !time.Now().Before(leaderless) {
+			t.Fatal("leader never stepped down after losing all links")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	before := r.Retries()
+	if _, err := r.Do(OpGet, "k", "", "", 300*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("leaderless Do: err = %v, want ErrTimeout", err)
+	}
+	probes := r.Retries() - before
+	// Worst case (every jittered sleep lands at the slice minimum) is ~21
+	// probes in 300ms; the fixed-spin behavior this replaces was ~300.
+	if probes > 60 {
+		t.Fatalf("leaderless 300ms request made %d probe attempts; backoff should bound this to a couple dozen", probes)
+	}
+	if probes < 5 {
+		t.Fatalf("leaderless 300ms request made only %d probe attempts; the client gave up retrying", probes)
+	}
+	t.Logf("%d probes in 300ms", probes)
+
+	// Heal: the cluster re-elects and the same client session works again,
+	// proving backoff state doesn't wedge the request path.
+	r.Cluster.Net.SetDropRate(0)
+	if err := r.Put("k", "v", 5*time.Second); err != nil {
+		t.Fatalf("post-heal put: %v", err)
+	}
+	v, ok, err := r.Get("k", 5*time.Second)
+	if err != nil || !ok || v != "v" {
+		t.Fatalf("post-heal get = %q %v %v", v, ok, err)
+	}
+}

@@ -1,6 +1,8 @@
 package kvstore
 
 import (
+	"errors"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,7 +29,53 @@ type Replicated struct {
 	stores map[types.NodeID]*Store // guarded by mu
 
 	nextClient uint64 // accessed atomically
+	retries    uint64 // accessed atomically
 	def        *Client
+}
+
+// Retries reports how many request attempts across all clients found no
+// leader or had their proposal rejected and had to back off and re-probe.
+// A healthy cluster keeps this near zero; tests use it to bound how hard
+// clients hammer a leaderless cluster.
+func (r *Replicated) Retries() uint64 { return atomic.LoadUint64(&r.retries) }
+
+// Leader-probe backoff. A fixed 1ms spin between probes is harmless for a
+// brief leader change but burns a core per client during a real outage
+// (election storm, quorum loss): clients wake a thousand times a second to
+// learn nothing. Failed probes instead back off exponentially from
+// backoffInitial to backoffMax with ±50% jitter (so a herd of clients
+// doesn't re-probe in lockstep), capped by the request deadline. Progress —
+// a proposal accepted, or a leader's explicit ErrLeaderStepdown redirect —
+// resets the backoff to keep the fast path fast.
+const (
+	backoffInitial = time.Millisecond
+	backoffMax     = 40 * time.Millisecond
+)
+
+type backoff struct {
+	r    *Replicated
+	next time.Duration
+}
+
+func (r *Replicated) newBackoff() backoff { return backoff{r: r, next: backoffInitial} }
+
+func (b *backoff) reset() { b.next = backoffInitial }
+
+// sleep counts one retry and waits the current slice, jittered into
+// [next/2, next) and clipped to the deadline, then doubles the slice.
+func (b *backoff) sleep(deadline time.Time) {
+	atomic.AddUint64(&b.r.retries, 1)
+	d := b.next/2 + time.Duration(rand.Int63n(int64(b.next/2)+1))
+	b.next *= 2
+	if b.next > backoffMax {
+		b.next = backoffMax
+	}
+	if rem := time.Until(deadline); d > rem {
+		d = rem
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
 }
 
 // NewReplicated starts an n-node replicated store over a simulated network.
@@ -97,10 +145,11 @@ func (c *Client) Do(op Op, key, value, old string, timeout time.Duration) (Resul
 	cmd := Command{Op: op, Key: key, Value: value, Old: old, Client: c.id, Seq: seq}
 	payload := cmd.Encode()
 	deadline := time.Now().Add(timeout)
+	bo := r.newBackoff()
 	for time.Now().Before(deadline) {
 		leader := r.Cluster.Leader()
 		if leader == nil {
-			time.Sleep(time.Millisecond)
+			bo.sleep(deadline)
 			continue
 		}
 		var idx int
@@ -111,9 +160,18 @@ func (c *Client) Do(op Op, key, value, old string, timeout time.Duration) (Resul
 			idx, _, err = leader.ProposeAsync(payload).Wait()
 		}
 		if err != nil {
-			time.Sleep(time.Millisecond)
+			if errors.Is(err, raft.ErrLeaderStepdown) {
+				// The leader told us it stepped down (CheckQuorum or a
+				// transfer); its successor is likely already up. Re-probe
+				// immediately rather than waiting out a backoff slice.
+				atomic.AddUint64(&r.retries, 1)
+				bo.reset()
+				continue
+			}
+			bo.sleep(deadline)
 			continue
 		}
+		bo.reset()
 		ch := r.storeFor(leader.ID()).wait(idx, cmd.Client, cmd.Seq)
 		// Wait a bounded slice per attempt: a deposed leader never
 		// commits our index, so block briefly and re-probe for the real
@@ -173,10 +231,11 @@ func (r *Replicated) Append(key, value string, timeout time.Duration) (string, e
 // until the deadline.
 func (r *Replicated) FastGet(key string, timeout time.Duration) (string, bool, error) {
 	deadline := time.Now().Add(timeout)
+	bo := r.newBackoff()
 	for time.Now().Before(deadline) {
 		leader := r.Cluster.Leader()
 		if leader == nil {
-			time.Sleep(time.Millisecond)
+			bo.sleep(deadline)
 			continue
 		}
 		attempt := 300 * time.Millisecond
@@ -185,7 +244,12 @@ func (r *Replicated) FastGet(key string, timeout time.Duration) (string, bool, e
 		}
 		idx, err := leader.ReadIndex(attempt)
 		if err != nil {
-			time.Sleep(time.Millisecond)
+			if errors.Is(err, raft.ErrLeaderStepdown) {
+				atomic.AddUint64(&r.retries, 1)
+				bo.reset()
+				continue
+			}
+			bo.sleep(deadline)
 			continue
 		}
 		st := r.storeFor(leader.ID())

@@ -183,7 +183,13 @@ func (n *Node) flushBatch() {
 // never entered the log. The caller holds mu (for n.leader); the queue
 // itself is drained under propMu, keeping the mu → propMu lock order.
 func (n *Node) failPropsLocked() {
-	err := fmt.Errorf("%w (known leader: %s)", ErrNotLeader, n.core.Leader())
+	n.failPropsLockedErr(fmt.Errorf("%w (known leader: %s)", ErrNotLeader, n.core.Leader()))
+}
+
+// failPropsLockedErr is failPropsLocked with a caller-chosen cause (a
+// CheckQuorum step-down fails futures with the retryable ErrLeaderStepdown
+// instead of a plain redirect).
+func (n *Node) failPropsLockedErr(err error) {
 	n.propMu.Lock()
 	batch := n.pendingProps
 	n.pendingProps = nil

@@ -27,6 +27,10 @@ type Options struct {
 	// guards prevent (used by the chaos harness to prove it catches them).
 	DisableR2 bool
 	DisableR3 bool
+	// DisablePreVote/DisableCheckQuorum turn off the election-robustness
+	// guards (rejoin disruption, minority-leader step-down) for experiments.
+	DisablePreVote     bool
+	DisableCheckQuorum bool
 	// Seed drives all randomness.
 	Seed int64
 	// OnApply, when set, is called synchronously from each node's apply
@@ -109,6 +113,8 @@ func (c *Cluster) StartNode(id types.NodeID, members []types.NodeID) *raft.Node 
 		ElectionTimeoutMin: c.opts.ElectionTimeoutMin,
 		DisableR2:          c.opts.DisableR2,
 		DisableR3:          c.opts.DisableR3,
+		DisablePreVote:     c.opts.DisablePreVote,
+		DisableCheckQuorum: c.opts.DisableCheckQuorum,
 		Seed:               c.opts.Seed + int64(id),
 	})
 	// Pump the transport inbox into the node. Delivery blocks when the
@@ -244,12 +250,29 @@ func (c *Cluster) appliedThrough(id types.NodeID) int {
 
 // Reconfigure retries a membership change against the current leader until
 // it is accepted (R3 needs the term-opening no-op to commit first) and
-// returns the config entry's index.
+// returns the config entry's index. When the new membership sheds the
+// current leader, leadership is first handed off gracefully to the most
+// caught-up surviving voter (a TimeoutNow transfer instead of waiting for
+// the removed leader's silence to time out an election), then the change
+// is proposed at the new leader.
 func (c *Cluster) Reconfigure(members types.NodeSet, timeout time.Duration) (int, error) {
 	deadline := time.Now().Add(timeout)
 	var lastErr error
 	for time.Now().Before(deadline) {
 		if l := c.Leader(); l != nil {
+			if !members.Contains(l.ID()) {
+				// The change removes the leader itself: move leadership into
+				// the surviving set first so the cluster never waits out a
+				// timeout election on the removed node's silence.
+				if to := l.PickTransferTarget(members); to != types.NoNode {
+					if err := l.TransferLeader(to); err != nil &&
+						!errors.Is(err, raft.ErrTransferInProgress) {
+						lastErr = err
+					}
+					time.Sleep(time.Millisecond)
+					continue
+				}
+			}
 			idx, _, err := l.ProposeConfig(members)
 			if err == nil {
 				return idx, nil

@@ -63,6 +63,17 @@ type Options struct {
 	// experiments only.
 	DisableR2 bool
 
+	// DisablePreVote skips the term-neutral pre-election, so a partitioned
+	// node rejoins with an inflated term and deposes a healthy leader. The
+	// chaos harness uses this to prove its disruption oracle bites. For
+	// experiments only.
+	DisablePreVote bool
+
+	// DisableCheckQuorum keeps a minority-side leader in the Leader role
+	// indefinitely instead of stepping down after an election interval
+	// without quorum contact. For experiments only.
+	DisableCheckQuorum bool
+
 	// Seed randomizes election timeouts deterministically (0 = from ID).
 	Seed int64
 }
@@ -116,6 +127,17 @@ var (
 	// ErrBadMembership rejects changes that are not single-node (R1) or
 	// would empty the cluster.
 	ErrBadMembership = raftcore.ErrBadMembership
+	// ErrLeaderStepdown reports that the leader relinquished leadership
+	// (CheckQuorum: no quorum contact for an election interval). In-flight
+	// ProposeAsync futures fail with it; retryable, and the caller should
+	// re-probe for the next leader immediately rather than back off.
+	ErrLeaderStepdown = raftcore.ErrLeaderStepdown
+	// ErrTransferInProgress rejects proposals while a leadership transfer
+	// is pausing the log; retry once the handoff resolves.
+	ErrTransferInProgress = raftcore.ErrTransferInProgress
+	// ErrBadTransferTarget rejects a transfer to a node outside the
+	// effective configuration (or with no eligible target at all).
+	ErrBadTransferTarget = raftcore.ErrBadTransferTarget
 	// ErrStorageFailed reports that a durable write failed and the node
 	// fail-stopped: it halted rather than keep running on state it could
 	// not persist (acting on unpersisted state breaks the crash-recovery
@@ -235,6 +257,8 @@ func StartNode(opts Options) *Node {
 			SnapshotThreshold:   snapThreshold,
 			DisableR2:           opts.DisableR2,
 			DisableR3:           opts.DisableR3,
+			DisablePreVote:      opts.DisablePreVote,
+			DisableCheckQuorum:  opts.DisableCheckQuorum,
 		}, hs, snap, log),
 		applyCh:     make(chan []ApplyMsg, 1024),
 		inbox:       make(chan Message, 1024),
@@ -344,7 +368,10 @@ type Snapshot struct {
 	LastIndex   int
 	Members     types.NodeSet
 	Elections   uint64
-	Err         error // the fail-stop cause, if any
+	// Counters are the election-disruption metrics (pre-vote rounds, term
+	// bumps, step-downs, transfers); the chaos monitor samples them.
+	Counters Counters
+	Err      error // the fail-stop cause, if any
 }
 
 // Snapshot returns a consistent snapshot of the node's state.
@@ -359,6 +386,7 @@ func (n *Node) Snapshot() Snapshot {
 		LastIndex:   n.core.LastIndex(),
 		Members:     n.core.Members(),
 		Elections:   n.core.Elections(),
+		Counters:    n.core.Counters(),
 		Err:         n.stopErr,
 	}
 	if n.stopErr != nil {
@@ -456,10 +484,16 @@ func (n *Node) processReadyLocked() {
 		}
 	}
 	// Leadership lost inside this batch: abort queued (unflushed)
-	// proposals — their commands never entered the log.
+	// proposals — their commands never entered the log. A CheckQuorum
+	// step-down fails them with the retryable ErrLeaderStepdown so clients
+	// re-probe immediately instead of waiting out a redirect.
 	isLeader := n.core.Role() == Leader
 	if n.wasLeader && !isLeader {
-		n.failPropsLocked()
+		if rd.SteppedDown {
+			n.failPropsLockedErr(fmt.Errorf("%w (was %s)", ErrLeaderStepdown, n.id))
+		} else {
+			n.failPropsLocked()
+		}
 	}
 	n.wasLeader = isLeader
 }
@@ -646,6 +680,42 @@ func (n *Node) ReadIndex(timeout time.Duration) (int, error) {
 	case <-n.stopCh:
 		return 0, ErrStopped
 	}
+}
+
+// TransferLeader starts a graceful leadership handoff to peer to (NoNode
+// picks the most caught-up voter automatically): proposals pause, the
+// target is brought fully up to date, then told to campaign immediately —
+// bypassing Pre-Vote and follower stickiness, so leadership moves without
+// a disruptive timeout election. Returns once the handoff is initiated;
+// the transfer aborts on its own (and proposals resume) if the target
+// does not take over within an election interval.
+func (n *Node) TransferLeader(to types.NodeID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopErr != nil {
+		return fmt.Errorf("%w (known leader: %s)", ErrNotLeader, types.NoNode)
+	}
+	if err := n.core.TransferLeader(to); err != nil {
+		return err
+	}
+	n.processReadyLocked()
+	if n.stopErr != nil {
+		return n.stopErr
+	}
+	return nil
+}
+
+// PickTransferTarget returns the most caught-up voter inside target that
+// this leader could hand off to (NoNode when none exists, or when this
+// node is not the leader). Reconfigurations that shed the leader pass the
+// NEW configuration so leadership lands on a surviving node.
+func (n *Node) PickTransferTarget(target types.NodeSet) types.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopErr != nil {
+		return types.NoNode
+	}
+	return n.core.PickTransferTarget(target)
 }
 
 // AddServer proposes membership ∪ {id}.

@@ -23,6 +23,17 @@ var (
 	// ErrBadMembership rejects changes that are not single-node (R1) or
 	// would empty the cluster.
 	ErrBadMembership = errors.New("raft: invalid membership change (R1)")
+	// ErrLeaderStepdown reports that the leader relinquished leadership
+	// because CheckQuorum saw no quorum contact for an election interval.
+	// Retryable: the proposal may or may not commit (a Maybe outcome) and
+	// the caller should re-probe for the next leader immediately.
+	ErrLeaderStepdown = errors.New("raft: leader stepped down (no quorum contact)")
+	// ErrTransferInProgress rejects proposals while a leadership transfer
+	// is pausing the log; retry once the handoff resolves.
+	ErrTransferInProgress = errors.New("raft: leadership transfer in progress")
+	// ErrBadTransferTarget rejects a transfer to a node outside the
+	// effective configuration (or with no eligible target at all).
+	ErrBadTransferTarget = errors.New("raft: no eligible leadership-transfer target")
 )
 
 // Config parameterizes a Core. Time is abstract: the caller advances the
@@ -76,6 +87,19 @@ type Config struct {
 	// uses this to prove it can catch the resulting divergence. For
 	// experiments only.
 	DisableR2 bool
+
+	// DisablePreVote skips the term-neutral pre-election: a timed-out
+	// node increments its term and campaigns directly, so a partitioned
+	// node rejoins with an inflated term and deposes a healthy leader.
+	// The chaos harness uses this to prove its disruption oracle bites.
+	// For experiments only.
+	DisablePreVote bool
+
+	// DisableCheckQuorum keeps a leader that cannot reach a quorum in
+	// the Leader role indefinitely (it silently stalls on the minority
+	// side of a partition instead of stepping down and failing in-flight
+	// proposals with a retryable error). For experiments only.
+	DisableCheckQuorum bool
 }
 
 func (c *Config) defaults() {
@@ -121,10 +145,20 @@ type Core struct {
 	// Leader volatile state.
 	nextIndex  map[types.NodeID]int
 	matchIndex map[types.NodeID]int
-	votes      types.NodeSet
+	votes      types.NodeSet // vote or pre-vote tally (role disambiguates)
 	// snapSent records, per peer, the tick of the last snapshot transfer,
 	// pacing resends to one per election interval.
 	snapSent map[types.NodeID]int64
+	// peerActive records, per peer, the tick of the last current-term
+	// response; CheckQuorum steps the leader down when a majority of the
+	// configuration has been silent for an election interval.
+	peerActive    map[types.NodeID]int64
+	quorumElapsed int
+	// transferTarget, while non-zero, is the peer an in-flight leadership
+	// transfer is handing off to; proposals pause until the handoff
+	// completes or transferDeadline passes.
+	transferTarget   types.NodeID
+	transferDeadline int64
 
 	// conf0 is the initial membership; the effective membership is the
 	// latest config entry in the log (hot reconfiguration), falling back
@@ -139,10 +173,14 @@ type Core struct {
 	// Logical clock: electionElapsed ticks since the last timer arm,
 	// against a timeout of ElectionTicks + the jitter drawn at arm time.
 	// ticks counts every Tick since boot (snapshot resend pacing).
+	// leaderContact is the tick of the last accepted append/install from
+	// the current-term leader; a follower with contact fresher than an
+	// election interval is "sticky" and refuses disruptive (pre-)votes.
 	electionElapsed  int
 	electionTimeout  int
 	heartbeatElapsed int
 	ticks            int64
+	leaderContact    int64
 
 	// pendingReads are ReadIndex barriers awaiting quorum confirmation.
 	pendingReads []*pendingRead
@@ -168,9 +206,11 @@ type Core struct {
 	// restore the state machine from it).
 	pendingSnap    *Snapshot
 	pendingRestore bool
+	// steppedDown latches a CheckQuorum step-down for the next Ready.
+	steppedDown bool
 
 	// metrics
-	elections uint64
+	ctr Counters
 }
 
 // pendingRead is one ReadIndex barrier: the commit index captured at
@@ -264,7 +304,14 @@ func (c *Core) SnapshotTerm() types.Time { return c.snapTerm }
 func (c *Core) Entry(i int) LogEntry { return c.entryAt(i) }
 
 // Elections returns how many elections this node has started (metrics).
-func (c *Core) Elections() uint64 { return c.elections }
+func (c *Core) Elections() uint64 { return c.ctr.Elections }
+
+// Counters returns the election-disruption metrics (monotone).
+func (c *Core) Counters() Counters { return c.ctr }
+
+// TransferTarget returns the peer an in-flight leadership transfer is
+// handing off to (NoNode when no transfer is pending).
+func (c *Core) TransferTarget() types.NodeID { return c.transferTarget }
 
 func (c *Core) lastIndex() int { return c.snapIndex + len(c.log) - 1 }
 
@@ -364,6 +411,8 @@ func (c *Core) TakeReady() Ready {
 	c.msgs = nil
 	rd.ReadStates = c.readStates
 	c.readStates = nil
+	rd.SteppedDown = c.steppedDown
+	c.steppedDown = false
 	if c.lastApplied < c.commitIndex {
 		rd.Committed = make([]ApplyMsg, 0, c.commitIndex-c.lastApplied)
 		for c.lastApplied < c.commitIndex {
@@ -441,7 +490,8 @@ func (c *Core) resetElectionTimer() {
 }
 
 // Tick advances the logical clock by one unit: leaders fire heartbeats on
-// their cadence, non-leaders count toward an election timeout.
+// their cadence (and run the CheckQuorum and transfer-deadline timers),
+// non-leaders count toward an election timeout.
 func (c *Core) Tick() {
 	c.ticks++
 	if c.role == Leader {
@@ -449,6 +499,23 @@ func (c *Core) Tick() {
 		if c.heartbeatElapsed >= c.cfg.HeartbeatTicks {
 			c.heartbeatElapsed = 0
 			c.broadcastAppend()
+		}
+		// An unacknowledged transfer dies at its deadline: the target was
+		// unreachable (or its campaign lost); resume serving proposals.
+		if c.transferTarget != types.NoNode && c.ticks >= c.transferDeadline {
+			c.cancelTransfer()
+		}
+		// CheckQuorum: every election interval, verify a majority of the
+		// configuration responded within the last interval; a minority-
+		// side leader steps down instead of stalling silently.
+		if !c.cfg.DisableCheckQuorum {
+			c.quorumElapsed++
+			if c.quorumElapsed >= c.cfg.ElectionTicks {
+				c.quorumElapsed = 0
+				if !c.hasQuorumContact() {
+					c.stepDown()
+				}
+			}
 		}
 		return
 	}
@@ -460,20 +527,113 @@ func (c *Core) Tick() {
 			c.resetElectionTimer()
 			return
 		}
-		c.startElection()
+		if c.cfg.DisablePreVote {
+			c.ctr.TimeoutElections++
+			c.startElection(false)
+			return
+		}
+		c.startPreVote()
 	}
+}
+
+// hasQuorumContact reports whether a majority of the configuration
+// (counting this leader) responded within the last election interval.
+// A peer never heard from is granted one interval of grace from first
+// check — covers both a fresh leadership and a just-added member.
+func (c *Core) hasQuorumContact() bool {
+	members := c.Members()
+	count := 0
+	for _, id := range members.Slice() {
+		if id == c.id {
+			count++
+			continue
+		}
+		last, ok := c.peerActive[id]
+		if !ok {
+			c.peerActive[id] = c.ticks
+			count++
+			continue
+		}
+		if c.ticks-last < int64(c.cfg.ElectionTicks) {
+			count++
+		}
+	}
+	return config.MajorityCount(count, members)
+}
+
+// stepDown relinquishes leadership without a term change (CheckQuorum):
+// pending reads abort, any transfer dies, and the driver learns of it via
+// Ready.SteppedDown so in-flight proposals fail retryably.
+func (c *Core) stepDown() {
+	c.role = Follower
+	c.leader = types.NoNode
+	c.ctr.StepDowns++
+	c.steppedDown = true
+	c.abortReads()
+	c.cancelTransfer()
+	c.resetElectionTimer()
 }
 
 // --- Elections ---
 
-// startElection begins a candidacy for the next term.
-func (c *Core) startElection() {
+// stickyLeader reports whether this follower heard from a current-term
+// leader within the last election interval; while it did, disruptive
+// (pre-)vote requests are refused so a healthy leader is not deposed.
+func (c *Core) stickyLeader() bool {
+	return c.role == Follower && c.leader != types.NoNode &&
+		c.ticks-c.leaderContact < int64(c.cfg.ElectionTicks)
+}
+
+// startPreVote opens a term-neutral pre-election: canvass the effective
+// configuration at term+1 without changing term or vote (nothing here
+// needs persistence), and only campaign for real once a majority grants.
+func (c *Core) startPreVote() {
+	c.role = PreCandidate
+	c.votes = types.NewNodeSet(c.id)
+	c.ctr.PreVoteRounds++
+	c.resetElectionTimer()
+	lastIdx := c.lastIndex()
+	req := Message{
+		Type:         MsgPreVoteRequest,
+		From:         c.id,
+		Term:         c.term + 1,
+		LastLogIndex: lastIdx,
+		LastLogTerm:  c.termAt(lastIdx),
+	}
+	for _, to := range c.Members().Slice() {
+		if to == c.id {
+			continue
+		}
+		req.To = to
+		c.send(req)
+	}
+	c.maybePreVoteWin()
+}
+
+// maybePreVoteWin escalates a pre-candidate with a majority of pre-vote
+// grants (judged against the current, possibly mid-reconfig, config)
+// into a real election.
+func (c *Core) maybePreVoteWin() {
+	if c.role != PreCandidate {
+		return
+	}
+	if !config.Majority(c.votes, c.Members()) {
+		return
+	}
+	c.ctr.PreVotesWon++
+	c.startElection(false)
+}
+
+// startElection begins a candidacy for the next term. transfer marks a
+// campaign the old leader opened deliberately (MsgTimeoutNow): its vote
+// requests bypass follower stickiness.
+func (c *Core) startElection(transfer bool) {
 	c.term++
 	c.role = Candidate
 	c.votedFor = c.id
 	c.markHardState()
 	c.votes = types.NewNodeSet(c.id)
-	c.elections++
+	c.ctr.Elections++
 	c.resetElectionTimer()
 	lastIdx := c.lastIndex()
 	req := Message{
@@ -482,6 +642,7 @@ func (c *Core) startElection() {
 		Term:         c.term,
 		LastLogIndex: lastIdx,
 		LastLogTerm:  c.termAt(lastIdx),
+		Transfer:     transfer,
 	}
 	for _, to := range c.Members().Slice() {
 		if to == c.id {
@@ -505,9 +666,11 @@ func (c *Core) maybeWin() {
 	c.role = Leader
 	c.leader = c.id
 	c.heartbeatElapsed = 0
+	c.quorumElapsed = 0
 	c.nextIndex = make(map[types.NodeID]int)
 	c.matchIndex = make(map[types.NodeID]int)
 	c.snapSent = make(map[types.NodeID]int64)
+	c.peerActive = make(map[types.NodeID]int64)
 	for _, id := range members.Slice() {
 		c.nextIndex[id] = c.lastIndex() + 1
 		c.matchIndex[id] = 0
@@ -526,11 +689,82 @@ func (c *Core) errNotLeader() error {
 	return fmt.Errorf("%w (known leader: %s)", ErrNotLeader, c.leader)
 }
 
+// TransferLeader starts a graceful leadership handoff to peer to (NoNode
+// picks the most caught-up voter automatically): proposals pause, the
+// target is brought fully up to date, and a MsgTimeoutNow tells it to
+// campaign immediately — bypassing Pre-Vote and follower stickiness, so
+// the handoff completes without a disruptive timeout election. The
+// transfer aborts (and proposals resume) if the target does not take over
+// within an election interval. Transferring to self is a no-op.
+func (c *Core) TransferLeader(to types.NodeID) error {
+	if c.role != Leader {
+		return c.errNotLeader()
+	}
+	if c.transferTarget != types.NoNode {
+		return ErrTransferInProgress
+	}
+	if to == types.NoNode {
+		to = c.PickTransferTarget(c.Members())
+	}
+	if to == c.id {
+		return nil
+	}
+	if to == types.NoNode || !c.Members().Contains(to) {
+		return fmt.Errorf("%w: %s not in %s", ErrBadTransferTarget, to, c.Members())
+	}
+	c.transferTarget = to
+	c.transferDeadline = c.ticks + int64(c.cfg.ElectionTicks)
+	c.ctr.TransfersStarted++
+	if c.matchIndex[to] >= c.lastIndex() {
+		c.sendTimeoutNow(to)
+	} else {
+		c.sendAppend(to) // catch it up; the ack triggers the handoff
+	}
+	return nil
+}
+
+// PickTransferTarget returns the most caught-up eligible peer inside
+// target ∩ Members(), excluding this node (NoNode when none exists).
+// Reconfigurations that shed the leader pass the NEW configuration here,
+// so leadership lands on a node that survives the change.
+func (c *Core) PickTransferTarget(target types.NodeSet) types.NodeID {
+	if c.role != Leader {
+		return types.NoNode
+	}
+	best := types.NoNode
+	bestMatch := -1
+	members := c.Members()
+	for _, id := range target.Slice() {
+		if id == c.id || !members.Contains(id) {
+			continue
+		}
+		if m := c.matchIndex[id]; m > bestMatch {
+			best, bestMatch = id, m
+		}
+	}
+	return best
+}
+
+// cancelTransfer abandons an in-flight transfer (deadline, step-down).
+func (c *Core) cancelTransfer() {
+	if c.transferTarget != types.NoNode {
+		c.transferTarget = types.NoNode
+		c.ctr.TransfersAborted++
+	}
+}
+
+func (c *Core) sendTimeoutNow(to types.NodeID) {
+	c.send(Message{Type: MsgTimeoutNow, From: c.id, To: to, Term: c.term})
+}
+
 // Propose appends a client command at the leader. It returns the assigned
 // log index and term, or ErrNotLeader.
 func (c *Core) Propose(cmd []byte) (int, types.Time, error) {
 	if c.role != Leader {
 		return 0, 0, c.errNotLeader()
+	}
+	if c.transferTarget != types.NoNode {
+		return 0, 0, ErrTransferInProgress
 	}
 	idx := c.appendAsLeader(LogEntry{Term: c.term, Kind: EntryCommand, Command: cmd})
 	c.broadcastAppend()
@@ -543,6 +777,9 @@ func (c *Core) Propose(cmd []byte) (int, types.Time, error) {
 func (c *Core) ProposeBatch(cmds [][]byte) (first int, term types.Time, err error) {
 	if c.role != Leader {
 		return 0, 0, c.errNotLeader()
+	}
+	if c.transferTarget != types.NoNode {
+		return 0, 0, ErrTransferInProgress
 	}
 	first = c.lastIndex() + 1
 	for _, cmd := range cmds {
@@ -560,6 +797,9 @@ func (c *Core) ProposeBatch(cmds [][]byte) (first int, term types.Time, err erro
 func (c *Core) ProposeConfig(members types.NodeSet) (int, types.Time, error) {
 	if c.role != Leader {
 		return 0, 0, c.errNotLeader()
+	}
+	if c.transferTarget != types.NoNode {
+		return 0, 0, ErrTransferInProgress
 	}
 	cur := c.Members()
 	if members.IsEmpty() {
@@ -814,11 +1054,32 @@ func (c *Core) sendSnapshot(to types.NodeID) {
 // Step consumes one incoming message.
 func (c *Core) Step(m Message) {
 	if m.Term > c.term {
-		c.term = m.Term
-		c.role = Follower
-		c.votedFor = types.NoNode
-		c.markHardState()
-		c.abortReads()
+		// Higher terms usually fold us to a follower of that term — but
+		// the Pre-Vote exchange is term-neutral by design, and a sticky
+		// follower ignores a disruptive campaign outright.
+		switch m.Type {
+		case MsgPreVoteRequest:
+			// A canvass, not a campaign: never adopt the proposed term.
+		case MsgPreVoteResponse:
+			if !m.Granted {
+				// A rejection carries the voter's real (higher) term.
+				c.adoptTerm(m.Term)
+			}
+			// A grant echoes the proposed term — not a real term.
+		case MsgVoteRequest:
+			if m.Transfer && m.From == c.transferTarget {
+				c.transferTarget = types.NoNode // handoff landed, not an abort
+			}
+			if !m.Transfer && c.stickyLeader() {
+				// Recent leader contact: ignore the disruptive campaign
+				// entirely (no term bump, no response) so a rejoining
+				// node cannot depose a healthy leader.
+				return
+			}
+			c.adoptTerm(m.Term)
+		default:
+			c.adoptTerm(m.Term)
+		}
 	}
 	switch m.Type {
 	case MsgVoteRequest:
@@ -831,7 +1092,24 @@ func (c *Core) Step(m Message) {
 		c.onAppendResponse(m)
 	case MsgInstallSnapshot:
 		c.onInstallSnapshot(m)
+	case MsgPreVoteRequest:
+		c.onPreVoteRequest(m)
+	case MsgPreVoteResponse:
+		c.onPreVoteResponse(m)
+	case MsgTimeoutNow:
+		c.onTimeoutNow(m)
 	}
+}
+
+// adoptTerm folds the node to a follower of a higher term.
+func (c *Core) adoptTerm(term types.Time) {
+	c.term = term
+	c.role = Follower
+	c.votedFor = types.NoNode
+	c.markHardState()
+	c.abortReads()
+	c.cancelTransfer()
+	c.ctr.TermBumps++
 }
 
 func (c *Core) onVoteRequest(m Message) {
@@ -861,6 +1139,47 @@ func (c *Core) onVoteResponse(m Message) {
 	c.maybeWin()
 }
 
+// onPreVoteRequest answers a term-neutral canvass: grant iff the proposed
+// term beats ours, the candidate's log is up to date, and neither recent
+// leader contact (stickiness) nor our own live leadership says the
+// cluster already has a leader. Nothing here changes term or vote, so no
+// persistence is needed before the response.
+func (c *Core) onPreVoteRequest(m Message) {
+	granted := false
+	if m.Term > c.term && c.role != Leader && !c.stickyLeader() {
+		lastIdx := c.lastIndex()
+		lastTerm := c.termAt(lastIdx)
+		granted = m.LastLogTerm > lastTerm ||
+			(m.LastLogTerm == lastTerm && m.LastLogIndex >= lastIdx)
+	}
+	term := c.term
+	if granted {
+		term = m.Term // echo the proposed term so the candidate can tally it
+	}
+	c.send(Message{
+		Type: MsgPreVoteResponse, From: c.id, To: m.From, Term: term, Granted: granted,
+	})
+}
+
+func (c *Core) onPreVoteResponse(m Message) {
+	if c.role != PreCandidate || !m.Granted || m.Term != c.term+1 {
+		return
+	}
+	c.votes = c.votes.Add(m.From)
+	c.maybePreVoteWin()
+}
+
+// onTimeoutNow executes the old leader's handoff: campaign immediately at
+// the next term, skipping Pre-Vote, with Transfer-flagged vote requests
+// that bypass follower stickiness.
+func (c *Core) onTimeoutNow(m Message) {
+	if m.Term != c.term || c.role == Leader || !c.Members().Contains(c.id) {
+		return
+	}
+	c.ctr.TransferElections++
+	c.startElection(true)
+}
+
 func (c *Core) onAppendEntries(m Message) {
 	success := false
 	matchIdx := 0
@@ -868,6 +1187,7 @@ func (c *Core) onAppendEntries(m Message) {
 	if m.Term == c.term {
 		c.role = Follower
 		c.leader = m.From
+		c.leaderContact = c.ticks
 		c.resetElectionTimer()
 		prev, prevTerm, entries := m.PrevLogIndex, m.PrevLogTerm, m.Entries
 		if prev < c.snapIndex {
@@ -940,6 +1260,7 @@ func (c *Core) onInstallSnapshot(m Message) {
 	}
 	c.role = Follower
 	c.leader = m.From
+	c.leaderContact = c.ticks
 	c.resetElectionTimer()
 	// Reassemble strictly in order; offset 0 (re)starts a transfer. A
 	// mismatched or out-of-order chunk is dropped — the leader resends
@@ -1002,6 +1323,7 @@ func (c *Core) onAppendResponse(m Message) {
 	if c.role != Leader || m.Term != c.term {
 		return
 	}
+	c.peerActive[m.From] = c.ticks // CheckQuorum: the peer is reachable
 	if !m.Success {
 		// Back off below the rejected probe, jumping straight to the
 		// follower's hint when it is lower (fast conflict resolution for
@@ -1024,6 +1346,16 @@ func (c *Core) onAppendResponse(m Message) {
 	}
 	if m.MatchIndex >= c.nextIndex[m.From] {
 		c.nextIndex[m.From] = m.MatchIndex + 1
+	}
+	// Transfer handoff: the moment the target holds our whole log, tell
+	// it to campaign. Re-sending on later acks is harmless — a stale
+	// TimeoutNow (its term already passed) is ignored by the target.
+	if m.From == c.transferTarget {
+		if c.matchIndex[m.From] >= c.lastIndex() {
+			c.sendTimeoutNow(m.From)
+		} else {
+			c.sendAppend(m.From)
+		}
 	}
 	c.confirmReads(m.From, m.Seq)
 	c.advanceCommit()
@@ -1052,6 +1384,7 @@ func (c *Core) advanceCommit() {
 			if !c.CommittedMembers().Contains(c.id) && !members.Contains(c.id) {
 				c.role = Follower
 				c.abortReads()
+				c.cancelTransfer()
 			}
 			break
 		}

@@ -30,9 +30,10 @@ func follower(id types.NodeID, members []types.NodeID, hs HardState, entries []L
 }
 
 // leader3 brings node 1 of {1,2,3} to leadership in term 1 and drains the
-// two setup batches (the vote round and the no-op broadcast). On return:
-// log = [no-op@1], commitIndex = 0, appendSeq = 2 (seq 1 went to S2, seq 2
-// to S3), nextIndex = {2:2, 3:2} after optimistic pipelining.
+// three setup batches (the pre-vote round, the vote round, and the no-op
+// broadcast). On return: log = [no-op@1], commitIndex = 0, appendSeq = 2
+// (seq 1 went to S2, seq 2 to S3), nextIndex = {2:2, 3:2} after optimistic
+// pipelining.
 func leader3(t *testing.T) *Core {
 	t.Helper()
 	c := New(Config{
@@ -42,7 +43,17 @@ func leader3(t *testing.T) *Core {
 		ElectionTicks: 1,
 		Jitter:        func() int { return 0 },
 	}, HardState{}, Snapshot{}, nil)
+	// The timeout opens a term-neutral pre-vote round: nothing persists.
 	c.Tick()
+	assertReady(t, c.TakeReady(), Ready{
+		Messages: []Message{
+			{Type: MsgPreVoteRequest, From: 1, To: 2, Term: 1},
+			{Type: MsgPreVoteRequest, From: 1, To: 3, Term: 1},
+		},
+	})
+	// A majority of grants escalates to the real election, which persists
+	// term+ballot before the vote requests go out.
+	c.Step(Message{Type: MsgPreVoteResponse, From: 2, To: 1, Term: 1, Granted: true})
 	assertReady(t, c.TakeReady(), Ready{
 		HardState: &HardState{Term: 1, VotedFor: 1},
 		Messages: []Message{

@@ -198,6 +198,7 @@ func TestGoldenSnapshotTransfer(t *testing.T) {
 		c.Tick()
 	}
 	c.TakeReady()
+	c.Step(Message{Type: MsgPreVoteResponse, From: 2, To: 1, Term: 1, Granted: true})
 	c.Step(Message{Type: MsgVoteResponse, From: 2, To: 1, Term: 1, Granted: true})
 	if c.Role() != Leader {
 		t.Fatalf("no leadership after quorum vote (role %s)", c.Role())

@@ -30,6 +30,12 @@ const (
 	Follower Role = iota
 	Candidate
 	Leader
+	// PreCandidate runs the term-neutral pre-election: it canvasses the
+	// cluster with MsgPreVoteRequest at term+1 without touching its own
+	// term or vote, and only becomes a real Candidate after a majority
+	// says it could win. Flapping links and rejoining nodes therefore
+	// stop inflating terms (and deposing healthy leaders).
+	PreCandidate
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +47,8 @@ func (r Role) String() string {
 		return "candidate"
 	case Leader:
 		return "leader"
+	case PreCandidate:
+		return "pre-candidate"
 	default:
 		return fmt.Sprintf("role(%d)", uint8(r))
 	}
@@ -105,6 +113,19 @@ const (
 	// The follower acknowledges a completed install with an ordinary
 	// MsgAppendResponse whose MatchIndex is the snapshot index.
 	MsgInstallSnapshot
+	// MsgPreVoteRequest / MsgPreVoteResponse implement the Pre-Vote phase:
+	// the request proposes Term = candidate's term + 1 but neither side
+	// adopts it — the exchange is term-neutral, so a doomed canvass
+	// cannot disrupt a stable leader. A granted response echoes the
+	// proposed term; a rejection carries the voter's own (possibly
+	// higher) term.
+	MsgPreVoteRequest
+	MsgPreVoteResponse
+	// MsgTimeoutNow is the leadership-transfer handoff: the old leader
+	// tells a fully caught-up target to campaign immediately, bypassing
+	// Pre-Vote; the resulting vote requests carry Transfer so sticky
+	// followers accept the deliberate change.
+	MsgTimeoutNow
 )
 
 // String implements fmt.Stringer.
@@ -120,6 +141,12 @@ func (t MessageType) String() string {
 		return "AppendResponse"
 	case MsgInstallSnapshot:
 		return "InstallSnapshot"
+	case MsgPreVoteRequest:
+		return "PreVoteRequest"
+	case MsgPreVoteResponse:
+		return "PreVoteResponse"
+	case MsgTimeoutNow:
+		return "TimeoutNow"
 	default:
 		return fmt.Sprintf("MessageType(%d)", uint8(t))
 	}
@@ -135,6 +162,10 @@ type Message struct {
 	// Vote requests.
 	LastLogIndex int
 	LastLogTerm  types.Time
+	// Transfer marks a vote request from a campaign the old leader opened
+	// deliberately (MsgTimeoutNow): sticky followers that would ignore a
+	// disruptive higher-term campaign accept this one.
+	Transfer bool
 
 	// Append requests.
 	PrevLogIndex int
@@ -267,11 +298,50 @@ type Ready struct {
 	// durability or ordering obligation: the driver answers, possibly much
 	// later, by calling Core.Compact with the serialized image.
 	TakeSnapshot *SnapshotRequest
+
+	// SteppedDown reports that the leader relinquished leadership because
+	// CheckQuorum found no quorum contact within an election interval.
+	// The driver should fail in-flight proposals with a retryable
+	// ErrLeaderStepdown (the commands may still commit — a Maybe outcome,
+	// like any leader change). It carries no persistence obligation: the
+	// term did not change.
+	SteppedDown bool
 }
 
 // Empty reports whether the batch carries no effects at all.
 func (rd *Ready) Empty() bool {
 	return rd.HardState == nil && rd.Snapshot == nil && rd.FirstIndex == 0 &&
 		len(rd.Messages) == 0 && len(rd.Committed) == 0 &&
-		len(rd.ReadStates) == 0 && rd.TakeSnapshot == nil
+		len(rd.ReadStates) == 0 && rd.TakeSnapshot == nil && !rd.SteppedDown
+}
+
+// Counters are the election-disruption metrics a Core accumulates.
+// Monotone over the core's lifetime; drivers expose them through their
+// status snapshots so the chaos harness and benchmarks can assert on
+// election churn (or the absence of it).
+type Counters struct {
+	// Elections counts real elections started (term incremented).
+	Elections uint64
+	// PreVoteRounds counts term-neutral pre-elections started;
+	// PreVotesWon counts the rounds that gathered a majority (and so
+	// escalated to a real election).
+	PreVoteRounds uint64
+	PreVotesWon   uint64
+	// TimeoutElections counts real elections entered directly from a
+	// local timeout (only possible with Pre-Vote disabled);
+	// TransferElections counts campaigns opened by a leader's
+	// MsgTimeoutNow handoff.
+	TimeoutElections  uint64
+	TransferElections uint64
+	// TermBumps counts adoptions of a higher term from an incoming
+	// message — the disruption Pre-Vote exists to minimize.
+	TermBumps uint64
+	// StepDowns counts CheckQuorum step-downs (leadership relinquished
+	// for lack of quorum contact).
+	StepDowns uint64
+	// TransfersStarted / TransfersAborted count leadership transfers
+	// initiated and abandoned (deadline expired or leadership lost
+	// before the handoff).
+	TransfersStarted uint64
+	TransfersAborted uint64
 }

@@ -63,6 +63,13 @@ type Options struct {
 	// DisableR2 / DisableR3 reintroduce the reconfiguration bugs.
 	DisableR2 bool
 	DisableR3 bool
+
+	// DisablePreVote / DisableCheckQuorum turn off the election-robustness
+	// guards: rejoining nodes campaign with inflated terms, and minority-
+	// side leaders never step down. The chaos harness uses these to prove
+	// its disruption oracles bite.
+	DisablePreVote     bool
+	DisableCheckQuorum bool
 }
 
 func (o *Options) defaults() {
@@ -90,7 +97,8 @@ type node struct {
 	up       bool
 	failErr  error // fail-stop cause (nil while healthy)
 	lastRole raftcore.Role
-	doomAt   int64 // scheduled hard crash (0 = none)
+	lastCtr  raftcore.Counters // last journaled election-counter values
+	doomAt   int64             // scheduled hard crash (0 = none)
 }
 
 // packet is one in-flight message.
@@ -196,6 +204,8 @@ func (s *Cluster) bootNode(id types.NodeID) {
 		SnapshotThreshold:   s.opt.SnapshotThreshold,
 		DisableR2:           s.opt.DisableR2,
 		DisableR3:           s.opt.DisableR3,
+		DisablePreVote:      s.opt.DisablePreVote,
+		DisableCheckQuorum:  s.opt.DisableCheckQuorum,
 	}, hs, snap, log)
 	s.nodes[id] = &node{id: id, core: core, up: true, lastRole: raftcore.Follower}
 	if snap.Index > 0 {
@@ -408,6 +418,25 @@ func (s *Cluster) processReady(n *node) {
 			}
 		}
 	}
+	// Election-disruption journal lines, from the core's monotone counters:
+	// every campaign records HOW it started (timeout vs. handoff), and a
+	// CheckQuorum step-down is its own event. The deltas make questions
+	// like "did this reconfiguration trigger a timeout election?" grep-able
+	// in the transcript.
+	ctr := n.core.Counters()
+	if ctr.PreVoteRounds > n.lastCtr.PreVoteRounds {
+		s.Journalf("S%d prevote round", n.id)
+	}
+	if ctr.TimeoutElections > n.lastCtr.TimeoutElections {
+		s.Journalf("S%d campaign (timeout)", n.id)
+	}
+	if ctr.TransferElections > n.lastCtr.TransferElections {
+		s.Journalf("S%d campaign (transfer)", n.id)
+	}
+	if ctr.StepDowns > n.lastCtr.StepDowns {
+		s.Journalf("S%d step-down (no quorum)", n.id)
+	}
+	n.lastCtr = ctr
 	if role := n.core.Role(); role != n.lastRole {
 		s.Journalf("S%d %s@t%d", n.id, role, n.core.Term())
 		n.lastRole = role
@@ -485,6 +514,39 @@ func (s *Cluster) ProposeConfig(id types.NodeID, members types.NodeSet) (int, ty
 	return idx, term, nil
 }
 
+// TransferLeader starts a graceful leadership handoff at node id (which
+// must be the leader) to peer to; NoNode picks the most caught-up voter.
+func (s *Cluster) TransferLeader(id, to types.NodeID) error {
+	n := s.nodes[id]
+	if !s.Alive(id) {
+		return ErrDown
+	}
+	if err := n.core.TransferLeader(to); err != nil {
+		return err
+	}
+	s.Journalf("S%d transfer -> S%d", id, n.core.TransferTarget())
+	s.processReady(n)
+	if n.failErr != nil {
+		return n.failErr
+	}
+	return nil
+}
+
+// PickTransferTarget returns node id's most caught-up transfer candidate
+// inside target (NoNode unless id is the alive leader).
+func (s *Cluster) PickTransferTarget(id types.NodeID, target types.NodeSet) types.NodeID {
+	if !s.Alive(id) {
+		return types.NoNode
+	}
+	return s.nodes[id].core.PickTransferTarget(target)
+}
+
+// Counters returns a node's election-disruption counters (monotone across
+// the node's lifetime, reset by Restart).
+func (s *Cluster) Counters(id types.NodeID) raftcore.Counters {
+	return s.nodes[id].core.Counters()
+}
+
 // ReadIndex starts a linearizable-read barrier at node id. If confirmed is
 // true the barrier resolved immediately (single-node quorum) at index idx;
 // otherwise poll ReadResult(id, reqID) on subsequent ticks.
@@ -544,6 +606,24 @@ func (s *Cluster) Isolate(id types.NodeID) {
 	}
 	s.Journalf("isolate S%d", id)
 }
+
+// BlockOneWay blocks traffic from a to b only (an asymmetric link fault:
+// b still reaches a). One-way faults are what make Pre-Vote and
+// CheckQuorum earn their keep — a node that can hear but not be heard.
+func (s *Cluster) BlockOneWay(a, b types.NodeID) {
+	s.blocked[[2]types.NodeID{a, b}] = true
+	s.Journalf("block S%d->S%d", a, b)
+}
+
+// Linked reports whether the link between a and b is clean in BOTH
+// directions (no partition or one-way block; probabilistic loss does not
+// count).
+func (s *Cluster) Linked(a, b types.NodeID) bool {
+	return !s.blocked[[2]types.NodeID{a, b}] && !s.blocked[[2]types.NodeID{b, a}]
+}
+
+// DropRate returns the current message-loss probability.
+func (s *Cluster) DropRate() float64 { return s.dropRate }
 
 // Heal removes all partitions.
 func (s *Cluster) Heal() {

@@ -90,6 +90,15 @@ func (n *MemNetwork) Partition(a, b []types.NodeID) {
 	}
 }
 
+// BlockOneWay blocks traffic from a to b only (an asymmetric link fault:
+// b still reaches a). One-way faults are the election-disruption worst
+// case — a node that can hear the cluster but cannot be heard.
+func (n *MemNetwork) BlockOneWay(a, b types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[[2]types.NodeID{a, b}] = true
+}
+
 // Isolate cuts a single node off from everyone else.
 func (n *MemNetwork) Isolate(id types.NodeID) {
 	n.mu.Lock()

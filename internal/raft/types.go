@@ -49,6 +49,9 @@ const (
 	Follower  = raftcore.Follower
 	Candidate = raftcore.Candidate
 	Leader    = raftcore.Leader
+	// PreCandidate is the Pre-Vote probing role: the node is sounding out
+	// whether it could win an election without yet bumping its term.
+	PreCandidate = raftcore.PreCandidate
 )
 
 // EntryKind distinguishes runtime log entries.
@@ -84,6 +87,13 @@ const (
 	MsgAppendResponse = raftcore.MsgAppendResponse
 	// MsgInstallSnapshot streams a leader snapshot to a laggard follower.
 	MsgInstallSnapshot = raftcore.MsgInstallSnapshot
+	// MsgPreVoteRequest / MsgPreVoteResponse implement the term-neutral
+	// Pre-Vote phase that precedes a real election.
+	MsgPreVoteRequest  = raftcore.MsgPreVoteRequest
+	MsgPreVoteResponse = raftcore.MsgPreVoteResponse
+	// MsgTimeoutNow tells a caught-up transfer target to campaign
+	// immediately, bypassing Pre-Vote and leader stickiness.
+	MsgTimeoutNow = raftcore.MsgTimeoutNow
 )
 
 // Message is the single wire format for all four RPCs (gob-encodable).
@@ -96,6 +106,11 @@ type ApplyMsg = raftcore.ApplyMsg
 // HardState is the durable per-node protocol state that Raft requires to
 // survive crashes: the current term and the vote cast in it.
 type HardState = raftcore.HardState
+
+// Counters are the core's monotonic election-disruption metrics (elections,
+// pre-vote rounds, term bumps, step-downs, transfers), exported through
+// Node.Snapshot for monitors and experiments.
+type Counters = raftcore.Counters
 
 // LogSnapshot is a durable summary of the committed log prefix [1, Index]:
 // a state-machine image plus splice metadata. (The name avoids a clash
