@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-teeth check bench bench-evidence bench-evidence-7 chaos chaos-smoke chaos-teeth chaos-elections sim-sweep sim-teeth
+.PHONY: all build test race vet lint lint-teeth check bench bench-evidence bench-evidence-7 bench-shards chaos chaos-smoke chaos-teeth chaos-elections sim-sweep sim-teeth sim-sweep-groups sim-teeth-groups
 
 all: check
 
@@ -83,6 +83,20 @@ sim-sweep:
 sim-teeth:
 	$(GO) run ./cmd/raft-chaos -sim -teeth -disable-r2 -seeds 1
 
+# sim-sweep-groups is the multi-group sweep: 500 seeds with the keyspace
+# hash-partitioned across 3 raft groups, every oracle (linearizability,
+# committed prefix, refinement, election stability) checked per group.
+sim-sweep-groups:
+	$(GO) run ./cmd/raft-chaos -sim -groups 3 -seeds 500
+
+# sim-teeth-groups: the cross-group storage-corruption schedule — group 1's
+# WAL is destroyed under a flipped partition (modeling the flat-layout bug
+# where one group's compaction unlinks another's segments) — must produce
+# violations attributed to group 1 and ONLY group 1; the intact group 0 is
+# the control arm.
+sim-teeth-groups:
+	$(GO) run ./cmd/raft-chaos -teeth -groups 2 -seeds 1
+
 # bench is the smoke pass CI runs: every Go benchmark once (-benchtime=1x,
 # no test functions), then a small durable batched-vs-unbatched Fig. 16
 # ablation written as BENCH_smoke.json. No thresholds — it just must
@@ -92,6 +106,7 @@ bench:
 	$(GO) run ./cmd/raft-bench -requests 800 -reconfig-every 200 -clients 16 \
 		-latency 50us -jitter 20us -durable -ab -window 200 -json BENCH_smoke.json
 	$(GO) run ./cmd/raft-bench -recovery -recovery-histories 2000,4000
+	$(GO) run ./cmd/raft-bench -shards 1,2 -shard-requests 600
 
 # bench-evidence regenerates the committed BENCH_2.json: the Fig. 16
 # series re-measured with group commit on and off (32 concurrent clients,
@@ -106,3 +121,11 @@ bench-evidence:
 # WAL, one InstallSnapshot image vs walking the append pipeline.
 bench-evidence-7:
 	$(GO) run ./cmd/raft-bench -recovery -json BENCH_7.json
+
+# bench-shards regenerates the committed BENCH_9.json: aggregate propose
+# throughput for the SAME 16-client population against 1, 2, 4, and 8 raft
+# groups, per-group WAL device latency simulated per DESIGN.md's
+# substitution table (a single benchmark-host disk serializes every
+# group's fsync and would measure the device, not the architecture).
+bench-shards:
+	$(GO) run ./cmd/raft-bench -shards 1,2,4,8 -json BENCH_9.json

@@ -40,7 +40,39 @@ func main() {
 	availability := flag.Bool("availability", false, "run the liveness/availability probe instead of Fig. 16")
 	recovery := flag.Bool("recovery", false, "run the restart-recovery/catch-up grid (compacted vs full WAL) instead of Fig. 16")
 	recoveryHist := flag.String("recovery-histories", "", "comma-separated history sizes for -recovery (default 5000,20000,50000)")
+	shards := flag.String("shards", "", "run the multi-raft shard-scaling sweep over these comma-separated group counts (e.g. 1,2,4,8) instead of Fig. 16")
+	shardReqs := flag.Int("shard-requests", 0, "operations per shard-sweep point (default 3000)")
 	flag.Parse()
+
+	if *shards != "" {
+		opts := bench.ShardsDefaults()
+		opts.ShardCounts = opts.ShardCounts[:0]
+		for _, f := range strings.Split(*shards, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -shards entry %q (must be a positive int)\n", f)
+				os.Exit(1)
+			}
+			opts.ShardCounts = append(opts.ShardCounts, n)
+		}
+		if *shardReqs > 0 {
+			opts.Requests = *shardReqs
+		}
+		res, err := bench.RunShards(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res.Print(os.Stdout)
+		if *jsonPath != "" {
+			if err := bench.WriteJSON(*jsonPath, res); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote shard sweep to %s\n", *jsonPath)
+		}
+		return
+	}
 
 	if *recovery {
 		opts := bench.RecoveryDefaults()

@@ -13,6 +13,8 @@
 //	raft-chaos -sim -teeth                  # sim teeth: must exit non-zero
 //	raft-chaos -teeth -disable-prevote      # election teeth: the rejoin-disruption schedule must be caught
 //	raft-chaos -teeth -disable-checkquorum  # election teeth: the immortal stale leader must be caught
+//	raft-chaos -sim -groups 3 -seeds 500    # multi-group sweep: per-group oracles over a sharded keyspace
+//	raft-chaos -teeth -groups 2             # cross-group wipe teeth: group 1's corruption caught, group 0 clean
 //
 // With -sim each seed runs in the deterministic simulator instead of a live
 // cluster: single-threaded on a logical clock, the entire execution (not
@@ -32,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +59,7 @@ func main() {
 		disCQ     = flag.Bool("disable-checkquorum", false, "turn off CheckQuorum step-down (with -teeth: run the stale-leader schedule)")
 		teeth     = flag.Bool("teeth", false, "run the crafted violation schedule for the disabled guard instead of generated ones")
 		sim       = flag.Bool("sim", false, "deterministic simulation instead of a live cluster (adds the refinement oracle)")
+		groups    = flag.Int("groups", 1, "raft groups sharing the keyspace (>1 implies -sim; every oracle runs per group)")
 		snapThr   = flag.Int("snapshot-threshold", 0, "applied entries between state-machine snapshots (0 = default 64, negative = no compaction)")
 		verbose   = flag.Bool("v", false, "print each run's plan and report")
 	)
@@ -67,8 +71,19 @@ func main() {
 	// explicit -disable-* (with or without -teeth) flips to
 	// expect-violations mode — exit 0 on a catch, exit 1 if no seed caught
 	// anything (a harness with no teeth).
-	expectViolations := *disableR2 || *disableR3 || *disPV || *disCQ
-	if *teeth {
+	// Multi-group runs replay in the deterministic simulator: the groups
+	// share nothing there, so per-group oracle attribution is exact.
+	if *groups > 1 {
+		*sim = true
+	}
+	// -teeth -groups N (no -disable-*) runs the cross-group storage-wipe
+	// schedule: group 1 loses its WAL while group 0's survives, modeling the
+	// flat-storage-layout bug the per-group subdirectories prevent. It is
+	// always expect-violations mode, and every violation must be attributed
+	// to the wiped group — a control-group catch fails the run.
+	wipeTeeth := *teeth && *groups > 1 && !*disableR2 && !*disableR3 && !*disPV && !*disCQ
+	expectViolations := *disableR2 || *disableR3 || *disPV || *disCQ || wipeTeeth
+	if *teeth && !wipeTeeth {
 		if !expectViolations {
 			*disableR2 = true
 		}
@@ -91,6 +106,7 @@ func main() {
 		DisablePreVote:     *disPV,
 		DisableCheckQuorum: *disCQ,
 		SnapshotThreshold:  *snapThr,
+		Groups:             *groups,
 	}
 
 	var list []int64
@@ -118,6 +134,8 @@ func main() {
 				sched := chaos.Generate(s, opt)
 				if *teeth {
 					switch {
+					case wipeTeeth:
+						sched = chaos.CrossGroupWipeSchedule(opt)
 					case *disPV:
 						sched = chaos.DisruptionSchedule(opt)
 					case *disCQ:
@@ -148,6 +166,21 @@ func main() {
 				if !rep.Ok() {
 					caught.Add(1)
 					if expectViolations {
+						if wipeTeeth {
+							misattributed := false
+							for _, v := range rep.Violations {
+								if !strings.HasPrefix(v, "g1: ") {
+									misattributed = true
+									fmt.Fprintf(os.Stderr, "seed %d: violation outside the wiped group: %s\n", s, v)
+								}
+							}
+							if misattributed {
+								mu.Lock()
+								failing = append(failing, s)
+								mu.Unlock()
+								continue
+							}
+						}
 						fmt.Printf("seed %d: caught (as expected with guards off): %s\n", s, rep.Violations[0])
 						continue
 					}

@@ -8,6 +8,12 @@
 //	raft-kv -id 2 -listen 127.0.0.1:7002 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003
 //	raft-kv -id 3 -listen 127.0.0.1:7003 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003
 //
+// With -shards N each replica hosts N independent raft groups multiplexed
+// over the same TCP connections (a multiraft.Host), the keyspace hash-
+// partitioned across them: every command routes to its key's group, each
+// group elects its own leader and compacts its own WAL. All replicas must
+// agree on -shards.
+//
 // Each replica also serves a line-oriented client protocol on -client-listen
 // (default: raft port + 1000):
 //
@@ -15,12 +21,14 @@
 //
 // Commands: get K | put K V | delete K | cas K OLD NEW | members | status |
 // addserver ID | removeserver ID | transfer [ID]. Writes must be sent to
-// the leader (responses include a redirect hint otherwise); transfer hands
-// leadership to ID, or to the most caught-up voter when omitted.
+// the key's shard leader (responses include a redirect hint otherwise);
+// membership and transfer commands apply to every group the host runs.
 //
 // With -wal DIR the replica persists its log (and, with
 // -snapshot-threshold N, periodic state-machine snapshots that truncate
-// it) and recovers both across restarts.
+// it) and recovers both across restarts. With -shards > 1 each group lives
+// in its own DIR/group-NNNN subdirectory, so one group's compaction can
+// never unlink another's segments.
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"time"
 
 	"adore/internal/kvstore"
+	"adore/internal/multiraft"
 	"adore/internal/raft"
 	"adore/internal/raft/transport"
 	"adore/internal/types"
@@ -51,12 +60,17 @@ func main() {
 		timeoutMin   = flag.Duration("election-timeout", 150*time.Millisecond, "minimum election timeout")
 		walDir       = flag.String("wal", "", "directory for the file-backed WAL (default: in-memory storage)")
 		snapThr      = flag.Int("snapshot-threshold", 0, "applied entries between state-machine snapshots (0 = no local compaction)")
+		shardsFlag   = flag.Int("shards", 1, "raft groups hosted by every replica; keys hash across them (all replicas must agree)")
 		disPV        = flag.Bool("disable-prevote", false, "campaign without the Pre-Vote round (rejoining nodes may disrupt a healthy leader)")
 		disCQ        = flag.Bool("disable-checkquorum", false, "leaders keep leading without quorum contact (stale leaders linger after partitions)")
 	)
 	flag.Parse()
 
 	id := types.NodeID(*idFlag)
+	shards := *shardsFlag
+	if shards < 1 {
+		shards = 1
+	}
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -71,52 +85,53 @@ func main() {
 		members = append(members, pid)
 	}
 
-	var storage raft.Storage
-	if *walDir != "" {
-		fs, err := raft.OpenFileStorage(*walDir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		storage = fs
+	stores := make([]*kvstore.Store, shards)
+	for g := range stores {
+		stores[g] = kvstore.NewStore()
 	}
-	store := kvstore.NewStore()
 
-	inbox := make(chan raft.Message, 4096)
-	tr, err := transport.NewTCPTransport(id, *listen, peers, inbox)
+	tr, err := transport.NewTCPTransport(id, *listen, peers, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	node := raft.StartNode(raft.Options{
+
+	hostOpts := multiraft.Options{
 		ID:                 id,
 		Members:            members,
+		Groups:             shards,
 		Transport:          tr,
-		Storage:            storage,
-		StateMachine:       store,
-		SnapshotThreshold:  *snapThr,
 		ElectionTimeoutMin: *timeoutMin,
+		SnapshotThreshold:  *snapThr,
 		DisablePreVote:     *disPV,
 		DisableCheckQuorum: *disCQ,
 		Seed:               int64(id),
-	})
-	go func() {
-		for m := range inbox {
-			select {
-			case node.Inbox() <- m:
-			case <-node.Done():
-				return
-			}
-		}
-	}()
-
-	go func() {
-		for batch := range node.ApplyCh() {
+		StateMachineFor:    func(g raft.GroupID) raft.StateMachine { return stores[g] },
+		OnApply: func(g raft.GroupID, batch []raft.ApplyMsg) {
 			for _, msg := range batch {
-				store.Apply(msg)
+				stores[g].Apply(msg)
 			}
+		},
+	}
+	if *walDir != "" {
+		if shards == 1 {
+			// Single-group deployments keep the flat pre-shards layout, so
+			// existing WAL directories recover unchanged.
+			fs, err := raft.OpenFileStorage(*walDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			hostOpts.StorageFor = func(raft.GroupID) raft.Storage { return fs }
+		} else {
+			hostOpts.StorageRoot = *walDir
 		}
-	}()
+	}
+	host, err := multiraft.Start(hostOpts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	caddr := *clientListen
 	if caddr == "" {
@@ -127,15 +142,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("raft-kv node %s: raft on %s, clients on %s, members %v\n", id, *listen, caddr, members)
-	go serveClients(ln, node, store)
+	fmt.Printf("raft-kv node %s: raft on %s, clients on %s, %d shard(s), members %v\n",
+		id, *listen, caddr, shards, members)
+	srv := &server{shards: shards, host: host, stores: stores}
+	go srv.serve(ln)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
 	ln.Close()
-	node.Stop()
+	host.Stop()
+	tr.Close()
 }
 
 func parsePeers(s string) (map[types.NodeID]string, error) {
@@ -173,8 +191,21 @@ func bumpPort(addr string, by int) string {
 	return net.JoinHostPort(host, strconv.Itoa(p+by))
 }
 
-func serveClients(ln net.Listener, node *raft.Node, store *kvstore.Store) {
-	var seq atomic.Uint64 // shared by all connection goroutines
+// server routes client commands to their key's shard.
+type server struct {
+	shards int
+	host   *multiraft.Host
+	stores []*kvstore.Store
+	seq    atomic.Uint64 // shared by all connection goroutines
+}
+
+// route returns the raft node and state machine responsible for key.
+func (s *server) route(key string) (*raft.Node, *kvstore.Store) {
+	g := kvstore.ShardOf(key, s.shards)
+	return s.host.Node(g), s.stores[g]
+}
+
+func (s *server) serve(ln net.Listener) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -186,7 +217,7 @@ func serveClients(ln net.Listener, node *raft.Node, store *kvstore.Store) {
 			w := bufio.NewWriter(conn)
 			defer w.Flush()
 			for sc.Scan() {
-				reply := handleCommand(node, store, strings.Fields(sc.Text()), seq.Add(1))
+				reply := s.handleCommand(strings.Fields(sc.Text()))
 				fmt.Fprintln(w, reply)
 				w.Flush()
 			}
@@ -194,13 +225,29 @@ func serveClients(ln net.Listener, node *raft.Node, store *kvstore.Store) {
 	}
 }
 
-func handleCommand(node *raft.Node, store *kvstore.Store, fields []string, seq uint64) string {
+// eachGroup runs f on every group's node, collecting per-group errors into
+// one reply ("OK" when all groups succeed).
+func (s *server) eachGroup(f func(*raft.Node) error) string {
+	var errs []string
+	for g := 0; g < s.shards; g++ {
+		if err := f(s.host.Node(raft.GroupID(g))); err != nil {
+			errs = append(errs, fmt.Sprintf("g%d: %s", g, err))
+		}
+	}
+	if len(errs) > 0 {
+		return "ERR " + strings.Join(errs, "; ")
+	}
+	return "OK"
+}
+
+func (s *server) handleCommand(fields []string) string {
 	if len(fields) == 0 {
 		return "ERR empty command"
 	}
 	propose := func(cmd kvstore.Command) string {
-		cmd.Client = uint64(node.ID())
-		cmd.Seq = seq
+		node, store := s.route(cmd.Key)
+		cmd.Client = uint64(s.host.ID())
+		cmd.Seq = s.seq.Add(1)
 		_, _, err := node.Propose(cmd.Encode())
 		if err != nil {
 			_, _, leader := node.Status()
@@ -227,6 +274,7 @@ func handleCommand(node *raft.Node, store *kvstore.Store, fields []string, seq u
 		if len(fields) != 2 {
 			return "ERR usage: get K"
 		}
+		_, store := s.route(fields[1])
 		if v, ok := store.LocalGet(fields[1]); ok {
 			return "VALUE " + v
 		}
@@ -247,31 +295,56 @@ func handleCommand(node *raft.Node, store *kvstore.Store, fields []string, seq u
 		}
 		return propose(kvstore.Command{Op: kvstore.OpCAS, Key: fields[1], Old: fields[2], Value: fields[3]})
 	case "members":
-		return "MEMBERS " + node.Members().String()
+		// Groups reconfigure independently; report each group's view.
+		if s.shards == 1 {
+			return "MEMBERS " + s.host.Node(0).Members().String()
+		}
+		parts := make([]string, s.shards)
+		for g := 0; g < s.shards; g++ {
+			parts[g] = fmt.Sprintf("g%d=%s", g, s.host.Node(raft.GroupID(g)).Members())
+		}
+		return "MEMBERS " + strings.Join(parts, " ")
 	case "status":
-		term, role, leader := node.Status()
-		return fmt.Sprintf("STATUS term=%d role=%s leader=%s commit=%d", term, role, leader, node.CommitIndex())
+		if s.shards == 1 {
+			node := s.host.Node(0)
+			term, role, leader := node.Status()
+			return fmt.Sprintf("STATUS term=%d role=%s leader=%s commit=%d", term, role, leader, node.CommitIndex())
+		}
+		parts := make([]string, s.shards)
+		for g := 0; g < s.shards; g++ {
+			node := s.host.Node(raft.GroupID(g))
+			term, role, leader := node.Status()
+			parts[g] = fmt.Sprintf("g%d[term=%d role=%s leader=%s commit=%d]", g, term, role, leader, node.CommitIndex())
+		}
+		return "STATUS " + strings.Join(parts, " ")
 	case "addserver":
+		if len(fields) != 2 {
+			return "ERR usage: addserver ID"
+		}
 		id, err := strconv.ParseUint(fields[1], 10, 32)
 		if err != nil {
 			return "ERR bad id"
 		}
-		if _, _, err := node.AddServer(types.NodeID(id)); err != nil {
-			return "ERR " + err.Error()
-		}
-		return "OK"
+		return s.eachGroup(func(n *raft.Node) error {
+			_, _, err := n.AddServer(types.NodeID(id))
+			return err
+		})
 	case "removeserver":
+		if len(fields) != 2 {
+			return "ERR usage: removeserver ID"
+		}
 		id, err := strconv.ParseUint(fields[1], 10, 32)
 		if err != nil {
 			return "ERR bad id"
 		}
-		if _, _, err := node.RemoveServer(types.NodeID(id)); err != nil {
-			return "ERR " + err.Error()
-		}
-		return "OK"
+		return s.eachGroup(func(n *raft.Node) error {
+			_, _, err := n.RemoveServer(types.NodeID(id))
+			return err
+		})
 	case "transfer":
-		// transfer [ID]: hand leadership to ID, or to the most caught-up
-		// voter when no ID is given. Must be sent to the leader.
+		// transfer [ID]: hand every group's leadership to ID, or to the most
+		// caught-up voter when no ID is given. Each group must see this on
+		// its leader; groups led elsewhere report errors individually.
 		to := types.NoNode
 		if len(fields) > 1 {
 			id, err := strconv.ParseUint(fields[1], 10, 32)
@@ -280,11 +353,12 @@ func handleCommand(node *raft.Node, store *kvstore.Store, fields []string, seq u
 			}
 			to = types.NodeID(id)
 		}
-		if err := node.TransferLeader(to); err != nil {
-			return "ERR " + err.Error()
+		if reply := s.eachGroup(func(n *raft.Node) error {
+			return n.TransferLeader(to)
+		}); reply != "OK" {
+			return reply
 		}
 		return "OK (transferring)"
-	default:
-		return "ERR unknown command"
 	}
+	return "ERR unknown command"
 }

@@ -1,0 +1,95 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// drawSeq collects the first n delays of a fresh sequence against a far
+// deadline (no clipping).
+func drawSeq(b *Backoff, n int) []time.Duration {
+	deadline := time.Now().Add(time.Hour)
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = b.Next(deadline)
+	}
+	return out
+}
+
+// TestDispersion pins the reason each client gets its own seeded stream:
+// differently seeded backoffs must NOT march through identical delays.
+// (With a shared source every client would observe the same sequence and
+// retry in lockstep after a leader step-down.)
+func TestDispersion(t *testing.T) {
+	const clients = 16
+	const draws = 8
+	seqs := make([][]time.Duration, clients)
+	for i := range seqs {
+		seqs[i] = drawSeq(New(time.Millisecond, 40*time.Millisecond, NextSeed()), draws)
+	}
+	distinct := 0
+	for i := 1; i < clients; i++ {
+		same := true
+		for k := 0; k < draws; k++ {
+			if seqs[i][k] != seqs[0][k] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			distinct++
+		}
+	}
+	// All 15 comparisons should differ; tolerate one coincidental match
+	// (8 draws over a ≥0.5ms jitter window colliding even once is already
+	// astronomically unlikely).
+	if distinct < clients-2 {
+		t.Fatalf("only %d/%d clients diverged from client 0: jitter streams are not independent", distinct, clients-1)
+	}
+}
+
+// TestSameSeedReproduces: the stream is a pure function of the seed, so a
+// replayed run backs off identically.
+func TestSameSeedReproduces(t *testing.T) {
+	a := drawSeq(New(time.Millisecond, 40*time.Millisecond, 42), 10)
+	b := drawSeq(New(time.Millisecond, 40*time.Millisecond, 42), 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %v != %v with the same seed", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBoundsAndCap: every delay stays within [next/2, next] for the
+// current tier and the tier never exceeds the cap.
+func TestBoundsAndCap(t *testing.T) {
+	b := New(time.Millisecond, 8*time.Millisecond, 7)
+	deadline := time.Now().Add(time.Hour)
+	tier := time.Millisecond
+	for i := 0; i < 12; i++ {
+		d := b.Next(deadline)
+		if d < tier/2 || d > tier {
+			t.Fatalf("draw %d: delay %v outside [%v, %v]", i, d, tier/2, tier)
+		}
+		tier *= 2
+		if tier > 8*time.Millisecond {
+			tier = 8 * time.Millisecond
+		}
+	}
+	b.Reset()
+	if d := b.Next(deadline); d > time.Millisecond {
+		t.Fatalf("after Reset, delay %v exceeds the initial tier", d)
+	}
+}
+
+// TestDeadlineClip: delays never overshoot the caller's deadline, and a
+// passed deadline yields zero.
+func TestDeadlineClip(t *testing.T) {
+	b := New(50*time.Millisecond, 400*time.Millisecond, 3)
+	if d := b.Next(time.Now().Add(5 * time.Millisecond)); d > 5*time.Millisecond {
+		t.Fatalf("delay %v overshoots a 5ms deadline", d)
+	}
+	if d := b.Next(time.Now().Add(-time.Second)); d != 0 {
+		t.Fatalf("delay %v after the deadline passed (want 0)", d)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"adore/internal/kvstore"
+	"adore/internal/raft"
 	"adore/internal/types"
 )
 
@@ -79,6 +80,13 @@ const (
 	// current leader itself, exercising the transfer-then-propose path
 	// cluster.Reconfigure takes when the new config sheds the leader.
 	EvReconfigDropLeader
+	// EvWALWipe destroys one group's durable raft state on one node (the
+	// node must be down). It is never generated — only crafted schedules
+	// use it — and it models a bug, not a fault: a flat shared storage
+	// layout where one group's compaction unlinks another group's WAL
+	// segments. Multi-group runs apply it to Event.Group only; the other
+	// groups double as the control arm that must stay violation-free.
+	EvWALWipe
 )
 
 // String implements fmt.Stringer.
@@ -114,6 +122,8 @@ func (k EventKind) String() string {
 		return "transfer-leader"
 	case EvReconfigDropLeader:
 		return "reconfig-drop-leader"
+	case EvWALWipe:
+		return "wal-wipe"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -155,11 +165,12 @@ func (m CrashMode) String() string {
 type Event struct {
 	At   time.Duration // offset from run start
 	Kind EventKind
-	Node types.NodeID // crash/restart/isolate/reconfig target
+	Node types.NodeID // crash/restart/isolate/reconfig/wipe target
 	Mode CrashMode    // EvCrash
 	A, B []types.NodeID
-	Keep int     // EvPartitionLeader: followers kept on the leader's side
-	Rate float64 // EvDropRate
+	Keep  int          // EvPartitionLeader: followers kept on the leader's side
+	Rate  float64      // EvDropRate
+	Group raft.GroupID // EvWALWipe: the group whose storage is destroyed
 }
 
 // String implements fmt.Stringer.
@@ -195,6 +206,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%6s] transfer-leader", e.At)
 	case EvReconfigDropLeader:
 		return fmt.Sprintf("[%6s] reconfig-drop-leader", e.At)
+	case EvWALWipe:
+		return fmt.Sprintf("[%6s] wal-wipe S%d g%d", e.At, e.Node, e.Group)
 	default:
 		return fmt.Sprintf("[%6s] %s", e.At, e.Kind)
 	}
@@ -277,6 +290,13 @@ type Options struct {
 	Clients      int
 	OpsPerClient int
 	Keys         int
+	// Groups replays the schedule per raft group (deterministic sim only):
+	// the keyspace is hash-partitioned across groups exactly as
+	// kvstore.ShardOf routes it, node-level nemesis events hit every group
+	// (a crashed node takes all its groups down), group-targeted events
+	// (EvWALWipe) hit only theirs, and every oracle runs per group with
+	// violations prefixed "gN:". 0 or 1 = the classic single-group run.
+	Groups int
 	// Duration is the nemesis horizon: events are scheduled inside it and
 	// clients stop issuing at it.
 	Duration time.Duration
@@ -696,6 +716,45 @@ func StaleLeaderSchedule(opt Options) *Schedule {
 		Nodes: opt.Nodes,
 		Events: []Event{
 			{At: d * 25 / 100, Kind: EvPartitionLeader, Keep: 1},
+			{At: d * 80 / 100, Kind: EvHeal},
+		},
+		Scripts: Generate(1, opt).Scripts,
+	}
+}
+
+// CrossGroupWipeSchedule is the multi-group teeth plan (run with
+// Options.Groups >= 2): it manufactures the exact history a cross-group
+// WAL-unlink bug would leave behind — the bug the multiraft per-group
+// storage subdirectories make impossible by construction — and demands the
+// per-group oracles localize it.
+//
+// Timeline: partition {S1,S2,S3} | {S4,S5} early so the majority side
+// commits entries S4/S5 never see; crash S3 cleanly mid-run and destroy
+// group 1's (and only group 1's) durable state on it; flip the partition to
+// {S3,S4,S5} | {S1,S2} in the same instant it heals (no catch-up window);
+// restart S3. In group 1, S3 comes back blank — vote and log gone — so the
+// flipped side elects a leader whose log predates the committed entries and
+// overwrites a committed prefix: committed-prefix divergence, a refinement
+// fork, and commit-index regression, all flagged "g1:". Group 0 runs the
+// identical nemesis WITHOUT the wipe, and S3's intact log lets it protect
+// the committed prefix through the same partitions: the control arm must
+// stay clean. Requires 5 nodes.
+func CrossGroupWipeSchedule(opt Options) *Schedule {
+	opt.defaults()
+	d := opt.Duration
+	flip := d * 50 / 100
+	return &Schedule{
+		Seed:  -5,
+		Nodes: 5,
+		Events: []Event{
+			{At: d * 15 / 100, Kind: EvPartition, A: []types.NodeID{1, 2, 3}, B: []types.NodeID{4, 5}},
+			{At: d * 45 / 100, Kind: EvCrash, Node: 3, Mode: CrashClean},
+			{At: d * 47 / 100, Kind: EvWALWipe, Node: 3, Group: 1},
+			// Heal and re-partition at the same instant: zero ticks elapse
+			// between them, so {1,2} never get a window to catch {4,5} up.
+			{At: flip, Kind: EvHeal},
+			{At: flip, Kind: EvPartition, A: []types.NodeID{3, 4, 5}, B: []types.NodeID{1, 2}},
+			{At: d * 52 / 100, Kind: EvRestart, Node: 3},
 			{At: d * 80 / 100, Kind: EvHeal},
 		},
 		Scripts: Generate(1, opt).Scripts,

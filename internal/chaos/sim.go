@@ -54,16 +54,73 @@ func RunSimSeed(seed int64, opt Options) (*Report, error) {
 	return RunSim(Generate(seed, opt), opt)
 }
 
+// groupSeedStride decorrelates the groups' random draws (election jitter,
+// latency, loss) while keeping each group's run a pure function of
+// (schedule seed, group). Same stride the multiraft host uses.
+const groupSeedStride = 1000003
+
 // RunSim executes a schedule in the deterministic simulator and returns
 // the same Report shape as Run, plus the replayable journal. Two calls
 // with equal schedule and options produce byte-identical journals.
+//
+// With opt.Groups > 1 the schedule is replayed once per raft group — the
+// sharded deployment's verification story. Groups share nothing in the
+// simulator (as in the real host, consensus state is fully per-group; the
+// shared transport and tick loop have their own tests), so the replay keeps
+// each group an independent deterministic run: node-level nemesis events
+// apply to every group, exactly as one dead process takes down all the
+// groups it hosts, while group-targeted events (EvWALWipe) apply only to
+// their group. Each client's script is routed by kvstore.ShardOf, each
+// group checks every oracle over its own shard of the workload, and
+// violations come back prefixed "gN:" — a cross-group storage bug shows up
+// as one group's violations against the other groups' clean runs.
 func RunSim(sched *Schedule, opt Options) (*Report, error) {
 	opt.defaults()
 	if sched.Nodes > 0 {
 		opt.Nodes = sched.Nodes
 	}
+	if opt.Groups <= 1 {
+		return runSimGroup(sched, opt, 0, 1)
+	}
+	rep := &Report{Seed: sched.Seed, Hash: sched.Hash(), Events: len(sched.Events)}
+	for g := 0; g < opt.Groups; g++ {
+		sub, err := runSimGroup(sched, opt, raft.GroupID(g), opt.Groups)
+		if err != nil {
+			return nil, fmt.Errorf("group %d: %w", g, err)
+		}
+		rep.Ops += sub.Ops
+		rep.Timeouts += sub.Timeouts
+		rep.Faults += sub.Faults
+		rep.addStats(sub.Stats)
+		for _, v := range sub.Violations {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("g%d: %s", g, v))
+		}
+		for _, w := range sub.Warnings {
+			rep.Warnings = append(rep.Warnings, fmt.Sprintf("g%d: %s", g, w))
+		}
+		rep.Journal = append(rep.Journal, []byte(fmt.Sprintf("=== group %d ===\n", g))...)
+		rep.Journal = append(rep.Journal, sub.Journal...)
+	}
+	return rep, nil
+}
+
+// runSimGroup replays one group's view of the schedule: its shard of every
+// client's script, all node-level events, and only its own group-targeted
+// events.
+func runSimGroup(sched *Schedule, opt Options, g raft.GroupID, groups int) (*Report, error) {
+	scripts := sched.Scripts
+	if groups > 1 {
+		scripts = make([][]ClientOp, len(sched.Scripts))
+		for ci, script := range sched.Scripts {
+			for _, op := range script {
+				if kvstore.ShardOf(op.Key, groups) == g {
+					scripts[ci] = append(scripts[ci], op)
+				}
+			}
+		}
+	}
 	perKey := map[string]int{}
-	for _, script := range sched.Scripts {
+	for _, script := range scripts {
 		for _, op := range script {
 			perKey[op.Key]++
 		}
@@ -79,7 +136,7 @@ func RunSim(sched *Schedule, opt Options) (*Report, error) {
 	r := &simRun{
 		s: sim.New(sim.Options{
 			Nodes:              opt.Nodes,
-			Seed:               sched.Seed,
+			Seed:               sched.Seed + groupSeedStride*int64(g),
 			ElectionTicks:      et,
 			JitterTicks:        et,
 			HeartbeatTicks:     max(1, et/3),
@@ -90,6 +147,7 @@ func RunSim(sched *Schedule, opt Options) (*Report, error) {
 			SnapshotThreshold:  opt.snapThreshold(),
 		}),
 		opt:        opt,
+		group:      g,
 		et:         int64(et),
 		horizon:    ticksOf(opt.Duration),
 		opTimeout:  ticksOf(opt.OpTimeout),
@@ -129,7 +187,7 @@ func RunSim(sched *Schedule, opt Options) (*Report, error) {
 	})
 	r.exec = refine.NewExec(types.NewNodeSet(r.members...))
 
-	for ci, script := range sched.Scripts {
+	for ci, script := range scripts {
 		r.clients = append(r.clients, newSimClient(ci, script, r.horizon))
 	}
 
@@ -212,7 +270,8 @@ type incKey struct {
 type simRun struct {
 	s         *sim.Cluster
 	opt       Options
-	et        int64 // election interval in ticks
+	group     raft.GroupID // which group's view this replay is (0 = single-group)
+	et        int64        // election interval in ticks
 	horizon   int64
 	opTimeout int64
 
@@ -241,11 +300,12 @@ type simRun struct {
 	violations map[string]bool
 
 	// election-disruption oracle state
-	curLeader     types.NodeID // established-leader candidate (NoNode = none)
-	curLeaderTerm types.Time
-	healthyFor    int64                  // consecutive ticks curLeader has been healthy
-	suppressUntil int64                  // disruption oracle muted through this tick (transfers)
-	staleFor      map[types.NodeID]int64 // consecutive ticks leading without a linked quorum
+	curLeader        types.NodeID // established-leader candidate (NoNode = none)
+	curLeaderTerm    types.Time
+	curLeaderMembers types.NodeSet          // configuration healthyFor was accumulated under
+	healthyFor       int64                  // consecutive ticks curLeader has been healthy
+	suppressUntil    int64                  // disruption oracle muted through this tick (transfers)
+	staleFor         map[types.NodeID]int64 // consecutive ticks leading without a linked quorum
 
 	// executable refinement
 	exec             *refine.ExecChecker
@@ -339,9 +399,21 @@ func (r *simRun) checkElections() {
 		if lid, ok := r.s.Leader(); ok && r.s.Alive(lid) {
 			term, _, _ := r.s.Status(lid)
 			r.curLeader, r.curLeaderTerm, r.healthyFor = lid, term, 0
+			r.curLeaderMembers = r.s.Members(lid)
 		}
 	}
 	if r.curLeader != types.NoNode {
+		// "Established" is relative to a configuration: the guarantee rests
+		// on the leader's quorum having heard heartbeats for two election
+		// intervals, and a membership change swaps in a quorum that hasn't.
+		// (A voter added one tick ago counts as linked here, but CheckQuorum
+		// rightly won't count it until it actually acks — deposing the
+		// leader then is correct behavior, not disruption.) Restart the
+		// clock whenever the configuration changes.
+		if m := r.s.Members(r.curLeader); !m.Equal(r.curLeaderMembers) {
+			r.curLeaderMembers = m
+			r.healthyFor = 0
+		}
 		if r.healthy(r.curLeader) {
 			r.healthyFor++
 		} else {
@@ -559,6 +631,13 @@ func (r *simRun) apply(e Event) {
 			return
 		}
 		r.startDropLeader(members.Remove(lid))
+	case EvWALWipe:
+		// Group-targeted: only the named group's replay executes the wipe;
+		// every other group runs the identical nemesis without it and acts
+		// as the control arm.
+		if e.Group == r.group {
+			r.s.WipeStorage(e.Node)
+		}
 	default:
 		panic(fmt.Sprintf("chaos: sim executor saw unknown event kind %v", e.Kind))
 	}

@@ -2,11 +2,11 @@ package kvstore
 
 import (
 	"errors"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"adore/internal/backoff"
 	"adore/internal/raft"
 	"adore/internal/raft/cluster"
 	"adore/internal/types"
@@ -43,39 +43,38 @@ func (r *Replicated) Retries() uint64 { return atomic.LoadUint64(&r.retries) }
 // brief leader change but burns a core per client during a real outage
 // (election storm, quorum loss): clients wake a thousand times a second to
 // learn nothing. Failed probes instead back off exponentially from
-// backoffInitial to backoffMax with ±50% jitter (so a herd of clients
-// doesn't re-probe in lockstep), capped by the request deadline. Progress —
-// a proposal accepted, or a leader's explicit ErrLeaderStepdown redirect —
-// resets the backoff to keep the fast path fast.
+// backoffInitial to backoffMax with ±50% jitter, capped by the request
+// deadline, via the shared internal/backoff helper. Progress — a proposal
+// accepted, or a leader's explicit ErrLeaderStepdown redirect — resets the
+// backoff to keep the fast path fast.
+//
+// Each probe carries its own independently seeded jitter stream: clients
+// drawing from one shared random source would march through the same
+// jitter sequence and re-probe in near-lockstep after a step-down, which
+// is exactly the herd the jitter is meant to disperse.
 const (
 	backoffInitial = time.Millisecond
 	backoffMax     = 40 * time.Millisecond
 )
 
-type backoff struct {
-	r    *Replicated
-	next time.Duration
+// probe pairs a per-client backoff stream with the service-wide retry
+// counter.
+type probe struct {
+	r  *Replicated
+	bo *backoff.Backoff
 }
 
-func (r *Replicated) newBackoff() backoff { return backoff{r: r, next: backoffInitial} }
+func (r *Replicated) newProbe() probe {
+	return probe{r: r, bo: backoff.New(backoffInitial, backoffMax, backoff.NextSeed())}
+}
 
-func (b *backoff) reset() { b.next = backoffInitial }
+func (p *probe) reset() { p.bo.Reset() }
 
-// sleep counts one retry and waits the current slice, jittered into
-// [next/2, next) and clipped to the deadline, then doubles the slice.
-func (b *backoff) sleep(deadline time.Time) {
-	atomic.AddUint64(&b.r.retries, 1)
-	d := b.next/2 + time.Duration(rand.Int63n(int64(b.next/2)+1))
-	b.next *= 2
-	if b.next > backoffMax {
-		b.next = backoffMax
-	}
-	if rem := time.Until(deadline); d > rem {
-		d = rem
-	}
-	if d > 0 {
-		time.Sleep(d)
-	}
+// sleep counts one retry and waits the current jittered slice, clipped to
+// the deadline.
+func (p *probe) sleep(deadline time.Time) {
+	atomic.AddUint64(&p.r.retries, 1)
+	p.bo.Sleep(deadline)
 }
 
 // NewReplicated starts an n-node replicated store over a simulated network.
@@ -102,11 +101,13 @@ type Client struct {
 	r   *Replicated
 	id  uint64
 	seq uint64 // accessed atomically
+	pr  probe  // this session's private jitter stream
 }
 
-// NewClient mints a fresh client session.
+// NewClient mints a fresh client session with its own independently seeded
+// backoff jitter stream.
 func (r *Replicated) NewClient() *Client {
-	return &Client{r: r, id: atomic.AddUint64(&r.nextClient, 1)}
+	return &Client{r: r, id: atomic.AddUint64(&r.nextClient, 1), pr: r.newProbe()}
 }
 
 func (r *Replicated) storeFor(id types.NodeID) *Store {
@@ -145,7 +146,8 @@ func (c *Client) Do(op Op, key, value, old string, timeout time.Duration) (Resul
 	cmd := Command{Op: op, Key: key, Value: value, Old: old, Client: c.id, Seq: seq}
 	payload := cmd.Encode()
 	deadline := time.Now().Add(timeout)
-	bo := r.newBackoff()
+	bo := &c.pr
+	bo.reset()
 	for time.Now().Before(deadline) {
 		leader := r.Cluster.Leader()
 		if leader == nil {
@@ -231,7 +233,7 @@ func (r *Replicated) Append(key, value string, timeout time.Duration) (string, e
 // until the deadline.
 func (r *Replicated) FastGet(key string, timeout time.Duration) (string, bool, error) {
 	deadline := time.Now().Add(timeout)
-	bo := r.newBackoff()
+	bo := r.newProbe()
 	for time.Now().Before(deadline) {
 		leader := r.Cluster.Leader()
 		if leader == nil {

@@ -192,9 +192,14 @@ func TestReplicatedKVIsLinearizable(t *testing.T) {
 	var mu sync.Mutex
 	var h History
 
+	// One session per goroutine: the dedup table assumes at most one
+	// outstanding request per client ID, so concurrent goroutines sharing
+	// the default session can commit their seqs out of order and read each
+	// other's cached results — a contract violation, not a protocol bug.
+	sessions := []*kvstore.Client{r.NewClient(), r.NewClient(), r.NewClient()}
 	record := func(client int, op kvstore.Op, key, value, old string) {
 		call := now()
-		out, err := r.Do(op, key, value, old, 10*time.Second)
+		out, err := sessions[client].Do(op, key, value, old, 10*time.Second)
 		ret := now()
 		if err != nil {
 			t.Errorf("client %d: %v", client, err)

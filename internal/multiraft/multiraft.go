@@ -1,0 +1,281 @@
+// Package multiraft hosts many independent raft groups inside one process
+// over shared infrastructure — the deployment shape of a sharded store
+// (one replica set per shard, all multiplexed over the same sockets and
+// the same disk), as studied for MongoDB's per-replica-set logless
+// reconfiguration.
+//
+// A Host owns one raft.Node per group. What is shared:
+//
+//   - Transport: one multiplexing transport (one connection/reconnector
+//     per peer) carries every group's envelopes; each group registers a
+//     per-group endpoint that stamps its GroupID on send.
+//   - Tick loop: one wall-clock ticker drives every group's logical clock
+//     (nodes run with Options.ExternalTick), instead of one timer
+//     goroutine per group.
+//   - Storage: one root directory, with each group confined to its own
+//     subdirectory (GroupStorageDir). Segment and snapshot names are
+//     namespaced by that subdirectory, so compaction in one group can
+//     never unlink another group's files — the isolation is physical
+//     (distinct directories), not a naming convention inside one.
+//
+// What is NOT shared: the consensus state. Each group elects its own
+// leader, reconfigures on its own schedule, and fail-stops independently —
+// a storage fault in one group halts that group's node while the rest of
+// the host keeps serving.
+package multiraft
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"adore/internal/raft"
+	"adore/internal/types"
+)
+
+// Transport is the host's view of a multiplexing transport: it can mint
+// one stamping endpoint per group. transport.TCPTransport and
+// transport.HostTransport (the MemNetwork adapter) both satisfy it.
+type Transport interface {
+	// Endpoint registers inbox as group g's demux target and returns the
+	// raft.Transport that group's node sends through. The endpoint's
+	// Close must detach only that group, never the shared transport.
+	Endpoint(g raft.GroupID, inbox chan<- raft.Message) raft.Transport
+}
+
+// Options configures a Host.
+type Options struct {
+	// ID is this node's identity; Members the initial membership of every
+	// group (each group can diverge later via its own reconfigurations).
+	ID      types.NodeID
+	Members []types.NodeID
+
+	// Groups is how many raft groups the host runs (0 = 1).
+	Groups int
+
+	// Transport is the shared multiplexer all groups send through.
+	Transport Transport
+
+	// ElectionTimeoutMin/Max and HeartbeatInterval scale every group's
+	// protocol timers (zero values get the raft package defaults).
+	ElectionTimeoutMin time.Duration
+	ElectionTimeoutMax time.Duration
+	HeartbeatInterval  time.Duration
+
+	// StorageRoot, when non-empty, backs each group with a FileStorage in
+	// its own subdirectory (GroupStorageDir(root, g)). StorageFor, when
+	// set, overrides it per group (nil return = volatile group).
+	StorageRoot string
+	StorageFor  func(raft.GroupID) raft.Storage
+
+	// StateMachineFor supplies each group's state machine for snapshot
+	// capture (required for SnapshotThreshold > 0).
+	StateMachineFor func(raft.GroupID) raft.StateMachine
+
+	// OnApply, when set, receives every group's committed batches from
+	// that group's apply drain (one goroutine per group; calls for the
+	// same group are ordered, calls across groups are concurrent).
+	OnApply func(raft.GroupID, []raft.ApplyMsg)
+
+	// SnapshotThreshold / MaxEntriesPerAppend are passed to every group.
+	SnapshotThreshold   int
+	MaxEntriesPerAppend int
+
+	// DisableR2/R3/PreVote/CheckQuorum toggle the protocol guards in
+	// every group (experiments only).
+	DisableR2          bool
+	DisableR3          bool
+	DisablePreVote     bool
+	DisableCheckQuorum bool
+
+	// Seed derives each group's election-jitter seed (0 = from ID). Groups
+	// get distinct offsets so their election timers never align by
+	// construction.
+	Seed int64
+
+	// InboxSize is each group's transport inbox capacity (0 = 4096).
+	InboxSize int
+}
+
+// GroupStorageDir is the per-group WAL directory under a host's storage
+// root. Keeping each group in its own subdirectory — rather than prefixing
+// file names in a shared one — makes cross-group unlinks impossible by
+// construction: FileStorage compaction enumerates and removes files only
+// inside its own dir.
+func GroupStorageDir(root string, g raft.GroupID) string {
+	return filepath.Join(root, fmt.Sprintf("group-%04d", g))
+}
+
+// Host is a set of raft groups sharing one process, one transport, one
+// tick loop, and one storage root.
+type Host struct {
+	opts  Options
+	nodes []*raft.Node // group g at index g; fixed after Start
+
+	owned []raft.Storage // file storages Start opened and Stop must close
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	loops    sync.WaitGroup // tick loop + inbox pumps
+	drains   sync.WaitGroup // apply fan-out goroutines
+}
+
+// Start launches every group's node. On error (a group's storage failed to
+// open) nothing is left running.
+func Start(opts Options) (*Host, error) {
+	if opts.Groups <= 0 {
+		opts.Groups = 1
+	}
+	if opts.Seed == 0 {
+		opts.Seed = int64(opts.ID) * 7919
+	}
+	h := &Host{opts: opts, stopCh: make(chan struct{})}
+	inboxSize := opts.InboxSize
+	if inboxSize <= 0 {
+		inboxSize = 4096
+	}
+	for g := raft.GroupID(0); int(g) < opts.Groups; g++ {
+		storage, err := h.storageFor(g)
+		if err != nil {
+			h.Stop()
+			return nil, err
+		}
+		var sm raft.StateMachine
+		if opts.StateMachineFor != nil {
+			sm = opts.StateMachineFor(g)
+		}
+		inbox := make(chan raft.Message, inboxSize)
+		ep := opts.Transport.Endpoint(g, inbox)
+		n := raft.StartNode(raft.Options{
+			ID:                  opts.ID,
+			Members:             opts.Members,
+			Transport:           ep,
+			ElectionTimeoutMin:  opts.ElectionTimeoutMin,
+			ElectionTimeoutMax:  opts.ElectionTimeoutMax,
+			HeartbeatInterval:   opts.HeartbeatInterval,
+			Storage:             storage,
+			StateMachine:        sm,
+			SnapshotThreshold:   opts.SnapshotThreshold,
+			MaxEntriesPerAppend: opts.MaxEntriesPerAppend,
+			DisableR2:           opts.DisableR2,
+			DisableR3:           opts.DisableR3,
+			DisablePreVote:      opts.DisablePreVote,
+			DisableCheckQuorum:  opts.DisableCheckQuorum,
+			// Distinct per-group offsets keep group clocks de-phased.
+			Seed:         opts.Seed + 1000003*int64(g),
+			ExternalTick: true,
+		})
+		h.nodes = append(h.nodes, n)
+		// Pump the transport inbox into the node. Delivery blocks when the
+		// node's own queue is full (back-pressure, not silent loss); the
+		// done-channel select releases the pump once the node shuts down.
+		h.loops.Add(1)
+		go func(n *raft.Node) {
+			defer h.loops.Done()
+			for {
+				select {
+				case m := <-inbox:
+					select {
+					case n.Inbox() <- m:
+					case <-n.Done():
+						return
+					}
+				case <-n.Done():
+					return
+				}
+			}
+		}(n)
+		// Fan the group's apply stream out to the shared hook.
+		if opts.OnApply != nil {
+			h.drains.Add(1)
+			go func(g raft.GroupID, n *raft.Node) {
+				defer h.drains.Done()
+				for batch := range n.ApplyCh() {
+					opts.OnApply(g, batch)
+				}
+			}(g, n)
+		}
+	}
+	h.loops.Add(1)
+	go h.tickLoop()
+	return h, nil
+}
+
+// storageFor opens (or fetches) group g's storage per the options.
+func (h *Host) storageFor(g raft.GroupID) (raft.Storage, error) {
+	if h.opts.StorageFor != nil {
+		return h.opts.StorageFor(g), nil
+	}
+	if h.opts.StorageRoot == "" {
+		return nil, nil
+	}
+	fs, err := raft.OpenFileStorage(GroupStorageDir(h.opts.StorageRoot, g))
+	if err != nil {
+		return nil, fmt.Errorf("multiraft: group %d storage: %w", g, err)
+	}
+	h.owned = append(h.owned, fs)
+	return fs, nil
+}
+
+// tickLoop is the shared clock: one wall-clock ticker advancing every
+// group's logical time at the cadence each node's internal ticker would
+// have used (HeartbeatInterval/2, after defaults).
+func (h *Host) tickLoop() {
+	defer h.loops.Done()
+	hb := h.opts.HeartbeatInterval
+	if hb == 0 {
+		etMin := h.opts.ElectionTimeoutMin
+		if etMin == 0 {
+			etMin = 50 * time.Millisecond
+		}
+		hb = etMin / 3
+	}
+	unit := hb / 2
+	if unit <= 0 {
+		unit = time.Millisecond
+	}
+	ticker := time.NewTicker(unit)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-h.stopCh:
+			return
+		case <-ticker.C:
+			for _, n := range h.nodes {
+				n.Tick()
+			}
+		}
+	}
+}
+
+// ID returns the host's node identity.
+func (h *Host) ID() types.NodeID { return h.opts.ID }
+
+// Groups returns how many groups the host runs.
+func (h *Host) Groups() int { return len(h.nodes) }
+
+// Node returns group g's raft node (nil if g is out of range).
+func (h *Host) Node(g raft.GroupID) *raft.Node {
+	if int(g) >= len(h.nodes) {
+		return nil
+	}
+	return h.nodes[g]
+}
+
+// Stop shuts every group down, waits for the apply fan-out to drain, and
+// closes the storages the host opened. The shared transport is NOT closed:
+// the host does not own it (per-group endpoints detach themselves as their
+// nodes stop).
+func (h *Host) Stop() {
+	h.stopOnce.Do(func() { close(h.stopCh) })
+	for _, n := range h.nodes {
+		n.Stop()
+	}
+	h.loops.Wait()
+	h.drains.Wait()
+	for _, s := range h.owned {
+		_ = s.Close()
+	}
+	h.owned = nil
+}

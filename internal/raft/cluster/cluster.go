@@ -1,6 +1,12 @@
 // Package cluster assembles in-process raft clusters over the simulated
 // in-memory network — the harness used by the integration tests, the
 // examples, and the Fig. 16 benchmark.
+//
+// Every node in the cluster is a multiraft.Host: with Options.Groups > 1
+// it runs that many independent raft groups multiplexed over the shared
+// MemNetwork, one WaitCommit/Leader/Propose surface per group (the *G
+// methods). The original single-group API is unchanged — it is simply
+// group 0.
 package cluster
 
 import (
@@ -9,6 +15,8 @@ import (
 	"sync"
 	"time"
 
+	"adore/internal/backoff"
+	"adore/internal/multiraft"
 	"adore/internal/raft"
 	"adore/internal/raft/transport"
 	"adore/internal/types"
@@ -18,6 +26,10 @@ import (
 type Options struct {
 	// N is the initial cluster size (members S1..SN).
 	N int
+	// Groups is how many raft groups each node hosts (0 or 1 = one). All
+	// groups start with the same membership and diverge through their own
+	// reconfigurations.
+	Groups int
 	// Latency/Jitter configure the simulated network.
 	Latency time.Duration
 	Jitter  time.Duration
@@ -34,33 +46,62 @@ type Options struct {
 	// Seed drives all randomness.
 	Seed int64
 	// OnApply, when set, is called synchronously from each node's apply
-	// drain for every committed entry (state machines hook in here).
+	// drain for every committed entry of group 0 (state machines hook in
+	// here; single-group API). Multi-group callers use OnApplyG.
 	OnApply func(types.NodeID, raft.ApplyMsg)
-	// StorageFor, when set, supplies per-node persistent storage, which
-	// makes CrashNode/RestartNode meaningful (state survives).
+	// OnApplyG, when set, receives every group's committed entries.
+	OnApplyG func(raft.GroupID, types.NodeID, raft.ApplyMsg)
+	// StorageFor, when set, supplies per-node persistent storage for
+	// single-group clusters, which makes CrashNode/RestartNode meaningful
+	// (state survives). Multi-group clusters use StorageForG.
 	StorageFor func(types.NodeID) raft.Storage
+	// StorageForG, when set, supplies per-(group, node) storage and takes
+	// precedence over StorageFor.
+	StorageForG func(raft.GroupID, types.NodeID) raft.Storage
 	// StateMachineFor, when set, gives each node snapshot access to its
 	// application state machine (required for SnapshotThreshold > 0).
+	// Single-group API; multi-group callers use StateMachineForG.
 	StateMachineFor func(types.NodeID) raft.StateMachine
+	// StateMachineForG supplies per-(group, node) state machines and takes
+	// precedence over StateMachineFor.
+	StateMachineForG func(raft.GroupID, types.NodeID) raft.StateMachine
 	// SnapshotThreshold enables log compaction: after this many applied
 	// entries above the snapshot base a node captures its state machine
 	// and truncates its WAL (0 = disabled).
 	SnapshotThreshold int
-	// InboxSize is the per-node transport inbox capacity (0 = 4096).
-	// Small values exercise back-pressure: the inbox pump blocks instead
-	// of dropping when a node falls behind.
+	// InboxSize is the per-(node, group) transport inbox capacity
+	// (0 = 4096). Small values exercise back-pressure: the inbox pump
+	// blocks instead of dropping when a node falls behind.
 	InboxSize int
+	// NoApplyRecord disables the in-memory applied-stream record. The
+	// record exists for the test and chaos oracles; throughput benchmarks
+	// turn it off so the cluster-wide mutex on it doesn't serialize the
+	// groups' apply drains (and the history doesn't accumulate).
+	NoApplyRecord bool
 }
 
-// Cluster is a set of raft nodes joined by a MemNetwork.
+// groups returns the effective group count.
+func (o *Options) groups() int {
+	if o.Groups <= 0 {
+		return 1
+	}
+	return o.Groups
+}
+
+// gkey addresses one group's stream on one node.
+type gkey struct {
+	g  raft.GroupID
+	id types.NodeID
+}
+
+// Cluster is a set of multiraft hosts joined by a MemNetwork.
 type Cluster struct {
 	Net  *transport.MemNetwork
 	opts Options
 
 	mu      sync.Mutex
-	nodes   map[types.NodeID]*raft.Node      // guarded by mu
-	applied map[types.NodeID][]raft.ApplyMsg // guarded by mu
-	drains  sync.WaitGroup
+	hosts   map[types.NodeID]*multiraft.Host // guarded by mu
+	applied map[gkey][]raft.ApplyMsg         // guarded by mu
 }
 
 // New starts a cluster of opts.N nodes and returns it.
@@ -74,8 +115,8 @@ func New(opts Options) *Cluster {
 	c := &Cluster{
 		Net:     transport.NewMemNetwork(opts.Latency, opts.Jitter, opts.Seed),
 		opts:    opts,
-		nodes:   make(map[types.NodeID]*raft.Node),
-		applied: make(map[types.NodeID][]raft.ApplyMsg),
+		hosts:   make(map[types.NodeID]*multiraft.Host),
+		applied: make(map[gkey][]raft.ApplyMsg),
 	}
 	members := types.Range(1, types.NodeID(opts.N)).Copy()
 	for _, id := range members {
@@ -84,103 +125,146 @@ func New(opts Options) *Cluster {
 	return c
 }
 
-// StartNode launches (or restarts) a node with the given initial
-// membership and attaches it to the network.
+// StartNode launches (or restarts) a node — a host running every group —
+// with the given initial membership and attaches it to the network.
+// It returns the node's group-0 raft instance (the single-group API).
 func (c *Cluster) StartNode(id types.NodeID, members []types.NodeID) *raft.Node {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	size := c.opts.InboxSize
-	if size <= 0 {
-		size = 4096
-	}
-	inbox := make(chan raft.Message, size)
-	tr := c.Net.Attach(id, inbox)
-	var storage raft.Storage
-	if c.opts.StorageFor != nil {
-		storage = c.opts.StorageFor(id)
-	}
-	var sm raft.StateMachine
-	if c.opts.StateMachineFor != nil {
-		sm = c.opts.StateMachineFor(id)
-	}
-	n := raft.StartNode(raft.Options{
+	host, err := multiraft.Start(multiraft.Options{
 		ID:                 id,
 		Members:            members,
-		Transport:          tr,
-		Storage:            storage,
-		StateMachine:       sm,
-		SnapshotThreshold:  c.opts.SnapshotThreshold,
+		Groups:             c.opts.groups(),
+		Transport:          transport.HostTransport{Net: c.Net, ID: id},
 		ElectionTimeoutMin: c.opts.ElectionTimeoutMin,
+		StorageFor: func(g raft.GroupID) raft.Storage {
+			return c.storageFor(g, id)
+		},
+		StateMachineFor: func(g raft.GroupID) raft.StateMachine {
+			return c.stateMachineFor(g, id)
+		},
+		OnApply: func(g raft.GroupID, batch []raft.ApplyMsg) {
+			c.record(g, id, batch)
+		},
+		SnapshotThreshold:  c.opts.SnapshotThreshold,
 		DisableR2:          c.opts.DisableR2,
 		DisableR3:          c.opts.DisableR3,
 		DisablePreVote:     c.opts.DisablePreVote,
 		DisableCheckQuorum: c.opts.DisableCheckQuorum,
 		Seed:               c.opts.Seed + int64(id),
+		InboxSize:          c.opts.InboxSize,
 	})
-	// Pump the transport inbox into the node. Delivery blocks when the
-	// node's own queue is full (back-pressure, not silent loss); the
-	// stop-channel select releases the pump once the node shuts down.
-	go func() {
-		for m := range inbox {
-			select {
-			case n.Inbox() <- m:
-			case <-n.Done():
-				return
-			}
-		}
-	}()
-	// Drain and record the apply stream, one lock acquisition per batch.
-	c.drains.Add(1)
-	go func() {
-		defer c.drains.Done()
-		for batch := range n.ApplyCh() {
-			c.mu.Lock()
-			c.applied[id] = append(c.applied[id], batch...)
-			c.mu.Unlock()
-			if c.opts.OnApply != nil {
-				for _, msg := range batch {
-					c.opts.OnApply(id, msg)
-				}
-			}
-		}
-	}()
-	c.nodes[id] = n
-	return n
+	if err != nil {
+		// Only file storage opened from a root can fail, and the cluster
+		// harness always routes through StorageFor — unreachable.
+		panic(fmt.Sprintf("cluster: start node %s: %v", id, err))
+	}
+	c.mu.Lock()
+	c.hosts[id] = host
+	c.mu.Unlock()
+	return host.Node(0)
 }
 
-// Node returns the node with the given ID (nil if absent).
-func (c *Cluster) Node(id types.NodeID) *raft.Node {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.nodes[id]
+// storageFor resolves one group's storage on one node from the options.
+func (c *Cluster) storageFor(g raft.GroupID, id types.NodeID) raft.Storage {
+	if c.opts.StorageForG != nil {
+		return c.opts.StorageForG(g, id)
+	}
+	if c.opts.StorageFor != nil && g == 0 {
+		return c.opts.StorageFor(id)
+	}
+	return nil
 }
 
-// Nodes returns a snapshot of all running nodes.
-func (c *Cluster) Nodes() []*raft.Node {
+// stateMachineFor resolves one group's state machine on one node.
+func (c *Cluster) stateMachineFor(g raft.GroupID, id types.NodeID) raft.StateMachine {
+	if c.opts.StateMachineForG != nil {
+		return c.opts.StateMachineForG(g, id)
+	}
+	if c.opts.StateMachineFor != nil && g == 0 {
+		return c.opts.StateMachineFor(id)
+	}
+	return nil
+}
+
+// record captures one group's apply batch and fans it out to the hooks.
+func (c *Cluster) record(g raft.GroupID, id types.NodeID, batch []raft.ApplyMsg) {
+	if !c.opts.NoApplyRecord {
+		k := gkey{g, id}
+		c.mu.Lock()
+		c.applied[k] = append(c.applied[k], batch...)
+		c.mu.Unlock()
+	}
+	if c.opts.OnApplyG != nil {
+		for _, msg := range batch {
+			c.opts.OnApplyG(g, id, msg)
+		}
+	}
+	if c.opts.OnApply != nil && g == 0 {
+		for _, msg := range batch {
+			c.opts.OnApply(id, msg)
+		}
+	}
+}
+
+// Host returns the multiraft host for the given node (nil if crashed).
+func (c *Cluster) Host(id types.NodeID) *multiraft.Host {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]*raft.Node, 0, len(c.nodes))
-	for _, n := range c.nodes {
-		out = append(out, n)
+	return c.hosts[id]
+}
+
+// Node returns the group-0 node with the given ID (nil if absent).
+func (c *Cluster) Node(id types.NodeID) *raft.Node { return c.NodeG(0, id) }
+
+// NodeG returns group g's node with the given ID (nil if absent).
+func (c *Cluster) NodeG(g raft.GroupID, id types.NodeID) *raft.Node {
+	c.mu.Lock()
+	h := c.hosts[id]
+	c.mu.Unlock()
+	if h == nil {
+		return nil
+	}
+	return h.Node(g)
+}
+
+// Nodes returns a snapshot of all running group-0 nodes.
+func (c *Cluster) Nodes() []*raft.Node { return c.NodesG(0) }
+
+// NodesG returns a snapshot of all running nodes of group g.
+func (c *Cluster) NodesG(g raft.GroupID) []*raft.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*raft.Node, 0, len(c.hosts))
+	for _, h := range c.hosts {
+		if n := h.Node(g); n != nil {
+			out = append(out, n)
+		}
 	}
 	return out
 }
 
-// Applied returns a copy of the entries a node has applied so far.
-func (c *Cluster) Applied(id types.NodeID) []raft.ApplyMsg {
+// Applied returns a copy of the group-0 entries a node has applied so far.
+func (c *Cluster) Applied(id types.NodeID) []raft.ApplyMsg { return c.AppliedG(0, id) }
+
+// AppliedG returns a copy of the entries a node has applied in group g.
+func (c *Cluster) AppliedG(g raft.GroupID, id types.NodeID) []raft.ApplyMsg {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]raft.ApplyMsg(nil), c.applied[id]...)
+	return append([]raft.ApplyMsg(nil), c.applied[gkey{g, id}]...)
 }
 
 // ErrNoLeader reports that no leader emerged within the deadline.
 var ErrNoLeader = errors.New("cluster: no leader elected within the deadline")
 
-// WaitForLeader blocks until some node is leader and returns its ID.
+// WaitForLeader blocks until some group-0 node is leader and returns its ID.
 func (c *Cluster) WaitForLeader(timeout time.Duration) (types.NodeID, error) {
+	return c.WaitForLeaderG(0, timeout)
+}
+
+// WaitForLeaderG blocks until some node leads group g and returns its ID.
+func (c *Cluster) WaitForLeaderG(g raft.GroupID, timeout time.Duration) (types.NodeID, error) {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		for _, n := range c.Nodes() {
+		for _, n := range c.NodesG(g) {
 			if _, role, _ := n.Status(); role == raft.Leader {
 				return n.ID(), nil
 			}
@@ -190,13 +274,16 @@ func (c *Cluster) WaitForLeader(timeout time.Duration) (types.NodeID, error) {
 	return types.NoNode, ErrNoLeader
 }
 
-// Leader returns the leader at the highest term, or nil. (During
+// Leader returns group 0's leader at the highest term, or nil.
+func (c *Cluster) Leader() *raft.Node { return c.LeaderG(0) }
+
+// LeaderG returns group g's leader at the highest term, or nil. (During
 // partitions a deposed leader may still believe in itself; the highest
 // term wins.)
-func (c *Cluster) Leader() *raft.Node {
+func (c *Cluster) LeaderG(g raft.GroupID) *raft.Node {
 	var best *raft.Node
 	var bestTerm types.Time
-	for _, n := range c.Nodes() {
+	for _, n := range c.NodesG(g) {
 		if term, role, _ := n.Status(); role == raft.Leader && (best == nil || term > bestTerm) {
 			best, bestTerm = n, term
 		}
@@ -204,13 +291,18 @@ func (c *Cluster) Leader() *raft.Node {
 	return best
 }
 
-// Propose submits a command via the current leader, retrying across leader
-// changes until the deadline. It returns the index the command was
-// proposed at (commitment is observed via WaitApplied or the KV layer).
+// Propose submits a command via group 0's current leader, retrying across
+// leader changes until the deadline. It returns the index the command was
+// proposed at (commitment is observed via WaitCommit or the KV layer).
 func (c *Cluster) Propose(cmd []byte, timeout time.Duration) (int, error) {
+	return c.ProposeG(0, cmd, timeout)
+}
+
+// ProposeG submits a command via group g's current leader.
+func (c *Cluster) ProposeG(g raft.GroupID, cmd []byte, timeout time.Duration) (int, error) {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		if l := c.Leader(); l != nil {
+		if l := c.LeaderG(g); l != nil {
 			if idx, _, err := l.Propose(cmd); err == nil {
 				return idx, nil
 			}
@@ -220,46 +312,64 @@ func (c *Cluster) Propose(cmd []byte, timeout time.Duration) (int, error) {
 	return 0, fmt.Errorf("cluster: propose timed out")
 }
 
-// WaitCommit blocks until the given node's commit index reaches idx AND
-// the entries up to idx have landed in the cluster's applied record. The
-// second condition closes the gap between the node advancing its commit
-// index and the drain goroutine recording the (batched) apply stream;
-// without it a caller could read Applied() while the batch is still in
-// flight on the channel.
+// WaitCommit blocks until the given node's group-0 commit index reaches
+// idx AND the entries up to idx have landed in the cluster's applied
+// record. The second condition closes the gap between the node advancing
+// its commit index and the drain goroutine recording the (batched) apply
+// stream; without it a caller could read Applied() while the batch is
+// still in flight on the channel.
+//
+// The poll uses the same capped jittered backoff helper as the kvstore
+// client (internal/backoff, the single definition): commits that land in
+// microseconds are seen after a sub-millisecond first slice, while a
+// genuinely stalled cluster is polled a handful of times per interval
+// instead of once per fixed millisecond.
 func (c *Cluster) WaitCommit(id types.NodeID, idx int, timeout time.Duration) error {
+	return c.WaitCommitG(0, id, idx, timeout)
+}
+
+// WaitCommitG is WaitCommit against group g.
+func (c *Cluster) WaitCommitG(g raft.GroupID, id types.NodeID, idx int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
+	bo := backoff.New(200*time.Microsecond, 10*time.Millisecond, backoff.NextSeed())
 	for time.Now().Before(deadline) {
-		if n := c.Node(id); n != nil && n.CommitIndex() >= idx && c.appliedThrough(id) >= idx {
+		if n := c.NodeG(g, id); n != nil && n.CommitIndex() >= idx && c.appliedThrough(g, id) >= idx {
 			return nil
 		}
-		time.Sleep(time.Millisecond)
+		bo.Sleep(deadline)
 	}
-	return fmt.Errorf("cluster: %s did not reach commit index %d", id, idx)
+	return fmt.Errorf("cluster: %s did not reach commit index %d in group %d", id, idx, g)
 }
 
 // appliedThrough reports the highest index in the node's recorded apply
-// stream (0 if nothing has been recorded).
-func (c *Cluster) appliedThrough(id types.NodeID) int {
+// stream for group g (0 if nothing has been recorded).
+func (c *Cluster) appliedThrough(g raft.GroupID, id types.NodeID) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if a := c.applied[id]; len(a) > 0 {
+	if a := c.applied[gkey{g, id}]; len(a) > 0 {
 		return a[len(a)-1].Index
 	}
 	return 0
 }
 
-// Reconfigure retries a membership change against the current leader until
-// it is accepted (R3 needs the term-opening no-op to commit first) and
-// returns the config entry's index. When the new membership sheds the
-// current leader, leadership is first handed off gracefully to the most
-// caught-up surviving voter (a TimeoutNow transfer instead of waiting for
-// the removed leader's silence to time out an election), then the change
-// is proposed at the new leader.
+// Reconfigure retries a group-0 membership change against the current
+// leader until it is accepted (R3 needs the term-opening no-op to commit
+// first) and returns the config entry's index. When the new membership
+// sheds the current leader, leadership is first handed off gracefully to
+// the most caught-up surviving voter (a TimeoutNow transfer instead of
+// waiting for the removed leader's silence to time out an election), then
+// the change is proposed at the new leader.
 func (c *Cluster) Reconfigure(members types.NodeSet, timeout time.Duration) (int, error) {
+	return c.ReconfigureG(0, members, timeout)
+}
+
+// ReconfigureG is Reconfigure against group g: each group reconfigures on
+// its own schedule, independent of the others.
+func (c *Cluster) ReconfigureG(g raft.GroupID, members types.NodeSet, timeout time.Duration) (int, error) {
 	deadline := time.Now().Add(timeout)
 	var lastErr error
 	for time.Now().Before(deadline) {
-		if l := c.Leader(); l != nil {
+		if l := c.LeaderG(g); l != nil {
 			if !members.Contains(l.ID()) {
 				// The change removes the leader itself: move leadership into
 				// the surviving set first so the cluster never waits out a
@@ -284,17 +394,18 @@ func (c *Cluster) Reconfigure(members types.NodeSet, timeout time.Duration) (int
 	return 0, fmt.Errorf("cluster: reconfigure timed out (last error: %v)", lastErr)
 }
 
-// CrashNode stops a node abruptly and detaches it from the network; its
-// volatile state is lost. With Options.StorageFor set, RestartNode
-// recovers the persisted term, vote, and log.
+// CrashNode stops a node abruptly — every group it hosts — and detaches it
+// from the network; its volatile state is lost. With Options.StorageFor
+// (or StorageForG) set, RestartNode recovers the persisted term, vote, and
+// log per group.
 func (c *Cluster) CrashNode(id types.NodeID) {
 	c.mu.Lock()
-	n := c.nodes[id]
-	delete(c.nodes, id)
+	h := c.hosts[id]
+	delete(c.hosts, id)
 	c.mu.Unlock()
 	c.Net.Detach(id)
-	if n != nil {
-		n.Stop()
+	if h != nil {
+		h.Stop()
 	}
 }
 
@@ -306,9 +417,14 @@ func (c *Cluster) RestartNode(id types.NodeID, members []types.NodeID) *raft.Nod
 
 // Stop shuts down every node and the network.
 func (c *Cluster) Stop() {
-	for _, n := range c.Nodes() {
-		n.Stop()
+	c.mu.Lock()
+	hosts := make([]*multiraft.Host, 0, len(c.hosts))
+	for _, h := range c.hosts {
+		hosts = append(hosts, h)
+	}
+	c.mu.Unlock()
+	for _, h := range hosts {
+		h.Stop()
 	}
 	c.Net.Close()
-	c.drains.Wait()
 }

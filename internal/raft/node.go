@@ -76,6 +76,12 @@ type Options struct {
 
 	// Seed randomizes election timeouts deterministically (0 = from ID).
 	Seed int64
+
+	// ExternalTick disables the node's internal wall-clock ticker; the
+	// owner drives the logical clock by calling Tick. A multiraft host
+	// hosting many groups uses one shared ticker for all of them instead
+	// of one timer goroutine per group.
+	ExternalTick bool
 }
 
 func (o *Options) defaults() {
@@ -558,8 +564,12 @@ func (n *Node) abortSnapshot() {
 // run is the main event loop: messages, timers, shutdown.
 func (n *Node) run() {
 	defer n.done.Done()
-	ticker := time.NewTicker(n.opts.HeartbeatInterval / 2)
-	defer ticker.Stop()
+	var tickCh <-chan time.Time
+	if !n.opts.ExternalTick {
+		ticker := time.NewTicker(n.opts.HeartbeatInterval / 2)
+		defer ticker.Stop()
+		tickCh = ticker.C
+	}
 	for {
 		select {
 		case <-n.stopCh:
@@ -567,11 +577,17 @@ func (n *Node) run() {
 			return
 		case m := <-n.inbox:
 			n.step(m)
-		case <-ticker.C:
+		case <-tickCh:
 			n.tick()
 		}
 	}
 }
+
+// Tick advances the node's logical clock by one unit. Only meaningful with
+// Options.ExternalTick: the owner (e.g. a multiraft host's shared tick
+// loop) calls it at the cadence the internal ticker would have used,
+// HeartbeatInterval/2.
+func (n *Node) Tick() { n.tick() }
 
 // step feeds one incoming message to the core and executes the effects.
 func (n *Node) step(m Message) {

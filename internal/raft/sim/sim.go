@@ -667,6 +667,26 @@ func (s *Cluster) CrashWound(id types.NodeID, graceTicks int64) {
 	s.Journalf("S%d crash (wound, grace=%d)", id, graceTicks)
 }
 
+// WipeStorage destroys a node's durable raft state while it is down (the
+// node is crashed first if needed). This is NOT a raft fault mode — a
+// correct single-group deployment can lose a disk but not silently lose
+// only its WAL — it models the cross-group storage-corruption bug the
+// multiraft per-group subdirectories exist to prevent: another group's
+// compaction unlinking this group's segment files. The wiped node restarts
+// as a blank follower with its vote and log gone, which is exactly the
+// state from which raft can be induced to overwrite a committed prefix;
+// the per-group oracles must flag the resulting divergence.
+func (s *Cluster) WipeStorage(id types.NodeID) {
+	n := s.nodes[id]
+	if n.up {
+		s.Journalf("S%d crash (for wipe)", id)
+		n.up = false
+	}
+	n.doomAt = 0
+	s.storage[id] = raft.NewFaultStorage(raft.NewMemStorage())
+	s.Journalf("S%d storage wiped", id)
+}
+
 // FailNextSaveSnapshot arms a snapshot-persist fault: the node's next
 // snapshot save fails and the node must fail-stop rather than truncate a
 // log whose replacement image never became durable.

@@ -28,31 +28,49 @@ const (
 	inboxWait = 5 * time.Millisecond
 )
 
-// TCPTransport carries raft messages over TCP with gob encoding — the
+// TCPTransport carries raft envelopes over TCP with gob encoding — the
 // runtime's real-network deployment path (cmd/raft-kv).
+//
+// The transport is a group multiplexer: one connection and one background
+// reconnector per peer carry traffic for every raft group the process
+// hosts. Each group registers its inbox via Endpoint(g, inbox); inbound
+// envelopes are demultiplexed by their GroupID into that group's inbox.
+// The single-inbox NewTCPTransport API registers group 0.
 //
 // Sends never block on the network: each peer has a background sender
 // goroutine that owns the connection, redials with capped exponential
-// backoff plus jitter when the peer is down, and drains a bounded queue.
-// Send enqueues or — when the queue is full or the peer unknown — drops and
-// counts. Inbound messages get a bounded wait on a congested inbox before
-// being shed (counted), so transient slowness backpressures the sender
-// instead of silently losing traffic, while a wedged node cannot pin the
-// reader forever.
+// backoff plus jitter when the peer is down, and drains a bounded queue
+// shared by all groups. Send enqueues or — when the queue is full or the
+// peer unknown — drops and counts (per group). Inbound messages get a
+// bounded wait on a congested inbox before being shed (counted per group),
+// so one group's slow consumer backpressures its own sender without
+// silently losing the other groups' traffic.
 type TCPTransport struct {
-	id    types.NodeID
-	inbox chan<- raft.Message
-	ln    net.Listener
+	id types.NodeID
+	ln net.Listener
 
 	mu      sync.Mutex
-	peers   map[types.NodeID]string      // guarded by mu
-	senders map[types.NodeID]*peerSender // guarded by mu
-	inbound map[net.Conn]struct{}        // guarded by mu
-	closed  bool                         // guarded by mu
+	inboxes map[raft.GroupID]chan<- raft.Message // guarded by mu
+	peers   map[types.NodeID]string              // guarded by mu
+	senders map[types.NodeID]*peerSender         // guarded by mu
+	inbound map[net.Conn]struct{}                // guarded by mu
+	groups  map[raft.GroupID]*groupCounters      // guarded by mu (counters themselves atomic)
+	closed  bool                                 // guarded by mu
 	wg      sync.WaitGroup
 
-	dropped atomic.Uint64 // outbound: queue full, unknown peer, or write failure
-	shed    atomic.Uint64 // inbound: inbox still full after the bounded wait
+	dropped    atomic.Uint64 // outbound: queue full, unknown peer, or write failure
+	shed       atomic.Uint64 // inbound: inbox still full after the bounded wait
+	reconnects atomic.Uint64 // successful re-dials after a connection was lost
+}
+
+// groupCounters are the per-group slices of the transport's backpressure
+// counters: the reconnector counters split by the group whose traffic they
+// charge. A multiplexing bug (one group's congestion or socket loss
+// bleeding into another) shows up as the wrong group's counter moving.
+type groupCounters struct {
+	delivered atomic.Uint64 // inbound envelopes handed to the group's inbox
+	dropped   atomic.Uint64 // outbound envelopes dropped for this group
+	shed      atomic.Uint64 // inbound envelopes shed after the bounded wait
 }
 
 // peerSender owns one peer's connection. All fields are set at construction;
@@ -60,14 +78,14 @@ type TCPTransport struct {
 type peerSender struct {
 	t     *TCPTransport
 	addr  string
-	queue chan raft.Message
+	queue chan raft.Envelope
 	stop  chan struct{}
 	once  sync.Once
 }
 
-// NewTCPTransport starts listening on addr and delivers inbound messages to
-// inbox. peers maps node IDs to addresses (this node's own entry is
-// ignored).
+// NewTCPTransport starts listening on addr and delivers inbound group-0
+// messages to inbox. peers maps node IDs to addresses (this node's own
+// entry is ignored). Additional groups attach via Endpoint.
 func NewTCPTransport(id types.NodeID, addr string, peers map[types.NodeID]string, inbox chan<- raft.Message) (*TCPTransport, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -77,13 +95,18 @@ func NewTCPTransport(id types.NodeID, addr string, peers map[types.NodeID]string
 	for pid, paddr := range peers {
 		peerAddrs[pid] = paddr
 	}
+	inboxes := make(map[raft.GroupID]chan<- raft.Message)
+	if inbox != nil {
+		inboxes[0] = inbox
+	}
 	t := &TCPTransport{
 		id:      id,
-		inbox:   inbox,
 		ln:      ln,
+		inboxes: inboxes,
 		peers:   peerAddrs,
 		senders: make(map[types.NodeID]*peerSender),
 		inbound: make(map[net.Conn]struct{}),
+		groups:  make(map[raft.GroupID]*groupCounters),
 	}
 	t.wg.Add(1)
 	go t.accept()
@@ -95,9 +118,62 @@ func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
 
 // Counters returns how many outbound messages were dropped (full queue,
 // unknown peer, or write failure) and how many inbound messages were shed
-// after the bounded inbox wait.
+// after the bounded inbox wait, summed over all groups.
 func (t *TCPTransport) Counters() (dropped, shed uint64) {
 	return t.dropped.Load(), t.shed.Load()
+}
+
+// GroupCounters returns one group's slice of the transport counters:
+// inbound envelopes delivered to its inbox, outbound envelopes dropped,
+// and inbound envelopes shed on a congested inbox.
+func (t *TCPTransport) GroupCounters(g raft.GroupID) (delivered, dropped, shed uint64) {
+	gc := t.group(g)
+	return gc.delivered.Load(), gc.dropped.Load(), gc.shed.Load()
+}
+
+// Reconnects returns how many times a peer sender successfully re-dialed
+// after losing an established connection.
+func (t *TCPTransport) Reconnects() uint64 { return t.reconnects.Load() }
+
+// group returns g's counter block, creating it on first touch.
+func (t *TCPTransport) group(g raft.GroupID) *groupCounters {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	gc := t.groups[g]
+	if gc == nil {
+		gc = &groupCounters{}
+		t.groups[g] = gc
+	}
+	return gc
+}
+
+// Endpoint registers inbox as group g's demux target and returns a
+// raft.Transport that stamps g on every send. Closing the endpoint
+// unregisters only that group — the shared listener, connections, and the
+// other groups' traffic are untouched (a node stopping one group must not
+// sever the rest).
+func (t *TCPTransport) Endpoint(g raft.GroupID, inbox chan<- raft.Message) raft.Transport {
+	t.mu.Lock()
+	t.inboxes[g] = inbox
+	t.mu.Unlock()
+	return &tcpEndpoint{t: t, group: g}
+}
+
+// tcpEndpoint is one group's view of the shared transport.
+type tcpEndpoint struct {
+	t     *TCPTransport
+	group raft.GroupID
+}
+
+// Send implements raft.Transport.
+func (e *tcpEndpoint) Send(m raft.Message) { e.t.send(e.group, m) }
+
+// Close implements raft.Transport: detach this group's inbox only.
+func (e *tcpEndpoint) Close() error {
+	e.t.mu.Lock()
+	delete(e.t.inboxes, e.group)
+	e.t.mu.Unlock()
+	return nil
 }
 
 // SetPeer registers or updates a peer's address (e.g. after AddServer). An
@@ -144,23 +220,35 @@ func (t *TCPTransport) receive(conn net.Conn) {
 	timer := time.NewTimer(inboxWait)
 	defer timer.Stop()
 	for {
-		var m raft.Message
-		if err := dec.Decode(&m); err != nil {
+		var env raft.Envelope
+		if err := dec.Decode(&env); err != nil {
 			return
 		}
 		t.mu.Lock()
 		closed := t.closed
+		inbox, ok := t.inboxes[env.Group]
 		t.mu.Unlock()
 		if closed {
 			return
 		}
+		gc := t.group(env.Group)
+		if !ok {
+			// No inbox registered for this group (not hosted here, or its
+			// node already stopped): shed, charged to the envelope's group.
+			t.shed.Add(1)
+			gc.shed.Add(1)
+			continue
+		}
 		select {
-		case t.inbox <- m:
+		case inbox <- env.Msg:
+			gc.delivered.Add(1)
 			continue
 		default:
 		}
 		// Congested inbox: wait a bounded slice — TCP stops reading, the
-		// peer backpressures — then shed rather than wedge the reader.
+		// peer backpressures — then shed rather than wedge the reader. The
+		// wait stalls this connection only; other peers' connections (and
+		// so other nodes' traffic) keep flowing.
 		if !timer.Stop() {
 			select {
 			case <-timer.C:
@@ -169,17 +257,23 @@ func (t *TCPTransport) receive(conn net.Conn) {
 		}
 		timer.Reset(inboxWait)
 		select {
-		case t.inbox <- m:
+		case inbox <- env.Msg:
+			gc.delivered.Add(1)
 		case <-timer.C:
 			t.shed.Add(1)
+			gc.shed.Add(1)
 		}
 	}
 }
 
-// Send implements raft.Transport: best-effort, never blocking on the
+// Send implements raft.Transport for the transport itself: group 0, the
+// single-group compatibility path.
+func (t *TCPTransport) Send(m raft.Message) { t.send(0, m) }
+
+// send queues one envelope toward m.To: best-effort, never blocking on the
 // network. The message is queued to the peer's sender (spawned on first
 // use) or dropped with a count if the queue is full.
-func (t *TCPTransport) Send(m raft.Message) {
+func (t *TCPTransport) send(g raft.GroupID, m raft.Message) {
 	m.From = t.id
 	t.mu.Lock()
 	if t.closed {
@@ -192,12 +286,13 @@ func (t *TCPTransport) Send(m raft.Message) {
 		if !ok {
 			t.mu.Unlock()
 			t.dropped.Add(1)
+			t.group(g).dropped.Add(1)
 			return
 		}
 		ps = &peerSender{
 			t:     t,
 			addr:  addr,
-			queue: make(chan raft.Message, sendQueueSize),
+			queue: make(chan raft.Envelope, sendQueueSize),
 			stop:  make(chan struct{}),
 		}
 		t.senders[m.To] = ps
@@ -206,9 +301,10 @@ func (t *TCPTransport) Send(m raft.Message) {
 	}
 	t.mu.Unlock()
 	select {
-	case ps.queue <- m:
+	case ps.queue <- raft.Envelope{Group: g, Msg: m}:
 	default:
 		t.dropped.Add(1)
+		t.group(g).dropped.Add(1)
 	}
 }
 
@@ -224,6 +320,7 @@ func (ps *peerSender) loop() {
 	defer ps.t.wg.Done()
 	var conn net.Conn
 	var enc *gob.Encoder
+	everConnected := false
 	defer func() {
 		if conn != nil {
 			conn.Close()
@@ -234,12 +331,16 @@ func (ps *peerSender) loop() {
 		select {
 		case <-ps.stop:
 			return
-		case m := <-ps.queue:
+		case env := <-ps.queue:
 			for conn == nil {
 				c, err := net.Dial("tcp", ps.addr)
 				if err == nil {
 					conn, enc = c, gob.NewEncoder(c)
 					backoff = dialBackoffMin
+					if everConnected {
+						ps.t.reconnects.Add(1)
+					}
+					everConnected = true
 					break
 				}
 				// Full jitter on the current backoff tier: desynchronizes
@@ -255,16 +356,21 @@ func (ps *peerSender) loop() {
 				case <-time.After(delay):
 				}
 			}
-			if err := enc.Encode(m); err != nil {
+			if err := enc.Encode(env); err != nil {
 				conn.Close()
 				conn, enc = nil, nil
-				ps.t.dropped.Add(1) // this message is lost; the protocol retries
+				// This envelope is lost; the protocol retries.
+				ps.t.dropped.Add(1)
+				ps.t.group(env.Group).dropped.Add(1)
 			}
 		}
 	}
 }
 
-// Close implements raft.Transport.
+// Close shuts the whole multiplexer down: listener, every peer sender, and
+// every inbound connection. Per-group endpoints do NOT call this — their
+// Close only detaches the group — so it runs once, from whoever owns the
+// transport (the host or the serving binary).
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {

@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"adore/internal/raft"
+	"adore/internal/types"
+)
+
+// Tag ranges let the test detect misrouting: every message carries its
+// group's range in Term, so a group-0 message surfacing in a group-1 inbox
+// (or vice versa) is immediately visible no matter which connection,
+// reconnect, or demux path it took.
+const (
+	g0Base = types.Time(10000)
+	g1Base = types.Time(20000)
+)
+
+func drainTags(ch chan raft.Message) []types.Time {
+	var out []types.Time
+	for {
+		select {
+		case m := <-ch:
+			out = append(out, m.Term)
+		default:
+			return out
+		}
+	}
+}
+
+func assertInRange(t *testing.T, tags []types.Time, base types.Time, what string) {
+	t.Helper()
+	for _, tag := range tags {
+		if tag < base || tag >= base+10000 {
+			t.Fatalf("%s: message tagged %d misrouted into the %d-range inbox", what, tag, base)
+		}
+	}
+}
+
+// TestTCPMultiplexedReconnect is the satellite-3 pin: one sender
+// multiplexes two raft groups over shared per-peer connections to two
+// receivers; one receiver's socket is killed mid-burst and restarted on the
+// same address. The surviving receiver's traffic — both groups — must
+// arrive complete, in order, and never misrouted across groups; the killed
+// receiver must come back via the background reconnector (reconnects
+// counter advances) with both groups flowing again, and every inbound
+// envelope must land in its own group's inbox on every connection
+// generation.
+func TestTCPMultiplexedReconnect(t *testing.T) {
+	const half = 200 // messages per group before the kill, and again after
+
+	// Sender: node 1 hosts groups 0 and 1 over one TCPTransport.
+	in1 := make(chan raft.Message, 16)
+	t1, err := NewTCPTransport(1, "127.0.0.1:0", nil, in1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	ep0 := t1.Endpoint(0, in1)
+	ep1 := t1.Endpoint(1, make(chan raft.Message, 16))
+
+	// Receiver 2: the victim. Groups 0 and 1 registered.
+	in2g0 := make(chan raft.Message, 4096)
+	in2g1 := make(chan raft.Message, 4096)
+	t2, err := NewTCPTransport(2, "127.0.0.1:0", nil, in2g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2.Endpoint(1, in2g1)
+	victimAddr := t2.Addr()
+
+	// Receiver 3: the survivor. Groups 0 and 1 registered.
+	in3g0 := make(chan raft.Message, 4096)
+	in3g1 := make(chan raft.Message, 4096)
+	t3, err := NewTCPTransport(3, "127.0.0.1:0", nil, in3g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t3.Close()
+	t3.Endpoint(1, in3g1)
+
+	t1.SetPeer(2, victimAddr)
+	t1.SetPeer(3, t3.Addr())
+
+	sendBoth := func(i int) {
+		ep0.Send(raft.Message{Type: raft.MsgAppendEntries, To: 2, Term: g0Base + types.Time(i)})
+		ep1.Send(raft.Message{Type: raft.MsgAppendEntries, To: 2, Term: g1Base + types.Time(i)})
+		ep0.Send(raft.Message{Type: raft.MsgAppendEntries, To: 3, Term: g0Base + types.Time(i)})
+		ep1.Send(raft.Message{Type: raft.MsgAppendEntries, To: 3, Term: g1Base + types.Time(i)})
+	}
+
+	for i := 0; i < half; i++ {
+		sendBoth(i)
+	}
+	// Let the first half land so the kill severs an ESTABLISHED connection
+	// (exercising the reconnect path, not just first-dial).
+	waitCond(t, func() bool {
+		d, _, _ := t2.GroupCounters(1)
+		return d >= half
+	}, "victim's first-half group-1 traffic")
+
+	// Kill the victim's socket mid-burst and restart on the same address.
+	if err := t2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	in2bg0 := make(chan raft.Message, 4096)
+	in2bg1 := make(chan raft.Message, 4096)
+	t2b, err := NewTCPTransport(2, victimAddr, nil, in2bg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2b.Close()
+	t2b.Endpoint(1, in2bg1)
+
+	for i := half; i < 2*half; i++ {
+		sendBoth(i)
+	}
+
+	// The reconnector must re-establish the victim's connection and deliver
+	// post-restart traffic for BOTH groups (keep nudging: envelopes written
+	// into the dying socket are legitimately lost, so the second half alone
+	// may need a retry to arrive).
+	nudge := 2 * half
+	waitCond(t, func() bool {
+		d0, _, _ := t2b.GroupCounters(0)
+		d1, _, _ := t2b.GroupCounters(1)
+		if d0 > 0 && d1 > 0 {
+			return true
+		}
+		sendBoth(nudge)
+		nudge++
+		return false
+	}, "post-restart delivery on both groups")
+	if t1.Reconnects() == 0 {
+		t.Fatal("sender re-established the victim's connection without counting a reconnect")
+	}
+
+	// Survivor: every message of both halves arrived, in order, in the
+	// right group's inbox — the kill of peer 2's socket must not have
+	// dropped or misrouted peer 3's traffic.
+	waitCond(t, func() bool {
+		d0, _, _ := t3.GroupCounters(0)
+		d1, _, _ := t3.GroupCounters(1)
+		return d0 >= 2*half && d1 >= 2*half
+	}, "survivor's full burst")
+	for g, ch := range map[string]chan raft.Message{"g0": in3g0, "g1": in3g1} {
+		base := g0Base
+		if g == "g1" {
+			base = g1Base
+		}
+		tags := drainTags(ch)
+		assertInRange(t, tags, base, "survivor "+g)
+		if len(tags) < 2*half {
+			t.Fatalf("survivor %s: got %d messages, want %d — traffic dropped on the surviving peer", g, len(tags), 2*half)
+		}
+		for i, tag := range tags[:2*half] {
+			if tag != base+types.Time(i) {
+				t.Fatalf("survivor %s: position %d holds tag %d, want %d (reordered)", g, i, tag, base+types.Time(i))
+			}
+		}
+	}
+	if _, _, shed := t3.GroupCounters(0); shed != 0 {
+		t.Fatalf("survivor shed %d group-0 messages with an uncongested inbox", shed)
+	}
+
+	// Victim, both generations: whatever arrived was never misrouted.
+	assertInRange(t, drainTags(in2g0), g0Base, "victim gen1 g0")
+	assertInRange(t, drainTags(in2g1), g1Base, "victim gen1 g1")
+	assertInRange(t, drainTags(in2bg0), g0Base, "victim gen2 g0")
+	assertInRange(t, drainTags(in2bg1), g1Base, "victim gen2 g1")
+}
+
+// TestTCPEndpointCloseDetachesOneGroup: closing one group's endpoint (what
+// Node.run does on stop) sheds only that group's inbound traffic; the other
+// group keeps flowing on the shared connection, and sheds are charged to
+// the detached group.
+func TestTCPEndpointCloseDetachesOneGroup(t *testing.T) {
+	in1 := make(chan raft.Message, 16)
+	t1, err := NewTCPTransport(1, "127.0.0.1:0", nil, in1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	ep0 := t1.Endpoint(0, in1)
+	ep1 := t1.Endpoint(1, make(chan raft.Message, 16))
+
+	in2g0 := make(chan raft.Message, 4096)
+	in2g1 := make(chan raft.Message, 4096)
+	t2, err := NewTCPTransport(2, "127.0.0.1:0", nil, in2g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+	rep1 := t2.Endpoint(1, in2g1)
+	t1.SetPeer(2, t2.Addr())
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		ep0.Send(raft.Message{To: 2, Term: g0Base + types.Time(i)})
+		ep1.Send(raft.Message{To: 2, Term: g1Base + types.Time(i)})
+	}
+	waitCond(t, func() bool {
+		d0, _, _ := t2.GroupCounters(0)
+		d1, _, _ := t2.GroupCounters(1)
+		return d0 >= n && d1 >= n
+	}, "both groups delivered before the detach")
+
+	// Group 1's node stops: its endpoint closes, group 0 lives on.
+	if err := rep1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := n; i < 2*n; i++ {
+		ep0.Send(raft.Message{To: 2, Term: g0Base + types.Time(i)})
+		ep1.Send(raft.Message{To: 2, Term: g1Base + types.Time(i)})
+	}
+	waitCond(t, func() bool {
+		d0, _, _ := t2.GroupCounters(0)
+		return d0 >= 2*n
+	}, "group 0 delivery after group 1 detached")
+	waitCond(t, func() bool {
+		_, _, shed := t2.GroupCounters(1)
+		return shed >= n
+	}, "group 1 inbound shed after detach")
+	if _, _, shed := t2.GroupCounters(0); shed != 0 {
+		t.Fatalf("group 1's detach shed %d of group 0's messages", shed)
+	}
+	tags := drainTags(in2g0)
+	assertInRange(t, tags, g0Base, "g0 after detach")
+	if len(tags) != 2*n {
+		t.Fatalf("group 0 delivered %d messages, want %d", len(tags), 2*n)
+	}
+}
+
+func waitCond(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -117,6 +117,24 @@ type Counters = raftcore.Counters
 // with Node.Snapshot, the consistent status view.)
 type LogSnapshot = raftcore.Snapshot
 
+// GroupID identifies one raft group (shard) among the many a process can
+// host. The sans-IO core is group-oblivious — a Core instance IS one group —
+// so the ID lives purely in the infrastructure layers: transports stamp it
+// on outgoing envelopes and demultiplex inbound traffic by it, storage
+// namespaces WAL directories by it, and the chaos oracles partition their
+// checks by it. Single-group deployments use group 0 everywhere.
+type GroupID uint32
+
+// Envelope is a group-tagged message: the routing unit of the multiplexing
+// transports. One socket (or in-memory link) per peer carries envelopes for
+// every group; the per-group endpoint stamps Group on send and the receiver
+// strips it when demultiplexing into that group's inbox. The core never
+// sees an Envelope — only the bare Message inside.
+type Envelope struct {
+	Group GroupID
+	Msg   Message
+}
+
 // Transport sends messages between nodes. Send must not block for long and
 // may drop messages silently; the protocol tolerates loss.
 type Transport interface {
