@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-teeth check bench bench-evidence bench-evidence-7 bench-shards chaos chaos-smoke chaos-teeth chaos-elections sim-sweep sim-teeth sim-sweep-groups sim-teeth-groups
+.PHONY: all build test race vet lint lint-teeth check bench bench-evidence bench-reads-smoke chaos chaos-smoke chaos-teeth chaos-elections chaos-leases sim-sweep sim-teeth sim-sweep-groups sim-teeth-groups
 
 all: check
 
@@ -69,6 +69,15 @@ chaos-elections:
 	$(GO) run ./cmd/raft-chaos -teeth -disable-checkquorum -seeds 1
 	$(GO) run ./cmd/raft-chaos -sim -seeds 100
 
+# chaos-leases is the lease-read teeth: with the transfer/reconfig lease
+# invalidation knocked out, the crafted deafen+transfer schedule must trip
+# the stale-lease oracle — the run exits 1, and `!` requires exactly that.
+# (The guard-on control arm of the same schedule is pinned by
+# TestTeethLeaseGuard, and every all-guards-on sweep keeps the oracle
+# armed over generated schedules.)
+chaos-leases:
+	! $(GO) run ./cmd/raft-chaos -teeth -disable-lease-guard -seeds 1
+
 # sim-sweep runs the same schedules in the deterministic simulator: the
 # whole execution (not just the fault plan) is a pure function of the seed,
 # there are no wall-clock sleeps, and the executable refinement checker
@@ -108,24 +117,26 @@ bench:
 	$(GO) run ./cmd/raft-bench -recovery -recovery-histories 2000,4000
 	$(GO) run ./cmd/raft-bench -shards 1,2 -shard-requests 600
 
-# bench-evidence regenerates the committed BENCH_2.json: the Fig. 16
-# series re-measured with group commit on and off (32 concurrent clients,
-# file-backed WALs), two seeds per mode.
+# bench-evidence regenerates one committed BENCH_<n>.json, selected by
+# number (make bench-evidence BENCH=<n>):
+#   2   Fig. 16 series with group commit on and off (32 clients, file WALs)
+#   7   restart recovery and follower catch-up, compacted vs full WAL
+#   9   multi-raft shard scaling (the same 16 clients vs 1/2/4/8 groups,
+#       per-group WAL device latency per DESIGN.md's substitution table)
+#   10  read-path mode grid (ReadIndex / lease / follower) and the
+#       follower-scaling sweep
+BENCH ?= 2
 bench-evidence:
-	$(GO) run ./cmd/raft-bench -requests 5000 -reconfig-every 1000 -clients 32 \
-		-latency 50us -jitter 20us -durable -ab -runs 2 -window 500 -json BENCH_2.json
+	@case "$(BENCH)" in \
+	2) $(GO) run ./cmd/raft-bench -requests 5000 -reconfig-every 1000 -clients 32 \
+		-latency 50us -jitter 20us -durable -ab -runs 2 -window 500 -json BENCH_2.json ;; \
+	7) $(GO) run ./cmd/raft-bench -recovery -json BENCH_7.json ;; \
+	9) $(GO) run ./cmd/raft-bench -shards 1,2,4,8 -json BENCH_9.json ;; \
+	10) $(GO) run ./cmd/raft-bench -reads -json BENCH_10.json ;; \
+	*) echo "unknown BENCH=$(BENCH) (known: 2, 7, 9, 10)"; exit 1 ;; \
+	esac
 
-# bench-evidence-7 regenerates the committed BENCH_7.json: restart
-# recovery and follower catch-up for the same histories with and without
-# compaction — replayed entries bounded by the retained tail vs the whole
-# WAL, one InstallSnapshot image vs walking the append pipeline.
-bench-evidence-7:
-	$(GO) run ./cmd/raft-bench -recovery -json BENCH_7.json
-
-# bench-shards regenerates the committed BENCH_9.json: aggregate propose
-# throughput for the SAME 16-client population against 1, 2, 4, and 8 raft
-# groups, per-group WAL device latency simulated per DESIGN.md's
-# substitution table (a single benchmark-host disk serializes every
-# group's fsync and would measure the device, not the architecture).
-bench-shards:
-	$(GO) run ./cmd/raft-bench -shards 1,2,4,8 -json BENCH_9.json
+# bench-reads-smoke is the CI slice of BENCH 10: the same mode grid and
+# follower sweep at reduced size — no thresholds, it just must complete.
+bench-reads-smoke:
+	$(GO) run ./cmd/raft-bench -reads -read-requests 600 -read-clients 8

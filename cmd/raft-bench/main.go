@@ -7,6 +7,7 @@
 //	raft-bench -runs 8              # the paper aggregates 8 runs
 //	raft-bench -clients 16          # concurrent closed-loop clients
 //	raft-bench -ab -json BENCH.json # batched vs unbatched, JSON evidence
+//	raft-bench -reads -json BENCH_10.json # read-path modes + follower scaling
 package main
 
 import (
@@ -42,7 +43,42 @@ func main() {
 	recoveryHist := flag.String("recovery-histories", "", "comma-separated history sizes for -recovery (default 5000,20000,50000)")
 	shards := flag.String("shards", "", "run the multi-raft shard-scaling sweep over these comma-separated group counts (e.g. 1,2,4,8) instead of Fig. 16")
 	shardReqs := flag.Int("shard-requests", 0, "operations per shard-sweep point (default 3000)")
+	reads := flag.Bool("reads", false, "run the read-path mode grid (ReadIndex / lease / follower) and the follower-scaling sweep instead of Fig. 16")
+	readClients := flag.String("read-clients", "", "comma-separated closed-loop client counts for the -reads mode grid (default 4,16,32)")
+	readReqs := flag.Int("read-requests", 0, "operations per -reads point (default 4000)")
 	flag.Parse()
+
+	if *reads {
+		opts := bench.ReadsDefaults()
+		if *readClients != "" {
+			opts.ClientCounts = opts.ClientCounts[:0]
+			for _, f := range strings.Split(*readClients, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil || n < 1 {
+					fmt.Fprintf(os.Stderr, "bad -read-clients entry %q (must be a positive int)\n", f)
+					os.Exit(1)
+				}
+				opts.ClientCounts = append(opts.ClientCounts, n)
+			}
+		}
+		if *readReqs > 0 {
+			opts.Requests = *readReqs
+		}
+		res, err := bench.RunReads(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res.Print(os.Stdout)
+		if *jsonPath != "" {
+			if err := bench.WriteJSON(*jsonPath, res); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote read sweep to %s\n", *jsonPath)
+		}
+		return
+	}
 
 	if *shards != "" {
 		opts := bench.ShardsDefaults()

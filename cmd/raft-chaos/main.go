@@ -15,6 +15,7 @@
 //	raft-chaos -teeth -disable-checkquorum  # election teeth: the immortal stale leader must be caught
 //	raft-chaos -sim -groups 3 -seeds 500    # multi-group sweep: per-group oracles over a sharded keyspace
 //	raft-chaos -teeth -groups 2             # cross-group wipe teeth: group 1's corruption caught, group 0 clean
+//	raft-chaos -teeth -disable-lease-guard  # lease teeth: the stale-lease oracle must fire (exit 1)
 //
 // With -sim each seed runs in the deterministic simulator instead of a live
 // cluster: single-threaded on a logical clock, the entire execution (not
@@ -57,6 +58,7 @@ func main() {
 		disableR3 = flag.Bool("disable-r3", false, "reintroduce the R3 bug (expect violations)")
 		disPV     = flag.Bool("disable-prevote", false, "turn off Pre-Vote (with -teeth: run the rejoin-disruption schedule)")
 		disCQ     = flag.Bool("disable-checkquorum", false, "turn off CheckQuorum step-down (with -teeth: run the stale-leader schedule)")
+		disLG     = flag.Bool("disable-lease-guard", false, "turn off the transfer/reconfig lease invalidation (with -teeth: run the lease-violation schedule; the stale-lease oracle must fire)")
 		teeth     = flag.Bool("teeth", false, "run the crafted violation schedule for the disabled guard instead of generated ones")
 		sim       = flag.Bool("sim", false, "deterministic simulation instead of a live cluster (adds the refinement oracle)")
 		groups    = flag.Int("groups", 1, "raft groups sharing the keyspace (>1 implies -sim; every oracle runs per group)")
@@ -81,15 +83,21 @@ func main() {
 	// flat-storage-layout bug the per-group subdirectories prevent. It is
 	// always expect-violations mode, and every violation must be attributed
 	// to the wiped group — a control-group catch fails the run.
-	wipeTeeth := *teeth && *groups > 1 && !*disableR2 && !*disableR3 && !*disPV && !*disCQ
+	wipeTeeth := *teeth && *groups > 1 && !*disableR2 && !*disableR3 && !*disPV && !*disCQ && !*disLG
 	expectViolations := *disableR2 || *disableR3 || *disPV || *disCQ || wipeTeeth
+	// -teeth -disable-lease-guard runs the crafted lease-violation schedule
+	// with the guard off and keeps violations as the FAILING exit status
+	// (like a bare -teeth): the command exits 1 exactly when the stale-lease
+	// oracle still bites, and the Makefile target negates it.
+	leaseTeeth := *teeth && *disLG
 	if *teeth && !wipeTeeth {
-		if !expectViolations {
+		if !expectViolations && !leaseTeeth {
 			*disableR2 = true
 		}
-		// The election oracles (disruption, stale leader) live in the
-		// deterministic simulator, which can see the link state.
-		if *disPV || *disCQ {
+		// The election and lease oracles (disruption, stale leader, stale
+		// lease) live in the deterministic simulator, which can see the
+		// link state.
+		if *disPV || *disCQ || leaseTeeth {
 			*sim = true
 		}
 	}
@@ -105,6 +113,7 @@ func main() {
 		DisableR3:          *disableR3,
 		DisablePreVote:     *disPV,
 		DisableCheckQuorum: *disCQ,
+		DisableLeaseGuard:  *disLG,
 		SnapshotThreshold:  *snapThr,
 		Groups:             *groups,
 	}
@@ -136,6 +145,8 @@ func main() {
 					switch {
 					case wipeTeeth:
 						sched = chaos.CrossGroupWipeSchedule(opt)
+					case leaseTeeth:
+						sched = chaos.LeaseViolationSchedule(opt)
 					case *disPV:
 						sched = chaos.DisruptionSchedule(opt)
 					case *disCQ:

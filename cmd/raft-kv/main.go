@@ -24,6 +24,14 @@
 // the key's shard leader (responses include a redirect hint otherwise);
 // membership and transfer commands apply to every group the host runs.
 //
+// Reads are linearizable by default: -read-mode selects the barrier get
+// runs before serving. follower (the default) forwards a ReadIndex barrier
+// to the key's shard leader so ANY replica serves reads from its own state
+// machine; leader-readindex and leader-lease serve only at the leader (the
+// quorum barrier vs the logical-tick lease fast path, the latter falling
+// back to the barrier when no lease is held); local skips the barrier
+// entirely and may return stale values.
+//
 // With -wal DIR the replica persists its log (and, with
 // -snapshot-threshold N, periodic state-machine snapshots that truncate
 // it) and recovers both across restarts. With -shards > 1 each group lives
@@ -63,8 +71,20 @@ func main() {
 		shardsFlag   = flag.Int("shards", 1, "raft groups hosted by every replica; keys hash across them (all replicas must agree)")
 		disPV        = flag.Bool("disable-prevote", false, "campaign without the Pre-Vote round (rejoining nodes may disrupt a healthy leader)")
 		disCQ        = flag.Bool("disable-checkquorum", false, "leaders keep leading without quorum contact (stale leaders linger after partitions)")
+		readModeFlag = flag.String("read-mode", "follower", "how get is served: follower (linearizable from any replica), leader-readindex or leader-lease (this replica must lead the key's group), or local (no barrier, may be stale)")
+		disLease     = flag.Bool("disable-lease-read", false, "turn off the leader-lease fast path; leader-lease gets fall back to the quorum barrier")
 	)
 	flag.Parse()
+
+	readLocal := *readModeFlag == "local"
+	var readMode kvstore.ReadMode
+	if !readLocal {
+		var err error
+		if readMode, err = kvstore.ParseReadMode(*readModeFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	id := types.NodeID(*idFlag)
 	shards := *shardsFlag
@@ -105,6 +125,7 @@ func main() {
 		SnapshotThreshold:  *snapThr,
 		DisablePreVote:     *disPV,
 		DisableCheckQuorum: *disCQ,
+		DisableLeaseRead:   *disLease,
 		Seed:               int64(id),
 		StateMachineFor:    func(g raft.GroupID) raft.StateMachine { return stores[g] },
 		OnApply: func(g raft.GroupID, batch []raft.ApplyMsg) {
@@ -144,7 +165,7 @@ func main() {
 	}
 	fmt.Printf("raft-kv node %s: raft on %s, clients on %s, %d shard(s), members %v\n",
 		id, *listen, caddr, shards, members)
-	srv := &server{shards: shards, host: host, stores: stores}
+	srv := &server{shards: shards, host: host, stores: stores, readLocal: readLocal, readMode: readMode}
 	go srv.serve(ln)
 
 	sig := make(chan os.Signal, 1)
@@ -193,10 +214,12 @@ func bumpPort(addr string, by int) string {
 
 // server routes client commands to their key's shard.
 type server struct {
-	shards int
-	host   *multiraft.Host
-	stores []*kvstore.Store
-	seq    atomic.Uint64 // shared by all connection goroutines
+	shards    int
+	host      *multiraft.Host
+	stores    []*kvstore.Store
+	readLocal bool             // -read-mode local: serve gets with no barrier
+	readMode  kvstore.ReadMode // barrier used by get when !readLocal
+	seq       atomic.Uint64    // shared by all connection goroutines
 }
 
 // route returns the raft node and state machine responsible for key.
@@ -240,6 +263,52 @@ func (s *server) eachGroup(f func(*raft.Node) error) string {
 	return "OK"
 }
 
+// get serves a read at the configured -read-mode. Every mode except local
+// runs a linearizability barrier first — a quorum ReadIndex round at the
+// leader, a lease check (falling back to the quorum round when no lease is
+// held), or a barrier forwarded from this follower — then waits for the
+// local state machine to apply up to the barrier index before serving.
+func (s *server) get(key string) string {
+	node, store := s.route(key)
+	if s.readLocal {
+		if v, ok := store.LocalGet(key); ok {
+			return "VALUE " + v
+		}
+		return "NOTFOUND"
+	}
+	const timeout = 5 * time.Second
+	var idx int
+	var err error
+	switch s.readMode {
+	case kvstore.ReadModeLease:
+		var ok bool
+		if idx, ok = node.LeaseRead(); !ok {
+			// No valid lease (not leader, acks stale, transfer or reconfig
+			// in flight): degrade to the full quorum barrier.
+			idx, err = node.ReadIndex(timeout)
+		}
+	case kvstore.ReadModeFollower:
+		idx, err = node.FollowerReadIndex(timeout)
+	default: // ReadModeReadIndex
+		idx, err = node.ReadIndex(timeout)
+	}
+	if err != nil {
+		_, _, leader := node.Status()
+		return fmt.Sprintf("ERR read barrier: %s (try %s)", err, leader)
+	}
+	deadline := time.Now().Add(timeout)
+	for store.AppliedIndex() < idx {
+		if !time.Now().Before(deadline) {
+			return "ERR timeout waiting for apply"
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	if v, ok := store.LocalGet(key); ok {
+		return "VALUE " + v
+	}
+	return "NOTFOUND"
+}
+
 func (s *server) handleCommand(fields []string) string {
 	if len(fields) == 0 {
 		return "ERR empty command"
@@ -274,11 +343,7 @@ func (s *server) handleCommand(fields []string) string {
 		if len(fields) != 2 {
 			return "ERR usage: get K"
 		}
-		_, store := s.route(fields[1])
-		if v, ok := store.LocalGet(fields[1]); ok {
-			return "VALUE " + v
-		}
-		return "NOTFOUND"
+		return s.get(fields[1])
 	case "put":
 		if len(fields) != 3 {
 			return "ERR usage: put K V"

@@ -181,3 +181,42 @@ func TestDisruptionSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestTeethLeaseGuard reintroduces the stale-lease hazard (the
+// transfer/reconfig lease invalidation removed) and checks the stale-lease
+// oracle catches it: a deafened old leader — inbound links cut, outbound
+// intact — keeps a "valid" lease on acks banked before the cut while its
+// transferred-away successor commits past it. The control run — same
+// schedule, guard on — must stay clean: the lease dies the instant the
+// transfer starts and cannot revive while deafened.
+func TestTeethLeaseGuard(t *testing.T) {
+	opt := Options{Duration: 1500 * time.Millisecond}
+	sched := LeaseViolationSchedule(opt)
+
+	broken := opt
+	broken.DisableLeaseGuard = true
+	rep, err := RunSim(sched, broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "stale lease") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lease guard disabled and the deafen+transfer schedule executed, but the stale-lease oracle stayed silent; violations:\n%s\n--- journal ---\n%s",
+			strings.Join(rep.Violations, "\n"), rep.Journal)
+	}
+	t.Logf("caught: %s", rep.Violations[0])
+
+	control, err := RunSim(sched, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !control.Ok() {
+		t.Fatalf("guard on, same schedule: unexpected violations:\n%s\n--- journal ---\n%s",
+			strings.Join(control.Violations, "\n"), control.Journal)
+	}
+}

@@ -138,6 +138,7 @@ func Run(sched *Schedule, opt Options) (*Report, error) {
 		DisableR3:          opt.DisableR3,
 		DisablePreVote:     opt.DisablePreVote,
 		DisableCheckQuorum: opt.DisableCheckQuorum,
+		DisableLeaseGuard:  opt.DisableLeaseGuard,
 		Seed:               sched.Seed,
 		StorageFor:         func(id types.NodeID) raft.Storage { return faults[id] },
 		SnapshotThreshold:  opt.snapThreshold(),
@@ -263,7 +264,7 @@ func runClient(r *kvstore.Replicated, hist *recorder, ci int, script []ClientOp,
 		}
 		call := int64(time.Since(start))
 		if op.FastRead {
-			v, found, err := r.FastGet(op.Key, opt.OpTimeout)
+			v, found, err := r.FastGetMode(op.Key, op.Via, opt.OpTimeout)
 			hist.count(err != nil)
 			if err != nil {
 				continue
@@ -394,6 +395,10 @@ func (ex *executor) apply(e Event) {
 		// replay path is RunSim. A live run of a wipe schedule simply skips
 		// the wipe — its teeth test would then (correctly) fail to find the
 		// expected violation rather than pass vacuously.
+	case EvDeafenLeader:
+		// Deterministic-sim only, like EvWALWipe: the stale-lease oracle
+		// needs the sim's link-state visibility, so the lease teeth run
+		// there and a live replay skips the deafening.
 	default:
 		panic(fmt.Sprintf("chaos: executor saw unknown event kind %v", e.Kind))
 	}

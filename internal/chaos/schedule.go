@@ -87,6 +87,14 @@ const (
 	// segments. Multi-group runs apply it to Event.Group only; the other
 	// groups double as the control arm that must stay violation-free.
 	EvWALWipe
+	// EvDeafenLeader blocks every inbound link to the current leader
+	// (resolved at execution time) while its outbound links stay open: the
+	// leader keeps talking but hears no acks, so its lease clock freezes at
+	// the cut. Never generated — only the lease-violation teeth schedule
+	// uses it, paired with a transfer, to manufacture a window where a
+	// deafened old leader would serve a stale lease read if the transfer
+	// lease-invalidation guard were missing. Deterministic-sim only.
+	EvDeafenLeader
 )
 
 // String implements fmt.Stringer.
@@ -124,6 +132,8 @@ func (k EventKind) String() string {
 		return "reconfig-drop-leader"
 	case EvWALWipe:
 		return "wal-wipe"
+	case EvDeafenLeader:
+		return "deafen-leader"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -208,6 +218,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%6s] reconfig-drop-leader", e.At)
 	case EvWALWipe:
 		return fmt.Sprintf("[%6s] wal-wipe S%d g%d", e.At, e.Node, e.Group)
+	case EvDeafenLeader:
+		return fmt.Sprintf("[%6s] deafen-leader", e.At)
 	default:
 		return fmt.Sprintf("[%6s] %s", e.At, e.Kind)
 	}
@@ -218,14 +230,22 @@ type ClientOp struct {
 	Op       kvstore.Op
 	Key      string
 	Value    string
-	Old      string // CAS expected value
-	FastRead bool   // serve this Get through the ReadIndex barrier
+	Old      string           // CAS expected value
+	FastRead bool             // serve this Get without a log write
+	Via      kvstore.ReadMode // FastRead only: which fast read path
 }
 
 // String implements fmt.Stringer.
 func (o ClientOp) String() string {
 	if o.FastRead {
-		return fmt.Sprintf("fastget(%s)", o.Key)
+		switch o.Via {
+		case kvstore.ReadModeLease:
+			return fmt.Sprintf("leaseget(%s)", o.Key)
+		case kvstore.ReadModeFollower:
+			return fmt.Sprintf("followerget(%s)", o.Key)
+		default:
+			return fmt.Sprintf("fastget(%s)", o.Key)
+		}
 	}
 	switch o.Op {
 	case kvstore.OpGet:
@@ -329,6 +349,10 @@ type Options struct {
 	// that never steps down (CheckQuorum).
 	DisablePreVote     bool
 	DisableCheckQuorum bool
+	// DisableLeaseGuard removes the transfer/reconfig lease invalidation —
+	// used to prove the stale-lease oracle catches a deafened old leader
+	// serving lease reads while its transferred-away successor commits.
+	DisableLeaseGuard bool
 	// SnapshotThreshold is the log-compaction trigger: after this many
 	// applied entries above the snapshot base a node captures its state
 	// machine and truncates its log. 0 picks a chaos-friendly default
@@ -623,14 +647,27 @@ func Generate(seed int64, opt Options) *Schedule {
 		for i := 0; i < opt.OpsPerClient; i++ {
 			key := fmt.Sprintf("k%d", (c*opt.OpsPerClient+i)%opt.Keys)
 			op := ClientOp{Key: key, Value: fmt.Sprintf("c%d-%d", c, i)}
+			// Fast reads are dealt across all three read paths so every
+			// sweep's linearizability check covers ReadIndex, lease, and
+			// follower-served reads (one PRNG draw either way, keeping
+			// older seeds' event streams aligned).
 			switch roll := rng.Intn(100); {
 			case roll < 30:
 				op.Op = kvstore.OpPut
 			case roll < 55:
 				op.Op = kvstore.OpGet
+			case roll < 60:
+				op.Op = kvstore.OpGet
+				op.FastRead = true
+				op.Via = kvstore.ReadModeReadIndex
+			case roll < 65:
+				op.Op = kvstore.OpGet
+				op.FastRead = true
+				op.Via = kvstore.ReadModeLease
 			case roll < 70:
 				op.Op = kvstore.OpGet
 				op.FastRead = true
+				op.Via = kvstore.ReadModeFollower
 			case roll < 85:
 				op.Op = kvstore.OpAppend
 			case roll < 95:
@@ -756,6 +793,32 @@ func CrossGroupWipeSchedule(opt Options) *Schedule {
 			{At: flip, Kind: EvPartition, A: []types.NodeID{3, 4, 5}, B: []types.NodeID{1, 2}},
 			{At: d * 52 / 100, Kind: EvRestart, Node: 3},
 			{At: d * 80 / 100, Kind: EvHeal},
+		},
+		Scripts: Generate(1, opt).Scripts,
+	}
+}
+
+// LeaseViolationSchedule is the lease teeth plan (deterministic sim only):
+// deafen the sitting leader — every inbound link cut, outbound intact, so
+// its lease clock freezes on acks already banked — and in the same instant
+// start a graceful transfer. The TimeoutNow still goes out, the successor
+// campaigns and commits its term-opening no-op within a few ticks, and the
+// deafened old leader never hears the new term. With the guard on, the
+// lease dies the moment the transfer starts (and cannot revive: no acks
+// arrive while deafened), so the stale-lease oracle stays silent; with
+// DisableLeaseGuard the old leader's lease remains "valid" for the rest of
+// its ack window while the successor commits past it — exactly the
+// stale-read window the oracle must flag.
+func LeaseViolationSchedule(opt Options) *Schedule {
+	opt.defaults()
+	d := opt.Duration
+	return &Schedule{
+		Seed:  -6,
+		Nodes: opt.Nodes,
+		Events: []Event{
+			{At: d * 40 / 100, Kind: EvDeafenLeader},
+			{At: d * 40 / 100, Kind: EvTransferLeader},
+			{At: d * 70 / 100, Kind: EvHeal},
 		},
 		Scripts: Generate(1, opt).Scripts,
 	}

@@ -144,6 +144,7 @@ func runSimGroup(sched *Schedule, opt Options, g raft.GroupID, groups int) (*Rep
 			DisableR3:          opt.DisableR3,
 			DisablePreVote:     opt.DisablePreVote,
 			DisableCheckQuorum: opt.DisableCheckQuorum,
+			DisableLeaseGuard:  opt.DisableLeaseGuard,
 			SnapshotThreshold:  opt.snapThreshold(),
 		}),
 		opt:        opt,
@@ -349,6 +350,38 @@ func (r *simRun) sampleMonitor() {
 		}
 	}
 	r.checkElections()
+	r.checkLeases()
+}
+
+// checkLeases is the stale-lease oracle, probed every tick: any node that
+// would answer a lease read right now must grant an index at or beyond
+// every alive replica's commit index. A valid lease means no newer leader
+// can have been elected (every election path that could outrun the lease
+// window — transfer, reconfig — invalidates it first), so nothing can have
+// committed past the holder's read floor; a grant below the global commit
+// frontier is a stale read waiting to be served. LeaseProbe is
+// side-effect-free, so probing does not perturb the run.
+func (r *simRun) checkLeases() {
+	maxCommit := 0
+	for _, id := range r.s.IDs() {
+		if r.s.Alive(id) {
+			if ci := r.s.CommitIndex(id); ci > maxCommit {
+				maxCommit = ci
+			}
+		}
+	}
+	for _, id := range r.s.IDs() {
+		if !r.s.Alive(id) {
+			continue
+		}
+		if _, role, _ := r.s.Status(id); role != raft.Leader {
+			continue
+		}
+		if idx, ok := r.s.LeaseProbe(id); ok && idx < maxCommit {
+			r.violations[fmt.Sprintf("stale lease on S%d: would serve reads at index %d while index %d is committed elsewhere", id, idx, maxCommit)] = true
+			r.s.Journalf("stale-lease violation: S%d idx=%d commit=%d", id, idx, maxCommit)
+		}
+	}
 }
 
 // checkElections runs the two election-robustness oracles every tick.
@@ -638,6 +671,18 @@ func (r *simRun) apply(e Event) {
 		if e.Group == r.group {
 			r.s.WipeStorage(e.Node)
 		}
+	case EvDeafenLeader:
+		// Cut every inbound link to the current leader, leaving its
+		// outbound side intact: it keeps heartbeating but hears no acks,
+		// so its lease freshness is frozen at whatever was banked before
+		// the cut (the lease teeth's setup move).
+		if lid, ok := r.s.Leader(); ok {
+			for _, id := range r.members {
+				if id != lid {
+					r.s.BlockOneWay(id, lid)
+				}
+			}
+		}
 	default:
 		panic(fmt.Sprintf("chaos: sim executor saw unknown event kind %v", e.Kind))
 	}
@@ -797,9 +842,11 @@ func (cl *simClient) tickLogged(r *simRun, p *simPending) {
 	}
 }
 
-// tickFastRead drives a ReadIndex read: obtain the barrier index from the
-// leader, wait for the local apply to pass it, then read locally. An
-// aborted barrier (leadership lost) restarts the sequence.
+// tickFastRead drives one fast read through the op's read path: obtain a
+// confirmed read index (leader barrier, leader lease, or a barrier
+// forwarded from a follower), wait for the serving node's local apply to
+// pass it, then read from that node's state machine. An aborted barrier
+// (leadership lost, forward refused) restarts the sequence.
 func (cl *simClient) tickFastRead(r *simRun, p *simPending) {
 	if p.readReq != 0 && p.readIdx < 0 {
 		if idx, done := r.s.ReadResult(p.readNode, p.readReq); done {
@@ -810,22 +857,44 @@ func (cl *simClient) tickFastRead(r *simRun, p *simPending) {
 			}
 		}
 	}
-	if p.readReq == 0 {
+	if p.readReq == 0 && p.readIdx < 0 {
 		if r.s.Now()-p.lastTry < retryInterval {
 			return
 		}
-		lid, ok := r.s.Leader()
-		if !ok {
-			return
-		}
-		p.lastTry = r.s.Now()
-		req, idx, confirmed, err := r.s.ReadIndex(lid)
-		if err != nil {
-			return
-		}
-		p.readNode, p.readReq = lid, req
-		if confirmed {
-			p.readIdx = idx
+		switch p.op.Via {
+		case kvstore.ReadModeFollower:
+			// Forward a barrier from a follower; the read serves from that
+			// follower's own store once its apply passes the index.
+			fid, ok := cl.pickFollower(r)
+			if !ok {
+				return
+			}
+			p.lastTry = r.s.Now()
+			req, err := r.s.ForwardRead(fid)
+			if err != nil {
+				return // no known leader yet: retry next interval
+			}
+			p.readNode, p.readReq = fid, req
+		case kvstore.ReadModeLease:
+			lid, ok := r.s.Leader()
+			if !ok {
+				return
+			}
+			p.lastTry = r.s.Now()
+			if idx, held := r.s.LeaseRead(lid); held {
+				p.readNode, p.readIdx = lid, idx
+				return
+			}
+			// No valid lease: fall back to a full barrier, like the live
+			// client.
+			cl.startBarrier(r, p, lid)
+		default:
+			lid, ok := r.s.Leader()
+			if !ok {
+				return
+			}
+			p.lastTry = r.s.Now()
+			cl.startBarrier(r, p, lid)
 		}
 	}
 	if p.readIdx >= 0 {
@@ -838,6 +907,35 @@ func (cl *simClient) tickFastRead(r *simRun, p *simPending) {
 		v, found := r.stores[p.readNode].LocalGet(p.op.Key)
 		cl.finish(r, &kvstore.Result{Value: v, Found: found}, false)
 	}
+}
+
+// startBarrier opens a leader ReadIndex barrier for the pending read.
+func (cl *simClient) startBarrier(r *simRun, p *simPending, lid types.NodeID) {
+	req, idx, confirmed, err := r.s.ReadIndex(lid)
+	if err != nil {
+		return
+	}
+	p.readNode, p.readReq = lid, req
+	if confirmed {
+		p.readIdx = idx
+	}
+}
+
+// pickFollower deterministically picks an alive non-leader to serve a
+// forwarded read, spreading clients across the replica set (any alive node
+// when no follower exists).
+func (cl *simClient) pickFollower(r *simRun) (types.NodeID, bool) {
+	lid, hasLeader := r.s.Leader()
+	var cands []types.NodeID
+	for _, id := range r.s.IDs() {
+		if r.s.Alive(id) && (!hasLeader || id != lid) {
+			cands = append(cands, id)
+		}
+	}
+	if len(cands) == 0 {
+		return types.NoNode, false
+	}
+	return cands[(cl.idx+cl.next)%len(cands)], true
 }
 
 // finish resolves the pending op: res != nil records a completed event;

@@ -25,8 +25,20 @@ type Replicated struct {
 	// baseline; leave it false in real use.
 	Unbatched bool
 
-	mu     sync.Mutex
-	stores map[types.NodeID]*Store // guarded by mu
+	// ReadServeCost, when set before the first request, charges every
+	// FastGet the read-execution cost (state-machine lookup, response
+	// serialization) on the replica that served it, serialized per
+	// replica — one CPU's worth of read work per node. Like the
+	// benchmark's delayStorage, only the wait is simulated; the
+	// serialization it models (a replica executes its reads one at a
+	// time) is the architecture under test. It exists so read-path
+	// benchmarks can measure how follower-served reads distribute load
+	// across the replica set; leave it zero in real use.
+	ReadServeCost time.Duration
+
+	mu      sync.Mutex
+	stores  map[types.NodeID]*Store      // guarded by mu
+	serveMu map[types.NodeID]*sync.Mutex // guarded by mu
 
 	nextClient uint64 // accessed atomically
 	retries    uint64 // accessed atomically
@@ -79,7 +91,10 @@ func (p *probe) sleep(deadline time.Time) {
 
 // NewReplicated starts an n-node replicated store over a simulated network.
 func NewReplicated(opts cluster.Options) *Replicated {
-	r := &Replicated{stores: make(map[types.NodeID]*Store)}
+	r := &Replicated{
+		stores:  make(map[types.NodeID]*Store),
+		serveMu: make(map[types.NodeID]*sync.Mutex),
+	}
 	opts.OnApply = func(id types.NodeID, msg raft.ApplyMsg) {
 		r.storeFor(id).Apply(msg)
 	}
@@ -226,27 +241,71 @@ func (r *Replicated) Append(key, value string, timeout time.Duration) (string, e
 	return res.Value, err
 }
 
-// FastGet reads key linearizably WITHOUT a log write, using the ReadIndex
-// barrier: the leader confirms its leadership with a heartbeat round, the
-// local state machine catches up to the confirmed commit index, and the
-// read is served from memory. Falls back to retrying across leader changes
-// until the deadline.
+// FastGet reads key linearizably WITHOUT a log write, through the default
+// leader-ReadIndex mode: the leader confirms its leadership with a quorum
+// barrier (coalesced with concurrent reads in the core), the local state
+// machine catches up to the confirmed index, and the read is served from
+// memory. An ErrLeaderStepdown redirect re-probes immediately — the
+// successor is likely already up — while other failures back off; retries
+// continue across leader changes until the deadline.
 func (r *Replicated) FastGet(key string, timeout time.Duration) (string, bool, error) {
+	return r.FastGetMode(key, ReadModeReadIndex, timeout)
+}
+
+// FastGetMode is FastGet with an explicit read path: leader ReadIndex
+// barrier, leader lease (zero rounds while valid, barrier fallback), or
+// follower-served (forwarded barrier, served from a follower's state
+// machine).
+func (r *Replicated) FastGetMode(key string, mode ReadMode, timeout time.Duration) (string, bool, error) {
 	deadline := time.Now().Add(timeout)
 	bo := r.newProbe()
+	var rotate uint64
 	for time.Now().Before(deadline) {
-		leader := r.Cluster.Leader()
-		if leader == nil {
-			bo.sleep(deadline)
-			continue
-		}
 		attempt := 300 * time.Millisecond
 		if rem := time.Until(deadline); rem < attempt {
 			attempt = rem
 		}
-		idx, err := leader.ReadIndex(attempt)
+		var (
+			idx    int
+			err    error
+			st     *Store
+			served types.NodeID
+		)
+		switch mode {
+		case ReadModeFollower:
+			n := r.pickFollower(&rotate)
+			if n == nil {
+				bo.sleep(deadline)
+				continue
+			}
+			idx, err = n.FollowerReadIndex(attempt)
+			served = n.ID()
+			st = r.storeFor(served)
+		default:
+			leader := r.Cluster.Leader()
+			if leader == nil {
+				bo.sleep(deadline)
+				continue
+			}
+			if mode == ReadModeLease {
+				if i, ok := leader.LeaseRead(); ok {
+					idx = i
+				} else {
+					// No valid lease (fresh term, transfer, or reconfig in
+					// flight): fall back to a full barrier.
+					idx, err = leader.ReadIndex(attempt)
+				}
+			} else {
+				idx, err = leader.ReadIndex(attempt)
+			}
+			served = leader.ID()
+			st = r.storeFor(served)
+		}
 		if err != nil {
 			if errors.Is(err, raft.ErrLeaderStepdown) {
+				// The leader told us it stepped down; its successor is
+				// likely already up. Re-probe immediately rather than
+				// waiting out a backoff slice (same policy as Do).
 				atomic.AddUint64(&r.retries, 1)
 				bo.reset()
 				continue
@@ -254,15 +313,65 @@ func (r *Replicated) FastGet(key string, timeout time.Duration) (string, bool, e
 			bo.sleep(deadline)
 			continue
 		}
-		st := r.storeFor(leader.ID())
-		for st.AppliedIndex() < idx {
-			if !time.Now().Before(deadline) {
-				return "", false, ErrTimeout
-			}
-			time.Sleep(100 * time.Microsecond)
+		if !waitApplied(st, idx, deadline) {
+			return "", false, ErrTimeout
 		}
+		r.chargeServe(served)
 		v, ok := st.LocalGet(key)
 		return v, ok, nil
 	}
 	return "", false, ErrTimeout
+}
+
+// chargeServe executes the configured read-execution cost on the serving
+// replica's serialized lane (no-op when ReadServeCost is zero).
+func (r *Replicated) chargeServe(id types.NodeID) {
+	if r.ReadServeCost <= 0 {
+		return
+	}
+	r.mu.Lock()
+	lane, ok := r.serveMu[id]
+	if !ok {
+		lane = new(sync.Mutex)
+		r.serveMu[id] = lane
+	}
+	r.mu.Unlock()
+	lane.Lock()
+	time.Sleep(r.ReadServeCost)
+	lane.Unlock()
+}
+
+// pickFollower returns a non-leader node to serve a forwarded read,
+// rotating across candidates so repeated reads spread over the replica
+// set. Falls back to any node (including the leader, which serves the
+// forwarded barrier locally) when no follower is available.
+func (r *Replicated) pickFollower(rotate *uint64) *raft.Node {
+	nodes := r.Cluster.Nodes()
+	if len(nodes) == 0 {
+		return nil
+	}
+	var followers []*raft.Node
+	for _, n := range nodes {
+		if _, role, _ := n.Status(); role != raft.Leader {
+			followers = append(followers, n)
+		}
+	}
+	pool := followers
+	if len(pool) == 0 {
+		pool = nodes
+	}
+	*rotate++
+	return pool[int(*rotate)%len(pool)]
+}
+
+// waitApplied blocks until the store's apply cursor reaches idx (the
+// serve-after-apply half of every read barrier), bounded by the deadline.
+func waitApplied(st *Store, idx int, deadline time.Time) bool {
+	for st.AppliedIndex() < idx {
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return true
 }

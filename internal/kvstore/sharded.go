@@ -281,3 +281,113 @@ func (s *Sharded) Append(key, value string, timeout time.Duration) (string, erro
 	res, err := s.Do(OpAppend, key, value, "", timeout)
 	return res.Value, err
 }
+
+// FastGet reads key linearizably without a log write through its shard's
+// leader-ReadIndex path (see Replicated.FastGet; here scoped to the key's
+// group).
+func (c *ShardClient) FastGet(key string, timeout time.Duration) (string, bool, error) {
+	return c.FastGetMode(key, ReadModeReadIndex, timeout)
+}
+
+// FastGetMode is FastGet with an explicit read path, routed to the key's
+// shard: leader ReadIndex barrier, leader lease (barrier fallback), or
+// follower-served (forwarded barrier against one of the shard's
+// followers).
+func (c *ShardClient) FastGetMode(key string, mode ReadMode, timeout time.Duration) (string, bool, error) {
+	s := c.s
+	g := s.ShardOf(key)
+	deadline := time.Now().Add(timeout)
+	bo := c.backoffFor(g)
+	bo.Reset()
+	var rotate uint64
+	for time.Now().Before(deadline) {
+		attempt := 300 * time.Millisecond
+		if rem := time.Until(deadline); rem < attempt {
+			attempt = rem
+		}
+		var (
+			idx int
+			err error
+			st  *Store
+		)
+		switch mode {
+		case ReadModeFollower:
+			n := c.pickFollower(g, &rotate)
+			if n == nil {
+				atomic.AddUint64(&s.retries, 1)
+				bo.Sleep(deadline)
+				continue
+			}
+			idx, err = n.FollowerReadIndex(attempt)
+			st = s.storeFor(g, n.ID())
+		default:
+			leader := c.leaderFor(g)
+			if leader == nil {
+				atomic.AddUint64(&s.retries, 1)
+				bo.Sleep(deadline)
+				continue
+			}
+			if mode == ReadModeLease {
+				if i, ok := leader.LeaseRead(); ok {
+					idx = i
+				} else {
+					idx, err = leader.ReadIndex(attempt)
+				}
+			} else {
+				idx, err = leader.ReadIndex(attempt)
+			}
+			st = s.storeFor(g, leader.ID())
+		}
+		if err != nil {
+			c.dropHint(g)
+			if errors.Is(err, raft.ErrLeaderStepdown) {
+				// Shard leader stepped down mid-read; re-probe immediately
+				// (same policy as Do).
+				atomic.AddUint64(&s.retries, 1)
+				bo.Reset()
+				continue
+			}
+			atomic.AddUint64(&s.retries, 1)
+			bo.Sleep(deadline)
+			continue
+		}
+		bo.Reset()
+		if !waitApplied(st, idx, deadline) {
+			return "", false, ErrTimeout
+		}
+		v, ok := st.LocalGet(key)
+		return v, ok, nil
+	}
+	return "", false, ErrTimeout
+}
+
+// pickFollower returns a non-leader node of shard g, rotating across the
+// candidates (any node when the shard has no follower).
+func (c *ShardClient) pickFollower(g raft.GroupID, rotate *uint64) *raft.Node {
+	nodes := c.s.Cluster.NodesG(g)
+	if len(nodes) == 0 {
+		return nil
+	}
+	var followers []*raft.Node
+	for _, n := range nodes {
+		if _, role, _ := n.Status(); role != raft.Leader {
+			followers = append(followers, n)
+		}
+	}
+	pool := followers
+	if len(pool) == 0 {
+		pool = nodes
+	}
+	*rotate++
+	return pool[int(*rotate)%len(pool)]
+}
+
+// FastGet reads through the service's default session.
+func (s *Sharded) FastGet(key string, timeout time.Duration) (string, bool, error) {
+	return s.def.FastGet(key, timeout)
+}
+
+// FastGetMode reads through the service's default session in the given mode.
+func (s *Sharded) FastGetMode(key string, mode ReadMode, timeout time.Duration) (string, bool, error) {
+	return s.def.FastGetMode(key, mode, timeout)
+}

@@ -30,6 +30,10 @@ import (
 // panicked on, or routed to the fail-stop halt (Config FailStops, e.g.
 // failStopLocked). A dropped or merely-logged storage error would let the
 // node keep acking on top of unpersisted state.
+//
+// Configurable Requires obligations add the dual direction: a gated
+// effect (extending the lease clock) that must be PRECEDED by a witness
+// (a quorum-ack observation) on every path — see PrecededBy.
 
 // EffectOrderConfig targets one package's Ready-execution driver.
 type EffectOrderConfig struct {
@@ -46,6 +50,34 @@ type EffectOrderConfig struct {
 	// FailStops names the functions that halt the node on a storage error;
 	// a persist error must reach one of them (or a panic, or a return).
 	FailStops []string
+	// Requires lists observation-order obligations checked alongside the
+	// persist-before-externalize contract (see PrecededBy).
+	Requires []PrecededBy
+}
+
+// PrecededBy is one observation-order obligation: every call to a gated
+// method must be preceded, on every forward control-flow path through the
+// calling function, by a call to one of the witness methods. This is the
+// dual of the persist-before-externalize rule — a MUST-analysis (the
+// witness holds only where every path established it) instead of a MAY
+// one. It encodes the lease-read freshness rule: extending the lease
+// clock for a peer is only sound after observing that peer's quorum ack
+// in the current term — an extension reached on any path that skipped
+// the observation fabricates the very freshness a lease must prove.
+// Witnesses propagate through same-package static calls (a helper that
+// observes discharges its caller), but the obligation itself is
+// per-function: a helper that extends assuming its caller observed is a
+// violation at its own extension site.
+type PrecededBy struct {
+	// GateIface / GateMethods name the gated event ("LeaseClock".Extend).
+	GateIface   string
+	GateMethods []string
+	// WitnessIface / WitnessMethods name the observation that must come
+	// first ("AckWindow".Observe).
+	WitnessIface   string
+	WitnessMethods []string
+	// Why is appended to the diagnostic: the one-line safety argument.
+	Why string
 }
 
 // effectSummary is one function's interprocedural effect bits.
@@ -81,6 +113,9 @@ func runEffectOrder(prog *Program, pkg *Package, cfg Config) []Diagnostic {
 				}
 				a.checkOrder(fd, report)
 				a.checkErrDiscipline(fd.Body, report)
+				for i := range eoc.Requires {
+					a.checkPreceded(fd, &eoc.Requires[i], report)
+				}
 			}
 		}
 	}
@@ -88,10 +123,11 @@ func runEffectOrder(prog *Program, pkg *Package, cfg Config) []Diagnostic {
 }
 
 type effectAnalysis struct {
-	prog *Program
-	pkg  *Package
-	eoc  EffectOrderConfig
-	sums map[*types.Func]*effectSummary
+	prog    *Program
+	pkg     *Package
+	eoc     EffectOrderConfig
+	sums    map[*types.Func]*effectSummary
+	witSums map[*PrecededBy]map[*types.Func]bool
 }
 
 // ifaceCall reports whether call is a dynamic call to iface.method for one
@@ -468,6 +504,109 @@ func (a *effectAnalysis) reachesFailStop(fn *types.Func) bool {
 	}
 	ok, _ := a.prog.CallGraph().Reaches(fn, isStop)
 	return ok
+}
+
+// witnessSummaries computes, for one obligation, which same-package
+// functions contain a witness call (directly or through callees) — the
+// may-approximation that lets a helper discharge its caller.
+func (a *effectAnalysis) witnessSummaries(req *PrecededBy) map[*types.Func]bool {
+	if a.witSums == nil {
+		a.witSums = make(map[*PrecededBy]map[*types.Func]bool)
+	}
+	if wit, ok := a.witSums[req]; ok {
+		return wit
+	}
+	wit := make(map[*types.Func]bool)
+	for fn, node := range a.prog.CallGraph().Nodes {
+		if node.Pkg != a.pkg {
+			continue
+		}
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if a.ifaceCall(e, req.WitnessIface, req.WitnessMethods) != "" {
+					wit[fn] = true
+				}
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range a.sums {
+			if wit[fn] {
+				continue
+			}
+			for _, callee := range a.sums[fn].callees {
+				if wit[callee] {
+					wit[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	a.witSums[req] = wit
+	return wit
+}
+
+// checkPreceded runs one obligation's must-analysis over one function:
+// the dataflow fact is "the witness was observed on EVERY path reaching
+// here" (merges intersect, back edges cut exactly as in checkOrder), and
+// a gated call reached with the fact unestablished is a violation.
+func (a *effectAnalysis) checkPreceded(fd *ast.FuncDecl, req *PrecededBy, report func(token.Pos, string)) {
+	wit := a.witnessSummaries(req)
+	g := BuildCFG(fd.Body)
+	in := make([]bool, len(g.Blocks))
+	reached := make([]bool, len(g.Blocks))
+	reached[g.Entry.Index] = true
+	for _, blk := range g.ReversePostOrder() {
+		if !reached[blk.Index] {
+			continue
+		}
+		st := in[blk.Index]
+		for _, node := range blk.Nodes {
+			var skip *ast.CallExpr
+			switch d := node.(type) {
+			case *ast.DeferStmt:
+				skip = d.Call // runs at exit, not at its syntactic position
+			case *ast.GoStmt:
+				skip = d.Call // runs concurrently
+			}
+			walkNode(node, func(m ast.Node) {
+				e, ok := m.(*ast.CallExpr)
+				if !ok || e == skip {
+					return
+				}
+				if a.ifaceCall(e, req.WitnessIface, req.WitnessMethods) != "" {
+					st = true
+					return
+				}
+				if name := a.ifaceCall(e, req.GateIface, req.GateMethods); name != "" {
+					if !st {
+						report(e.Pos(), name+" without a preceding "+req.WitnessIface+" observation on this path; "+req.Why)
+					}
+					return
+				}
+				if callee := a.samePkgCallee(e); callee != nil && wit[callee] {
+					st = true
+				}
+			})
+		}
+		for _, e := range blk.Succs {
+			if e.Back {
+				continue
+			}
+			if !reached[e.To.Index] {
+				in[e.To.Index] = st
+				reached[e.To.Index] = true
+			} else {
+				in[e.To.Index] = in[e.To.Index] && st
+			}
+		}
+	}
 }
 
 // pathTo returns the node path from root down to target (inclusive), or

@@ -69,6 +69,16 @@ func TestEffectOrderFixture(t *testing.T) {
 			SendIface:      "Transport",
 			SendMethods:    []string{"Send"},
 			FailStops:      []string{"failStop"},
+		}, {
+			Pkg: "fix/lease",
+			Requires: []PrecededBy{{
+				GateIface:      "LeaseClock",
+				GateMethods:    []string{"Extend"},
+				WitnessIface:   "AckWindow",
+				WitnessMethods: []string{"Observe"},
+				Why: "a lease extension not backed by an observed quorum ack " +
+					"fabricates freshness and can serve stale reads",
+			}},
 		}},
 		EnumPkgs: off,
 	})

@@ -89,6 +89,13 @@ type Options struct {
 	DisablePreVote     bool
 	DisableCheckQuorum bool
 
+	// DisableLeaseRead turns off leader-lease reads in every group (reads
+	// fall back to full ReadIndex barriers). DisableLeaseGuard removes the
+	// transfer/reconfig lease-invalidation guard (experiments only — the
+	// chaos teeth prove removing it is caught).
+	DisableLeaseRead  bool
+	DisableLeaseGuard bool
+
 	// Seed derives each group's election-jitter seed (0 = from ID). Groups
 	// get distinct offsets so their election timers never align by
 	// construction.
@@ -162,6 +169,8 @@ func Start(opts Options) (*Host, error) {
 			DisableR3:           opts.DisableR3,
 			DisablePreVote:      opts.DisablePreVote,
 			DisableCheckQuorum:  opts.DisableCheckQuorum,
+			DisableLeaseRead:    opts.DisableLeaseRead,
+			DisableLeaseGuard:   opts.DisableLeaseGuard,
 			// Distinct per-group offsets keep group clocks de-phased.
 			Seed:         opts.Seed + 1000003*int64(g),
 			ExternalTick: true,

@@ -43,6 +43,11 @@ type Options struct {
 	// guards (rejoin disruption, minority-leader step-down) for experiments.
 	DisablePreVote     bool
 	DisableCheckQuorum bool
+	// DisableLeaseRead turns off leader-lease reads (every read pays a full
+	// ReadIndex barrier); DisableLeaseGuard removes the transfer/reconfig
+	// lease invalidation (experiments — the chaos teeth catch its absence).
+	DisableLeaseRead  bool
+	DisableLeaseGuard bool
 	// Seed drives all randomness.
 	Seed int64
 	// OnApply, when set, is called synchronously from each node's apply
@@ -149,6 +154,8 @@ func (c *Cluster) StartNode(id types.NodeID, members []types.NodeID) *raft.Node 
 		DisableR3:          c.opts.DisableR3,
 		DisablePreVote:     c.opts.DisablePreVote,
 		DisableCheckQuorum: c.opts.DisableCheckQuorum,
+		DisableLeaseRead:   c.opts.DisableLeaseRead,
+		DisableLeaseGuard:  c.opts.DisableLeaseGuard,
 		Seed:               c.opts.Seed + int64(id),
 		InboxSize:          c.opts.InboxSize,
 	})

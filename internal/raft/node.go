@@ -74,6 +74,18 @@ type Options struct {
 	// without quorum contact. For experiments only.
 	DisableCheckQuorum bool
 
+	// DisableLeaseRead turns off the leader-lease fast read path: LeaseRead
+	// always reports no lease, so every linearizable read pays a ReadIndex
+	// quorum round. For deployments that distrust the lease's bounded-
+	// asymmetry timing assumption.
+	DisableLeaseRead bool
+
+	// DisableLeaseGuard drops the lease invalidations covering leadership
+	// transfer and in-flight reconfiguration, so a deposed leader can keep
+	// serving a stale lease. The chaos harness uses this to prove its
+	// stale-read oracle bites. For experiments only.
+	DisableLeaseGuard bool
+
 	// Seed randomizes election timeouts deterministically (0 = from ID).
 	Seed int64
 
@@ -192,11 +204,11 @@ type Node struct {
 	stopping     bool        // guarded by propMu
 	flushCh      chan struct{}
 
-	// readWaiters maps a pending ReadIndex barrier's request id to the
-	// channel its caller blocks on; the core resolves barriers through
-	// ReadStates in a Ready.
-	readWaiters map[uint64]chan int // guarded by mu
-	nextReadID  uint64              // guarded by mu
+	// readWaiters maps a pending read barrier's request id (local
+	// ReadIndex or forwarded follower read) to the channel its caller
+	// blocks on; the core resolves barriers through ReadStates in a Ready.
+	readWaiters map[uint64]chan readResult // guarded by mu
+	nextReadID  uint64                     // guarded by mu
 
 	// snapReqCh hands TakeSnapshot effects to the snapshot loop, which
 	// serializes the state machine outside mu and answers via
@@ -265,12 +277,14 @@ func StartNode(opts Options) *Node {
 			DisableR3:           opts.DisableR3,
 			DisablePreVote:      opts.DisablePreVote,
 			DisableCheckQuorum:  opts.DisableCheckQuorum,
+			DisableLeaseRead:    opts.DisableLeaseRead,
+			DisableLeaseGuard:   opts.DisableLeaseGuard,
 		}, hs, snap, log),
 		applyCh:     make(chan []ApplyMsg, 1024),
 		inbox:       make(chan Message, 1024),
 		stopCh:      make(chan struct{}),
 		flushCh:     make(chan struct{}, 1),
-		readWaiters: make(map[uint64]chan int),
+		readWaiters: make(map[uint64]chan readResult),
 	}
 	if opts.StateMachine != nil {
 		n.snapReqCh = make(chan raftcore.SnapshotRequest, 1)
@@ -345,7 +359,7 @@ func (n *Node) failStopLocked(err error) {
 	n.stopErr = fmt.Errorf("%w: %v", ErrStorageFailed, err)
 	for id, ch := range n.readWaiters {
 		delete(n.readWaiters, id)
-		close(ch)
+		ch <- readResult{err: ErrNotLeader}
 	}
 	n.failPropsLocked()
 	n.stopOnce.Do(func() { close(n.stopCh) })
@@ -463,9 +477,17 @@ func (n *Node) processReadyLocked() {
 		}
 		delete(n.readWaiters, rs.ReqID)
 		if rs.Index < 0 {
-			close(ch) // leadership lost before confirmation
+			// Leadership lost before confirmation. A CheckQuorum step-down
+			// in the same batch means the retryable ErrLeaderStepdown (a
+			// successor is likely already up — re-probe immediately);
+			// anything else is the generic redirect.
+			err := error(ErrNotLeader)
+			if rd.SteppedDown {
+				err = ErrLeaderStepdown
+			}
+			ch <- readResult{err: err}
 		} else {
-			ch <- rs.Index
+			ch <- readResult{idx: rs.Index}
 		}
 	}
 	committed := rd.Committed
@@ -654,10 +676,19 @@ func (n *Node) ProposeConfig(members types.NodeSet) (int, types.Time, error) {
 	return idx, term, nil
 }
 
+// readResult resolves one blocked read barrier waiter: the confirmed
+// index, or the error to retry with (ErrNotLeader, or the retryable
+// ErrLeaderStepdown when the barrier died in a CheckQuorum step-down).
+type readResult struct {
+	idx int
+	err error
+}
+
 // ReadIndex implements linearizable reads without log writes (the Raft
-// ReadIndex optimization): the leader captures its commit index, confirms
-// it is still the leader by collecting a round of quorum acknowledgements,
-// and returns the index. A caller that waits until its state machine has
+// ReadIndex optimization): the leader captures its read floor, confirms
+// it is still the leader by collecting a round of quorum acknowledgements
+// (concurrent barriers coalesce into shared confirmation rounds), and
+// returns the index. A caller that waits until its state machine has
 // applied up to the returned index may then serve the read locally.
 func (n *Node) ReadIndex(timeout time.Duration) (int, error) {
 	n.mu.Lock()
@@ -676,17 +707,64 @@ func (n *Node) ReadIndex(timeout time.Duration) (int, error) {
 		n.mu.Unlock()
 		return idx, nil
 	}
-	ch := make(chan int, 1)
+	ch := make(chan readResult, 1)
 	n.readWaiters[reqID] = ch
 	n.processReadyLocked() // the barrier's confirmation heartbeat
 	n.mu.Unlock()
 
+	return n.awaitRead(reqID, ch, timeout)
+}
+
+// LeaseRead serves a linearizable read from the leader lease with zero
+// network rounds: ok reports that the lease is valid (a strict quorum
+// acked within the last election interval, no transfer or uncommitted
+// reconfiguration in flight) and idx the index the caller may read at
+// once its state machine has applied through it. ok=false means no lease
+// — fall back to ReadIndex.
+func (n *Node) LeaseRead() (idx int, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopErr != nil {
+		return 0, false
+	}
+	return n.core.LeaseRead()
+}
+
+// FollowerReadIndex runs a linearizable read barrier from a non-leader:
+// the barrier is forwarded to the known leader, which answers with its
+// confirmed read index (from its lease when valid, otherwise after a
+// quorum round). A caller that waits until its LOCAL state machine has
+// applied through the returned index may then serve the read from its own
+// replica — read throughput scales with followers instead of loading the
+// leader.
+func (n *Node) FollowerReadIndex(timeout time.Duration) (int, error) {
+	n.mu.Lock()
+	if n.stopErr != nil {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w (known leader: %s)", ErrNotLeader, types.NoNode)
+	}
+	reqID := n.nextReadID
+	n.nextReadID++
+	if err := n.core.ForwardReadIndex(reqID); err != nil {
+		n.mu.Unlock()
+		return 0, err
+	}
+	ch := make(chan readResult, 1)
+	n.readWaiters[reqID] = ch
+	n.processReadyLocked() // the forward (or, on a leader, its local barrier)
+	n.mu.Unlock()
+
+	return n.awaitRead(reqID, ch, timeout)
+}
+
+// awaitRead blocks one read barrier caller on its result channel.
+func (n *Node) awaitRead(reqID uint64, ch chan readResult, timeout time.Duration) (int, error) {
 	select {
-	case idx, ok := <-ch:
-		if !ok {
-			return 0, ErrNotLeader
+	case r := <-ch:
+		if r.err != nil {
+			return 0, r.err
 		}
-		return idx, nil
+		return r.idx, nil
 	case <-time.After(timeout):
 		n.mu.Lock()
 		delete(n.readWaiters, reqID)

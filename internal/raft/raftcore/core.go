@@ -100,6 +100,23 @@ type Config struct {
 	// side of a partition instead of stepping down and failing in-flight
 	// proposals with a retryable error). For experiments only.
 	DisableCheckQuorum bool
+
+	// DisableLeaseRead turns off the leader-lease fast read path: every
+	// LeaseRead reports no lease, so reads always pay a ReadIndex quorum
+	// round. The lease rests on the same bounded-asymmetry assumption as
+	// CheckQuorum and follower stickiness (all three count the same
+	// election-interval clock in the same tick units); deployments that
+	// distrust it can disable leases alone without losing ReadIndex.
+	DisableLeaseRead bool
+
+	// DisableLeaseGuard drops the lease invalidations that protect reads
+	// across leadership transfer (MsgTimeoutNow elects a successor without
+	// waiting out any timeout) and in-flight reconfiguration (the quorum
+	// the lease counted may not intersect the new configuration's — the
+	// Schultz-style hazard). With the guard off a deposed leader can keep
+	// serving a stale lease; the chaos harness uses this to prove its
+	// stale-read oracle bites. For experiments only.
+	DisableLeaseGuard bool
 }
 
 func (c *Config) defaults() {
@@ -154,6 +171,15 @@ type Core struct {
 	// configuration has been silent for an election interval.
 	peerActive    map[types.NodeID]int64
 	quorumElapsed int
+	// ackTick records, per peer, the tick of the last current-term append
+	// response — the lease clock. Unlike peerActive it is never grace-
+	// seeded (CheckQuorum's benefit-of-the-doubt for unheard peers would
+	// fabricate the very freshness a lease must prove), so a lease is
+	// granted only on quorum acks actually observed.
+	ackTick map[types.NodeID]int64
+	// termStart is the index of this leader's term-opening no-op: the
+	// floor for every read barrier (see readFloor).
+	termStart int
 	// transferTarget, while non-zero, is the peer an in-flight leadership
 	// transfer is handing off to; proposals pause until the handoff
 	// completes or transferDeadline passes.
@@ -213,14 +239,24 @@ type Core struct {
 	ctr Counters
 }
 
-// pendingRead is one ReadIndex barrier: the commit index captured at
-// request time, and the leadership confirmations gathered since.
+// pendingRead is one ReadIndex barrier: the read floor captured at
+// request time, the leadership confirmations gathered since, and every
+// waiter sharing the barrier — local request ids (resolved as ReadStates)
+// and forwarded follower reads (answered with MsgReadIndexResponse).
 type pendingRead struct {
-	reqID uint64
-	index int
-	term  types.Time
-	seq   uint64 // only acks echoing a seq beyond this confirm the barrier
-	acks  types.NodeSet
+	reqIDs  []uint64
+	remotes []readOrigin
+	index   int
+	term    types.Time
+	seq     uint64 // only acks echoing a seq beyond this confirm the barrier
+	acks    types.NodeSet
+}
+
+// readOrigin identifies a forwarded read waiting at a follower: the node
+// to answer and the ReadCtx it keyed its local waiter under.
+type readOrigin struct {
+	node types.NodeID
+	ctx  uint64
 }
 
 // inboundSnap reassembles one chunked snapshot transfer on the follower.
@@ -671,14 +707,17 @@ func (c *Core) maybeWin() {
 	c.matchIndex = make(map[types.NodeID]int)
 	c.snapSent = make(map[types.NodeID]int64)
 	c.peerActive = make(map[types.NodeID]int64)
+	c.ackTick = make(map[types.NodeID]int64)
 	for _, id := range members.Slice() {
 		c.nextIndex[id] = c.lastIndex() + 1
 		c.matchIndex[id] = 0
 	}
 	c.matchIndex[c.id] = c.lastIndex()
 	// Term-opening no-op: commits promptly in this term, satisfying both
-	// the commitment rule and R3.
-	c.appendAsLeader(LogEntry{Term: c.term, Kind: EntryNoOp})
+	// the commitment rule and R3. Its index also floors every read in
+	// this term (readFloor): it sits above everything any earlier term
+	// could have committed.
+	c.termStart = c.appendAsLeader(LogEntry{Term: c.term, Kind: EntryNoOp})
 	c.broadcastAppend()
 }
 
@@ -714,6 +753,7 @@ func (c *Core) TransferLeader(to types.NodeID) error {
 	}
 	c.transferTarget = to
 	c.transferDeadline = c.ticks + int64(c.cfg.ElectionTicks)
+	c.voidLeaseAcks()
 	c.ctr.TransfersStarted++
 	if c.matchIndex[to] >= c.lastIndex() {
 		c.sendTimeoutNow(to)
@@ -749,7 +789,21 @@ func (c *Core) PickTransferTarget(target types.NodeSet) types.NodeID {
 func (c *Core) cancelTransfer() {
 	if c.transferTarget != types.NoNode {
 		c.transferTarget = types.NoNode
+		c.voidLeaseAcks()
 		c.ctr.TransfersAborted++
+	}
+}
+
+// voidLeaseAcks discards every banked lease ack. Called at both edges of
+// a leadership transfer: the MsgTimeoutNow it launches stays live until
+// consumed, and the election it triggers bypasses follower stickiness —
+// so an ack observed before the transfer ended proves nothing about the
+// voter's election timer. Only acks that postdate the transfer may re-arm
+// the lease. The wipe is part of the lease guard (the teeth knob must be
+// able to reintroduce the stale-lease bug it prevents).
+func (c *Core) voidLeaseAcks() {
+	if !c.cfg.DisableLeaseGuard {
+		c.ackTick = make(map[types.NodeID]int64)
 	}
 }
 
@@ -843,39 +897,194 @@ func (c *Core) ProposeConfig(members types.NodeSet) (int, types.Time, error) {
 	return idx, c.term, nil
 }
 
+// readFloor is the lowest index a linearizable read may be served at: the
+// commit index, floored at the current term's opening no-op. A freshly
+// elected leader's commit index can briefly trail entries the previous
+// leader already committed; the no-op's index sits above every entry any
+// earlier term could have committed, so waiting for apply to reach it
+// closes the gap (the classic "no reads before the first commit of the
+// term" rule, expressed as an index).
+func (c *Core) readFloor() int {
+	if c.termStart > c.commitIndex {
+		return c.termStart
+	}
+	return c.commitIndex
+}
+
+// barrierFor returns the barrier a read registered now may ride, creating
+// one when none qualifies (opened=true). Joining the newest pending
+// barrier is safe exactly when no append has been sent since it
+// registered (pr.seq still equals appendSeq): every ack able to confirm
+// it then echoes a seq from a send that postdates this read. Joining a
+// barrier whose round is already in flight would be UNSAFE — its quorum
+// of acks could all have been generated before this read was invoked,
+// proving nothing about leaders elected (and entries committed) since.
+func (c *Core) barrierFor(idx int) (pr *pendingRead, opened bool) {
+	if n := len(c.pendingReads); n > 0 {
+		if pr := c.pendingReads[n-1]; pr.term == c.term && pr.seq == c.appendSeq {
+			if idx > pr.index {
+				pr.index = idx
+			}
+			c.ctr.ReadsCoalesced++
+			return pr, false
+		}
+	}
+	pr = &pendingRead{
+		index: idx,
+		term:  c.term,
+		seq:   c.appendSeq, // acks must echo a later seq: stale in-flight responses don't confirm
+		acks:  types.NewNodeSet(c.id),
+	}
+	c.pendingReads = append(c.pendingReads, pr)
+	c.ctr.ReadBarriers++
+	return pr, true
+}
+
+// openBarrier fires the confirmation round for a barrier fresh out of
+// barrierFor, once its waiter is attached. Only the FIRST pending barrier
+// opens a round of its own; one registered while another round is in
+// flight accumulates waiters and rides the next broadcast (heartbeat or
+// proposal) — that is what bounds the protocol to at most one
+// read-triggered round per coalescing window under load.
+func (c *Core) openBarrier() {
+	if len(c.pendingReads) == 1 {
+		c.broadcastAppend() // heartbeat doubles as the confirmation round
+	}
+}
+
 // ReadIndex registers a linearizable-read barrier (the Raft ReadIndex
-// optimization): the leader captures its commit index and confirms it is
-// still the leader by collecting a round of quorum acknowledgements. If
-// the quorum is immediately satisfied (single-node configurations) the
+// optimization): the leader captures its read floor and confirms it is
+// still the leader by collecting a round of quorum acknowledgements.
+// Concurrent barriers coalesce — requests arriving before the next append
+// round share one barrier and resolve on one quorum confirmation. If the
+// quorum is immediately satisfied (single-node configurations) the
 // confirmed index is returned with confirmed=true; otherwise the barrier
 // resolves through a ReadState in a later Ready, keyed by reqID.
 func (c *Core) ReadIndex(reqID uint64) (index int, confirmed bool, err error) {
 	if c.role != Leader {
 		return 0, false, c.errNotLeader()
 	}
-	pr := &pendingRead{
-		reqID: reqID,
-		index: c.commitIndex,
-		term:  c.term,
-		seq:   c.appendSeq, // acks must echo a later seq: stale in-flight responses don't confirm
-		acks:  types.NewNodeSet(c.id),
-	}
+	idx := c.readFloor()
 	// A single-node configuration is already a quorum of itself.
-	if config.Majority(pr.acks, c.Members()) {
-		return pr.index, true, nil
+	if config.Majority(types.NewNodeSet(c.id), c.Members()) {
+		return idx, true, nil
 	}
-	c.pendingReads = append(c.pendingReads, pr)
-	c.broadcastAppend() // heartbeat doubles as the confirmation round
+	pr, opened := c.barrierFor(idx)
+	pr.reqIDs = append(pr.reqIDs, reqID)
+	if opened {
+		c.openBarrier()
+	}
 	return 0, false, nil
 }
 
-// CancelRead abandons a pending barrier (the caller timed out).
-func (c *Core) CancelRead(reqID uint64) {
-	for i, pr := range c.pendingReads {
-		if pr.reqID == reqID {
-			c.pendingReads = append(c.pendingReads[:i], c.pendingReads[i+1:]...)
-			return
+// LeaseStatus probes the leader lease without serving a read: ok reports
+// a currently valid lease and idx the floor a lease read would use. The
+// lease holds while a strict quorum of the configuration (counting this
+// leader) acked an append within the last election interval: under the
+// same bounded-asymmetry assumption CheckQuorum and follower stickiness
+// already make, none of those voters can have elected a successor yet —
+// their election timers reset more recently than any timeout could have
+// expired. Two hazards evade that clock and void the lease explicitly
+// (unless DisableLeaseGuard): a leadership transfer, whose MsgTimeoutNow
+// elects the target with no timeout wait at all, and an uncommitted
+// configuration entry, whose new quorums need not intersect the set the
+// lease was acked under.
+func (c *Core) LeaseStatus() (idx int, ok bool) {
+	if c.role != Leader || c.cfg.DisableLeaseRead {
+		return 0, false
+	}
+	if !c.cfg.DisableLeaseGuard {
+		if c.transferTarget != types.NoNode {
+			return 0, false
 		}
+		if k := len(c.confIdxs); k > 0 && c.confIdxs[k-1] > c.commitIndex {
+			return 0, false
+		}
+	}
+	members := c.Members()
+	count := 0
+	for _, id := range members.Slice() {
+		if id == c.id {
+			count++
+			continue
+		}
+		if last, acked := c.ackTick[id]; acked && c.ticks-last < int64(c.cfg.ElectionTicks) {
+			count++
+		}
+	}
+	if !config.MajorityCount(count, members) {
+		return 0, false
+	}
+	return c.readFloor(), true
+}
+
+// LeaseRead serves one linearizable read from the leader lease: when the
+// lease is valid the returned index is safe to read at as soon as the
+// local state machine has applied through it — zero network rounds.
+// ok=false means no lease; fall back to a ReadIndex barrier.
+func (c *Core) LeaseRead() (idx int, ok bool) {
+	idx, ok = c.LeaseStatus()
+	if ok {
+		c.ctr.LeaseReads++
+	}
+	return idx, ok
+}
+
+// ForwardReadIndex starts a follower-served read: the barrier is forwarded
+// to the last known leader, whose MsgReadIndexResponse resolves here as a
+// ReadState keyed by ctx. The caller then waits for the LOCAL apply index
+// to reach the returned index and serves from its own state machine. On a
+// node that is itself the leader the forward degenerates to a local lease
+// read or barrier, resolving through the same ReadState path.
+func (c *Core) ForwardReadIndex(ctx uint64) error {
+	if c.role == Leader {
+		if idx, ok := c.LeaseRead(); ok {
+			c.readStates = append(c.readStates, ReadState{ReqID: ctx, Index: idx})
+			return nil
+		}
+		idx, confirmed, err := c.ReadIndex(ctx)
+		if err != nil {
+			return err
+		}
+		if confirmed {
+			c.readStates = append(c.readStates, ReadState{ReqID: ctx, Index: idx})
+		}
+		return nil
+	}
+	if c.leader == types.NoNode {
+		return c.errNotLeader()
+	}
+	c.send(Message{Type: MsgReadIndexRequest, From: c.id, To: c.leader, Term: c.term, ReadCtx: ctx})
+	return nil
+}
+
+// CancelRead abandons a pending barrier waiter (the caller timed out).
+// The barrier itself stays pending for its remaining waiters.
+func (c *Core) CancelRead(reqID uint64) {
+	for _, pr := range c.pendingReads {
+		for i, id := range pr.reqIDs {
+			if id == reqID {
+				pr.reqIDs = append(pr.reqIDs[:i], pr.reqIDs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// resolveRead delivers a barrier's outcome to every waiter sharing it:
+// local request ids as ReadStates, forwarded follower reads as
+// MsgReadIndexResponse. idx -1 aborts (the waiters retry).
+func (c *Core) resolveRead(pr *pendingRead, idx int) {
+	for _, id := range pr.reqIDs {
+		c.readStates = append(c.readStates, ReadState{ReqID: id, Index: idx})
+	}
+	for _, o := range pr.remotes {
+		m := Message{Type: MsgReadIndexResponse, From: c.id, To: o.node, Term: c.term, ReadCtx: o.ctx}
+		if idx >= 0 {
+			m.Success = true
+			m.MatchIndex = idx
+		}
+		c.send(m)
 	}
 }
 
@@ -892,14 +1101,14 @@ func (c *Core) confirmReads(from types.NodeID, seq uint64) {
 	kept := c.pendingReads[:0]
 	for _, pr := range c.pendingReads {
 		if pr.term != c.term || c.role != Leader {
-			c.readStates = append(c.readStates, ReadState{ReqID: pr.reqID, Index: -1})
+			c.resolveRead(pr, -1)
 			continue
 		}
 		if seq > pr.seq {
 			pr.acks = pr.acks.Add(from)
 		}
 		if config.Majority(pr.acks, members) {
-			c.readStates = append(c.readStates, ReadState{ReqID: pr.reqID, Index: pr.index})
+			c.resolveRead(pr, pr.index)
 			continue
 		}
 		kept = append(kept, pr)
@@ -910,9 +1119,57 @@ func (c *Core) confirmReads(from types.NodeID, seq uint64) {
 // abortReads aborts every pending barrier (leadership lost).
 func (c *Core) abortReads() {
 	for _, pr := range c.pendingReads {
-		c.readStates = append(c.readStates, ReadState{ReqID: pr.reqID, Index: -1})
+		c.resolveRead(pr, -1)
 	}
 	c.pendingReads = nil
+}
+
+// onReadIndexRequest serves a follower's forwarded read barrier. A node
+// that cannot serve it (not the leader, or a term mismatch either way)
+// answers Success=false so the follower's waiter aborts and retries with
+// a fresher leader hint. A valid lease answers immediately; otherwise the
+// forward joins the same coalescing barriers local reads use.
+func (c *Core) onReadIndexRequest(m Message) {
+	if c.role != Leader || m.Term != c.term {
+		c.send(Message{Type: MsgReadIndexResponse, From: c.id, To: m.From, Term: c.term, ReadCtx: m.ReadCtx})
+		return
+	}
+	if idx, ok := c.LeaseRead(); ok {
+		c.send(Message{
+			Type: MsgReadIndexResponse, From: c.id, To: m.From, Term: c.term,
+			ReadCtx: m.ReadCtx, Success: true, MatchIndex: idx,
+		})
+		return
+	}
+	idx := c.readFloor()
+	if config.Majority(types.NewNodeSet(c.id), c.Members()) {
+		c.send(Message{
+			Type: MsgReadIndexResponse, From: c.id, To: m.From, Term: c.term,
+			ReadCtx: m.ReadCtx, Success: true, MatchIndex: idx,
+		})
+		return
+	}
+	pr, opened := c.barrierFor(idx)
+	pr.remotes = append(pr.remotes, readOrigin{node: m.From, ctx: m.ReadCtx})
+	if opened {
+		c.openBarrier()
+	}
+}
+
+// onReadIndexResponse resolves a forwarded read on the follower that
+// originated it, as a ReadState keyed by the echoed ReadCtx. Gating on
+// Success alone (not the response term) is safe: the index the leader
+// confirmed was backed by a quorum round or lease in ITS term, and quorum
+// intersection means any newer leader's log contains everything committed
+// at or below it — the follower still waits for its local apply to reach
+// the index before serving. A ctx with no waiter (the caller timed out)
+// resolves into a ReadState the driver ignores.
+func (c *Core) onReadIndexResponse(m Message) {
+	if !m.Success {
+		c.readStates = append(c.readStates, ReadState{ReqID: m.ReadCtx, Index: -1})
+		return
+	}
+	c.readStates = append(c.readStates, ReadState{ReqID: m.ReadCtx, Index: m.MatchIndex})
 }
 
 // --- Log maintenance ---
@@ -1069,6 +1326,7 @@ func (c *Core) Step(m Message) {
 		case MsgVoteRequest:
 			if m.Transfer && m.From == c.transferTarget {
 				c.transferTarget = types.NoNode // handoff landed, not an abort
+				c.voidLeaseAcks()
 			}
 			if !m.Transfer && c.stickyLeader() {
 				// Recent leader contact: ignore the disruptive campaign
@@ -1098,6 +1356,10 @@ func (c *Core) Step(m Message) {
 		c.onPreVoteResponse(m)
 	case MsgTimeoutNow:
 		c.onTimeoutNow(m)
+	case MsgReadIndexRequest:
+		c.onReadIndexRequest(m)
+	case MsgReadIndexResponse:
+		c.onReadIndexResponse(m)
 	}
 }
 
@@ -1324,6 +1586,11 @@ func (c *Core) onAppendResponse(m Message) {
 		return
 	}
 	c.peerActive[m.From] = c.ticks // CheckQuorum: the peer is reachable
+	// Lease clock: any current-term append response proves the peer reset
+	// its election timer when it received our append moments ago — it
+	// cannot start (or vote in) a timeout election for a full election
+	// interval from then.
+	c.ackTick[m.From] = c.ticks
 	if !m.Success {
 		// Back off below the rejected probe, jumping straight to the
 		// follower's hint when it is lower (fast conflict resolution for

@@ -126,6 +126,14 @@ const (
 	// Pre-Vote; the resulting vote requests carry Transfer so sticky
 	// followers accept the deliberate change.
 	MsgTimeoutNow
+	// MsgReadIndexRequest / MsgReadIndexResponse implement follower-served
+	// reads: a follower forwards a linearizable-read barrier to the leader
+	// (ReadCtx identifies the waiting local read), and the leader answers
+	// with the confirmed read index — from its lease when valid, otherwise
+	// after a quorum round. A Success=false response tells the follower to
+	// retry against a fresher leader.
+	MsgReadIndexRequest
+	MsgReadIndexResponse
 )
 
 // String implements fmt.Stringer.
@@ -147,6 +155,10 @@ func (t MessageType) String() string {
 		return "PreVoteResponse"
 	case MsgTimeoutNow:
 		return "TimeoutNow"
+	case MsgReadIndexRequest:
+		return "ReadIndexRequest"
+	case MsgReadIndexResponse:
+		return "ReadIndexResponse"
 	default:
 		return fmt.Sprintf("MessageType(%d)", uint8(t))
 	}
@@ -180,9 +192,14 @@ type Message struct {
 
 	// Responses.
 	Granted    bool // vote granted
-	Success    bool // append accepted
-	MatchIndex int  // highest replicated index on success
+	Success    bool // append accepted (or forwarded read served)
+	MatchIndex int  // highest replicated index on success; the confirmed read index on MsgReadIndexResponse
 	HintIndex  int  // on append rejection: where the follower's log ends
+
+	// ReadCtx identifies a forwarded read barrier (MsgReadIndexRequest /
+	// MsgReadIndexResponse): the follower's local request id, echoed by
+	// the leader so the response resolves the right waiter.
+	ReadCtx uint64
 
 	// Snapshot transfer (MsgInstallSnapshot). A transfer is a burst of
 	// chunks sharing (SnapIndex, SnapTerm, SnapTotal); SnapOffset is the
@@ -344,4 +361,12 @@ type Counters struct {
 	// before the handoff).
 	TransfersStarted uint64
 	TransfersAborted uint64
+	// ReadBarriers counts ReadIndex quorum barriers opened;
+	// ReadsCoalesced counts read requests that shared an already-open
+	// barrier instead of opening their own (the coalescing window);
+	// LeaseReads counts reads served from the leader lease with zero
+	// network rounds.
+	ReadBarriers   uint64
+	ReadsCoalesced uint64
+	LeaseReads     uint64
 }

@@ -70,6 +70,13 @@ type Options struct {
 	// its disruption oracles bite.
 	DisablePreVote     bool
 	DisableCheckQuorum bool
+
+	// DisableLeaseRead turns off leader-lease reads (LeaseRead always
+	// refuses). DisableLeaseGuard removes the transfer/reconfig lease
+	// invalidation; the chaos teeth use it to prove the stale-read oracle
+	// catches the resulting lease violations.
+	DisableLeaseRead  bool
+	DisableLeaseGuard bool
 }
 
 func (o *Options) defaults() {
@@ -206,6 +213,8 @@ func (s *Cluster) bootNode(id types.NodeID) {
 		DisableR3:           s.opt.DisableR3,
 		DisablePreVote:      s.opt.DisablePreVote,
 		DisableCheckQuorum:  s.opt.DisableCheckQuorum,
+		DisableLeaseRead:    s.opt.DisableLeaseRead,
+		DisableLeaseGuard:   s.opt.DisableLeaseGuard,
 	}, hs, snap, log)
 	s.nodes[id] = &node{id: id, core: core, up: true, lastRole: raftcore.Follower}
 	if snap.Index > 0 {
@@ -581,6 +590,45 @@ func (s *Cluster) CancelRead(id types.NodeID, reqID uint64) {
 	if s.Alive(id) {
 		s.nodes[id].core.CancelRead(reqID)
 	}
+}
+
+// LeaseRead attempts a zero-round leader-lease read at node id: ok reports
+// whether the node holds a valid lease, and idx is the confirmed read index
+// (serve-after-apply applies, as with ReadIndex). A lease read has no Ready
+// effects — nothing to flush.
+func (s *Cluster) LeaseRead(id types.NodeID) (idx int, ok bool) {
+	if !s.Alive(id) {
+		return 0, false
+	}
+	return s.nodes[id].core.LeaseRead()
+}
+
+// LeaseProbe is the side-effect-free lease inspection used by the chaos
+// stale-read oracle: same answer as LeaseRead without counting as a served
+// read.
+func (s *Cluster) LeaseProbe(id types.NodeID) (idx int, ok bool) {
+	if !s.Alive(id) {
+		return 0, false
+	}
+	return s.nodes[id].core.LeaseStatus()
+}
+
+// ForwardRead starts a follower-served read at node id: the node forwards a
+// ReadIndex request to its known leader and the confirmed index arrives as
+// a regular ReadState, so callers poll ReadResult(id, reqID) exactly like a
+// local barrier (negative idx = leader refused — retry).
+func (s *Cluster) ForwardRead(id types.NodeID) (reqID uint64, err error) {
+	n := s.nodes[id]
+	if !s.Alive(id) {
+		return 0, ErrDown
+	}
+	s.nextReadID++
+	reqID = s.nextReadID
+	if err := n.core.ForwardReadIndex(reqID); err != nil {
+		return 0, err
+	}
+	s.processReady(n)
+	return reqID, nil
 }
 
 // --- Nemesis operations ---
